@@ -1,0 +1,381 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (the series are printed first), then times the
+   computational kernel behind each artifact with Bechamel.
+
+   Run with: dune exec bench/main.exe
+   Skip the timing pass with: dune exec bench/main.exe -- --no-timing
+   Print only one artifact:
+     dune exec bench/main.exe -- table1|fig6|fig7|fig8|ablations *)
+
+module Duration = Aved_units.Duration
+module Search = Aved_search
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Reproduction series *)
+
+let print_table1 () =
+  section "Table 1 (performance functions)";
+  Aved.Figures.print_table1 Format.std_formatter;
+  Format.print_newline ()
+
+let print_fig6 () =
+  section "Figure 6 (optimal family vs load and downtime requirement)";
+  Aved.Figures.print_fig6 Format.std_formatter (Aved.Figures.fig6 ());
+  Format.print_newline ()
+
+let print_fig7 () =
+  section "Figure 7 (scientific design vs execution-time requirement)";
+  Aved.Figures.print_fig7 Format.std_formatter (Aved.Figures.fig7 ());
+  Format.print_newline ()
+
+let print_fig8 () =
+  section "Figure 8 (extra annual cost of availability)";
+  Aved.Figures.print_fig8 Format.std_formatter (Aved.Figures.fig8 ());
+  Format.print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+(* Engine agreement and relative cost on a representative tier design
+   (the paper's headline point). *)
+let ablation_engines () =
+  section "Ablation: availability engines (A analytic / B exact / C simulated)";
+  let infra = Aved.Experiments.infrastructure () in
+  let tier = Aved.Experiments.application_tier () in
+  match
+    Search.Tier_search.optimal Search.Search_config.default infra ~tier
+      ~demand:1000.
+      ~max_downtime:(Duration.of_minutes 100.)
+  with
+  | None -> print_endline "headline point unexpectedly infeasible"
+  | Some c ->
+      let m = c.Search.Candidate.model in
+      let time f =
+        let t0 = Unix.gettimeofday () in
+        let v = f () in
+        (v, Unix.gettimeofday () -. t0)
+      in
+      let a, ta = time (fun () -> Aved_avail.Analytic.downtime_fraction m) in
+      let b, tb = time (fun () -> Aved_avail.Exact.downtime_fraction m) in
+      let c_, tc =
+        time (fun () ->
+            Aved_avail.Monte_carlo.downtime_fraction
+              ~config:
+                {
+                  Aved_avail.Monte_carlo.replications = 16;
+                  horizon = Duration.of_years 30.;
+                  seed = 42;
+                }
+              m)
+      in
+      let minutes f = Duration.minutes (Duration.of_years f) in
+      Printf.printf "%-12s %16s %12s\n" "engine" "downtime min/yr" "seconds";
+      Printf.printf "%-12s %16.3f %12.6f\n" "analytic" (minutes a) ta;
+      Printf.printf "%-12s %16.3f %12.6f\n" "exact" (minutes b) tb;
+      Printf.printf "%-12s %16.3f %12.6f\n" "simulated" (minutes c_) tc
+
+(* Cost-first pruning: the paper evaluates cost before availability and
+   rejects costlier designs; compare the pruned single-design search
+   against the exhaustive frontier sweep of the same space. *)
+let ablation_pruning () =
+  section "Ablation: cost-first pruning (search vs exhaustive sweep)";
+  let infra = Aved.Experiments.infrastructure () in
+  let tier = Aved.Experiments.application_tier () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  List.iter
+    (fun load ->
+      let pruned =
+        time (fun () ->
+            Search.Tier_search.optimal Search.Search_config.default infra
+              ~tier ~demand:load
+              ~max_downtime:(Duration.of_minutes 100.))
+      in
+      let exhaustive =
+        time (fun () ->
+            Search.Tier_search.frontier Search.Search_config.default infra
+              ~tier ~demand:load)
+      in
+      Printf.printf
+        "load %5.0f: pruned search %.4fs, exhaustive sweep %.4fs (%.1fx)\n"
+        load pruned exhaustive
+        (exhaustive /. Float.max 1e-9 pruned))
+    [ 400.; 1600.; 4000. ]
+
+(* Hot spares: allowing active components in spares shortens failover
+   and lowers the reachable downtime floor of the static database
+   tier. *)
+let ablation_spare_modes () =
+  section "Ablation: spare operational modes (database tier floor)";
+  let infra = Aved.Experiments.infrastructure () in
+  let service = Aved.Experiments.ecommerce () in
+  let tier =
+    match Aved_model.Service.find_tier service "database" with
+    | Some t -> t
+    | None -> failwith "database tier missing"
+  in
+  List.iter
+    (fun (label, explore) ->
+      let config =
+        { Search.Search_config.default with explore_spare_modes = explore }
+      in
+      let frontier =
+        Search.Tier_search.frontier config infra ~tier ~demand:5000.
+      in
+      match List.rev frontier with
+      | best :: _ ->
+          Printf.printf
+            "%-18s floor %8.2f min/yr at cost %s/yr (%d frontier points)\n"
+            label
+            (Duration.minutes (Search.Candidate.downtime best))
+            (Aved_units.Money.to_string best.Search.Candidate.cost)
+            (List.length frontier)
+      | [] -> Printf.printf "%-18s no designs\n" label)
+    [ ("cold spares only", false); ("all spare modes", true) ]
+
+(* Distribution shapes: mean-preserving burstiness moves finite-job
+   completion times even though steady-state availability is
+   insensitive to it. *)
+let ablation_shapes () =
+  section "Ablation: failure-distribution shape vs job completion time";
+  let infra = Aved.Experiments.infrastructure_bronze () in
+  let tier = Aved.Experiments.computation_tier () in
+  match
+    Search.Job_search.optimal Aved.Experiments.fig7_config infra ~tier
+      ~job_size:Aved.Experiments.scientific_job_size
+      ~max_time:(Duration.of_hours 100.)
+  with
+  | None -> print_endline "100 h design unexpectedly infeasible"
+  | Some c ->
+      let config =
+        {
+          Aved_avail.Monte_carlo.replications = 32;
+          horizon = Duration.of_years 1.;
+          seed = 7;
+        }
+      in
+      Printf.printf "design: %s\n"
+        (Format.asprintf "%a" Search.Job_search.pp_candidate c);
+      List.iter
+        (fun (label, shapes) ->
+          let summary =
+            Aved_avail.Monte_carlo.job_completion_times ~config ~shapes
+              c.Search.Job_search.model
+              ~job_size:Aved.Experiments.scientific_job_size
+          in
+          Printf.printf "%-24s mean %7.2f h (min %.2f, max %.2f)\n" label
+            summary.Aved_stats.Stats.mean summary.min summary.max)
+        [
+          ("exponential", Aved_avail.Monte_carlo.exponential_shapes);
+          ( "weibull k=0.6 (bursty)",
+            {
+              Aved_avail.Monte_carlo.failure =
+                Aved_avail.Monte_carlo.Weibull_shape 0.6;
+              repair = Aved_avail.Monte_carlo.Exponential;
+            } );
+          ( "weibull k=2.0 (regular)",
+            {
+              Aved_avail.Monte_carlo.failure =
+                Aved_avail.Monte_carlo.Weibull_shape 2.0;
+              repair = Aved_avail.Monte_carlo.Exponential;
+            } );
+          ( "lognormal repairs",
+            {
+              Aved_avail.Monte_carlo.failure =
+                Aved_avail.Monte_carlo.Exponential;
+              repair = Aved_avail.Monte_carlo.Lognormal_sigma 1.2;
+            } );
+        ]
+
+(* Checkpoint interval: the T_job(interval) curve behind the Fig. 7
+   discussion — overhead below the slowdown threshold, loss-window
+   growth above it. *)
+let ablation_checkpoint_interval () =
+  section "Ablation: job time vs checkpoint interval (rH, n=40, central)";
+  let infra = Aved.Experiments.infrastructure_bronze () in
+  let tier = Aved.Experiments.computation_tier () in
+  let option = List.hd tier.Aved_model.Service.options in
+  List.iter
+    (fun minutes ->
+      let settings =
+        [
+          ( "maintenanceA",
+            [ ("level", Aved_model.Mechanism.Enum_value "bronze") ] );
+          ( "checkpoint",
+            [
+              ( "storage_location",
+                Aved_model.Mechanism.Enum_value "central" );
+              ( "checkpoint_interval",
+                Aved_model.Mechanism.Duration_value
+                  (Duration.of_minutes minutes) );
+            ] );
+        ]
+      in
+      let design =
+        Aved_model.Design.tier_design ~tier_name:"computation" ~resource:"rH"
+          ~n_active:40 ~n_spare:1 ~mechanism_settings:settings ()
+      in
+      let candidate =
+        Search.Job_search.evaluate Aved.Experiments.fig7_config infra ~option
+          ~job_size:Aved.Experiments.scientific_job_size design
+      in
+      Printf.printf "interval %8.1f min -> job %8.2f h\n" minutes
+        (Duration.hours candidate.Search.Job_search.execution_time))
+    [ 1.; 3.; 8.; 13.3; 20.; 40.; 120.; 480.; 1440. ]
+
+let run_ablations () =
+  ablation_engines ();
+  ablation_pruning ();
+  ablation_spare_modes ();
+  ablation_shapes ();
+  ablation_checkpoint_interval ()
+
+(* ------------------------------------------------------------------ *)
+(* Timing *)
+
+let bench_tests () =
+  let open Bechamel in
+  let infra = Aved.Experiments.infrastructure () in
+  let app_tier = Aved.Experiments.application_tier () in
+  let bronze_infra = Aved.Experiments.infrastructure_bronze () in
+  let sci_tier = Aved.Experiments.computation_tier () in
+  let config = Search.Search_config.default in
+  (* Table 1: one evaluation sweep of every performance function. *)
+  let table1 =
+    Test.make ~name:"table1: evaluate performance functions"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (o : Aved_model.Service.resource_option) ->
+               for n = 1 to 64 do
+                 ignore (Aved_perf.Perf_function.eval o.performance ~n)
+               done)
+             (app_tier.options @ sci_tier.options)))
+  in
+  (* Fig. 6 kernel: one application-tier frontier at load 1000. *)
+  let fig6 =
+    Test.make ~name:"fig6: application-tier frontier (load 1000)"
+      (Staged.stage (fun () ->
+           ignore
+             (Search.Tier_search.frontier config infra ~tier:app_tier
+                ~demand:1000.)))
+  in
+  (* Fig. 7 kernel: one scientific-design search at 100 h. *)
+  let fig7 =
+    Test.make ~name:"fig7: scientific design search (100 h)"
+      (Staged.stage (fun () ->
+           ignore
+             (Search.Job_search.optimal Aved.Experiments.fig7_config
+                bronze_infra ~tier:sci_tier
+                ~job_size:Aved.Experiments.scientific_job_size
+                ~max_time:(Duration.of_hours 100.))))
+  in
+  (* Fig. 8 kernel: frontier + tradeoff readout at load 800. *)
+  let fig8 =
+    Test.make ~name:"fig8: cost/availability tradeoff (load 800)"
+      (Staged.stage (fun () ->
+           ignore
+             (Aved.Figures.fig8 ~loads:[ 800. ]
+                ~downtimes_minutes:[ 0.5; 5.; 50. ] ())))
+  in
+  (* Substrate kernels. *)
+  let gth =
+    let chain = Aved_markov.Ctmc.create 120 in
+    for k = 0 to 118 do
+      Aved_markov.Ctmc.add_transition chain ~src:k ~dst:(k + 1)
+        ~rate:(1. +. float_of_int k);
+      Aved_markov.Ctmc.add_transition chain ~src:(k + 1) ~dst:k ~rate:7.
+    done;
+    Test.make ~name:"markov: GTH stationary (120 states)"
+      (Staged.stage (fun () -> ignore (Aved_markov.Ctmc.stationary_gth chain)))
+  in
+  let spec_parse =
+    Test.make ~name:"spec: parse Fig. 3 infrastructure"
+      (Staged.stage (fun () ->
+           ignore
+             (Aved_spec.Spec.infrastructure_of_string
+                Aved.Experiments.infrastructure_spec)))
+  in
+  let monte_carlo =
+    let model =
+      {
+        Aved_avail.Tier_model.tier_name = "bench";
+        n_active = 5;
+        n_min = 5;
+        n_spare = 1;
+        failure_scope = Aved_model.Service.Resource_scope;
+        classes =
+          [
+            {
+              Aved_avail.Tier_model.label = "hw/hard";
+              rate = 1. /. Duration.seconds (Duration.of_days 400.);
+              mttr = Duration.of_hours 24.;
+              failover_time = Duration.of_minutes 5.;
+              failover_considered = true;
+            };
+          ];
+        loss_window = None;
+        effective_performance = 1000.;
+      }
+    in
+    Test.make ~name:"sim: 10 simulated years of a 5+1 tier"
+      (Staged.stage (fun () ->
+           ignore
+             (Aved_avail.Monte_carlo.downtime_fraction
+                ~config:
+                  {
+                    Aved_avail.Monte_carlo.replications = 1;
+                    horizon = Duration.of_years 10.;
+                    seed = 1;
+                  }
+                model)))
+  in
+  [ table1; fig6; fig7; fig8; gth; spec_parse; monte_carlo ]
+
+let run_timing () =
+  let open Bechamel in
+  section "Timing (Bechamel, monotonic clock)";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ estimate ] ->
+              let pretty =
+                if estimate > 1e9 then Printf.sprintf "%8.3f s " (estimate /. 1e9)
+                else if estimate > 1e6 then
+                  Printf.sprintf "%8.3f ms" (estimate /. 1e6)
+                else if estimate > 1e3 then
+                  Printf.sprintf "%8.3f us" (estimate /. 1e3)
+                else Printf.sprintf "%8.0f ns" estimate
+              in
+              Printf.printf "%-52s %s/run\n%!" name pretty
+          | Some _ | None -> Printf.printf "%-52s (no estimate)\n%!" name)
+        results)
+    (bench_tests ())
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let timing = not (List.mem "--no-timing" args) in
+  let only = List.filter (fun a -> a <> "--no-timing") args in
+  let want name = only = [] || List.mem name only in
+  if want "table1" then print_table1 ();
+  if want "fig6" then print_fig6 ();
+  if want "fig7" then print_fig7 ();
+  if want "fig8" then print_fig8 ();
+  if want "ablations" then run_ablations ();
+  if timing && only = [] then run_timing ()

@@ -1,0 +1,527 @@
+(* The aved command-line tool: design services from specification files
+   and regenerate the paper's evaluation artifacts. *)
+
+open Cmdliner
+module Duration = Aved_units.Duration
+module Model = Aved_model
+
+let handle_spec_errors f =
+  match f () with
+  | () -> 0
+  | exception Failure message ->
+      prerr_endline message;
+      1
+  | exception exn -> (
+      match Aved_spec.Spec.error_to_string exn with
+      | Some message ->
+          prerr_endline message;
+          1
+      | None -> raise exn)
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments *)
+
+let infra_file =
+  let doc = "Infrastructure specification file (paper Fig. 3 format)." in
+  Arg.(required & opt (some file) None & info [ "infra"; "i" ] ~doc ~docv:"FILE")
+
+let service_file =
+  let doc = "Service specification file (paper Figs. 4/5 format)." in
+  Arg.(
+    required & opt (some file) None & info [ "service"; "s" ] ~doc ~docv:"FILE")
+
+let load_arg =
+  let doc = "Throughput requirement in service-specific units of load." in
+  Arg.(value & opt (some float) None & info [ "load" ] ~doc ~docv:"UNITS")
+
+let downtime_arg =
+  let doc = "Maximum annual downtime, in minutes." in
+  Arg.(value & opt (some float) None & info [ "downtime" ] ~doc ~docv:"MIN")
+
+let job_hours_arg =
+  let doc = "Maximum expected job completion time, in hours." in
+  Arg.(value & opt (some float) None & info [ "job-hours" ] ~doc ~docv:"H")
+
+let tier_arg =
+  let doc = "Tier to analyze (defaults to the first tier)." in
+  Arg.(value & opt (some string) None & info [ "tier" ] ~doc ~docv:"NAME")
+
+(* ------------------------------------------------------------------ *)
+(* aved design *)
+
+let design_cmd =
+  let run infra_file service_file load downtime job_hours =
+    handle_spec_errors (fun () ->
+        let requirements =
+          match (load, downtime, job_hours) with
+          | Some load, Some minutes, None ->
+              Model.Requirements.enterprise ~throughput:load
+                ~max_annual_downtime:(Duration.of_minutes minutes)
+          | None, None, Some hours ->
+              Model.Requirements.finite_job
+                ~max_execution_time:(Duration.of_hours hours)
+          | _ ->
+              failwith
+                "specify either --load and --downtime, or --job-hours alone"
+        in
+        match
+          Aved.Engine.design_from_files ~infra_file ~service_file requirements
+        with
+        | Some report -> Format.printf "%a@." Aved.Engine.pp_report report
+        | None ->
+            Format.printf
+              "no feasible design: the design space holds no configuration \
+               meeting %a@."
+              Model.Requirements.pp requirements)
+  in
+  let term =
+    Term.(
+      const run $ infra_file $ service_file $ load_arg $ downtime_arg
+      $ job_hours_arg)
+  in
+  Cmd.v
+    (Cmd.info "design"
+       ~doc:
+         "Search the design space for the minimum-cost design meeting the \
+          requirements.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* aved frontier *)
+
+let frontier_cmd =
+  let run infra_file service_file tier_name load =
+    handle_spec_errors (fun () ->
+        let load =
+          match load with Some l -> l | None -> failwith "--load is required"
+        in
+        let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
+        let tier =
+          match tier_name with
+          | Some name -> (
+              match Model.Service.find_tier service name with
+              | Some t -> t
+              | None -> failwith (Printf.sprintf "no tier %S" name))
+          | None -> List.hd service.Model.Service.tiers
+        in
+        let frontier =
+          Aved_search.Tier_search.frontier Aved_search.Search_config.default
+            infra ~tier ~demand:load
+        in
+        Format.printf
+          "cost-availability frontier of tier %s at load %g (%d designs):@."
+          tier.Model.Service.tier_name load (List.length frontier);
+        List.iter
+          (fun (c : Aved_search.Candidate.t) ->
+            Format.printf "  %-44s downtime %10.3f min/yr   cost %s/yr@."
+              (Aved_search.Candidate.family c
+                 ~n_min_nominal:c.model.Aved_avail.Tier_model.n_min)
+              (Duration.minutes (Aved_search.Candidate.downtime c))
+              (Aved_units.Money.to_string c.cost))
+          frontier)
+  in
+  let term =
+    Term.(const run $ infra_file $ service_file $ tier_arg $ load_arg)
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:"Print the cost-availability Pareto frontier of one tier.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* Figure commands (built-in paper scenarios) *)
+
+let fig6_cmd =
+  let run () =
+    Aved.Figures.print_fig6 Format.std_formatter (Aved.Figures.fig6 ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "fig6"
+       ~doc:
+         "Regenerate paper Fig. 6: optimal application-tier design families \
+          over load and downtime requirements.")
+    Term.(const run $ const ())
+
+let fig7_cmd =
+  let run () =
+    Aved.Figures.print_fig7 Format.std_formatter (Aved.Figures.fig7 ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "fig7"
+       ~doc:
+         "Regenerate paper Fig. 7: optimal scientific-application design vs \
+          execution-time requirement.")
+    Term.(const run $ const ())
+
+let fig8_cmd =
+  let run () =
+    Aved.Figures.print_fig8 Format.std_formatter (Aved.Figures.fig8 ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "fig8"
+       ~doc:
+         "Regenerate paper Fig. 8: extra annual cost of availability vs \
+          downtime requirement.")
+    Term.(const run $ const ())
+
+let table1_cmd =
+  let run () =
+    Aved.Figures.print_table1 Format.std_formatter;
+    0
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print paper Table 1: the performance functions.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* aved validate: cross-engine agreement on the built-in scenario *)
+
+let validate_cmd =
+  let run () =
+    let infra = Aved.Experiments.infrastructure () in
+    let service = Aved.Experiments.ecommerce () in
+    let requirements =
+      Model.Requirements.enterprise ~throughput:1000.
+        ~max_annual_downtime:(Duration.of_minutes 100.)
+    in
+    match Aved.Engine.design infra service requirements with
+    | None ->
+        prerr_endline "validation scenario unexpectedly infeasible";
+        1
+    | Some report ->
+        Format.printf "%a@.@." Aved.Engine.pp_report report;
+        let models =
+          Aved.Engine.evaluate_design infra service report.design
+            ~demand:(Some 1000.)
+        in
+        Format.printf
+          "engine cross-check (per tier, annual downtime in minutes):@.";
+        Format.printf "%-14s %12s %12s %12s@." "tier" "analytic" "exact"
+          "simulation";
+        List.iter
+          (fun (m : Aved_avail.Tier_model.t) ->
+            let minutes f = Duration.minutes (Duration.of_years f) in
+            let analytic = Aved_avail.Analytic.downtime_fraction m in
+            let exact =
+              match Aved_avail.Exact.downtime_fraction ~max_states:50000 m with
+              | v -> Printf.sprintf "%12.3f" (minutes v)
+              | exception Invalid_argument _ -> "  (too large)"
+            in
+            let simulated =
+              Aved_avail.Monte_carlo.downtime_fraction
+                ~config:
+                  {
+                    Aved_avail.Monte_carlo.replications = 16;
+                    horizon = Duration.of_years 30.;
+                    seed = 42;
+                  }
+                m
+            in
+            Format.printf "%-14s %12.3f %s %12.3f@." m.tier_name
+              (minutes analytic) exact (minutes simulated))
+          models;
+        0
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Design the built-in e-commerce scenario and cross-check the three \
+          availability engines on the result.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* aved explain: per-failure-class downtime attribution *)
+
+let explain_cmd =
+  let run infra_file service_file load downtime =
+    handle_spec_errors (fun () ->
+        let load, downtime =
+          match (load, downtime) with
+          | Some l, Some d -> (l, d)
+          | _ -> failwith "--load and --downtime are required"
+        in
+        let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
+        match
+          Aved.Engine.design infra service
+            (Model.Requirements.enterprise ~throughput:load
+               ~max_annual_downtime:(Duration.of_minutes downtime))
+        with
+        | None -> print_endline "no feasible design"
+        | Some report ->
+            Format.printf "%a@." Aved.Engine.pp_report report;
+            let models =
+              Aved.Engine.evaluate_design infra service report.design
+                ~demand:(Some load)
+            in
+            List.iter
+              (fun (m : Aved_avail.Tier_model.t) ->
+                Format.printf
+                  "@.tier %s — downtime by failure class (min/yr):@."
+                  m.tier_name;
+                let breakdown =
+                  List.sort (fun (_, a) (_, b) -> Float.compare b a)
+                    (Aved_avail.Analytic.downtime_by_class m)
+                in
+                List.iter
+                  (fun (label, fraction) ->
+                    Format.printf "  %-24s %10.3f@." label
+                      (Duration.minutes (Duration.of_years fraction)))
+                  breakdown)
+              models)
+  in
+  let term =
+    Term.(const run $ infra_file $ service_file $ load_arg $ downtime_arg)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Design a service, then attribute each tier's predicted downtime to \
+          its failure classes.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* aved report: the full design document *)
+
+let report_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the report to a file.")
+  in
+  let run infra_file service_file load downtime job_hours out =
+    handle_spec_errors (fun () ->
+        let requirements =
+          match (load, downtime, job_hours) with
+          | Some load, Some minutes, None ->
+              Model.Requirements.enterprise ~throughput:load
+                ~max_annual_downtime:(Duration.of_minutes minutes)
+          | None, None, Some hours ->
+              Model.Requirements.finite_job
+                ~max_execution_time:(Duration.of_hours hours)
+          | _ ->
+              failwith
+                "specify either --load and --downtime, or --job-hours alone"
+        in
+        let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
+        match Aved.Report.generate infra service requirements with
+        | None -> print_endline "no feasible design"
+        | Some text -> (
+            match out with
+            | None -> print_string text
+            | Some path ->
+                let oc = open_out path in
+                output_string oc text;
+                close_out oc;
+                Printf.printf "wrote %s\n" path))
+  in
+  let term =
+    Term.(
+      const run $ infra_file $ service_file $ load_arg $ downtime_arg
+      $ job_hours_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Design a service and emit the full report: configuration, cost, \
+          per-tier downtime attribution, first-month transient, engine \
+          cross-check and sensitivity analysis.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* aved ablate: distribution-shape sensitivity via simulation *)
+
+let ablate_cmd =
+  let run () =
+    let infra = Aved.Experiments.infrastructure () in
+    let service = Aved.Experiments.ecommerce () in
+    match
+      Aved.Engine.design infra service
+        (Model.Requirements.enterprise ~throughput:1000.
+           ~max_annual_downtime:(Duration.of_minutes 100.))
+    with
+    | None ->
+        prerr_endline "scenario unexpectedly infeasible";
+        1
+    | Some report ->
+        Format.printf "%a@.@." Aved.Engine.pp_report report;
+        Format.printf
+          "distribution-shape ablation (simulated annual downtime, \
+           min/yr; means preserved):@.";
+        Format.printf "%-14s %12s %12s %12s %12s@." "tier" "exponential"
+          "weibull .7" "weibull 1.5" "lognorm rep";
+        let shapes =
+          let open Aved_avail.Monte_carlo in
+          [
+            exponential_shapes;
+            { exponential_shapes with failure = Weibull_shape 0.7 };
+            { exponential_shapes with failure = Weibull_shape 1.5 };
+            { exponential_shapes with repair = Lognormal_sigma 1.2 };
+          ]
+        in
+        let config =
+          {
+            Aved_avail.Monte_carlo.replications = 16;
+            horizon = Duration.of_years 30.;
+            seed = 2004;
+          }
+        in
+        List.iter
+          (fun (m : Aved_avail.Tier_model.t) ->
+            let cells =
+              List.map
+                (fun s ->
+                  Printf.sprintf "%12.2f"
+                    (Duration.minutes
+                       (Aved_avail.Monte_carlo.annual_downtime ~config ~shapes:s
+                          m)))
+                shapes
+            in
+            Format.printf "%-14s %s@." m.tier_name (String.concat " " cells))
+          (Aved.Engine.evaluate_design infra service report.design
+             ~demand:(Some 1000.));
+        0
+  in
+  Cmd.v
+    (Cmd.info "ablate"
+       ~doc:
+         "Simulate the designed e-commerce scenario under non-exponential \
+          failure and repair distributions (mean-preserving) and compare \
+          downtime.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* aved adapt: replay a load trace through the adaptive controller *)
+
+let adapt_cmd =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"CSV"
+          ~doc:
+            "Load trace as hours,load CSV rows. Without it, a synthetic \
+             3-day diurnal trace spanning half to full of --load is used.")
+  in
+  let headroom_arg =
+    Arg.(
+      value & opt float 0.3
+      & info [ "headroom" ] ~docv:"FRACTION"
+          ~doc:"Over-provisioning tolerated before scaling down.")
+  in
+  let run infra_file service_file tier_name load downtime trace headroom =
+    handle_spec_errors (fun () ->
+        let downtime =
+          match downtime with
+          | Some d -> d
+          | None -> failwith "--downtime is required"
+        in
+        let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
+        let tier =
+          match tier_name with
+          | Some name -> (
+              match Model.Service.find_tier service name with
+              | Some t -> t
+              | None -> failwith (Printf.sprintf "no tier %S" name))
+          | None -> List.hd service.Model.Service.tiers
+        in
+        let trace =
+          match trace with
+          | Some path -> Aved_search.Load_trace.of_csv_file path
+          | None ->
+              let peak = Option.value load ~default:2000. in
+              Aved_search.Load_trace.diurnal ~days:3 ~samples_per_day:12
+                ~base:(peak /. 2.) ~peak ()
+        in
+        let replay =
+          Aved_search.Adaptive.replay Aved_search.Search_config.default infra
+            ~tier
+            ~max_downtime:(Duration.of_minutes downtime)
+            ~policy:{ Aved_search.Adaptive.headroom }
+            ~trace ()
+        in
+        Format.printf "%-10s %10s  %-44s %s@." "hour" "load" "design" "";
+        List.iter
+          (fun (s : Aved_search.Adaptive.step) ->
+            Format.printf "%-10.1f %10.0f  %-44s %s@."
+              (Duration.hours s.time) s.load
+              (Aved_search.Candidate.family s.candidate
+                 ~n_min_nominal:
+                   s.candidate.model.Aved_avail.Tier_model.n_min)
+              (if s.redesigned then "<- redesign" else ""))
+          replay.steps;
+        Format.printf
+          "@.%d redesigns after the initial one; time-weighted cost %s/yr@."
+          replay.redesigns
+          (Aved_units.Money.to_string replay.average_cost))
+  in
+  let term =
+    Term.(
+      const run $ infra_file $ service_file $ tier_arg $ load_arg
+      $ downtime_arg $ trace_arg $ headroom_arg)
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:
+         "Replay a load trace through the adaptive redesign controller \
+          (utility-computing mode).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* aved dump-specs *)
+
+let dump_specs_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Directory to write the .spec files into.")
+  in
+  let run dir =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let write name content =
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    in
+    write "infrastructure.spec" Aved.Experiments.infrastructure_spec;
+    write "ecommerce.spec" Aved.Experiments.ecommerce_spec;
+    write "scientific.spec" Aved.Experiments.scientific_spec;
+    0
+  in
+  Cmd.v
+    (Cmd.info "dump-specs"
+       ~doc:
+         "Write the built-in paper scenarios (Figs. 3-5) as specification \
+          files.")
+    Term.(const run $ dir_arg)
+
+let () =
+  let info =
+    Cmd.info "aved" ~version:"1.0.0"
+      ~doc:
+        "Automated system design for availability (reproduction of \
+         Janakiraman, Santos & Turner, DSN 2004)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            design_cmd;
+            frontier_cmd;
+            fig6_cmd;
+            fig7_cmd;
+            fig8_cmd;
+            table1_cmd;
+            validate_cmd;
+            explain_cmd;
+            report_cmd;
+            ablate_cmd;
+            adapt_cmd;
+            dump_specs_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/ecommerce.ml: Array Aved Aved_avail Aved_model Aved_search Aved_units Format List Sys

@@ -1,0 +1,1 @@
+examples/network_aware.ml: Array Aved Aved_avail Aved_network Aved_reliability Aved_search Aved_units Format List Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aved Aved_model Aved_perf Aved_units Component Format Infrastructure Int_range Mechanism Requirements Resource Service

@@ -1,0 +1,1 @@
+examples/scientific.ml: Aved Aved_avail Aved_search Aved_stats Aved_units Format List

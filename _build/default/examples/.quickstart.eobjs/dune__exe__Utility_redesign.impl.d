@@ -1,0 +1,1 @@
+examples/utility_redesign.ml: Aved Aved_avail Aved_model Aved_search Aved_units Float Format List String

@@ -1,0 +1,1 @@
+examples/utility_redesign.mli:

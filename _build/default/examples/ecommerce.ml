@@ -1,0 +1,61 @@
+(* The paper's §5.1 e-commerce scenario (Figs. 3 and 4): design the
+   three-tier service, then walk the application tier's
+   cost-availability frontier the way Fig. 6 does.
+
+   Run with: dune exec examples/ecommerce.exe [LOAD [DOWNTIME_MIN]] *)
+
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+module Search = Aved_search
+
+let () =
+  let load =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 1000.
+  in
+  let downtime_minutes =
+    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 100.
+  in
+  let infra = Aved.Experiments.infrastructure () in
+  let service = Aved.Experiments.ecommerce () in
+
+  (* Whole-service design: web, application and database tiers in
+     series must jointly meet the downtime budget. *)
+  Format.printf "=== full service design (load %g, downtime <= %g min) ===@."
+    load downtime_minutes;
+  (match
+     Aved.Engine.design infra service
+       (Aved_model.Requirements.enterprise ~throughput:load
+          ~max_annual_downtime:(Duration.of_minutes downtime_minutes))
+   with
+  | Some report -> Format.printf "%a@." Aved.Engine.pp_report report
+  | None -> print_endline "no feasible design");
+
+  (* The paper's Fig. 6 view: the application tier in isolation. *)
+  let tier = Aved.Experiments.application_tier () in
+  let frontier =
+    Search.Tier_search.frontier Search.Search_config.default infra ~tier
+      ~demand:load
+  in
+  Format.printf
+    "@.=== application-tier frontier at load %g (design families) ===@." load;
+  List.iter
+    (fun (c : Search.Candidate.t) ->
+      let minutes = Duration.minutes (Search.Candidate.downtime c) in
+      if minutes >= 0.01 then
+        Format.printf "  %-44s %10.3f min/yr  %8s/yr@."
+          (Search.Candidate.family c
+             ~n_min_nominal:c.model.Aved_avail.Tier_model.n_min)
+          minutes
+          (Money.to_string c.cost))
+    frontier;
+
+  (* And the optimal point for the stated requirement. *)
+  match
+    Search.Tier_search.optimal Search.Search_config.default infra ~tier
+      ~demand:load
+      ~max_downtime:(Duration.of_minutes downtime_minutes)
+  with
+  | Some c ->
+      Format.printf "@.optimal application-tier design: %a@."
+        Search.Candidate.pp c
+  | None -> print_endline "application tier: no feasible design"

@@ -1,0 +1,109 @@
+(* Quickstart: model a two-component web server fleet and let Aved pick
+   the cheapest design meeting a throughput and downtime requirement.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+open Aved_model
+
+let () =
+  (* 1. Describe the building blocks: a machine with hard failures
+     repaired under a maintenance contract, and a web server that
+     crashes occasionally and just restarts. *)
+  let maintenance =
+    Mechanism.make ~name:"maintenance"
+      ~parameters:
+        [
+          {
+            param_name = "level";
+            range = Mechanism.Enum [ "basic"; "premium" ];
+          };
+        ]
+      ~cost:
+        (Mechanism.By_enum
+           {
+             param = "level";
+             table =
+               [
+                 ("basic", Money.of_float 200.);
+                 ("premium", Money.of_float 900.);
+               ];
+           })
+      ~mttr:
+        (Mechanism.By_enum
+           {
+             param = "level";
+             table =
+               [
+                 ("basic", Duration.of_hours 24.);
+                 ("premium", Duration.of_hours 4.);
+               ];
+           })
+      ()
+  in
+  let machine =
+    Component.make ~name:"machine"
+      ~cost_inactive:(Money.of_float 900.)
+      ~cost_active:(Money.of_float 1000.)
+      ~failure_modes:
+        [
+          Component.failure_mode ~name:"hard" ~mtbf:(Duration.of_days 400.)
+            ~repair:(Component.Repair_by_mechanism "maintenance")
+            ~detect_time:(Duration.of_minutes 1.) ();
+        ]
+      ()
+  in
+  let webserver =
+    Component.make ~name:"webserver" ~cost_active:Money.zero
+      ~failure_modes:
+        [
+          Component.failure_mode ~name:"crash" ~mtbf:(Duration.of_days 30.) ();
+        ]
+      ()
+  in
+  let node =
+    Resource.make ~name:"web-node"
+      ~elements:
+        [
+          Resource.element ~component:"machine"
+            ~startup:(Duration.of_seconds 60.) ();
+          Resource.element ~component:"webserver" ~depends_on:"machine"
+            ~startup:(Duration.of_seconds 20.) ();
+        ]
+      ()
+  in
+  let infra =
+    Infrastructure.make ~components:[ machine; webserver ]
+      ~mechanisms:[ maintenance ] ~resources:[ node ]
+  in
+
+  (* 2. Describe the service: one web tier, each node serving 250
+     requests/hour, any number of nodes. *)
+  let service =
+    Service.make ~name:"quickstart"
+      ~tiers:
+        [
+          Service.tier ~name:"web"
+            ~options:
+              [
+                Service.resource_option ~resource:"web-node"
+                  ~n_active:(Int_range.arithmetic ~lo:1 ~hi:100 ~step:1)
+                  ~performance:
+                    (Aved_perf.Perf_function.of_string "250*n")
+                  ();
+              ];
+        ]
+      ()
+  in
+
+  (* 3. State the requirements and search. *)
+  let requirements =
+    Requirements.enterprise ~throughput:1000.
+      ~max_annual_downtime:(Duration.of_minutes 30.)
+  in
+  match Aved.Engine.design infra service requirements with
+  | Some report ->
+      Format.printf "requirements: %a@.@.%a@." Requirements.pp requirements
+        Aved.Engine.pp_report report
+  | None -> print_endline "no feasible design"

@@ -1,0 +1,58 @@
+(* The paper's §5.2 scientific-application scenario (Fig. 5): design the
+   checkpointed MPI cluster for several execution-time requirements, then
+   validate the analytic prediction of one design against the
+   discrete-event simulator.
+
+   Run with: dune exec examples/scientific.exe *)
+
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+module Search = Aved_search
+module Avail = Aved_avail
+
+let () =
+  let infra = Aved.Experiments.infrastructure_bronze () in
+  let tier = Aved.Experiments.computation_tier () in
+  let job_size = Aved.Experiments.scientific_job_size in
+  let config = Aved.Experiments.fig7_config in
+
+  Format.printf
+    "=== optimal design vs job execution-time requirement (Fig. 7) ===@.";
+  let chosen =
+    List.filter_map
+      (fun hours ->
+        match
+          Search.Job_search.optimal config infra ~tier ~job_size
+            ~max_time:(Duration.of_hours hours)
+        with
+        | Some c ->
+            Format.printf "req %7.1f h -> %a@." hours
+              Search.Job_search.pp_candidate c;
+            Some (hours, c)
+        | None ->
+            Format.printf "req %7.1f h -> infeasible@." hours;
+            None)
+      [ 1000.; 300.; 100.; 30.; 10.; 3. ]
+  in
+
+  (* Validate one mid-range design: does the simulator's job-completion
+     time agree with the analytic Eq. 1 prediction? *)
+  match List.assoc_opt 100. chosen with
+  | None -> print_endline "no design at 100 h to validate"
+  | Some c ->
+      let analytic = Duration.hours c.execution_time in
+      let sim =
+        Avail.Monte_carlo.job_completion_times
+          ~config:
+            {
+              Avail.Monte_carlo.replications = 32;
+              horizon = Duration.of_years 1.;
+              seed = 2004;
+            }
+          c.model ~job_size
+      in
+      let lo, hi = Aved_stats.Stats.confidence_interval_95 sim in
+      Format.printf
+        "@.validation of the 100 h design: analytic %.1f h, simulated %.1f h \
+         (95%% CI [%.1f, %.1f], %d replications)@."
+        analytic sim.mean lo hi sim.count

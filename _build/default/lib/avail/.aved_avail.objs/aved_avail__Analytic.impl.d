@@ -1,0 +1,1 @@
+lib/avail/analytic.ml: Array Aved_markov Aved_model Aved_reliability Aved_units Float List Stdlib Tier_model

@@ -1,0 +1,1 @@
+lib/avail/analytic.mli: Aved_markov Aved_reliability Aved_units Tier_model

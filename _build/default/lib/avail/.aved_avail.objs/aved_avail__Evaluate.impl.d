@@ -1,0 +1,1 @@
+lib/avail/evaluate.ml: Analytic Aved_reliability Aved_stats Aved_units Exact List Monte_carlo Tier_model

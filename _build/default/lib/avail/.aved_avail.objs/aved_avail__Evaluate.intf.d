@@ -1,0 +1,1 @@
+lib/avail/evaluate.mli: Aved_reliability Aved_units Monte_carlo Tier_model

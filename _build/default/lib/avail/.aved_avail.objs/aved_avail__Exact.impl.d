@@ -1,0 +1,1 @@
+lib/avail/exact.ml: Array Aved_markov Aved_model Aved_reliability Aved_units Float Hashtbl List Printf Stdlib Tier_model

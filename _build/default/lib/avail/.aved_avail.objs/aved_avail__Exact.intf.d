@@ -1,0 +1,1 @@
+lib/avail/exact.mli: Aved_reliability Aved_units Tier_model

@@ -1,0 +1,1 @@
+lib/avail/monte_carlo.ml: Array Aved_sim Aved_stats Aved_units Float List Option Tier_model

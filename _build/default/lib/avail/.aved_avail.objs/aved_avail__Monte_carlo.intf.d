@@ -1,0 +1,1 @@
+lib/avail/monte_carlo.mli: Aved_stats Aved_units Tier_model

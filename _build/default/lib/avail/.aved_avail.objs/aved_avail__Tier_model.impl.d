@@ -1,0 +1,1 @@
+lib/avail/tier_model.ml: Aved_model Aved_perf Aved_units Format List Printf String

@@ -1,0 +1,1 @@
+lib/avail/tier_model.mli: Aved_model Aved_units Format

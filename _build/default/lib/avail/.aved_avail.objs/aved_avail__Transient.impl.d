@@ -1,0 +1,1 @@
+lib/avail/transient.ml: Analytic Array Aved_markov Aved_model Aved_units List Stdlib Tier_model

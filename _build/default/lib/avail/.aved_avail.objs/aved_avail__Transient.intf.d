@@ -1,0 +1,1 @@
+lib/avail/transient.mli: Aved_units Tier_model

@@ -1,0 +1,104 @@
+module Duration = Aved_units.Duration
+module Availability = Aved_reliability.Availability
+module Birth_death = Aved_markov.Birth_death
+module Service = Aved_model.Service
+
+let actives (model : Tier_model.t) k =
+  Stdlib.min model.n_active (model.n_active + model.n_spare - k)
+
+let chain (model : Tier_model.t) =
+  let n_total = model.n_active + model.n_spare in
+  let lambda = Tier_model.total_failure_rate model in
+  let repair = Duration.seconds (Tier_model.mean_repair_time model) in
+  if lambda <= 0. || repair <= 0. then None
+  else begin
+    let mu = 1. /. repair in
+    let up =
+      Array.init n_total (fun k -> float_of_int (actives model k) *. lambda)
+    in
+    let down = Array.init n_total (fun k -> float_of_int (k + 1) *. mu) in
+    Some (Birth_death.create ~up ~down)
+  end
+
+let state_distribution (model : Tier_model.t) =
+  match chain model with
+  | Some bd -> Birth_death.stationary bd
+  | None ->
+      (* No failures, or instantaneous repairs: all mass at state 0. *)
+      let pi = Array.make (model.n_active + model.n_spare + 1) 0. in
+      pi.(0) <- 1.;
+      pi
+
+let chain_down_fraction (model : Tier_model.t) =
+  let n_total = model.n_active + model.n_spare in
+  let pi = state_distribution model in
+  let acc = ref 0. in
+  for k = 0 to n_total do
+    if n_total - k < model.n_min then acc := !acc +. pi.(k)
+  done;
+  !acc
+
+(* The per-event outage of a failure the chain does not see as a down
+   state: the failover time when a spare takes over, or the full repair
+   time when in-place repair is quicker (paper §4.2: failover only when
+   MTTR exceeds it). *)
+let transient_outage (c : Tier_model.failure_class) =
+  Duration.seconds
+    (if c.failover_considered then c.failover_time else c.mttr)
+
+(* Σ over states of π_k times the number of serving resources, restricted
+   to states where a failure visibly interrupts service yet lands in
+   another up state. Multiplying by a class's rate × outage gives that
+   class's transient downtime fraction. *)
+let transient_weight (model : Tier_model.t) =
+  let n_total = model.n_active + model.n_spare in
+  let pi = state_distribution model in
+  let acc = ref 0. in
+  for k = 0 to n_total - 1 do
+    let a = actives model k in
+    let next_up = n_total - k - 1 >= model.n_min in
+    if a > 0 && next_up then begin
+      let interrupts =
+        match model.failure_scope with
+        | Service.Tier_scope -> true
+        | Service.Resource_scope -> a = model.n_min
+      in
+      if interrupts then acc := !acc +. (pi.(k) *. float_of_int a)
+    end
+  done;
+  !acc
+
+let transient_down_fraction (model : Tier_model.t) =
+  let outage_rate_sum =
+    List.fold_left
+      (fun acc c -> acc +. (c.Tier_model.rate *. transient_outage c))
+      0. model.classes
+  in
+  transient_weight model *. outage_rate_sum
+
+let downtime_fraction model =
+  Float.min 1. (chain_down_fraction model +. transient_down_fraction model)
+
+let availability model =
+  Availability.of_fraction (1. -. downtime_fraction model)
+
+let annual_downtime model = Duration.of_years (downtime_fraction model)
+
+let downtime_by_class (model : Tier_model.t) =
+  let weight = transient_weight model in
+  let chain_down = chain_down_fraction model in
+  let first_order (c : Tier_model.failure_class) =
+    c.rate *. Duration.seconds c.mttr
+  in
+  let first_order_total =
+    List.fold_left (fun acc c -> acc +. first_order c) 0. model.classes
+  in
+  List.map
+    (fun (c : Tier_model.failure_class) ->
+      let transient = weight *. c.rate *. transient_outage c in
+      let chain_share =
+        if first_order_total <= 0. then 0.
+        else chain_down *. first_order c /. first_order_total
+      in
+      (c.label, transient +. chain_share))
+    model.classes

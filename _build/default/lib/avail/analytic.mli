@@ -1,0 +1,46 @@
+(** Engine A: the paper's "simplified Markov model", in closed form.
+
+    The tier is a birth–death chain on the number of failed resources
+    k ∈ [0, N], N = n + s. In state k, min(n, N−k) resources are active
+    (inactive spares do not fail), each failing at the aggregate rate
+    Σλᵢ; each failed resource repairs independently at the aggregate
+    rate 1/R̄, R̄ the failure-frequency-weighted mean MTTR. The tier is
+    down when fewer than m resources are operational.
+
+    Two downtime contributions are summed:
+    - chain mass of the down states (multiple concurrent failures
+      exhausting spares and extras), and
+    - failover/restart transients: failures that the chain absorbs as
+      "still up" but which visibly interrupt service — from a state
+      with exactly m serving resources under resource failure scope, or
+      from any up state under tier failure scope. Each such event costs
+      the failover time when failover is considered for the mode, or
+      the mode's full MTTR otherwise. *)
+
+val chain : Tier_model.t -> Aved_markov.Birth_death.t option
+(** The underlying birth–death chain on the number of failed resources;
+    [None] when the tier has no failures or only instantaneous repairs
+    (all probability then sits in state 0). *)
+
+val state_distribution : Tier_model.t -> float array
+(** Stationary distribution over the number of failed resources
+    (indices 0..n+s). *)
+
+val chain_down_fraction : Tier_model.t -> float
+(** Stationary probability that fewer than m resources are operational. *)
+
+val transient_down_fraction : Tier_model.t -> float
+(** Long-run fraction of time lost to failover/restart transients. *)
+
+val downtime_fraction : Tier_model.t -> float
+(** Sum of the two contributions, capped at 1. *)
+
+val availability : Tier_model.t -> Aved_reliability.Availability.t
+val annual_downtime : Tier_model.t -> Aved_units.Duration.t
+
+val downtime_by_class : Tier_model.t -> (string * float) list
+(** Attribution of {!downtime_fraction} to the failure classes, labeled
+    as in the model, in model order. Transient contributions are exact
+    per class; the chain's down-state mass is attributed in proportion
+    to each class's unavailability product λᵢ·MTTRᵢ (its first-order
+    share). Sums to {!downtime_fraction}. *)

@@ -1,0 +1,54 @@
+module Duration = Aved_units.Duration
+module Availability = Aved_reliability.Availability
+module Loss_window = Aved_reliability.Loss_window
+
+type engine =
+  | Analytic
+  | Exact of { max_states : int }
+  | Monte_carlo of Monte_carlo.config
+
+let default_engine = Analytic
+
+let tier_downtime_fraction engine model =
+  match engine with
+  | Analytic -> Analytic.downtime_fraction model
+  | Exact { max_states } -> Exact.downtime_fraction ~max_states model
+  | Monte_carlo config -> Monte_carlo.downtime_fraction ~config model
+
+let tier_availability engine model =
+  Availability.of_fraction (1. -. tier_downtime_fraction engine model)
+
+let tier_annual_downtime engine model =
+  Duration.of_years (tier_downtime_fraction engine model)
+
+let service_availability engine models =
+  Availability.series (List.map (tier_availability engine) models)
+
+let service_annual_downtime engine models =
+  Availability.annual_downtime (service_availability engine models)
+
+let analytic_job_time engine (model : Tier_model.t) ~job_size =
+  let rate_per_hour = model.effective_performance in
+  if rate_per_hour <= 0. then
+    invalid_arg "Evaluate.job_completion_time: no throughput";
+  let ideal = Duration.of_hours (job_size /. rate_per_hour) in
+  let availability = tier_availability engine model in
+  let mtbf = Tier_model.tier_mtbf model in
+  (* Without checkpoints a failure loses the whole remaining job, so the
+     loss window is the job itself; a configured window larger than the
+     job is equally capped. *)
+  let lw =
+    match model.loss_window with
+    | Some lw -> Duration.min lw ideal
+    | None -> ideal
+  in
+  Loss_window.expected_job_time
+    ~work_seconds:(Duration.seconds ideal)
+    ~availability ~mtbf ~lw
+
+let job_completion_time engine model ~job_size =
+  match engine with
+  | Analytic | Exact _ -> analytic_job_time engine model ~job_size
+  | Monte_carlo config ->
+      let summary = Monte_carlo.job_completion_times ~config model ~job_size in
+      Duration.of_hours summary.Aved_stats.Stats.mean

@@ -1,0 +1,32 @@
+(** Design evaluation (paper §4.2): cost is evaluated by the model
+    layer; this module evaluates availability and expected job
+    completion time, through a chosen engine. *)
+
+module Duration = Aved_units.Duration
+module Availability = Aved_reliability.Availability
+
+type engine =
+  | Analytic  (** Engine A — used inside the search loop. *)
+  | Exact of { max_states : int }  (** Engine B — validation. *)
+  | Monte_carlo of Monte_carlo.config  (** Engine C — validation. *)
+
+val default_engine : engine
+
+val tier_downtime_fraction : engine -> Tier_model.t -> float
+val tier_availability : engine -> Tier_model.t -> Availability.t
+val tier_annual_downtime : engine -> Tier_model.t -> Duration.t
+
+val service_availability : engine -> Tier_model.t list -> Availability.t
+(** Tiers compose in series: the service is up iff every tier is up
+    (independence across tiers, as the paper assumes). *)
+
+val service_annual_downtime : engine -> Tier_model.t list -> Duration.t
+
+val job_completion_time :
+  engine -> Tier_model.t -> job_size:float -> Duration.t
+(** Expected completion time of a finite job on a single computation
+    tier (paper §4.2): the failure-free compute time divided by tier
+    availability and by the loss-window efficiency lw/T_lw, where the
+    tier MTBF covers all failure modes of all [n] active resources.
+    Without a loss window the whole remaining job is lost per failure.
+    For [Monte_carlo] the simulated mean is returned. *)

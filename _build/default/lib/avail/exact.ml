@@ -1,0 +1,132 @@
+module Duration = Aved_units.Duration
+module Availability = Aved_reliability.Availability
+module Ctmc = Aved_markov.Ctmc
+module Service = Aved_model.Service
+
+(* Classes that occupy the chain: repairs take positive time. Classes
+   with zero MTTR repair instantaneously and only contribute transient
+   outages (of zero unless their failover time is positive). *)
+let chain_classes (model : Tier_model.t) =
+  List.filter
+    (fun (c : Tier_model.failure_class) -> not (Duration.is_zero c.mttr))
+    model.classes
+
+let instant_classes (model : Tier_model.t) =
+  List.filter
+    (fun (c : Tier_model.failure_class) -> Duration.is_zero c.mttr)
+    model.classes
+
+let binomial n k =
+  let k = Stdlib.min k (n - k) in
+  let rec loop acc i =
+    if i > k then acc else loop (acc * (n - k + i) / i) (i + 1)
+  in
+  if k < 0 then 0 else loop 1 1
+
+let num_states (model : Tier_model.t) =
+  let n_total = model.n_active + model.n_spare in
+  let j = List.length (chain_classes model) in
+  binomial (n_total + j) j
+
+(* All vectors of length j with sum <= total, lexicographic order. *)
+let enumerate_states ~j ~total =
+  let states = ref [] in
+  let current = Array.make j 0 in
+  let rec fill pos remaining =
+    if pos = j then states := Array.copy current :: !states
+    else
+      for v = 0 to remaining do
+        current.(pos) <- v;
+        fill (pos + 1) (remaining - v)
+      done
+  in
+  if j = 0 then [ [||] ]
+  else begin
+    fill 0 total;
+    List.rev !states
+  end
+
+let transient_outage (c : Tier_model.failure_class) =
+  Duration.seconds
+    (if c.failover_considered then c.failover_time else c.mttr)
+
+let interrupts (model : Tier_model.t) ~actives =
+  match model.failure_scope with
+  | Service.Tier_scope -> true
+  | Service.Resource_scope -> actives = model.n_min
+
+let downtime_fraction ?(max_states = 20000) (model : Tier_model.t) =
+  let n_total = model.n_active + model.n_spare in
+  let classes = Array.of_list (chain_classes model) in
+  let j = Array.length classes in
+  let size = num_states model in
+  if size > max_states then
+    invalid_arg
+      (Printf.sprintf "Exact.downtime_fraction: %d states exceed limit %d"
+         size max_states);
+  let states = Array.of_list (enumerate_states ~j ~total:n_total) in
+  let index = Hashtbl.create (Array.length states) in
+  Array.iteri
+    (fun i s -> Hashtbl.add index (Array.to_list s) i)
+    states;
+  let lookup s = Hashtbl.find index (Array.to_list s) in
+  let failed s = Array.fold_left ( + ) 0 s in
+  let actives_of s = Stdlib.min model.n_active (n_total - failed s) in
+  let chain = Ctmc.create (Array.length states) in
+  Array.iteri
+    (fun src s ->
+      let f = failed s in
+      let a = actives_of s in
+      Array.iteri
+        (fun i (c : Tier_model.failure_class) ->
+          (* Failure of class i by one of the active resources. *)
+          if a > 0 && f < n_total then begin
+            let rate = float_of_int a *. c.rate in
+            let target = Array.copy s in
+            target.(i) <- target.(i) + 1;
+            Ctmc.add_transition chain ~src ~dst:(lookup target) ~rate
+          end;
+          (* Repair of one failed class-i resource. *)
+          if s.(i) > 0 then begin
+            let rate = float_of_int s.(i) /. Duration.seconds c.mttr in
+            let target = Array.copy s in
+            target.(i) <- target.(i) - 1;
+            Ctmc.add_transition chain ~src ~dst:(lookup target) ~rate
+          end)
+        classes)
+    states;
+  let pi = Ctmc.stationary chain in
+  let chain_down = ref 0. in
+  let transient = ref 0. in
+  Array.iteri
+    (fun i s ->
+      let operational = n_total - failed s in
+      if operational < model.n_min then chain_down := !chain_down +. pi.(i)
+      else begin
+        let a = actives_of s in
+        if a > 0 && interrupts model ~actives:a then begin
+          (* Chain classes: a failure that lands in another up state. *)
+          Array.iter
+            (fun (c : Tier_model.failure_class) ->
+              if operational - 1 >= model.n_min then
+                transient :=
+                  !transient
+                  +. (pi.(i) *. float_of_int a *. c.rate *. transient_outage c))
+            classes;
+          (* Instantly repaired classes never leave the state. *)
+          List.iter
+            (fun (c : Tier_model.failure_class) ->
+              transient :=
+                !transient
+                +. (pi.(i) *. float_of_int a *. c.rate *. transient_outage c))
+            (instant_classes model)
+        end
+      end)
+    states;
+  Float.min 1. (!chain_down +. !transient)
+
+let availability ?max_states model =
+  Availability.of_fraction (1. -. downtime_fraction ?max_states model)
+
+let annual_downtime ?max_states model =
+  Duration.of_years (downtime_fraction ?max_states model)

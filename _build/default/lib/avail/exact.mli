@@ -1,0 +1,25 @@
+(** Engine B: exact multi-mode CTMC.
+
+    Unlike Engine A, which aggregates all failure modes into a single
+    repair rate, this engine tracks the number of failed resources per
+    failure class — state (c₁, …, c_j), Σcᵢ ≤ N — so each class repairs
+    at its own rate 1/MTTRᵢ. The state space is C(N+j, j); the engine is
+    exponential in the class count and exists to validate Engine A on
+    small configurations, not to run inside the search loop.
+
+    Classes with zero MTTR never occupy the chain (their repairs are
+    instantaneous) and contribute only transient outages. Failover and
+    restart transients use the same rate × outage accounting as
+    Engine A, evaluated state by state. *)
+
+val num_states : Tier_model.t -> int
+(** Size of the state space this model would need. *)
+
+val downtime_fraction : ?max_states:int -> Tier_model.t -> float
+(** Raises [Invalid_argument] when the state space exceeds
+    [max_states] (default 20000). *)
+
+val availability :
+  ?max_states:int -> Tier_model.t -> Aved_reliability.Availability.t
+
+val annual_downtime : ?max_states:int -> Tier_model.t -> Aved_units.Duration.t

@@ -1,0 +1,272 @@
+module Duration = Aved_units.Duration
+module Rng = Aved_sim.Rng
+module Event_queue = Aved_sim.Event_queue
+module Distribution = Aved_sim.Distribution
+module Stats = Aved_stats.Stats
+
+type config = {
+  replications : int;
+  horizon : Duration.t;
+  seed : int;
+}
+
+let default_config =
+  { replications = 32; horizon = Duration.of_years 20.; seed = 42 }
+
+type shape =
+  | Exponential
+  | Weibull_shape of float
+  | Lognormal_sigma of float
+
+type shapes = { failure : shape; repair : shape }
+
+let exponential_shapes = { failure = Exponential; repair = Exponential }
+
+let distribution_of shape ~mean =
+  if mean <= 0. then Distribution.Deterministic 0.
+  else
+    match shape with
+    | Exponential -> Distribution.exponential_of_mean mean
+    | Weibull_shape k -> Distribution.weibull_of_mean ~shape:k ~mean
+    | Lognormal_sigma sigma -> Distribution.lognormal_of_mean ~sigma ~mean
+
+type sim_class = {
+  base : Tier_model.failure_class;
+  failure_dist : Distribution.t;
+  repair_dist : Distribution.t;
+}
+
+type event =
+  | Unit_failure of int  (* class index *)
+  | Repair_complete
+  | Activation_complete
+
+type state = {
+  model : Tier_model.t;
+  rng : Rng.t;
+  queue : event Event_queue.t;
+  classes : sim_class array;
+  mutable active : int;  (* resources currently serving *)
+  mutable activating : int;  (* spares warming up *)
+  mutable spares : int;  (* cold/idle operational spares *)
+  mutable clock : float;
+  mutable downtime : float;
+  (* Hooks for the job model. *)
+  mutable on_advance : float -> float -> unit;
+  mutable on_failure : unit -> unit;
+}
+
+(* Arm the failure clock of one serving resource: every class proposes
+   a time, the earliest fires (competing risks; exact for exponentials,
+   the natural generalization otherwise). *)
+let schedule_unit_failure st =
+  let best = ref None in
+  Array.iteri
+    (fun i c ->
+      if c.base.Tier_model.rate > 0. then begin
+        let dt = Distribution.sample c.failure_dist st.rng in
+        match !best with
+        | Some (_, t) when t <= dt -> ()
+        | Some _ | None -> best := Some (i, dt)
+      end)
+    st.classes;
+  match !best with
+  | Some (i, dt) ->
+      Event_queue.push st.queue ~time:(st.clock +. dt) (Unit_failure i)
+  | None -> ()
+
+let make_state model rng shapes =
+  let classes =
+    Array.of_list
+      (List.map
+         (fun (c : Tier_model.failure_class) ->
+           {
+             base = c;
+             failure_dist =
+               distribution_of shapes.failure ~mean:(1. /. c.rate);
+             repair_dist =
+               distribution_of shapes.repair
+                 ~mean:(Duration.seconds c.mttr);
+           })
+         model.Tier_model.classes)
+  in
+  let st =
+    {
+      model;
+      rng;
+      queue = Event_queue.create ();
+      classes;
+      active = model.Tier_model.n_active;
+      activating = 0;
+      spares = model.Tier_model.n_spare;
+      clock = 0.;
+      downtime = 0.;
+      on_advance = (fun _ _ -> ());
+      on_failure = (fun () -> ());
+    }
+  in
+  for _ = 1 to st.active do
+    schedule_unit_failure st
+  done;
+  st
+
+let is_up st = st.active >= st.model.Tier_model.n_min
+
+let handle_event st = function
+  | Unit_failure i ->
+      let c = st.classes.(i) in
+      st.on_failure ();
+      st.active <- st.active - 1;
+      let repair_delay = Distribution.sample c.repair_dist st.rng in
+      Event_queue.push st.queue ~time:(st.clock +. repair_delay) Repair_complete;
+      (* Spare activation: only when failover is considered for this
+         mode, a spare is free, and the active set is short. *)
+      if
+        c.base.Tier_model.failover_considered && st.spares > 0
+        && st.active + st.activating < st.model.Tier_model.n_active
+      then begin
+        st.spares <- st.spares - 1;
+        st.activating <- st.activating + 1;
+        Event_queue.push st.queue
+          ~time:(st.clock +. Duration.seconds c.base.Tier_model.failover_time)
+          Activation_complete
+      end
+  | Repair_complete ->
+      (* A repaired resource rejoins service directly when the active
+         set is short (its components restarted as part of the MTTR);
+         otherwise it becomes a spare. *)
+      if st.active + st.activating < st.model.Tier_model.n_active then begin
+        st.active <- st.active + 1;
+        schedule_unit_failure st
+      end
+      else st.spares <- st.spares + 1
+  | Activation_complete ->
+      st.activating <- st.activating - 1;
+      st.active <- st.active + 1;
+      schedule_unit_failure st
+
+let run st ~stop ~continue =
+  let finished = ref false in
+  while (not !finished) && continue () do
+    let t_event =
+      match Event_queue.peek_time st.queue with
+      | Some t -> t
+      | None -> Float.infinity
+    in
+    let t_next = Float.min stop t_event in
+    if Float.is_finite t_next then begin
+      st.on_advance st.clock t_next;
+      if not (is_up st) then st.downtime <- st.downtime +. (t_next -. st.clock);
+      st.clock <- t_next
+    end;
+    if t_next >= stop then finished := true
+    else
+      match Event_queue.pop st.queue with
+      | Some (_, ev) -> handle_event st ev
+      | None -> assert false
+  done
+
+let replicate config ~body =
+  let master = Rng.create config.seed in
+  List.init config.replications (fun _ -> body (Rng.split master))
+
+let downtime_fractions ?(config = default_config)
+    ?(shapes = exponential_shapes) model =
+  let horizon = Duration.seconds config.horizon in
+  let samples =
+    replicate config ~body:(fun rng ->
+        let st = make_state model rng shapes in
+        run st ~stop:horizon ~continue:(fun () -> true);
+        st.downtime /. horizon)
+  in
+  Stats.summarize (Array.of_list samples)
+
+let downtime_fraction ?config ?shapes model =
+  (downtime_fractions ?config ?shapes model).mean
+
+let downtime_fraction_samples ?(config = default_config)
+    ?(shapes = exponential_shapes) model =
+  let horizon = Duration.seconds config.horizon in
+  Array.of_list
+    (replicate config ~body:(fun rng ->
+         let st = make_state model rng shapes in
+         run st ~stop:horizon ~continue:(fun () -> true);
+         st.downtime /. horizon))
+
+let exceedance_probability ?(config = default_config) ?shapes model ~budget =
+  let budget_fraction =
+    Duration.seconds budget /. Duration.seconds config.horizon
+  in
+  let samples = downtime_fraction_samples ~config ?shapes model in
+  let over =
+    Array.fold_left
+      (fun acc f -> if f > budget_fraction then acc + 1 else acc)
+      0 samples
+  in
+  float_of_int over /. float_of_int (Array.length samples)
+
+let annual_downtime ?config ?shapes model =
+  Duration.of_years (downtime_fraction ?config ?shapes model)
+
+let job_completion_times ?(config = default_config)
+    ?(shapes = exponential_shapes) model ~job_size =
+  if job_size <= 0. then
+    invalid_arg "Monte_carlo.job_completion_times: job_size must be positive";
+  let rate_per_second =
+    model.Tier_model.effective_performance /. 3600. (* units/hour -> /s *)
+  in
+  if rate_per_second <= 0. then
+    invalid_arg "Monte_carlo.job_completion_times: no throughput";
+  let lw_seconds = Option.map Duration.seconds model.Tier_model.loss_window in
+  let cap = Duration.seconds (Duration.of_years 1000.) in
+  let samples =
+    replicate config ~body:(fun rng ->
+        let st = make_state model rng shapes in
+        let work = ref 0. in
+        let checkpointed = ref 0. in
+        let since_checkpoint = ref 0. in
+        let completion = ref None in
+        let advance t0 t1 =
+          if is_up st && !completion = None then begin
+            let remaining = ref (t1 -. t0) in
+            let now = ref t0 in
+            while !remaining > 0. && !completion = None do
+              let to_checkpoint =
+                match lw_seconds with
+                | Some lw -> lw -. !since_checkpoint
+                | None -> Float.infinity
+              in
+              let dt = Float.min !remaining to_checkpoint in
+              let to_done = (job_size -. !work) /. rate_per_second in
+              if to_done <= dt then begin
+                completion := Some (!now +. to_done);
+                work := job_size
+              end
+              else begin
+                work := !work +. (dt *. rate_per_second);
+                since_checkpoint := !since_checkpoint +. dt;
+                now := !now +. dt;
+                remaining := !remaining -. dt;
+                match lw_seconds with
+                | Some lw when !since_checkpoint >= lw -. 1e-9 ->
+                    checkpointed := !work;
+                    since_checkpoint := 0.
+                | Some _ | None -> ()
+              end
+            done
+          end
+        in
+        let on_failure () =
+          if !completion = None then begin
+            work := !checkpointed;
+            since_checkpoint := 0.
+          end
+        in
+        st.on_advance <- advance;
+        st.on_failure <- on_failure;
+        run st ~stop:cap ~continue:(fun () -> !completion = None);
+        match !completion with
+        | Some t -> t /. 3600. (* hours *)
+        | None -> failwith "Monte_carlo: job did not finish in 1000 years")
+  in
+  Stats.summarize (Array.of_list samples)

@@ -1,0 +1,220 @@
+module Duration = Aved_units.Duration
+module Model = Aved_model
+module Perf_function = Aved_perf.Perf_function
+
+type failure_class = {
+  label : string;
+  rate : float;
+  mttr : Duration.t;
+  failover_time : Duration.t;
+  failover_considered : bool;
+}
+
+type t = {
+  tier_name : string;
+  n_active : int;
+  n_min : int;
+  n_spare : int;
+  failure_scope : Model.Service.failure_scope;
+  classes : failure_class list;
+  loss_window : Duration.t option;
+  effective_performance : float;
+}
+
+let total_failure_rate t =
+  List.fold_left (fun acc c -> acc +. c.rate) 0. t.classes
+
+let resource_mtbf t =
+  let rate = total_failure_rate t in
+  if rate <= 0. then invalid_arg "Tier_model.resource_mtbf: no failures"
+  else Duration.of_seconds (1. /. rate)
+
+let tier_mtbf t =
+  Duration.scale (1. /. float_of_int t.n_active) (resource_mtbf t)
+
+let mean_repair_time t =
+  let rate = total_failure_rate t in
+  if rate <= 0. then Duration.zero
+  else
+    Duration.of_seconds
+      (List.fold_left
+         (fun acc c -> acc +. (c.rate *. Duration.seconds c.mttr))
+         0. t.classes
+      /. rate)
+
+let slowdown_product ~(option : Model.Service.resource_option) ~settings ~n =
+  List.fold_left
+    (fun acc (mech_name, impact) ->
+      match List.assoc_opt mech_name settings with
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Tier_model: no setting for mechanism %s affecting resource %s"
+               mech_name option.Model.Service.resource)
+      | Some setting -> acc *. Model.Mech_impact.eval impact ~setting ~n)
+    1. option.mech_performance
+
+let effective_performance_of ~option ~settings ~n =
+  let nominal = Perf_function.eval option.Model.Service.performance ~n in
+  nominal /. slowdown_product ~option ~settings ~n
+
+let minimum_actives ~(option : Model.Service.resource_option) ~settings ~demand
+    =
+  List.find_opt
+    (fun n -> n > 0 && effective_performance_of ~option ~settings ~n >= demand)
+    (Model.Int_range.to_list option.n_active)
+
+let effective_perf ~option ~(design : Model.Design.tier_design) ~n =
+  effective_performance_of ~option ~settings:design.mechanism_settings ~n
+
+let compute_n_min ~(option : Model.Service.resource_option) ~design
+    ~demand =
+  match (option.sizing, option.failure_scope) with
+  | Model.Service.Static, _ | _, Model.Service.Tier_scope ->
+      design.Model.Design.n_active
+  | Model.Service.Dynamic, Model.Service.Resource_scope -> (
+      match demand with
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Tier_model: tier %s needs a throughput requirement to derive m"
+               design.Model.Design.tier_name)
+      | Some demand ->
+          let n_active = design.Model.Design.n_active in
+          let rec search k =
+            if k > n_active then
+              invalid_arg
+                (Printf.sprintf
+                   "Tier_model: tier %s cannot deliver %g with %d resources"
+                   design.tier_name demand n_active)
+            else if effective_perf ~option ~design ~n:k >= demand then k
+            else search (k + 1)
+          in
+          search 1)
+
+let repair_time ~infra ~(design : Model.Design.tier_design)
+    (fm : Model.Component.failure_mode) =
+  match fm.repair with
+  | Model.Component.Fixed_repair d -> d
+  | Model.Component.Repair_by_mechanism mech_name -> (
+      let mech = Model.Infrastructure.mechanism_exn infra mech_name in
+      match Model.Design.setting_of design mech_name with
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Tier_model: design %s lacks a setting for mechanism %s"
+               design.tier_name mech_name)
+      | Some setting -> (
+          match Model.Mechanism.mttr_of mech setting with
+          | Some d -> d
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Tier_model: mechanism %s provides no mttr"
+                   mech_name)))
+
+let component_loss_window ~infra ~(design : Model.Design.tier_design)
+    (c : Model.Component.t) =
+  match c.loss_window with
+  | Model.Component.No_loss_window -> None
+  | Model.Component.Fixed_loss_window d -> Some d
+  | Model.Component.Loss_window_by_mechanism mech_name -> (
+      let mech = Model.Infrastructure.mechanism_exn infra mech_name in
+      match Model.Design.setting_of design mech_name with
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Tier_model: design %s lacks a setting for mechanism %s"
+               design.tier_name mech_name)
+      | Some setting -> Model.Mechanism.loss_window_of mech setting)
+
+let build ~infra ~(option : Model.Service.resource_option)
+    ~(design : Model.Design.tier_design) ~demand =
+  if not (String.equal option.resource design.resource) then
+    invalid_arg
+      (Printf.sprintf "Tier_model: option is for %s, design uses %s"
+         option.resource design.resource);
+  let resource = Model.Infrastructure.resource_exn infra design.resource in
+  let n_active = design.n_active in
+  let n_min = compute_n_min ~option ~design ~demand in
+  (* Components inactive in a spare, whose startup makes up failover time. *)
+  let inactive_in_spare =
+    List.filter
+      (fun c -> not (List.mem c design.spare_active_components))
+      (Model.Resource.component_names resource)
+  in
+  let failover_base =
+    Duration.add resource.reconfig_time
+      (Model.Resource.startup_time_of resource inactive_in_spare)
+  in
+  let classes =
+    List.concat_map
+      (fun (element : Model.Resource.element) ->
+        let c = Model.Infrastructure.component_exn infra element.component in
+        List.map
+          (fun (fm : Model.Component.failure_mode) ->
+            let repair = repair_time ~infra ~design fm in
+            let restart =
+              Model.Resource.restart_time resource element.component
+            in
+            let mttr =
+              Duration.add fm.detect_time (Duration.add repair restart)
+            in
+            let failover_time = Duration.add fm.detect_time failover_base in
+            {
+              label = element.component ^ "/" ^ fm.mode_name;
+              rate = 1. /. Duration.seconds fm.mtbf;
+              mttr;
+              failover_time;
+              failover_considered =
+                design.n_spare > 0 && Duration.compare mttr failover_time > 0;
+            })
+          c.failure_modes)
+      resource.elements
+  in
+  let loss_window =
+    List.fold_left
+      (fun acc c ->
+        match (acc, component_loss_window ~infra ~design c) with
+        | None, lw | lw, None -> lw
+        | Some a, Some b -> Some (Duration.max a b))
+      None
+      (Model.Infrastructure.resource_components infra resource)
+  in
+  let effective_performance =
+    effective_perf ~option ~design ~n:n_active
+  in
+  (match demand with
+  | Some d when effective_performance < d ->
+      invalid_arg
+        (Printf.sprintf
+           "Tier_model: tier %s delivers %g < required %g with %d resources"
+           design.tier_name effective_performance d n_active)
+  | Some _ | None -> ());
+  {
+    tier_name = design.tier_name;
+    n_active;
+    n_min;
+    n_spare = design.n_spare;
+    failure_scope = option.failure_scope;
+    classes;
+    loss_window;
+    effective_performance;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v 2>tier %s: n=%d m=%d s=%d perf=%g scope=%s" t.tier_name t.n_active
+    t.n_min t.n_spare t.effective_performance
+    (match t.failure_scope with
+    | Model.Service.Resource_scope -> "resource"
+    | Model.Service.Tier_scope -> "tier");
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,%s: rate=%.3e/s mttr=%a failover=%a%s" c.label
+        c.rate Duration.pp c.mttr Duration.pp c.failover_time
+        (if c.failover_considered then " (failover)" else ""))
+    t.classes;
+  (match t.loss_window with
+  | Some lw -> Format.fprintf ppf "@,loss window: %a" Duration.pp lw
+  | None -> ());
+  Format.fprintf ppf "@]"

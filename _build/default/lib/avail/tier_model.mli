@@ -1,0 +1,91 @@
+(** The availability model of one tier (paper §4.2).
+
+    Aved evaluates a candidate design by translating each tier into the
+    parameter set the availability engines consume:
+
+    - [n], the number of active resources;
+    - [m], the minimum active resources for the tier to be up — equal to
+      [n] for static sizing or tier failure scope, otherwise derived
+      from the performance requirement;
+    - [s], the number of spares;
+    - per failure mode [i]: the failure rate, the full repair time
+      [MTTR_i] (detection + repair + dependent restarts) and the
+      failover time (detection + reconfiguration + startup of the
+      spare's inactive components), with failover considered only when
+      it beats repair. *)
+
+module Duration = Aved_units.Duration
+
+type failure_class = {
+  label : string;  (** e.g. ["machineA/hard"]. *)
+  rate : float;  (** Failures per second of one active resource. *)
+  mttr : Duration.t;
+      (** Detect time + repair time + restart of the affected
+          components. *)
+  failover_time : Duration.t;
+      (** Detect time + resource reconfiguration + startup of the
+          components that are inactive in a spare. *)
+  failover_considered : bool;
+      (** Per the paper: only when [mttr > failover_time] and the design
+          has spares. *)
+}
+
+type t = {
+  tier_name : string;
+  n_active : int;
+  n_min : int;
+  n_spare : int;
+  failure_scope : Aved_model.Service.failure_scope;
+  classes : failure_class list;
+  loss_window : Duration.t option;
+      (** Work lost per failure event, when a component defines one
+          (directly or through a mechanism such as checkpointing). *)
+  effective_performance : float;
+      (** Deliverable throughput with [n_active] resources, after
+          dividing nominal performance by all mechanism slowdowns
+          (work units per hour). *)
+}
+
+val total_failure_rate : t -> float
+(** Σ rates over classes — failures per second of one active resource. *)
+
+val resource_mtbf : t -> Duration.t
+(** Mean time between failures of one active resource. *)
+
+val tier_mtbf : t -> Duration.t
+(** Mean time between failures among the [n_active] resources. *)
+
+val mean_repair_time : t -> Duration.t
+(** Failure-frequency-weighted mean of the class MTTRs. *)
+
+val build :
+  infra:Aved_model.Infrastructure.t ->
+  option:Aved_model.Service.resource_option ->
+  design:Aved_model.Design.tier_design ->
+  demand:float option ->
+  t
+(** Derives the model. [demand] is the tier's throughput requirement
+    (needed to compute [m] under dynamic sizing; [None] only for finite
+    jobs, where [m = n]). Raises [Invalid_argument] when the design does
+    not deliver [demand] with all [n_active] resources, when [m] cannot
+    be established, or on dangling references. *)
+
+val pp : Format.formatter -> t -> unit
+
+val effective_performance_of :
+  option:Aved_model.Service.resource_option ->
+  settings:(string * Aved_model.Mechanism.setting) list ->
+  n:int ->
+  float
+(** Nominal performance at [n] active resources divided by the product
+    of the mechanism slowdowns under [settings] (work units per hour).
+    Raises [Invalid_argument] when a mechanism with declared performance
+    impact has no setting. *)
+
+val minimum_actives :
+  option:Aved_model.Service.resource_option ->
+  settings:(string * Aved_model.Mechanism.setting) list ->
+  demand:float ->
+  int option
+(** The smallest admissible member of the option's [nActive] range whose
+    effective performance meets [demand]. *)

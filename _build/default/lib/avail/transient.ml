@@ -1,0 +1,83 @@
+module Duration = Aved_units.Duration
+module Birth_death = Aved_markov.Birth_death
+module Ctmc = Aved_markov.Ctmc
+module Service = Aved_model.Service
+
+let distribution_at (model : Tier_model.t) time =
+  let n_total = model.n_active + model.n_spare in
+  match Analytic.chain model with
+  | None ->
+      let pi = Array.make (n_total + 1) 0. in
+      pi.(0) <- 1.;
+      pi
+  | Some bd ->
+      let chain = Birth_death.to_ctmc bd in
+      let initial = Array.make (Ctmc.num_states chain) 0. in
+      initial.(0) <- 1.;
+      Ctmc.transient chain ~initial ~time:(Duration.seconds time)
+        ~epsilon:1e-10
+
+let down_probability_at (model : Tier_model.t) time =
+  let n_total = model.n_active + model.n_spare in
+  let pi = distribution_at model time in
+  let acc = ref 0. in
+  Array.iteri
+    (fun k p -> if n_total - k < model.n_min then acc := !acc +. p)
+    pi;
+  !acc
+
+let transient_outage (c : Tier_model.failure_class) =
+  Duration.seconds
+    (if c.failover_considered then c.failover_time else c.mttr)
+
+let interruption_rate_with pi (model : Tier_model.t) =
+  let n_total = model.n_active + model.n_spare in
+  let outage_rate_sum =
+    List.fold_left
+      (fun acc (c : Tier_model.failure_class) ->
+        acc +. (c.rate *. transient_outage c))
+      0. model.classes
+  in
+  let acc = ref 0. in
+  Array.iteri
+    (fun k p ->
+      if k < n_total then begin
+        let a = Stdlib.min model.n_active (n_total - k) in
+        let next_up = n_total - k - 1 >= model.n_min in
+        let interrupts =
+          match model.failure_scope with
+          | Service.Tier_scope -> true
+          | Service.Resource_scope -> a = model.n_min
+        in
+        if a > 0 && next_up && interrupts then
+          acc := !acc +. (p *. float_of_int a *. outage_rate_sum)
+      end)
+    pi;
+  !acc
+
+let interruption_rate_at model time =
+  interruption_rate_with (distribution_at model time) model
+
+let expected_downtime_over ?(steps = 64) (model : Tier_model.t) ~horizon =
+  if steps <= 0 then invalid_arg "Transient.expected_downtime_over: steps";
+  let total = Duration.seconds horizon in
+  if total = 0. then Duration.zero
+  else begin
+    let dt = total /. float_of_int steps in
+    let integrand i =
+      let time = Duration.of_seconds (dt *. float_of_int i) in
+      let pi = distribution_at model time in
+      let n_total = model.n_active + model.n_spare in
+      let down = ref 0. in
+      Array.iteri
+        (fun k p -> if n_total - k < model.n_min then down := !down +. p)
+        pi;
+      !down +. interruption_rate_with pi model
+    in
+    (* Trapezoid rule over steps+1 samples. *)
+    let acc = ref ((integrand 0 +. integrand steps) /. 2.) in
+    for i = 1 to steps - 1 do
+      acc := !acc +. integrand i
+    done;
+    Duration.of_seconds (!acc *. dt)
+  end

@@ -1,0 +1,29 @@
+(** Time-dependent availability of a tier.
+
+    The stationary engines answer "what fraction of a year is the tier
+    down in the long run"; this module answers "what is the probability
+    of being down [t] after deployment" and "how much downtime should be
+    expected over the first [T]" — the view a freshly provisioned
+    utility-computing service cares about. Built on uniformization over
+    the same birth–death chain as Engine A, starting from the all-up
+    state; failover transients are added as the instantaneous
+    interruption rate under the time-[t] distribution. *)
+
+val down_probability_at : Tier_model.t -> Aved_units.Duration.t -> float
+(** Probability that fewer than m resources are operational at the
+    given time after an all-up start (chain down-states only). *)
+
+val interruption_rate_at : Tier_model.t -> Aved_units.Duration.t -> float
+(** Expected fraction of time lost to failover/restart interruptions
+    per unit time, at the given time (the transient analogue of Engine
+    A's rate × outage term). *)
+
+val expected_downtime_over :
+  ?steps:int -> Tier_model.t -> horizon:Aved_units.Duration.t ->
+  Aved_units.Duration.t
+(** Expected total downtime accumulated over [0, horizon] from an
+    all-up start: trapezoidal integration of the down probability plus
+    the interruption rate over [steps] intervals (default 64). As the
+    horizon grows, the per-year average converges to Engine A's annual
+    downtime from above 0 — a fresh system is better than its steady
+    state. *)

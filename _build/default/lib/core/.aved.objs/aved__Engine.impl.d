@@ -1,0 +1,1 @@
+lib/core/engine.ml: Aved_avail Aved_model Aved_search Aved_spec Aved_units Format List Printf String

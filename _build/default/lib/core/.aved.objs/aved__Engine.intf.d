@@ -1,0 +1,1 @@
+lib/core/engine.mli: Aved_avail Aved_model Aved_search Aved_units Format

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Aved_model Aved_search Aved_spec List Printf

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Aved_model Aved_search

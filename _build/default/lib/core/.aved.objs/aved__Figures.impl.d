@@ -1,0 +1,1 @@
+lib/core/figures.ml: Aved_avail Aved_model Aved_search Aved_units Experiments Float Format List Option String

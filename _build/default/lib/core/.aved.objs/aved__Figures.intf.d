@@ -1,0 +1,1 @@
+lib/core/figures.mli: Aved_search Aved_units Format

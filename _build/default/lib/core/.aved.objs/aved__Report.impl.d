@@ -1,0 +1,1 @@
+lib/core/report.ml: Aved_avail Aved_model Aved_search Aved_units Buffer Engine Float Format List Option Printf String

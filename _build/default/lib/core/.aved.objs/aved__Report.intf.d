@@ -1,0 +1,1 @@
+lib/core/report.mli: Aved_model Aved_search

@@ -1,0 +1,57 @@
+module Duration = Aved_units.Duration
+module Model = Aved_model
+module Search = Aved_search
+
+type report = Search.Service_search.report = {
+  design : Model.Design.t;
+  cost : Aved_units.Money.t;
+  downtime : Duration.t option;
+  execution_time : Duration.t option;
+}
+
+let design ?(config = Search.Search_config.default) infra service requirements
+    =
+  Model.Service.validate_against service infra;
+  Search.Service_search.design config infra service requirements
+
+let design_from_files ?config ~infra_file ~service_file requirements =
+  let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
+  design ?config infra service requirements
+
+let evaluate_design infra service (d : Model.Design.t) ~demand =
+  List.map
+    (fun (td : Model.Design.tier_design) ->
+      match Model.Service.find_tier service td.tier_name with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Engine.evaluate_design: unknown tier %s"
+               td.tier_name)
+      | Some tier -> (
+          match
+            List.find_opt
+              (fun (o : Model.Service.resource_option) ->
+                String.equal o.resource td.resource)
+              tier.options
+          with
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Engine.evaluate_design: tier %s offers no resource %s"
+                   td.tier_name td.resource)
+          | Some option -> Aved_avail.Tier_model.build ~infra ~option ~design:td ~demand))
+    d.tiers
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf "@[<v>%a@,annual cost: %a" Model.Design.pp r.design
+    Aved_units.Money.pp r.cost;
+  (match r.downtime with
+  | Some d ->
+      Format.fprintf ppf "@,predicted annual downtime: %.2f min"
+        (Duration.minutes d)
+  | None -> ());
+  (match r.execution_time with
+  | Some t ->
+      Format.fprintf ppf "@,predicted job completion: %.2f h"
+        (Duration.hours t)
+  | None -> ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** The Aved engine: the top-level entry points of the library.
+
+    Takes a design-space model (infrastructure + service) and service
+    requirements, searches the design space, and returns the
+    minimum-cost design that satisfies the requirements together with
+    its predicted cost and availability (paper Fig. 1). *)
+
+module Duration = Aved_units.Duration
+
+type report = Aved_search.Service_search.report = {
+  design : Aved_model.Design.t;
+  cost : Aved_units.Money.t;
+  downtime : Duration.t option;
+  execution_time : Duration.t option;
+}
+
+val design :
+  ?config:Aved_search.Search_config.t ->
+  Aved_model.Infrastructure.t ->
+  Aved_model.Service.t ->
+  Aved_model.Requirements.t ->
+  report option
+(** Minimum-cost design meeting the requirements, or [None]. *)
+
+val design_from_files :
+  ?config:Aved_search.Search_config.t ->
+  infra_file:string ->
+  service_file:string ->
+  Aved_model.Requirements.t ->
+  report option
+(** Parses and cross-validates the two specification files first.
+    Raises {!Aved_spec.Spec.Error} on malformed specifications. *)
+
+val evaluate_design :
+  Aved_model.Infrastructure.t ->
+  Aved_model.Service.t ->
+  Aved_model.Design.t ->
+  demand:float option ->
+  Aved_avail.Tier_model.t list
+(** Re-evaluates a resolved design (e.g. one proposed by hand): builds
+    every tier's availability model. Raises [Invalid_argument] when the
+    design references tiers or resources the service does not offer. *)
+
+val pp_report : Format.formatter -> report -> unit

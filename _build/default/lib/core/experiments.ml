@@ -1,0 +1,178 @@
+module Model = Aved_model
+
+let infrastructure_spec =
+  {|\\ Units - s:seconds, m:minutes, h:hours, d:days
+\\ COMPONENTS DESCRIPTION (paper Fig. 3)
+component=machineA cost([inactive,active])=[2400 2640]
+  failure=hard mtbf=650d mttr=<maintenanceA> detect_time=2m
+  failure=soft mtbf=75d mttr=0 detect_time=0
+component=machineB cost([inactive,active])=[85000 93500]
+  failure=hard mtbf=1300d mttr=<maintenanceB> detect_time=2m
+  failure=soft mtbf=150d mttr=0 detect_time=0
+component=linux cost=0
+  failure=soft mtbf=60d mttr=0 detect_time=0
+component=unix cost([inactive,active])=[0 200]
+  failure=soft mtbf=60d mttr=0 detect_time=0
+component=webserver cost=0
+  failure=soft mtbf=60d mttr=0 detect_time=0
+component=appserverA cost([inactive,active])=[0 1700]
+  failure=soft mtbf=60d mttr=0 detect_time=0
+component=appserverB cost([inactive,active])=[0 2000]
+  failure=soft mtbf=60d mttr=0 detect_time=0
+component=database cost([inactive,active])=[0 20000]
+  failure=soft mtbf=60d mttr=0 detect_time=0
+component=mpi cost=0 loss_window=<checkpoint>
+  failure=soft mtbf=60d mttr=0 detect_time=0
+
+\\ AVAILABILITY MECHANISMS
+mechanism=maintenanceA
+  param=level range=[bronze,silver,gold,platinum]
+  cost(level)=[380 580 760 1500]
+  mttr(level)=[38h 15h 8h 6h]
+mechanism=maintenanceB
+  param=level range=[bronze,silver,gold,platinum]
+  cost(level)=[10100 12600 15800 25300]
+  mttr(level)=[38h 15h 8h 6h]
+mechanism=checkpoint
+  param=storage_location range=[central,peer]
+  param=checkpoint_interval range=[1m-24h;*1.05]
+  cost=0
+  loss_window=checkpoint_interval
+
+\\ RESOURCES DESCRIPTION
+resource=rA reconfig_time=0
+  component=machineA depend=null startup=30s
+  component=linux depend=machineA startup=2m
+  component=webserver depend=linux startup=30s
+resource=rB reconfig_time=0
+  component=machineB depend=null startup=60s
+  component=unix depend=machineB startup=4m
+  component=webserver depend=unix startup=30s
+resource=rC reconfig_time=0
+  component=machineA depend=null startup=30s
+  component=linux depend=machineA startup=2m
+  component=appserverA depend=linux startup=2m
+resource=rD reconfig_time=0
+  component=machineA depend=null startup=30s
+  component=linux depend=machineA startup=2m
+  component=appserverB depend=linux startup=30s
+resource=rE reconfig_time=0
+  component=machineB depend=null startup=60s
+  component=unix depend=machineB startup=4m
+  component=appserverA depend=unix startup=2m
+resource=rF reconfig_time=0
+  component=machineB depend=null startup=60s
+  component=unix depend=machineB startup=4m
+  component=appserverB depend=unix startup=30s
+resource=rG reconfig_time=0
+  component=machineB depend=null startup=60s
+  component=unix depend=machineB startup=4m
+  component=database depend=unix startup=30s
+resource=rH reconfig_time=0
+  component=machineA depend=null startup=30s
+  component=linux depend=machineA startup=2m
+  component=mpi depend=linux startup=2s
+resource=rI reconfig_time=0
+  component=machineB depend=null startup=60s
+  component=unix depend=machineB startup=4m
+  component=mpi depend=unix startup=2s
+|}
+
+let ecommerce_spec =
+  {|\\ Paper Fig. 4, with Table 1 closed forms replacing the perfX.dat files
+application=ecommerce
+tier=web
+  resource=rA sizing=dynamic failurescope=resource nActive=[1-1000,+1]
+    performance=200*n
+  resource=rB sizing=dynamic failurescope=resource nActive=[1-1000,+1]
+    performance=1600*n
+tier=application
+  resource=rC sizing=dynamic failurescope=resource nActive=[1-1000,+1]
+    performance=200*n
+  resource=rD sizing=dynamic failurescope=resource nActive=[1-1000,+1]
+    performance=200*n
+  resource=rE sizing=dynamic failurescope=resource nActive=[1-1000,+1]
+    performance=1600*n
+  resource=rF sizing=dynamic failurescope=resource nActive=[1-1000,+1]
+    performance=1600*n
+tier=database
+  resource=rG sizing=static failurescope=resource nActive=[1]
+    performance=10000
+|}
+
+let scientific_spec =
+  {|\\ Paper Fig. 5, with Table 1 closed forms; slowdowns are >= 100%
+application=scientific jobsize=10000
+tier=computation
+  resource=rH sizing=static failurescope=tier nActive=[1-1000,+1]
+    performance=(10*n)/(1+0.004*n)
+    mechanism=checkpoint
+      mperformance(storage_location=central)=if n <= 30 then max(10/checkpoint_interval, 100%) else max(n/(3*checkpoint_interval), 100%)
+      mperformance(storage_location=peer)=max(20/checkpoint_interval, 100%)
+  resource=rI sizing=static failurescope=tier nActive=[1-1000,+1]
+    performance=(100*n)/(1+0.004*n)
+    mechanism=checkpoint
+      mperformance(storage_location=central)=if n <= 30 then max(5/checkpoint_interval, 100%) else max(n/(6*checkpoint_interval), 100%)
+      mperformance(storage_location=peer)=max(100/checkpoint_interval, 100%)
+|}
+
+let infrastructure () = Aved_spec.Spec.infrastructure_of_string infrastructure_spec
+
+(* §5.2 fixes the maintenance contract at bronze "to avoid overloading
+   the graphs": restrict the level parameter of the maintenance
+   mechanisms to that single value. *)
+let infrastructure_bronze () =
+  let infra = infrastructure () in
+  let restrict (m : Model.Mechanism.t) =
+    let parameters =
+      List.map
+        (fun (p : Model.Mechanism.parameter) ->
+          match p.range with
+          | Model.Mechanism.Enum values when List.mem "bronze" values ->
+              { p with range = Model.Mechanism.Enum [ "bronze" ] }
+          | Model.Mechanism.Enum _ | Model.Mechanism.Duration_geometric _ -> p)
+        m.Model.Mechanism.parameters
+    in
+    { m with parameters }
+  in
+  {
+    infra with
+    Model.Infrastructure.mechanisms =
+      List.map restrict infra.Model.Infrastructure.mechanisms;
+  }
+let ecommerce () = Aved_spec.Spec.service_of_string ecommerce_spec
+let scientific () = Aved_spec.Spec.service_of_string scientific_spec
+
+let tier_exn service name =
+  match Model.Service.find_tier service name with
+  | Some tier -> tier
+  | None -> invalid_arg (Printf.sprintf "Experiments: no tier %s" name)
+
+let application_tier () = tier_exn (ecommerce ()) "application"
+let computation_tier () = tier_exn (scientific ()) "computation"
+let scientific_job_size = 10000.
+
+let fig7_config =
+  {
+    Aved_search.Search_config.default with
+    max_spares = 3;
+    max_total_resources = 400;
+  }
+
+let table1 =
+  [
+    ("application, rC", "performance(n)", "200*n");
+    ("application, rD", "performance(n)", "200*n");
+    ("application, rE", "performance(n)", "1600*n");
+    ("application, rF", "performance(n)", "1600*n");
+    ("computation, rH", "performance(n)", "(10*n)/(1+0.004*n)");
+    ("computation, rI", "performance(n)", "(100*n)/(1+0.004*n)");
+    ( "computation, rH",
+      "mperformance(central,cpi,n)",
+      "max(10/cpi,100%) (n <= 30) | max(n/(3*cpi),100%) (n > 30)" );
+    ("computation, rH", "mperformance(peer,cpi,n)", "max(20/cpi,100%)");
+    ( "computation, rI",
+      "mperformance(central,cpi,n)",
+      "max(5/cpi,100%) (n <= 30) | max(n/(6*cpi),100%) (n > 30)" );
+    ("computation, rI", "mperformance(peer,cpi,n)", "max(100/cpi,100%)");
+  ]

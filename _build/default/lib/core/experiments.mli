@@ -1,0 +1,45 @@
+(** The paper's evaluation scenarios (Figs. 3–5, Table 1), as
+    specification text and as parsed models.
+
+    The specification strings are the single source of truth: the
+    [examples/data/*.spec] files are generated from them (via
+    [aved dump-specs]) and the test suite checks they stay in sync.
+    Deviations from the paper's listings are normalized typos only
+    (dependencies inside rB/rF/rG point at components of the same
+    resource) plus the substitution of Table 1's closed forms for the
+    [perfX.dat] files; see DESIGN.md. *)
+
+val infrastructure_spec : string
+(** Fig. 3: machines, software, maintenance contracts, checkpointing,
+    resources rA–rI. *)
+
+val ecommerce_spec : string
+(** Fig. 4: web, application and database tiers. *)
+
+val scientific_spec : string
+(** Fig. 5: the checkpointed MPI computation tier, jobsize 10000. *)
+
+val infrastructure : unit -> Aved_model.Infrastructure.t
+
+val infrastructure_bronze : unit -> Aved_model.Infrastructure.t
+(** The same infrastructure with the maintenance contracts fixed at the
+    bronze level, as in the paper's §5.2 scientific example. *)
+
+val ecommerce : unit -> Aved_model.Service.t
+val scientific : unit -> Aved_model.Service.t
+
+val application_tier : unit -> Aved_model.Service.tier
+(** The e-commerce application tier — the subject of the paper's §5.1
+    example (Figs. 6 and 8). *)
+
+val computation_tier : unit -> Aved_model.Service.tier
+(** The scientific computation tier (§5.2, Fig. 7). *)
+
+val scientific_job_size : float
+
+val fig7_config : Aved_search.Search_config.t
+(** The §5.2 search setup: wider resource-count caps to cover the large
+    clusters of Fig. 7 (use with {!infrastructure_bronze}). *)
+
+val table1 : (string * string * string) list
+(** Rows (tier/resource, attribute, function) reproducing Table 1. *)

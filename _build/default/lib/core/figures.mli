@@ -1,0 +1,78 @@
+(** Regeneration of the paper's evaluation artifacts (Figs. 6–8,
+    Table 1). Each generator returns typed rows; [print_*] renders the
+    same series the paper plots, as text tables. *)
+
+module Duration = Aved_units.Duration
+
+(** One frontier point of Fig. 6: at [load], the design family that is
+    cost-optimal for downtime requirements at or above
+    [downtime_minutes]. *)
+type fig6_point = {
+  load : float;
+  family : string;  (** (resource, contract, n_extra, n_spare). *)
+  downtime_minutes : float;
+  annual_cost : float;
+  n_active : int;
+}
+
+val fig6 :
+  ?config:Aved_search.Search_config.t ->
+  ?loads:float list ->
+  unit ->
+  fig6_point list
+(** Sweeps the application-tier example over load levels (default
+    400–5000 in steps of 200) and returns, per load, the cost-downtime
+    frontier labeled by design family. *)
+
+(** One point of Fig. 7: the optimal scientific-application design at a
+    job execution-time requirement. *)
+type fig7_point = {
+  requirement_hours : float;
+  resource : string;
+  n_resources : int;  (** Active resources. *)
+  n_spares : int;
+  checkpoint_interval_hours : float;
+  storage_location : string;
+  predicted_hours : float;
+  annual_cost : float;
+}
+
+val fig7 :
+  ?config:Aved_search.Search_config.t ->
+  ?requirements_hours:float list ->
+  unit ->
+  fig7_point list
+(** Sweeps the execution-time requirement (default 24 log-spaced points
+    from 1 to 1000 hours); infeasible requirements are omitted. *)
+
+(** One point of Fig. 8: the extra annual cost of availability at a
+    given load and downtime requirement, over the cheapest design that
+    merely sustains the load. *)
+type fig8_point = {
+  load : float;
+  downtime_requirement_minutes : float;
+  extra_annual_cost : float;
+}
+
+val fig8 :
+  ?config:Aved_search.Search_config.t ->
+  ?loads:float list ->
+  ?downtimes_minutes:float list ->
+  unit ->
+  fig8_point list
+(** Defaults: loads {400, 800, 1600, 3200}, downtime grid log-spaced
+    from 0.1 to 100 minutes. Points whose requirement is infeasible are
+    omitted. *)
+
+val print_table1 : Format.formatter -> unit
+val print_fig6 : Format.formatter -> fig6_point list -> unit
+val print_fig7 : Format.formatter -> fig7_point list -> unit
+val print_fig8 : Format.formatter -> fig8_point list -> unit
+
+val default_fig6_loads : float list
+val default_fig7_requirements : float list
+val default_fig8_loads : float list
+val default_fig8_downtimes : float list
+
+val log_spaced : lo:float -> hi:float -> count:int -> float list
+(** [count] log-spaced values from [lo] to [hi] inclusive. *)

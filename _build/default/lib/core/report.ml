@@ -1,0 +1,119 @@
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+module Model = Aved_model
+module Search = Aved_search
+module Avail = Aved_avail
+
+let section ppf title =
+  Format.fprintf ppf "@.%s@.%s@." title (String.make (String.length title) '-')
+
+let tier_section ppf (m : Avail.Tier_model.t) =
+  section ppf (Printf.sprintf "Tier %s" m.tier_name);
+  Format.fprintf ppf "configuration: n=%d active, m=%d minimum, s=%d spare@."
+    m.n_active m.n_min m.n_spare;
+  Format.fprintf ppf "effective throughput: %g work units/hour@."
+    m.effective_performance;
+  let analytic = Avail.Analytic.downtime_fraction m in
+  Format.fprintf ppf "predicted annual downtime: %.3f min@."
+    (Duration.minutes (Duration.of_years analytic));
+  (* Engine cross-check when the exact model is tractable. *)
+  (match Avail.Exact.downtime_fraction ~max_states:20000 m with
+  | exact ->
+      Format.fprintf ppf "exact multi-mode CTMC agrees within %.1f%%@."
+        (if exact = 0. then 0.
+         else Float.abs (analytic -. exact) /. exact *. 100.)
+  | exception Invalid_argument _ ->
+      Format.fprintf ppf "exact CTMC skipped (state space too large)@.");
+  (* Attribution. *)
+  Format.fprintf ppf "downtime by failure class (min/yr):@.";
+  List.iter
+    (fun (label, fraction) ->
+      Format.fprintf ppf "  %-26s %10.3f@." label
+        (Duration.minutes (Duration.of_years fraction)))
+    (List.sort
+       (fun (_, a) (_, b) -> Float.compare b a)
+       (Avail.Analytic.downtime_by_class m));
+  (* First month after deployment. *)
+  let first_month =
+    Avail.Transient.expected_downtime_over m ~horizon:(Duration.of_days 30.)
+  in
+  Format.fprintf ppf
+    "expected downtime over the first 30 days: %.3f min (steady-state rate \
+     would give %.3f)@."
+    (Duration.minutes first_month)
+    (Duration.minutes (Duration.of_days 30.) *. analytic)
+
+let sensitivity_section ppf config infra (service : Model.Service.t)
+    ~throughput ~max_downtime variations =
+  section ppf "Sensitivity to failure-data errors";
+  Format.fprintf ppf
+    "%-24s %-44s %12s@." "variation (mtbf,mttr)" "optimal first-tier family"
+    "cost/yr";
+  let tier = List.hd service.tiers in
+  let outcomes =
+    Search.Sensitivity.tier_sensitivity config infra ~tier ~demand:throughput
+      ~max_downtime ~variations
+  in
+  List.iter
+    (fun (o : Search.Sensitivity.outcome) ->
+      let label =
+        Printf.sprintf "x%.2f, x%.2f" o.variation.mtbf_scale
+          o.variation.mttr_scale
+      in
+      match o.candidate with
+      | Some c ->
+          Format.fprintf ppf "%-24s %-44s %12s@." label
+            (Option.value o.family ~default:"?")
+            (Money.to_string c.cost)
+      | None -> Format.fprintf ppf "%-24s infeasible@." label)
+    outcomes;
+  match Search.Sensitivity.stable_family outcomes with
+  | Some family ->
+      Format.fprintf ppf "the family %s is stable under all variations@." family
+  | None ->
+      Format.fprintf ppf
+        "the optimal family changes under some variations — treat the \
+         failure data with care@."
+
+let generate ?(config = Search.Search_config.default)
+    ?(sensitivity = Search.Sensitivity.default_variations) infra service
+    requirements =
+  match Search.Service_search.design config infra service requirements with
+  | None -> None
+  | Some report ->
+      let buffer = Buffer.create 4096 in
+      let ppf = Format.formatter_of_buffer buffer in
+      Format.fprintf ppf "Aved design report: %s@."
+        service.Model.Service.service_name;
+      Format.fprintf ppf "requirements: %a@." Model.Requirements.pp
+        requirements;
+      section ppf "Chosen design";
+      Format.fprintf ppf "%a@." Aved_model.Design.pp report.design;
+      Format.fprintf ppf "annual cost: %a@." Money.pp report.cost;
+      (match report.downtime with
+      | Some d ->
+          Format.fprintf ppf "predicted service downtime: %.3f min/yr@."
+            (Duration.minutes d)
+      | None -> ());
+      (match report.execution_time with
+      | Some t ->
+          Format.fprintf ppf "predicted job completion: %.2f h@."
+            (Duration.hours t)
+      | None -> ());
+      let demand =
+        match requirements with
+        | Model.Requirements.Enterprise { throughput; _ } -> Some throughput
+        | Model.Requirements.Finite_job _ -> None
+      in
+      List.iter (tier_section ppf)
+        (Engine.evaluate_design infra service report.design ~demand);
+      (match (requirements, sensitivity) with
+      | Model.Requirements.Enterprise { throughput; max_annual_downtime }, _ :: _
+        ->
+          sensitivity_section ppf config infra service ~throughput
+            ~max_downtime:max_annual_downtime sensitivity
+      | Model.Requirements.Enterprise _, [] | Model.Requirements.Finite_job _, _
+        ->
+          ());
+      Format.pp_print_flush ppf ();
+      Some (Buffer.contents buffer)

@@ -1,0 +1,20 @@
+(** Design reports.
+
+    Renders everything an operator would want to see about a design in
+    one text document: the requirements, the chosen configuration and
+    its cost, each tier's availability model with its per-failure-class
+    downtime attribution, the expected downtime of the deployment's
+    first month (transient analysis), an engine cross-check, and — for
+    enterprise designs — a sensitivity table over perturbed failure
+    data. *)
+
+val generate :
+  ?config:Aved_search.Search_config.t ->
+  ?sensitivity:Aved_search.Sensitivity.variation list ->
+  Aved_model.Infrastructure.t ->
+  Aved_model.Service.t ->
+  Aved_model.Requirements.t ->
+  string option
+(** [None] when no feasible design exists. The sensitivity section is
+    produced only for enterprise requirements (defaults to
+    {!Aved_search.Sensitivity.default_variations}; pass [[]] to skip). *)

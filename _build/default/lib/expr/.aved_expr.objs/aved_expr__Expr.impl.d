@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/expr/expr.mli: Format

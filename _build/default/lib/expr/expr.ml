@@ -1,0 +1,386 @@
+type comparison = Le | Lt | Ge | Gt | Eq | Ne
+
+type t =
+  | Const of float
+  | Var of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+  | Call of string * t list
+  | If of comparison * t * t * t * t  (* cmp, lhs, rhs, then, else *)
+
+let const v = Const v
+let var name = Var name
+let add a b = Add (a, b)
+let sub a b = Sub (a, b)
+let mul a b = Mul (a, b)
+let div a b = Div (a, b)
+let neg a = Neg a
+
+let builtin_arity = function
+  | "min" | "max" | "pow" -> Some 2
+  | "exp" | "log" | "sqrt" | "floor" | "ceil" | "abs" -> Some 1
+  | _ -> None
+
+let apply fn args =
+  match builtin_arity fn with
+  | None -> invalid_arg (Printf.sprintf "Expr.apply: unknown function %S" fn)
+  | Some arity when arity <> List.length args ->
+      invalid_arg
+        (Printf.sprintf "Expr.apply: %s expects %d argument(s), got %d" fn
+           arity (List.length args))
+  | Some _ -> Call (fn, args)
+
+let min_ a b = apply "min" [ a; b ]
+let max_ a b = apply "max" [ a; b ]
+let if_ cmp a b ~then_ ~else_ = If (cmp, a, b, then_, else_)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+
+exception Unbound_variable of string
+
+let compare_holds cmp a b =
+  match cmp with
+  | Le -> a <= b
+  | Lt -> a < b
+  | Ge -> a >= b
+  | Gt -> a > b
+  | Eq -> a = b
+  | Ne -> a <> b
+
+let eval_builtin fn args =
+  match (fn, args) with
+  | "min", [ a; b ] -> Float.min a b
+  | "max", [ a; b ] -> Float.max a b
+  | "pow", [ a; b ] -> Float.pow a b
+  | "exp", [ a ] -> Float.exp a
+  | "log", [ a ] -> Float.log a
+  | "sqrt", [ a ] -> Float.sqrt a
+  | "floor", [ a ] -> Float.floor a
+  | "ceil", [ a ] -> Float.ceil a
+  | "abs", [ a ] -> Float.abs a
+  | fn, args ->
+      invalid_arg
+        (Printf.sprintf "Expr.eval: bad call %s/%d" fn (List.length args))
+
+let rec eval expr lookup =
+  match expr with
+  | Const v -> v
+  | Var name -> (
+      match lookup name with
+      | Some v -> v
+      | None -> raise (Unbound_variable name))
+  | Add (a, b) -> eval a lookup +. eval b lookup
+  | Sub (a, b) -> eval a lookup -. eval b lookup
+  | Mul (a, b) -> eval a lookup *. eval b lookup
+  | Div (a, b) -> eval a lookup /. eval b lookup
+  | Neg a -> -.eval a lookup
+  | Call (fn, args) ->
+      let values = List.map (fun arg -> eval arg lookup) args in
+      eval_builtin fn values
+  | If (cmp, a, b, then_, else_) ->
+      if compare_holds cmp (eval a lookup) (eval b lookup) then
+        eval then_ lookup
+      else eval else_ lookup
+
+let eval_alist expr bindings =
+  eval expr (fun name -> List.assoc_opt name bindings)
+
+let variables expr =
+  let rec collect acc = function
+    | Const _ -> acc
+    | Var name -> name :: acc
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+        collect (collect acc a) b
+    | Neg a -> collect acc a
+    | Call (_, args) -> List.fold_left collect acc args
+    | If (_, a, b, then_, else_) ->
+        collect (collect (collect (collect acc a) b) then_) else_
+  in
+  List.sort_uniq String.compare (collect [] expr)
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let comparison_to_string = function
+  | Le -> "<="
+  | Lt -> "<"
+  | Ge -> ">="
+  | Gt -> ">"
+  | Eq -> "=="
+  | Ne -> "!="
+
+let float_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+(* Precedence: 0 = if, 1 = sum, 2 = prod, 3 = unary/atom. *)
+let rec render level expr =
+  let paren needed body = if needed then "(" ^ body ^ ")" else body in
+  match expr with
+  | Const v ->
+      if v < 0. then paren (level > 2) (float_to_string v)
+      else float_to_string v
+  | Var name -> name
+  | Add (a, b) -> paren (level > 1) (render 1 a ^ " + " ^ render 2 b)
+  | Sub (a, b) -> paren (level > 1) (render 1 a ^ " - " ^ render 2 b)
+  | Mul (a, b) -> paren (level > 2) (render 2 a ^ " * " ^ render 3 b)
+  | Div (a, b) -> paren (level > 2) (render 2 a ^ " / " ^ render 3 b)
+  | Neg a -> paren (level > 2) ("-" ^ render 3 a)
+  | Call (fn, args) ->
+      fn ^ "(" ^ String.concat ", " (List.map (render 0) args) ^ ")"
+  | If (cmp, a, b, then_, else_) ->
+      paren (level > 0)
+        (Printf.sprintf "if %s %s %s then %s else %s" (render 1 a)
+           (comparison_to_string cmp) (render 1 b) (render 0 then_)
+           (render 0 else_))
+
+let to_string = render 0
+let pp ppf expr = Format.pp_print_string ppf (to_string expr)
+
+let rec equal a b =
+  match (a, b) with
+  | Const x, Const y -> Float.equal x y
+  | Var x, Var y -> String.equal x y
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Div (a1, a2), Div (b1, b2) ->
+      equal a1 b1 && equal a2 b2
+  | Neg x, Neg y -> equal x y
+  | Call (f, xs), Call (g, ys) ->
+      String.equal f g
+      && List.length xs = List.length ys
+      && List.for_all2 equal xs ys
+  | If (c1, a1, b1, t1, e1), If (c2, a2, b2, t2, e2) ->
+      c1 = c2 && equal a1 a2 && equal b1 b2 && equal t1 t2 && equal e1 e2
+  | (Const _ | Var _ | Add _ | Sub _ | Mul _ | Div _ | Neg _ | Call _ | If _), _
+    ->
+      false
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+exception Parse_error of { message : string; position : int }
+
+let fail position fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { message; position })) fmt
+
+type token =
+  | Tnum of float
+  | Tpercent of float
+  | Tident of string
+  | Tplus
+  | Tminus
+  | Tstar
+  | Tslash
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tcmp of comparison
+  | Tif
+  | Tthen
+  | Telse
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let emit pos tok = tokens := (tok, pos) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    let c = source.[start] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c || c = '.' then begin
+      let j = ref start in
+      while
+        !j < n
+        && (is_digit source.[!j] || source.[!j] = '.' || source.[!j] = 'e'
+           || source.[!j] = 'E'
+           || ((source.[!j] = '+' || source.[!j] = '-')
+              && !j > start
+              && (source.[!j - 1] = 'e' || source.[!j - 1] = 'E')))
+      do
+        incr j
+      done;
+      let text = String.sub source start (!j - start) in
+      (match float_of_string_opt text with
+      | None -> fail start "malformed number %S" text
+      | Some v ->
+          if !j < n && source.[!j] = '%' then begin
+            emit start (Tpercent (v /. 100.));
+            j := !j + 1
+          end
+          else emit start (Tnum v));
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref start in
+      while !j < n && is_ident_char source.[!j] do
+        incr j
+      done;
+      let text = String.sub source start (!j - start) in
+      (match text with
+      | "if" -> emit start Tif
+      | "then" -> emit start Tthen
+      | "else" -> emit start Telse
+      | _ -> emit start (Tident text));
+      i := !j
+    end
+    else begin
+      let two =
+        if start + 1 < n then Some (String.sub source start 2) else None
+      in
+      match two with
+      | Some "<=" -> emit start (Tcmp Le); i := start + 2
+      | Some ">=" -> emit start (Tcmp Ge); i := start + 2
+      | Some "==" -> emit start (Tcmp Eq); i := start + 2
+      | Some "!=" -> emit start (Tcmp Ne); i := start + 2
+      | Some _ | None -> (
+          (match c with
+          | '+' -> emit start Tplus
+          | '-' -> emit start Tminus
+          | '*' -> emit start Tstar
+          | '/' -> emit start Tslash
+          | '(' -> emit start Tlparen
+          | ')' -> emit start Trparen
+          | ',' -> emit start Tcomma
+          | '<' -> emit start (Tcmp Lt)
+          | '>' -> emit start (Tcmp Gt)
+          | '=' -> emit start (Tcmp Eq)
+          | _ -> fail start "unexpected character %C" c);
+          incr i)
+    end
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parser: recursive descent over the token list. *)
+
+type parser_state = { mutable rest : (token * int) list; length : int }
+
+let peek state = match state.rest with [] -> None | tok :: _ -> Some tok
+
+let advance state =
+  match state.rest with [] -> () | _ :: rest -> state.rest <- rest
+
+let expect state tok what =
+  match peek state with
+  | Some (t, _) when t = tok -> advance state
+  | Some (_, pos) -> fail pos "expected %s" what
+  | None -> fail state.length "expected %s, got end of input" what
+
+let rec parse_expr state =
+  match peek state with
+  | Some (Tif, _) ->
+      advance state;
+      let lhs = parse_sum state in
+      let cmp =
+        match peek state with
+        | Some (Tcmp c, _) ->
+            advance state;
+            c
+        | Some (_, pos) -> fail pos "expected a comparison operator"
+        | None -> fail state.length "expected a comparison operator"
+      in
+      let rhs = parse_sum state in
+      expect state Tthen "'then'";
+      let then_ = parse_expr state in
+      expect state Telse "'else'";
+      let else_ = parse_expr state in
+      If (cmp, lhs, rhs, then_, else_)
+  | Some _ | None -> parse_sum state
+
+and parse_sum state =
+  let rec loop acc =
+    match peek state with
+    | Some (Tplus, _) ->
+        advance state;
+        loop (Add (acc, parse_prod state))
+    | Some (Tminus, _) ->
+        advance state;
+        loop (Sub (acc, parse_prod state))
+    | Some (_, _) | None -> acc
+  in
+  loop (parse_prod state)
+
+and parse_prod state =
+  let rec loop acc =
+    match peek state with
+    | Some (Tstar, _) ->
+        advance state;
+        loop (Mul (acc, parse_unary state))
+    | Some (Tslash, _) ->
+        advance state;
+        loop (Div (acc, parse_unary state))
+    | Some (_, _) | None -> acc
+  in
+  loop (parse_unary state)
+
+and parse_unary state =
+  match peek state with
+  | Some (Tminus, _) ->
+      advance state;
+      Neg (parse_unary state)
+  | Some (_, _) | None -> parse_atom state
+
+and parse_atom state =
+  match peek state with
+  | Some (Tnum v, _) ->
+      advance state;
+      Const v
+  | Some (Tpercent v, _) ->
+      advance state;
+      Const v
+  | Some (Tident name, pos) -> (
+      advance state;
+      match peek state with
+      | Some (Tlparen, _) ->
+          advance state;
+          let args = parse_args state in
+          expect state Trparen "')'";
+          (match builtin_arity name with
+          | None -> fail pos "unknown function %S" name
+          | Some arity when arity <> List.length args ->
+              fail pos "%s expects %d argument(s), got %d" name arity
+                (List.length args)
+          | Some _ -> Call (name, args))
+      | Some (_, _) | None -> Var name)
+  | Some (Tlparen, _) ->
+      advance state;
+      let inner = parse_expr state in
+      expect state Trparen "')'";
+      inner
+  | Some (_, pos) -> fail pos "expected a number, variable or '('"
+  | None -> fail state.length "unexpected end of input"
+
+and parse_args state =
+  let first = parse_expr state in
+  let rec loop acc =
+    match peek state with
+    | Some (Tcomma, _) ->
+        advance state;
+        loop (parse_expr state :: acc)
+    | Some (_, _) | None -> List.rev acc
+  in
+  loop [ first ]
+
+let of_string source =
+  let tokens = tokenize source in
+  let state = { rest = tokens; length = String.length source } in
+  let expr = parse_expr state in
+  match peek state with
+  | None -> expr
+  | Some (_, pos) -> fail pos "trailing input"
+
+let of_string_opt source =
+  match of_string source with
+  | expr -> Some expr
+  | exception Parse_error _ -> None

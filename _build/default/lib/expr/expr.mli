@@ -1,0 +1,68 @@
+(** A small arithmetic expression language.
+
+    The paper's Table 1 defines performance and mechanism-impact functions
+    as closed-form expressions over named variables, e.g.
+    [200*n], [(10*n)/(1+0.004*n)], or the piecewise
+    [if n <= 30 then max(10/cpi, 100%) else max(n/(3*cpi), 100%)].
+    This module provides the abstract syntax, a parser and an evaluator
+    for exactly that class of expressions.
+
+    Grammar (precedence climbing):
+    {v
+      expr   ::= "if" comparison "then" expr "else" expr | sum
+      comparison ::= sum ("<=" | "<" | ">=" | ">" | "==" | "!=") sum
+      sum    ::= prod (("+" | "-") prod)*
+      prod   ::= unary (("*" | "/") unary)*
+      unary  ::= "-" unary | atom
+      atom   ::= number | number "%" | var | fn "(" expr ("," expr)* ")"
+               | "(" expr ")"
+    v}
+
+    A percent literal [100%] denotes the fraction [1.0]. Built-in
+    functions: [min], [max], [exp], [log], [sqrt], [floor], [ceil],
+    [abs], [pow]. *)
+
+type t
+
+type comparison = Le | Lt | Ge | Gt | Eq | Ne
+
+(** Constructors, for building expressions programmatically. *)
+
+val const : float -> t
+val var : string -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+val if_ : comparison -> t -> t -> then_:t -> else_:t -> t
+(** [if_ cmp a b ~then_ ~else_] evaluates [then_] when [a cmp b] holds. *)
+
+val apply : string -> t list -> t
+(** [apply fn args] applies a built-in function by name. Raises
+    [Invalid_argument] for an unknown function or wrong arity. *)
+
+exception Parse_error of { message : string; position : int }
+(** Raised by {!of_string}; [position] is a 0-based byte offset. *)
+
+val of_string : string -> t
+val of_string_opt : string -> t option
+
+exception Unbound_variable of string
+
+val eval : t -> (string -> float option) -> float
+(** [eval e lookup] evaluates [e], resolving variables through [lookup].
+    Raises {!Unbound_variable} when [lookup] returns [None]. *)
+
+val eval_alist : t -> (string * float) list -> float
+
+val variables : t -> string list
+(** Free variables, sorted, without duplicates. *)
+
+val to_string : t -> string
+(** Prints a form that {!of_string} parses back to an equal expression. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

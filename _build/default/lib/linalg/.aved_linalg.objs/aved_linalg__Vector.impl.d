@@ -1,0 +1,1 @@
+lib/linalg/vector.ml: Array Float Format Printf

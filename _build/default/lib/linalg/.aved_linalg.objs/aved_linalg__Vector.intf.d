@@ -1,0 +1,1 @@
+lib/linalg/vector.mli: Format

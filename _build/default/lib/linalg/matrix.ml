@@ -1,0 +1,216 @@
+type t = { rows : int; cols : int; data : float array }
+(* Row-major storage: element (i, j) lives at [i * cols + j]. *)
+
+let check_dims rows cols =
+  if rows <= 0 || cols <= 0 then
+    invalid_arg (Printf.sprintf "Matrix: bad dimensions %dx%d" rows cols)
+
+let create rows cols v =
+  check_dims rows cols;
+  { rows; cols; data = Array.make (rows * cols) v }
+
+let init rows cols f =
+  check_dims rows cols;
+  let data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) in
+  { rows; cols; data }
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let of_rows rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then invalid_arg "Matrix.of_rows: empty";
+  let cols = Array.length rows_arr.(0) in
+  if cols = 0 then invalid_arg "Matrix.of_rows: empty row";
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then
+        invalid_arg "Matrix.of_rows: ragged rows")
+    rows_arr;
+  init rows cols (fun i j -> rows_arr.(i).(j))
+
+let to_rows m =
+  Array.init m.rows (fun i -> Array.sub m.data (i * m.cols) m.cols)
+
+let rows m = m.rows
+let cols m = m.cols
+
+let check_bounds m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg
+      (Printf.sprintf "Matrix: index (%d,%d) out of %dx%d" i j m.rows m.cols)
+
+let get m i j =
+  check_bounds m i j;
+  m.data.((i * m.cols) + j)
+
+let set m i j v =
+  check_bounds m i j;
+  m.data.((i * m.cols) + j) <- v
+
+let unsafe_get m i j = Array.unsafe_get m.data ((i * m.cols) + j)
+let unsafe_set m i j v = Array.unsafe_set m.data ((i * m.cols) + j) v
+let copy m = { m with data = Array.copy m.data }
+let transpose m = init m.cols m.rows (fun i j -> unsafe_get m j i)
+
+let check_same m a =
+  if m.rows <> a.rows || m.cols <> a.cols then
+    invalid_arg "Matrix: shape mismatch"
+
+let add m a =
+  check_same m a;
+  { m with data = Array.mapi (fun k x -> x +. a.data.(k)) m.data }
+
+let sub m a =
+  check_same m a;
+  { m with data = Array.mapi (fun k x -> x -. a.data.(k)) m.data }
+
+let scale k m = { m with data = Array.map (fun x -> k *. x) m.data }
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: shape mismatch";
+  let out = create a.rows b.cols 0. in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = unsafe_get a i k in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          unsafe_set out i j (unsafe_get out i j +. (aik *. unsafe_get b k j))
+        done
+    done
+  done;
+  out
+
+let mul_vec a x =
+  if a.cols <> Array.length x then invalid_arg "Matrix.mul_vec: shape mismatch";
+  Array.init a.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to a.cols - 1 do
+        acc := !acc +. (unsafe_get a i j *. x.(j))
+      done;
+      !acc)
+
+let vec_mul x a =
+  if a.rows <> Array.length x then invalid_arg "Matrix.vec_mul: shape mismatch";
+  Array.init a.cols (fun j ->
+      let acc = ref 0. in
+      for i = 0 to a.rows - 1 do
+        acc := !acc +. (x.(i) *. unsafe_get a i j)
+      done;
+      !acc)
+
+exception Singular
+
+type lu = { factors : t; pivots : int array; sign : float }
+
+let lu_decompose m =
+  if m.rows <> m.cols then invalid_arg "Matrix.lu_decompose: not square";
+  let n = m.rows in
+  let a = copy m in
+  let pivots = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: bring the largest remaining entry into (k,k). *)
+    let best = ref k in
+    let best_mag = ref (Float.abs (unsafe_get a k k)) in
+    for i = k + 1 to n - 1 do
+      let mag = Float.abs (unsafe_get a i k) in
+      if mag > !best_mag then begin
+        best := i;
+        best_mag := mag
+      end
+    done;
+    if !best_mag = 0. then raise Singular;
+    if !best <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = unsafe_get a k j in
+        unsafe_set a k j (unsafe_get a !best j);
+        unsafe_set a !best j tmp
+      done;
+      let tmp = pivots.(k) in
+      pivots.(k) <- pivots.(!best);
+      pivots.(!best) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = unsafe_get a k k in
+    for i = k + 1 to n - 1 do
+      let factor = unsafe_get a i k /. pivot in
+      unsafe_set a i k factor;
+      if factor <> 0. then
+        for j = k + 1 to n - 1 do
+          unsafe_set a i j (unsafe_get a i j -. (factor *. unsafe_get a k j))
+        done
+    done
+  done;
+  { factors = a; pivots; sign = !sign }
+
+let lu_solve { factors; pivots; _ } b =
+  let n = factors.rows in
+  if Array.length b <> n then invalid_arg "Matrix.lu_solve: shape mismatch";
+  let x = Array.init n (fun i -> b.(pivots.(i))) in
+  (* Forward substitution with the unit lower triangle. *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (unsafe_get factors i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* Back substitution with the upper triangle. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (unsafe_get factors i j *. x.(j))
+    done;
+    let pivot = unsafe_get factors i i in
+    if pivot = 0. then raise Singular;
+    x.(i) <- !acc /. pivot
+  done;
+  x
+
+let solve a b = lu_solve (lu_decompose a) b
+
+let solve_many a bs =
+  let lu = lu_decompose a in
+  List.map (lu_solve lu) bs
+
+let inverse m =
+  let n = m.rows in
+  let lu = lu_decompose m in
+  let out = create n n 0. in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1. else 0.) in
+    let col = lu_solve lu e in
+    for i = 0 to n - 1 do
+      unsafe_set out i j col.(i)
+    done
+  done;
+  out
+
+let determinant m =
+  match lu_decompose m with
+  | { factors; sign; _ } ->
+      let acc = ref sign in
+      for i = 0 to factors.rows - 1 do
+        acc := !acc *. unsafe_get factors i i
+      done;
+      !acc
+  | exception Singular -> 0.
+
+let residual_inf a x b = Vector.norm_inf (Vector.sub (mul_vec a x) b)
+
+let equal ?(tol = 0.) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a.data b.data
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.4g" (unsafe_get m i j)
+    done;
+    Format.fprintf ppf "]";
+    if i < m.rows - 1 then Format.pp_print_cut ppf ()
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,54 @@
+(** Dense float matrices with LU-based solvers.
+
+    This is the numeric substrate for the Markov engine: solving linear
+    systems for stationary distributions and mean times to absorption. *)
+
+type t
+
+val create : int -> int -> float -> t
+val init : int -> int -> (int -> int -> float) -> t
+val identity : int -> t
+val of_rows : float array array -> t
+(** Copies its argument; rows must be non-empty and of equal length. *)
+
+val to_rows : t -> float array array
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+val mul_vec : t -> Vector.t -> Vector.t
+(** [mul_vec a x] is [a x]. *)
+
+val vec_mul : Vector.t -> t -> Vector.t
+(** [vec_mul x a] is [xᵀ a], as a vector. *)
+
+exception Singular
+(** Raised by the solvers when the matrix is (numerically) singular. *)
+
+type lu
+(** An LU factorization with partial pivoting. *)
+
+val lu_decompose : t -> lu
+(** Raises {!Singular} when a zero pivot is met. O(n³). *)
+
+val lu_solve : lu -> Vector.t -> Vector.t
+
+val solve : t -> Vector.t -> Vector.t
+(** [solve a b] returns [x] with [a x = b]. Raises {!Singular}. *)
+
+val solve_many : t -> Vector.t list -> Vector.t list
+(** Factorizes once and solves each right-hand side. *)
+
+val inverse : t -> t
+val determinant : t -> float
+val residual_inf : t -> Vector.t -> Vector.t -> float
+(** [residual_inf a x b] is [‖a x − b‖∞]. *)
+
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

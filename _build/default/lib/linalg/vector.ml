@@ -1,0 +1,58 @@
+type t = float array
+
+let create n v = Array.make n v
+let init = Array.init
+let dim = Array.length
+let copy = Array.copy
+
+let check_same_dim a b =
+  if Array.length a <> Array.length b then
+    invalid_arg
+      (Printf.sprintf "Vector: dimension mismatch (%d vs %d)" (Array.length a)
+         (Array.length b))
+
+let add a b =
+  check_same_dim a b;
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_same_dim a b;
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale k = Array.map (fun x -> k *. x)
+
+let dot a b =
+  check_same_dim a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm_inf a = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0. a
+let norm_1 a = Array.fold_left (fun m x -> m +. Float.abs x) 0. a
+let norm_2 a = sqrt (dot a a)
+
+let normalize_1 a =
+  let total = Array.fold_left ( +. ) 0. a in
+  if total = 0. || not (Float.is_finite total) then
+    invalid_arg "Vector.normalize_1: sum is zero or not finite"
+  else scale (1. /. total) a
+
+let max_abs_diff a b =
+  check_same_dim a b;
+  let m = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    m := Float.max !m (Float.abs (a.(i) -. b.(i)))
+  done;
+  !m
+
+let equal ?(tol = 0.) a b =
+  Array.length a = Array.length b && max_abs_diff a b <= tol
+
+let pp ppf a =
+  Format.fprintf ppf "[|%a|]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    a

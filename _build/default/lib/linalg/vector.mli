@@ -1,0 +1,23 @@
+(** Dense float vectors. *)
+
+type t = float array
+
+val create : int -> float -> t
+val init : int -> (int -> float) -> t
+val dim : t -> int
+val copy : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val dot : t -> t -> float
+val norm_inf : t -> float
+val norm_1 : t -> float
+val norm_2 : t -> float
+
+val normalize_1 : t -> t
+(** Scales so entries sum to 1. Raises [Invalid_argument] when the sum is
+    zero or not finite. *)
+
+val max_abs_diff : t -> t -> float
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/markov/birth_death.mli: Ctmc

@@ -1,0 +1,1 @@
+lib/markov/ctmc.ml: Array Aved_linalg Float Format Fun Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/markov/ctmc.mli: Aved_linalg Format

@@ -1,0 +1,1 @@
+lib/markov/petri.ml: Array Ctmc Float Hashtbl List Printf Queue Stdlib

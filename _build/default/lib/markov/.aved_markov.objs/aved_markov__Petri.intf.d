@@ -1,0 +1,1 @@
+lib/markov/petri.mli: Ctmc

@@ -1,0 +1,204 @@
+module Matrix = Aved_linalg.Matrix
+module Vector = Aved_linalg.Vector
+
+type t = {
+  n : int;
+  rates : (int, float) Hashtbl.t array; (* per source: dst -> rate *)
+  mutable order : (int * int) list; (* first insertions, reversed *)
+}
+
+let create n =
+  if n <= 0 then invalid_arg (Printf.sprintf "Ctmc.create: %d states" n);
+  { n; rates = Array.init n (fun _ -> Hashtbl.create 4); order = [] }
+
+let check_state t s what =
+  if s < 0 || s >= t.n then
+    invalid_arg (Printf.sprintf "Ctmc: %s state %d out of [0, %d)" what s t.n)
+
+let add_transition t ~src ~dst ~rate =
+  check_state t src "source";
+  check_state t dst "destination";
+  if src = dst then invalid_arg "Ctmc.add_transition: self-loop";
+  if not (Float.is_finite rate) || rate <= 0. then
+    invalid_arg (Printf.sprintf "Ctmc.add_transition: rate %g" rate);
+  match Hashtbl.find_opt t.rates.(src) dst with
+  | Some existing -> Hashtbl.replace t.rates.(src) dst (existing +. rate)
+  | None ->
+      Hashtbl.add t.rates.(src) dst rate;
+      t.order <- (src, dst) :: t.order
+
+let num_states t = t.n
+
+let total_exit_rate t s =
+  check_state t s "source";
+  Hashtbl.fold (fun _ rate acc -> acc +. rate) t.rates.(s) 0.
+
+let transitions t =
+  List.rev_map
+    (fun (src, dst) -> (src, dst, Hashtbl.find t.rates.(src) dst))
+    t.order
+
+let generator t =
+  let q = Matrix.create t.n t.n 0. in
+  for s = 0 to t.n - 1 do
+    Hashtbl.iter
+      (fun dst rate ->
+        Matrix.set q s dst rate;
+        Matrix.set q s s (Matrix.get q s s -. rate))
+      t.rates.(s)
+  done;
+  q
+
+(* Grassmann–Taksar–Heyman elimination on the rate matrix. States are
+   eliminated from the highest index down; the algorithm uses only
+   additions, multiplications and divisions of non-negative quantities,
+   which keeps it stable even for stiff chains (rates spanning many
+   orders of magnitude, as with hardware MTBFs in days vs. failover
+   times in seconds). *)
+let stationary_gth t =
+  let n = t.n in
+  let q = Array.make_matrix n n 0. in
+  for s = 0 to n - 1 do
+    Hashtbl.iter (fun dst rate -> q.(s).(dst) <- q.(s).(dst) +. rate) t.rates.(s)
+  done;
+  let exit_sums = Array.make n 0. in
+  for k = n - 1 downto 1 do
+    let s = ref 0. in
+    for j = 0 to k - 1 do
+      s := !s +. q.(k).(j)
+    done;
+    exit_sums.(k) <- !s;
+    if !s > 0. then
+      for i = 0 to k - 1 do
+        let qik = q.(i).(k) in
+        if qik > 0. then
+          for j = 0 to k - 1 do
+            if j <> i then q.(i).(j) <- q.(i).(j) +. (qik *. q.(k).(j) /. !s)
+          done
+      done
+  done;
+  let pi = Array.make n 0. in
+  pi.(0) <- 1.;
+  for k = 1 to n - 1 do
+    let inflow = ref 0. in
+    for i = 0 to k - 1 do
+      inflow := !inflow +. (pi.(i) *. q.(i).(k))
+    done;
+    if exit_sums.(k) > 0. then pi.(k) <- !inflow /. exit_sums.(k)
+    else if !inflow > 0. then
+      invalid_arg "Ctmc.stationary_gth: reducible chain (closed class apart)"
+    else pi.(k) <- 0.
+  done;
+  Vector.normalize_1 pi
+
+let stationary_lu t =
+  let n = t.n in
+  (* Solve Qᵀ x = 0 with the last equation replaced by Σ x = 1. *)
+  let a = Matrix.transpose (generator t) in
+  for j = 0 to n - 1 do
+    Matrix.set a (n - 1) j 1.
+  done;
+  let b = Array.init n (fun i -> if i = n - 1 then 1. else 0.) in
+  Matrix.solve a b
+
+let stationary = stationary_gth
+
+let expected_reward t ~reward =
+  let pi = stationary t in
+  let acc = ref 0. in
+  for s = 0 to t.n - 1 do
+    acc := !acc +. (pi.(s) *. reward s)
+  done;
+  !acc
+
+let probability_in t pred =
+  expected_reward t ~reward:(fun s -> if pred s then 1. else 0.)
+
+let mean_time_to_absorption t ~absorbing ~start =
+  check_state t start "start";
+  if absorbing start then 0.
+  else begin
+    let transient_states =
+      List.filter (fun s -> not (absorbing s)) (List.init t.n Fun.id)
+    in
+    let index = Hashtbl.create 16 in
+    List.iteri (fun i s -> Hashtbl.add index s i) transient_states;
+    let m = List.length transient_states in
+    (* (-Q_TT) tau = 1 over the transient states. *)
+    let a = Matrix.create m m 0. in
+    List.iteri
+      (fun i s ->
+        Matrix.set a i i (total_exit_rate t s);
+        Hashtbl.iter
+          (fun dst rate ->
+            match Hashtbl.find_opt index dst with
+            | Some j -> Matrix.set a i j (Matrix.get a i j -. rate)
+            | None -> ())
+          t.rates.(s))
+      transient_states;
+    let tau = Matrix.solve a (Array.make m 1.) in
+    tau.(Hashtbl.find index start)
+  end
+
+let transient t ~initial ~time ~epsilon =
+  if Array.length initial <> t.n then
+    invalid_arg "Ctmc.transient: initial distribution dimension mismatch";
+  if time < 0. then invalid_arg "Ctmc.transient: negative time";
+  if epsilon <= 0. then invalid_arg "Ctmc.transient: epsilon must be positive";
+  let max_exit =
+    List.fold_left
+      (fun acc s -> Float.max acc (total_exit_rate t s))
+      0.
+      (List.init t.n Fun.id)
+  in
+  if max_exit = 0. || time = 0. then Array.copy initial
+  else begin
+    (* Uniformization: P = I + Q/Lambda, result = sum_k Poisson(Lambda t; k) v P^k. *)
+    let lambda = max_exit *. 1.02 in
+    let step v =
+      let out = Array.make t.n 0. in
+      for s = 0 to t.n - 1 do
+        let stay = 1. -. (total_exit_rate t s /. lambda) in
+        out.(s) <- out.(s) +. (v.(s) *. stay);
+        Hashtbl.iter
+          (fun dst rate -> out.(dst) <- out.(dst) +. (v.(s) *. rate /. lambda))
+          t.rates.(s)
+      done;
+      out
+    in
+    let lt = lambda *. time in
+    let result = Array.make t.n 0. in
+    let v = ref (Array.copy initial) in
+    (* Accumulate Poisson weights iteratively: w_0 = e^{-lt}. For large lt
+       start from logs to avoid underflow. *)
+    let log_w = ref (-.lt) in
+    let accumulated = ref 0. in
+    let k = ref 0 in
+    while !accumulated < 1. -. epsilon && !k < 100_000 do
+      let w = exp !log_w in
+      if w > 0. then begin
+        accumulated := !accumulated +. w;
+        for s = 0 to t.n - 1 do
+          result.(s) <- result.(s) +. (w *. !v.(s))
+        done
+      end;
+      incr k;
+      log_w := !log_w +. log lt -. log (float_of_int !k);
+      v := step !v
+    done;
+    (* Assign the truncated tail to the final iterate to keep mass 1. *)
+    let tail = 1. -. !accumulated in
+    if tail > 0. then
+      for s = 0 to t.n - 1 do
+        result.(s) <- result.(s) +. (tail *. !v.(s))
+      done;
+    result
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>ctmc with %d states" t.n;
+  List.iter
+    (fun (src, dst, rate) ->
+      Format.fprintf ppf "@,  %d -> %d @@ %g" src dst rate)
+    (transitions t);
+  Format.fprintf ppf "@]"

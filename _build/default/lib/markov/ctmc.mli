@@ -1,0 +1,67 @@
+(** Continuous-time Markov chains.
+
+    This module stands in for the external availability engines the paper
+    interfaces with (Avanto, Mobius, Sharpe): an availability model is
+    translated into a CTMC whose stationary distribution yields expected
+    annual uptime and downtime. *)
+
+type t
+(** A finite CTMC with states numbered [0 .. num_states - 1]. *)
+
+val create : int -> t
+(** [create n] is an empty chain over [n] states (no transitions yet).
+    Raises [Invalid_argument] when [n <= 0]. *)
+
+val add_transition : t -> src:int -> dst:int -> rate:float -> unit
+(** Adds [rate] to the transition rate from [src] to [dst]. Self-loops and
+    non-positive rates are rejected with [Invalid_argument]. *)
+
+val num_states : t -> int
+
+val total_exit_rate : t -> int -> float
+(** Sum of outgoing rates of a state. *)
+
+val transitions : t -> (int * int * float) list
+(** All transitions as [(src, dst, rate)], in insertion order, with
+    repeated [add_transition] calls merged. *)
+
+val generator : t -> Aved_linalg.Matrix.t
+(** The generator matrix Q: off-diagonal rates, diagonal = −(row sum). *)
+
+val stationary_gth : t -> Aved_linalg.Vector.t
+(** Stationary distribution by Grassmann–Taksar–Heyman elimination —
+    numerically stable (no subtractions), O(n³) time, O(n²) space.
+    Intended for irreducible chains (every availability model here is
+    one). On reducible chains: states that cannot reach state 0's
+    communicating class receive probability 0, and if probability
+    escapes state 0's class entirely (state 0 transient),
+    [Invalid_argument] is raised. *)
+
+val stationary_lu : t -> Aved_linalg.Vector.t
+(** Stationary distribution by solving [πQ = 0, Σπ = 1] with LU.
+    Raises [Aved_linalg.Matrix.Singular] on reducible chains. *)
+
+val stationary : t -> Aved_linalg.Vector.t
+(** The default solver ({!stationary_gth}). *)
+
+val expected_reward : t -> reward:(int -> float) -> float
+(** [expected_reward chain ~reward] is Σ π(s)·reward(s) under the
+    stationary distribution. *)
+
+val probability_in : t -> (int -> bool) -> float
+(** Stationary probability mass of the states satisfying the predicate. *)
+
+val mean_time_to_absorption :
+  t -> absorbing:(int -> bool) -> start:int -> float
+(** Expected time to first hit an absorbing state from [start], obtained
+    by solving the linear system on the transient states. Returns [0.]
+    when [start] is absorbing; raises [Aved_linalg.Matrix.Singular] when
+    absorption is not certain. *)
+
+val transient :
+  t -> initial:Aved_linalg.Vector.t -> time:float -> epsilon:float ->
+  Aved_linalg.Vector.t
+(** State distribution after [time], starting from [initial], computed by
+    uniformization with truncation error below [epsilon]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,135 @@
+type place = int
+
+type semantics = Single_server | Infinite_server
+
+type transition = {
+  label : string;
+  rate : float;
+  semantics : semantics;
+  inputs : (place * int) list;
+  outputs : (place * int) list;
+}
+
+type t = {
+  places : int;
+  mutable transitions_rev : transition list;
+}
+
+let create ~places =
+  if places <= 0 then invalid_arg "Petri.create: no places";
+  { places; transitions_rev = [] }
+
+let check_arc t (p, w) =
+  if p < 0 || p >= t.places then
+    invalid_arg (Printf.sprintf "Petri: place %d out of range" p);
+  if w <= 0 then invalid_arg (Printf.sprintf "Petri: arc weight %d" w)
+
+let add_transition t ~label ~rate ?(semantics = Single_server) ~inputs
+    ~outputs () =
+  if not (Float.is_finite rate) || rate <= 0. then
+    invalid_arg (Printf.sprintf "Petri.add_transition: rate %g" rate);
+  if inputs = [] && outputs = [] then
+    invalid_arg "Petri.add_transition: disconnected transition";
+  List.iter (check_arc t) inputs;
+  List.iter (check_arc t) outputs;
+  t.transitions_rev <-
+    { label; rate; semantics; inputs; outputs } :: t.transitions_rev
+
+let num_places t = t.places
+let transitions t = List.rev t.transitions_rev
+
+(* Enabling degree: how many times the transition could fire from the
+   marking (0 = disabled). *)
+let enabling_degree marking tr =
+  List.fold_left
+    (fun acc (p, w) -> Stdlib.min acc (marking.(p) / w))
+    max_int tr.inputs
+  |> fun d -> if tr.inputs = [] then 1 else d
+
+let fire marking tr =
+  let next = Array.copy marking in
+  List.iter (fun (p, w) -> next.(p) <- next.(p) - w) tr.inputs;
+  List.iter (fun (p, w) -> next.(p) <- next.(p) + w) tr.outputs;
+  next
+
+type compiled = {
+  chain : Ctmc.t;
+  markings : int array array;
+  index_of : int array -> int option;
+}
+
+let compile t ~initial ?(max_states = 20000) () =
+  if Array.length initial <> t.places then
+    invalid_arg "Petri.compile: initial marking arity mismatch";
+  Array.iter
+    (fun tokens ->
+      if tokens < 0 then invalid_arg "Petri.compile: negative tokens")
+    initial;
+  let transition_list = transitions t in
+  let index = Hashtbl.create 64 in
+  let states = ref [ Array.copy initial ] in
+  let count = ref 1 in
+  Hashtbl.add index (Array.to_list initial) 0;
+  (* BFS over reachable markings, collecting rate-labeled edges. *)
+  let edges = ref [] in
+  let queue = Queue.create () in
+  Queue.add (0, Array.copy initial) queue;
+  while not (Queue.is_empty queue) do
+    let src, marking = Queue.pop queue in
+    List.iter
+      (fun tr ->
+        let degree = enabling_degree marking tr in
+        if degree > 0 then begin
+          let rate =
+            match tr.semantics with
+            | Single_server -> tr.rate
+            | Infinite_server -> tr.rate *. float_of_int degree
+          in
+          let next = fire marking tr in
+          let key = Array.to_list next in
+          let dst =
+            match Hashtbl.find_opt index key with
+            | Some dst -> dst
+            | None ->
+                if !count >= max_states then
+                  failwith
+                    (Printf.sprintf
+                       "Petri.compile: more than %d reachable markings"
+                       max_states);
+                let dst = !count in
+                Hashtbl.add index key dst;
+                states := next :: !states;
+                incr count;
+                Queue.add (dst, next) queue;
+                dst
+          in
+          if dst <> src then edges := (src, dst, rate) :: !edges
+        end)
+      transition_list
+  done;
+  let markings = Array.of_list (List.rev !states) in
+  let chain = Ctmc.create (Array.length markings) in
+  List.iter
+    (fun (src, dst, rate) -> Ctmc.add_transition chain ~src ~dst ~rate)
+    (List.rev !edges);
+  {
+    chain;
+    markings;
+    index_of = (fun m -> Hashtbl.find_opt index (Array.to_list m));
+  }
+
+let steady_state compiled =
+  let pi = Ctmc.stationary compiled.chain in
+  Array.to_list (Array.mapi (fun i m -> (m, pi.(i))) compiled.markings)
+
+let expected_tokens compiled place =
+  List.fold_left
+    (fun acc (marking, p) -> acc +. (float_of_int marking.(place) *. p))
+    0.
+    (steady_state compiled)
+
+let probability compiled predicate =
+  List.fold_left
+    (fun acc (marking, p) -> if predicate marking then acc +. p else acc)
+    0.
+    (steady_state compiled)

@@ -1,0 +1,73 @@
+(** Stochastic Petri nets, compiled to CTMCs.
+
+    The paper's availability engines include Mobius, whose native
+    formalism is the stochastic Petri net. This module provides that
+    front-end over our own solver: places hold tokens, exponential
+    transitions fire at marking-dependent rates, and the reachability
+    graph (from a given initial marking) is compiled into a {!Ctmc}
+    whose states are the reachable markings.
+
+    Rates support the two standard semantics: [Single] (constant rate
+    while enabled) and [Infinite_server] (rate × enabling degree — one
+    exponential clock per token set, the machine-repair pattern). *)
+
+type place = int
+
+type semantics =
+  | Single_server  (** Constant rate while enabled. *)
+  | Infinite_server
+      (** Rate multiplied by the enabling degree
+          min over inputs of ⌊tokens/weight⌋. *)
+
+type transition = {
+  label : string;
+  rate : float;  (** Base firing rate; must be positive and finite. *)
+  semantics : semantics;
+  inputs : (place * int) list;  (** Place and arc weight (>= 1). *)
+  outputs : (place * int) list;
+}
+
+type t
+
+val create : places:int -> t
+(** A net over places [0 .. places-1]. *)
+
+val add_transition :
+  t ->
+  label:string ->
+  rate:float ->
+  ?semantics:semantics ->
+  inputs:(place * int) list ->
+  outputs:(place * int) list ->
+  unit ->
+  unit
+(** [semantics] defaults to [Single_server]. Raises [Invalid_argument]
+    on bad rates, weights, out-of-range places, or a transition with no
+    inputs and no outputs. *)
+
+val num_places : t -> int
+val transitions : t -> transition list
+
+type compiled = {
+  chain : Ctmc.t;
+  markings : int array array;
+      (** [markings.(s)] is the token vector of CTMC state [s];
+          state 0 is the initial marking. *)
+  index_of : int array -> int option;
+      (** Look up the CTMC state of a marking. *)
+}
+
+val compile : t -> initial:int array -> ?max_states:int -> unit -> compiled
+(** Builds the reachability graph by breadth-first exploration.
+    Raises [Invalid_argument] when the initial marking has the wrong
+    arity or negative tokens, and [Failure] when the reachable set
+    exceeds [max_states] (default 20000 — unbounded nets exist). *)
+
+val steady_state : compiled -> (int array * float) list
+(** Stationary probability of every reachable marking. *)
+
+val expected_tokens : compiled -> place -> float
+(** Stationary mean token count of a place. *)
+
+val probability : compiled -> (int array -> bool) -> float
+(** Stationary probability that the marking satisfies the predicate. *)

@@ -1,0 +1,1 @@
+lib/model/component.ml: Aved_units Format List Option Printf String

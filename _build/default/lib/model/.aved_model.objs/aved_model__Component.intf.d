@@ -1,0 +1,1 @@
+lib/model/component.mli: Aved_units Format

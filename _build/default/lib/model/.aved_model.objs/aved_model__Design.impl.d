@@ -1,0 +1,1 @@
+lib/model/design.ml: Aved_units Component Format Infrastructure List Mechanism Printf Resource String

@@ -1,0 +1,1 @@
+lib/model/design.mli: Aved_units Format Infrastructure Mechanism

@@ -1,0 +1,1 @@
+lib/model/infrastructure.ml: Component Format List Mechanism Printf Resource String

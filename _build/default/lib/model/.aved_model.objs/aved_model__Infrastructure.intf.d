@@ -1,0 +1,1 @@
+lib/model/infrastructure.mli: Component Format Mechanism Resource

@@ -1,0 +1,1 @@
+lib/model/int_range.ml: Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/model/int_range.mli: Format

@@ -1,0 +1,1 @@
+lib/model/mech_impact.ml: Aved_perf Aved_units Format List Mechanism Printf String

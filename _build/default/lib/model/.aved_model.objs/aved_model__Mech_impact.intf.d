@@ -1,0 +1,1 @@
+lib/model/mech_impact.mli: Aved_perf Format Mechanism

@@ -1,0 +1,1 @@
+lib/model/mechanism.ml: Aved_units Format List Option Printf String

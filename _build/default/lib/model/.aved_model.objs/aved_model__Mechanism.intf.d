@@ -1,0 +1,1 @@
+lib/model/mechanism.mli: Aved_units Format

@@ -1,0 +1,1 @@
+lib/model/requirements.ml: Aved_units Float Format Printf

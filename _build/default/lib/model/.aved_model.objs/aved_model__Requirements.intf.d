@@ -1,0 +1,1 @@
+lib/model/requirements.mli: Aved_units Format

@@ -1,0 +1,1 @@
+lib/model/resource.ml: Aved_units Format Int List Option Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/model/resource.mli: Aved_units Format

@@ -1,0 +1,1 @@
+lib/model/service.ml: Aved_perf Aved_units Float Format Infrastructure Int_range List Mech_impact Mechanism Printf String

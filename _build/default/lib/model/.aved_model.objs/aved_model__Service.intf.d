@@ -1,0 +1,1 @@
+lib/model/service.mli: Aved_perf Aved_units Format Infrastructure Int_range Mech_impact

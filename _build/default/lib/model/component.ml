@@ -1,0 +1,84 @@
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+
+type repair =
+  | Fixed_repair of Duration.t
+  | Repair_by_mechanism of string
+
+type failure_mode = {
+  mode_name : string;
+  mtbf : Duration.t;
+  repair : repair;
+  detect_time : Duration.t;
+}
+
+type loss_window_spec =
+  | No_loss_window
+  | Fixed_loss_window of Duration.t
+  | Loss_window_by_mechanism of string
+
+type op_mode = Inactive | Active
+
+type t = {
+  name : string;
+  cost_inactive : Money.t;
+  cost_active : Money.t;
+  max_instances : int option;
+  failure_modes : failure_mode list;
+  loss_window : loss_window_spec;
+}
+
+let failure_mode ~name ~mtbf ?(repair = Fixed_repair Duration.zero)
+    ?(detect_time = Duration.zero) () =
+  if Duration.is_zero mtbf then
+    invalid_arg (Printf.sprintf "failure mode %s: MTBF must be positive" name);
+  { mode_name = name; mtbf; repair; detect_time }
+
+let make ~name ?cost_inactive ~cost_active ?max_instances
+    ?(failure_modes = []) ?(loss_window = No_loss_window) () =
+  let cost_inactive = Option.value cost_inactive ~default:cost_active in
+  let mode_names = List.map (fun m -> m.mode_name) failure_modes in
+  if
+    List.length (List.sort_uniq String.compare mode_names)
+    <> List.length mode_names
+  then invalid_arg (Printf.sprintf "component %s: duplicate failure mode" name);
+  (match max_instances with
+  | Some m when m <= 0 ->
+      invalid_arg (Printf.sprintf "component %s: max_instances=%d" name m)
+  | Some _ | None -> ());
+  { name; cost_inactive; cost_active; max_instances; failure_modes; loss_window }
+
+let cost t = function
+  | Inactive -> t.cost_inactive
+  | Active -> t.cost_active
+
+let mechanism_references t =
+  let from_repair =
+    List.filter_map
+      (fun m ->
+        match m.repair with
+        | Repair_by_mechanism mech -> Some mech
+        | Fixed_repair _ -> None)
+      t.failure_modes
+  in
+  let from_loss_window =
+    match t.loss_window with
+    | Loss_window_by_mechanism mech -> [ mech ]
+    | No_loss_window | Fixed_loss_window _ -> []
+  in
+  List.sort_uniq String.compare (from_repair @ from_loss_window)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>component %s (inactive %a / active %a)" t.name
+    Money.pp t.cost_inactive Money.pp t.cost_active;
+  List.iter
+    (fun m ->
+      let repair =
+        match m.repair with
+        | Fixed_repair d -> Duration.to_string d
+        | Repair_by_mechanism mech -> "<" ^ mech ^ ">"
+      in
+      Format.fprintf ppf "@,failure=%s mtbf=%a mttr=%s detect=%a" m.mode_name
+        Duration.pp m.mtbf repair Duration.pp m.detect_time)
+    t.failure_modes;
+  Format.fprintf ppf "@]"

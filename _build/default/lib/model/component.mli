@@ -1,0 +1,75 @@
+(** Components and their failure modes (paper §3.1.1).
+
+    A component is the basic unit of fault management: a hardware element
+    (a machine), an operating system, or an application software. Each
+    has one or more failure modes with an MTBF, a detection time and a
+    repair time; the repair time may instead be delegated to an
+    availability mechanism (e.g. a maintenance contract). *)
+
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+
+(** How a failed component of this mode gets repaired. *)
+type repair =
+  | Fixed_repair of Duration.t
+      (** In-place repair taking the given time (0 = simple restart). *)
+  | Repair_by_mechanism of string
+      (** The named mechanism's [mttr] attribute gives the repair time
+          (paper notation [mttr=<maintenanceA>]). *)
+
+type failure_mode = {
+  mode_name : string;  (** e.g. "hard", "soft". *)
+  mtbf : Duration.t;
+  repair : repair;
+  detect_time : Duration.t;
+}
+
+(** Where the component's loss window comes from (application software
+    components only). *)
+type loss_window_spec =
+  | No_loss_window
+  | Fixed_loss_window of Duration.t
+  | Loss_window_by_mechanism of string
+      (** Paper notation [loss_window=<checkpoint>]. *)
+
+type op_mode = Inactive | Active
+
+type t = {
+  name : string;
+  cost_inactive : Money.t;  (** Annual cost when powered off / unlicensed. *)
+  cost_active : Money.t;
+  max_instances : int option;
+  failure_modes : failure_mode list;
+  loss_window : loss_window_spec;
+}
+
+val make :
+  name:string ->
+  ?cost_inactive:Money.t ->
+  cost_active:Money.t ->
+  ?max_instances:int ->
+  ?failure_modes:failure_mode list ->
+  ?loss_window:loss_window_spec ->
+  unit ->
+  t
+(** [cost_inactive] defaults to [cost_active] (the paper's plain
+    [cost=...] form, a mode-independent cost). Failure-mode names must
+    be distinct and MTBFs positive. *)
+
+val failure_mode :
+  name:string ->
+  mtbf:Duration.t ->
+  ?repair:repair ->
+  ?detect_time:Duration.t ->
+  unit ->
+  failure_mode
+(** [repair] defaults to [Fixed_repair Duration.zero] and [detect_time]
+    to zero — the paper's software-glitch pattern. *)
+
+val cost : t -> op_mode -> Money.t
+
+val mechanism_references : t -> string list
+(** Names of mechanisms referenced by repair or loss-window attributes,
+    without duplicates. *)
+
+val pp : Format.formatter -> t -> unit

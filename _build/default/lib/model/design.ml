@@ -1,0 +1,158 @@
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+
+type tier_design = {
+  tier_name : string;
+  resource : string;
+  n_active : int;
+  n_spare : int;
+  spare_active_components : string list;
+  mechanism_settings : (string * Mechanism.setting) list;
+}
+
+type t = { service_name : string; tiers : tier_design list }
+
+let tier_design ~tier_name ~resource ~n_active ?(n_spare = 0)
+    ?(spare_active_components = []) ?(mechanism_settings = []) () =
+  if n_active <= 0 then
+    invalid_arg (Printf.sprintf "design %s: n_active=%d" tier_name n_active);
+  if n_spare < 0 then
+    invalid_arg (Printf.sprintf "design %s: n_spare=%d" tier_name n_spare);
+  {
+    tier_name;
+    resource;
+    n_active;
+    n_spare;
+    spare_active_components;
+    mechanism_settings;
+  }
+
+let make ~service_name ~tiers = { service_name; tiers }
+
+let validate_tier infra td =
+  let resource = Infrastructure.resource_exn infra td.resource in
+  let component_names = Resource.component_names resource in
+  (* Spare modes: members exist and the set is downward-closed. *)
+  List.iter
+    (fun c ->
+      if not (List.mem c component_names) then
+        invalid_arg
+          (Printf.sprintf "design %s: spare-active component %S not in %s"
+             td.tier_name c td.resource))
+    td.spare_active_components;
+  if
+    not
+      (List.mem td.spare_active_components
+         (Resource.downward_closed_subsets resource))
+  then
+    invalid_arg
+      (Printf.sprintf
+         "design %s: spare-active set violates dependencies of %s"
+         td.tier_name td.resource);
+  (* Component instance limits. *)
+  let instances = td.n_active + td.n_spare in
+  List.iter
+    (fun (c : Component.t) ->
+      match c.max_instances with
+      | Some limit when instances > limit ->
+          invalid_arg
+            (Printf.sprintf
+               "design %s: %d instances of component %s exceed limit %d"
+               td.tier_name instances c.name limit)
+      | Some _ | None -> ())
+    (Infrastructure.resource_components infra resource);
+  (* Mechanism settings: exactly the referenced mechanisms, with
+     well-formed settings (checked by evaluating every bound attribute). *)
+  let referenced = Infrastructure.resource_mechanisms infra resource in
+  List.iter
+    (fun (m : Mechanism.t) ->
+      match List.assoc_opt m.name td.mechanism_settings with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "design %s: missing setting for mechanism %s"
+               td.tier_name m.name)
+      | Some setting ->
+          ignore (Mechanism.cost_of m setting);
+          ignore (Mechanism.mttr_of m setting);
+          ignore (Mechanism.loss_window_of m setting))
+    referenced;
+  List.iter
+    (fun (name, _) ->
+      if
+        not
+          (List.exists (fun (m : Mechanism.t) -> String.equal m.name name)
+             referenced)
+      then
+        invalid_arg
+          (Printf.sprintf
+             "design %s: setting for mechanism %s, which resource %s does \
+              not reference"
+             td.tier_name name td.resource))
+    td.mechanism_settings
+
+let validate_against t infra = List.iter (validate_tier infra) t.tiers
+
+let setting_of td name = List.assoc_opt name td.mechanism_settings
+
+let tier_cost infra td =
+  let resource = Infrastructure.resource_exn infra td.resource in
+  let components = Infrastructure.resource_components infra resource in
+  let mechanism_cost (c : Component.t) =
+    Money.sum
+      (List.map
+         (fun mech_name ->
+           let mech = Infrastructure.mechanism_exn infra mech_name in
+           match setting_of td mech_name with
+           | Some setting -> Mechanism.cost_of mech setting
+           | None ->
+               invalid_arg
+                 (Printf.sprintf "design %s: missing setting for mechanism %s"
+                    td.tier_name mech_name))
+         (Component.mechanism_references c))
+  in
+  let active_resource_cost =
+    Money.sum
+      (List.map
+         (fun c -> Money.add (Component.cost c Component.Active) (mechanism_cost c))
+         components)
+  in
+  let spare_resource_cost =
+    Money.sum
+      (List.map
+         (fun (c : Component.t) ->
+           let mode =
+             if List.mem c.name td.spare_active_components then
+               Component.Active
+             else Component.Inactive
+           in
+           Money.add (Component.cost c mode) (mechanism_cost c))
+         components)
+  in
+  Money.add
+    (Money.scale (float_of_int td.n_active) active_resource_cost)
+    (Money.scale (float_of_int td.n_spare) spare_resource_cost)
+
+let cost infra t = Money.sum (List.map (tier_cost infra) t.tiers)
+
+let total_resources td = td.n_active + td.n_spare
+
+let pp_tier ppf td =
+  Format.fprintf ppf "tier %s: %s x%d active, %d spare%s%s" td.tier_name
+    td.resource td.n_active td.n_spare
+    (match td.spare_active_components with
+    | [] -> ""
+    | l -> " (spare-active: " ^ String.concat "," l ^ ")")
+    (match td.mechanism_settings with
+    | [] -> ""
+    | l ->
+        " "
+        ^ String.concat " "
+            (List.map
+               (fun (name, setting) ->
+                 name ^ Mechanism.setting_to_string setting)
+               l))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>design for %s" t.service_name;
+  List.iter (fun td -> Format.fprintf ppf "@,%a" pp_tier td) t.tiers;
+  Format.fprintf ppf "@]"

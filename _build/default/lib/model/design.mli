@@ -1,0 +1,56 @@
+(** A fully resolved design (paper §4): every choice in the design space
+    is fixed, so cost and availability can be evaluated. *)
+
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+
+type tier_design = {
+  tier_name : string;
+  resource : string;  (** Chosen resource type. *)
+  n_active : int;
+  n_spare : int;
+  spare_active_components : string list;
+      (** Components kept in [Active] operational mode in each spare
+          resource; must be downward-closed under the resource's
+          dependencies. Everything else in a spare is [Inactive]. *)
+  mechanism_settings : (string * Mechanism.setting) list;
+      (** One setting per mechanism referenced by the resource's
+          components. *)
+}
+
+type t = { service_name : string; tiers : tier_design list }
+
+val tier_design :
+  tier_name:string ->
+  resource:string ->
+  n_active:int ->
+  ?n_spare:int ->
+  ?spare_active_components:string list ->
+  ?mechanism_settings:(string * Mechanism.setting) list ->
+  unit ->
+  tier_design
+(** Raises [Invalid_argument] when [n_active <= 0] or [n_spare < 0]. *)
+
+val make : service_name:string -> tiers:tier_design list -> t
+
+val validate_against : t -> Infrastructure.t -> unit
+(** Checks resource existence, spare-mode downward-closure, component
+    [max_instances] bounds, and that mechanism settings cover exactly
+    the mechanisms the resource references with values in range.
+    Raises [Invalid_argument] otherwise. *)
+
+val tier_cost : Infrastructure.t -> tier_design -> Money.t
+(** Annual cost of the tier: active resources at active component costs,
+    spares at their per-component operational modes, plus mechanism
+    costs once per component instance referencing the mechanism
+    (so a maintenance contract scales with the number of machines it
+    covers, spares included — the paper's proportionality). *)
+
+val cost : Infrastructure.t -> t -> Money.t
+
+val setting_of : tier_design -> string -> Mechanism.setting option
+(** The chosen setting of the named mechanism, if any. *)
+
+val total_resources : tier_design -> int
+val pp_tier : Format.formatter -> tier_design -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,124 @@
+type t = {
+  components : Component.t list;
+  mechanisms : Mechanism.t list;
+  resources : Resource.t list;
+}
+
+let find_component t name =
+  List.find_opt (fun (c : Component.t) -> String.equal c.name name) t.components
+
+let find_mechanism t name =
+  List.find_opt (fun (m : Mechanism.t) -> String.equal m.name name) t.mechanisms
+
+let find_resource t name =
+  List.find_opt (fun (r : Resource.t) -> String.equal r.name name) t.resources
+
+let not_found kind name =
+  invalid_arg (Printf.sprintf "infrastructure: unknown %s %S" kind name)
+
+let component_exn t name =
+  match find_component t name with
+  | Some c -> c
+  | None -> not_found "component" name
+
+let mechanism_exn t name =
+  match find_mechanism t name with
+  | Some m -> m
+  | None -> not_found "mechanism" name
+
+let resource_exn t name =
+  match find_resource t name with
+  | Some r -> r
+  | None -> not_found "resource" name
+
+let check_unique kind names =
+  let sorted = List.sort String.compare names in
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg (Printf.sprintf "infrastructure: duplicate %s %S" kind a);
+        scan rest
+    | [ _ ] | [] -> ()
+  in
+  scan sorted
+
+let make ~components ~mechanisms ~resources =
+  check_unique "component"
+    (List.map (fun (c : Component.t) -> c.name) components);
+  check_unique "mechanism"
+    (List.map (fun (m : Mechanism.t) -> m.name) mechanisms);
+  check_unique "resource" (List.map (fun (r : Resource.t) -> r.name) resources);
+  let t = { components; mechanisms; resources } in
+  List.iter
+    (fun (r : Resource.t) ->
+      List.iter
+        (fun (e : Resource.element) ->
+          if find_component t e.component = None then
+            invalid_arg
+              (Printf.sprintf
+                 "infrastructure: resource %s uses unknown component %S" r.name
+                 e.component))
+        r.elements)
+    resources;
+  List.iter
+    (fun (c : Component.t) ->
+      List.iter
+        (fun (fm : Component.failure_mode) ->
+          match fm.repair with
+          | Component.Fixed_repair _ -> ()
+          | Component.Repair_by_mechanism mech -> (
+              match find_mechanism t mech with
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf
+                       "infrastructure: component %s repairs via unknown \
+                        mechanism %S"
+                       c.name mech)
+              | Some m ->
+                  if m.mttr = None then
+                    invalid_arg
+                      (Printf.sprintf
+                         "infrastructure: mechanism %s provides no mttr \
+                          (referenced by component %s)"
+                         mech c.name)))
+        c.failure_modes;
+      match c.loss_window with
+      | Component.No_loss_window | Component.Fixed_loss_window _ -> ()
+      | Component.Loss_window_by_mechanism mech -> (
+          match find_mechanism t mech with
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "infrastructure: component %s loss window via unknown \
+                    mechanism %S"
+                   c.name mech)
+          | Some m ->
+              if m.loss_window = None then
+                invalid_arg
+                  (Printf.sprintf
+                     "infrastructure: mechanism %s provides no loss_window \
+                      (referenced by component %s)"
+                     mech c.name)))
+    components;
+  t
+
+let resource_components t (r : Resource.t) =
+  List.map (fun (e : Resource.element) -> component_exn t e.component) r.elements
+
+let resource_mechanisms t (r : Resource.t) =
+  let refs =
+    List.concat_map
+      (fun c -> Component.mechanism_references c)
+      (resource_components t r)
+  in
+  let rec dedup seen = function
+    | [] -> List.rev seen
+    | m :: rest ->
+        if List.mem m seen then dedup seen rest else dedup (m :: seen) rest
+  in
+  List.map (mechanism_exn t) (dedup [] refs)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>infrastructure: %d components, %d mechanisms, %d resources@]"
+    (List.length t.components) (List.length t.mechanisms)
+    (List.length t.resources)

@@ -1,0 +1,41 @@
+(** The infrastructure model: the catalog of building blocks (paper
+    §3.1) — component types, availability mechanisms and resource types.
+    Maintained in a repository and shared by all services. *)
+
+type t = {
+  components : Component.t list;
+  mechanisms : Mechanism.t list;
+  resources : Resource.t list;
+}
+
+val make :
+  components:Component.t list ->
+  mechanisms:Mechanism.t list ->
+  resources:Resource.t list ->
+  t
+(** Validates global consistency: unique names per kind; every component
+    referenced by a resource exists; every mechanism referenced by a
+    component exists and provides the referenced attribute (a repair
+    reference needs [mttr], a loss-window reference needs
+    [loss_window]). Raises [Invalid_argument] with a descriptive message
+    otherwise. *)
+
+val find_component : t -> string -> Component.t option
+val find_mechanism : t -> string -> Mechanism.t option
+val find_resource : t -> string -> Resource.t option
+
+val component_exn : t -> string -> Component.t
+val mechanism_exn : t -> string -> Mechanism.t
+val resource_exn : t -> string -> Resource.t
+
+val resource_components : t -> Resource.t -> Component.t list
+(** The component records of a resource's elements, in declaration
+    order. *)
+
+val resource_mechanisms : t -> Resource.t -> Mechanism.t list
+(** The mechanisms referenced by any component of the resource, each
+    once, in first-reference order. These are the mechanisms whose
+    settings the design search must choose for a tier using this
+    resource. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+type t =
+  | Singleton of int
+  | Arithmetic of { lo : int; hi : int; step : int }
+  | Geometric of { lo : int; hi : int; factor : int }
+  | Explicit of int list
+
+let singleton n =
+  if n < 0 then invalid_arg (Printf.sprintf "Int_range.singleton: %d" n);
+  Singleton n
+
+let arithmetic ~lo ~hi ~step =
+  if lo < 0 || hi < lo || step <= 0 then
+    invalid_arg
+      (Printf.sprintf "Int_range.arithmetic: [%d-%d,+%d]" lo hi step);
+  Arithmetic { lo; hi; step }
+
+let geometric ~lo ~hi ~factor =
+  if lo < 1 || hi < lo || factor <= 1 then
+    invalid_arg
+      (Printf.sprintf "Int_range.geometric: [%d-%d,*%d]" lo hi factor);
+  Geometric { lo; hi; factor }
+
+let explicit = function
+  | [] -> invalid_arg "Int_range.explicit: empty"
+  | values ->
+      if List.exists (fun v -> v < 0) values then
+        invalid_arg "Int_range.explicit: negative member";
+      Explicit (List.sort_uniq Int.compare values)
+
+let to_list = function
+  | Singleton n -> [ n ]
+  | Arithmetic { lo; hi; step } ->
+      let rec loop n acc = if n > hi then List.rev acc else loop (n + step) (n :: acc) in
+      loop lo []
+  | Geometric { lo; hi; factor } ->
+      let rec loop n acc = if n > hi then List.rev acc else loop (n * factor) (n :: acc) in
+      loop lo []
+  | Explicit values -> values
+
+let mem t n =
+  match t with
+  | Singleton v -> v = n
+  | Arithmetic { lo; hi; step } -> n >= lo && n <= hi && (n - lo) mod step = 0
+  | Geometric _ | Explicit _ -> List.mem n (to_list t)
+
+let min_value t = match to_list t with [] -> assert false | n :: _ -> n
+
+let max_value t =
+  match List.rev (to_list t) with [] -> assert false | n :: _ -> n
+
+let next_above t n = List.find_opt (fun v -> v >= n) (to_list t)
+
+let of_string text =
+  let text = String.trim text in
+  let n = String.length text in
+  if n < 2 || text.[0] <> '[' || text.[n - 1] <> ']' then
+    invalid_arg (Printf.sprintf "Int_range.of_string: %S" text);
+  let body = String.trim (String.sub text 1 (n - 2)) in
+  let int_of s =
+    match int_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Int_range.of_string: bad int %S" s)
+  in
+  match String.split_on_char ',' body with
+  | [ single ] when not (String.contains single '-') ->
+      singleton (int_of single)
+  | [ range; step ] when String.contains range '-' -> (
+      let lo, hi =
+        match String.index_opt range '-' with
+        | Some i ->
+            ( int_of (String.sub range 0 i),
+              int_of (String.sub range (i + 1) (String.length range - i - 1)) )
+        | None -> assert false
+      in
+      let step = String.trim step in
+      match step.[0] with
+      | '+' ->
+          arithmetic ~lo ~hi
+            ~step:(int_of (String.sub step 1 (String.length step - 1)))
+      | '*' ->
+          geometric ~lo ~hi
+            ~factor:(int_of (String.sub step 1 (String.length step - 1)))
+      | _ -> invalid_arg (Printf.sprintf "Int_range.of_string: bad step %S" step)
+      | exception Invalid_argument _ ->
+          invalid_arg (Printf.sprintf "Int_range.of_string: %S" text))
+  | parts when List.length parts > 1 && not (String.contains body '-') ->
+      explicit (List.map int_of parts)
+  | _ -> invalid_arg (Printf.sprintf "Int_range.of_string: %S" text)
+
+let to_string = function
+  | Singleton n -> Printf.sprintf "[%d]" n
+  | Arithmetic { lo; hi; step } -> Printf.sprintf "[%d-%d,+%d]" lo hi step
+  | Geometric { lo; hi; factor } -> Printf.sprintf "[%d-%d,*%d]" lo hi factor
+  | Explicit values ->
+      "[" ^ String.concat "," (List.map string_of_int values) ^ "]"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

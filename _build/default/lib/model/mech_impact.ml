@@ -1,0 +1,57 @@
+module Duration = Aved_units.Duration
+module Slowdown = Aved_perf.Slowdown
+
+type case = {
+  guards : (string * string) list;
+  slowdown : Slowdown.t;
+}
+
+type t = case list
+
+let unguarded slowdown = [ { guards = []; slowdown } ]
+let case ~guards slowdown = { guards; slowdown }
+
+let guard_matches setting (param, expected) =
+  match List.assoc_opt param setting with
+  | Some (Mechanism.Enum_value v) -> String.equal v expected
+  | Some (Mechanism.Duration_value _) ->
+      invalid_arg
+        (Printf.sprintf "Mech_impact: guard on duration parameter %s" param)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Mech_impact: guard on absent parameter %s" param)
+
+let eval t ~setting ~n =
+  match
+    List.find_opt
+      (fun case -> List.for_all (guard_matches setting) case.guards)
+      t
+  with
+  | None -> invalid_arg "Mech_impact.eval: no case matches the setting"
+  | Some case ->
+      let bindings =
+        ("n", float_of_int n)
+        :: List.filter_map
+             (fun (name, value) ->
+               match value with
+               | Mechanism.Duration_value d -> Some (name, Duration.minutes d)
+               | Mechanism.Enum_value _ -> None)
+             setting
+      in
+      Slowdown.eval case.slowdown bindings
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i case ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      let guard_text =
+        match case.guards with
+        | [] -> "*"
+        | guards ->
+            String.concat ","
+              (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) guards)
+      in
+      Format.fprintf ppf "[%s] -> %a" guard_text Slowdown.pp case.slowdown)
+    t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,34 @@
+(** Performance impact of an availability mechanism on a tier.
+
+    Paper §3.2: the service model attaches an [mperformance] function to
+    each (tier, resource) option affected by a mechanism. Table 1 keys
+    these functions on enum parameters (storage location) and evaluates
+    an expression over the remaining variables (checkpoint interval,
+    number of active resources). Values are multiplicative slowdowns
+    (>= 1, the paper's >= 100%).
+
+    Variable binding convention: the expression may use [n] (number of
+    active resources) and any duration-valued mechanism parameter by its
+    parameter name, bound in {e minutes} (Table 1's [cpi] convention). *)
+
+type case = {
+  guards : (string * string) list;
+      (** Enum parameter values this case applies to, e.g.
+          [["storage_location", "central"]]. An empty list matches any
+          setting. *)
+  slowdown : Aved_perf.Slowdown.t;
+}
+
+type t = case list
+(** Cases are tried in order; the first whose guards all match is used. *)
+
+val unguarded : Aved_perf.Slowdown.t -> t
+val case : guards:(string * string) list -> Aved_perf.Slowdown.t -> case
+
+val eval : t -> setting:Mechanism.setting -> n:int -> float
+(** The slowdown factor (>= 1). Raises [Invalid_argument] when no case
+    matches or a guard names a parameter absent from the setting;
+    raises [Aved_expr.Expr.Unbound_variable] when the expression needs a
+    variable the setting does not provide. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,183 @@
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+
+type param_range =
+  | Enum of string list
+  | Duration_geometric of { lo : Duration.t; hi : Duration.t; factor : float }
+
+type parameter = { param_name : string; range : param_range }
+type value = Enum_value of string | Duration_value of Duration.t
+type setting = (string * value) list
+
+type 'a binding =
+  | Fixed of 'a
+  | By_enum of { param : string; table : (string * 'a) list }
+  | Of_param of string
+
+type t = {
+  name : string;
+  parameters : parameter list;
+  cost : Money.t binding;
+  mttr : Duration.t binding option;
+  loss_window : Duration.t binding option;
+}
+
+let find_parameter parameters name =
+  List.find_opt (fun p -> String.equal p.param_name name) parameters
+
+let validate_binding ~mech ~attr parameters = function
+  | Fixed _ -> ()
+  | By_enum { param; table } -> (
+      match find_parameter parameters param with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "mechanism %s: %s references unknown parameter %s"
+               mech attr param)
+      | Some { range = Duration_geometric _; _ } ->
+          invalid_arg
+            (Printf.sprintf
+               "mechanism %s: %s indexes non-enum parameter %s by value" mech
+               attr param)
+      | Some { range = Enum values; _ } ->
+          List.iter
+            (fun v ->
+              if not (List.mem_assoc v table) then
+                invalid_arg
+                  (Printf.sprintf
+                     "mechanism %s: %s table misses value %s of parameter %s"
+                     mech attr v param))
+            values)
+  | Of_param param -> (
+      match find_parameter parameters param with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "mechanism %s: %s references unknown parameter %s"
+               mech attr param)
+      | Some { range = Enum _; _ } ->
+          invalid_arg
+            (Printf.sprintf
+               "mechanism %s: %s equates a non-duration parameter %s" mech attr
+               param)
+      | Some { range = Duration_geometric _; _ } -> ())
+
+let make ~name ~parameters ~cost ?mttr ?loss_window () =
+  let names = List.map (fun p -> p.param_name) parameters in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg (Printf.sprintf "mechanism %s: duplicate parameter" name);
+  List.iter
+    (fun p ->
+      match p.range with
+      | Enum [] ->
+          invalid_arg
+            (Printf.sprintf "mechanism %s: parameter %s has empty range" name
+               p.param_name)
+      | Enum _ -> ()
+      | Duration_geometric { lo; hi; factor } ->
+          if
+            Duration.is_zero lo
+            || Duration.compare lo hi > 0
+            || factor <= 1.
+          then
+            invalid_arg
+              (Printf.sprintf "mechanism %s: parameter %s has bad range" name
+                 p.param_name))
+    parameters;
+  (match cost with
+  | Of_param _ ->
+      invalid_arg
+        (Printf.sprintf "mechanism %s: cost cannot equal a duration parameter"
+           name)
+  | Fixed _ | By_enum _ -> ());
+  validate_binding ~mech:name ~attr:"cost" parameters cost;
+  Option.iter (validate_binding ~mech:name ~attr:"mttr" parameters) mttr;
+  Option.iter
+    (validate_binding ~mech:name ~attr:"loss_window" parameters)
+    loss_window;
+  { name; parameters; cost; mttr; loss_window }
+
+let param_values p =
+  match p.range with
+  | Enum values -> List.map (fun v -> Enum_value v) values
+  | Duration_geometric { lo; hi; factor } ->
+      let hi_s = Duration.seconds hi in
+      let rec loop v acc =
+        if Duration.seconds v >= hi_s then List.rev (Duration_value hi :: acc)
+        else loop (Duration.scale factor v) (Duration_value v :: acc)
+      in
+      loop lo []
+
+let settings t =
+  let rec product = function
+    | [] -> [ [] ]
+    | p :: rest ->
+        let tails = product rest in
+        List.concat_map
+          (fun v -> List.map (fun tail -> (p.param_name, v) :: tail) tails)
+          (param_values p)
+  in
+  product t.parameters
+
+let lookup_value t setting param =
+  match List.assoc_opt param setting with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "mechanism %s: setting misses parameter %s" t.name
+           param)
+
+let eval_binding t setting = function
+  | Fixed v -> v
+  | By_enum { param; table } -> (
+      match lookup_value t setting param with
+      | Enum_value v -> (
+          match List.assoc_opt v table with
+          | Some r -> r
+          | None ->
+              invalid_arg
+                (Printf.sprintf "mechanism %s: no table entry for %s=%s" t.name
+                   param v))
+      | Duration_value _ ->
+          invalid_arg
+            (Printf.sprintf "mechanism %s: parameter %s is not an enum" t.name
+               param))
+  | Of_param _ -> assert false (* handled by the duration-specific path *)
+
+let eval_duration_binding t setting = function
+  | Of_param param -> (
+      match lookup_value t setting param with
+      | Duration_value d -> d
+      | Enum_value v ->
+          invalid_arg
+            (Printf.sprintf "mechanism %s: parameter %s=%s is not a duration"
+               t.name param v))
+  | (Fixed _ | By_enum _) as binding -> eval_binding t setting binding
+
+let cost_of t setting =
+  match t.cost with
+  | Of_param _ ->
+      invalid_arg (Printf.sprintf "mechanism %s: cost cannot be Of_param" t.name)
+  | binding -> eval_binding t setting binding
+
+let mttr_of t setting =
+  Option.map (eval_duration_binding t setting) t.mttr
+
+let loss_window_of t setting =
+  Option.map (eval_duration_binding t setting) t.loss_window
+
+let value_to_string = function
+  | Enum_value v -> v
+  | Duration_value d -> Duration.to_string d
+
+let setting_to_string setting =
+  match setting with
+  | [] -> "()"
+  | _ ->
+      "("
+      ^ String.concat ", "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=%s" k (value_to_string v))
+             setting)
+      ^ ")"
+
+let pp_setting ppf setting =
+  Format.pp_print_string ppf (setting_to_string setting)

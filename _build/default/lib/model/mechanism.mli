@@ -1,0 +1,82 @@
+(** Availability mechanisms (paper §3.1.2).
+
+    A mechanism is a configurable operator that sets or modifies other
+    attributes of the design — e.g. a maintenance contract whose [level]
+    parameter determines component repair times, or a checkpoint-restart
+    mechanism whose [checkpoint_interval] parameter determines the loss
+    window. Mechanisms are described separately from components and bound
+    to them at design time. *)
+
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+
+(** The domain of one configuration parameter. *)
+type param_range =
+  | Enum of string list
+      (** e.g. [level] in {bronze, silver, gold, platinum}, or
+          [storage_location] in {central, peer}. *)
+  | Duration_geometric of {
+      lo : Duration.t;
+      hi : Duration.t;
+      factor : float;
+    }
+      (** e.g. [checkpoint_interval] in [[1m, 24h; *1.05]]: the values
+          lo, lo·f, lo·f², … up to hi (hi always included). *)
+
+type parameter = { param_name : string; range : param_range }
+
+(** The chosen value of one parameter. *)
+type value = Enum_value of string | Duration_value of Duration.t
+
+type setting = (string * value) list
+(** One chosen value per parameter, in declaration order. *)
+
+(** How an attribute of the mechanism depends on its parameters. *)
+type 'a binding =
+  | Fixed of 'a
+  | By_enum of { param : string; table : (string * 'a) list }
+      (** Table indexed by an enum parameter, e.g.
+          [mttr(level)=[38h 15h 8h 6h]]. *)
+  | Of_param of string
+      (** The attribute equals a duration parameter, e.g.
+          [loss_window=checkpoint_interval]. *)
+
+type t = {
+  name : string;
+  parameters : parameter list;
+  cost : Money.t binding;  (** Annual cost per component instance covered. *)
+  mttr : Duration.t binding option;
+      (** Present when the mechanism determines repair time. *)
+  loss_window : Duration.t binding option;
+      (** Present when the mechanism determines the loss window. *)
+}
+
+val make :
+  name:string ->
+  parameters:parameter list ->
+  cost:Money.t binding ->
+  ?mttr:Duration.t binding ->
+  ?loss_window:Duration.t binding ->
+  unit ->
+  t
+(** Validates that every [By_enum]/[Of_param] binding references a
+    declared parameter of the right kind and covers its whole range.
+    Raises [Invalid_argument] otherwise. *)
+
+val param_values : parameter -> value list
+(** All values of a parameter (a geometric duration range is enumerated,
+    endpoint included). *)
+
+val settings : t -> setting list
+(** The cartesian product of all parameter ranges — every configuration
+    of the mechanism. Singleton [[]] for a parameterless mechanism. *)
+
+val cost_of : t -> setting -> Money.t
+(** Raises [Invalid_argument] when the setting does not match the
+    mechanism's parameters. *)
+
+val mttr_of : t -> setting -> Duration.t option
+val loss_window_of : t -> setting -> Duration.t option
+
+val setting_to_string : setting -> string
+val pp_setting : Format.formatter -> setting -> unit

@@ -1,0 +1,26 @@
+module Duration = Aved_units.Duration
+
+type t =
+  | Enterprise of {
+      throughput : float;
+      max_annual_downtime : Duration.t;
+    }
+  | Finite_job of { max_execution_time : Duration.t }
+
+let enterprise ~throughput ~max_annual_downtime =
+  if not (Float.is_finite throughput) || throughput <= 0. then
+    invalid_arg (Printf.sprintf "Requirements.enterprise: throughput %g" throughput);
+  Enterprise { throughput; max_annual_downtime }
+
+let finite_job ~max_execution_time =
+  if Duration.is_zero max_execution_time then
+    invalid_arg "Requirements.finite_job: zero execution time bound";
+  Finite_job { max_execution_time }
+
+let pp ppf = function
+  | Enterprise { throughput; max_annual_downtime } ->
+      Format.fprintf ppf "throughput >= %g, annual downtime <= %a" throughput
+        Duration.pp max_annual_downtime
+  | Finite_job { max_execution_time } ->
+      Format.fprintf ppf "job completion time <= %a" Duration.pp
+        max_execution_time

@@ -1,0 +1,22 @@
+(** Service requirements (paper §2).
+
+    Enterprise services specify a throughput floor and an annual
+    downtime ceiling; finite jobs specify only a bound on expected
+    completion time. *)
+
+module Duration = Aved_units.Duration
+
+type t =
+  | Enterprise of {
+      throughput : float;  (** Service-specific units of load. *)
+      max_annual_downtime : Duration.t;
+    }
+  | Finite_job of { max_execution_time : Duration.t }
+
+val enterprise : throughput:float -> max_annual_downtime:Duration.t -> t
+(** Raises [Invalid_argument] on a non-positive throughput. *)
+
+val finite_job : max_execution_time:Duration.t -> t
+(** Raises [Invalid_argument] on a zero bound. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,149 @@
+module Duration = Aved_units.Duration
+
+type element = {
+  component : string;
+  depends_on : string option;
+  startup : Duration.t;
+}
+
+type t = {
+  name : string;
+  reconfig_time : Duration.t;
+  elements : element list;
+}
+
+let element ~component ?depends_on ?(startup = Duration.zero) () =
+  { component; depends_on; startup }
+
+let find_element t name =
+  List.find_opt (fun e -> String.equal e.component name) t.elements
+
+let make ~name ?(reconfig_time = Duration.zero) ~elements () =
+  if elements = [] then
+    invalid_arg (Printf.sprintf "resource %s: no components" name);
+  let names = List.map (fun e -> e.component) elements in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg (Printf.sprintf "resource %s: duplicate component" name);
+  let t = { name; reconfig_time; elements } in
+  List.iter
+    (fun e ->
+      match e.depends_on with
+      | None -> ()
+      | Some dep ->
+          if String.equal dep e.component then
+            invalid_arg
+              (Printf.sprintf "resource %s: %s depends on itself" name
+                 e.component);
+          if find_element t dep = None then
+            invalid_arg
+              (Printf.sprintf "resource %s: %s depends on unknown %s" name
+                 e.component dep))
+    elements;
+  (* Cycle check: walk each dependency chain; chains are per-element
+     single-parent so a cycle manifests as a walk longer than the
+     element count. *)
+  let limit = List.length elements in
+  List.iter
+    (fun e ->
+      let rec walk current steps =
+        if steps > limit then
+          invalid_arg (Printf.sprintf "resource %s: dependency cycle" name)
+        else
+          match find_element t current with
+          | Some { depends_on = Some dep; _ } -> walk dep (steps + 1)
+          | Some { depends_on = None; _ } | None -> ()
+      in
+      walk e.component 0)
+    elements;
+  t
+
+let component_names t = List.map (fun e -> e.component) t.elements
+
+let depends_transitively t name ancestor =
+  let rec walk current =
+    match find_element t current with
+    | Some { depends_on = Some dep; _ } ->
+        String.equal dep ancestor || walk dep
+    | Some { depends_on = None; _ } | None -> false
+  in
+  walk name
+
+let dependents t name =
+  List.filter
+    (fun c -> depends_transitively t c name)
+    (component_names t)
+
+let affected_by_failure t name = name :: dependents t name
+
+let startup_time_of t names =
+  List.fold_left
+    (fun acc n ->
+      match find_element t n with
+      | Some e -> Duration.add acc e.startup
+      | None ->
+          invalid_arg
+            (Printf.sprintf "resource %s: unknown component %s" t.name n))
+    Duration.zero names
+
+let restart_time t name = startup_time_of t (affected_by_failure t name)
+
+let startup_order t =
+  (* Kahn's algorithm over the single-parent dependency forest; ties are
+     broken by declaration order for determinism. *)
+  let remaining = ref (component_names t) in
+  let placed = ref [] in
+  let is_placed c = List.mem c !placed in
+  let ready c =
+    match find_element t c with
+    | Some { depends_on = None; _ } -> true
+    | Some { depends_on = Some dep; _ } -> is_placed dep
+    | None -> false
+  in
+  while !remaining <> [] do
+    match List.find_opt ready !remaining with
+    | Some c ->
+        placed := !placed @ [ c ];
+        remaining := List.filter (fun x -> not (String.equal x c)) !remaining
+    | None -> assert false (* acyclic by construction *)
+  done;
+  !placed
+
+let total_startup_time t = startup_time_of t (component_names t)
+
+let downward_closed_subsets t =
+  let components = component_names t in
+  let closed subset =
+    List.for_all
+      (fun c ->
+        match find_element t c with
+        | Some { depends_on = Some dep; _ } -> List.mem dep subset
+        | Some { depends_on = None; _ } -> true
+        | None -> false)
+      subset
+  in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | c :: rest ->
+        let tails = subsets rest in
+        tails @ List.map (fun tail -> c :: tail) tails
+  in
+  subsets components
+  |> List.filter closed
+  |> List.map (fun s ->
+         (* Keep declaration order within each subset. *)
+         List.filter (fun c -> List.mem c s) components)
+  |> List.sort (fun a b ->
+         match Int.compare (List.length a) (List.length b) with
+         | 0 -> Stdlib.compare a b
+         | c -> c)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>resource %s reconfig=%a" t.name Duration.pp
+    t.reconfig_time;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@,component=%s depend=%s startup=%a" e.component
+        (Option.value e.depends_on ~default:"null")
+        Duration.pp e.startup)
+    t.elements;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,70 @@
+(** Resource types (paper §3.1.3).
+
+    A resource is a combination of components allocated to a service as a
+    unit — e.g. machineA + linux + webserver. Dependencies fix both the
+    startup order and failure propagation: a component's failure also
+    brings down every component that (transitively) depends on it. *)
+
+module Duration = Aved_units.Duration
+
+type element = {
+  component : string;  (** Component type name. *)
+  depends_on : string option;
+      (** The component within this resource it runs on ([None] = the
+          paper's [depend=null]). *)
+  startup : Duration.t;
+}
+
+type t = {
+  name : string;
+  reconfig_time : Duration.t;
+      (** Extra time on failover to a spare of this type (load-balancer
+          reconfiguration, data transfer, ...). *)
+  elements : element list;  (** In declaration order. *)
+}
+
+val make :
+  name:string -> ?reconfig_time:Duration.t -> elements:element list -> unit -> t
+(** Validates: at least one element, distinct component names, every
+    dependency names another element, and the dependency graph is
+    acyclic. Raises [Invalid_argument] otherwise. *)
+
+val element :
+  component:string -> ?depends_on:string -> ?startup:Duration.t -> unit ->
+  element
+
+val component_names : t -> string list
+(** In declaration order. *)
+
+val dependents : t -> string -> string list
+(** [dependents t c] — the components that transitively depend on [c]
+    (excluding [c]), i.e. those also brought down by a failure of [c]. *)
+
+val affected_by_failure : t -> string -> string list
+(** [c] plus its transitive dependents — everything that must restart
+    after [c] fails. *)
+
+val restart_time : t -> string -> Duration.t
+(** Total startup time incurred after a failure of the given component:
+    the sum of startup times of {!affected_by_failure}. (Startups along
+    a dependency chain are sequential.) *)
+
+val startup_order : t -> string list
+(** A topological order of the components (dependencies first). *)
+
+val total_startup_time : t -> Duration.t
+(** Time to start the whole resource from cold, following the
+    dependency chains (sum over all elements — the paper's chains are
+    linear so sequential startup is the faithful reading). *)
+
+val startup_time_of : t -> string list -> Duration.t
+(** Sum of the startup times of the given components. *)
+
+val downward_closed_subsets : t -> string list list
+(** All subsets S of components such that every dependency of a member
+    is also a member — the legal sets of components that can be kept
+    [Active] in a spare resource (software cannot run on powered-off
+    hardware). Ordered by increasing size; always contains [[]] and the
+    full set. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+module Duration = Aved_units.Duration
+
+type sizing = Static | Dynamic
+type failure_scope = Resource_scope | Tier_scope
+
+type resource_option = {
+  resource : string;
+  sizing : sizing;
+  failure_scope : failure_scope;
+  n_active : Int_range.t;
+  performance : Aved_perf.Perf_function.t;
+  mech_performance : (string * Mech_impact.t) list;
+}
+
+type tier = { tier_name : string; options : resource_option list }
+
+type t = {
+  service_name : string;
+  job_size : float option;
+  tiers : tier list;
+}
+
+let resource_option ~resource ?(sizing = Dynamic)
+    ?(failure_scope = Resource_scope) ~n_active ~performance
+    ?(mech_performance = []) () =
+  { resource; sizing; failure_scope; n_active; performance; mech_performance }
+
+let tier ~name ~options =
+  if options = [] then
+    invalid_arg (Printf.sprintf "tier %s: no resource options" name);
+  let resources = List.map (fun o -> o.resource) options in
+  if
+    List.length (List.sort_uniq String.compare resources)
+    <> List.length resources
+  then invalid_arg (Printf.sprintf "tier %s: duplicate resource option" name);
+  { tier_name = name; options }
+
+let make ~name ?job_size ~tiers () =
+  if tiers = [] then invalid_arg (Printf.sprintf "service %s: no tiers" name);
+  let names = List.map (fun t -> t.tier_name) tiers in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg (Printf.sprintf "service %s: duplicate tier" name);
+  (match job_size with
+  | Some size when size <= 0. || not (Float.is_finite size) ->
+      invalid_arg (Printf.sprintf "service %s: job_size=%g" name size)
+  | Some _ | None -> ());
+  { service_name = name; job_size; tiers }
+
+let validate_against t infra =
+  List.iter
+    (fun tier ->
+      List.iter
+        (fun opt ->
+          match Infrastructure.find_resource infra opt.resource with
+          | None ->
+              invalid_arg
+                (Printf.sprintf "service %s tier %s: unknown resource %S"
+                   t.service_name tier.tier_name opt.resource)
+          | Some resource ->
+              let referenced =
+                List.map
+                  (fun (m : Mechanism.t) -> m.name)
+                  (Infrastructure.resource_mechanisms infra resource)
+              in
+              List.iter
+                (fun (mech, _) ->
+                  if not (List.mem mech referenced) then
+                    invalid_arg
+                      (Printf.sprintf
+                         "service %s tier %s: mech_performance for %S, which \
+                          resource %s does not use"
+                         t.service_name tier.tier_name mech opt.resource))
+                opt.mech_performance)
+        tier.options)
+    t.tiers
+
+let find_tier t name =
+  List.find_opt (fun tier -> String.equal tier.tier_name name) t.tiers
+
+let is_finite_job t = t.job_size <> None
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>service %s%s" t.service_name
+    (match t.job_size with
+    | Some size -> Printf.sprintf " jobsize=%g" size
+    | None -> "");
+  List.iter
+    (fun tier ->
+      Format.fprintf ppf "@,tier %s: %s" tier.tier_name
+        (String.concat ", " (List.map (fun o -> o.resource) tier.options)))
+    t.tiers;
+  Format.fprintf ppf "@]"

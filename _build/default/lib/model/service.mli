@@ -1,0 +1,61 @@
+(** The service model (paper §3.2): tiers, their resource options, and
+    per-option parallelism and performance characteristics. *)
+
+module Duration = Aved_units.Duration
+
+type sizing = Static | Dynamic
+
+type failure_scope =
+  | Resource_scope
+      (** A failure affects only the failed resource instance. *)
+  | Tier_scope
+      (** A single failure takes the whole tier down (e.g. a tightly
+          coupled MPI job). *)
+
+type resource_option = {
+  resource : string;  (** Resource type name in the infrastructure. *)
+  sizing : sizing;
+  failure_scope : failure_scope;
+  n_active : Int_range.t;
+  performance : Aved_perf.Perf_function.t;
+  mech_performance : (string * Mech_impact.t) list;
+      (** Per referenced mechanism: its performance impact. *)
+}
+
+type tier = { tier_name : string; options : resource_option list }
+
+type t = {
+  service_name : string;
+  job_size : float option;
+      (** Application units of work, for finite jobs only. *)
+  tiers : tier list;
+}
+
+val resource_option :
+  resource:string ->
+  ?sizing:sizing ->
+  ?failure_scope:failure_scope ->
+  n_active:Int_range.t ->
+  performance:Aved_perf.Perf_function.t ->
+  ?mech_performance:(string * Mech_impact.t) list ->
+  unit ->
+  resource_option
+(** [sizing] defaults to [Dynamic], [failure_scope] to
+    [Resource_scope]. *)
+
+val tier : name:string -> options:resource_option list -> tier
+(** Raises [Invalid_argument] when [options] is empty or a resource is
+    listed twice. *)
+
+val make : name:string -> ?job_size:float -> tiers:tier list -> unit -> t
+(** Raises [Invalid_argument] when there are no tiers, tier names clash,
+    or [job_size] is non-positive. *)
+
+val validate_against : t -> Infrastructure.t -> unit
+(** Checks that every resource option references an existing resource
+    type and that every [mech_performance] entry references a mechanism
+    used by that resource. Raises [Invalid_argument] otherwise. *)
+
+val find_tier : t -> string -> tier option
+val is_finite_job : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/network/topology.ml: Array Aved_reliability Aved_units Float Format Fun List Printf

@@ -1,0 +1,166 @@
+module Duration = Aved_units.Duration
+
+type node = int
+
+type t = { n : int; edges : (int * int * float) list }
+
+let create n =
+  if n <= 0 then invalid_arg (Printf.sprintf "Topology.create: %d nodes" n);
+  { n; edges = [] }
+
+let num_nodes t = t.n
+let num_links t = List.length t.edges
+
+let add_link t u v ~availability =
+  if u = v then invalid_arg "Topology.add_link: self-loop";
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Topology.add_link: node out of range";
+  if not (Float.is_finite availability) || availability < 0. || availability > 1.
+  then invalid_arg (Printf.sprintf "Topology.add_link: availability %g" availability);
+  { t with edges = (u, v, availability) :: t.edges }
+
+let add_link_mtbf t u v ~mtbf ~mttr =
+  let a =
+    Aved_reliability.Availability.to_fraction
+      (Aved_reliability.Availability.of_mtbf_mttr ~mtbf ~mttr)
+  in
+  add_link t u v ~availability:a
+
+(* Union-find over node labels, used for leaf connectivity checks. *)
+module Uf = struct
+  let create n = Array.init n Fun.id
+
+  let rec find parents x =
+    if parents.(x) = x then x
+    else begin
+      parents.(x) <- find parents parents.(x);
+      parents.(x)
+    end
+
+  let union parents x y =
+    let rx = find parents x and ry = find parents y in
+    if rx <> ry then parents.(rx) <- ry
+end
+
+(* Contraction/deletion factoring for 2-terminal reliability. Nodes are
+   tracked through contractions with a relabeling function applied
+   lazily via association. *)
+let two_terminal t ~src ~dst =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Topology.two_terminal: node out of range";
+  (* Quick reachability with every edge assumed up: prunes dead branches. *)
+  let reachable edges s d =
+    let parents = Uf.create t.n in
+    List.iter (fun (u, v, _) -> Uf.union parents u v) edges;
+    Uf.find parents s = Uf.find parents d
+  in
+  let contract edges keep gone =
+    List.filter_map
+      (fun (u, v, p) ->
+        let u = if u = gone then keep else u in
+        let v = if v = gone then keep else v in
+        if u = v then None else Some (u, v, p))
+      edges
+  in
+  let rename x keep gone = if x = gone then keep else x in
+  let rec solve edges s d =
+    if s = d then 1.
+    else if not (reachable edges s d) then 0.
+    else
+      match edges with
+      | [] -> 0.
+      | (u, v, p) :: rest ->
+          let contracted () = solve (contract rest u v) (rename s u v) (rename d u v) in
+          let deleted () = solve rest s d in
+          if p >= 1. then contracted ()
+          else if p <= 0. then deleted ()
+          else (p *. contracted ()) +. ((1. -. p) *. deleted ())
+  in
+  solve t.edges src dst
+
+let connected_hosts ~n ~edges ~core ~hosts =
+  let parents = Uf.create n in
+  List.iter (fun (u, v) -> Uf.union parents u v) edges;
+  let core_root = Uf.find parents core in
+  List.length (List.filter (fun h -> Uf.find parents h = core_root) hosts)
+
+let at_least_k_connected t ~core ~hosts ~k =
+  if k <= 0 then 1.
+  else if k > List.length hosts then 0.
+  else begin
+    List.iter
+      (fun h ->
+        if h < 0 || h >= t.n then
+          invalid_arg "Topology.at_least_k_connected: host out of range")
+      (core :: hosts);
+    let edges = Array.of_list t.edges in
+    let total = Array.length edges in
+    (* Recurse over edge states; prune when the outcome is already
+       decided with the undecided edges all-up (optimistic) or all-down
+       (pessimistic). *)
+    let rec go index weight up_edges =
+      if weight = 0. then 0.
+      else begin
+        let undecided =
+          List.init (total - index) (fun i ->
+              let u, v, _ = edges.(index + i) in
+              (u, v))
+        in
+        let optimistic =
+          connected_hosts ~n:t.n ~edges:(undecided @ up_edges) ~core ~hosts
+        in
+        if optimistic < k then 0.
+        else begin
+          let pessimistic = connected_hosts ~n:t.n ~edges:up_edges ~core ~hosts in
+          if pessimistic >= k then weight
+          else begin
+            (* index < total here: otherwise optimistic = pessimistic. *)
+            let u, v, p = edges.(index) in
+            go (index + 1) (weight *. p) ((u, v) :: up_edges)
+            +. go (index + 1) (weight *. (1. -. p)) up_edges
+          end
+        end
+      end
+    in
+    go 0 1. []
+  end
+
+(* Fabrics: the switch is a node whose own failures sit on its uplink
+   edge to the returned core node, so a switch failure disconnects all
+   of its hosts at once (common mode). *)
+
+let single_switch ~hosts ~link_availability ~switch_availability =
+  if hosts <= 0 then invalid_arg "Topology.single_switch: no hosts";
+  let switch = hosts and core = hosts + 1 in
+  let t = create (hosts + 2) in
+  let t = add_link t switch core ~availability:switch_availability in
+  let t =
+    List.fold_left
+      (fun t h -> add_link t h switch ~availability:link_availability)
+      t
+      (List.init hosts Fun.id)
+  in
+  (t, List.init hosts Fun.id, core)
+
+let dual_switch ~hosts ~link_availability ~switch_availability =
+  if hosts <= 0 then invalid_arg "Topology.dual_switch: no hosts";
+  let s1 = hosts and s2 = hosts + 1 and core = hosts + 2 in
+  let t = create (hosts + 3) in
+  let t = add_link t s1 core ~availability:switch_availability in
+  let t = add_link t s2 core ~availability:switch_availability in
+  let t =
+    List.fold_left
+      (fun t h ->
+        let t = add_link t h s1 ~availability:link_availability in
+        add_link t h s2 ~availability:link_availability)
+      t
+      (List.init hosts Fun.id)
+  in
+  (t, List.init hosts Fun.id, core)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>topology: %d nodes, %d links" t.n (num_links t);
+  List.iter
+    (fun (u, v, p) -> Format.fprintf ppf "@,  %d -- %d (a=%g)" u v p)
+    (List.rev t.edges);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,63 @@
+(** LAN topologies with failing links and switches.
+
+    The paper's future work (§7) plans to "extend Aved to factor LAN
+    topologies and network failures". This module provides that
+    substrate: a topology is an undirected multigraph whose edges fail
+    independently with known availabilities (a failing switch is modeled
+    by putting its availability on all of its incident edges, or by the
+    {!switch} helper which inserts it as a node with failing legs).
+
+    Exact network reliability is #P-hard in general; the solvers here
+    use contraction/deletion factoring, which is exponential in the edge
+    count but exact, and entirely adequate for rack/LAN-scale designs
+    (tens of edges). *)
+
+type node = int
+
+type t
+(** An undirected topology over nodes [0 .. num_nodes-1]. *)
+
+val create : int -> t
+(** [create n] has [n] nodes and no links. *)
+
+val num_nodes : t -> int
+val num_links : t -> int
+
+val add_link : t -> node -> node -> availability:float -> t
+(** Functional update; adds one (more) link between two distinct nodes.
+    Raises [Invalid_argument] on self-loops, out-of-range nodes, or an
+    availability outside [0, 1]. *)
+
+val add_link_mtbf :
+  t -> node -> node ->
+  mtbf:Aved_units.Duration.t -> mttr:Aved_units.Duration.t -> t
+(** Availability from failure data, [mtbf/(mtbf+mttr)]. *)
+
+val two_terminal : t -> src:node -> dst:node -> float
+(** Probability that [src] and [dst] are connected, edges failing
+    independently. [1.] when [src = dst]. Exact
+    (contraction/deletion). *)
+
+val at_least_k_connected : t -> core:node -> hosts:node list -> k:int -> float
+(** Probability that at least [k] of the listed host nodes can reach
+    [core] — the network-side availability of a tier needing [k] of its
+    [n] members reachable. Exact, by enumeration over edge states with
+    factoring on shared infrastructure; exponential in the number of
+    links, intended for LAN-scale graphs. *)
+
+(** Ready-made fabrics. *)
+
+val single_switch : hosts:int -> link_availability:float ->
+  switch_availability:float -> t * node list * node
+(** [hosts] hosts each wired to one switch; the switch's own failures
+    sit on its uplink edge to the returned core node, so a switch
+    failure takes out every host at once. Returns
+    (topology, host nodes, core node). *)
+
+val dual_switch : hosts:int -> link_availability:float ->
+  switch_availability:float -> t * node list * node
+(** Each host wired to two independent switches that are both connected
+    to a core node; survives any single switch failure. Returns
+    (topology, host nodes, core node). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/perf/perf_function.ml: Array Aved_expr Float Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/perf/perf_function.mli: Aved_expr Format

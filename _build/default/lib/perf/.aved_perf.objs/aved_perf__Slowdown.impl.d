@@ -1,0 +1,1 @@
+lib/perf/slowdown.ml: Aved_expr Float Format Printf

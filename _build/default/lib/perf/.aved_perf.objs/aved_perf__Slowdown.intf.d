@@ -1,0 +1,1 @@
+lib/perf/slowdown.mli: Aved_expr Format

@@ -1,0 +1,135 @@
+module Expr = Aved_expr.Expr
+
+type t =
+  | Const of float
+  | Expression of Expr.t
+  | Table of (int * float) array (* sorted by n, distinct *)
+
+let of_const v =
+  if not (Float.is_finite v) || v < 0. then
+    invalid_arg (Printf.sprintf "Perf_function.of_const: %g" v);
+  Const v
+
+let of_expr expr =
+  match Expr.variables expr with
+  | [] | [ "n" ] -> Expression expr
+  | vars ->
+      invalid_arg
+        (Printf.sprintf "Perf_function.of_expr: unexpected variables %s"
+           (String.concat ", " vars))
+
+let of_table points =
+  if points = [] then invalid_arg "Perf_function.of_table: empty";
+  let sorted =
+    List.sort (fun (n1, _) (n2, _) -> Int.compare n1 n2) points
+  in
+  let rec check = function
+    | (n1, _) :: ((n2, _) :: _ as rest) ->
+        if n1 = n2 then
+          invalid_arg
+            (Printf.sprintf "Perf_function.of_table: duplicate n=%d" n1);
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  Table (Array.of_list sorted)
+
+let parse_table body =
+  let entries = String.split_on_char ',' body in
+  let parse_entry entry =
+    match String.index_opt entry '=' with
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Perf_function.of_string: bad table entry %S" entry)
+    | Some i -> (
+        let n_text = String.trim (String.sub entry 0 i) in
+        let v_text =
+          String.trim (String.sub entry (i + 1) (String.length entry - i - 1))
+        in
+        match (int_of_string_opt n_text, float_of_string_opt v_text) with
+        | Some n, Some v -> (n, v)
+        | _ ->
+            invalid_arg
+              (Printf.sprintf "Perf_function.of_string: bad table entry %S"
+                 entry))
+  in
+  of_table (List.map parse_entry entries)
+
+let of_string text =
+  let text = String.trim text in
+  let with_prefix prefix =
+    let pl = String.length prefix in
+    if String.length text > pl && String.sub text 0 pl = prefix then
+      Some (String.sub text pl (String.length text - pl))
+    else None
+  in
+  match with_prefix "const:" with
+  | Some body -> (
+      match float_of_string_opt (String.trim body) with
+      | Some v -> of_const v
+      | None ->
+          invalid_arg (Printf.sprintf "Perf_function.of_string: %S" text))
+  | None -> (
+      match with_prefix "table:" with
+      | Some body -> parse_table body
+      | None ->
+          let body =
+            match with_prefix "expr:" with Some b -> b | None -> text
+          in
+          (match Expr.of_string body with
+          | expr -> of_expr expr
+          | exception Expr.Parse_error { message; position } ->
+              invalid_arg
+                (Printf.sprintf
+                   "Perf_function.of_string: %s at offset %d in %S" message
+                   position body)))
+
+let table_eval points n =
+  let len = Array.length points in
+  let nf = float_of_int n in
+  let first_n, first_v = points.(0) in
+  let last_n, last_v = points.(len - 1) in
+  if n <= first_n then first_v
+  else if n >= last_n then last_v
+  else begin
+    (* Binary search for the bracketing segment. *)
+    let lo = ref 0 and hi = ref (len - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if fst points.(mid) <= n then lo := mid else hi := mid
+    done;
+    let n0, v0 = points.(!lo) and n1, v1 = points.(!hi) in
+    if n = n0 then v0
+    else
+      v0
+      +. ((nf -. float_of_int n0) /. float_of_int (n1 - n0) *. (v1 -. v0))
+  end
+
+let eval t ~n =
+  if n < 0 then invalid_arg (Printf.sprintf "Perf_function.eval: n=%d" n);
+  match t with
+  | Const v -> v
+  | Expression _ when n = 0 -> 0.
+  | Expression expr ->
+      Expr.eval_alist expr [ ("n", float_of_int n) ]
+  | Table _ when n = 0 -> 0.
+  | Table points -> table_eval points n
+
+let min_resources t ~demand ~candidates =
+  let sorted = List.sort_uniq Int.compare candidates in
+  List.find_opt (fun n -> n >= 0 && eval t ~n >= demand) sorted
+
+let is_scalable = function
+  | Const _ -> false
+  | Expression _ | Table _ -> true
+
+let to_string = function
+  | Const v -> Printf.sprintf "const:%g" v
+  | Expression expr -> "expr:" ^ Expr.to_string expr
+  | Table points ->
+      "table:"
+      ^ String.concat ","
+          (Array.to_list
+             (Array.map (fun (n, v) -> Printf.sprintf "%d=%g" n v) points))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

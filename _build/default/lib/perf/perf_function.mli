@@ -1,0 +1,45 @@
+(** Tier performance models.
+
+    The service model attaches to each (tier, resource) option a function
+    from the number of active resources to deliverable throughput, in
+    service-specific units of work per unit time (paper §3.2 and
+    Table 1). The paper reads these from tabulated [.dat] files; here
+    they are closed-form expressions, explicit tables, or constants. *)
+
+type t
+
+val of_const : float -> t
+(** A fixed throughput independent of [n] (e.g. the database tier's
+    [performance=10000]). *)
+
+val of_expr : Aved_expr.Expr.t -> t
+(** An expression over the single variable [n]. Raises
+    [Invalid_argument] if it mentions any other variable. *)
+
+val of_table : (int * float) list -> t
+(** Explicit [(n, throughput)] points. Lookup is exact on the given
+    points and linearly interpolated between them; queries outside the
+    table range are clamped to the nearest endpoint (except [n = 0],
+    which always yields 0). The list must be non-empty with distinct
+    [n]. *)
+
+val of_string : string -> t
+(** Parses [const:<v>], [expr:<expression in n>], or
+    [table:n1=v1,n2=v2,...]. A bare expression (no prefix) is accepted
+    as [expr:]. Raises [Invalid_argument] on malformed input. *)
+
+val eval : t -> n:int -> float
+(** Throughput with [n] active resources. [n] must be non-negative;
+    [eval t ~n:0] is 0 for expression and table models. *)
+
+val min_resources :
+  t -> demand:float -> candidates:int list -> int option
+(** The smallest candidate [n] whose throughput meets [demand]. The
+    candidate list need not be sorted; it is scanned in increasing
+    order. Returns [None] when no candidate suffices. *)
+
+val is_scalable : t -> bool
+(** Whether throughput varies with [n] (false for constants). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+module Expr = Aved_expr.Expr
+
+type t = Identity | Expression of Expr.t
+
+let none = Identity
+let of_expr expr = Expression expr
+
+let of_string text =
+  match Expr.of_string text with
+  | expr -> of_expr expr
+  | exception Expr.Parse_error { message; position } ->
+      invalid_arg
+        (Printf.sprintf "Slowdown.of_string: %s at offset %d in %S" message
+           position text)
+
+let eval t bindings =
+  match t with
+  | Identity -> 1.
+  | Expression expr -> Float.max 1. (Expr.eval_alist expr bindings)
+
+let variables = function
+  | Identity -> []
+  | Expression expr -> Expr.variables expr
+
+let to_string = function
+  | Identity -> "1"
+  | Expression expr -> Expr.to_string expr
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,30 @@
+(** Mechanism performance-impact functions.
+
+    The service model describes the performance impact of an availability
+    mechanism (paper §3.2: the [mperformance] attribute) as a function of
+    the mechanism's configuration parameters and the number of active
+    resources. Following Table 1 we interpret the value as a
+    multiplicative slowdown factor, at least 1 (written [100%] in the
+    paper): effective throughput = nominal throughput / slowdown. *)
+
+type t
+
+val none : t
+(** The identity slowdown (factor 1). *)
+
+val of_expr : Aved_expr.Expr.t -> t
+(** An expression over any variables; values below 1 are clamped to 1
+    at evaluation time. *)
+
+val of_string : string -> t
+(** Parses an expression, e.g.
+    [if n <= 30 then max(10/cpi, 100%) else max(n/(3*cpi), 100%)].
+    Raises [Invalid_argument] on malformed input. *)
+
+val eval : t -> (string * float) list -> float
+(** The slowdown factor (>= 1) under the given variable bindings.
+    Raises [Aved_expr.Expr.Unbound_variable] if a variable is missing. *)
+
+val variables : t -> string list
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

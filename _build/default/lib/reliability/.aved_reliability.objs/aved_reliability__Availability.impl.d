@@ -1,0 +1,1 @@
+lib/reliability/availability.ml: Aved_units Float Format List Printf

@@ -1,0 +1,1 @@
+lib/reliability/availability.mli: Aved_units Format

@@ -1,0 +1,1 @@
+lib/reliability/block_diagram.ml: Array Availability Aved_units Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/reliability/block_diagram.mli: Availability Aved_units Format

@@ -1,0 +1,1 @@
+lib/reliability/fault_tree.ml: Array Availability Block_diagram Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/reliability/fault_tree.mli: Availability Block_diagram Format

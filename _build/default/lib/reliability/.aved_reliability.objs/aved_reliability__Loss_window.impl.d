@@ -1,0 +1,1 @@
+lib/reliability/loss_window.ml: Availability Aved_units Float

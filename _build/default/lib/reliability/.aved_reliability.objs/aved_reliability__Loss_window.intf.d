@@ -1,0 +1,1 @@
+lib/reliability/loss_window.mli: Availability Aved_units

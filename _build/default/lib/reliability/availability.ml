@@ -1,0 +1,53 @@
+module Duration = Aved_units.Duration
+
+type t = float
+
+let of_fraction a =
+  if not (Float.is_finite a) || a < 0. || a > 1. then
+    invalid_arg (Printf.sprintf "Availability.of_fraction: %g" a)
+  else a
+
+let to_fraction a = a
+
+let of_mtbf_mttr ~mtbf ~mttr =
+  let up = Duration.seconds mtbf in
+  let down = Duration.seconds mttr in
+  if up <= 0. then invalid_arg "Availability.of_mtbf_mttr: mtbf must be positive";
+  up /. (up +. down)
+
+let perfect = 1.
+let series parts = List.fold_left (fun acc a -> acc *. a) 1. parts
+
+let parallel parts =
+  1. -. List.fold_left (fun acc a -> acc *. (1. -. a)) 1. parts
+
+(* Binomial tail P[X >= k], X ~ Binomial(n, a), evaluated by the
+   recurrence on P[X = i] to avoid factorial overflow. *)
+let k_out_of_n ~k ~n a =
+  if n < 0 then invalid_arg "Availability.k_out_of_n: negative n";
+  if k < 0 || k > n then
+    invalid_arg (Printf.sprintf "Availability.k_out_of_n: k=%d n=%d" k n);
+  if k = 0 then 1.
+  else if a = 1. then 1.
+  else if a = 0. then 0.
+  else begin
+    (* p_i = C(n,i) a^i (1-a)^(n-i); p_0 = (1-a)^n;
+       p_{i+1} = p_i * (n-i)/(i+1) * a/(1-a). *)
+    let ratio = a /. (1. -. a) in
+    let p = ref (Float.pow (1. -. a) (float_of_int n)) in
+    let tail = ref (if k = 0 then !p else 0.) in
+    for i = 0 to n - 1 do
+      p := !p *. (float_of_int (n - i) /. float_of_int (i + 1)) *. ratio;
+      if i + 1 >= k then tail := !tail +. !p
+    done;
+    Float.min 1. !tail
+  end
+
+let annual_downtime a = Duration.of_years (1. -. a)
+
+let of_annual_downtime d =
+  let frac = Duration.years d in
+  of_fraction (1. -. Float.min 1. frac)
+
+let unavailability a = 1. -. a
+let pp ppf a = Format.fprintf ppf "%.6f" a

@@ -1,0 +1,95 @@
+module Duration = Aved_units.Duration
+
+type t =
+  | Block of { name : string; availability : Availability.t }
+  | Series of t list
+  | Parallel of t list
+  | K_of_n of { k : int; parts : t list }
+
+let block ~name availability = Block { name; availability }
+
+let of_mtbf_mttr ~name ~mtbf ~mttr =
+  block ~name (Availability.of_mtbf_mttr ~mtbf ~mttr)
+
+let series parts = Series parts
+let parallel parts = Parallel parts
+
+let k_of_n ~k parts =
+  if k < 0 || k > List.length parts then
+    invalid_arg
+      (Printf.sprintf "Block_diagram.k_of_n: k=%d over %d parts" k
+         (List.length parts));
+  K_of_n { k; parts }
+
+(* Availability with an override applied to every block of a given name
+   (used for importance computation). *)
+let rec eval ?override t =
+  match t with
+  | Block { name; availability } -> (
+      match override with
+      | Some (target, forced) when String.equal target name -> forced
+      | Some _ | None -> Availability.to_fraction availability)
+  | Series parts ->
+      List.fold_left (fun acc p -> acc *. eval ?override p) 1. parts
+  | Parallel parts ->
+      1. -. List.fold_left (fun acc p -> acc *. (1. -. eval ?override p)) 1. parts
+  | K_of_n { k; parts } ->
+      (* DP over "probability exactly i of the first j parts are up". *)
+      let n = List.length parts in
+      let dist = Array.make (n + 1) 0. in
+      dist.(0) <- 1.;
+      List.iteri
+        (fun j part ->
+          let up = eval ?override part in
+          for i = j + 1 downto 1 do
+            dist.(i) <- (dist.(i) *. (1. -. up)) +. (dist.(i - 1) *. up)
+          done;
+          dist.(0) <- dist.(0) *. (1. -. up))
+        parts;
+      let acc = ref 0. in
+      for i = k to n do
+        acc := !acc +. dist.(i)
+      done;
+      !acc
+
+let availability t = Availability.of_fraction (Float.min 1. (Float.max 0. (eval t)))
+let annual_downtime t = Availability.annual_downtime (availability t)
+
+let blocks t =
+  let rec collect acc = function
+    | Block { name; _ } -> name :: acc
+    | Series parts | Parallel parts -> List.fold_left collect acc parts
+    | K_of_n { parts; _ } -> List.fold_left collect acc parts
+  in
+  List.rev (collect [] t)
+
+let birnbaum_importance t =
+  let names = List.sort_uniq String.compare (blocks t) in
+  List.map
+    (fun name ->
+      let up = eval ~override:(name, 1.) t in
+      let down = eval ~override:(name, 0.) t in
+      (name, up -. down))
+    names
+
+let rec pp ppf = function
+  | Block { name; availability } ->
+      Format.fprintf ppf "%s(%a)" name Availability.pp availability
+  | Series parts ->
+      Format.fprintf ppf "series(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        parts
+  | Parallel parts ->
+      Format.fprintf ppf "parallel(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        parts
+  | K_of_n { k; parts } ->
+      Format.fprintf ppf "%d-of-%d(%a)" k (List.length parts)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        parts

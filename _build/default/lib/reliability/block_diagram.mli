@@ -1,0 +1,46 @@
+(** Reliability block diagrams.
+
+    The classical structural formalism of the availability tools the
+    paper interfaces with (SHARPE's block diagrams): a system is a
+    composition of independent blocks in series (all needed), parallel
+    (any one suffices) or k-out-of-n arrangements. Aved's own tier
+    composition is the special case series(k-of-n, …); this module
+    provides the general form for modeling substrates like storage
+    arrays or network fabrics structurally. *)
+
+type t =
+  | Block of { name : string; availability : Availability.t }
+  | Series of t list
+  | Parallel of t list
+  | K_of_n of { k : int; parts : t list }
+      (** Up when at least [k] of the parts are up; the parts need not
+          be identical. *)
+
+val block : name:string -> Availability.t -> t
+val of_mtbf_mttr :
+  name:string -> mtbf:Aved_units.Duration.t -> mttr:Aved_units.Duration.t -> t
+
+val series : t list -> t
+val parallel : t list -> t
+
+val k_of_n : k:int -> t list -> t
+(** Raises [Invalid_argument] unless [0 <= k <= length parts]. *)
+
+val availability : t -> Availability.t
+(** Exact system availability, assuming block independence. Empty
+    [Series] is up; empty [Parallel] is down. K-of-n over heterogeneous
+    parts is evaluated by dynamic programming over the part count. *)
+
+val annual_downtime : t -> Aved_units.Duration.t
+
+val blocks : t -> string list
+(** Names of all leaf blocks, in diagram order (with duplicates if a
+    name is reused). *)
+
+val birnbaum_importance : t -> (string * float) list
+(** Birnbaum structural importance of each leaf: ∂A_system/∂A_block —
+    how much one point of block availability buys at the system level.
+    Computed by evaluating the diagram with the block forced up and
+    forced down. Blocks sharing a name are perturbed together. *)
+
+val pp : Format.formatter -> t -> unit

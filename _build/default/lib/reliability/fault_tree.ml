@@ -1,0 +1,109 @@
+type t =
+  | Basic of { name : string; probability : float }
+  | Or of t list
+  | And of t list
+  | Vote of { k : int; inputs : t list }
+
+let basic ~name ~probability =
+  if not (Float.is_finite probability) || probability < 0. || probability > 1.
+  then
+    invalid_arg (Printf.sprintf "Fault_tree.basic: probability %g" probability);
+  Basic { name; probability }
+
+let of_unavailability ~name availability =
+  basic ~name ~probability:(Availability.unavailability availability)
+
+let gate_or inputs = Or inputs
+let gate_and inputs = And inputs
+
+let vote ~k inputs =
+  if k < 0 || k > List.length inputs then
+    invalid_arg
+      (Printf.sprintf "Fault_tree.vote: k=%d over %d inputs" k
+         (List.length inputs));
+  Vote { k; inputs }
+
+let rec eval ?override t =
+  match t with
+  | Basic { name; probability } -> (
+      match override with
+      | Some (target, forced) when String.equal target name -> forced
+      | Some _ | None -> probability)
+  | Or inputs ->
+      1. -. List.fold_left (fun acc i -> acc *. (1. -. eval ?override i)) 1. inputs
+  | And inputs ->
+      List.fold_left (fun acc i -> acc *. eval ?override i) 1. inputs
+  | Vote { k; inputs } ->
+      let n = List.length inputs in
+      let dist = Array.make (n + 1) 0. in
+      dist.(0) <- 1.;
+      List.iteri
+        (fun j input ->
+          let p = eval ?override input in
+          for i = j + 1 downto 1 do
+            dist.(i) <- (dist.(i) *. (1. -. p)) +. (dist.(i - 1) *. p)
+          done;
+          dist.(0) <- dist.(0) *. (1. -. p))
+        inputs;
+      let acc = ref 0. in
+      for i = k to n do
+        acc := !acc +. dist.(i)
+      done;
+      !acc
+
+let top_event_probability t = Float.min 1. (Float.max 0. (eval t))
+
+let system_availability t =
+  Availability.of_fraction (1. -. top_event_probability t)
+
+let basic_events t =
+  let rec collect acc = function
+    | Basic { name; _ } -> name :: acc
+    | Or inputs | And inputs -> List.fold_left collect acc inputs
+    | Vote { inputs; _ } -> List.fold_left collect acc inputs
+  in
+  List.rev (collect [] t)
+
+let birnbaum_importance t =
+  let names = List.sort_uniq String.compare (basic_events t) in
+  List.map
+    (fun name ->
+      let sure = eval ~override:(name, 1.) t in
+      let never = eval ~override:(name, 0.) t in
+      (name, sure -. never))
+    names
+
+let rec to_block_diagram = function
+  | Basic { name; probability } ->
+      Block_diagram.block ~name
+        (Availability.of_fraction (1. -. probability))
+  | Or inputs -> Block_diagram.series (List.map to_block_diagram inputs)
+  | And inputs -> Block_diagram.parallel (List.map to_block_diagram inputs)
+  | Vote { k = 0; _ } ->
+      (* A 0-vote always occurs: the dual system is never up. *)
+      Block_diagram.parallel []
+  | Vote { k; inputs } ->
+      let n = List.length inputs in
+      Block_diagram.k_of_n ~k:(n - k + 1) (List.map to_block_diagram inputs)
+
+let rec pp ppf = function
+  | Basic { name; probability } ->
+      Format.fprintf ppf "%s[%g]" name probability
+  | Or inputs ->
+      Format.fprintf ppf "or(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        inputs
+  | And inputs ->
+      Format.fprintf ppf "and(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        inputs
+  | Vote { k; inputs } ->
+      Format.fprintf ppf "vote(%d, %a)" k
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        inputs

@@ -1,0 +1,50 @@
+(** Fault trees.
+
+    The failure-space dual of block diagrams: the tree's top event (the
+    service outage) occurs according to AND / OR / k-of-n gates over
+    basic events, each with an independent occurrence probability —
+    typically a component's steady-state unavailability. The second
+    classical formalism of the paper's availability tools. *)
+
+type t =
+  | Basic of { name : string; probability : float }
+      (** An elementary failure with the given probability. *)
+  | Or of t list  (** Occurs when any input occurs. Empty: never. *)
+  | And of t list  (** Occurs when all inputs occur. Empty: always. *)
+  | Vote of { k : int; inputs : t list }
+      (** Occurs when at least [k] inputs occur. *)
+
+val basic : name:string -> probability:float -> t
+(** Raises [Invalid_argument] outside [0, 1]. *)
+
+val of_unavailability : name:string -> Availability.t -> t
+(** Basic event whose probability is the component's unavailability. *)
+
+val gate_or : t list -> t
+val gate_and : t list -> t
+
+val vote : k:int -> t list -> t
+(** Raises [Invalid_argument] unless [0 <= k <= length inputs]. *)
+
+val top_event_probability : t -> float
+(** Probability of the top event, assuming independent basic events
+    (each [Basic] leaf is a distinct event even when names repeat;
+    shared events should be modeled by restructuring the tree). *)
+
+val system_availability : t -> Availability.t
+(** [1 − top_event_probability]. *)
+
+val basic_events : t -> string list
+
+val birnbaum_importance : t -> (string * float) list
+(** ∂P(top)/∂P(event) per basic-event name, by forcing the event(s) of
+    that name to certain/impossible. Names repeated in the tree are
+    perturbed together. *)
+
+val to_block_diagram : t -> Block_diagram.t
+(** The structural dual: AND ↦ parallel (all must fail), OR ↦ series,
+    k-of-n failure vote ↦ (n−k+1)-of-n success, basic event ↦ block
+    with the complementary availability. [top_event_probability] equals
+    one minus the dual diagram's availability (tested). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+module Duration = Aved_units.Duration
+
+let mean_time_for_window ~mtbf ~lw =
+  let mtbf_s = Duration.seconds mtbf in
+  let lw_s = Duration.seconds lw in
+  if mtbf_s <= 0. then invalid_arg "Loss_window: mtbf must be positive";
+  if lw_s = 0. then Duration.zero
+  else begin
+    let ratio = lw_s /. mtbf_s in
+    if ratio > 700. then
+      invalid_arg "Loss_window: loss window vastly exceeds MTBF; no progress"
+    else Duration.of_seconds (mtbf_s *. (Float.exp ratio -. 1.))
+  end
+
+let useful_fraction ~mtbf ~lw =
+  if Duration.is_zero lw then 1.
+  else Duration.ratio lw (mean_time_for_window ~mtbf ~lw)
+
+let expected_job_time ~work_seconds ~availability ~mtbf ~lw =
+  if work_seconds < 0. then invalid_arg "Loss_window: negative work";
+  let a = Availability.to_fraction availability in
+  let efficiency = a *. useful_fraction ~mtbf ~lw in
+  if efficiency <= 0. then
+    invalid_arg "Loss_window: system makes no useful progress"
+  else Duration.of_seconds (work_seconds /. efficiency)
+
+let optimal_interval ~checkpoint_cost ~mtbf =
+  Duration.of_seconds
+    (sqrt (2. *. Duration.seconds checkpoint_cost *. Duration.seconds mtbf))

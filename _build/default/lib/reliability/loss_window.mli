@@ -1,0 +1,37 @@
+(** Lost-work analysis for finite jobs (paper §4.2, Eq. 1).
+
+    A job that loses at most a window [lw] of computation per failure
+    (because it checkpoints, or because it restarts from scratch) needs
+    on average [T_lw = MTBF (e^{lw/MTBF} − 1)] of machine time to push
+    [lw] of useful work through, assuming exponentially distributed
+    failures. *)
+
+val mean_time_for_window :
+  mtbf:Aved_units.Duration.t -> lw:Aved_units.Duration.t ->
+  Aved_units.Duration.t
+(** [T_lw] as above. For [lw = 0] this is 0. Raises [Invalid_argument]
+    when [mtbf] is zero, or when [lw/mtbf] is large enough to overflow
+    (the job cannot make progress). *)
+
+val useful_fraction :
+  mtbf:Aved_units.Duration.t -> lw:Aved_units.Duration.t -> float
+(** [lw / T_lw] — the long-run fraction of machine time that is useful
+    work. Tends to 1 as [lw → 0] and to 0 as [lw → ∞]. *)
+
+val expected_job_time :
+  work_seconds:float ->
+  availability:Availability.t ->
+  mtbf:Aved_units.Duration.t ->
+  lw:Aved_units.Duration.t ->
+  Aved_units.Duration.t
+(** Expected wall-clock completion time for a job needing
+    [work_seconds] of failure-free machine time on a system with the
+    given tier availability, tier MTBF and loss window:
+    [work / (availability × useful_fraction)]. Raises
+    [Invalid_argument] when progress is impossible. *)
+
+val optimal_interval :
+  checkpoint_cost:Aved_units.Duration.t -> mtbf:Aved_units.Duration.t ->
+  Aved_units.Duration.t
+(** Young's first-order optimum [√(2 · cost · MTBF)] — used as a
+    reference point in the ablation benchmarks, not by the engine. *)

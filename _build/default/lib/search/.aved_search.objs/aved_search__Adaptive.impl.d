@@ -1,0 +1,1 @@
+lib/search/adaptive.ml: Aved_avail Aved_units Candidate List Printf Tier_search

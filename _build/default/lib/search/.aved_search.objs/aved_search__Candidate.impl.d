@@ -1,0 +1,1 @@
+lib/search/candidate.ml: Aved_avail Aved_model Aved_units Float Format List String

@@ -1,0 +1,1 @@
+lib/search/candidate.mli: Aved_avail Aved_model Aved_units Format

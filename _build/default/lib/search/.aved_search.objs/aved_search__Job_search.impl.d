@@ -1,0 +1,1 @@
+lib/search/job_search.ml: Aved_avail Aved_model Aved_perf Aved_units Float Format Fun List Option Search_config Stdlib Tier_search

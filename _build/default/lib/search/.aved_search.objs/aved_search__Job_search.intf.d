@@ -1,0 +1,1 @@
+lib/search/job_search.mli: Aved_avail Aved_model Aved_units Format Search_config

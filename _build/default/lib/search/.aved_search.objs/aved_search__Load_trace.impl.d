@@ -1,0 +1,1 @@
+lib/search/load_trace.ml: Aved_units Float Fun List Printf String

@@ -1,0 +1,1 @@
+lib/search/load_trace.mli: Aved_units

@@ -1,0 +1,1 @@
+lib/search/search_config.ml: Aved_avail

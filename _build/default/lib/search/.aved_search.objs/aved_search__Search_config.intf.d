@@ -1,0 +1,1 @@
+lib/search/search_config.mli: Aved_avail

@@ -1,0 +1,1 @@
+lib/search/sensitivity.ml: Aved_avail Aved_model Aved_units Candidate Float List Option Printf Tier_search

@@ -1,0 +1,1 @@
+lib/search/sensitivity.mli: Aved_model Aved_units Candidate Search_config

@@ -1,0 +1,1 @@
+lib/search/service_search.ml: Array Aved_model Aved_units Candidate Float Fun Job_search List Option Printf Tier_search

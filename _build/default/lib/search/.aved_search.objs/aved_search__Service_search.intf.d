@@ -1,0 +1,1 @@
+lib/search/service_search.mli: Aved_model Aved_units Candidate Search_config

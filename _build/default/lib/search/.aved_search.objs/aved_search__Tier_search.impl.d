@@ -1,0 +1,1 @@
+lib/search/tier_search.ml: Aved_avail Aved_model Aved_units Candidate Float List Option Search_config Stdlib

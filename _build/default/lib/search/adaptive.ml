@@ -1,0 +1,92 @@
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+module Avail = Aved_avail
+
+type policy = { headroom : float }
+
+let default_policy = { headroom = 0.3 }
+
+type step = {
+  time : Duration.t;
+  load : float;
+  candidate : Candidate.t;
+  redesigned : bool;
+}
+
+type replay = {
+  steps : step list;
+  redesigns : int;
+  average_cost : Money.t;
+}
+
+(* A design sized for demand d0 is kept while the new load stays within
+   (d0 / (1 + headroom), d0]: above d0 its availability estimate (whose
+   up-condition uses the minimum machines for d0) no longer covers the
+   load; far below d0 it is wastefully oversized. *)
+let still_fits policy ~sized_for ~load =
+  load <= sized_for && load *. (1. +. policy.headroom) >= sized_for
+
+let replay config infra ~tier ~max_downtime ?(policy = default_policy) ~trace
+    () =
+  (match trace with
+  | [] -> invalid_arg "Adaptive.replay: empty trace"
+  | _ :: _ -> ());
+  let rec check_ordered = function
+    | (t1, _) :: (((t2, _) :: _) as rest) ->
+        if Duration.compare t1 t2 >= 0 then
+          invalid_arg "Adaptive.replay: trace not strictly time-ordered";
+        check_ordered rest
+    | [ _ ] | [] -> ()
+  in
+  check_ordered trace;
+  let design_for load =
+    match Tier_search.optimal config infra ~tier ~demand:load ~max_downtime with
+    | Some c -> c
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Adaptive.replay: no feasible design at load %g" load)
+  in
+  let steps_rev, _, redesigns =
+    List.fold_left
+      (fun (acc, sized_for, redesigns) (time, load) ->
+        match acc with
+        | [] ->
+            ( [ { time; load; candidate = design_for load; redesigned = true } ],
+              load,
+              redesigns )
+        | previous :: _ ->
+            if still_fits policy ~sized_for ~load then
+              ( { time; load; candidate = previous.candidate; redesigned = false }
+                :: acc,
+                sized_for,
+                redesigns )
+            else
+              ( { time; load; candidate = design_for load; redesigned = true }
+                :: acc,
+                load,
+                redesigns + 1 ))
+      ([], 0., 0) trace
+  in
+  let steps = List.rev steps_rev in
+  (* Time-weighted average cost: each step's design is in force until
+     the next timestamp. *)
+  let average_cost =
+    match steps with
+    | [] | [ _ ] ->
+        (match steps with
+        | [ only ] -> only.candidate.Candidate.cost
+        | _ -> Money.zero)
+    | first :: _ ->
+        let rec weighted acc total = function
+          | a :: (b :: _ as rest) ->
+              let dt = Duration.seconds b.time -. Duration.seconds a.time in
+              weighted
+                (acc +. (Money.to_float a.candidate.Candidate.cost *. dt))
+                (total +. dt) rest
+          | [ _ ] | [] -> (acc, total)
+        in
+        let acc, total = weighted 0. 0. steps in
+        ignore first;
+        if total <= 0. then Money.zero else Money.of_float (acc /. total)
+  in
+  { steps; redesigns; average_cost }

@@ -1,0 +1,51 @@
+(** Adaptive redesign for utility computing (paper §1, §5.1, §7).
+
+    In a utility environment the optimal design family changes as load
+    fluctuates, and an engine like Aved "could dynamically re-evaluate
+    and change designs as conditions change". This module replays a load
+    trace against a redesign policy with hysteresis: the current design
+    is kept while it still meets the performance and availability
+    requirements and is not over-provisioned beyond a headroom factor;
+    otherwise the search runs again. *)
+
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+
+type policy = {
+  headroom : float;
+      (** Tolerated over-provisioning before scaling down: the design is
+          kept while [load >= capacity_needed / (1 + headroom)]. 0 means
+          redesign on any decrease; 0.3 tolerates 30% slack. *)
+}
+
+val default_policy : policy
+(** 30% headroom. *)
+
+type step = {
+  time : Duration.t;  (** Trace timestamp. *)
+  load : float;
+  candidate : Candidate.t;  (** Design in force after this step. *)
+  redesigned : bool;  (** Whether this step triggered a search. *)
+}
+
+type replay = {
+  steps : step list;
+  redesigns : int;  (** Searches triggered after the initial one. *)
+  average_cost : Money.t;
+      (** Time-weighted average annual-cost rate over the trace (each
+          design's cost weighted by how long it was in force; the last
+          step carries the mean of the preceding intervals). *)
+}
+
+val replay :
+  Search_config.t ->
+  Aved_model.Infrastructure.t ->
+  tier:Aved_model.Service.tier ->
+  max_downtime:Duration.t ->
+  ?policy:policy ->
+  trace:(Duration.t * float) list ->
+  unit ->
+  replay
+(** Replays the trace (time-ordered [(timestamp, load)] pairs; raises
+    [Invalid_argument] when empty, unordered, or when some load admits
+    no feasible design). *)

@@ -1,0 +1,65 @@
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+module Design = Aved_model.Design
+module Mechanism = Aved_model.Mechanism
+
+type t = {
+  design : Design.tier_design;
+  model : Aved_avail.Tier_model.t;
+  cost : Money.t;
+  downtime_fraction : float;
+}
+
+let downtime t = Duration.of_years t.downtime_fraction
+
+let dominates a b =
+  Money.(a.cost <= b.cost)
+  && a.downtime_fraction <= b.downtime_fraction
+  && (Money.(a.cost < b.cost) || a.downtime_fraction < b.downtime_fraction)
+
+let pareto candidates =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Money.compare a.cost b.cost with
+        | 0 -> Float.compare a.downtime_fraction b.downtime_fraction
+        | c -> c)
+      candidates
+  in
+  (* Scan by increasing cost, keeping points that strictly improve
+     downtime over everything cheaper. *)
+  let rec scan best_downtime acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+        if c.downtime_fraction < best_downtime then
+          scan c.downtime_fraction (c :: acc) rest
+        else scan best_downtime acc rest
+  in
+  scan Float.infinity [] sorted
+
+let family t ~n_min_nominal =
+  let d = t.design in
+  let enum_settings =
+    List.concat_map
+      (fun (_, setting) ->
+        List.filter_map
+          (fun (_, value) ->
+            match value with
+            | Mechanism.Enum_value v -> Some v
+            | Mechanism.Duration_value _ -> None)
+          setting)
+      d.Design.mechanism_settings
+  in
+  let parts =
+    (d.Design.resource :: enum_settings)
+    @ [
+        string_of_int (d.Design.n_active - n_min_nominal);
+        string_of_int d.Design.n_spare;
+      ]
+  in
+  "(" ^ String.concat ", " parts ^ ")"
+
+let pp ppf t =
+  Format.fprintf ppf "%a | cost %a/yr | downtime %.2f min/yr"
+    Design.pp_tier t.design Money.pp t.cost
+    (Duration.minutes (downtime t))

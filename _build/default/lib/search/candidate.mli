@@ -1,0 +1,33 @@
+(** Evaluated tier designs. *)
+
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+
+type t = {
+  design : Aved_model.Design.tier_design;
+  model : Aved_avail.Tier_model.t;
+  cost : Money.t;  (** Annual cost of the tier. *)
+  downtime_fraction : float;
+}
+
+val downtime : t -> Duration.t
+(** Expected annual downtime. *)
+
+val dominates : t -> t -> bool
+(** [dominates a b]: [a] costs no more and is down no more than [b],
+    and improves at least one of the two. *)
+
+val pareto : t list -> t list
+(** The Pareto frontier over (cost, downtime), sorted by increasing
+    cost (and strictly decreasing downtime). Of mutually equal points,
+    one survives. *)
+
+val family : t -> n_min_nominal:int -> string
+(** The paper's design-family tuple "(resource, setting…, n_extra,
+    n_spare)" used to label Fig. 6 — [n_min_nominal] is the minimum
+    resource count dictated by performance alone, so
+    [n_extra = n_active − n_min_nominal]. Enum mechanism parameters
+    (e.g. the maintenance level) appear in the label; duration
+    parameters are omitted (they vary continuously). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,205 @@
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+module Model = Aved_model
+module Avail = Aved_avail
+module Perf_function = Aved_perf.Perf_function
+
+type candidate = {
+  design : Model.Design.tier_design;
+  model : Avail.Tier_model.t;
+  cost : Money.t;
+  execution_time : Duration.t;
+}
+
+let evaluate config infra ~option ~job_size design =
+  let model = Avail.Tier_model.build ~infra ~option ~design ~demand:None in
+  let execution_time =
+    Avail.Evaluate.job_completion_time config.Search_config.engine model
+      ~job_size
+  in
+  {
+    design;
+    model;
+    cost = Model.Design.tier_cost infra design;
+    execution_time;
+  }
+
+(* Failure-free completion time at nominal performance — a lower bound
+   on the achievable execution time with [n] resources (slowdowns and
+   failures only add to it). *)
+let ideal_time ~(option : Model.Service.resource_option) ~job_size ~n =
+  let perf = Perf_function.eval option.performance ~n in
+  if perf <= 0. then None else Some (Duration.of_hours (job_size /. perf))
+
+let feasible_n ~option ~job_size ~max_time n =
+  match ideal_time ~option ~job_size ~n with
+  | None -> false
+  | Some ideal -> Duration.compare ideal max_time <= 0
+
+let enumerate_total config infra ~tier_name
+    ~(option : Model.Service.resource_option) ~job_size ~max_time ~total
+    ?cost_cap () =
+  let resource = Model.Infrastructure.resource_exn infra option.resource in
+  let all_settings = Tier_search.settings_product infra resource in
+  let within_cap cost =
+    match cost_cap with None -> true | Some cap -> Money.(cost < cap)
+  in
+  let results = ref [] in
+  List.iter
+    (fun n_spare ->
+      let n_active = total - n_spare in
+      if
+        n_active > 0
+        && Model.Int_range.mem option.n_active n_active
+        && feasible_n ~option ~job_size ~max_time n_active
+      then
+        List.iter
+          (fun spare_active_components ->
+            List.iter
+              (fun settings ->
+                let design =
+                  Model.Design.tier_design ~tier_name
+                    ~resource:option.resource ~n_active ~n_spare
+                    ~spare_active_components ~mechanism_settings:settings ()
+                in
+                let cost = Model.Design.tier_cost infra design in
+                if within_cap cost then
+                  match evaluate config infra ~option ~job_size design with
+                  | candidate -> results := candidate :: !results
+                  | exception Invalid_argument _ -> ())
+              all_settings)
+          (if n_spare = 0 || not config.Search_config.explore_spare_modes then
+             [ [] ]
+           else Model.Resource.downward_closed_subsets resource))
+    (List.init (Stdlib.min config.Search_config.max_spares total + 1) Fun.id);
+  List.rev !results
+
+(* Prefer lower cost, then faster completion. *)
+let better a b =
+  match Money.compare a.cost b.cost with
+  | 0 -> Duration.compare a.execution_time b.execution_time < 0
+  | c -> c < 0
+
+let start_total ~(option : Model.Service.resource_option) ~job_size ~max_time =
+  List.find_opt
+    (fun n -> feasible_n ~option ~job_size ~max_time n)
+    (Model.Int_range.to_list option.n_active)
+
+let search_option config infra ~tier_name ~option ~job_size ~max_time
+    ~incumbent =
+  match start_total ~option ~job_size ~max_time with
+  | None -> incumbent
+  | Some start ->
+      let limit =
+        Stdlib.min config.Search_config.max_total_resources
+          (Model.Int_range.max_value option.Model.Service.n_active
+          + config.Search_config.max_spares)
+      in
+      let best = ref incumbent in
+      let previous_best_time = ref Float.infinity in
+      let degradations = ref 0 in
+      let stop = ref false in
+      let total = ref start in
+      while (not !stop) && !total <= limit do
+        let cost_cap = Option.map (fun c -> c.cost) !best in
+        let candidates =
+          enumerate_total config infra ~tier_name ~option ~job_size ~max_time
+            ~total:!total ?cost_cap ()
+        in
+        let feasible =
+          List.filter
+            (fun c -> Duration.compare c.execution_time max_time <= 0)
+            candidates
+        in
+        List.iter
+          (fun c ->
+            match !best with
+            | Some b when not (better c b) -> ()
+            | Some _ | None -> best := Some c)
+          feasible;
+        (match !best with
+        | Some b ->
+            let min_cost_here =
+              List.fold_left
+                (fun acc c -> Money.min acc c.cost)
+                (Money.of_float Float.max_float)
+                candidates
+            in
+            if candidates = [] || Money.(b.cost <= min_cost_here) then
+              stop := true
+        | None ->
+            let best_time_here =
+              List.fold_left
+                (fun acc c ->
+                  Float.min acc (Duration.seconds c.execution_time))
+                Float.infinity candidates
+            in
+            if best_time_here >= !previous_best_time then begin
+              incr degradations;
+              if !degradations >= 2 then stop := true
+            end
+            else degradations := 0;
+            previous_best_time := best_time_here);
+        incr total
+      done;
+      !best
+
+let optimal config infra ~(tier : Model.Service.tier) ~job_size ~max_time =
+  List.fold_left
+    (fun incumbent option ->
+      search_option config infra ~tier_name:tier.tier_name ~option ~job_size
+        ~max_time ~incumbent)
+    None tier.options
+
+let frontier config infra ~(tier : Model.Service.tier) ~job_size ~max_time =
+  let candidates =
+    List.concat_map
+      (fun (option : Model.Service.resource_option) ->
+        match start_total ~option ~job_size ~max_time with
+        | None -> []
+        | Some start ->
+            let limit =
+              Stdlib.min config.Search_config.max_total_resources
+                (Model.Int_range.max_value option.n_active
+                + config.Search_config.max_spares)
+            in
+            let limit =
+              (* The frontier sweep is bounded like the optimal search:
+                 a window of extras beyond the first feasible count. *)
+              Stdlib.min limit
+                (start + config.Search_config.max_extra_resources
+               + config.Search_config.max_spares)
+            in
+            List.concat_map
+              (fun total ->
+                enumerate_total config infra ~tier_name:tier.tier_name ~option
+                  ~job_size ~max_time ~total ())
+              (List.init (Stdlib.max 0 (limit - start + 1)) (fun i -> start + i)))
+      tier.options
+  in
+  let feasible =
+    List.filter
+      (fun c -> Duration.compare c.execution_time max_time <= 0)
+      candidates
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Money.compare a.cost b.cost with
+        | 0 -> Duration.compare a.execution_time b.execution_time
+        | c -> c)
+      feasible
+  in
+  let rec scan best_time acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+        let t = Duration.seconds c.execution_time in
+        if t < best_time then scan t (c :: acc) rest
+        else scan best_time acc rest
+  in
+  scan Float.infinity [] sorted
+
+let pp_candidate ppf c =
+  Format.fprintf ppf "%a | cost %a/yr | exec %.2f h"
+    Model.Design.pp_tier c.design Money.pp c.cost
+    (Duration.hours c.execution_time)

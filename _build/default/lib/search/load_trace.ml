@@ -1,0 +1,104 @@
+module Duration = Aved_units.Duration
+
+let diurnal ~days ~samples_per_day ~base ~peak ?(peak_hour = 15.)
+    ?(weekend_factor = 1.) () =
+  if days <= 0 || samples_per_day <= 0 then
+    invalid_arg "Load_trace.diurnal: non-positive size";
+  if base <= 0. || peak < base then
+    invalid_arg "Load_trace.diurnal: need 0 < base <= peak";
+  if weekend_factor <= 0. then
+    invalid_arg "Load_trace.diurnal: non-positive weekend factor";
+  List.init (days * samples_per_day) (fun i ->
+      let hours =
+        float_of_int i *. 24. /. float_of_int samples_per_day
+      in
+      let day = i / samples_per_day in
+      let hour_of_day = Float.rem hours 24. in
+      (* A clipped sinusoid centered on the peak hour with a 12 h
+         half-width. *)
+      let phase = (hour_of_day -. peak_hour) *. Float.pi /. 12. in
+      let shape = Float.max 0. (cos phase) in
+      let weekend = if day mod 7 >= 5 then weekend_factor else 1. in
+      let load = (base +. ((peak -. base) *. shape)) *. weekend in
+      (Duration.of_hours hours, Float.max 1e-6 load))
+
+let step ~levels ~samples_per_level =
+  if samples_per_level <= 0 then
+    invalid_arg "Load_trace.step: non-positive samples";
+  let _, rows =
+    List.fold_left
+      (fun (start, acc) (hours, load) ->
+        if hours <= 0. then invalid_arg "Load_trace.step: non-positive level";
+        let samples =
+          List.init samples_per_level (fun i ->
+              ( Duration.of_hours
+                  (start +. (hours *. float_of_int i /. float_of_int samples_per_level)),
+                load ))
+        in
+        (start +. hours, acc @ samples))
+      (0., []) levels
+  in
+  rows
+
+let of_csv_string text =
+  let rows =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun line -> line <> "" && line.[0] <> '#')
+    |> List.map (fun line ->
+           match String.split_on_char ',' line with
+           | [ hours; load ] -> (
+               match
+                 (float_of_string_opt (String.trim hours),
+                  float_of_string_opt (String.trim load))
+               with
+               | Some h, Some l when Float.is_finite h && h >= 0. && l > 0. ->
+                   (Duration.of_hours h, l)
+               | _ ->
+                   invalid_arg
+                     (Printf.sprintf "Load_trace: bad row %S" line))
+           | _ -> invalid_arg (Printf.sprintf "Load_trace: bad row %S" line))
+  in
+  let rec check = function
+    | (t1, _) :: (((t2, _) :: _) as rest) ->
+        if Duration.compare t1 t2 >= 0 then
+          invalid_arg "Load_trace: timestamps must increase";
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check rows;
+  rows
+
+let of_csv_file path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_csv_string content
+
+let to_csv_string trace =
+  String.concat ""
+    (List.map
+       (fun (t, load) ->
+         Printf.sprintf "%.6g,%.6g\n" (Duration.hours t) load)
+       trace)
+
+let peak_load = function
+  | [] -> invalid_arg "Load_trace.peak_load: empty trace"
+  | trace -> List.fold_left (fun acc (_, l) -> Float.max acc l) 0. trace
+
+let mean_load = function
+  | [] -> invalid_arg "Load_trace.mean_load: empty trace"
+  | [ (_, only) ] -> only
+  | trace ->
+      let rec weighted acc total = function
+        | (t1, l) :: (((t2, _) :: _) as rest) ->
+            let dt = Duration.seconds t2 -. Duration.seconds t1 in
+            weighted (acc +. (l *. dt)) (total +. dt) rest
+        | [ _ ] | [] -> (acc, total)
+      in
+      let acc, total = weighted 0. 0. trace in
+      if total <= 0. then invalid_arg "Load_trace.mean_load: zero span"
+      else acc /. total

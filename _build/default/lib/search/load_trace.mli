@@ -1,0 +1,42 @@
+(** Load traces for the adaptive controller.
+
+    Synthetic diurnal/weekly workload generators and a small CSV format
+    ([hours,load] per line, [#] comments) for replaying recorded
+    traces through {!Adaptive.replay}. *)
+
+module Duration = Aved_units.Duration
+
+val diurnal :
+  days:int ->
+  samples_per_day:int ->
+  base:float ->
+  peak:float ->
+  ?peak_hour:float ->
+  ?weekend_factor:float ->
+  unit ->
+  (Duration.t * float) list
+(** A smooth day/night cycle: load rises from [base] to [peak] around
+    [peak_hour] (default 15.0) following a clipped sinusoid. Days 6 and
+    7 of each week are scaled by [weekend_factor] (default 1). Raises
+    [Invalid_argument] on non-positive sizes or [peak < base]. *)
+
+val step :
+  levels:(float * float) list -> samples_per_level:int -> (Duration.t * float) list
+(** Piecewise-constant trace: each [(hours, load)] level is held for the
+    given duration, sampled [samples_per_level] times. *)
+
+val of_csv_string : string -> (Duration.t * float) list
+(** Parses [hours,load] lines; blank lines and [#] comments are skipped.
+    Raises [Invalid_argument] on malformed rows or non-increasing
+    timestamps. *)
+
+val of_csv_file : string -> (Duration.t * float) list
+val to_csv_string : (Duration.t * float) list -> string
+(** Inverse of {!of_csv_string}. *)
+
+val peak_load : (Duration.t * float) list -> float
+(** Raises [Invalid_argument] on an empty trace. *)
+
+val mean_load : (Duration.t * float) list -> float
+(** Time-weighted mean (the final sample closes the last interval with
+    zero weight, matching {!Adaptive.replay}'s cost accounting). *)

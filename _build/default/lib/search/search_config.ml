@@ -1,0 +1,18 @@
+type t = {
+  engine : Aved_avail.Evaluate.engine;
+  max_extra_resources : int;
+  max_spares : int;
+  max_total_resources : int;
+  explore_spare_modes : bool;
+}
+
+let default =
+  {
+    engine = Aved_avail.Evaluate.Analytic;
+    max_extra_resources = 8;
+    max_spares = 3;
+    max_total_resources = 2000;
+    explore_spare_modes = false;
+  }
+
+let with_engine engine t = { t with engine }

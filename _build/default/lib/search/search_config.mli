@@ -1,0 +1,21 @@
+(** Knobs for the design-space search. *)
+
+type t = {
+  engine : Aved_avail.Evaluate.engine;
+      (** Availability engine used inside the loop. *)
+  max_extra_resources : int;
+      (** How far beyond the performance-derived minimum to explore the
+          total resource count of a tier (extras + spares combined). *)
+  max_spares : int;  (** Cap on the number of spare resources. *)
+  max_total_resources : int;  (** Absolute cap on a tier's resources. *)
+  explore_spare_modes : bool;
+      (** When false, spares are all-inactive (the paper's application
+          tier example); when true, every downward-closed set of
+          spare-active components is explored. *)
+}
+
+val default : t
+(** Analytic engine, up to 8 extra resources, 3 spares, 2000 total,
+    all-inactive spares. *)
+
+val with_engine : Aved_avail.Evaluate.engine -> t -> t

@@ -1,0 +1,110 @@
+module Duration = Aved_units.Duration
+module Model = Aved_model
+
+type variation = {
+  mtbf_scale : float;
+  mttr_scale : float;
+}
+
+let nominal = { mtbf_scale = 1.; mttr_scale = 1. }
+
+let check_variation v =
+  if
+    not (Float.is_finite v.mtbf_scale)
+    || v.mtbf_scale <= 0.
+    || (not (Float.is_finite v.mttr_scale))
+    || v.mttr_scale <= 0.
+  then
+    invalid_arg
+      (Printf.sprintf "Sensitivity: bad variation (%g, %g)" v.mtbf_scale
+         v.mttr_scale)
+
+let scale_duration k d = Duration.scale k d
+
+let scaled_component v (c : Model.Component.t) =
+  {
+    c with
+    Model.Component.failure_modes =
+      List.map
+        (fun (fm : Model.Component.failure_mode) ->
+          {
+            fm with
+            mtbf = scale_duration v.mtbf_scale fm.mtbf;
+            repair =
+              (match fm.repair with
+              | Model.Component.Fixed_repair d ->
+                  Model.Component.Fixed_repair (scale_duration v.mttr_scale d)
+              | Model.Component.Repair_by_mechanism _ as r -> r);
+          })
+        c.failure_modes;
+  }
+
+let scale_binding v = function
+  | Model.Mechanism.Fixed d ->
+      Model.Mechanism.Fixed (scale_duration v.mttr_scale d)
+  | Model.Mechanism.By_enum { param; table } ->
+      Model.Mechanism.By_enum
+        {
+          param;
+          table =
+            List.map (fun (k, d) -> (k, scale_duration v.mttr_scale d)) table;
+        }
+  | Model.Mechanism.Of_param _ as binding -> binding
+
+let scaled_mechanism v (m : Model.Mechanism.t) =
+  { m with Model.Mechanism.mttr = Option.map (scale_binding v) m.mttr }
+
+let scaled_infrastructure (infra : Model.Infrastructure.t) v =
+  check_variation v;
+  {
+    Model.Infrastructure.components =
+      List.map (scaled_component v) infra.components;
+    mechanisms = List.map (scaled_mechanism v) infra.mechanisms;
+    resources = infra.resources;
+  }
+
+type outcome = {
+  variation : variation;
+  candidate : Candidate.t option;
+  family : string option;
+}
+
+let tier_sensitivity config infra ~tier ~demand ~max_downtime ~variations =
+  List.map
+    (fun variation ->
+      let scaled = scaled_infrastructure infra variation in
+      let candidate =
+        Tier_search.optimal config scaled ~tier ~demand ~max_downtime
+      in
+      let family =
+        Option.map
+          (fun (c : Candidate.t) ->
+            Candidate.family c
+              ~n_min_nominal:c.model.Aved_avail.Tier_model.n_min)
+          candidate
+      in
+      { variation; candidate; family })
+    variations
+
+let stable_family outcomes =
+  match outcomes with
+  | [] -> None
+  | first :: rest -> (
+      match first.family with
+      | None -> None
+      | Some family ->
+          if
+            List.for_all
+              (fun o -> o.family = Some family)
+              rest
+          then Some family
+          else None)
+
+let default_variations =
+  [
+    nominal;
+    { nominal with mtbf_scale = 0.5 };
+    { nominal with mtbf_scale = 1.5 };
+    { nominal with mttr_scale = 0.5 };
+    { nominal with mttr_scale = 1.5 };
+  ]

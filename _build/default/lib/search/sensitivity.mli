@@ -1,0 +1,49 @@
+(** Sensitivity of designs to errors in the failure data.
+
+    The paper notes (§5.1) that software failure rates were estimated
+    "based on the authors' intuition" — exactly the data a user should
+    distrust. This module perturbs the infrastructure's MTBFs and repair
+    times by scale factors, re-runs the search, and reports whether the
+    chosen design family survives. *)
+
+type variation = {
+  mtbf_scale : float;  (** Multiplies every failure mode's MTBF. *)
+  mttr_scale : float;
+      (** Multiplies every fixed repair time and every mechanism-provided
+          MTTR. *)
+}
+
+val nominal : variation
+(** Scales of 1. *)
+
+val scaled_infrastructure :
+  Aved_model.Infrastructure.t -> variation -> Aved_model.Infrastructure.t
+(** A copy of the infrastructure with all failure data scaled. Raises
+    [Invalid_argument] on non-positive scales. *)
+
+type outcome = {
+  variation : variation;
+  candidate : Candidate.t option;  (** Optimal design under the variation. *)
+  family : string option;
+      (** Its family tuple (with n_extra relative to the variation's own
+          performance minimum). *)
+}
+
+val tier_sensitivity :
+  Search_config.t ->
+  Aved_model.Infrastructure.t ->
+  tier:Aved_model.Service.tier ->
+  demand:float ->
+  max_downtime:Aved_units.Duration.t ->
+  variations:variation list ->
+  outcome list
+(** Optimal design under each variation (the nominal infrastructure is
+    whatever is passed in; include {!nominal} in the list to record the
+    baseline). *)
+
+val stable_family : outcome list -> string option
+(** [Some family] when every variation produced a design of the same
+    family, [None] otherwise (including any infeasible variation). *)
+
+val default_variations : variation list
+(** Nominal plus ±50% on MTBF and MTTR independently — five points. *)

@@ -1,0 +1,151 @@
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+module Model = Aved_model
+
+type tier_outcome = {
+  candidate : Candidate.t;
+  tier : Model.Service.tier;
+}
+
+type report = {
+  design : Model.Design.t;
+  cost : Money.t;
+  downtime : Duration.t option;
+  execution_time : Duration.t option;
+}
+
+let series_downtime_fraction candidates =
+  let up =
+    List.fold_left
+      (fun acc (c : Candidate.t) -> acc *. (1. -. c.downtime_fraction))
+      1. candidates
+  in
+  1. -. up
+
+let enterprise_report ~service_name candidates =
+  let cost =
+    Money.sum (List.map (fun (c : Candidate.t) -> c.Candidate.cost) candidates)
+  in
+  {
+    design =
+      Model.Design.make ~service_name
+        ~tiers:(List.map (fun (c : Candidate.t) -> c.Candidate.design) candidates);
+    cost;
+    downtime = Some (Duration.of_years (series_downtime_fraction candidates));
+    execution_time = None;
+  }
+
+(* Exact minimum-cost selection of one frontier point per tier subject
+   to the series downtime budget. Frontiers are sorted by increasing
+   cost (hence decreasing downtime), which gives two prunes: partial
+   cost against the incumbent, and infeasibility even with the
+   lowest-downtime (last) points of the remaining tiers. *)
+let combine_frontiers frontiers ~budget_fraction =
+  let arrays = List.map Array.of_list frontiers in
+  let min_downtimes =
+    (* For each suffix of tiers, the product of (1 - best downtime). *)
+    let rec suffixes = function
+      | [] -> [ 1. ]
+      | (frontier : Candidate.t array) :: rest ->
+          let tail = suffixes rest in
+          let best =
+            Array.fold_left
+              (fun acc c -> Float.min acc c.Candidate.downtime_fraction)
+              Float.infinity frontier
+          in
+          (match tail with
+          | best_rest :: _ -> ((1. -. best) *. best_rest) :: tail
+          | [] -> assert false)
+    in
+    Array.of_list (suffixes arrays)
+  in
+  let best : (Money.t * Candidate.t list) option ref = ref None in
+  let rec explore idx chosen cost_so_far up_so_far remaining =
+    match remaining with
+    | [] ->
+        if 1. -. up_so_far <= budget_fraction then begin
+          match !best with
+          | Some (best_cost, _) when Money.(best_cost <= cost_so_far) -> ()
+          | Some _ | None -> best := Some (cost_so_far, List.rev chosen)
+        end
+    | (frontier : Candidate.t array) :: rest ->
+        Array.iter
+          (fun (c : Candidate.t) ->
+            let cost = Money.add cost_so_far c.cost in
+            let cost_ok =
+              match !best with
+              | Some (best_cost, _) -> Money.(cost < best_cost)
+              | None -> true
+            in
+            let up = up_so_far *. (1. -. c.downtime_fraction) in
+            (* Even with the best remaining tiers, can the budget hold? *)
+            let attainable = up *. min_downtimes.(idx + 1) in
+            if cost_ok && 1. -. attainable <= budget_fraction then
+              explore (idx + 1) (c :: chosen) cost up rest)
+          frontier
+  in
+  explore 0 [] Money.zero 1. arrays;
+  Option.map snd !best
+
+let enterprise_design config infra (service : Model.Service.t) ~throughput
+    ~max_annual_downtime =
+  let budget_fraction = Duration.years max_annual_downtime in
+  (* Phase 1: each tier in isolation against the full requirement. *)
+  let isolated =
+    List.map
+      (fun tier ->
+        Tier_search.optimal config infra ~tier ~demand:throughput
+          ~max_downtime:max_annual_downtime)
+      service.tiers
+  in
+  if List.for_all Option.is_some isolated then begin
+    let candidates = List.filter_map Fun.id isolated in
+    if series_downtime_fraction candidates <= budget_fraction then
+      Some (enterprise_report ~service_name:service.service_name candidates)
+    else begin
+      (* Phase 2: refine with per-tier frontiers and exact combination. *)
+      let frontiers =
+        List.map
+          (fun tier -> Tier_search.frontier config infra ~tier ~demand:throughput)
+          service.tiers
+      in
+      if List.exists (fun f -> f = []) frontiers then None
+      else
+        combine_frontiers frontiers ~budget_fraction
+        |> Option.map
+             (enterprise_report ~service_name:service.service_name)
+    end
+  end
+  else None
+
+let job_design config infra (service : Model.Service.t) ~job_size ~max_time =
+  match service.tiers with
+  | [ tier ] ->
+      Job_search.optimal config infra ~tier ~job_size ~max_time
+      |> Option.map (fun (c : Job_search.candidate) ->
+             {
+               design =
+                 Model.Design.make ~service_name:service.service_name
+                   ~tiers:[ c.design ];
+               cost = c.cost;
+               downtime = None;
+               execution_time = Some c.execution_time;
+             })
+  | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Service_search: finite job %s must have exactly one tier"
+           service.service_name)
+
+let design config infra (service : Model.Service.t) requirements =
+  match (requirements, service.job_size) with
+  | Model.Requirements.Enterprise { throughput; max_annual_downtime }, None ->
+      enterprise_design config infra service ~throughput ~max_annual_downtime
+  | Model.Requirements.Finite_job { max_execution_time }, Some job_size ->
+      job_design config infra service ~job_size ~max_time:max_execution_time
+  | Model.Requirements.Enterprise _, Some _ ->
+      invalid_arg
+        "Service_search: enterprise requirements for a finite job service"
+  | Model.Requirements.Finite_job _, None ->
+      invalid_arg
+        "Service_search: job-time requirement for a service without job_size"

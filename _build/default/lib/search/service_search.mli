@@ -1,0 +1,43 @@
+(** Whole-service design (the outer loop of paper §4.1).
+
+    Each tier is first designed in isolation against the full
+    requirement; if the series composition of the individually optimal
+    tiers already meets the service downtime budget, that combination is
+    returned. Otherwise per-tier (cost, downtime) Pareto frontiers are
+    computed and the exact minimum-cost combination whose series
+    downtime fits the budget is selected — a deterministic realization
+    of the paper's "incrementally more aggressive per-tier
+    requirements" refinement. *)
+
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+
+type tier_outcome = {
+  candidate : Candidate.t;
+  tier : Aved_model.Service.tier;
+}
+
+type report = {
+  design : Aved_model.Design.t;
+  cost : Money.t;
+  downtime : Duration.t option;
+      (** Predicted annual service downtime (enterprise). *)
+  execution_time : Duration.t option;
+      (** Predicted job completion time (finite jobs). *)
+}
+
+val design :
+  Search_config.t ->
+  Aved_model.Infrastructure.t ->
+  Aved_model.Service.t ->
+  Aved_model.Requirements.t ->
+  report option
+(** The minimum-cost design meeting the requirements, or [None] when
+    the design space holds no feasible design. Raises
+    [Invalid_argument] when requirements and service type disagree
+    (e.g. a job-time requirement for a service without [job_size], or a
+    finite job with several tiers). *)
+
+val series_downtime_fraction : Candidate.t list -> float
+(** Service downtime fraction of a tier combination (series
+    composition, independent tiers). *)

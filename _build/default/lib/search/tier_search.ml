@@ -1,0 +1,191 @@
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+module Model = Aved_model
+module Avail = Aved_avail
+
+let settings_product infra resource =
+  let mechanisms = Model.Infrastructure.resource_mechanisms infra resource in
+  let rec product = function
+    | [] -> [ [] ]
+    | (m : Model.Mechanism.t) :: rest ->
+        let tails = product rest in
+        List.concat_map
+          (fun setting ->
+            List.map (fun tail -> (m.name, setting) :: tail) tails)
+          (Model.Mechanism.settings m)
+  in
+  product mechanisms
+
+let spare_mode_choices config infra resource_name ~n_spare =
+  if n_spare = 0 then [ [] ]
+  else if not config.Search_config.explore_spare_modes then [ [] ]
+  else
+    let resource = Model.Infrastructure.resource_exn infra resource_name in
+    Model.Resource.downward_closed_subsets resource
+
+let evaluate config infra ~option ~demand design =
+  let model =
+    Avail.Tier_model.build ~infra ~option ~design ~demand:(Some demand)
+  in
+  let downtime_fraction =
+    Avail.Evaluate.tier_downtime_fraction config.Search_config.engine model
+  in
+  {
+    Candidate.design;
+    model;
+    cost = Model.Design.tier_cost infra design;
+    downtime_fraction;
+  }
+
+let enumerate_total config infra ~tier_name
+    ~(option : Model.Service.resource_option) ~demand ~total ?cost_cap () =
+  let resource = Model.Infrastructure.resource_exn infra option.resource in
+  let all_settings = settings_product infra resource in
+  let within_cap cost =
+    match cost_cap with None -> true | Some cap -> Money.(cost < cap)
+  in
+  List.concat_map
+    (fun settings ->
+      match
+        Avail.Tier_model.minimum_actives ~option ~settings ~demand
+      with
+      | None -> []
+      | Some n_min ->
+          let candidates = ref [] in
+          let n_values =
+            List.filter
+              (fun n ->
+                n >= n_min && n <= total
+                && n - n_min <= config.Search_config.max_extra_resources
+                && total - n <= config.Search_config.max_spares)
+              (Model.Int_range.to_list option.n_active)
+          in
+          List.iter
+            (fun n_active ->
+              let n_spare = total - n_active in
+              List.iter
+                (fun spare_active_components ->
+                  let design =
+                    Model.Design.tier_design ~tier_name
+                      ~resource:option.resource ~n_active ~n_spare
+                      ~spare_active_components ~mechanism_settings:settings ()
+                  in
+                  let cost = Model.Design.tier_cost infra design in
+                  if within_cap cost then
+                    match evaluate config infra ~option ~demand design with
+                    | candidate -> candidates := candidate :: !candidates
+                    | exception Invalid_argument _ -> ())
+                (spare_mode_choices config infra option.resource ~n_spare))
+            n_values;
+          List.rev !candidates)
+    all_settings
+
+let option_minimum ~option ~settings ~demand =
+  List.filter_map
+    (fun s -> Avail.Tier_model.minimum_actives ~option ~settings:s ~demand)
+    settings
+  |> function
+  | [] -> None
+  | mins -> Some (List.fold_left Stdlib.min max_int mins)
+
+(* [better a b]: prefer lower cost, then lower downtime. *)
+let better (a : Candidate.t) (b : Candidate.t) =
+  match Money.compare a.cost b.cost with
+  | 0 -> a.downtime_fraction < b.downtime_fraction
+  | c -> c < 0
+
+let max_total_for config start =
+  Stdlib.min config.Search_config.max_total_resources
+    (start + config.Search_config.max_extra_resources
+   + config.Search_config.max_spares)
+
+let search_option config infra ~tier_name
+    ~(option : Model.Service.resource_option) ~demand ~max_downtime ~incumbent
+    =
+  let resource = Model.Infrastructure.resource_exn infra option.resource in
+  let all_settings = settings_product infra resource in
+  match option_minimum ~option ~settings:all_settings ~demand with
+  | None -> incumbent
+  | Some start ->
+      let limit = max_total_for config start in
+      let max_downtime_fraction = Duration.years max_downtime in
+      let best = ref incumbent in
+      let previous_best_downtime = ref Float.infinity in
+      let degradations = ref 0 in
+      let stop = ref false in
+      let total = ref start in
+      while (not !stop) && !total <= limit do
+        let cost_cap = Option.map (fun c -> c.Candidate.cost) !best in
+        let candidates =
+          enumerate_total config infra ~tier_name ~option ~demand ~total:!total
+            ?cost_cap ()
+        in
+        let feasible =
+          List.filter
+            (fun c -> c.Candidate.downtime_fraction <= max_downtime_fraction)
+            candidates
+        in
+        List.iter
+          (fun c ->
+            match !best with
+            | Some b when not (better c b) -> ()
+            | Some _ | None -> best := Some c)
+          feasible;
+        (match !best with
+        | Some b ->
+            (* All designs with more resources cost strictly more than the
+               cheapest at this count; stop once even the cheapest cannot
+               beat the incumbent. *)
+            let min_cost_here =
+              List.fold_left
+                (fun acc c -> Money.min acc c.Candidate.cost)
+                (Money.of_float Float.max_float)
+                candidates
+            in
+            if candidates = [] || Money.(b.Candidate.cost <= min_cost_here)
+            then stop := true
+        | None ->
+            (* No feasible design yet: give up when adding resources no
+               longer improves the best achievable downtime. *)
+            let best_downtime_here =
+              List.fold_left
+                (fun acc c -> Float.min acc c.Candidate.downtime_fraction)
+                Float.infinity candidates
+            in
+            if best_downtime_here >= !previous_best_downtime then begin
+              incr degradations;
+              if !degradations >= 2 then stop := true
+            end
+            else degradations := 0;
+            previous_best_downtime := best_downtime_here);
+        incr total
+      done;
+      !best
+
+let optimal config infra ~(tier : Model.Service.tier) ~demand ~max_downtime =
+  List.fold_left
+    (fun incumbent option ->
+      search_option config infra ~tier_name:tier.tier_name ~option ~demand
+        ~max_downtime ~incumbent)
+    None tier.options
+
+let frontier config infra ~(tier : Model.Service.tier) ~demand =
+  let candidates =
+    List.concat_map
+      (fun (option : Model.Service.resource_option) ->
+        let resource =
+          Model.Infrastructure.resource_exn infra option.resource
+        in
+        let all_settings = settings_product infra resource in
+        match option_minimum ~option ~settings:all_settings ~demand with
+        | None -> []
+        | Some start ->
+            let limit = max_total_for config start in
+            List.concat_map
+              (fun total ->
+                enumerate_total config infra ~tier_name:tier.tier_name ~option
+                  ~demand ~total ())
+              (List.init (limit - start + 1) (fun i -> start + i)))
+      tier.options
+  in
+  Candidate.pareto candidates

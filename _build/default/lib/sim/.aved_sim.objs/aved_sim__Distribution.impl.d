@@ -1,0 +1,1 @@
+lib/sim/distribution.ml: Array Float Format Printf Rng

@@ -1,0 +1,1 @@
+lib/sim/distribution.mli: Format Rng

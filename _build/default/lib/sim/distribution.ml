@@ -1,0 +1,69 @@
+type t =
+  | Deterministic of float
+  | Exponential of float
+  | Weibull of { shape : float; scale : float }
+  | Lognormal of { mu : float; sigma : float }
+
+let exponential_of_mean m =
+  if not (Float.is_finite m) || m <= 0. then
+    invalid_arg (Printf.sprintf "Distribution.exponential_of_mean: %g" m);
+  Exponential m
+
+(* Gamma function via the Lanczos approximation — accurate to ~1e-13 for
+   the arguments used here (1 + 1/shape with shape in a sane range). *)
+let gamma x =
+  let coefficients =
+    [|
+      676.5203681218851; -1259.1392167224028; 771.32342877765313;
+      -176.61502916214059; 12.507343278686905; -0.13857109526572012;
+      9.9843695780195716e-6; 1.5056327351493116e-7;
+    |]
+  in
+  let rec compute x =
+    if x < 0.5 then Float.pi /. (sin (Float.pi *. x) *. compute (1. -. x))
+    else begin
+      let x = x -. 1. in
+      let a = ref 0.99999999999980993 in
+      Array.iteri
+        (fun i c -> a := !a +. (c /. (x +. float_of_int i +. 1.)))
+        coefficients;
+      let t = x +. 7.5 in
+      sqrt (2. *. Float.pi)
+      *. Float.pow t (x +. 0.5)
+      *. exp (-.t) *. !a
+    end
+  in
+  compute x
+
+let weibull_of_mean ~shape ~mean =
+  if shape <= 0. || mean <= 0. then
+    invalid_arg "Distribution.weibull_of_mean: bad parameters";
+  let scale = mean /. gamma (1. +. (1. /. shape)) in
+  Weibull { shape; scale }
+
+let lognormal_of_mean ~sigma ~mean =
+  if sigma < 0. || mean <= 0. then
+    invalid_arg "Distribution.lognormal_of_mean: bad parameters";
+  (* E = exp(mu + sigma^2/2)  =>  mu = log mean - sigma^2/2. *)
+  Lognormal { mu = log mean -. (sigma *. sigma /. 2.); sigma }
+
+let mean = function
+  | Deterministic v -> v
+  | Exponential m -> m
+  | Weibull { shape; scale } -> scale *. gamma (1. +. (1. /. shape))
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. sigma /. 2.))
+
+let sample t rng =
+  match t with
+  | Deterministic v -> v
+  | Exponential m -> Rng.exponential rng ~rate:(1. /. m)
+  | Weibull { shape; scale } -> Rng.weibull rng ~shape ~scale
+  | Lognormal { mu; sigma } -> Rng.lognormal rng ~mu ~sigma
+
+let pp ppf = function
+  | Deterministic v -> Format.fprintf ppf "deterministic(%g)" v
+  | Exponential m -> Format.fprintf ppf "exponential(mean=%g)" m
+  | Weibull { shape; scale } ->
+      Format.fprintf ppf "weibull(shape=%g, scale=%g)" shape scale
+  | Lognormal { mu; sigma } ->
+      Format.fprintf ppf "lognormal(mu=%g, sigma=%g)" mu sigma

@@ -1,0 +1,24 @@
+(** Sampling distributions for failure and repair processes.
+
+    The analytic engines assume exponential interarrivals (as the paper
+    does); the simulator also supports Weibull and lognormal shapes for
+    sensitivity ablations. *)
+
+type t =
+  | Deterministic of float  (** Always the given value (seconds). *)
+  | Exponential of float  (** Mean (seconds); rate is its inverse. *)
+  | Weibull of { shape : float; scale : float }
+  | Lognormal of { mu : float; sigma : float }
+
+val exponential_of_mean : float -> t
+(** Raises [Invalid_argument] for a non-positive mean. *)
+
+val weibull_of_mean : shape:float -> mean:float -> t
+(** The Weibull with the given shape whose mean equals [mean]. *)
+
+val lognormal_of_mean : sigma:float -> mean:float -> t
+(** The lognormal with the given [sigma] whose mean equals [mean]. *)
+
+val mean : t -> float
+val sample : t -> Rng.t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+(** A binary min-heap of timestamped events.
+
+    The discrete-event simulator processes events in time order; ties are
+    broken by insertion order so simulations are fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Raises [Invalid_argument] for a non-finite time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the earliest event. *)
+
+val peek_time : 'a t -> float option
+val clear : 'a t -> unit

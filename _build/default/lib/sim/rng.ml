@@ -1,0 +1,61 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 output mixer (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = mix seed }
+
+(* Top 53 bits scaled to [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let uniform t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.uniform: hi < lo";
+  lo +. (float t *. (hi -. lo))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: bounds are tiny relative to 2^53. *)
+  int_of_float (float t *. float_of_int bound)
+
+let exponential t ~rate =
+  if not (Float.is_finite rate) || rate <= 0. then
+    invalid_arg (Printf.sprintf "Rng.exponential: rate %g" rate);
+  let u = float t in
+  -.Float.log1p (-.u) /. rate
+
+let weibull t ~shape ~scale =
+  if shape <= 0. || scale <= 0. then invalid_arg "Rng.weibull: bad parameters";
+  let u = float t in
+  scale *. Float.pow (-.Float.log1p (-.u)) (1. /. shape)
+
+let gaussian t ~mean ~stddev =
+  if stddev < 0. then invalid_arg "Rng.gaussian: negative stddev";
+  (* Box-Muller; u1 must be nonzero for the log. *)
+  let rec nonzero () =
+    let u = float t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () in
+  let u2 = float t in
+  let r = sqrt (-2. *. log u1) in
+  mean +. (stddev *. r *. cos (2. *. Float.pi *. u2))
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mean:mu ~stddev:sigma)

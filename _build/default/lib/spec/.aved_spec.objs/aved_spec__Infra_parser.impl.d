@@ -1,0 +1,1 @@
+lib/spec/infra_parser.ml: Aved_model Aved_units Fun Line_lexer List Option Parse_util String

@@ -1,0 +1,1 @@
+lib/spec/infra_parser.mli: Aved_model

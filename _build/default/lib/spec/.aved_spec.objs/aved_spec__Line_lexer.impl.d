@@ -1,0 +1,1 @@
+lib/spec/line_lexer.ml: List Option Printf String

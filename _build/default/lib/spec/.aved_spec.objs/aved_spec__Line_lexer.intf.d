@@ -1,0 +1,1 @@
+lib/spec/line_lexer.mli:

@@ -1,0 +1,1 @@
+lib/spec/parse_util.ml: Aved_units Float Line_lexer List Printf String

@@ -1,0 +1,1 @@
+lib/spec/parse_util.mli: Aved_units

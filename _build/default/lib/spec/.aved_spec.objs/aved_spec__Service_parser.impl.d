@@ -1,0 +1,1 @@
+lib/spec/service_parser.ml: Aved_model Aved_perf Fun Line_lexer List Option Parse_util String

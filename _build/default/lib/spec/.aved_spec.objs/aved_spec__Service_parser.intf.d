@@ -1,0 +1,1 @@
+lib/spec/service_parser.mli: Aved_model

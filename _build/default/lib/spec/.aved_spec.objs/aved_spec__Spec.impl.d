@@ -1,0 +1,1 @@
+lib/spec/spec.ml: Aved_model Infra_parser Line_lexer Printf Service_parser

@@ -1,0 +1,1 @@
+lib/spec/spec.mli: Aved_model

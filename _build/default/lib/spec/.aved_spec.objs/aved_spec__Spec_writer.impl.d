@@ -1,0 +1,1 @@
+lib/spec/spec_writer.ml: Aved_model Aved_perf Aved_units Buffer Fun List Option Printf String

@@ -1,0 +1,1 @@
+lib/spec/spec_writer.mli: Aved_model

@@ -1,0 +1,346 @@
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+module Model = Aved_model
+open Parse_util
+
+(* Builders accumulate attributes of the block being parsed. *)
+
+type component_builder = {
+  c_line : int;
+  c_name : string;
+  c_cost_inactive : Money.t;
+  c_cost_active : Money.t;
+  c_max_instances : int option;
+  c_loss_window : Model.Component.loss_window_spec;
+  mutable c_failures : Model.Component.failure_mode list; (* reversed *)
+}
+
+type mechanism_builder = {
+  m_line : int;
+  m_name : string;
+  mutable m_params : Model.Mechanism.parameter list; (* reversed *)
+  mutable m_cost : Money.t Model.Mechanism.binding option;
+  mutable m_mttr : Duration.t Model.Mechanism.binding option;
+  mutable m_loss_window : Duration.t Model.Mechanism.binding option;
+}
+
+type resource_builder = {
+  r_line : int;
+  r_name : string;
+  r_reconfig : Duration.t;
+  mutable r_elements : Model.Resource.element list; (* reversed *)
+}
+
+type block =
+  | Top
+  | In_component of component_builder
+  | In_mechanism of mechanism_builder
+  | In_resource of resource_builder
+
+type state = {
+  mutable block : block;
+  mutable components : Model.Component.t list; (* reversed *)
+  mutable mechanisms : Model.Mechanism.t list; (* reversed *)
+  mutable resources : Model.Resource.t list; (* reversed *)
+}
+
+let wrap_invalid lineno f =
+  match f () with
+  | v -> v
+  | exception Invalid_argument message -> fail lineno "%s" message
+
+let finalize state =
+  match state.block with
+  | Top -> ()
+  | In_component b ->
+      let component =
+        wrap_invalid b.c_line (fun () ->
+            Model.Component.make ~name:b.c_name
+              ~cost_inactive:b.c_cost_inactive ~cost_active:b.c_cost_active
+              ?max_instances:b.c_max_instances
+              ~failure_modes:(List.rev b.c_failures)
+              ~loss_window:b.c_loss_window ())
+      in
+      state.components <- component :: state.components;
+      state.block <- Top
+  | In_mechanism b ->
+      let cost =
+        match b.m_cost with
+        | Some c -> c
+        | None -> fail b.m_line "mechanism %s lacks a cost" b.m_name
+      in
+      let mechanism =
+        wrap_invalid b.m_line (fun () ->
+            Model.Mechanism.make ~name:b.m_name
+              ~parameters:(List.rev b.m_params) ~cost ?mttr:b.m_mttr
+              ?loss_window:b.m_loss_window ())
+      in
+      state.mechanisms <- mechanism :: state.mechanisms;
+      state.block <- Top
+  | In_resource b ->
+      let resource =
+        wrap_invalid b.r_line (fun () ->
+            Model.Resource.make ~name:b.r_name ~reconfig_time:b.r_reconfig
+              ~elements:(List.rev b.r_elements) ())
+      in
+      state.resources <- resource :: state.resources;
+      state.block <- Top
+
+(* --- component lines ------------------------------------------------ *)
+
+let parse_component_costs (line : Line_lexer.line) =
+  match Line_lexer.find line "cost" with
+  | None -> fail line.lineno "component lacks a cost attribute"
+  | Some { args = None; value; _ } ->
+      let c = money line.lineno value in
+      (c, c)
+  | Some { args = Some args; value; _ } ->
+      let normalized =
+        String.concat ""
+          (String.split_on_char ' ' (String.lowercase_ascii args))
+      in
+      if normalized <> "[inactive,active]" then
+        fail line.lineno "unsupported cost argument %S" args;
+      (match bracket_items line.lineno value with
+      | [ inactive; active ] ->
+          (money line.lineno inactive, money line.lineno active)
+      | items ->
+          fail line.lineno "cost([inactive,active]) expects 2 values, got %d"
+            (List.length items))
+
+let parse_loss_window_spec lineno value =
+  match mechanism_ref value with
+  | Some mech -> Model.Component.Loss_window_by_mechanism mech
+  | None -> Model.Component.Fixed_loss_window (duration lineno value)
+
+let start_component (line : Line_lexer.line) name =
+  let cost_inactive, cost_active = parse_component_costs line in
+  {
+    c_line = line.lineno;
+    c_name = name;
+    c_cost_inactive = cost_inactive;
+    c_cost_active = cost_active;
+    c_max_instances =
+      Option.map (int_value line.lineno)
+        (Line_lexer.find_value line "max_instances");
+    c_loss_window =
+      (match Line_lexer.find_value line "loss_window" with
+      | Some value -> parse_loss_window_spec line.lineno value
+      | None -> Model.Component.No_loss_window);
+    c_failures = [];
+  }
+
+let parse_failure (line : Line_lexer.line) mode_name =
+  let require key =
+    match Line_lexer.find_value line key with
+    | Some v -> v
+    | None -> fail line.lineno "failure mode lacks %s" key
+  in
+  let repair =
+    let text = require "mttr" in
+    match mechanism_ref text with
+    | Some mech -> Model.Component.Repair_by_mechanism mech
+    | None -> Model.Component.Fixed_repair (duration line.lineno text)
+  in
+  wrap_invalid line.lineno (fun () ->
+      Model.Component.failure_mode ~name:mode_name
+        ~mtbf:(duration line.lineno (require "mtbf"))
+        ~repair
+        ~detect_time:
+          (match Line_lexer.find_value line "detect_time" with
+          | Some v -> duration line.lineno v
+          | None -> Duration.zero)
+        ())
+
+(* --- mechanism lines ------------------------------------------------ *)
+
+let parse_param (line : Line_lexer.line) pname =
+  let range_text =
+    match Line_lexer.find_value line "range" with
+    | Some v -> v
+    | None -> fail line.lineno "param %s lacks a range" pname
+  in
+  let range =
+    (* Geometric duration range [LO-HI;*FACTOR], else an enum list. *)
+    match String.index_opt range_text ';' with
+    | Some _ -> (
+        let n = String.length range_text in
+        if n < 2 || range_text.[0] <> '[' || range_text.[n - 1] <> ']' then
+          fail line.lineno "expected a bracketed range, got %S" range_text;
+        let body = String.sub range_text 1 (n - 2) in
+        match String.split_on_char ';' body with
+        | [ bounds; step ] -> (
+            let step = String.trim step in
+            if String.length step < 2 || step.[0] <> '*' then
+              fail line.lineno "expected a *FACTOR step, got %S" step;
+            let factor =
+              float_value line.lineno
+                (String.sub step 1 (String.length step - 1))
+            in
+            match String.index_opt bounds '-' with
+            | None -> fail line.lineno "expected LO-HI bounds, got %S" bounds
+            | Some i ->
+                let lo = duration line.lineno (String.sub bounds 0 i) in
+                let hi =
+                  duration line.lineno
+                    (String.sub bounds (i + 1) (String.length bounds - i - 1))
+                in
+                Model.Mechanism.Duration_geometric { lo; hi; factor })
+        | _ -> fail line.lineno "malformed geometric range %S" range_text)
+    | None -> Model.Mechanism.Enum (bracket_items line.lineno range_text)
+  in
+  { Model.Mechanism.param_name = pname; range }
+
+let enum_range_of (b : mechanism_builder) lineno pname =
+  match
+    List.find_opt
+      (fun (p : Model.Mechanism.parameter) -> String.equal p.param_name pname)
+      b.m_params
+  with
+  | Some { range = Model.Mechanism.Enum values; _ } -> values
+  | Some { range = Model.Mechanism.Duration_geometric _; _ } ->
+      fail lineno "parameter %s is not an enum" pname
+  | None -> fail lineno "unknown parameter %s (declare params first)" pname
+
+let parse_tabular_binding b (line : Line_lexer.line) pname value ~convert =
+  let values = enum_range_of b line.lineno pname in
+  let items = bracket_items line.lineno value in
+  if List.length items <> List.length values then
+    fail line.lineno "table for %s has %d entries but the range has %d" pname
+      (List.length items) (List.length values);
+  Model.Mechanism.By_enum
+    { param = pname; table = List.combine values (List.map convert items) }
+
+let mechanism_line (b : mechanism_builder) (line : Line_lexer.line) =
+  List.iter
+    (fun (attr : Line_lexer.attr) ->
+      match (attr.key, attr.args) with
+      | "param", None -> b.m_params <- parse_param line attr.value :: b.m_params
+      | "range", None -> () (* consumed by parse_param *)
+      | "cost", None ->
+          b.m_cost <- Some (Model.Mechanism.Fixed (money line.lineno attr.value))
+      | "cost", Some pname ->
+          b.m_cost <-
+            Some
+              (parse_tabular_binding b line pname attr.value
+                 ~convert:(money line.lineno))
+      | "mttr", None ->
+          b.m_mttr <-
+            Some (Model.Mechanism.Fixed (duration line.lineno attr.value))
+      | "mttr", Some pname ->
+          b.m_mttr <-
+            Some
+              (parse_tabular_binding b line pname attr.value
+                 ~convert:(duration line.lineno))
+      | "loss_window", None -> (
+          (* Either a literal duration or a parameter name. *)
+          match Duration.of_string_opt attr.value with
+          | Some d -> b.m_loss_window <- Some (Model.Mechanism.Fixed d)
+          | None ->
+              b.m_loss_window <- Some (Model.Mechanism.Of_param attr.value))
+      | key, _ -> fail line.lineno "unexpected attribute %s in mechanism" key)
+    line.attrs
+
+(* --- driver --------------------------------------------------------- *)
+
+let handle_line state (line : Line_lexer.line) =
+  match Line_lexer.leading_key line with
+  | "component" -> (
+      let name =
+        match Line_lexer.find_value line "component" with
+        | Some v -> v
+        | None -> assert false
+      in
+      match state.block with
+      | In_resource b ->
+          let depends_on =
+            match Line_lexer.find_value line "depend" with
+            | Some "null" | None -> None
+            | Some other -> Some other
+          in
+          let startup =
+            match Line_lexer.find_value line "startup" with
+            | Some v -> duration line.lineno v
+            | None -> Duration.zero
+          in
+          b.r_elements <-
+            Model.Resource.element ~component:name ?depends_on ~startup ()
+            :: b.r_elements
+      | Top | In_component _ | In_mechanism _ ->
+          finalize state;
+          state.block <- In_component (start_component line name))
+  | "failure" -> (
+      match state.block with
+      | In_component b ->
+          let mode =
+            match Line_lexer.find_value line "failure" with
+            | Some v -> v
+            | None -> assert false
+          in
+          b.c_failures <- parse_failure line mode :: b.c_failures
+      | Top | In_mechanism _ | In_resource _ ->
+          fail line.lineno "failure line outside a component block")
+  | "mechanism" ->
+      finalize state;
+      let name =
+        match Line_lexer.find_value line "mechanism" with
+        | Some v -> v
+        | None -> assert false
+      in
+      state.block <-
+        In_mechanism
+          {
+            m_line = line.lineno;
+            m_name = name;
+            m_params = [];
+            m_cost = None;
+            m_mttr = None;
+            m_loss_window = None;
+          }
+  | "resource" ->
+      finalize state;
+      let name =
+        match Line_lexer.find_value line "resource" with
+        | Some v -> v
+        | None -> assert false
+      in
+      let reconfig =
+        match Line_lexer.find_value line "reconfig_time" with
+        | Some v -> duration line.lineno v
+        | None -> Duration.zero
+      in
+      state.block <-
+        In_resource
+          { r_line = line.lineno; r_name = name; r_reconfig = reconfig;
+            r_elements = [] }
+  | "param" | "cost" | "mttr" | "loss_window" -> (
+      match state.block with
+      | In_mechanism b -> mechanism_line b line
+      | Top | In_component _ | In_resource _ ->
+          fail line.lineno "%s line outside a mechanism block"
+            (Line_lexer.leading_key line))
+  | key -> fail line.lineno "unexpected line starting with %s" key
+
+let parse source =
+  let lines = Line_lexer.tokenize source in
+  let state = { block = Top; components = []; mechanisms = []; resources = [] } in
+  List.iter (handle_line state) lines;
+  finalize state;
+  match
+    Model.Infrastructure.make
+      ~components:(List.rev state.components)
+      ~mechanisms:(List.rev state.mechanisms)
+      ~resources:(List.rev state.resources)
+  with
+  | infra -> infra
+  | exception Invalid_argument message ->
+      raise (Line_lexer.Error { line = 0; message })
+
+let parse_file path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse content

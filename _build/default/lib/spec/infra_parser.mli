@@ -1,0 +1,28 @@
+(** Parser for infrastructure specifications (the paper's Fig. 3).
+
+    Grammar, by leading key of each line:
+
+    {v
+    component=NAME [cost=COST | cost([inactive,active])=[C_in C_act]]
+                   [max_instances=N] [loss_window=<MECH>|DURATION]
+      failure=MODE mtbf=DUR mttr=(<MECH>|DUR) [detect_time=DUR]
+      ... more failure lines ...
+
+    mechanism=NAME
+      param=PNAME range=([e1,e2,...] | [LO-HI;*FACTOR])
+      cost=COST | cost(PNAME)=[c1 c2 ...]
+      [mttr=DUR | mttr(PNAME)=[d1 d2 ...]]
+      [loss_window=PNAME | loss_window=DUR]
+
+    resource=NAME [reconfig_time=DUR]
+      component=CNAME depend=(null|CNAME) [startup=DUR]
+      ...
+    v}
+
+    Tabular bindings like [cost(level)=[380 580 760 1500]] pair the
+    values positionally with the parameter's declared enum range.
+    Raises {!Line_lexer.Error} on any syntactic or referential
+    problem (unknown components, missing attributes, ...). *)
+
+val parse : string -> Aved_model.Infrastructure.t
+val parse_file : string -> Aved_model.Infrastructure.t

@@ -1,0 +1,112 @@
+exception Error of { line : int; message : string }
+
+type attr = {
+  key : string;
+  args : string option;
+  value : string;
+}
+
+type line = { lineno : int; attrs : attr list }
+
+let fail lineno fmt =
+  Printf.ksprintf (fun message -> raise (Error { line = lineno; message })) fmt
+
+let strip_comment text =
+  let n = String.length text in
+  let rec find i =
+    if i >= n then n
+    else if text.[i] = '#' then i
+    else if i + 1 < n && text.[i] = '\\' && text.[i + 1] = '\\' then i
+    else find (i + 1)
+  in
+  String.sub text 0 (find 0)
+
+let rest_of_line_keys = [ "performance"; "mperformance" ]
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+(* Scan one attribute starting at [i]; returns (attr, next position). *)
+let scan_attr lineno text i =
+  let n = String.length text in
+  (* Key: up to '(' or '='. *)
+  let rec key_end j =
+    if j >= n then fail lineno "attribute %S lacks '='" (String.sub text i (n - i))
+    else
+      match text.[j] with
+      | '(' | '=' -> j
+      | c when is_space c ->
+          fail lineno "unexpected space in attribute key near %S"
+            (String.sub text i (j - i))
+      | _ -> key_end (j + 1)
+  in
+  let ke = key_end i in
+  let key = String.sub text i (ke - i) in
+  if key = "" then fail lineno "empty attribute key";
+  let args, eq_pos =
+    if text.[ke] = '(' then begin
+      (* Args: to the matching ')'. *)
+      let rec close j depth =
+        if j >= n then fail lineno "unterminated '(' in attribute %s" key
+        else
+          match text.[j] with
+          | '(' -> close (j + 1) (depth + 1)
+          | ')' -> if depth = 1 then j else close (j + 1) (depth - 1)
+          | _ -> close (j + 1) depth
+      in
+      let cp = close ke 0 in
+      if cp + 1 >= n || text.[cp + 1] <> '=' then
+        fail lineno "expected '=' after arguments of %s" key;
+      (Some (String.sub text (ke + 1) (cp - ke - 1)), cp + 1)
+    end
+    else (None, ke)
+  in
+  let vstart = eq_pos + 1 in
+  if vstart > n then fail lineno "attribute %s lacks a value" key;
+  let vend =
+    if vstart < n && text.[vstart] = '[' then begin
+      (* Bracket-balanced value. *)
+      let rec close j depth =
+        if j >= n then fail lineno "unterminated '[' in value of %s" key
+        else
+          match text.[j] with
+          | '[' -> close (j + 1) (depth + 1)
+          | ']' -> if depth = 1 then j + 1 else close (j + 1) (depth - 1)
+          | _ -> close (j + 1) depth
+      in
+      close vstart 0
+    end
+    else if List.mem key rest_of_line_keys then n
+    else begin
+      let rec scan j = if j < n && not (is_space text.[j]) then scan (j + 1) else j in
+      scan vstart
+    end
+  in
+  let value = String.trim (String.sub text vstart (vend - vstart)) in
+  ({ key; args; value }, vend)
+
+let tokenize_line lineno text =
+  let n = String.length text in
+  let rec loop i acc =
+    if i >= n then List.rev acc
+    else if is_space text.[i] then loop (i + 1) acc
+    else
+      let attr, next = scan_attr lineno text i in
+      loop next (attr :: acc)
+  in
+  loop 0 []
+
+let tokenize source =
+  let raw_lines = String.split_on_char '\n' source in
+  List.filteri (fun _ _ -> true) raw_lines
+  |> List.mapi (fun idx text -> (idx + 1, strip_comment text))
+  |> List.filter_map (fun (lineno, text) ->
+         if String.trim text = "" then None
+         else Some { lineno; attrs = tokenize_line lineno text })
+
+let find line key = List.find_opt (fun a -> String.equal a.key key) line.attrs
+let find_value line key = Option.map (fun a -> a.value) (find line key)
+
+let leading_key line =
+  match line.attrs with
+  | [] -> ""
+  | attr :: _ -> attr.key

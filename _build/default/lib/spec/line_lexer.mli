@@ -1,0 +1,35 @@
+(** Lexer for the paper's attribute-value specification language.
+
+    A specification is line-oriented. Each non-blank, non-comment line
+    is a sequence of attributes:
+
+    {v key=value   key(args)=value v}
+
+    Comments start with [\\] (the paper's convention) or [#] and run to
+    the end of the line. A value is delimited as follows: values
+    starting with [\[] extend to the matching unnested [\]] (so
+    [cost([inactive,active])=[2400 2640]] works); values of the
+    rest-of-line keys [performance] and [mperformance] extend to the end
+    of the line (so unquoted expressions work); any other value extends
+    to the next whitespace. *)
+
+exception Error of { line : int; message : string }
+
+type attr = {
+  key : string;
+  args : string option;  (** The text between the parentheses, if any. *)
+  value : string;
+}
+
+type line = { lineno : int; attrs : attr list }
+
+val tokenize : string -> line list
+(** Lexes a whole specification text. Line numbers are 1-based. Raises
+    {!Error} on malformed lines. *)
+
+val find : line -> string -> attr option
+(** First attribute with the given key. *)
+
+val find_value : line -> string -> string option
+val leading_key : line -> string
+(** Key of the first attribute (lines are classified by it). *)

@@ -1,0 +1,61 @@
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+
+let fail lineno fmt =
+  Printf.ksprintf
+    (fun message -> raise (Line_lexer.Error { line = lineno; message }))
+    fmt
+
+let duration lineno text =
+  match Duration.of_string_opt text with
+  | Some d -> d
+  | None -> fail lineno "expected a duration, got %S" text
+
+let money lineno text =
+  match float_of_string_opt text with
+  | Some v when Float.is_finite v && v >= 0. -> Money.of_float v
+  | Some _ | None -> fail lineno "expected a non-negative cost, got %S" text
+
+let int_value lineno text =
+  match int_of_string_opt text with
+  | Some v -> v
+  | None -> fail lineno "expected an integer, got %S" text
+
+let float_value lineno text =
+  match float_of_string_opt text with
+  | Some v when Float.is_finite v -> v
+  | Some _ | None -> fail lineno "expected a number, got %S" text
+
+let mechanism_ref text =
+  let n = String.length text in
+  if n >= 3 && text.[0] = '<' && text.[n - 1] = '>' then
+    Some (String.sub text 1 (n - 2))
+  else None
+
+let bracket_items lineno text =
+  let n = String.length text in
+  if n < 2 || text.[0] <> '[' || text.[n - 1] <> ']' then
+    fail lineno "expected a bracketed list, got %S" text;
+  let body = String.sub text 1 (n - 2) in
+  let items =
+    String.split_on_char ',' body
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if items = [] then fail lineno "empty list %S" text;
+  items
+
+let guard_list lineno text =
+  let text = String.trim text in
+  if text = "" then []
+  else
+    String.split_on_char ',' text
+    |> List.map (fun entry ->
+           match String.index_opt entry '=' with
+           | None -> fail lineno "expected key=value in guard, got %S" entry
+           | Some i ->
+               ( String.trim (String.sub entry 0 i),
+                 String.trim
+                   (String.sub entry (i + 1) (String.length entry - i - 1)) ))

@@ -1,0 +1,24 @@
+(** Shared helpers for the specification parsers. *)
+
+val fail : int -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Line_lexer.Error} at the given line. *)
+
+val duration : int -> string -> Aved_units.Duration.t
+(** Parse a duration value ([650d], [2m], [0]) or fail at the line. *)
+
+val money : int -> string -> Aved_units.Money.t
+val int_value : int -> string -> int
+val float_value : int -> string -> float
+
+val mechanism_ref : string -> string option
+(** [mechanism_ref "<maintenanceA>"] is [Some "maintenanceA"]. *)
+
+val bracket_items : int -> string -> string list
+(** Splits a bracketed list on commas and whitespace:
+    [\[2400 2640\]] → [["2400"; "2640"]];
+    [\[bronze,silver\]] → [["bronze"; "silver"]]. Fails when the value
+    is not bracketed or the list is empty. *)
+
+val guard_list : int -> string -> (string * string) list
+(** Parses [k1=v1,k2=v2] argument text (used by [mperformance]). An
+    empty string yields []. *)

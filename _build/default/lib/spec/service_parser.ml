@@ -1,0 +1,213 @@
+module Model = Aved_model
+module Perf_function = Aved_perf.Perf_function
+module Slowdown = Aved_perf.Slowdown
+open Parse_util
+
+type option_builder = {
+  o_line : int;
+  o_resource : string;
+  o_sizing : Model.Service.sizing;
+  o_failure_scope : Model.Service.failure_scope;
+  mutable o_n_active : Model.Int_range.t option;
+  mutable o_performance : Perf_function.t option;
+  mutable o_mechs : (string * Model.Mech_impact.case list) list; (* reversed cases *)
+  mutable o_current_mech : string option;
+}
+
+type tier_builder = {
+  t_name : string;
+  mutable t_options : Model.Service.resource_option list; (* reversed *)
+  mutable t_current : option_builder option;
+}
+
+type state = {
+  mutable app_name : string option;
+  mutable job_size : float option;
+  mutable tiers : Model.Service.tier list; (* reversed *)
+  mutable current_tier : tier_builder option;
+}
+
+let wrap_invalid lineno f =
+  match f () with
+  | v -> v
+  | exception Invalid_argument message -> fail lineno "%s" message
+
+let finalize_option (t : tier_builder) =
+  match t.t_current with
+  | None -> ()
+  | Some b ->
+      let n_active =
+        match b.o_n_active with
+        | Some r -> r
+        | None -> fail b.o_line "resource option %s lacks nActive" b.o_resource
+      in
+      let performance =
+        match b.o_performance with
+        | Some p -> p
+        | None ->
+            fail b.o_line "resource option %s lacks performance" b.o_resource
+      in
+      let mech_performance =
+        List.rev_map (fun (name, cases) -> (name, List.rev cases)) b.o_mechs
+      in
+      let option =
+        wrap_invalid b.o_line (fun () ->
+            Model.Service.resource_option ~resource:b.o_resource
+              ~sizing:b.o_sizing ~failure_scope:b.o_failure_scope ~n_active
+              ~performance ~mech_performance ())
+      in
+      t.t_options <- option :: t.t_options;
+      t.t_current <- None
+
+let finalize_tier state =
+  match state.current_tier with
+  | None -> ()
+  | Some t ->
+      finalize_option t;
+      let tier =
+        wrap_invalid 0 (fun () ->
+            Model.Service.tier ~name:t.t_name ~options:(List.rev t.t_options))
+      in
+      state.tiers <- tier :: state.tiers;
+      state.current_tier <- None
+
+let parse_sizing lineno = function
+  | "dynamic" -> Model.Service.Dynamic
+  | "static" -> Model.Service.Static
+  | other -> fail lineno "unknown sizing %S" other
+
+let parse_scope lineno = function
+  | "resource" -> Model.Service.Resource_scope
+  | "tier" -> Model.Service.Tier_scope
+  | other -> fail lineno "unknown failurescope %S" other
+
+let parse_performance lineno text =
+  match Perf_function.of_string text with
+  | perf -> perf
+  | exception Invalid_argument message -> fail lineno "%s" message
+
+let option_attr (b : option_builder) (line : Line_lexer.line)
+    (attr : Line_lexer.attr) =
+  match (attr.key, attr.args) with
+  | "resource", _ | "sizing", _ | "failurescope", _ -> ()
+  | "nActive", None -> (
+      match Model.Int_range.of_string attr.value with
+      | r -> b.o_n_active <- Some r
+      | exception Invalid_argument message -> fail line.lineno "%s" message)
+  | "performance", _ ->
+      (* Arguments like (nActive) are decorative, as in the paper. *)
+      b.o_performance <- Some (parse_performance line.lineno attr.value)
+  | "mechanism", None ->
+      b.o_current_mech <- Some attr.value;
+      if not (List.mem_assoc attr.value b.o_mechs) then
+        b.o_mechs <- (attr.value, []) :: b.o_mechs
+  | "mperformance", args -> (
+      match b.o_current_mech with
+      | None -> fail line.lineno "mperformance before any mechanism line"
+      | Some mech ->
+          let guards =
+            match args with
+            | None -> []
+            | Some text -> guard_list line.lineno text
+          in
+          let slowdown =
+            match Slowdown.of_string attr.value with
+            | s -> s
+            | exception Invalid_argument message ->
+                fail line.lineno "%s" message
+          in
+          let case = Model.Mech_impact.case ~guards slowdown in
+          b.o_mechs <-
+            List.map
+              (fun (name, cases) ->
+                if String.equal name mech then (name, case :: cases)
+                else (name, cases))
+              b.o_mechs)
+  | key, _ -> fail line.lineno "unexpected attribute %s in resource option" key
+
+let handle_line state (line : Line_lexer.line) =
+  match Line_lexer.leading_key line with
+  | "application" ->
+      if state.app_name <> None then
+        fail line.lineno "multiple application lines";
+      state.app_name <- Line_lexer.find_value line "application";
+      state.job_size <-
+        Option.map (float_value line.lineno)
+          (Line_lexer.find_value line "jobsize")
+  | "tier" ->
+      finalize_tier state;
+      let name =
+        match Line_lexer.find_value line "tier" with
+        | Some v -> v
+        | None -> assert false
+      in
+      state.current_tier <-
+        Some { t_name = name; t_options = []; t_current = None }
+  | "resource" -> (
+      match state.current_tier with
+      | None -> fail line.lineno "resource line outside a tier"
+      | Some t ->
+          finalize_option t;
+          let name =
+            match Line_lexer.find_value line "resource" with
+            | Some v -> v
+            | None -> assert false
+          in
+          let b =
+            {
+              o_line = line.lineno;
+              o_resource = name;
+              o_sizing =
+                (match Line_lexer.find_value line "sizing" with
+                | Some v -> parse_sizing line.lineno v
+                | None -> Model.Service.Dynamic);
+              o_failure_scope =
+                (match Line_lexer.find_value line "failurescope" with
+                | Some v -> parse_scope line.lineno v
+                | None -> Model.Service.Resource_scope);
+              o_n_active = None;
+              o_performance = None;
+              o_mechs = [];
+              o_current_mech = None;
+            }
+          in
+          (* nActive / performance may sit on the resource line itself. *)
+          List.iter (option_attr b line) line.attrs;
+          t.t_current <- Some b)
+  | "nActive" | "performance" | "mechanism" | "mperformance" -> (
+      match state.current_tier with
+      | Some { t_current = Some b; _ } ->
+          List.iter (option_attr b line) line.attrs
+      | Some { t_current = None; _ } | None ->
+          fail line.lineno "%s line outside a resource option"
+            (Line_lexer.leading_key line))
+  | key -> fail line.lineno "unexpected line starting with %s" key
+
+let parse source =
+  let lines = Line_lexer.tokenize source in
+  let state =
+    { app_name = None; job_size = None; tiers = []; current_tier = None }
+  in
+  List.iter (handle_line state) lines;
+  finalize_tier state;
+  let name =
+    match state.app_name with
+    | Some n -> n
+    | None -> raise (Line_lexer.Error { line = 0; message = "no application line" })
+  in
+  match
+    Model.Service.make ~name ?job_size:state.job_size
+      ~tiers:(List.rev state.tiers) ()
+  with
+  | service -> service
+  | exception Invalid_argument message ->
+      raise (Line_lexer.Error { line = 0; message })
+
+let parse_file path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse content

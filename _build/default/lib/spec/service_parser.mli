@@ -1,0 +1,26 @@
+(** Parser for service specifications (the paper's Figs. 4 and 5).
+
+    Grammar, by leading key of each line:
+
+    {v
+    application=NAME [jobsize=W]
+    tier=NAME
+      resource=RNAME [sizing=dynamic|static]
+                     [failurescope=resource|tier]
+        nActive=RANGE
+        performance=PERF              \\ rest of line; const / expr / table
+        mechanism=MNAME               \\ opens an impact block
+          mperformance=EXPR           \\ unguarded case
+          mperformance(P=V,...)=EXPR  \\ guarded case
+    v}
+
+    [performance] values accept a plain number (constant throughput), an
+    expression in [n] (optionally prefixed [expr:]), or
+    [table:n1=v1,...] — this replaces the paper's [perfX.dat] files.
+    The [nActive] and [performance] attributes may also appear on the
+    [resource] line itself.
+
+    Raises {!Line_lexer.Error} on malformed input. *)
+
+val parse : string -> Aved_model.Service.t
+val parse_file : string -> Aved_model.Service.t

@@ -1,0 +1,22 @@
+exception Error = Line_lexer.Error
+
+let infrastructure_of_string = Infra_parser.parse
+let infrastructure_of_file = Infra_parser.parse_file
+let service_of_string = Service_parser.parse
+let service_of_file = Service_parser.parse_file
+
+let load ~infra_file ~service_file =
+  let infra = infrastructure_of_file infra_file in
+  let service = service_of_file service_file in
+  (match Aved_model.Service.validate_against service infra with
+  | () -> ()
+  | exception Invalid_argument message ->
+      raise (Error { line = 0; message }));
+  (infra, service)
+
+let error_to_string = function
+  | Error { line; message } ->
+      Some
+        (if line = 0 then Printf.sprintf "spec error: %s" message
+         else Printf.sprintf "spec error at line %d: %s" line message)
+  | _ -> None

@@ -1,0 +1,19 @@
+(** Facade for the specification language. *)
+
+exception Error of { line : int; message : string }
+(** Re-export of {!Line_lexer.Error} under a friendlier name. *)
+
+val infrastructure_of_string : string -> Aved_model.Infrastructure.t
+val infrastructure_of_file : string -> Aved_model.Infrastructure.t
+val service_of_string : string -> Aved_model.Service.t
+val service_of_file : string -> Aved_model.Service.t
+
+val load :
+  infra_file:string ->
+  service_file:string ->
+  Aved_model.Infrastructure.t * Aved_model.Service.t
+(** Parses both files and cross-validates the service against the
+    infrastructure ({!Aved_model.Service.validate_against}). *)
+
+val error_to_string : exn -> string option
+(** Human-readable rendering of {!Error}; [None] for other exceptions. *)

@@ -1,0 +1,165 @@
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+module Model = Aved_model
+
+let buffer_add = Buffer.add_string
+
+(* --- infrastructure ------------------------------------------------- *)
+
+let component_lines buf (c : Model.Component.t) =
+  buffer_add buf (Printf.sprintf "component=%s" c.name);
+  if Money.equal c.cost_inactive c.cost_active then
+    buffer_add buf (Printf.sprintf " cost=%s" (Money.to_string c.cost_active))
+  else
+    buffer_add buf
+      (Printf.sprintf " cost([inactive,active])=[%s %s]"
+         (Money.to_string c.cost_inactive)
+         (Money.to_string c.cost_active));
+  (match c.max_instances with
+  | Some m -> buffer_add buf (Printf.sprintf " max_instances=%d" m)
+  | None -> ());
+  (match c.loss_window with
+  | Model.Component.No_loss_window -> ()
+  | Model.Component.Fixed_loss_window d ->
+      buffer_add buf (Printf.sprintf " loss_window=%s" (Duration.to_string d))
+  | Model.Component.Loss_window_by_mechanism m ->
+      buffer_add buf (Printf.sprintf " loss_window=<%s>" m));
+  buffer_add buf "\n";
+  List.iter
+    (fun (fm : Model.Component.failure_mode) ->
+      let repair =
+        match fm.repair with
+        | Model.Component.Fixed_repair d -> Duration.to_string d
+        | Model.Component.Repair_by_mechanism m -> "<" ^ m ^ ">"
+      in
+      buffer_add buf
+        (Printf.sprintf "  failure=%s mtbf=%s mttr=%s detect_time=%s\n"
+           fm.mode_name
+           (Duration.to_string fm.mtbf)
+           repair
+           (Duration.to_string fm.detect_time)))
+    c.failure_modes
+
+let range_text = function
+  | Model.Mechanism.Enum values -> "[" ^ String.concat "," values ^ "]"
+  | Model.Mechanism.Duration_geometric { lo; hi; factor } ->
+      Printf.sprintf "[%s-%s;*%g]" (Duration.to_string lo)
+        (Duration.to_string hi) factor
+
+let enum_values (m : Model.Mechanism.t) param =
+  match
+    List.find_opt
+      (fun (p : Model.Mechanism.parameter) -> String.equal p.param_name param)
+      m.parameters
+  with
+  | Some { range = Model.Mechanism.Enum values; _ } -> values
+  | Some { range = Model.Mechanism.Duration_geometric _; _ } | None ->
+      invalid_arg "Spec_writer: tabular binding without enum parameter"
+
+let binding_line buf m attr to_text = function
+  | Model.Mechanism.Fixed v ->
+      buffer_add buf (Printf.sprintf "  %s=%s\n" attr (to_text v))
+  | Model.Mechanism.By_enum { param; table } ->
+      let cells =
+        List.map
+          (fun value ->
+            match List.assoc_opt value table with
+            | Some v -> to_text v
+            | None -> invalid_arg "Spec_writer: incomplete binding table")
+          (enum_values m param)
+      in
+      buffer_add buf
+        (Printf.sprintf "  %s(%s)=[%s]\n" attr param (String.concat " " cells))
+  | Model.Mechanism.Of_param param ->
+      buffer_add buf (Printf.sprintf "  %s=%s\n" attr param)
+
+let mechanism_lines buf (m : Model.Mechanism.t) =
+  buffer_add buf (Printf.sprintf "mechanism=%s\n" m.name);
+  List.iter
+    (fun (p : Model.Mechanism.parameter) ->
+      buffer_add buf
+        (Printf.sprintf "  param=%s range=%s\n" p.param_name (range_text p.range)))
+    m.parameters;
+  binding_line buf m "cost" Money.to_string m.cost;
+  Option.iter (binding_line buf m "mttr" Duration.to_string) m.mttr;
+  Option.iter (binding_line buf m "loss_window" Duration.to_string) m.loss_window
+
+let resource_lines buf (r : Model.Resource.t) =
+  buffer_add buf
+    (Printf.sprintf "resource=%s reconfig_time=%s\n" r.name
+       (Duration.to_string r.reconfig_time));
+  List.iter
+    (fun (e : Model.Resource.element) ->
+      buffer_add buf
+        (Printf.sprintf "  component=%s depend=%s startup=%s\n" e.component
+           (Option.value e.depends_on ~default:"null")
+           (Duration.to_string e.startup)))
+    r.elements
+
+let infrastructure_to_string (infra : Model.Infrastructure.t) =
+  let buf = Buffer.create 2048 in
+  List.iter (component_lines buf) infra.components;
+  List.iter (mechanism_lines buf) infra.mechanisms;
+  List.iter (resource_lines buf) infra.resources;
+  Buffer.contents buf
+
+(* --- service --------------------------------------------------------- *)
+
+let option_lines buf (o : Model.Service.resource_option) =
+  buffer_add buf
+    (Printf.sprintf "  resource=%s sizing=%s failurescope=%s nActive=%s\n"
+       o.resource
+       (match o.sizing with
+       | Model.Service.Dynamic -> "dynamic"
+       | Model.Service.Static -> "static")
+       (match o.failure_scope with
+       | Model.Service.Resource_scope -> "resource"
+       | Model.Service.Tier_scope -> "tier")
+       (Model.Int_range.to_string o.n_active));
+  buffer_add buf
+    (Printf.sprintf "    performance=%s\n"
+       (Aved_perf.Perf_function.to_string o.performance));
+  List.iter
+    (fun (mech, cases) ->
+      buffer_add buf (Printf.sprintf "    mechanism=%s\n" mech);
+      List.iter
+        (fun (case : Model.Mech_impact.case) ->
+          let args =
+            match case.guards with
+            | [] -> ""
+            | guards ->
+                "("
+                ^ String.concat ","
+                    (List.map (fun (k, v) -> k ^ "=" ^ v) guards)
+                ^ ")"
+          in
+          buffer_add buf
+            (Printf.sprintf "      mperformance%s=%s\n" args
+               (Aved_perf.Slowdown.to_string case.slowdown)))
+        cases)
+    o.mech_performance
+
+let service_to_string (s : Model.Service.t) =
+  let buf = Buffer.create 1024 in
+  buffer_add buf (Printf.sprintf "application=%s" s.service_name);
+  (match s.job_size with
+  | Some size -> buffer_add buf (Printf.sprintf " jobsize=%g" size)
+  | None -> ());
+  buffer_add buf "\n";
+  List.iter
+    (fun (tier : Model.Service.tier) ->
+      buffer_add buf (Printf.sprintf "tier=%s\n" tier.tier_name);
+      List.iter (option_lines buf) tier.options)
+    s.tiers;
+  Buffer.contents buf
+
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+let write_infrastructure ~path infra =
+  write_file path (infrastructure_to_string infra)
+
+let write_service ~path service = write_file path (service_to_string service)

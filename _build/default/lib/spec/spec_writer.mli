@@ -1,0 +1,12 @@
+(** Pretty-printer emitting the specification language.
+
+    [Infra_parser.parse (infrastructure_to_string i)] reconstructs [i]
+    (and likewise for services) — the round trip is enforced by the test
+    suite. Used by [aved dump-specs] and for persisting programmatically
+    built models. *)
+
+val infrastructure_to_string : Aved_model.Infrastructure.t -> string
+val service_to_string : Aved_model.Service.t -> string
+
+val write_infrastructure : path:string -> Aved_model.Infrastructure.t -> unit
+val write_service : path:string -> Aved_model.Service.t -> unit

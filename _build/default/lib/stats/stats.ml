@@ -1,0 +1,79 @@
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+module Online = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.; m2 = 0.; min = Float.infinity; max = Float.neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = t.mean
+
+  let variance t =
+    if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+
+  let to_summary t =
+    if t.count = 0 then invalid_arg "Stats.Online.to_summary: empty";
+    let variance = variance t in
+    {
+      count = t.count;
+      mean = t.mean;
+      variance;
+      stddev = sqrt variance;
+      min = t.min;
+      max = t.max;
+    }
+end
+
+let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Stats.summarize: empty";
+  let acc = Online.create () in
+  Array.iter (Online.add acc) xs;
+  Online.to_summary acc
+
+let mean xs = (summarize xs).mean
+let variance xs = (summarize xs).variance
+let stddev xs = (summarize xs).stddev
+
+let standard_error s =
+  if s.count = 0 then 0. else s.stddev /. sqrt (float_of_int s.count)
+
+let confidence_interval_95 s =
+  let half = 1.96 *. standard_error s in
+  (s.mean -. half, s.mean +. half)
+
+let quantile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty";
+  if p < 0. || p > 1. then invalid_arg "Stats.quantile: p outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end

@@ -1,0 +1,42 @@
+(** Summary statistics for the Monte-Carlo availability engine. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;  (** Unbiased sample variance (0 when count < 2). *)
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val mean : float array -> float
+val variance : float array -> float
+val stddev : float array -> float
+
+val standard_error : summary -> float
+(** [stddev / √count]. *)
+
+val confidence_interval_95 : summary -> float * float
+(** Normal-approximation 95% CI for the mean: [mean ± 1.96·SE]. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs p] for [p] in [0, 1], by linear interpolation on the
+    sorted sample. Raises [Invalid_argument] on empty input or [p]
+    outside [0, 1]. *)
+
+(** Streaming mean/variance (Welford), for accumulating simulation
+    replications without retaining them. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val to_summary : t -> summary
+  (** Raises [Invalid_argument] when no value was added. *)
+end

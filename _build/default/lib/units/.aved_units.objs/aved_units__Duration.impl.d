@@ -1,0 +1,1 @@
+lib/units/duration.ml: Float Format Printf String

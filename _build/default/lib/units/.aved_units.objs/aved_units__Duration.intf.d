@@ -1,0 +1,1 @@
+lib/units/duration.mli: Format

@@ -1,0 +1,1 @@
+lib/units/money.ml: Float Format List Printf

@@ -1,0 +1,1 @@
+lib/units/money.mli: Format

@@ -1,0 +1,88 @@
+type t = float (* seconds *)
+
+let second = 1.
+let minute = 60.
+let hour = 3600.
+let day = 86400.
+let year = 365. *. day
+
+let zero = 0.
+
+let of_seconds s =
+  if not (Float.is_finite s) || s < 0. then
+    invalid_arg (Printf.sprintf "Duration.of_seconds: %g" s)
+  else s
+
+let of_minutes m = of_seconds (m *. minute)
+let of_hours h = of_seconds (h *. hour)
+let of_days d = of_seconds (d *. day)
+let of_years y = of_seconds (y *. year)
+
+let seconds t = t
+let minutes t = t /. minute
+let hours t = t /. hour
+let days t = t /. day
+let years t = t /. year
+
+let add = ( +. )
+let sub a b = if b >= a then 0. else a -. b
+
+let scale k t =
+  if not (Float.is_finite k) || k < 0. then
+    invalid_arg (Printf.sprintf "Duration.scale: %g" k)
+  else k *. t
+
+let ratio a b = if b = 0. then raise Division_by_zero else a /. b
+let min = Float.min
+let max = Float.max
+let is_zero t = t = 0.
+let compare = Float.compare
+let equal = Float.equal
+
+let unit_value = function
+  | 's' -> Some second
+  | 'm' -> Some minute
+  | 'h' -> Some hour
+  | 'd' -> Some day
+  | 'y' -> Some year
+  | _ -> None
+
+let of_string_opt s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n = 0 then None
+  else
+    let numeric, unit =
+      match unit_value s.[n - 1] with
+      | Some u when n > 1 -> (String.sub s 0 (n - 1), u)
+      | Some _ | None -> (s, second)
+    in
+    match float_of_string_opt numeric with
+    | Some v when Float.is_finite v && v >= 0. -> Some (v *. unit)
+    | Some _ | None -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Duration.of_string: %S" s)
+
+(* Render a float without a trailing ".": 90. -> "90", 1.5 -> "1.5". *)
+let compact_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let to_string t =
+  if t = 0. then "0s"
+  else
+    let render unit suffix = compact_float (t /. unit) ^ suffix in
+    if t >= year && Float.is_integer (t /. year) then render year "y"
+    else if t >= day && Float.is_integer (t /. day) then render day "d"
+    else if t >= hour && Float.is_integer (t /. hour) then render hour "h"
+    else if t >= minute && Float.is_integer (t /. minute) then render minute "m"
+    else if t < minute then render second "s"
+    else if t < hour then render minute "m"
+    else if t < day then render hour "h"
+    else render day "d"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

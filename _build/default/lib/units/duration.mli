@@ -1,0 +1,58 @@
+(** Time durations for availability modeling.
+
+    The paper's specification language writes durations with single-letter
+    unit suffixes ([650d], [2m], [38h], [30s]); annual downtime is reported
+    in minutes per year. A duration is stored canonically in seconds. *)
+
+type t
+(** A non-negative span of time. *)
+
+val zero : t
+
+val of_seconds : float -> t
+(** [of_seconds s] is the duration of [s] seconds. Raises
+    [Invalid_argument] if [s] is negative or not finite. *)
+
+val of_minutes : float -> t
+val of_hours : float -> t
+val of_days : float -> t
+
+val of_years : float -> t
+(** One year is 365 days (the paper's annual-downtime convention). *)
+
+val seconds : t -> float
+val minutes : t -> float
+val hours : t -> float
+val days : t -> float
+val years : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] saturates at {!zero} when [b] exceeds [a]. *)
+
+val scale : float -> t -> t
+(** [scale k d] multiplies [d] by a non-negative factor [k]. *)
+
+val ratio : t -> t -> float
+(** [ratio a b] is [seconds a /. seconds b]. Raises [Division_by_zero]
+    when [b] is {!zero}. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val of_string : string -> t
+(** Parses the paper's notation: a non-negative decimal number followed by
+    an optional unit suffix [s] (seconds), [m] (minutes), [h] (hours),
+    [d] (days) or [y] (years). A bare number is taken as seconds.
+    Raises [Invalid_argument] on malformed input. *)
+
+val of_string_opt : string -> t option
+
+val to_string : t -> string
+(** Renders with the largest unit that yields a compact number, e.g.
+    ["650d"], ["2m"], ["90s"]. Inverse of {!of_string} up to rounding. *)
+
+val pp : Format.formatter -> t -> unit

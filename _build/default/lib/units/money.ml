@@ -1,0 +1,29 @@
+type t = float
+
+let zero = 0.
+
+let of_float v =
+  if not (Float.is_finite v) || v < 0. then
+    invalid_arg (Printf.sprintf "Money.of_float: %g" v)
+  else v
+
+let to_float t = t
+let add = ( +. )
+let sub a b = if b >= a then 0. else a -. b
+let sum = List.fold_left add zero
+
+let scale k t =
+  if not (Float.is_finite k) || k < 0. then
+    invalid_arg (Printf.sprintf "Money.scale: %g" k)
+  else k *. t
+
+let compare = Float.compare
+let equal = Float.equal
+let ( <= ) a b = Float.compare a b <= 0
+let ( < ) a b = Float.compare a b < 0
+let min = Float.min
+
+let to_string t =
+  if Float.is_integer t then Printf.sprintf "%.0f" t else Printf.sprintf "%.2f" t
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,26 @@
+(** Annualized costs.
+
+    The paper reduces every cost to an annual figure: capital cost divided
+    by useful lifetime plus yearly operational cost. A value is a plain
+    amount in currency units per year. *)
+
+type t
+
+val zero : t
+val of_float : float -> t
+(** Raises [Invalid_argument] when the amount is negative or not finite. *)
+
+val to_float : t -> float
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] saturates at {!zero}. *)
+
+val sum : t list -> t
+val scale : float -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val min : t -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_avail.ml: Alcotest Array Aved Aved_avail Aved_model Aved_stats Aved_units Design Float List Mechanism Printf QCheck2 Service String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Aved Aved_avail Aved_model Aved_search Aved_units Design Filename Format List Option Printf Requirements String Sys Unix

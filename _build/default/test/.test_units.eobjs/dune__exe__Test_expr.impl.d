@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Aved_expr Float List QCheck2

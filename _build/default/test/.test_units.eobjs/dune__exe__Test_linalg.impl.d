@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Aved_linalg QCheck2

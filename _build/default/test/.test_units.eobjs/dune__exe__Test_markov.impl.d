@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Array Aved_linalg Aved_markov Float List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Aved_model Aved_perf Aved_units Component Design Infrastructure Int_range List Mech_impact Mechanism Printf Resource

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Aved_network Aved_units Float List Printf QCheck2

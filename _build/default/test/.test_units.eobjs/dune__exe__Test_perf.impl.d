@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Aved_perf Float List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Aved_avail Aved_expr Aved_model Aved_reliability Aved_search Aved_units Design Float Int_range List Mechanism Printf QCheck2 QCheck_alcotest Service Stdlib

@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Aved_reliability Aved_units Float List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Aved Aved_avail Aved_model Aved_search Aved_units Design Float Infrastructure List Mechanism Option Printf Requirements Service String

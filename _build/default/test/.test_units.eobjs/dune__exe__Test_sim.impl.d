@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Aved_sim Float List Printf QCheck2

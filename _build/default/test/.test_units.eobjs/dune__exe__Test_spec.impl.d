@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Aved Aved_model Aved_perf Aved_spec Aved_units Component Filename Float Infrastructure Int_range List Mech_impact Mechanism Resource Service String Sys Unix

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Aved_stats Float QCheck2

@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Aved_units Float List Printf QCheck2

@@ -1,0 +1,244 @@
+module Duration = Aved_units.Duration
+module Figures = Aved.Figures
+module Engine = Aved.Engine
+open Aved_model
+
+let small_fig6_loads = [ 400.; 1600. ]
+
+let test_log_spaced () =
+  let xs = Figures.log_spaced ~lo:1. ~hi:100. ~count:3 in
+  Alcotest.(check int) "count" 3 (List.length xs);
+  Alcotest.(check (float 1e-9)) "lo" 1. (List.hd xs);
+  Alcotest.(check (float 1e-9)) "mid" 10. (List.nth xs 1);
+  Alcotest.(check (float 1e-6)) "hi" 100. (List.nth xs 2);
+  Alcotest.(check bool) "bad args" true
+    (match Figures.log_spaced ~lo:0. ~hi:1. ~count:2 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_fig6_generator () =
+  let points = Figures.fig6 ~loads:small_fig6_loads () in
+  Alcotest.(check bool) "non-empty" true (points <> []);
+  List.iter
+    (fun load ->
+      let at_load =
+        List.filter (fun (p : Figures.fig6_point) -> p.load = load) points
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "several families at %g" load)
+        true
+        (List.length at_load > 5);
+      (* Along the frontier downtime strictly decreases as cost grows. *)
+      let rec check = function
+        | (a : Figures.fig6_point) :: (b :: _ as rest) ->
+            Alcotest.(check bool) "cost grows" true
+              (a.annual_cost < b.annual_cost);
+            Alcotest.(check bool) "downtime falls" true
+              (b.downtime_minutes < a.downtime_minutes);
+            check rest
+        | [ _ ] | [] -> ()
+      in
+      check at_load;
+      List.iter
+        (fun (p : Figures.fig6_point) ->
+          if p.downtime_minutes >= 0.05 then
+            Alcotest.(check bool) "family names machineA resources" true
+              (String.length p.family > 3
+              && (String.sub p.family 1 2 = "rC" || String.sub p.family 1 2 = "rD")))
+        at_load)
+    small_fig6_loads
+
+let test_fig6_downtime_grows_with_load () =
+  (* Paper §5.1: within a family, downtime grows with the load level. *)
+  let points = Figures.fig6 ~loads:[ 400.; 3200. ] () in
+  let downtime_of load family =
+    List.find_opt
+      (fun (p : Figures.fig6_point) -> p.load = load && p.family = family)
+      points
+    |> Option.map (fun (p : Figures.fig6_point) -> p.downtime_minutes)
+  in
+  match (downtime_of 400. "(rC, bronze, 0, 0)", downtime_of 3200. "(rC, bronze, 0, 0)") with
+  | Some low, Some high ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%.0f < %.0f" low high)
+        true (low < high)
+  | _ -> Alcotest.fail "family (rC, bronze, 0, 0) missing from frontier"
+
+let test_fig7_generator () =
+  let points = Figures.fig7 ~requirements_hours:[ 500.; 20. ] () in
+  Alcotest.(check int) "both requirements feasible" 2 (List.length points);
+  List.iter
+    (fun (p : Figures.fig7_point) ->
+      Alcotest.(check bool) "prediction meets requirement" true
+        (p.predicted_hours <= p.requirement_hours);
+      Alcotest.(check bool) "storage chosen" true
+        (p.storage_location = "central" || p.storage_location = "peer");
+      Alcotest.(check bool) "interval positive" true
+        (p.checkpoint_interval_hours > 0.))
+    points;
+  match points with
+  | [ loose; tight ] ->
+      Alcotest.(check bool) "more resources when tight" true
+        (tight.n_resources > loose.n_resources);
+      Alcotest.(check bool) "cost grows when tight" true
+        (tight.annual_cost > loose.annual_cost)
+  | _ -> Alcotest.fail "expected two points"
+
+let test_fig8_generator () =
+  let points =
+    Figures.fig8 ~loads:[ 800. ] ~downtimes_minutes:[ 0.5; 10.; 10000. ] ()
+  in
+  Alcotest.(check bool) "non-empty" true (points <> []);
+  List.iter
+    (fun (p : Figures.fig8_point) ->
+      Alcotest.(check bool) "extra cost non-negative" true
+        (p.extra_annual_cost >= 0.))
+    points;
+  (* Extra cost shrinks as the downtime requirement relaxes. *)
+  let rec check = function
+    | (a : Figures.fig8_point) :: (b : Figures.fig8_point) :: rest ->
+        Alcotest.(check bool) "relaxing cannot cost more" true
+          (a.extra_annual_cost >= b.extra_annual_cost);
+        check (b :: rest)
+    | [ _ ] | [] -> ()
+  in
+  check points;
+  (* A requirement loose enough to need nothing extra costs nothing. *)
+  match List.rev points with
+  | last :: _ ->
+      Alcotest.(check (float 1e-6)) "loosest is free" 0. last.extra_annual_cost
+  | [] -> ()
+
+let test_engine_from_files () =
+  let dir = Filename.temp_file "aved" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let write name content =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    path
+  in
+  let infra_file = write "infra.spec" Aved.Experiments.infrastructure_spec in
+  let service_file = write "svc.spec" Aved.Experiments.ecommerce_spec in
+  match
+    Engine.design_from_files ~infra_file ~service_file
+      (Requirements.enterprise ~throughput:600.
+         ~max_annual_downtime:(Duration.of_minutes 120.))
+  with
+  | None -> Alcotest.fail "expected a design"
+  | Some report ->
+      Alcotest.(check int) "tiers" 3 (List.length report.design.Design.tiers);
+      let rendered = Format.asprintf "%a" Engine.pp_report report in
+      Alcotest.(check bool) "report mentions cost" true
+        (String.length rendered > 0)
+
+let test_evaluate_design_roundtrip () =
+  let infra = Aved.Experiments.infrastructure () in
+  let service = Aved.Experiments.ecommerce () in
+  match
+    Engine.design infra service
+      (Requirements.enterprise ~throughput:1000.
+         ~max_annual_downtime:(Duration.of_minutes 60.))
+  with
+  | None -> Alcotest.fail "expected a design"
+  | Some report ->
+      let models =
+        Engine.evaluate_design infra service report.design ~demand:(Some 1000.)
+      in
+      Alcotest.(check int) "one model per tier" 3 (List.length models);
+      let downtime =
+        Aved_avail.Evaluate.service_annual_downtime Aved_avail.Evaluate.Analytic
+          models
+      in
+      (match report.downtime with
+      | Some d ->
+          Alcotest.(check (float 1e-6))
+            "re-evaluation agrees" (Duration.minutes d)
+            (Duration.minutes downtime)
+      | None -> Alcotest.fail "expected downtime")
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    if i + nl > hl then false
+    else String.sub haystack i nl = needle || scan (i + 1)
+  in
+  scan 0
+
+let test_table1 () =
+  Alcotest.(check int) "ten rows" 10 (List.length Aved.Experiments.table1);
+  let rendered = Format.asprintf "%t" Figures.print_table1 in
+  Alcotest.(check bool) "mentions rH" true (contains ~needle:"rH" rendered)
+
+let test_print_functions () =
+  let fig6 = Figures.fig6 ~loads:[ 400. ] () in
+  let fig7 = Figures.fig7 ~requirements_hours:[ 100. ] () in
+  let fig8 = Figures.fig8 ~loads:[ 400. ] ~downtimes_minutes:[ 1.; 100. ] () in
+  let render f = Format.asprintf "%a" f in
+  Alcotest.(check bool) "fig6 prints" true
+    (String.length (render Figures.print_fig6 fig6) > 100);
+  Alcotest.(check bool) "fig7 prints" true
+    (String.length (render Figures.print_fig7 fig7) > 100);
+  Alcotest.(check bool) "fig8 prints" true
+    (String.length (render Figures.print_fig8 fig8) > 50)
+
+let test_report () =
+  let infra = Aved.Experiments.infrastructure () in
+  let service = Aved.Experiments.ecommerce () in
+  match
+    Aved.Report.generate
+      ~sensitivity:[ Aved_search.Sensitivity.nominal ]
+      infra service
+      (Requirements.enterprise ~throughput:800.
+         ~max_annual_downtime:(Duration.of_minutes 120.))
+  with
+  | None -> Alcotest.fail "expected a report"
+  | Some text ->
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("mentions " ^ needle) true
+            (contains ~needle text))
+        [
+          "Chosen design"; "Tier web"; "Tier database";
+          "downtime by failure class"; "first 30 days"; "Sensitivity";
+          "annual cost";
+        ];
+      Alcotest.(check bool) "substantial" true (String.length text > 1000)
+
+let test_report_infeasible () =
+  let infra = Aved.Experiments.infrastructure () in
+  let service = Aved.Experiments.ecommerce () in
+  Alcotest.(check bool) "infeasible is None" true
+    (Aved.Report.generate infra service
+       (Requirements.enterprise ~throughput:800.
+          ~max_annual_downtime:(Duration.of_seconds 1.))
+    = None)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "figures",
+        [
+          Alcotest.test_case "log_spaced" `Quick test_log_spaced;
+          Alcotest.test_case "fig6" `Quick test_fig6_generator;
+          Alcotest.test_case "fig6 downtime vs load" `Quick
+            test_fig6_downtime_grows_with_load;
+          Alcotest.test_case "fig7" `Quick test_fig7_generator;
+          Alcotest.test_case "fig8" `Quick test_fig8_generator;
+          Alcotest.test_case "table1" `Quick test_table1;
+          Alcotest.test_case "printers" `Quick test_print_functions;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "design from files" `Quick test_engine_from_files;
+          Alcotest.test_case "evaluate_design roundtrip" `Quick
+            test_evaluate_design_roundtrip;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "generation" `Quick test_report;
+          Alcotest.test_case "infeasible" `Quick test_report_infeasible;
+        ] );
+    ]

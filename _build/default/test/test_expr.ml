@@ -1,0 +1,171 @@
+module Expr = Aved_expr.Expr
+
+let check_float = Alcotest.(check (float 1e-9))
+let eval_n text bindings = Expr.eval_alist (Expr.of_string text) bindings
+
+let test_basic_arithmetic () =
+  check_float "addition" 5. (eval_n "2+3" []);
+  check_float "precedence" 14. (eval_n "2+3*4" []);
+  check_float "left assoc sub" 5. (eval_n "10-2-3" []);
+  check_float "left assoc div" 2. (eval_n "12/3/2" []);
+  check_float "parens" 20. (eval_n "(2+3)*4" []);
+  check_float "unary minus" (-7.) (eval_n "-7" []);
+  check_float "double negative" 7. (eval_n "--7" []);
+  check_float "neg in product" (-6.) (eval_n "2*-3" [])
+
+let test_percent () =
+  check_float "100%" 1. (eval_n "100%" []);
+  check_float "50%" 0.5 (eval_n "50%" []);
+  check_float "mixed" 1.5 (eval_n "100% + 50%" [])
+
+let test_variables () =
+  check_float "simple" 400. (eval_n "200*n" [ ("n", 2.) ]);
+  check_float "table1 rH" (10. /. 1.004)
+    (eval_n "(10*n)/(1+0.004*n)" [ ("n", 1.) ]);
+  Alcotest.check_raises "unbound" (Expr.Unbound_variable "m") (fun () ->
+      ignore (eval_n "m+1" [ ("n", 2.) ]))
+
+let test_functions () =
+  check_float "max picks larger" 10. (eval_n "max(10/cpi, 100%)" [ ("cpi", 1.) ]);
+  check_float "max floor" 1. (eval_n "max(10/cpi, 100%)" [ ("cpi", 60.) ]);
+  check_float "min" 2. (eval_n "min(2, 5)" []);
+  check_float "exp" (Float.exp 1.) (eval_n "exp(1)" []);
+  check_float "sqrt" 3. (eval_n "sqrt(9)" []);
+  check_float "pow" 8. (eval_n "pow(2, 3)" []);
+  check_float "floor" 2. (eval_n "floor(2.9)" []);
+  check_float "ceil" 3. (eval_n "ceil(2.1)" []);
+  check_float "abs" 4. (eval_n "abs(0-4)" [])
+
+let test_conditional () =
+  let table1_rh_central =
+    "if n <= 30 then max(10/cpi, 100%) else max(n/(3*cpi), 100%)"
+  in
+  check_float "then branch" 10.
+    (eval_n table1_rh_central [ ("n", 30.); ("cpi", 1.) ]);
+  check_float "else branch" 20.
+    (eval_n table1_rh_central [ ("n", 60.); ("cpi", 1.) ]);
+  check_float "else floor" 1.
+    (eval_n table1_rh_central [ ("n", 60.); ("cpi", 1000.) ]);
+  check_float "strict lt" 1. (eval_n "if 2 < 2 then 0 else 1" []);
+  check_float "ge" 0. (eval_n "if 2 >= 2 then 0 else 1" []);
+  check_float "eq" 0. (eval_n "if 2 == 2 then 0 else 1" []);
+  check_float "ne" 1. (eval_n "if 2 != 2 then 0 else 1" [])
+
+let test_parse_errors () =
+  let fails text =
+    match Expr.of_string text with
+    | _ -> Alcotest.failf "expected parse error for %S" text
+    | exception Expr.Parse_error _ -> ()
+  in
+  List.iter fails
+    [ ""; "2+"; "(2"; "foo(1)"; "max(1)"; "min(1,2,3)"; "2 2"; "if 1 then 2";
+      "2 $ 3" ];
+  Alcotest.(check bool) "of_string_opt none" true
+    (Expr.of_string_opt "2+" = None);
+  Alcotest.(check bool) "of_string_opt some" true
+    (Expr.of_string_opt "2+2" <> None)
+
+let test_error_positions () =
+  (match Expr.of_string "1 + $" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Expr.Parse_error { position; _ } ->
+      Alcotest.(check int) "position of bad char" 4 position);
+  match Expr.of_string "foo(1)" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Expr.Parse_error { position; _ } ->
+      Alcotest.(check int) "position of unknown function" 0 position
+
+let test_variables_listing () =
+  Alcotest.(check (list string))
+    "sorted unique" [ "cpi"; "n" ]
+    (Expr.variables
+       (Expr.of_string "if n <= 30 then max(10/cpi, 1) else n/(3*cpi)"))
+
+let test_constructors () =
+  let e = Expr.if_ Expr.Le (Expr.var "n") (Expr.const 30.)
+      ~then_:(Expr.max_ (Expr.div (Expr.const 10.) (Expr.var "cpi")) (Expr.const 1.))
+      ~else_:(Expr.const 2.)
+  in
+  check_float "built expression" 10.
+    (Expr.eval_alist e [ ("n", 10.); ("cpi", 1.) ]);
+  Alcotest.check_raises "unknown function"
+    (Invalid_argument "Expr.apply: unknown function \"frob\"") (fun () ->
+      ignore (Expr.apply "frob" [ Expr.const 1. ]));
+  Alcotest.check_raises "bad arity"
+    (Invalid_argument "Expr.apply: min expects 2 argument(s), got 1")
+    (fun () -> ignore (Expr.apply "min" [ Expr.const 1. ]))
+
+(* Random ASTs for the print/parse roundtrip. *)
+let gen_expr =
+  let open QCheck2.Gen in
+  sized (fun size ->
+      fix
+        (fun self size ->
+          let leaf =
+            oneof
+              [
+                map (fun v -> Expr.const (Float.abs v)) (float_bound_exclusive 1000.);
+                oneofl [ Expr.var "n"; Expr.var "cpi"; Expr.var "x" ];
+              ]
+          in
+          if size <= 1 then leaf
+          else
+            let sub = self (size / 2) in
+            oneof
+              [
+                leaf;
+                map2 Expr.add sub sub;
+                map2 Expr.sub sub sub;
+                map2 Expr.mul sub sub;
+                map2 Expr.div sub sub;
+                map Expr.neg sub;
+                map2 Expr.min_ sub sub;
+                map2 Expr.max_ sub sub;
+                map2
+                  (fun a b ->
+                    Expr.if_ Expr.Lt a b ~then_:a ~else_:b)
+                  sub sub;
+              ])
+        (min size 8))
+
+let test_roundtrip_property () =
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~name:"to_string/of_string roundtrip" ~count:500
+       gen_expr (fun e ->
+         let printed = Expr.to_string e in
+         match Expr.of_string printed with
+         | parsed -> Expr.equal e parsed
+         | exception Expr.Parse_error _ -> false))
+
+let test_eval_consistency_property () =
+  (* Printing then parsing must preserve semantics, not just syntax. *)
+  let bindings = [ ("n", 17.); ("cpi", 3.5); ("x", 0.25) ] in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~name:"roundtrip preserves evaluation" ~count:300
+       gen_expr (fun e ->
+         let v1 = Expr.eval_alist e bindings in
+         let v2 = Expr.eval_alist (Expr.of_string (Expr.to_string e)) bindings in
+         (Float.is_nan v1 && Float.is_nan v2) || v1 = v2))
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "parse-eval",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_basic_arithmetic;
+          Alcotest.test_case "percent literals" `Quick test_percent;
+          Alcotest.test_case "variables" `Quick test_variables;
+          Alcotest.test_case "functions" `Quick test_functions;
+          Alcotest.test_case "conditionals" `Quick test_conditional;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
+          Alcotest.test_case "variables listing" `Quick test_variables_listing;
+          Alcotest.test_case "constructors" `Quick test_constructors;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_property;
+          Alcotest.test_case "eval consistency" `Quick
+            test_eval_consistency_property;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+module Matrix = Aved_linalg.Matrix
+module Vector = Aved_linalg.Vector
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_vector_ops () =
+  let a = [| 1.; 2.; 3. |] and b = [| 4.; 5.; 6. |] in
+  Alcotest.(check (array (float 1e-12))) "add" [| 5.; 7.; 9. |] (Vector.add a b);
+  Alcotest.(check (array (float 1e-12))) "sub" [| -3.; -3.; -3. |] (Vector.sub a b);
+  Alcotest.(check (array (float 1e-12))) "scale" [| 2.; 4.; 6. |] (Vector.scale 2. a);
+  check_float "dot" 32. (Vector.dot a b);
+  check_float "norm_inf" 3. (Vector.norm_inf a);
+  check_float "norm_1" 6. (Vector.norm_1 a);
+  check_float "norm_2" (sqrt 14.) (Vector.norm_2 a);
+  Alcotest.(check (array (float 1e-12)))
+    "normalize_1" [| 0.25; 0.75 |] (Vector.normalize_1 [| 1.; 3. |]);
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Vector: dimension mismatch (3 vs 2)") (fun () ->
+      ignore (Vector.add a [| 1.; 2. |]))
+
+let test_matrix_basics () =
+  let m = Matrix.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  check_float "get" 3. (Matrix.get m 1 0);
+  Alcotest.(check int) "rows" 2 (Matrix.rows m);
+  Alcotest.(check int) "cols" 2 (Matrix.cols m);
+  let t = Matrix.transpose m in
+  check_float "transpose" 2. (Matrix.get t 1 0);
+  let i = Matrix.identity 2 in
+  Alcotest.(check bool) "identity mul" true
+    (Matrix.equal ~tol:1e-12 m (Matrix.mul m i));
+  let sum = Matrix.add m m in
+  check_float "add" 8. (Matrix.get sum 1 1);
+  let diff = Matrix.sub sum m in
+  Alcotest.(check bool) "sub" true (Matrix.equal ~tol:1e-12 m diff);
+  let sc = Matrix.scale 3. i in
+  check_float "scale" 3. (Matrix.get sc 0 0)
+
+let test_mul_vec () =
+  let m = Matrix.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.(check (array (float 1e-12)))
+    "mul_vec" [| 5.; 11. |]
+    (Matrix.mul_vec m [| 1.; 2. |]);
+  Alcotest.(check (array (float 1e-12)))
+    "vec_mul" [| 7.; 10. |]
+    (Matrix.vec_mul [| 1.; 2. |] m)
+
+let test_solve_known () =
+  (* 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3. *)
+  let a = Matrix.of_rows [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Matrix.solve a [| 5.; 10. |] in
+  Alcotest.(check (array (float 1e-9))) "solution" [| 1.; 3. |] x
+
+let test_solve_requires_pivoting () =
+  (* Leading zero pivot forces a row swap. *)
+  let a = Matrix.of_rows [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let x = Matrix.solve a [| 3.; 7. |] in
+  Alcotest.(check (array (float 1e-12))) "swap" [| 7.; 3. |] x
+
+let test_singular () =
+  let a = Matrix.of_rows [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" Matrix.Singular (fun () ->
+      ignore (Matrix.solve a [| 1.; 1. |]));
+  check_float "det 0" 0. (Matrix.determinant a)
+
+let test_determinant () =
+  let a = Matrix.of_rows [| [| 2.; 0. |]; [| 0.; 3. |] |] in
+  check_float "diag det" 6. (Matrix.determinant a);
+  let b = Matrix.of_rows [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  check_float "swap det" (-1.) (Matrix.determinant b)
+
+let test_inverse () =
+  let a = Matrix.of_rows [| [| 4.; 7. |]; [| 2.; 6. |] |] in
+  let inv = Matrix.inverse a in
+  Alcotest.(check bool) "a * a^-1 = I" true
+    (Matrix.equal ~tol:1e-9 (Matrix.identity 2) (Matrix.mul a inv))
+
+let gen_system =
+  (* Diagonally dominant matrices are well conditioned, so residual
+     checks are meaningful. *)
+  let open QCheck2.Gen in
+  let* n = int_range 1 8 in
+  let* entries = array_repeat (n * n) (float_range (-1.) 1.) in
+  let* rhs = array_repeat n (float_range (-10.) 10.) in
+  let m =
+    Matrix.init n n (fun i j ->
+        let v = entries.((i * n) + j) in
+        if i = j then v +. (2. *. float_of_int n) else v)
+  in
+  return (m, rhs)
+
+let test_solve_property () =
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~name:"LU solve residual" ~count:300 gen_system
+       (fun (a, b) ->
+         let x = Matrix.solve a b in
+         Matrix.residual_inf a x b < 1e-8))
+
+let test_inverse_property () =
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~name:"inverse times matrix is identity" ~count:100
+       gen_system (fun (a, _) ->
+         let n = Matrix.rows a in
+         Matrix.equal ~tol:1e-7 (Matrix.identity n)
+           (Matrix.mul (Matrix.inverse a) a)))
+
+let test_solve_many () =
+  let a = Matrix.of_rows [| [| 2.; 0. |]; [| 0.; 4. |] |] in
+  match Matrix.solve_many a [ [| 2.; 4. |]; [| 6.; 8. |] ] with
+  | [ x1; x2 ] ->
+      Alcotest.(check (array (float 1e-12))) "first" [| 1.; 1. |] x1;
+      Alcotest.(check (array (float 1e-12))) "second" [| 3.; 2. |] x2
+  | _ -> Alcotest.fail "expected two solutions"
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vector",
+        [ Alcotest.test_case "operations" `Quick test_vector_ops ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "basics" `Quick test_matrix_basics;
+          Alcotest.test_case "matrix-vector" `Quick test_mul_vec;
+          Alcotest.test_case "solve known system" `Quick test_solve_known;
+          Alcotest.test_case "solve with pivoting" `Quick
+            test_solve_requires_pivoting;
+          Alcotest.test_case "singular detection" `Quick test_singular;
+          Alcotest.test_case "determinant" `Quick test_determinant;
+          Alcotest.test_case "inverse" `Quick test_inverse;
+          Alcotest.test_case "solve_many" `Quick test_solve_many;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "solve residual" `Quick test_solve_property;
+          Alcotest.test_case "inverse identity" `Quick test_inverse_property;
+        ] );
+    ]

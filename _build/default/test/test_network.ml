@@ -1,0 +1,202 @@
+module Topology = Aved_network.Topology
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let path availabilities =
+  (* A chain 0 - 1 - ... - n with the given per-hop availabilities. *)
+  let n = List.length availabilities + 1 in
+  List.fold_left
+    (fun (t, i) a -> (Topology.add_link t i (i + 1) ~availability:a, i + 1))
+    (Topology.create n, 0) availabilities
+  |> fst
+
+let test_series () =
+  let t = path [ 0.9; 0.8; 0.7 ] in
+  check_float "series is a product" (0.9 *. 0.8 *. 0.7)
+    (Topology.two_terminal t ~src:0 ~dst:3)
+
+let test_parallel () =
+  let t = Topology.create 2 in
+  let t = Topology.add_link t 0 1 ~availability:0.9 in
+  let t = Topology.add_link t 0 1 ~availability:0.8 in
+  check_float "parallel links" (1. -. (0.1 *. 0.2))
+    (Topology.two_terminal t ~src:0 ~dst:1)
+
+let test_same_node () =
+  let t = Topology.create 3 in
+  check_float "src = dst" 1. (Topology.two_terminal t ~src:1 ~dst:1)
+
+let test_disconnected () =
+  (* Two separate islands: 0-1 and 2-3. *)
+  let t = Topology.create 4 in
+  let t = Topology.add_link t 0 1 ~availability:0.9 in
+  let t = Topology.add_link t 2 3 ~availability:0.9 in
+  check_float "no path" 0. (Topology.two_terminal t ~src:0 ~dst:3)
+
+let bridge p =
+  (* The classic bridge: 0-1, 0-2, 1-3, 2-3 and the bridge 1-2, all with
+     availability p. Closed form for terminal pair (0,3):
+     R = 2p^2 + 2p^3 - 5p^4 + 2p^5. *)
+  let t = Topology.create 4 in
+  let t = Topology.add_link t 0 1 ~availability:p in
+  let t = Topology.add_link t 0 2 ~availability:p in
+  let t = Topology.add_link t 1 3 ~availability:p in
+  let t = Topology.add_link t 2 3 ~availability:p in
+  Topology.add_link t 1 2 ~availability:p
+
+let test_bridge_closed_form () =
+  List.iter
+    (fun p ->
+      let expected =
+        (2. *. (p ** 2.)) +. (2. *. (p ** 3.)) -. (5. *. (p ** 4.))
+        +. (2. *. (p ** 5.))
+      in
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "bridge at p=%g" p)
+        expected
+        (Topology.two_terminal (bridge p) ~src:0 ~dst:3))
+    [ 0.5; 0.9; 0.99 ]
+
+let test_monotone_in_availability () =
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~name:"reliability monotone in link availability"
+       ~count:200
+       QCheck2.Gen.(
+         let* p1 = float_range 0.05 0.95 in
+         let* p2 = float_range 0.05 0.95 in
+         return (Float.min p1 p2, Float.max p1 p2))
+       (fun (lo, hi) ->
+         Topology.two_terminal (bridge lo) ~src:0 ~dst:3
+         <= Topology.two_terminal (bridge hi) ~src:0 ~dst:3 +. 1e-12))
+
+let test_probability_bounds () =
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~name:"reliability within [0,1]" ~count:200
+       QCheck2.Gen.(
+         let* n = int_range 2 6 in
+         let* edges =
+           list_size (int_range 1 10)
+             (triple (int_range 0 (n - 1)) (int_range 0 (n - 1))
+                (float_range 0. 1.))
+         in
+         return (n, edges))
+       (fun (n, edges) ->
+         let t =
+           List.fold_left
+             (fun t (u, v, p) ->
+               if u = v then t else Topology.add_link t u v ~availability:p)
+             (Topology.create n) edges
+         in
+         let r = Topology.two_terminal t ~src:0 ~dst:(n - 1) in
+         r >= -1e-12 && r <= 1. +. 1e-12))
+
+let test_single_switch () =
+  let t, hosts, core =
+    Topology.single_switch ~hosts:3 ~link_availability:0.99
+      ~switch_availability:0.95
+  in
+  (* Host reaches core iff its link and the switch are both up. *)
+  check_float "host to core" (0.99 *. 0.95)
+    (Topology.two_terminal t ~src:(List.hd hosts) ~dst:core);
+  (* All three hosts need their links and the shared switch. *)
+  check_float "all hosts" (0.95 *. (0.99 ** 3.))
+    (Topology.at_least_k_connected t ~core ~hosts ~k:3);
+  (* At least one host: switch up and not all links down. *)
+  check_float "any host" (0.95 *. (1. -. (0.01 ** 3.)))
+    (Topology.at_least_k_connected t ~core ~hosts ~k:1)
+
+let test_dual_switch_beats_single () =
+  let single, hosts_s, core_s =
+    Topology.single_switch ~hosts:4 ~link_availability:0.99
+      ~switch_availability:0.9
+  in
+  let dual, hosts_d, core_d =
+    Topology.dual_switch ~hosts:4 ~link_availability:0.99
+      ~switch_availability:0.9
+  in
+  List.iter
+    (fun k ->
+      let rs =
+        Topology.at_least_k_connected single ~core:core_s ~hosts:hosts_s ~k
+      in
+      let rd =
+        Topology.at_least_k_connected dual ~core:core_d ~hosts:hosts_d ~k
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "dual >= single at k=%d (%.4f vs %.4f)" k rd rs)
+        true (rd >= rs))
+    [ 1; 2; 3; 4 ]
+
+let test_k_edge_cases () =
+  let t, hosts, core =
+    Topology.single_switch ~hosts:2 ~link_availability:0.9
+      ~switch_availability:0.9
+  in
+  check_float "k = 0" 1. (Topology.at_least_k_connected t ~core ~hosts ~k:0);
+  check_float "k > n" 0. (Topology.at_least_k_connected t ~core ~hosts ~k:3)
+
+let test_at_least_k_matches_two_terminal () =
+  (* With a single host, k=1 connectivity equals 2-terminal
+     reliability. *)
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~name:"k=1 with one host equals two_terminal"
+       ~count:100
+       QCheck2.Gen.(float_range 0.1 0.99)
+       (fun p ->
+         let t = bridge p in
+         Float.abs
+           (Topology.at_least_k_connected t ~core:3 ~hosts:[ 0 ] ~k:1
+           -. Topology.two_terminal t ~src:0 ~dst:3)
+         < 1e-12))
+
+let test_validation () =
+  let t = Topology.create 2 in
+  Alcotest.(check bool) "self loop" true
+    (match Topology.add_link t 0 0 ~availability:0.5 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad availability" true
+    (match Topology.add_link t 0 1 ~availability:1.5 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "out of range" true
+    (match Topology.add_link t 0 5 ~availability:0.5 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_mtbf_link () =
+  let t = Topology.create 2 in
+  let t =
+    Topology.add_link_mtbf t 0 1
+      ~mtbf:(Aved_units.Duration.of_days 99.)
+      ~mttr:(Aved_units.Duration.of_days 1.)
+  in
+  check_float "availability from failure data" 0.99
+    (Topology.two_terminal t ~src:0 ~dst:1)
+
+let () =
+  Alcotest.run "network"
+    [
+      ( "two-terminal",
+        [
+          Alcotest.test_case "series" `Quick test_series;
+          Alcotest.test_case "parallel" `Quick test_parallel;
+          Alcotest.test_case "same node" `Quick test_same_node;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "bridge closed form" `Quick
+            test_bridge_closed_form;
+          Alcotest.test_case "monotone" `Quick test_monotone_in_availability;
+          Alcotest.test_case "bounds" `Quick test_probability_bounds;
+        ] );
+      ( "fabrics",
+        [
+          Alcotest.test_case "single switch" `Quick test_single_switch;
+          Alcotest.test_case "dual beats single" `Quick
+            test_dual_switch_beats_single;
+          Alcotest.test_case "k edge cases" `Quick test_k_edge_cases;
+          Alcotest.test_case "k=1 equals two-terminal" `Quick
+            test_at_least_k_matches_two_terminal;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "mtbf link" `Quick test_mtbf_link;
+        ] );
+    ]

@@ -1,0 +1,124 @@
+module Perf_function = Aved_perf.Perf_function
+module Slowdown = Aved_perf.Slowdown
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_const () =
+  let p = Perf_function.of_string "const:10000" in
+  check_float "n=1" 10000. (Perf_function.eval p ~n:1);
+  check_float "n=50" 10000. (Perf_function.eval p ~n:50);
+  Alcotest.(check bool) "not scalable" false (Perf_function.is_scalable p)
+
+let test_expr () =
+  let p = Perf_function.of_string "200*n" in
+  check_float "linear" 1000. (Perf_function.eval p ~n:5);
+  check_float "n=0" 0. (Perf_function.eval p ~n:0);
+  let q = Perf_function.of_string "expr:(10*n)/(1+0.004*n)" in
+  check_float "saturating" (100. /. 1.04) (Perf_function.eval q ~n:10);
+  Alcotest.(check bool) "scalable" true (Perf_function.is_scalable q)
+
+let test_expr_rejects_foreign_vars () =
+  Alcotest.(check bool) "rejects cpi" true
+    (match Perf_function.of_string "10/cpi" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_table () =
+  let p = Perf_function.of_string "table:1=100,4=350,2=190" in
+  check_float "exact point" 190. (Perf_function.eval p ~n:2);
+  check_float "interpolated" 270. (Perf_function.eval p ~n:3);
+  check_float "zero resources deliver nothing" 0. (Perf_function.eval p ~n:0);
+  let shifted = Perf_function.of_string "table:2=190,4=350" in
+  check_float "clamp low" 190. (Perf_function.eval shifted ~n:1);
+  check_float "clamp high" 350. (Perf_function.eval p ~n:9);
+  Alcotest.(check bool) "duplicate n rejected" true
+    (match Perf_function.of_table [ (1, 5.); (1, 6.) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_of_string_errors () =
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) (Printf.sprintf "reject %S" text) true
+        (match Perf_function.of_string text with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ "const:abc"; "table:oops"; "expr:2+"; "" ]
+
+let test_to_string_roundtrip () =
+  List.iter
+    (fun text ->
+      let p = Perf_function.of_string text in
+      let p' = Perf_function.of_string (Perf_function.to_string p) in
+      List.iter
+        (fun n ->
+          check_float
+            (Printf.sprintf "%s at n=%d" text n)
+            (Perf_function.eval p ~n) (Perf_function.eval p' ~n))
+        [ 0; 1; 3; 10; 100 ])
+    [ "const:10000"; "200*n"; "table:1=100,4=350" ]
+
+let test_min_resources () =
+  let p = Perf_function.of_string "200*n" in
+  let candidates = List.init 20 (fun i -> i + 1) in
+  Alcotest.(check (option int)) "exact" (Some 5)
+    (Perf_function.min_resources p ~demand:1000. ~candidates);
+  Alcotest.(check (option int)) "round up" (Some 6)
+    (Perf_function.min_resources p ~demand:1001. ~candidates);
+  Alcotest.(check (option int)) "unreachable" None
+    (Perf_function.min_resources p ~demand:1e9 ~candidates);
+  Alcotest.(check (option int)) "unsorted candidates" (Some 5)
+    (Perf_function.min_resources p ~demand:1000. ~candidates:[ 9; 5; 7 ])
+
+let test_min_resources_monotone_property () =
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~name:"higher demand needs at least as many resources"
+       ~count:200
+       QCheck2.Gen.(
+         let* d1 = float_range 1. 10000. in
+         let* d2 = float_range 1. 10000. in
+         return (Float.min d1 d2, Float.max d1 d2))
+       (fun (lo, hi) ->
+         let p = Perf_function.of_string "200*n" in
+         let candidates = List.init 100 (fun i -> i + 1) in
+         match
+           ( Perf_function.min_resources p ~demand:lo ~candidates,
+             Perf_function.min_resources p ~demand:hi ~candidates )
+         with
+         | Some a, Some b -> a <= b
+         | None, Some _ -> false
+         | Some _, None | None, None -> true))
+
+let test_slowdown () =
+  let s = Slowdown.of_string "max(10/cpi, 100%)" in
+  check_float "overhead region" 10. (Slowdown.eval s [ ("cpi", 1.) ]);
+  check_float "flat region" 1. (Slowdown.eval s [ ("cpi", 100.) ]);
+  check_float "identity" 1. (Slowdown.eval Slowdown.none []);
+  (* Values below 1 clamp to 1: a mechanism never speeds the service up. *)
+  let fast = Slowdown.of_string "0.5" in
+  check_float "clamped" 1. (Slowdown.eval fast []);
+  Alcotest.(check (list string)) "variables" [ "cpi" ] (Slowdown.variables s);
+  Alcotest.(check bool) "bad expression" true
+    (match Slowdown.of_string "2+" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "perf-function",
+        [
+          Alcotest.test_case "constant" `Quick test_const;
+          Alcotest.test_case "expression" `Quick test_expr;
+          Alcotest.test_case "foreign variables rejected" `Quick
+            test_expr_rejects_foreign_vars;
+          Alcotest.test_case "table" `Quick test_table;
+          Alcotest.test_case "of_string errors" `Quick test_of_string_errors;
+          Alcotest.test_case "to_string roundtrip" `Quick
+            test_to_string_roundtrip;
+          Alcotest.test_case "min_resources" `Quick test_min_resources;
+          Alcotest.test_case "min_resources monotone" `Quick
+            test_min_resources_monotone_property;
+        ] );
+      ("slowdown", [ Alcotest.test_case "evaluation" `Quick test_slowdown ]);
+    ]

@@ -1,0 +1,187 @@
+module Rng = Aved_sim.Rng
+module Event_queue = Aved_sim.Event_queue
+module Distribution = Aved_sim.Distribution
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done;
+  let c = Rng.create 8 in
+  Alcotest.(check bool) "different seed differs" true
+    (Rng.next_int64 a <> Rng.next_int64 c)
+
+let test_rng_copy_and_split () =
+  let a = Rng.create 1 in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.next_int64 a) (Rng.next_int64 b);
+  let master = Rng.create 2 in
+  let s1 = Rng.split master and s2 = Rng.split master in
+  Alcotest.(check bool) "splits differ" true
+    (Rng.next_int64 s1 <> Rng.next_int64 s2)
+
+let test_float_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10000 do
+    let u = Rng.float rng in
+    if u < 0. || u >= 1. then Alcotest.failf "float out of range: %g" u
+  done
+
+let test_int_bounds () =
+  let rng = Rng.create 4 in
+  let seen = Array.make 6 0 in
+  for _ = 1 to 6000 do
+    let v = Rng.int rng 6 in
+    seen.(v) <- seen.(v) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      if n < 700 then Alcotest.failf "bucket %d underpopulated: %d" i n)
+    seen
+
+let test_exponential_mean () =
+  let rng = Rng.create 5 in
+  let rate = 0.25 in
+  let n = 50000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng ~rate
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f near %.3f" mean (1. /. rate))
+    true
+    (Float.abs (mean -. (1. /. rate)) < 0.1)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 6 in
+  let n = 50000 in
+  let acc = ref 0. and acc2 = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.gaussian rng ~mean:3. ~stddev:2. in
+    acc := !acc +. x;
+    acc2 := !acc2 +. (x *. x)
+  done;
+  let mean = !acc /. float_of_int n in
+  let var = (!acc2 /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean" true (Float.abs (mean -. 3.) < 0.05);
+  Alcotest.(check bool) "variance" true (Float.abs (var -. 4.) < 0.2)
+
+let test_invalid_parameters () =
+  let rng = Rng.create 9 in
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Rng.exponential: rate 0") (fun () ->
+      ignore (Rng.exponential rng ~rate:0.));
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+(* ------------------------------------------------------------------ *)
+
+let test_queue_ordering () =
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~name:"events pop in time order" ~count:300
+       QCheck2.Gen.(list_size (int_range 0 200) (float_range 0. 1000.))
+       (fun times ->
+         let q = Event_queue.create () in
+         List.iteri (fun i t -> Event_queue.push q ~time:t i) times;
+         let rec drain last acc =
+           match Event_queue.pop q with
+           | None -> List.rev acc
+           | Some (t, _) ->
+               if t < last then Alcotest.failf "out of order: %g after %g" t last;
+               drain t (t :: acc)
+         in
+         let drained = drain Float.neg_infinity [] in
+         List.length drained = List.length times))
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:1. "first";
+  Event_queue.push q ~time:1. "second";
+  Event_queue.push q ~time:1. "third";
+  let pop () =
+    match Event_queue.pop q with Some (_, v) -> v | None -> Alcotest.fail "empty"
+  in
+  Alcotest.(check string) "fifo 1" "first" (pop ());
+  Alcotest.(check string) "fifo 2" "second" (pop ());
+  Alcotest.(check string) "fifo 3" "third" (pop ())
+
+let test_queue_basics () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  Alcotest.(check bool) "peek none" true (Event_queue.peek_time q = None);
+  Event_queue.push q ~time:5. ();
+  Event_queue.push q ~time:2. ();
+  Alcotest.(check int) "length" 2 (Event_queue.length q);
+  Alcotest.(check bool) "peek min" true (Event_queue.peek_time q = Some 2.);
+  Event_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Event_queue.is_empty q);
+  Alcotest.check_raises "non-finite time"
+    (Invalid_argument "Event_queue.push: time inf") (fun () ->
+      Event_queue.push q ~time:Float.infinity ())
+
+(* ------------------------------------------------------------------ *)
+
+let test_distribution_means () =
+  let rng = Rng.create 11 in
+  let check_sampled_mean name dist tolerance =
+    let n = 30000 in
+    let acc = ref 0. in
+    for _ = 1 to n do
+      acc := !acc +. Distribution.sample dist rng
+    done;
+    let sampled = !acc /. float_of_int n in
+    let expected = Distribution.mean dist in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s sampled %.3f vs %.3f" name sampled expected)
+      true
+      (Float.abs (sampled -. expected) /. expected < tolerance)
+  in
+  check_sampled_mean "exponential" (Distribution.exponential_of_mean 5.) 0.05;
+  check_sampled_mean "weibull"
+    (Distribution.weibull_of_mean ~shape:1.5 ~mean:3.) 0.05;
+  check_sampled_mean "lognormal"
+    (Distribution.lognormal_of_mean ~sigma:0.5 ~mean:2.) 0.05;
+  Alcotest.(check (float 1e-9))
+    "deterministic" 4.
+    (Distribution.sample (Distribution.Deterministic 4.) rng)
+
+let test_distribution_mean_parameterization () =
+  Alcotest.(check (float 1e-6))
+    "weibull_of_mean" 7.
+    (Distribution.mean (Distribution.weibull_of_mean ~shape:2. ~mean:7.));
+  Alcotest.(check (float 1e-6))
+    "lognormal_of_mean" 3.
+    (Distribution.mean (Distribution.lognormal_of_mean ~sigma:1. ~mean:3.));
+  Alcotest.(check (float 1e-6))
+    "weibull shape 1 is exponential" 5.
+    (Distribution.mean (Distribution.weibull_of_mean ~shape:1. ~mean:5.))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "copy and split" `Quick test_rng_copy_and_split;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "int distribution" `Quick test_int_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "invalid parameters" `Quick
+            test_invalid_parameters;
+        ] );
+      ( "event-queue",
+        [
+          Alcotest.test_case "ordering property" `Quick test_queue_ordering;
+          Alcotest.test_case "FIFO tie-break" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "basics" `Quick test_queue_basics;
+        ] );
+      ( "distribution",
+        [
+          Alcotest.test_case "sampled means" `Slow test_distribution_means;
+          Alcotest.test_case "mean parameterization" `Quick
+            test_distribution_mean_parameterization;
+        ] );
+    ]

@@ -1,0 +1,381 @@
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+module Spec = Aved_spec.Spec
+module Line_lexer = Aved_spec.Line_lexer
+open Aved_model
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer_basics () =
+  let lines = Line_lexer.tokenize "a=1 b=2\n\n# comment\nc=3 \\\\ trailing" in
+  Alcotest.(check int) "two lines" 2 (List.length lines);
+  let first = List.hd lines in
+  Alcotest.(check int) "lineno" 1 first.Line_lexer.lineno;
+  Alcotest.(check (option string)) "a" (Some "1")
+    (Line_lexer.find_value first "a");
+  Alcotest.(check (option string)) "b" (Some "2")
+    (Line_lexer.find_value first "b");
+  let second = List.nth lines 1 in
+  Alcotest.(check int) "comment stripped lineno" 4 second.Line_lexer.lineno;
+  Alcotest.(check string) "leading key" "c" (Line_lexer.leading_key second)
+
+let test_lexer_bracketed_values () =
+  let lines =
+    Line_lexer.tokenize "cost([inactive,active])=[2400 2640] x=5"
+  in
+  let line = List.hd lines in
+  (match Line_lexer.find line "cost" with
+  | Some { args = Some args; value; _ } ->
+      Alcotest.(check string) "args" "[inactive,active]" args;
+      Alcotest.(check string) "value keeps spaces" "[2400 2640]" value
+  | Some { args = None; _ } | None -> Alcotest.fail "cost attr missing");
+  Alcotest.(check (option string)) "following attr" (Some "5")
+    (Line_lexer.find_value line "x")
+
+let test_lexer_rest_of_line () =
+  let lines =
+    Line_lexer.tokenize
+      "mperformance(storage_location=central)=if n <= 30 then max(10/cpi, \
+       100%) else 2"
+  in
+  match Line_lexer.find (List.hd lines) "mperformance" with
+  | Some { args = Some args; value; _ } ->
+      Alcotest.(check string) "guard args" "storage_location=central" args;
+      Alcotest.(check bool) "value runs to end of line" true
+        (String.length value > 30)
+  | Some { args = None; _ } | None -> Alcotest.fail "mperformance missing"
+
+let test_lexer_errors () =
+  let rejects text =
+    match Line_lexer.tokenize text with
+    | _ -> Alcotest.failf "expected lex error for %S" text
+    | exception Line_lexer.Error _ -> ()
+  in
+  rejects "key";
+  rejects "a=[1 2";
+  rejects "cost(x=[1]"
+
+(* ------------------------------------------------------------------ *)
+(* Infrastructure parsing: the paper's Fig. 3 *)
+
+let infra () = Aved.Experiments.infrastructure ()
+
+let test_infra_counts () =
+  let i = infra () in
+  Alcotest.(check int) "components" 9 (List.length i.Infrastructure.components);
+  Alcotest.(check int) "mechanisms" 3 (List.length i.Infrastructure.mechanisms);
+  Alcotest.(check int) "resources" 9 (List.length i.Infrastructure.resources)
+
+let test_infra_component_details () =
+  let i = infra () in
+  let machine_a = Infrastructure.component_exn i "machineA" in
+  check_float "inactive cost" 2400. (Money.to_float machine_a.cost_inactive);
+  check_float "active cost" 2640. (Money.to_float machine_a.cost_active);
+  Alcotest.(check int) "two failure modes" 2
+    (List.length machine_a.failure_modes);
+  (match machine_a.failure_modes with
+  | [ hard; soft ] ->
+      Alcotest.(check string) "hard first" "hard" hard.mode_name;
+      check_float "hard mtbf" 650. (Duration.days hard.mtbf);
+      check_float "detect" 2. (Duration.minutes hard.detect_time);
+      (match hard.repair with
+      | Component.Repair_by_mechanism m ->
+          Alcotest.(check string) "repair mechanism" "maintenanceA" m
+      | Component.Fixed_repair _ -> Alcotest.fail "expected mechanism repair");
+      check_float "soft mtbf" 75. (Duration.days soft.mtbf);
+      (match soft.repair with
+      | Component.Fixed_repair d ->
+          check_float "soft repair 0" 0. (Duration.seconds d)
+      | Component.Repair_by_mechanism _ -> Alcotest.fail "expected fixed")
+  | _ -> Alcotest.fail "unexpected failure modes");
+  let mpi = Infrastructure.component_exn i "mpi" in
+  match mpi.loss_window with
+  | Component.Loss_window_by_mechanism m ->
+      Alcotest.(check string) "loss window via checkpoint" "checkpoint" m
+  | Component.No_loss_window | Component.Fixed_loss_window _ ->
+      Alcotest.fail "expected checkpoint loss window"
+
+let test_infra_mechanism_details () =
+  let i = infra () in
+  let maint = Infrastructure.mechanism_exn i "maintenanceA" in
+  Alcotest.(check int) "one parameter" 1 (List.length maint.parameters);
+  let bronze = [ ("level", Mechanism.Enum_value "bronze") ] in
+  let platinum = [ ("level", Mechanism.Enum_value "platinum") ] in
+  check_float "bronze cost" 380. (Money.to_float (Mechanism.cost_of maint bronze));
+  check_float "platinum cost" 1500.
+    (Money.to_float (Mechanism.cost_of maint platinum));
+  (match Mechanism.mttr_of maint bronze with
+  | Some d -> check_float "bronze mttr" 38. (Duration.hours d)
+  | None -> Alcotest.fail "expected mttr");
+  let ckpt = Infrastructure.mechanism_exn i "checkpoint" in
+  Alcotest.(check int) "two parameters" 2 (List.length ckpt.parameters);
+  let settings = Mechanism.settings ckpt in
+  (* 2 locations x interval grid; endpoints must be present. *)
+  Alcotest.(check bool) "many settings" true (List.length settings > 250);
+  let intervals =
+    List.filter_map
+      (fun s ->
+        match List.assoc_opt "checkpoint_interval" s with
+        | Some (Mechanism.Duration_value d) -> Some (Duration.minutes d)
+        | Some (Mechanism.Enum_value _) | None -> None)
+      settings
+    |> List.sort_uniq Float.compare
+  in
+  check_float "interval lo" 1. (List.hd intervals);
+  check_float "interval hi" 1440. (List.nth intervals (List.length intervals - 1))
+
+let test_infra_resource_details () =
+  let i = infra () in
+  let rc = Infrastructure.resource_exn i "rC" in
+  Alcotest.(check (list string)) "rC components"
+    [ "machineA"; "linux"; "appserverA" ]
+    (Resource.component_names rc);
+  check_float "rC restart after linux failure" 240.
+    (Duration.seconds (Resource.restart_time rc "linux"));
+  check_float "reconfig" 0. (Duration.seconds rc.reconfig_time);
+  Alcotest.(check (list string)) "rI startup order"
+    [ "machineB"; "unix"; "mpi" ]
+    (Resource.startup_order (Infrastructure.resource_exn i "rI"))
+
+(* ------------------------------------------------------------------ *)
+(* Service parsing: Figs. 4 and 5 *)
+
+let test_ecommerce_service () =
+  let s = Aved.Experiments.ecommerce () in
+  Alcotest.(check string) "name" "ecommerce" s.Service.service_name;
+  Alcotest.(check bool) "no job size" true (s.Service.job_size = None);
+  Alcotest.(check int) "three tiers" 3 (List.length s.Service.tiers);
+  let app =
+    match Service.find_tier s "application" with
+    | Some t -> t
+    | None -> Alcotest.fail "application tier"
+  in
+  Alcotest.(check (list string)) "app options"
+    [ "rC"; "rD"; "rE"; "rF" ]
+    (List.map (fun (o : Service.resource_option) -> o.resource) app.options);
+  let db =
+    match Service.find_tier s "database" with
+    | Some t -> t
+    | None -> Alcotest.fail "database tier"
+  in
+  (match db.options with
+  | [ rg ] ->
+      Alcotest.(check bool) "static" true (rg.sizing = Service.Static);
+      Alcotest.(check bool) "resource scope" true
+        (rg.failure_scope = Service.Resource_scope);
+      Alcotest.(check (list int)) "nActive" [ 1 ]
+        (Int_range.to_list rg.n_active);
+      check_float "const perf" 10000.
+        (Aved_perf.Perf_function.eval rg.performance ~n:1)
+  | _ -> Alcotest.fail "database options");
+  Service.validate_against s (infra ())
+
+let test_scientific_service () =
+  let s = Aved.Experiments.scientific () in
+  Alcotest.(check (option (float 1e-9))) "job size" (Some 10000.)
+    s.Service.job_size;
+  let comp =
+    match Service.find_tier s "computation" with
+    | Some t -> t
+    | None -> Alcotest.fail "computation tier"
+  in
+  (match comp.options with
+  | [ rh; ri ] ->
+      Alcotest.(check bool) "tier scope" true
+        (rh.failure_scope = Service.Tier_scope);
+      check_float "rH perf at 1" (10. /. 1.004)
+        (Aved_perf.Perf_function.eval rh.performance ~n:1);
+      check_float "rI perf at 1" (100. /. 1.004)
+        (Aved_perf.Perf_function.eval ri.performance ~n:1);
+      (* Slowdowns: central at n<=30 is max(10/cpi, 1) for rH. *)
+      let setting cpi loc =
+        [
+          ("storage_location", Mechanism.Enum_value loc);
+          ( "checkpoint_interval",
+            Mechanism.Duration_value (Duration.of_minutes cpi) );
+        ]
+      in
+      let impact = List.assoc "checkpoint" rh.mech_performance in
+      check_float "rH central overhead" 10.
+        (Mech_impact.eval impact ~setting:(setting 1. "central") ~n:10);
+      check_float "rH central large n" 20.
+        (Mech_impact.eval impact ~setting:(setting 1. "central") ~n:60);
+      check_float "rH peer" 20.
+        (Mech_impact.eval impact ~setting:(setting 1. "peer") ~n:10);
+      check_float "rH flat region" 1.
+        (Mech_impact.eval impact ~setting:(setting 200. "peer") ~n:10)
+  | _ -> Alcotest.fail "computation options");
+  Service.validate_against s (infra ())
+
+(* ------------------------------------------------------------------ *)
+(* Errors *)
+
+let expect_error_at line text parse =
+  match parse text with
+  | _ -> Alcotest.failf "expected spec error in %S" text
+  | exception Line_lexer.Error e ->
+      if line > 0 then Alcotest.(check int) "error line" line e.line
+
+let test_infra_errors () =
+  let p = Spec.infrastructure_of_string in
+  expect_error_at 1 "component=c cost=abc" p;
+  expect_error_at 1 "failure=soft mtbf=1d mttr=0" p;
+  expect_error_at 2 "component=c cost=0\nfailure=soft mttr=0" p;
+  expect_error_at 2 "mechanism=m\ncost(level)=[1 2]" p;
+  expect_error_at 0 "mechanism=m\nparam=level range=[a,b]" p (* no cost *);
+  expect_error_at 0
+    "component=c cost=0\nresource=r\ncomponent=ghost depend=null" p;
+  expect_error_at 0
+    "component=c cost=0\n\
+     failure=soft mtbf=1d mttr=<nope>\n\
+     resource=r\n\
+     component=c depend=null" p
+
+let test_service_errors () =
+  let p = Spec.service_of_string in
+  expect_error_at 0 "tier=web" p (* no application *);
+  expect_error_at 1 "application=x jobsize=nope" p;
+  expect_error_at 2 "application=x\nresource=rA nActive=[1]" p;
+  expect_error_at 0 "application=x\ntier=web\nresource=rA nActive=[1]" p
+    (* missing performance *);
+  expect_error_at 4
+    "application=x\ntier=web\nresource=rA nActive=[1] performance=1\n\
+     mperformance=2" p
+
+let test_load_cross_validation () =
+  let dir = Filename.temp_file "aved" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let write name content =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    path
+  in
+  let infra_file = write "infra.spec" Aved.Experiments.infrastructure_spec in
+  let service_file = write "svc.spec" Aved.Experiments.ecommerce_spec in
+  let _infra, service = Spec.load ~infra_file ~service_file in
+  Alcotest.(check string) "loaded" "ecommerce" service.Service.service_name;
+  (* A service referencing an unknown resource must be rejected. *)
+  let bad =
+    write "bad.spec"
+      "application=x\ntier=t\nresource=ghost nActive=[1] performance=1"
+  in
+  match Spec.load ~infra_file ~service_file:bad with
+  | _ -> Alcotest.fail "expected cross-validation failure"
+  | exception Line_lexer.Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Writer round trip *)
+
+let reserialize_infra text =
+  Aved_spec.Spec_writer.infrastructure_to_string
+    (Spec.infrastructure_of_string text)
+
+let reserialize_service text =
+  Aved_spec.Spec_writer.service_to_string (Spec.service_of_string text)
+
+let test_writer_infra_roundtrip () =
+  (* Serializing, parsing and serializing again must reach a fixpoint,
+     and the reparsed model must behave identically. *)
+  let once = reserialize_infra Aved.Experiments.infrastructure_spec in
+  let twice = reserialize_infra once in
+  Alcotest.(check string) "fixpoint" once twice;
+  let original = Aved.Experiments.infrastructure () in
+  let reparsed = Spec.infrastructure_of_string once in
+  Alcotest.(check int) "components survive"
+    (List.length original.Infrastructure.components)
+    (List.length reparsed.Infrastructure.components);
+  let machine = Infrastructure.component_exn reparsed "machineA" in
+  check_float "costs survive" 2640. (Money.to_float machine.cost_active);
+  let maint = Infrastructure.mechanism_exn reparsed "maintenanceA" in
+  (match Mechanism.mttr_of maint [ ("level", Mechanism.Enum_value "gold") ] with
+  | Some d -> check_float "mttr table survives" 8. (Duration.hours d)
+  | None -> Alcotest.fail "mttr lost");
+  let ckpt = Infrastructure.mechanism_exn reparsed "checkpoint" in
+  Alcotest.(check int) "geometric range survives"
+    (List.length (Mechanism.settings (Infrastructure.mechanism_exn original "checkpoint")))
+    (List.length (Mechanism.settings ckpt))
+
+let test_writer_service_roundtrip () =
+  List.iter
+    (fun text ->
+      let once = reserialize_service text in
+      let twice = reserialize_service once in
+      Alcotest.(check string) "fixpoint" once twice;
+      let original = Spec.service_of_string text in
+      let reparsed = Spec.service_of_string once in
+      Alcotest.(check int) "tiers survive"
+        (List.length original.Service.tiers)
+        (List.length reparsed.Service.tiers);
+      Alcotest.(check (option (float 1e-9))) "job size survives"
+        original.Service.job_size reparsed.Service.job_size)
+    [ Aved.Experiments.ecommerce_spec; Aved.Experiments.scientific_spec ]
+
+let test_writer_preserves_slowdowns () =
+  let reparsed =
+    Spec.service_of_string
+      (reserialize_service Aved.Experiments.scientific_spec)
+  in
+  let tier =
+    match Service.find_tier reparsed "computation" with
+    | Some t -> t
+    | None -> Alcotest.fail "computation tier lost"
+  in
+  let rh = List.hd tier.options in
+  let impact = List.assoc "checkpoint" rh.mech_performance in
+  let setting =
+    [
+      ("storage_location", Mechanism.Enum_value "central");
+      ( "checkpoint_interval",
+        Mechanism.Duration_value (Duration.of_minutes 1.) );
+    ]
+  in
+  check_float "slowdown survives" 10.
+    (Mech_impact.eval impact ~setting ~n:10)
+
+let () =
+  Alcotest.run "spec"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "bracketed values" `Quick
+            test_lexer_bracketed_values;
+          Alcotest.test_case "rest-of-line values" `Quick
+            test_lexer_rest_of_line;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "fig3",
+        [
+          Alcotest.test_case "counts" `Quick test_infra_counts;
+          Alcotest.test_case "components" `Quick test_infra_component_details;
+          Alcotest.test_case "mechanisms" `Quick test_infra_mechanism_details;
+          Alcotest.test_case "resources" `Quick test_infra_resource_details;
+        ] );
+      ( "fig4-fig5",
+        [
+          Alcotest.test_case "e-commerce" `Quick test_ecommerce_service;
+          Alcotest.test_case "scientific" `Quick test_scientific_service;
+        ] );
+      ( "writer",
+        [
+          Alcotest.test_case "infrastructure roundtrip" `Quick
+            test_writer_infra_roundtrip;
+          Alcotest.test_case "service roundtrip" `Quick
+            test_writer_service_roundtrip;
+          Alcotest.test_case "slowdowns preserved" `Quick
+            test_writer_preserves_slowdowns;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "infrastructure" `Quick test_infra_errors;
+          Alcotest.test_case "service" `Quick test_service_errors;
+          Alcotest.test_case "load and cross-validate" `Quick
+            test_load_cross_validation;
+        ] );
+    ]

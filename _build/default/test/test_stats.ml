@@ -1,0 +1,78 @@
+module Stats = Aved_stats.Stats
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_summarize () =
+  let s = Stats.summarize [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "mean" 5. s.mean;
+  check_float "variance" (32. /. 7.) s.variance;
+  check_float "stddev" (sqrt (32. /. 7.)) s.stddev;
+  check_float "min" 2. s.min;
+  check_float "max" 9. s.max;
+  Alcotest.(check int) "count" 8 s.count
+
+let test_singleton () =
+  let s = Stats.summarize [| 3.5 |] in
+  check_float "mean" 3.5 s.mean;
+  check_float "variance" 0. s.variance
+
+let test_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty")
+    (fun () -> ignore (Stats.summarize [||]))
+
+let test_standard_error_and_ci () =
+  let s = Stats.summarize [| 1.; 2.; 3.; 4.; 5. |] in
+  let se = Stats.standard_error s in
+  check_float "se" (s.stddev /. sqrt 5.) se;
+  let lo, hi = Stats.confidence_interval_95 s in
+  check_float "ci low" (s.mean -. (1.96 *. se)) lo;
+  check_float "ci high" (s.mean +. (1.96 *. se)) hi;
+  Alcotest.(check bool) "mean inside" true (lo <= s.mean && s.mean <= hi)
+
+let test_quantile () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_float "median" 2.5 (Stats.quantile xs 0.5);
+  check_float "min" 1. (Stats.quantile xs 0.);
+  check_float "max" 4. (Stats.quantile xs 1.);
+  check_float "interpolated" 1.75 (Stats.quantile xs 0.25);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.quantile: p outside [0,1]") (fun () ->
+      ignore (Stats.quantile xs 1.5))
+
+let test_online_matches_batch () =
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~name:"Welford equals direct computation" ~count:200
+       QCheck2.Gen.(array_size (int_range 1 200) (float_range (-1000.) 1000.))
+       (fun xs ->
+         let acc = Stats.Online.create () in
+         Array.iter (Stats.Online.add acc) xs;
+         let online = Stats.Online.to_summary acc in
+         let batch = Stats.summarize xs in
+         Float.abs (online.mean -. batch.mean) < 1e-7
+         && Float.abs (online.variance -. batch.variance)
+            < 1e-6 *. Float.max 1. batch.variance))
+
+let test_online_empty () =
+  let acc = Stats.Online.create () in
+  Alcotest.(check int) "count" 0 (Stats.Online.count acc);
+  Alcotest.check_raises "empty summary"
+    (Invalid_argument "Stats.Online.to_summary: empty") (fun () ->
+      ignore (Stats.Online.to_summary acc))
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "batch",
+        [
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "stderr and CI" `Quick test_standard_error_and_ci;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "matches batch" `Quick test_online_matches_batch;
+          Alcotest.test_case "empty" `Quick test_online_empty;
+        ] );
+    ]

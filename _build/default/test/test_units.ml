@@ -1,0 +1,104 @@
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_of_string_units () =
+  check_float "seconds" 30. (Duration.seconds (Duration.of_string "30s"));
+  check_float "minutes" 120. (Duration.seconds (Duration.of_string "2m"));
+  check_float "hours" (38. *. 3600.) (Duration.seconds (Duration.of_string "38h"));
+  check_float "days" (650. *. 86400.) (Duration.seconds (Duration.of_string "650d"));
+  check_float "years" (365. *. 86400.) (Duration.seconds (Duration.of_string "1y"));
+  check_float "bare number is seconds" 42. (Duration.seconds (Duration.of_string "42"));
+  check_float "zero" 0. (Duration.seconds (Duration.of_string "0"));
+  check_float "fractional" 5400. (Duration.seconds (Duration.of_string "1.5h"))
+
+let test_of_string_invalid () =
+  List.iter
+    (fun text ->
+      Alcotest.check_raises
+        (Printf.sprintf "reject %S" text)
+        (Invalid_argument (Printf.sprintf "Duration.of_string: %S" text))
+        (fun () -> ignore (Duration.of_string text)))
+    [ ""; "abc"; "-5m"; "3x"; "m" ]
+
+let test_of_string_opt () =
+  Alcotest.(check bool) "some" true (Duration.of_string_opt "2m" <> None);
+  Alcotest.(check bool) "none" true (Duration.of_string_opt "oops" = None)
+
+let test_to_string () =
+  Alcotest.(check string) "650d" "650d" (Duration.to_string (Duration.of_days 650.));
+  Alcotest.(check string) "2m" "2m" (Duration.to_string (Duration.of_minutes 2.));
+  Alcotest.(check string) "zero" "0s" (Duration.to_string Duration.zero);
+  Alcotest.(check string) "38h" "38h" (Duration.to_string (Duration.of_hours 38.))
+
+let test_roundtrip () =
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~name:"duration to_string/of_string roundtrip"
+       ~count:500
+       QCheck2.Gen.(map (fun v -> Float.abs v) (float_bound_exclusive 1e7))
+       (fun seconds ->
+         let d = Duration.of_seconds seconds in
+         let d' = Duration.of_string (Duration.to_string d) in
+         Float.abs (Duration.seconds d -. Duration.seconds d')
+         <= 1e-6 *. Float.max 1. seconds))
+
+let test_arithmetic () =
+  let a = Duration.of_minutes 3. and b = Duration.of_minutes 1. in
+  check_float "add" 240. (Duration.seconds (Duration.add a b));
+  check_float "sub" 120. (Duration.seconds (Duration.sub a b));
+  check_float "sub saturates" 0. (Duration.seconds (Duration.sub b a));
+  check_float "scale" 360. (Duration.seconds (Duration.scale 2. a));
+  check_float "ratio" 3. (Duration.ratio a b);
+  Alcotest.check_raises "ratio by zero" Division_by_zero (fun () ->
+      ignore (Duration.ratio a Duration.zero));
+  Alcotest.(check bool) "min" true (Duration.equal b (Duration.min a b));
+  Alcotest.(check bool) "max" true (Duration.equal a (Duration.max a b));
+  Alcotest.(check bool) "compare" true (Duration.compare a b > 0)
+
+let test_unit_conversions () =
+  check_float "minutes" 1.5 (Duration.minutes (Duration.of_seconds 90.));
+  check_float "hours" 0.5 (Duration.hours (Duration.of_minutes 30.));
+  check_float "days" 2. (Duration.days (Duration.of_hours 48.));
+  check_float "years" 1. (Duration.years (Duration.of_days 365.))
+
+let test_invalid_construction () =
+  Alcotest.check_raises "negative" (Invalid_argument "Duration.of_seconds: -1")
+    (fun () -> ignore (Duration.of_seconds (-1.)));
+  Alcotest.check_raises "nan" (Invalid_argument "Duration.of_seconds: nan")
+    (fun () -> ignore (Duration.of_seconds Float.nan));
+  Alcotest.check_raises "scale negative" (Invalid_argument "Duration.scale: -2")
+    (fun () -> ignore (Duration.scale (-2.) (Duration.of_seconds 1.)))
+
+let test_money () =
+  let a = Money.of_float 100. and b = Money.of_float 40. in
+  check_float "add" 140. (Money.to_float (Money.add a b));
+  check_float "sub" 60. (Money.to_float (Money.sub a b));
+  check_float "sub saturates" 0. (Money.to_float (Money.sub b a));
+  check_float "sum" 240. (Money.to_float (Money.sum [ a; b; a ]));
+  check_float "scale" 200. (Money.to_float (Money.scale 2. a));
+  Alcotest.(check bool) "le" true Money.(b <= a);
+  Alcotest.(check bool) "lt" true Money.(b < a);
+  Alcotest.(check bool) "min" true (Money.equal b (Money.min a b));
+  Alcotest.(check string) "integer print" "100" (Money.to_string a);
+  Alcotest.(check string) "cents print" "12.34" (Money.to_string (Money.of_float 12.34));
+  Alcotest.check_raises "negative" (Invalid_argument "Money.of_float: -3")
+    (fun () -> ignore (Money.of_float (-3.)))
+
+let () =
+  Alcotest.run "units"
+    [
+      ( "duration",
+        [
+          Alcotest.test_case "of_string units" `Quick test_of_string_units;
+          Alcotest.test_case "of_string invalid" `Quick test_of_string_invalid;
+          Alcotest.test_case "of_string_opt" `Quick test_of_string_opt;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "roundtrip property" `Quick test_roundtrip;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "conversions" `Quick test_unit_conversions;
+          Alcotest.test_case "invalid construction" `Quick
+            test_invalid_construction;
+        ] );
+      ("money", [ Alcotest.test_case "operations" `Quick test_money ]);
+    ]
