@@ -5,7 +5,7 @@
    Run with: dune exec bench/main.exe
    Skip the timing pass with: dune exec bench/main.exe -- --no-timing
    Print only one artifact:
-     dune exec bench/main.exe -- table1|fig6|fig7|fig8|ablations *)
+     dune exec bench/main.exe -- table1|fig6|fig7|fig8|ablations|speedup *)
 
 module Duration = Aved_units.Duration
 module Search = Aved_search
@@ -335,7 +335,66 @@ let bench_tests () =
                   }
                 model)))
   in
-  [ table1; fig6; fig7; fig8; gth; spec_parse; monte_carlo ]
+  (* Parallel search: the same four-load Fig. 6 sweep at one domain and
+     at four. Speedup tracks the host's physical core count; on a
+     single-core machine the jobs=4 run measures pool overhead and
+     contention instead of speedup. *)
+  let sweep_loads = [ 400.; 1000.; 1600.; 2200. ] in
+  let parallel jobs =
+    Test.make
+      ~name:(Printf.sprintf "parallel: fig6 sweep of 4 loads, jobs=%d" jobs)
+      (Staged.stage (fun () ->
+           ignore
+             (Aved.Figures.fig6
+                ~config:(Search.Search_config.with_jobs jobs config)
+                ~loads:sweep_loads ())))
+  in
+  (* Evaluation memo: the Fig. 7 settings grid revisits the same
+     resolved tier model across checkpoint intervals; the cache turns
+     repeat evaluations into hash lookups. A fresh cache per run keeps
+     the measurement cold-start honest. *)
+  let memo engine_of_config =
+    Test.make
+      ~name:
+        (Printf.sprintf "memo: fig7 search (100 h), %s engine"
+           (match engine_of_config with `Plain -> "plain" | `Memo -> "memoized"))
+      (Staged.stage (fun () ->
+           let config =
+             match engine_of_config with
+             | `Plain -> Aved.Experiments.fig7_config
+             | `Memo -> Search.Search_config.with_memo Aved.Experiments.fig7_config
+           in
+           ignore
+             (Search.Job_search.optimal config bronze_infra ~tier:sci_tier
+                ~job_size:Aved.Experiments.scientific_job_size
+                ~max_time:(Duration.of_hours 100.))))
+  in
+  [
+    table1; fig6; fig7; fig8; gth; spec_parse; monte_carlo;
+    parallel 1; parallel 4; memo `Plain; memo `Memo;
+  ]
+
+(* One wall-clock readout of the parallel search, so logs carry the
+   measured ratio next to the core count it was measured on. *)
+let run_parallel_speedup () =
+  section "Parallel search speedup (fig6 sweep of 4 loads)";
+  Printf.printf "recommended domains on this host: %d\n"
+    (Domain.recommended_domain_count ());
+  let time jobs =
+    let config =
+      Search.Search_config.with_jobs jobs Search.Search_config.default
+    in
+    let t0 = Unix.gettimeofday () in
+    ignore (Aved.Figures.fig6 ~config ~loads:[ 400.; 1000.; 1600.; 2200. ] ());
+    Unix.gettimeofday () -. t0
+  in
+  let t1 = time 1 in
+  let t4 = time 4 in
+  Printf.printf "jobs=1: %.3fs   jobs=4: %.3fs   speedup %.2fx\n" t1 t4
+    (t1 /. Float.max 1e-9 t4);
+  if Domain.recommended_domain_count () < 2 then
+    print_endline
+      "(single-core host: jobs=4 measures pool overhead, not speedup)"
 
 let run_timing () =
   let open Bechamel in
@@ -378,4 +437,7 @@ let () =
   if want "fig7" then print_fig7 ();
   if want "fig8" then print_fig8 ();
   if want "ablations" then run_ablations ();
-  if timing && only = [] then run_timing ()
+  if want "speedup" && only <> [] then run_parallel_speedup ();
+  if timing && only = [] then (
+    run_parallel_speedup ();
+    run_timing ())

@@ -46,11 +46,37 @@ let tier_arg =
   let doc = "Tier to analyze (defaults to the first tier)." in
   Arg.(value & opt (some string) None & info [ "tier" ] ~doc ~docv:"NAME")
 
+let jobs_arg =
+  let doc =
+    "Number of domains the search may use (defaults to the runtime's \
+     recommended domain count). The result is identical for every value."
+  in
+  let positive_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok n -> Error (`Msg (Printf.sprintf "%d is not a positive integer" n))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(value & opt (some positive_int) None & info [ "jobs"; "j" ] ~doc ~docv:"N")
+
+(* Search configuration of every command: the requested parallelism plus
+   the memoized analytic engine. *)
+let search_config ?(base = Aved_search.Search_config.default) jobs =
+  let jobs =
+    match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
+  in
+  base
+  |> Aved_search.Search_config.with_jobs jobs
+  |> Aved_search.Search_config.with_memo
+
 (* ------------------------------------------------------------------ *)
 (* aved design *)
 
 let design_cmd =
-  let run infra_file service_file load downtime job_hours =
+  let run infra_file service_file load downtime job_hours jobs =
     handle_spec_errors (fun () ->
         let requirements =
           match (load, downtime, job_hours) with
@@ -65,7 +91,8 @@ let design_cmd =
                 "specify either --load and --downtime, or --job-hours alone"
         in
         match
-          Aved.Engine.design_from_files ~infra_file ~service_file requirements
+          Aved.Engine.design_from_files ~config:(search_config jobs)
+            ~infra_file ~service_file requirements
         with
         | Some report -> Format.printf "%a@." Aved.Engine.pp_report report
         | None ->
@@ -77,7 +104,7 @@ let design_cmd =
   let term =
     Term.(
       const run $ infra_file $ service_file $ load_arg $ downtime_arg
-      $ job_hours_arg)
+      $ job_hours_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "design"
@@ -90,7 +117,7 @@ let design_cmd =
 (* aved frontier *)
 
 let frontier_cmd =
-  let run infra_file service_file tier_name load =
+  let run infra_file service_file tier_name load jobs =
     handle_spec_errors (fun () ->
         let load =
           match load with Some l -> l | None -> failwith "--load is required"
@@ -105,8 +132,8 @@ let frontier_cmd =
           | None -> List.hd service.Model.Service.tiers
         in
         let frontier =
-          Aved_search.Tier_search.frontier Aved_search.Search_config.default
-            infra ~tier ~demand:load
+          Aved_search.Tier_search.frontier (search_config jobs) infra ~tier
+            ~demand:load
         in
         Format.printf
           "cost-availability frontier of tier %s at load %g (%d designs):@."
@@ -121,7 +148,8 @@ let frontier_cmd =
           frontier)
   in
   let term =
-    Term.(const run $ infra_file $ service_file $ tier_arg $ load_arg)
+    Term.(
+      const run $ infra_file $ service_file $ tier_arg $ load_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "frontier"
@@ -132,8 +160,9 @@ let frontier_cmd =
 (* Figure commands (built-in paper scenarios) *)
 
 let fig6_cmd =
-  let run () =
-    Aved.Figures.print_fig6 Format.std_formatter (Aved.Figures.fig6 ());
+  let run jobs =
+    Aved.Figures.print_fig6 Format.std_formatter
+      (Aved.Figures.fig6 ~config:(search_config jobs) ());
     0
   in
   Cmd.v
@@ -141,11 +170,14 @@ let fig6_cmd =
        ~doc:
          "Regenerate paper Fig. 6: optimal application-tier design families \
           over load and downtime requirements.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let fig7_cmd =
-  let run () =
-    Aved.Figures.print_fig7 Format.std_formatter (Aved.Figures.fig7 ());
+  let run jobs =
+    Aved.Figures.print_fig7 Format.std_formatter
+      (Aved.Figures.fig7
+         ~config:(search_config ~base:Aved.Experiments.fig7_config jobs)
+         ());
     0
   in
   Cmd.v
@@ -153,11 +185,12 @@ let fig7_cmd =
        ~doc:
          "Regenerate paper Fig. 7: optimal scientific-application design vs \
           execution-time requirement.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let fig8_cmd =
-  let run () =
-    Aved.Figures.print_fig8 Format.std_formatter (Aved.Figures.fig8 ());
+  let run jobs =
+    Aved.Figures.print_fig8 Format.std_formatter
+      (Aved.Figures.fig8 ~config:(search_config jobs) ());
     0
   in
   Cmd.v
@@ -165,7 +198,7 @@ let fig8_cmd =
        ~doc:
          "Regenerate paper Fig. 8: extra annual cost of availability vs \
           downtime requirement.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let table1_cmd =
   let run () =
@@ -180,14 +213,17 @@ let table1_cmd =
 (* aved validate: cross-engine agreement on the built-in scenario *)
 
 let validate_cmd =
-  let run () =
+  let run jobs =
     let infra = Aved.Experiments.infrastructure () in
     let service = Aved.Experiments.ecommerce () in
     let requirements =
       Model.Requirements.enterprise ~throughput:1000.
         ~max_annual_downtime:(Duration.of_minutes 100.)
     in
-    match Aved.Engine.design infra service requirements with
+    match
+      Aved.Engine.design ~config:(search_config jobs) infra service
+        requirements
+    with
     | None ->
         prerr_endline "validation scenario unexpectedly infeasible";
         1
@@ -230,13 +266,13 @@ let validate_cmd =
        ~doc:
          "Design the built-in e-commerce scenario and cross-check the three \
           availability engines on the result.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* aved explain: per-failure-class downtime attribution *)
 
 let explain_cmd =
-  let run infra_file service_file load downtime =
+  let run infra_file service_file load downtime jobs =
     handle_spec_errors (fun () ->
         let load, downtime =
           match (load, downtime) with
@@ -245,7 +281,7 @@ let explain_cmd =
         in
         let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
         match
-          Aved.Engine.design infra service
+          Aved.Engine.design ~config:(search_config jobs) infra service
             (Model.Requirements.enterprise ~throughput:load
                ~max_annual_downtime:(Duration.of_minutes downtime))
         with
@@ -273,7 +309,9 @@ let explain_cmd =
               models)
   in
   let term =
-    Term.(const run $ infra_file $ service_file $ load_arg $ downtime_arg)
+    Term.(
+      const run $ infra_file $ service_file $ load_arg $ downtime_arg
+      $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -292,7 +330,7 @@ let report_cmd =
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the report to a file.")
   in
-  let run infra_file service_file load downtime job_hours out =
+  let run infra_file service_file load downtime job_hours jobs out =
     handle_spec_errors (fun () ->
         let requirements =
           match (load, downtime, job_hours) with
@@ -307,7 +345,10 @@ let report_cmd =
                 "specify either --load and --downtime, or --job-hours alone"
         in
         let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
-        match Aved.Report.generate infra service requirements with
+        match
+          Aved.Report.generate ~config:(search_config jobs) infra service
+            requirements
+        with
         | None -> print_endline "no feasible design"
         | Some text -> (
             match out with
@@ -321,7 +362,7 @@ let report_cmd =
   let term =
     Term.(
       const run $ infra_file $ service_file $ load_arg $ downtime_arg
-      $ job_hours_arg $ out_arg)
+      $ job_hours_arg $ jobs_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "report"
@@ -412,7 +453,8 @@ let adapt_cmd =
       & info [ "headroom" ] ~docv:"FRACTION"
           ~doc:"Over-provisioning tolerated before scaling down.")
   in
-  let run infra_file service_file tier_name load downtime trace headroom =
+  let run infra_file service_file tier_name load downtime trace headroom jobs
+      =
     handle_spec_errors (fun () ->
         let downtime =
           match downtime with
@@ -437,8 +479,7 @@ let adapt_cmd =
                 ~base:(peak /. 2.) ~peak ()
         in
         let replay =
-          Aved_search.Adaptive.replay Aved_search.Search_config.default infra
-            ~tier
+          Aved_search.Adaptive.replay (search_config jobs) infra ~tier
             ~max_downtime:(Duration.of_minutes downtime)
             ~policy:{ Aved_search.Adaptive.headroom }
             ~trace ()
@@ -461,7 +502,7 @@ let adapt_cmd =
   let term =
     Term.(
       const run $ infra_file $ service_file $ tier_arg $ load_arg
-      $ downtime_arg $ trace_arg $ headroom_arg)
+      $ downtime_arg $ trace_arg $ headroom_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "adapt"

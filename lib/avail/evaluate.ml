@@ -4,14 +4,17 @@ module Loss_window = Aved_reliability.Loss_window
 
 type engine =
   | Analytic
+  | Memoized of Memo.t
   | Exact of { max_states : int }
   | Monte_carlo of Monte_carlo.config
 
 let default_engine = Analytic
+let memoized () = Memoized (Memo.create ())
 
 let tier_downtime_fraction engine model =
   match engine with
   | Analytic -> Analytic.downtime_fraction model
+  | Memoized cache -> Memo.downtime_fraction cache model
   | Exact { max_states } -> Exact.downtime_fraction ~max_states model
   | Monte_carlo config -> Monte_carlo.downtime_fraction ~config model
 
@@ -48,7 +51,7 @@ let analytic_job_time engine (model : Tier_model.t) ~job_size =
 
 let job_completion_time engine model ~job_size =
   match engine with
-  | Analytic | Exact _ -> analytic_job_time engine model ~job_size
+  | Analytic | Memoized _ | Exact _ -> analytic_job_time engine model ~job_size
   | Monte_carlo config ->
       let summary = Monte_carlo.job_completion_times ~config model ~job_size in
       Duration.of_hours summary.Aved_stats.Stats.mean

@@ -7,10 +7,17 @@ module Availability = Aved_reliability.Availability
 
 type engine =
   | Analytic  (** Engine A — used inside the search loop. *)
+  | Memoized of Memo.t
+      (** Engine A behind a shared memo table; bit-identical to
+          [Analytic] (see {!Memo}) but amortizes repeated evaluations
+          of identical resolved tier models across the search. *)
   | Exact of { max_states : int }  (** Engine B — validation. *)
   | Monte_carlo of Monte_carlo.config  (** Engine C — validation. *)
 
 val default_engine : engine
+
+val memoized : unit -> engine
+(** [Memoized] with a fresh cache. *)
 
 val tier_downtime_fraction : engine -> Tier_model.t -> float
 val tier_availability : engine -> Tier_model.t -> Availability.t

@@ -1,0 +1,74 @@
+module Duration = Aved_units.Duration
+module Service = Aved_model.Service
+
+(* The key carries every input Analytic.downtime_fraction reads.
+   tier_name, labels, loss_window and effective_performance do not
+   influence the downtime fraction and are deliberately left out so
+   that designs differing only in those collapse to one entry. *)
+type key = {
+  n_active : int;
+  n_min : int;
+  n_spare : int;
+  tier_scope : bool;
+  classes : (float * float * float * bool) array;
+}
+
+type t = {
+  mutex : Mutex.t;
+  table : (key, float) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 1024;
+    hits = 0;
+    misses = 0;
+  }
+
+let key_of (model : Tier_model.t) =
+  {
+    n_active = model.n_active;
+    n_min = model.n_min;
+    n_spare = model.n_spare;
+    tier_scope =
+      (match model.failure_scope with
+      | Service.Tier_scope -> true
+      | Service.Resource_scope -> false);
+    classes =
+      Array.of_list
+        (List.map
+           (fun (c : Tier_model.failure_class) ->
+             ( c.rate,
+               Duration.seconds c.mttr,
+               Duration.seconds c.failover_time,
+               c.failover_considered ))
+           model.classes);
+  }
+
+let downtime_fraction t model =
+  let key = key_of model in
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table key with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.mutex;
+      v
+  | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.mutex;
+      (* Compute outside the lock: evaluations dominate the search, and
+         recomputing a racing duplicate yields the same pure value. *)
+      let v = Analytic.downtime_fraction model in
+      Mutex.lock t.mutex;
+      if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v;
+      Mutex.unlock t.mutex;
+      v
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = (t.hits, t.misses) in
+  Mutex.unlock t.mutex;
+  s

@@ -1,0 +1,25 @@
+(** A domain-safe memo table for Engine A evaluations.
+
+    The search evaluates the same availability model thousands of times
+    across cost-distinct designs: different mechanism settings (e.g.
+    checkpoint intervals), demands and loads frequently resolve to the
+    same [(n, m, s, failure classes)] tuple, and the figure sweeps
+    re-enumerate the same designs at every load point. The cache keys on
+    exactly the fields {!Analytic.downtime_fraction} reads — the counts,
+    the failure scope, and each class's [(rate, MTTR, failover time,
+    failover considered)] — so a hit is guaranteed to return the very
+    float the uncached computation would produce (the computation is
+    pure), keeping memoized runs bit-identical to unmemoized ones.
+
+    A single [Mutex] guards the table, making one cache shareable by
+    every worker domain of a parallel search. *)
+
+type t
+
+val create : unit -> t
+
+val downtime_fraction : t -> Tier_model.t -> float
+(** [Analytic.downtime_fraction], memoized. *)
+
+val stats : t -> int * int
+(** [(hits, misses)] since creation. *)

@@ -9,14 +9,19 @@ type report = Search.Service_search.report = {
   execution_time : Duration.t option;
 }
 
-let design ?(config = Search.Search_config.default) infra service requirements
-    =
+let design ?(config = Search.Search_config.default) ?jobs infra service
+    requirements =
+  let config =
+    match jobs with
+    | None -> config
+    | Some jobs -> Search.Search_config.with_jobs jobs config
+  in
   Model.Service.validate_against service infra;
   Search.Service_search.design config infra service requirements
 
-let design_from_files ?config ~infra_file ~service_file requirements =
+let design_from_files ?config ?jobs ~infra_file ~service_file requirements =
   let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
-  design ?config infra service requirements
+  design ?config ?jobs infra service requirements
 
 let evaluate_design infra service (d : Model.Design.t) ~demand =
   List.map

@@ -16,14 +16,18 @@ type report = Aved_search.Service_search.report = {
 
 val design :
   ?config:Aved_search.Search_config.t ->
+  ?jobs:int ->
   Aved_model.Infrastructure.t ->
   Aved_model.Service.t ->
   Aved_model.Requirements.t ->
   report option
-(** Minimum-cost design meeting the requirements, or [None]. *)
+(** Minimum-cost design meeting the requirements, or [None]. [jobs]
+    overrides [config.jobs] (number of search domains; the result is
+    bit-identical for every value). *)
 
 val design_from_files :
   ?config:Aved_search.Search_config.t ->
+  ?jobs:int ->
   infra_file:string ->
   service_file:string ->
   Aved_model.Requirements.t ->

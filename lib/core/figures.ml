@@ -2,6 +2,7 @@ module Duration = Aved_units.Duration
 module Money = Aved_units.Money
 module Model = Aved_model
 module Search = Aved_search
+module Pool = Aved_parallel.Pool
 
 type fig6_point = {
   load : float;
@@ -46,22 +47,27 @@ let fig6 ?(config = Search.Search_config.default)
     ?(loads = default_fig6_loads) () =
   let infra = Experiments.infrastructure () in
   let tier = Experiments.application_tier () in
-  List.concat_map
-    (fun load ->
-      let frontier = Search.Tier_search.frontier config infra ~tier ~demand:load in
-      List.map
-        (fun (c : Search.Candidate.t) ->
-          {
-            load;
-            family =
-              Search.Candidate.family c
-                ~n_min_nominal:c.model.Aved_avail.Tier_model.n_min;
-            downtime_minutes = Duration.minutes (Search.Candidate.downtime c);
-            annual_cost = Money.to_float c.cost;
-            n_active = c.design.Model.Design.n_active;
-          })
-        frontier)
-    loads
+  Pool.run ~jobs:config.Search.Search_config.jobs @@ fun pool ->
+  List.concat
+    (Pool.map pool
+       (fun load ->
+         let frontier =
+           Search.Tier_search.frontier ~pool config infra ~tier ~demand:load
+         in
+         List.map
+           (fun (c : Search.Candidate.t) ->
+             {
+               load;
+               family =
+                 Search.Candidate.family c
+                   ~n_min_nominal:c.model.Aved_avail.Tier_model.n_min;
+               downtime_minutes =
+                 Duration.minutes (Search.Candidate.downtime c);
+               annual_cost = Money.to_float c.cost;
+               n_active = c.design.Model.Design.n_active;
+             })
+           frontier)
+       loads)
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 7 *)
@@ -86,28 +92,30 @@ let fig7 ?(config = Experiments.fig7_config)
     ?(requirements_hours = default_fig7_requirements) () =
   let infra = Experiments.infrastructure_bronze () in
   let tier = Experiments.computation_tier () in
-  List.filter_map
-    (fun requirement_hours ->
-      let max_time = Duration.of_hours requirement_hours in
-      match
-        Search.Job_search.optimal config infra ~tier
-          ~job_size:Experiments.scientific_job_size ~max_time
-      with
-      | None -> None
-      | Some c ->
-          let interval, location = checkpoint_choice c.design in
-          Some
-            {
-              requirement_hours;
-              resource = c.design.Model.Design.resource;
-              n_resources = c.design.Model.Design.n_active;
-              n_spares = c.design.Model.Design.n_spare;
-              checkpoint_interval_hours = Duration.hours interval;
-              storage_location = location;
-              predicted_hours = Duration.hours c.execution_time;
-              annual_cost = Money.to_float c.cost;
-            })
-    requirements_hours
+  Pool.run ~jobs:config.Search.Search_config.jobs @@ fun pool ->
+  List.filter_map Fun.id
+  @@ Pool.map pool
+       (fun requirement_hours ->
+         let max_time = Duration.of_hours requirement_hours in
+         match
+           Search.Job_search.optimal ~pool config infra ~tier
+             ~job_size:Experiments.scientific_job_size ~max_time
+         with
+         | None -> None
+         | Some c ->
+             let interval, location = checkpoint_choice c.design in
+             Some
+               {
+                 requirement_hours;
+                 resource = c.design.Model.Design.resource;
+                 n_resources = c.design.Model.Design.n_active;
+                 n_spares = c.design.Model.Design.n_spare;
+                 checkpoint_interval_hours = Duration.hours interval;
+                 storage_location = location;
+                 predicted_hours = Duration.hours c.execution_time;
+                 annual_cost = Money.to_float c.cost;
+               })
+       requirements_hours
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 8 *)
@@ -117,31 +125,37 @@ let fig8 ?(config = Search.Search_config.default)
     ?(downtimes_minutes = default_fig8_downtimes) () =
   let infra = Experiments.infrastructure () in
   let tier = Experiments.application_tier () in
-  List.concat_map
-    (fun load ->
-      let frontier = Search.Tier_search.frontier config infra ~tier ~demand:load in
-      match frontier with
-      | [] -> []
-      | cheapest :: _ ->
-          let baseline = Money.to_float cheapest.Search.Candidate.cost in
-          List.filter_map
-            (fun req_minutes ->
-              let limit = Duration.minutes (Duration.of_minutes req_minutes) in
-              (* Frontier is sorted by increasing cost and decreasing
-                 downtime: the first point within the limit is optimal. *)
-              List.find_opt
-                (fun (c : Search.Candidate.t) ->
-                  Duration.minutes (Search.Candidate.downtime c) <= limit)
-                frontier
-              |> Option.map (fun (c : Search.Candidate.t) ->
-                     {
-                       load;
-                       downtime_requirement_minutes = req_minutes;
-                       extra_annual_cost =
-                         Money.to_float c.cost -. baseline;
-                     }))
-            downtimes_minutes)
-    loads
+  Pool.run ~jobs:config.Search.Search_config.jobs @@ fun pool ->
+  List.concat
+  @@ Pool.map pool
+       (fun load ->
+         let frontier =
+           Search.Tier_search.frontier ~pool config infra ~tier ~demand:load
+         in
+         match frontier with
+         | [] -> []
+         | cheapest :: _ ->
+             let baseline = Money.to_float cheapest.Search.Candidate.cost in
+             List.filter_map
+               (fun req_minutes ->
+                 let limit =
+                   Duration.minutes (Duration.of_minutes req_minutes)
+                 in
+                 (* Frontier is sorted by increasing cost and decreasing
+                    downtime: the first point within the limit is optimal. *)
+                 List.find_opt
+                   (fun (c : Search.Candidate.t) ->
+                     Duration.minutes (Search.Candidate.downtime c) <= limit)
+                   frontier
+                 |> Option.map (fun (c : Search.Candidate.t) ->
+                        {
+                          load;
+                          downtime_requirement_minutes = req_minutes;
+                          extra_annual_cost =
+                            Money.to_float c.cost -. baseline;
+                        }))
+               downtimes_minutes)
+       loads
 
 (* ------------------------------------------------------------------ *)
 (* Printing *)

@@ -94,6 +94,19 @@ let validate_against t infra = List.iter (validate_tier infra) t.tiers
 
 let setting_of td name = List.assoc_opt name td.mechanism_settings
 
+let compare_tier a b =
+  let ( <?> ) c next = if c <> 0 then c else next () in
+  String.compare a.tier_name b.tier_name <?> fun () ->
+  String.compare a.resource b.resource <?> fun () ->
+  Int.compare a.n_active b.n_active <?> fun () ->
+  Int.compare a.n_spare b.n_spare <?> fun () ->
+  List.compare String.compare a.spare_active_components
+    b.spare_active_components
+  <?> fun () ->
+  (* Settings hold strings and durations (floats): structural compare
+     is total on them. *)
+  Stdlib.compare a.mechanism_settings b.mechanism_settings
+
 let tier_cost infra td =
   let resource = Infrastructure.resource_exn infra td.resource in
   let components = Infrastructure.resource_components infra resource in

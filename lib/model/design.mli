@@ -51,6 +51,12 @@ val cost : Infrastructure.t -> t -> Money.t
 val setting_of : tier_design -> string -> Mechanism.setting option
 (** The chosen setting of the named mechanism, if any. *)
 
+val compare_tier : tier_design -> tier_design -> int
+(** A total order on tier designs (structural, by field). The search
+    uses it as the final tie-break after cost and downtime so that
+    parallel and sequential runs select the same design when several
+    candidates are otherwise indistinguishable. *)
+
 val total_resources : tier_design -> int
 val pp_tier : Format.formatter -> tier_design -> unit
 val pp : Format.formatter -> t -> unit

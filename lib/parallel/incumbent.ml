@@ -1,0 +1,8 @@
+type t = float Atomic.t
+
+let create () = Atomic.make Float.infinity
+let get = Atomic.get
+
+let rec propose t c =
+  let current = Atomic.get t in
+  if c < current && not (Atomic.compare_and_set t current c) then propose t c

@@ -1,0 +1,26 @@
+(** A shared best-cost bound for pruning parallel searches.
+
+    The incumbent holds a monotonically decreasing float (the cost of
+    the best feasible design any worker has found so far, [infinity]
+    initially) behind an [Atomic.t] updated with a compare-and-set
+    loop. Workers prune work that cannot beat the bound.
+
+    Determinism contract: because proposals only ever lower the bound
+    and every proposal is the cost of a real feasible design, the bound
+    observed by any worker at any time is an upper bound on the final
+    optimum's cost. Pruning strictly-costlier work against it therefore
+    never removes a potential optimum, whatever the interleaving —
+    searches that keep candidates costing [<=] the bound and break ties
+    with a total order return schedule-independent results. *)
+
+type t
+
+val create : unit -> t
+(** A fresh bound at [infinity]. *)
+
+val get : t -> float
+(** The current bound. *)
+
+val propose : t -> float -> unit
+(** [propose t c] lowers the bound to [c] if [c] is smaller; no-op
+    otherwise. Lock-free. *)

@@ -12,6 +12,14 @@ type t = {
 
 let downtime t = Duration.of_years t.downtime_fraction
 
+let compare_total a b =
+  match Money.compare a.cost b.cost with
+  | 0 -> (
+      match Float.compare a.downtime_fraction b.downtime_fraction with
+      | 0 -> Design.compare_tier a.design b.design
+      | c -> c)
+  | c -> c
+
 let dominates a b =
   Money.(a.cost <= b.cost)
   && a.downtime_fraction <= b.downtime_fraction

@@ -13,6 +13,12 @@ type t = {
 val downtime : t -> Duration.t
 (** Expected annual downtime. *)
 
+val compare_total : t -> t -> int
+(** Cheaper first, then less downtime, then
+    {!Aved_model.Design.compare_tier}. A total order on candidates of
+    distinct designs, so the search optimum does not depend on
+    enumeration (or parallel completion) order. *)
+
 val dominates : t -> t -> bool
 (** [dominates a b]: [a] costs no more and is down no more than [b],
     and improves at least one of the two. *)

@@ -3,6 +3,8 @@ module Money = Aved_units.Money
 module Model = Aved_model
 module Avail = Aved_avail
 module Perf_function = Aved_perf.Perf_function
+module Pool = Aved_parallel.Pool
+module Incumbent = Aved_parallel.Incumbent
 
 type candidate = {
   design : Model.Design.tier_design;
@@ -24,6 +26,19 @@ let evaluate config infra ~option ~job_size design =
     execution_time;
   }
 
+(* The search's total order — lower cost, then faster completion, then
+   {!Model.Design.compare_tier} — so the selected optimum is a function
+   of the candidate set, not of the enumeration schedule. *)
+let compare_total a b =
+  match Money.compare a.cost b.cost with
+  | 0 -> (
+      match Duration.compare a.execution_time b.execution_time with
+      | 0 -> Model.Design.compare_tier a.design b.design
+      | c -> c)
+  | c -> c
+
+let better a b = compare_total a b < 0
+
 (* Failure-free completion time at nominal performance — a lower bound
    on the achievable execution time with [n] resources (slowdowns and
    failures only add to it). *)
@@ -36,15 +51,24 @@ let feasible_n ~option ~job_size ~max_time n =
   | None -> false
   | Some ideal -> Duration.compare ideal max_time <= 0
 
-let enumerate_total config infra ~tier_name
+(* One mechanism-settings combination at one total resource count:
+   every active/spare split (feasibility-prechecked) and spare
+   operational mode. Alongside the candidates, returns the minimum
+   cost over ALL designs of the combination — including those pruned
+   by [cost_cap] — so the caller's stopping rule is independent of the
+   cap (and hence of parallel completion order). Designs failing the
+   failure-free feasibility precheck are not part of the space and do
+   not count. Equal-cost candidates survive the cap so ties can break
+   toward faster completion deterministically. *)
+let eval_settings config infra ~tier_name
     ~(option : Model.Service.resource_option) ~job_size ~max_time ~total
-    ?cost_cap () =
+    ?cost_cap settings =
   let resource = Model.Infrastructure.resource_exn infra option.resource in
-  let all_settings = Tier_search.settings_product infra resource in
   let within_cap cost =
-    match cost_cap with None -> true | Some cap -> Money.(cost < cap)
+    match cost_cap with None -> true | Some cap -> Money.(cost <= cap)
   in
-  let results = ref [] in
+  let candidates = ref [] in
+  let min_cost = ref None in
   List.iter
     (fun n_spare ->
       let n_active = total - n_spare in
@@ -55,56 +79,106 @@ let enumerate_total config infra ~tier_name
       then
         List.iter
           (fun spare_active_components ->
-            List.iter
-              (fun settings ->
-                let design =
-                  Model.Design.tier_design ~tier_name
-                    ~resource:option.resource ~n_active ~n_spare
-                    ~spare_active_components ~mechanism_settings:settings ()
-                in
-                let cost = Model.Design.tier_cost infra design in
-                if within_cap cost then
-                  match evaluate config infra ~option ~job_size design with
-                  | candidate -> results := candidate :: !results
-                  | exception Invalid_argument _ -> ())
-              all_settings)
+            let design =
+              Model.Design.tier_design ~tier_name ~resource:option.resource
+                ~n_active ~n_spare ~spare_active_components
+                ~mechanism_settings:settings ()
+            in
+            let cost = Model.Design.tier_cost infra design in
+            (min_cost :=
+               match !min_cost with
+               | None -> Some cost
+               | Some m -> Some (Money.min m cost));
+            if within_cap cost then
+              match evaluate config infra ~option ~job_size design with
+              | candidate -> candidates := candidate :: !candidates
+              | exception Invalid_argument _ -> ())
           (if n_spare = 0 || not config.Search_config.explore_spare_modes then
              [ [] ]
            else Model.Resource.downward_closed_subsets resource))
     (List.init (Stdlib.min config.Search_config.max_spares total + 1) Fun.id);
-  List.rev !results
+  (List.rev !candidates, !min_cost)
 
-(* Prefer lower cost, then faster completion. *)
-let better a b =
-  match Money.compare a.cost b.cost with
-  | 0 -> Duration.compare a.execution_time b.execution_time < 0
-  | c -> c < 0
+(* All designs of one option at one total. The mechanism-settings grid
+   is the dominant fan-out of the job search (e.g. the checkpoint
+   interval × storage-location grid of the paper's scientific example),
+   so that is the dimension fanned out over the pool; the merge is by
+   settings index, keeping the candidate order deterministic. *)
+let enumerate_and_min ?pool config infra ~tier_name
+    ~(option : Model.Service.resource_option) ~job_size ~max_time ~total
+    ?cost_cap () =
+  let resource = Model.Infrastructure.resource_exn infra option.resource in
+  let all_settings = Tier_search.settings_product infra resource in
+  let eval settings =
+    eval_settings config infra ~tier_name ~option ~job_size ~max_time ~total
+      ?cost_cap settings
+  in
+  let per_settings =
+    match pool with
+    | Some pool when Pool.jobs pool > 1 && List.length all_settings > 1 ->
+        Pool.map pool eval all_settings
+    | Some _ | None -> List.map eval all_settings
+  in
+  let candidates = List.concat_map fst per_settings in
+  let min_cost =
+    List.fold_left
+      (fun acc (_, m) ->
+        match (acc, m) with
+        | None, m | m, None -> m
+        | Some a, Some b -> Some (Money.min a b))
+      None per_settings
+  in
+  (candidates, min_cost)
+
+let enumerate_total ?pool config infra ~tier_name ~option ~job_size ~max_time
+    ~total ?cost_cap () =
+  fst
+    (enumerate_and_min ?pool config infra ~tier_name ~option ~job_size
+       ~max_time ~total ?cost_cap ())
 
 let start_total ~(option : Model.Service.resource_option) ~job_size ~max_time =
   List.find_opt
     (fun n -> feasible_n ~option ~job_size ~max_time n)
     (Model.Int_range.to_list option.n_active)
 
-let search_option config infra ~tier_name ~option ~job_size ~max_time
-    ~incumbent =
+let option_limit config (option : Model.Service.resource_option) =
+  Stdlib.min config.Search_config.max_total_resources
+    (Model.Int_range.max_value option.n_active
+   + config.Search_config.max_spares)
+
+(* Branch-local search of one resource option; mirrors
+   {!Tier_search.search_option}. The [shared] incumbent only tightens
+   the evaluation cap below the branch-local best — it skips
+   availability evaluations that provably cannot win, without touching
+   the branch's stopping logic. *)
+let search_option ?pool ?shared config infra ~tier_name ~option ~job_size
+    ~max_time () =
   match start_total ~option ~job_size ~max_time with
-  | None -> incumbent
+  | None -> None
   | Some start ->
-      let limit =
-        Stdlib.min config.Search_config.max_total_resources
-          (Model.Int_range.max_value option.Model.Service.n_active
-          + config.Search_config.max_spares)
-      in
-      let best = ref incumbent in
+      let limit = option_limit config option in
+      let best = ref None in
       let previous_best_time = ref Float.infinity in
       let degradations = ref 0 in
       let stop = ref false in
       let total = ref start in
       while (not !stop) && !total <= limit do
-        let cost_cap = Option.map (fun c -> c.cost) !best in
-        let candidates =
-          enumerate_total config infra ~tier_name ~option ~job_size ~max_time
-            ~total:!total ?cost_cap ()
+        let cost_cap =
+          match !best with
+          | None -> None
+          | Some b ->
+              let cap = b.cost in
+              Some
+                (match shared with
+                | Some inc ->
+                    let bound = Incumbent.get inc in
+                    if bound < Money.to_float cap then Money.of_float bound
+                    else cap
+                | None -> cap)
+        in
+        let candidates, min_cost_all =
+          enumerate_and_min ?pool config infra ~tier_name ~option ~job_size
+            ~max_time ~total:!total ?cost_cap ()
         in
         let feasible =
           List.filter
@@ -115,18 +189,17 @@ let search_option config infra ~tier_name ~option ~job_size ~max_time
           (fun c ->
             match !best with
             | Some b when not (better c b) -> ()
-            | Some _ | None -> best := Some c)
+            | Some _ | None ->
+                best := Some c;
+                Option.iter
+                  (fun inc -> Incumbent.propose inc (Money.to_float c.cost))
+                  shared)
           feasible;
         (match !best with
-        | Some b ->
-            let min_cost_here =
-              List.fold_left
-                (fun acc c -> Money.min acc c.cost)
-                (Money.of_float Float.max_float)
-                candidates
-            in
-            if candidates = [] || Money.(b.cost <= min_cost_here) then
-              stop := true
+        | Some b -> (
+            match min_cost_all with
+            | None -> stop := true
+            | Some m -> if Money.(b.cost <= m) then stop := true)
         | None ->
             let best_time_here =
               List.fold_left
@@ -144,25 +217,40 @@ let search_option config infra ~tier_name ~option ~job_size ~max_time
       done;
       !best
 
-let optimal config infra ~(tier : Model.Service.tier) ~job_size ~max_time =
-  List.fold_left
-    (fun incumbent option ->
-      search_option config infra ~tier_name:tier.tier_name ~option ~job_size
-        ~max_time ~incumbent)
-    None tier.options
+let with_pool ?pool config f =
+  match pool with
+  | Some pool -> f pool
+  | None -> Pool.run ~jobs:config.Search_config.jobs f
 
-let frontier config infra ~(tier : Model.Service.tier) ~job_size ~max_time =
-  let candidates =
+let merge_best results =
+  List.fold_left
+    (fun acc r ->
+      match (acc, r) with
+      | None, r | r, None -> r
+      | Some a, Some b -> if better b a then Some b else Some a)
+    None results
+
+let optimal ?pool config infra ~(tier : Model.Service.tier) ~job_size
+    ~max_time =
+  with_pool ?pool config @@ fun pool ->
+  let shared = Incumbent.create () in
+  merge_best
+    (Pool.map pool
+       (fun option ->
+         search_option ~pool ~shared config infra ~tier_name:tier.tier_name
+           ~option ~job_size ~max_time ())
+       tier.options)
+
+let frontier ?pool config infra ~(tier : Model.Service.tier) ~job_size
+    ~max_time =
+  with_pool ?pool config @@ fun pool ->
+  let tasks =
     List.concat_map
       (fun (option : Model.Service.resource_option) ->
         match start_total ~option ~job_size ~max_time with
         | None -> []
         | Some start ->
-            let limit =
-              Stdlib.min config.Search_config.max_total_resources
-                (Model.Int_range.max_value option.n_active
-                + config.Search_config.max_spares)
-            in
+            let limit = option_limit config option in
             let limit =
               (* The frontier sweep is bounded like the optimal search:
                  a window of extras beyond the first feasible count. *)
@@ -170,26 +258,25 @@ let frontier config infra ~(tier : Model.Service.tier) ~job_size ~max_time =
                 (start + config.Search_config.max_extra_resources
                + config.Search_config.max_spares)
             in
-            List.concat_map
-              (fun total ->
-                enumerate_total config infra ~tier_name:tier.tier_name ~option
-                  ~job_size ~max_time ~total ())
-              (List.init (Stdlib.max 0 (limit - start + 1)) (fun i -> start + i)))
+            List.init
+              (Stdlib.max 0 (limit - start + 1))
+              (fun i -> (option, start + i)))
       tier.options
+  in
+  let candidates =
+    List.concat
+      (Pool.map pool
+         (fun ((option : Model.Service.resource_option), total) ->
+           enumerate_total config infra ~tier_name:tier.tier_name ~option
+             ~job_size ~max_time ~total ())
+         tasks)
   in
   let feasible =
     List.filter
       (fun c -> Duration.compare c.execution_time max_time <= 0)
       candidates
   in
-  let sorted =
-    List.sort
-      (fun a b ->
-        match Money.compare a.cost b.cost with
-        | 0 -> Duration.compare a.execution_time b.execution_time
-        | c -> c)
-      feasible
-  in
+  let sorted = List.sort compare_total feasible in
   let rec scan best_time acc = function
     | [] -> List.rev acc
     | c :: rest ->

@@ -5,7 +5,14 @@
     spare modes, and mechanism parameters — for the paper's scientific
     example: the checkpoint interval and the checkpoint storage
     location. Counts below the failure-free feasibility threshold are
-    skipped without evaluation. *)
+    skipped without evaluation.
+
+    With [config.jobs > 1] the resource options and the
+    mechanism-settings grid are searched on a domain pool; results are
+    bit-identical to the sequential search (candidates are ranked
+    under a total order — cost, execution time, then
+    {!Aved_model.Design.compare_tier} — and cross-branch pruning uses
+    only sound cost bounds). *)
 
 module Duration = Aved_units.Duration
 module Money = Aved_units.Money
@@ -27,6 +34,7 @@ val evaluate :
 (** Evaluate one resolved design. *)
 
 val optimal :
+  ?pool:Aved_parallel.Pool.t ->
   Search_config.t ->
   Aved_model.Infrastructure.t ->
   tier:Aved_model.Service.tier ->
@@ -37,6 +45,7 @@ val optimal :
     (ties broken toward faster completion), or [None]. *)
 
 val frontier :
+  ?pool:Aved_parallel.Pool.t ->
   Search_config.t ->
   Aved_model.Infrastructure.t ->
   tier:Aved_model.Service.tier ->

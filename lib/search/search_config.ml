@@ -4,6 +4,7 @@ type t = {
   max_spares : int;
   max_total_resources : int;
   explore_spare_modes : bool;
+  jobs : int;
 }
 
 let default =
@@ -13,6 +14,18 @@ let default =
     max_spares = 3;
     max_total_resources = 2000;
     explore_spare_modes = false;
+    jobs = 1;
   }
 
 let with_engine engine t = { t with engine }
+
+let with_jobs jobs t =
+  if jobs < 1 then invalid_arg "Search_config.with_jobs: jobs must be >= 1";
+  { t with jobs }
+
+let with_memo t =
+  match t.engine with
+  | Aved_avail.Evaluate.Analytic -> { t with engine = Aved_avail.Evaluate.memoized () }
+  | Aved_avail.Evaluate.Memoized _ | Aved_avail.Evaluate.Exact _
+  | Aved_avail.Evaluate.Monte_carlo _ ->
+      t

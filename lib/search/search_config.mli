@@ -12,10 +12,23 @@ type t = {
       (** When false, spares are all-inactive (the paper's application
           tier example); when true, every downward-closed set of
           spare-active components is explored. *)
+  jobs : int;
+      (** Domains the search may use ([>= 1]). The parallel path is
+          bit-identical to [jobs = 1]: candidates are merged under a
+          total order (cost, then downtime or execution time, then
+          {!Aved_model.Design.compare_tier}) and the shared incumbent
+          only prunes work that provably cannot win. *)
 }
 
 val default : t
 (** Analytic engine, up to 8 extra resources, 3 spares, 2000 total,
-    all-inactive spares. *)
+    all-inactive spares, 1 job. *)
 
 val with_engine : Aved_avail.Evaluate.engine -> t -> t
+
+val with_jobs : int -> t -> t
+(** Raises [Invalid_argument] when [jobs < 1]. *)
+
+val with_memo : t -> t
+(** Swaps an [Analytic] engine for [Memoized] with a fresh cache
+    (no-op for the other engines). *)

@@ -1,6 +1,8 @@
 module Duration = Aved_units.Duration
 module Money = Aved_units.Money
 module Model = Aved_model
+module Pool = Aved_parallel.Pool
+module Incumbent = Aved_parallel.Incumbent
 
 type tier_outcome = {
   candidate : Candidate.t;
@@ -35,66 +37,112 @@ let enterprise_report ~service_name candidates =
     execution_time = None;
   }
 
+(* A combination is identified by its index path through the frontier
+   arrays. The total order (cost, then lexicographic path) makes the
+   selected combination independent of exploration schedule: equal-cost
+   combinations always resolve to the smallest path. *)
+let combo_better (cost_a, path_a, _) (cost_b, path_b, _) =
+  match Money.compare cost_a cost_b with
+  | 0 -> List.compare Int.compare path_a path_b < 0
+  | c -> c < 0
+
 (* Exact minimum-cost selection of one frontier point per tier subject
    to the series downtime budget. Frontiers are sorted by increasing
    cost (hence decreasing downtime), which gives two prunes: partial
-   cost against the incumbent, and infeasibility even with the
-   lowest-downtime (last) points of the remaining tiers. *)
-let combine_frontiers frontiers ~budget_fraction =
-  let arrays = List.map Array.of_list frontiers in
-  let min_downtimes =
-    (* For each suffix of tiers, the product of (1 - best downtime). *)
-    let rec suffixes = function
-      | [] -> [ 1. ]
-      | (frontier : Candidate.t array) :: rest ->
-          let tail = suffixes rest in
-          let best =
-            Array.fold_left
-              (fun acc c -> Float.min acc c.Candidate.downtime_fraction)
-              Float.infinity frontier
-          in
-          (match tail with
-          | best_rest :: _ -> ((1. -. best) *. best_rest) :: tail
-          | [] -> assert false)
+   cost against the incumbent (local best, tightened by the [shared]
+   cost of the best combination found by any branch — equal cost is
+   never pruned, so tie-breaking stays deterministic), and
+   infeasibility even with the lowest-downtime points of the remaining
+   tiers. The top-level fan-out is over the first tier's frontier
+   points; each branch explores depth-first and the branch results are
+   merged under {!combo_better}. *)
+let combine_frontiers ?pool frontiers ~budget_fraction =
+  let arrays = Array.of_list (List.map Array.of_list frontiers) in
+  let n = Array.length arrays in
+  (* min_downtimes.(i): over tiers i.. , the product of
+     (1 - best achievable downtime). *)
+  let min_downtimes = Array.make (n + 1) 1. in
+  for i = n - 1 downto 0 do
+    let best =
+      Array.fold_left
+        (fun acc (c : Candidate.t) -> Float.min acc c.Candidate.downtime_fraction)
+        Float.infinity arrays.(i)
     in
-    Array.of_list (suffixes arrays)
-  in
-  let best : (Money.t * Candidate.t list) option ref = ref None in
-  let rec explore idx chosen cost_so_far up_so_far remaining =
-    match remaining with
-    | [] ->
-        if 1. -. up_so_far <= budget_fraction then begin
-          match !best with
-          | Some (best_cost, _) when Money.(best_cost <= cost_so_far) -> ()
-          | Some _ | None -> best := Some (cost_so_far, List.rev chosen)
-        end
-    | (frontier : Candidate.t array) :: rest ->
-        Array.iter
-          (fun (c : Candidate.t) ->
-            let cost = Money.add cost_so_far c.cost in
-            let cost_ok =
-              match !best with
-              | Some (best_cost, _) -> Money.(cost < best_cost)
-              | None -> true
+    min_downtimes.(i) <- (1. -. best) *. min_downtimes.(i + 1)
+  done;
+  if n = 0 then if 0. <= budget_fraction then Some [] else None
+  else begin
+    let shared = Incumbent.create () in
+    let explore_from first_idx =
+      let best = ref None in
+      let rec explore idx chosen_rev path_rev cost_so_far up_so_far =
+        if idx = n then begin
+          if 1. -. up_so_far <= budget_fraction then begin
+            let entry =
+              (cost_so_far, List.rev path_rev, List.rev chosen_rev)
             in
-            let up = up_so_far *. (1. -. c.downtime_fraction) in
-            (* Even with the best remaining tiers, can the budget hold? *)
-            let attainable = up *. min_downtimes.(idx + 1) in
-            if cost_ok && 1. -. attainable <= budget_fraction then
-              explore (idx + 1) (c :: chosen) cost up rest)
-          frontier
-  in
-  explore 0 [] Money.zero 1. arrays;
-  Option.map snd !best
+            match !best with
+            | Some b when not (combo_better entry b) -> ()
+            | Some _ | None ->
+                best := Some entry;
+                Incumbent.propose shared (Money.to_float cost_so_far)
+          end
+        end
+        else
+          Array.iteri
+            (fun i (c : Candidate.t) ->
+              let cost = Money.add cost_so_far c.cost in
+              let bound =
+                Float.min
+                  (match !best with
+                  | Some (bc, _, _) -> Money.to_float bc
+                  | None -> Float.infinity)
+                  (Incumbent.get shared)
+              in
+              let up = up_so_far *. (1. -. c.downtime_fraction) in
+              (* Even with the best remaining tiers, can the budget
+                 hold? *)
+              let attainable = up *. min_downtimes.(idx + 1) in
+              if
+                Money.to_float cost <= bound
+                && 1. -. attainable <= budget_fraction
+              then explore (idx + 1) (c :: chosen_rev) (i :: path_rev) cost up)
+            arrays.(idx)
+      in
+      let c = arrays.(0).(first_idx) in
+      let up = 1. -. c.Candidate.downtime_fraction in
+      if 1. -. (up *. min_downtimes.(1)) <= budget_fraction then
+        explore 1 [ c ] [ first_idx ] c.Candidate.cost up;
+      !best
+    in
+    let tasks = List.init (Array.length arrays.(0)) Fun.id in
+    let results =
+      match pool with
+      | Some pool when Pool.jobs pool > 1 -> Pool.map pool explore_from tasks
+      | Some _ | None -> List.map explore_from tasks
+    in
+    List.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | None, r | r, None -> r
+        | Some a, Some b -> if combo_better b a then Some b else Some a)
+      None results
+    |> Option.map (fun (_, _, chosen) -> chosen)
+  end
 
-let enterprise_design config infra (service : Model.Service.t) ~throughput
-    ~max_annual_downtime =
+let enterprise_design ?pool config infra (service : Model.Service.t)
+    ~throughput ~max_annual_downtime =
   let budget_fraction = Duration.years max_annual_downtime in
+  let run f l =
+    match pool with
+    | Some pool when Pool.jobs pool > 1 -> Pool.map pool f l
+    | Some _ | None -> List.map f l
+  in
   (* Phase 1: each tier in isolation against the full requirement. *)
   let isolated =
-    List.map
+    run
       (fun tier ->
-        Tier_search.optimal config infra ~tier ~demand:throughput
+        Tier_search.optimal ?pool config infra ~tier ~demand:throughput
           ~max_downtime:max_annual_downtime)
       service.tiers
   in
@@ -105,23 +153,25 @@ let enterprise_design config infra (service : Model.Service.t) ~throughput
     else begin
       (* Phase 2: refine with per-tier frontiers and exact combination. *)
       let frontiers =
-        List.map
-          (fun tier -> Tier_search.frontier config infra ~tier ~demand:throughput)
+        run
+          (fun tier ->
+            Tier_search.frontier ?pool config infra ~tier ~demand:throughput)
           service.tiers
       in
       if List.exists (fun f -> f = []) frontiers then None
       else
-        combine_frontiers frontiers ~budget_fraction
+        combine_frontiers ?pool frontiers ~budget_fraction
         |> Option.map
              (enterprise_report ~service_name:service.service_name)
     end
   end
   else None
 
-let job_design config infra (service : Model.Service.t) ~job_size ~max_time =
+let job_design ?pool config infra (service : Model.Service.t) ~job_size
+    ~max_time =
   match service.tiers with
   | [ tier ] ->
-      Job_search.optimal config infra ~tier ~job_size ~max_time
+      Job_search.optimal ?pool config infra ~tier ~job_size ~max_time
       |> Option.map (fun (c : Job_search.candidate) ->
              {
                design =
@@ -138,11 +188,14 @@ let job_design config infra (service : Model.Service.t) ~job_size ~max_time =
            service.service_name)
 
 let design config infra (service : Model.Service.t) requirements =
+  Pool.run ~jobs:config.Search_config.jobs @@ fun pool ->
   match (requirements, service.job_size) with
   | Model.Requirements.Enterprise { throughput; max_annual_downtime }, None ->
-      enterprise_design config infra service ~throughput ~max_annual_downtime
+      enterprise_design ~pool config infra service ~throughput
+        ~max_annual_downtime
   | Model.Requirements.Finite_job { max_execution_time }, Some job_size ->
-      job_design config infra service ~job_size ~max_time:max_execution_time
+      job_design ~pool config infra service ~job_size
+        ~max_time:max_execution_time
   | Model.Requirements.Enterprise _, Some _ ->
       invalid_arg
         "Service_search: enterprise requirements for a finite job service"

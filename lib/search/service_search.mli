@@ -7,7 +7,15 @@
     computed and the exact minimum-cost combination whose series
     downtime fits the budget is selected — a deterministic realization
     of the paper's "incrementally more aggressive per-tier
-    requirements" refinement. *)
+    requirements" refinement.
+
+    All phases run on one domain pool of [config.jobs] domains: tier
+    searches fan out over tiers (and within them over options and
+    mechanism settings), and the frontier combination fans out over the
+    first tier's frontier points. Results are bit-identical to
+    [jobs = 1]: combinations are ranked by cost then lexicographic
+    frontier-index path, and the shared cost incumbent never prunes an
+    equal-cost combination. *)
 
 module Duration = Aved_units.Duration
 module Money = Aved_units.Money

@@ -2,6 +2,8 @@ module Duration = Aved_units.Duration
 module Money = Aved_units.Money
 module Model = Aved_model
 module Avail = Aved_avail
+module Pool = Aved_parallel.Pool
+module Incumbent = Aved_parallel.Incumbent
 
 let settings_product infra resource =
   let mechanisms = Model.Infrastructure.resource_mechanisms infra resource in
@@ -37,48 +39,92 @@ let evaluate config infra ~option ~demand design =
     downtime_fraction;
   }
 
-let enumerate_total config infra ~tier_name
+(* One mechanism-settings combination at one total resource count:
+   every (active/spare split, spare operational mode) design. Returns
+   the evaluated candidates (in enumeration order) together with the
+   minimum cost over ALL designs of the combination — including those
+   pruned by [cost_cap] or rejected by the model builder — so that the
+   caller's stopping rule does not depend on how much work the cap
+   happened to save (a prerequisite for schedule-independent parallel
+   search). Candidates costing more than [cost_cap] are skipped without
+   availability evaluation; equal cost is kept so ties can be broken
+   toward lower downtime deterministically. *)
+let eval_settings config infra ~tier_name
+    ~(option : Model.Service.resource_option) ~demand ~total ?cost_cap
+    settings =
+  let within_cap cost =
+    match cost_cap with None -> true | Some cap -> Money.(cost <= cap)
+  in
+  match Avail.Tier_model.minimum_actives ~option ~settings ~demand with
+  | None -> ([], None)
+  | Some n_min ->
+      let candidates = ref [] in
+      let min_cost = ref None in
+      let n_values =
+        List.filter
+          (fun n ->
+            n >= n_min && n <= total
+            && n - n_min <= config.Search_config.max_extra_resources
+            && total - n <= config.Search_config.max_spares)
+          (Model.Int_range.to_list option.n_active)
+      in
+      List.iter
+        (fun n_active ->
+          let n_spare = total - n_active in
+          List.iter
+            (fun spare_active_components ->
+              let design =
+                Model.Design.tier_design ~tier_name
+                  ~resource:option.resource ~n_active ~n_spare
+                  ~spare_active_components ~mechanism_settings:settings ()
+              in
+              let cost = Model.Design.tier_cost infra design in
+              (min_cost :=
+                 match !min_cost with
+                 | None -> Some cost
+                 | Some m -> Some (Money.min m cost));
+              if within_cap cost then
+                match evaluate config infra ~option ~demand design with
+                | candidate -> candidates := candidate :: !candidates
+                | exception Invalid_argument _ -> ())
+            (spare_mode_choices config infra option.resource ~n_spare))
+        n_values;
+      (List.rev !candidates, !min_cost)
+
+(* All designs of one option at one total, fanned out over the
+   mechanism-settings combinations when a pool is given. The merge is
+   by settings index, so the candidate list is identical to the
+   sequential enumeration. *)
+let enumerate_and_min ?pool config infra ~tier_name
     ~(option : Model.Service.resource_option) ~demand ~total ?cost_cap () =
   let resource = Model.Infrastructure.resource_exn infra option.resource in
   let all_settings = settings_product infra resource in
-  let within_cap cost =
-    match cost_cap with None -> true | Some cap -> Money.(cost < cap)
+  let eval settings =
+    eval_settings config infra ~tier_name ~option ~demand ~total ?cost_cap
+      settings
   in
-  List.concat_map
-    (fun settings ->
-      match
-        Avail.Tier_model.minimum_actives ~option ~settings ~demand
-      with
-      | None -> []
-      | Some n_min ->
-          let candidates = ref [] in
-          let n_values =
-            List.filter
-              (fun n ->
-                n >= n_min && n <= total
-                && n - n_min <= config.Search_config.max_extra_resources
-                && total - n <= config.Search_config.max_spares)
-              (Model.Int_range.to_list option.n_active)
-          in
-          List.iter
-            (fun n_active ->
-              let n_spare = total - n_active in
-              List.iter
-                (fun spare_active_components ->
-                  let design =
-                    Model.Design.tier_design ~tier_name
-                      ~resource:option.resource ~n_active ~n_spare
-                      ~spare_active_components ~mechanism_settings:settings ()
-                  in
-                  let cost = Model.Design.tier_cost infra design in
-                  if within_cap cost then
-                    match evaluate config infra ~option ~demand design with
-                    | candidate -> candidates := candidate :: !candidates
-                    | exception Invalid_argument _ -> ())
-                (spare_mode_choices config infra option.resource ~n_spare))
-            n_values;
-          List.rev !candidates)
-    all_settings
+  let per_settings =
+    match pool with
+    | Some pool when Pool.jobs pool > 1 && List.length all_settings > 1 ->
+        Pool.map pool eval all_settings
+    | Some _ | None -> List.map eval all_settings
+  in
+  let candidates = List.concat_map fst per_settings in
+  let min_cost =
+    List.fold_left
+      (fun acc (_, m) ->
+        match (acc, m) with
+        | None, m | m, None -> m
+        | Some a, Some b -> Some (Money.min a b))
+      None per_settings
+  in
+  (candidates, min_cost)
+
+let enumerate_total config infra ~tier_name
+    ~(option : Model.Service.resource_option) ~demand ~total ?cost_cap () =
+  fst
+    (enumerate_and_min config infra ~tier_name ~option ~demand ~total
+       ?cost_cap ())
 
 let option_minimum ~option ~settings ~demand =
   List.filter_map
@@ -88,37 +134,59 @@ let option_minimum ~option ~settings ~demand =
   | [] -> None
   | mins -> Some (List.fold_left Stdlib.min max_int mins)
 
-(* [better a b]: prefer lower cost, then lower downtime. *)
+(* [better a b]: the search's total order — lower cost, then lower
+   downtime, then {!Model.Design.compare_tier}. Being total (never
+   "equal" for distinct designs) makes the selected optimum a function
+   of the candidate *set*, not of the enumeration schedule. *)
 let better (a : Candidate.t) (b : Candidate.t) =
-  match Money.compare a.cost b.cost with
-  | 0 -> a.downtime_fraction < b.downtime_fraction
-  | c -> c < 0
+  Candidate.compare_total a b < 0
 
 let max_total_for config start =
   Stdlib.min config.Search_config.max_total_resources
     (start + config.Search_config.max_extra_resources
    + config.Search_config.max_spares)
 
-let search_option config infra ~tier_name
-    ~(option : Model.Service.resource_option) ~demand ~max_downtime ~incumbent
-    =
+(* Search one resource option. The incumbent logic is branch-local —
+   growing the total count, pruning evaluation against the local best,
+   stopping when even the cheapest design at the current count cannot
+   beat it — so a branch's control flow never depends on what other
+   branches found. The [shared] incumbent (the cost of the best
+   feasible design found by ANY option so far) only tightens the
+   evaluation cap once a local best exists: it skips availability
+   evaluations that provably cannot produce the global optimum, and
+   skipping them changes neither this branch's stopping points nor the
+   merged result (see Aved_parallel.Incumbent). *)
+let search_option ?pool ?shared config infra ~tier_name
+    ~(option : Model.Service.resource_option) ~demand ~max_downtime () =
   let resource = Model.Infrastructure.resource_exn infra option.resource in
   let all_settings = settings_product infra resource in
   match option_minimum ~option ~settings:all_settings ~demand with
-  | None -> incumbent
+  | None -> None
   | Some start ->
       let limit = max_total_for config start in
       let max_downtime_fraction = Duration.years max_downtime in
-      let best = ref incumbent in
+      let best = ref None in
       let previous_best_downtime = ref Float.infinity in
       let degradations = ref 0 in
       let stop = ref false in
       let total = ref start in
       while (not !stop) && !total <= limit do
-        let cost_cap = Option.map (fun c -> c.Candidate.cost) !best in
-        let candidates =
-          enumerate_total config infra ~tier_name ~option ~demand ~total:!total
-            ?cost_cap ()
+        let cost_cap =
+          match !best with
+          | None -> None
+          | Some b ->
+              let cap = b.Candidate.cost in
+              Some
+                (match shared with
+                | Some inc ->
+                    let bound = Incumbent.get inc in
+                    if bound < Money.to_float cap then Money.of_float bound
+                    else cap
+                | None -> cap)
+        in
+        let candidates, min_cost_all =
+          enumerate_and_min ?pool config infra ~tier_name ~option ~demand
+            ~total:!total ?cost_cap ()
         in
         let feasible =
           List.filter
@@ -129,21 +197,21 @@ let search_option config infra ~tier_name
           (fun c ->
             match !best with
             | Some b when not (better c b) -> ()
-            | Some _ | None -> best := Some c)
+            | Some _ | None ->
+                best := Some c;
+                Option.iter
+                  (fun inc ->
+                    Incumbent.propose inc (Money.to_float c.Candidate.cost))
+                  shared)
           feasible;
         (match !best with
-        | Some b ->
-            (* All designs with more resources cost strictly more than the
-               cheapest at this count; stop once even the cheapest cannot
-               beat the incumbent. *)
-            let min_cost_here =
-              List.fold_left
-                (fun acc c -> Money.min acc c.Candidate.cost)
-                (Money.of_float Float.max_float)
-                candidates
-            in
-            if candidates = [] || Money.(b.Candidate.cost <= min_cost_here)
-            then stop := true
+        | Some b -> (
+            (* All designs with more resources cost strictly more than
+               the cheapest at this count; stop once even the cheapest
+               possible design cannot beat the incumbent. *)
+            match min_cost_all with
+            | None -> stop := true
+            | Some m -> if Money.(b.Candidate.cost <= m) then stop := true)
         | None ->
             (* No feasible design yet: give up when adding resources no
                longer improves the best achievable downtime. *)
@@ -162,15 +230,33 @@ let search_option config infra ~tier_name
       done;
       !best
 
-let optimal config infra ~(tier : Model.Service.tier) ~demand ~max_downtime =
-  List.fold_left
-    (fun incumbent option ->
-      search_option config infra ~tier_name:tier.tier_name ~option ~demand
-        ~max_downtime ~incumbent)
-    None tier.options
+let with_pool ?pool config f =
+  match pool with
+  | Some pool -> f pool
+  | None -> Pool.run ~jobs:config.Search_config.jobs f
 
-let frontier config infra ~(tier : Model.Service.tier) ~demand =
-  let candidates =
+let merge_best results =
+  List.fold_left
+    (fun acc r ->
+      match (acc, r) with
+      | None, r | r, None -> r
+      | Some a, Some b -> if better b a then Some b else Some a)
+    None results
+
+let optimal ?pool config infra ~(tier : Model.Service.tier) ~demand
+    ~max_downtime =
+  with_pool ?pool config @@ fun pool ->
+  let shared = Incumbent.create () in
+  merge_best
+    (Pool.map pool
+       (fun option ->
+         search_option ~pool ~shared config infra ~tier_name:tier.tier_name
+           ~option ~demand ~max_downtime ())
+       tier.options)
+
+let frontier ?pool config infra ~(tier : Model.Service.tier) ~demand =
+  with_pool ?pool config @@ fun pool ->
+  let tasks =
     List.concat_map
       (fun (option : Model.Service.resource_option) ->
         let resource =
@@ -181,11 +267,14 @@ let frontier config infra ~(tier : Model.Service.tier) ~demand =
         | None -> []
         | Some start ->
             let limit = max_total_for config start in
-            List.concat_map
-              (fun total ->
-                enumerate_total config infra ~tier_name:tier.tier_name ~option
-                  ~demand ~total ())
-              (List.init (limit - start + 1) (fun i -> start + i)))
+            List.init (limit - start + 1) (fun i -> (option, start + i)))
       tier.options
   in
-  Candidate.pareto candidates
+  let results =
+    Pool.map pool
+      (fun (option, total) ->
+        enumerate_total config infra ~tier_name:tier.tier_name ~option
+          ~demand ~total ())
+      tasks
+  in
+  Candidate.pareto (List.concat results)

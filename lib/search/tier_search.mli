@@ -6,11 +6,18 @@
     At each count it enumerates every split into active and spare
     resources, every spare operational-mode assignment, and every
     availability-mechanism configuration; costs are evaluated first and
-    designs costlier than the incumbent are rejected without evaluating
-    availability. The search for an option stops when every design at
-    the current count costs at least as much as the incumbent, or — when
-    no feasible design has been found — once growing the count stops
-    improving the best achievable downtime. *)
+    designs strictly costlier than the incumbent are rejected without
+    evaluating availability. The search for an option stops when every
+    design at the current count costs at least as much as the
+    incumbent, or — when no feasible design has been found — once
+    growing the count stops improving the best achievable downtime.
+
+    With [config.jobs > 1] the resource options (and, within an
+    option, the mechanism-settings combinations) are searched on a
+    domain pool; the result is bit-identical to the sequential search
+    because candidates are ranked under the total order
+    {!Candidate.compare_total} and cross-branch pruning uses only
+    sound cost bounds (see {!Aved_parallel.Incumbent}). *)
 
 module Duration = Aved_units.Duration
 module Money = Aved_units.Money
@@ -33,9 +40,10 @@ val enumerate_total :
   unit ->
   Candidate.t list
 (** All evaluated candidates for one resource option using exactly
-    [total] resources. Designs whose cost is >= [cost_cap] are skipped
-    without availability evaluation. Respects the config caps
-    (spares, extras, spare modes). *)
+    [total] resources. Designs whose cost exceeds [cost_cap] are
+    skipped without availability evaluation (equal cost is kept, so
+    ties can still resolve toward lower downtime). Respects the config
+    caps (spares, extras, spare modes). *)
 
 val option_minimum :
   option:Aved_model.Service.resource_option ->
@@ -46,6 +54,7 @@ val option_minimum :
     under at least one mechanism configuration. *)
 
 val optimal :
+  ?pool:Aved_parallel.Pool.t ->
   Search_config.t ->
   Aved_model.Infrastructure.t ->
   tier:Aved_model.Service.tier ->
@@ -53,9 +62,12 @@ val optimal :
   max_downtime:Duration.t ->
   Candidate.t option
 (** The minimum-cost design of the tier meeting both requirements
-    (ties broken toward lower downtime), or [None]. *)
+    (ties broken toward lower downtime, then
+    {!Aved_model.Design.compare_tier}), or [None]. Runs on [pool] when
+    given, otherwise on a fresh pool of [config.jobs] domains. *)
 
 val frontier :
+  ?pool:Aved_parallel.Pool.t ->
   Search_config.t ->
   Aved_model.Infrastructure.t ->
   tier:Aved_model.Service.tier ->
@@ -63,4 +75,6 @@ val frontier :
   Candidate.t list
 (** The (cost, downtime) Pareto frontier of the tier at the given
     demand, over all options, counts within the config caps, splits,
-    spare modes and mechanism settings. Sorted by increasing cost. *)
+    spare modes and mechanism settings. Sorted by increasing cost.
+    Runs on [pool] when given, otherwise on a fresh pool of
+    [config.jobs] domains. *)

@@ -1,0 +1,345 @@
+(* The multicore search layer: work-pool semantics, shared-incumbent
+   behavior, memoized evaluation, and — the load-bearing contract —
+   bit-identical search results at any [jobs] setting. *)
+
+module Duration = Aved_units.Duration
+module Money = Aved_units.Money
+module Pool = Aved_parallel.Pool
+module Incumbent = Aved_parallel.Incumbent
+module Search_config = Aved_search.Search_config
+module Candidate = Aved_search.Candidate
+module Tier_search = Aved_search.Tier_search
+module Job_search = Aved_search.Job_search
+module Service_search = Aved_search.Service_search
+open Aved_model
+
+let infra () = Aved.Experiments.infrastructure ()
+let app_tier () = Aved.Experiments.application_tier ()
+
+(* ------------------------------------------------------------------ *)
+(* Pool semantics *)
+
+let test_map_preserves_order () =
+  Pool.run ~jobs:4 @@ fun pool ->
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "results in submission order"
+    (List.map (fun x -> x * x) xs)
+    (Pool.map pool (fun x -> x * x) xs)
+
+let test_map_sequential_fallback () =
+  Pool.run ~jobs:1 @@ fun pool ->
+  Alcotest.(check int) "jobs" 1 (Pool.jobs pool);
+  Alcotest.(check (list int))
+    "plain map" [ 2; 4; 6 ]
+    (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_map_empty_and_singleton () =
+  Pool.run ~jobs:3 @@ fun pool ->
+  Alcotest.(check (list int)) "empty" [] (Pool.map pool Fun.id []);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (Pool.map pool Fun.id [ 7 ])
+
+let test_nested_maps () =
+  (* Tasks submitting sub-tasks to the same pool must not deadlock:
+     workers (and the caller) run queued work while waiting. *)
+  Pool.run ~jobs:4 @@ fun pool ->
+  let rows =
+    Pool.map pool
+      (fun i -> Pool.map pool (fun j -> (10 * i) + j) [ 0; 1; 2 ])
+      (List.init 8 Fun.id)
+  in
+  Alcotest.(check (list (list int)))
+    "nested results"
+    (List.init 8 (fun i -> List.map (fun j -> (10 * i) + j) [ 0; 1; 2 ]))
+    rows
+
+let test_exception_propagates () =
+  Pool.run ~jobs:4 @@ fun pool ->
+  match
+    Pool.map pool
+      (fun x -> if x mod 3 = 0 then failwith (string_of_int x) else x)
+      (List.init 10 succ)
+  with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg ->
+      (* The smallest-index failure wins, regardless of schedule. *)
+      Alcotest.(check string) "first failing task" "3" msg
+
+let test_pool_reusable_after_exception () =
+  Pool.run ~jobs:2 @@ fun pool ->
+  (try ignore (Pool.map pool (fun () -> failwith "boom") [ () ])
+   with Failure _ -> ());
+  Alcotest.(check (list int))
+    "pool still works" [ 1; 2 ]
+    (Pool.map pool Fun.id [ 1; 2 ])
+
+let test_stress_many_small_tasks () =
+  Pool.run ~jobs:4 @@ fun pool ->
+  let n = 5000 in
+  let total =
+    List.fold_left ( + ) 0 (Pool.map pool Fun.id (List.init n Fun.id))
+  in
+  Alcotest.(check int) "sum" (n * (n - 1) / 2) total
+
+let test_incumbent_monotone () =
+  let inc = Incumbent.create () in
+  Alcotest.(check bool) "starts at infinity" true (Incumbent.get inc = infinity);
+  Incumbent.propose inc 10.;
+  Incumbent.propose inc 12.;
+  Alcotest.(check (float 0.)) "keeps the minimum" 10. (Incumbent.get inc);
+  Incumbent.propose inc 7.;
+  Alcotest.(check (float 0.)) "improves" 7. (Incumbent.get inc)
+
+(* ------------------------------------------------------------------ *)
+(* Memoized evaluation *)
+
+let gen_small_model =
+  let open QCheck2.Gen in
+  let* n = int_range 1 4 in
+  let* s = int_range 0 2 in
+  let* m = int_range 1 n in
+  let* tier_scope = bool in
+  let* class_count = int_range 1 2 in
+  let* raw =
+    list_repeat class_count
+      (triple (float_range 2. 800.) (float_range 0.05 48.)
+         (float_range 0.5 30.))
+  in
+  let classes =
+    List.mapi
+      (fun i (mtbf_days, mttr_hours, failover_minutes) ->
+        let mttr = Duration.of_hours mttr_hours in
+        let failover = Duration.of_minutes failover_minutes in
+        {
+          Aved_avail.Tier_model.label = Printf.sprintf "c%d" i;
+          rate = 1. /. Duration.seconds (Duration.of_days mtbf_days);
+          mttr;
+          failover_time = failover;
+          failover_considered = s > 0 && Duration.compare mttr failover > 0;
+        })
+      raw
+  in
+  return
+    {
+      Aved_avail.Tier_model.tier_name = "memo";
+      n_active = n;
+      n_min = (if tier_scope then n else m);
+      n_spare = s;
+      failure_scope =
+        (if tier_scope then Service.Tier_scope else Service.Resource_scope);
+      classes;
+      loss_window = None;
+      effective_performance = 100.;
+    }
+
+let test_memo_equals_uncached () =
+  let models =
+    QCheck2.Gen.generate ~rand:(Random.State.make [| 2026 |]) ~n:1000
+      gen_small_model
+  in
+  let cache = Aved_avail.Memo.create () in
+  List.iter
+    (fun m ->
+      let direct = Aved_avail.Analytic.downtime_fraction m in
+      let cached = Aved_avail.Memo.downtime_fraction cache m in
+      if cached <> direct then
+        Alcotest.failf "memo %.17e <> direct %.17e" cached direct)
+    models
+
+let test_memo_hits () =
+  let cache = Aved_avail.Memo.create () in
+  let m =
+    QCheck2.Gen.generate1 ~rand:(Random.State.make [| 7 |]) gen_small_model
+  in
+  ignore (Aved_avail.Memo.downtime_fraction cache m);
+  ignore (Aved_avail.Memo.downtime_fraction cache m);
+  (* The key ignores labels: a renamed model must still hit. *)
+  ignore
+    (Aved_avail.Memo.downtime_fraction cache
+       { m with Aved_avail.Tier_model.tier_name = "renamed" });
+  let hits, misses = Aved_avail.Memo.stats cache in
+  Alcotest.(check int) "misses" 1 misses;
+  Alcotest.(check int) "hits" 2 hits
+
+let test_memoized_engine_in_search () =
+  let plain = Search_config.default in
+  let memo = Search_config.with_memo Search_config.default in
+  let a =
+    Tier_search.optimal plain (infra ()) ~tier:(app_tier ()) ~demand:1000.
+      ~max_downtime:(Duration.of_minutes 100.)
+  in
+  let b =
+    Tier_search.optimal memo (infra ()) ~tier:(app_tier ()) ~demand:1000.
+      ~max_downtime:(Duration.of_minutes 100.)
+  in
+  match (a, b) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "same design" true
+        (Design.compare_tier a.Candidate.design b.Candidate.design = 0);
+      Alcotest.(check (float 0.))
+        "same downtime" a.Candidate.downtime_fraction
+        b.Candidate.downtime_fraction
+  | _ -> Alcotest.fail "searches disagree on feasibility"
+
+(* ------------------------------------------------------------------ *)
+(* jobs=1 vs jobs=4 determinism *)
+
+let config_with_jobs jobs = Search_config.with_jobs jobs Search_config.default
+
+let check_candidate_equal what (a : Candidate.t) (b : Candidate.t) =
+  Alcotest.(check bool)
+    (what ^ ": same design")
+    true
+    (Design.compare_tier a.design b.design = 0);
+  Alcotest.(check (float 0.))
+    (what ^ ": same cost")
+    (Money.to_float a.cost) (Money.to_float b.cost);
+  Alcotest.(check (float 0.))
+    (what ^ ": same downtime")
+    a.downtime_fraction b.downtime_fraction
+
+let test_tier_optimal_deterministic () =
+  List.iter
+    (fun demand ->
+      let run jobs =
+        Tier_search.optimal (config_with_jobs jobs) (infra ())
+          ~tier:(app_tier ()) ~demand
+          ~max_downtime:(Duration.of_minutes 100.)
+      in
+      match (run 1, run 4) with
+      | Some a, Some b ->
+          check_candidate_equal (Printf.sprintf "demand %g" demand) a b
+      | None, None -> ()
+      | _ -> Alcotest.failf "feasibility differs at demand %g" demand)
+    [ 400.; 1000.; 2600. ]
+
+let test_tier_frontier_deterministic () =
+  List.iter
+    (fun demand ->
+      let run jobs =
+        Tier_search.frontier (config_with_jobs jobs) (infra ())
+          ~tier:(app_tier ()) ~demand
+      in
+      let a = run 1 and b = run 4 in
+      Alcotest.(check int)
+        (Printf.sprintf "frontier size at %g" demand)
+        (List.length a) (List.length b);
+      List.iter2
+        (check_candidate_equal (Printf.sprintf "frontier point at %g" demand))
+        a b)
+    [ 400.; 1000. ]
+
+let test_job_optimal_deterministic () =
+  let infra = Aved.Experiments.infrastructure_bronze () in
+  let tier = Aved.Experiments.computation_tier () in
+  List.iter
+    (fun hours ->
+      let run jobs =
+        Job_search.optimal
+          (Search_config.with_jobs jobs Aved.Experiments.fig7_config)
+          infra ~tier ~job_size:Aved.Experiments.scientific_job_size
+          ~max_time:(Duration.of_hours hours)
+      in
+      match (run 1, run 4) with
+      | Some a, Some b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "same design at %gh" hours)
+            true
+            (Design.compare_tier a.Job_search.design b.Job_search.design = 0);
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "same cost at %gh" hours)
+            (Money.to_float a.Job_search.cost)
+            (Money.to_float b.Job_search.cost);
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "same time at %gh" hours)
+            (Duration.seconds a.Job_search.execution_time)
+            (Duration.seconds b.Job_search.execution_time)
+      | None, None -> ()
+      | _ -> Alcotest.failf "feasibility differs at %gh" hours)
+    [ 24.; 100. ]
+
+let test_service_design_deterministic () =
+  let infra = infra () in
+  let service = Aved.Experiments.ecommerce () in
+  let requirements =
+    Requirements.enterprise ~throughput:1000.
+      ~max_annual_downtime:(Duration.of_minutes 100.)
+  in
+  let run jobs =
+    Service_search.design (config_with_jobs jobs) infra service requirements
+  in
+  match (run 1, run 4) with
+  | Some a, Some b ->
+      Alcotest.(check (float 0.))
+        "same cost"
+        (Money.to_float a.Service_search.cost)
+        (Money.to_float b.Service_search.cost);
+      List.iter2
+        (fun ta tb ->
+          Alcotest.(check bool) "same tier design" true
+            (Design.compare_tier ta tb = 0))
+        a.Service_search.design.Design.tiers
+        b.Service_search.design.Design.tiers
+  | None, None -> Alcotest.fail "scenario unexpectedly infeasible"
+  | _ -> Alcotest.fail "feasibility differs"
+
+let test_fig6_subset_deterministic () =
+  let run jobs =
+    Aved.Figures.fig6
+      ~config:(config_with_jobs jobs)
+      ~loads:[ 600.; 1400. ] ()
+  in
+  let a = run 1 and b = run 4 in
+  Alcotest.(check int) "same point count" (List.length a) (List.length b);
+  List.iter2
+    (fun (p : Aved.Figures.fig6_point) (q : Aved.Figures.fig6_point) ->
+      Alcotest.(check string) "family" p.family q.family;
+      Alcotest.(check (float 0.)) "downtime" p.downtime_minutes
+        q.downtime_minutes;
+      Alcotest.(check (float 0.)) "cost" p.annual_cost q.annual_cost)
+    a b
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick
+            test_map_preserves_order;
+          Alcotest.test_case "jobs=1 falls back to plain map" `Quick
+            test_map_sequential_fallback;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_map_empty_and_singleton;
+          Alcotest.test_case "nested maps do not deadlock" `Quick
+            test_nested_maps;
+          Alcotest.test_case "exceptions propagate deterministically" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "pool usable after an exception" `Quick
+            test_pool_reusable_after_exception;
+          Alcotest.test_case "many small tasks" `Quick
+            test_stress_many_small_tasks;
+          Alcotest.test_case "incumbent keeps the minimum" `Quick
+            test_incumbent_monotone;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "memoized equals uncached on 1000 random models"
+            `Quick test_memo_equals_uncached;
+          Alcotest.test_case "cache hits ignore labels" `Quick test_memo_hits;
+          Alcotest.test_case "memoized engine reproduces the search" `Quick
+            test_memoized_engine_in_search;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "tier optimal: jobs 1 = jobs 4" `Quick
+            test_tier_optimal_deterministic;
+          Alcotest.test_case "tier frontier: jobs 1 = jobs 4" `Quick
+            test_tier_frontier_deterministic;
+          Alcotest.test_case "job optimal: jobs 1 = jobs 4" `Quick
+            test_job_optimal_deterministic;
+          Alcotest.test_case "service design: jobs 1 = jobs 4" `Quick
+            test_service_design_deterministic;
+          Alcotest.test_case "fig6 subset: jobs 1 = jobs 4" `Quick
+            test_fig6_subset_deterministic;
+        ] );
+    ]
