@@ -5,13 +5,84 @@
    Run with: dune exec bench/main.exe
    Skip the timing pass with: dune exec bench/main.exe -- --no-timing
    Print only one artifact:
-     dune exec bench/main.exe -- table1|fig6|fig7|fig8|ablations|speedup *)
+     dune exec bench/main.exe -- table1|fig6|fig7|fig8|ablations|speedup
+   Write the machine-readable search benchmark (BENCH_search.json):
+     dune exec bench/main.exe -- json *)
 
 module Duration = Aved_units.Duration
 module Search = Aved_search
+module Telemetry = Aved_telemetry.Telemetry
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable search benchmark (dune exec bench/main.exe -- json)
+
+   One telemetry-instrumented run per figure kernel, written to
+   BENCH_search.json for CI artifact upload and regression tracking. *)
+
+let json_search_benchmark () =
+  let jobs = Domain.recommended_domain_count () in
+  let config =
+    Search.Search_config.default
+    |> Search.Search_config.with_jobs jobs
+    |> Search.Search_config.with_memo
+  in
+  let measure name f =
+    let t = Telemetry.create () in
+    Telemetry.install t;
+    let t0 = Unix.gettimeofday () in
+    let () = Fun.protect ~finally:Telemetry.uninstall f in
+    let wall = Unix.gettimeofday () -. t0 in
+    let counter n = Telemetry.Counter.read_by_name t n in
+    let generated = counter "search.candidates.generated" in
+    let evaluated = counter "search.candidates.evaluated" in
+    let pruned = counter "search.candidates.pruned_by_incumbent" in
+    let hits = counter "avail.memo.hits" in
+    let misses = counter "avail.memo.misses" in
+    let lookups = hits + misses in
+    (name, wall, generated, evaluated, pruned, hits, misses, lookups)
+  in
+  let rows =
+    [
+      measure "fig6" (fun () -> ignore (Aved.Figures.fig6 ~config ()));
+      measure "fig7" (fun () ->
+          ignore
+            (Aved.Figures.fig7
+               ~config:
+                 (Search.Search_config.with_memo
+                    (Search.Search_config.with_jobs jobs
+                       Aved.Experiments.fig7_config))
+               ()));
+      measure "fig8" (fun () -> ignore (Aved.Figures.fig8 ~config ()));
+    ]
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf "  \"figures\": [\n";
+  List.iteri
+    (fun i (name, wall, generated, evaluated, pruned, hits, misses, lookups) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"wall_seconds\": %.6f, \
+            \"candidates_generated\": %d, \"candidates_evaluated\": %d, \
+            \"candidates_pruned\": %d, \"candidates_per_second\": %.1f, \
+            \"memo_hits\": %d, \"memo_misses\": %d, \
+            \"memo_hit_rate\": %.4f}%s\n"
+           name wall generated evaluated pruned
+           (float_of_int evaluated /. Float.max 1e-9 wall)
+           hits misses
+           (float_of_int hits /. Float.max 1. (float_of_int lookups))
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let path = "BENCH_search.json" in
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Reproduction series *)
@@ -432,6 +503,8 @@ let () =
   let timing = not (List.mem "--no-timing" args) in
   let only = List.filter (fun a -> a <> "--no-timing") args in
   let want name = only = [] || List.mem name only in
+  if List.mem "json" only then json_search_benchmark ()
+  else begin
   if want "table1" then print_table1 ();
   if want "fig6" then print_fig6 ();
   if want "fig7" then print_fig7 ();
@@ -441,3 +514,4 @@ let () =
   if timing && only = [] then (
     run_parallel_speedup ();
     run_timing ())
+  end

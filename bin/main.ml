@@ -4,10 +4,15 @@
 open Cmdliner
 module Duration = Aved_units.Duration
 module Model = Aved_model
+module Telemetry = Aved_telemetry.Telemetry
 
+(* Run a command body, mapping user-facing errors (bad arguments, bad
+   specification files) to exit status 1 with a one-line message on
+   stderr. The body returns its own exit status so commands can signal
+   failure without exceptions too. *)
 let handle_spec_errors f =
   match f () with
-  | () -> 0
+  | code -> code
   | exception Failure message ->
       prerr_endline message;
       1
@@ -51,22 +56,55 @@ let jobs_arg =
     "Number of domains the search may use (defaults to the runtime's \
      recommended domain count). The result is identical for every value."
   in
-  let positive_int =
-    let parse s =
-      match Arg.conv_parser Arg.int s with
-      | Ok n when n >= 1 -> Ok n
-      | Ok n -> Error (`Msg (Printf.sprintf "%d is not a positive integer" n))
-      | Error _ as e -> e
-    in
-    Arg.conv (parse, Arg.conv_printer Arg.int)
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~doc ~docv:"N")
+
+let stats_arg =
+  let doc =
+    "Print a telemetry summary (search counters, engine latency histograms, \
+     span totals) to stderr after the command finishes."
   in
-  Arg.(value & opt (some positive_int) None & info [ "jobs"; "j" ] ~doc ~docv:"N")
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let trace_file_arg =
+  let doc =
+    "Record span timings and write them to $(docv) as Chrome trace-event \
+     JSON (load in chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+(* Install a recording registry around a command body when --stats or
+   --trace asks for one. With both flags absent no registry exists, so
+   every instrumentation point in the libraries stays on its disabled
+   one-branch path and output is byte-identical to an uninstrumented
+   build. *)
+let with_telemetry ?(stats = false) ?trace f =
+  if (not stats) && trace = None then f ()
+  else begin
+    let t = Telemetry.create () in
+    Telemetry.install t;
+    let code = Fun.protect ~finally:(fun () -> Telemetry.uninstall ()) f in
+    if stats then Telemetry.pp_summary Format.err_formatter t;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Telemetry.write_chrome_trace t oc;
+        close_out oc;
+        Printf.eprintf "wrote trace to %s\n%!" path)
+      trace;
+    code
+  end
 
 (* Search configuration of every command: the requested parallelism plus
-   the memoized analytic engine. *)
+   the memoized analytic engine. Validated here rather than in the
+   cmdliner converter so every command reports bad values the same way
+   (exit 1, one line on stderr). *)
 let search_config ?(base = Aved_search.Search_config.default) jobs =
   let jobs =
-    match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
+    match jobs with
+    | Some j when j < 1 ->
+        failwith (Printf.sprintf "--jobs must be a positive integer (got %d)" j)
+    | Some j -> j
+    | None -> Domain.recommended_domain_count ()
   in
   base
   |> Aved_search.Search_config.with_jobs jobs
@@ -76,7 +114,7 @@ let search_config ?(base = Aved_search.Search_config.default) jobs =
 (* aved design *)
 
 let design_cmd =
-  let run infra_file service_file load downtime job_hours jobs =
+  let run infra_file service_file load downtime job_hours jobs stats trace =
     handle_spec_errors (fun () ->
         let requirements =
           match (load, downtime, job_hours) with
@@ -90,21 +128,26 @@ let design_cmd =
               failwith
                 "specify either --load and --downtime, or --job-hours alone"
         in
+        let config = search_config jobs in
+        with_telemetry ~stats ?trace @@ fun () ->
         match
-          Aved.Engine.design_from_files ~config:(search_config jobs)
-            ~infra_file ~service_file requirements
+          Aved.Engine.design_from_files ~config ~infra_file ~service_file
+            requirements
         with
-        | Some report -> Format.printf "%a@." Aved.Engine.pp_report report
+        | Some report ->
+            Format.printf "%a@." Aved.Engine.pp_report report;
+            0
         | None ->
             Format.printf
               "no feasible design: the design space holds no configuration \
                meeting %a@."
-              Model.Requirements.pp requirements)
+              Model.Requirements.pp requirements;
+            0)
   in
   let term =
     Term.(
       const run $ infra_file $ service_file $ load_arg $ downtime_arg
-      $ job_hours_arg $ jobs_arg)
+      $ job_hours_arg $ jobs_arg $ stats_arg $ trace_file_arg)
   in
   Cmd.v
     (Cmd.info "design"
@@ -117,7 +160,7 @@ let design_cmd =
 (* aved frontier *)
 
 let frontier_cmd =
-  let run infra_file service_file tier_name load jobs =
+  let run infra_file service_file tier_name load jobs stats trace =
     handle_spec_errors (fun () ->
         let load =
           match load with Some l -> l | None -> failwith "--load is required"
@@ -131,9 +174,10 @@ let frontier_cmd =
               | None -> failwith (Printf.sprintf "no tier %S" name))
           | None -> List.hd service.Model.Service.tiers
         in
+        let config = search_config jobs in
+        with_telemetry ~stats ?trace @@ fun () ->
         let frontier =
-          Aved_search.Tier_search.frontier (search_config jobs) infra ~tier
-            ~demand:load
+          Aved_search.Tier_search.frontier config infra ~tier ~demand:load
         in
         Format.printf
           "cost-availability frontier of tier %s at load %g (%d designs):@."
@@ -145,11 +189,13 @@ let frontier_cmd =
                  ~n_min_nominal:c.model.Aved_avail.Tier_model.n_min)
               (Duration.minutes (Aved_search.Candidate.downtime c))
               (Aved_units.Money.to_string c.cost))
-          frontier)
+          frontier;
+        0)
   in
   let term =
     Term.(
-      const run $ infra_file $ service_file $ tier_arg $ load_arg $ jobs_arg)
+      const run $ infra_file $ service_file $ tier_arg $ load_arg $ jobs_arg
+      $ stats_arg $ trace_file_arg)
   in
   Cmd.v
     (Cmd.info "frontier"
@@ -160,45 +206,52 @@ let frontier_cmd =
 (* Figure commands (built-in paper scenarios) *)
 
 let fig6_cmd =
-  let run jobs =
-    Aved.Figures.print_fig6 Format.std_formatter
-      (Aved.Figures.fig6 ~config:(search_config jobs) ());
-    0
+  let run jobs stats trace =
+    handle_spec_errors (fun () ->
+        let config = search_config jobs in
+        with_telemetry ~stats ?trace @@ fun () ->
+        Aved.Figures.print_fig6 Format.std_formatter
+          (Aved.Figures.fig6 ~config ());
+        0)
   in
   Cmd.v
     (Cmd.info "fig6"
        ~doc:
          "Regenerate paper Fig. 6: optimal application-tier design families \
           over load and downtime requirements.")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ stats_arg $ trace_file_arg)
 
 let fig7_cmd =
-  let run jobs =
-    Aved.Figures.print_fig7 Format.std_formatter
-      (Aved.Figures.fig7
-         ~config:(search_config ~base:Aved.Experiments.fig7_config jobs)
-         ());
-    0
+  let run jobs stats trace =
+    handle_spec_errors (fun () ->
+        let config = search_config ~base:Aved.Experiments.fig7_config jobs in
+        with_telemetry ~stats ?trace @@ fun () ->
+        Aved.Figures.print_fig7 Format.std_formatter
+          (Aved.Figures.fig7 ~config ());
+        0)
   in
   Cmd.v
     (Cmd.info "fig7"
        ~doc:
          "Regenerate paper Fig. 7: optimal scientific-application design vs \
           execution-time requirement.")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ stats_arg $ trace_file_arg)
 
 let fig8_cmd =
-  let run jobs =
-    Aved.Figures.print_fig8 Format.std_formatter
-      (Aved.Figures.fig8 ~config:(search_config jobs) ());
-    0
+  let run jobs stats trace =
+    handle_spec_errors (fun () ->
+        let config = search_config jobs in
+        with_telemetry ~stats ?trace @@ fun () ->
+        Aved.Figures.print_fig8 Format.std_formatter
+          (Aved.Figures.fig8 ~config ());
+        0)
   in
   Cmd.v
     (Cmd.info "fig8"
        ~doc:
          "Regenerate paper Fig. 8: extra annual cost of availability vs \
           downtime requirement.")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ stats_arg $ trace_file_arg)
 
 let table1_cmd =
   let run () =
@@ -213,17 +266,17 @@ let table1_cmd =
 (* aved validate: cross-engine agreement on the built-in scenario *)
 
 let validate_cmd =
-  let run jobs =
+  let run jobs stats trace =
+    handle_spec_errors @@ fun () ->
+    let config = search_config jobs in
+    with_telemetry ~stats ?trace @@ fun () ->
     let infra = Aved.Experiments.infrastructure () in
     let service = Aved.Experiments.ecommerce () in
     let requirements =
       Model.Requirements.enterprise ~throughput:1000.
         ~max_annual_downtime:(Duration.of_minutes 100.)
     in
-    match
-      Aved.Engine.design ~config:(search_config jobs) infra service
-        requirements
-    with
+    match Aved.Engine.design ~config infra service requirements with
     | None ->
         prerr_endline "validation scenario unexpectedly infeasible";
         1
@@ -266,13 +319,13 @@ let validate_cmd =
        ~doc:
          "Design the built-in e-commerce scenario and cross-check the three \
           availability engines on the result.")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ stats_arg $ trace_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* aved explain: per-failure-class downtime attribution *)
 
 let explain_cmd =
-  let run infra_file service_file load downtime jobs =
+  let run infra_file service_file load downtime jobs stats trace =
     handle_spec_errors (fun () ->
         let load, downtime =
           match (load, downtime) with
@@ -280,12 +333,16 @@ let explain_cmd =
           | _ -> failwith "--load and --downtime are required"
         in
         let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
+        let config = search_config jobs in
+        with_telemetry ~stats ?trace @@ fun () ->
         match
-          Aved.Engine.design ~config:(search_config jobs) infra service
+          Aved.Engine.design ~config infra service
             (Model.Requirements.enterprise ~throughput:load
                ~max_annual_downtime:(Duration.of_minutes downtime))
         with
-        | None -> print_endline "no feasible design"
+        | None ->
+            print_endline "no feasible design";
+            0
         | Some report ->
             Format.printf "%a@." Aved.Engine.pp_report report;
             let models =
@@ -306,12 +363,13 @@ let explain_cmd =
                     Format.printf "  %-24s %10.3f@." label
                       (Duration.minutes (Duration.of_years fraction)))
                   breakdown)
-              models)
+              models;
+            0)
   in
   let term =
     Term.(
       const run $ infra_file $ service_file $ load_arg $ downtime_arg
-      $ jobs_arg)
+      $ jobs_arg $ stats_arg $ trace_file_arg)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -330,7 +388,8 @@ let report_cmd =
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the report to a file.")
   in
-  let run infra_file service_file load downtime job_hours jobs out =
+  let run infra_file service_file load downtime job_hours jobs out stats trace
+      =
     handle_spec_errors (fun () ->
         let requirements =
           match (load, downtime, job_hours) with
@@ -345,24 +404,26 @@ let report_cmd =
                 "specify either --load and --downtime, or --job-hours alone"
         in
         let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
-        match
-          Aved.Report.generate ~config:(search_config jobs) infra service
-            requirements
-        with
-        | None -> print_endline "no feasible design"
-        | Some text -> (
-            match out with
+        let config = search_config jobs in
+        with_telemetry ~stats ?trace @@ fun () ->
+        match Aved.Report.generate ~config infra service requirements with
+        | None ->
+            print_endline "no feasible design";
+            0
+        | Some text ->
+            (match out with
             | None -> print_string text
             | Some path ->
                 let oc = open_out path in
                 output_string oc text;
                 close_out oc;
-                Printf.printf "wrote %s\n" path))
+                Printf.printf "wrote %s\n" path);
+            0)
   in
   let term =
     Term.(
       const run $ infra_file $ service_file $ load_arg $ downtime_arg
-      $ job_hours_arg $ jobs_arg $ out_arg)
+      $ job_hours_arg $ jobs_arg $ out_arg $ stats_arg $ trace_file_arg)
   in
   Cmd.v
     (Cmd.info "report"
@@ -376,7 +437,9 @@ let report_cmd =
 (* aved ablate: distribution-shape sensitivity via simulation *)
 
 let ablate_cmd =
-  let run () =
+  let run stats trace =
+    handle_spec_errors @@ fun () ->
+    with_telemetry ~stats ?trace @@ fun () ->
     let infra = Aved.Experiments.infrastructure () in
     let service = Aved.Experiments.ecommerce () in
     match
@@ -432,7 +495,7 @@ let ablate_cmd =
          "Simulate the designed e-commerce scenario under non-exponential \
           failure and repair distributions (mean-preserving) and compare \
           downtime.")
-    Term.(const run $ const ())
+    Term.(const run $ stats_arg $ trace_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* aved adapt: replay a load trace through the adaptive controller *)
@@ -453,8 +516,10 @@ let adapt_cmd =
       & info [ "headroom" ] ~docv:"FRACTION"
           ~doc:"Over-provisioning tolerated before scaling down.")
   in
+  (* [--trace] already names the load-trace CSV here, so adapt exposes
+     only [--stats]; use another command for span traces. *)
   let run infra_file service_file tier_name load downtime trace headroom jobs
-      =
+      stats =
     handle_spec_errors (fun () ->
         let downtime =
           match downtime with
@@ -478,8 +543,10 @@ let adapt_cmd =
               Aved_search.Load_trace.diurnal ~days:3 ~samples_per_day:12
                 ~base:(peak /. 2.) ~peak ()
         in
+        let config = search_config jobs in
+        with_telemetry ~stats @@ fun () ->
         let replay =
-          Aved_search.Adaptive.replay (search_config jobs) infra ~tier
+          Aved_search.Adaptive.replay config infra ~tier
             ~max_downtime:(Duration.of_minutes downtime)
             ~policy:{ Aved_search.Adaptive.headroom }
             ~trace ()
@@ -497,12 +564,13 @@ let adapt_cmd =
         Format.printf
           "@.%d redesigns after the initial one; time-weighted cost %s/yr@."
           replay.redesigns
-          (Aved_units.Money.to_string replay.average_cost))
+          (Aved_units.Money.to_string replay.average_cost);
+        0)
   in
   let term =
     Term.(
       const run $ infra_file $ service_file $ tier_arg $ load_arg
-      $ downtime_arg $ trace_arg $ headroom_arg $ jobs_arg)
+      $ downtime_arg $ trace_arg $ headroom_arg $ jobs_arg $ stats_arg)
   in
   Cmd.v
     (Cmd.info "adapt"

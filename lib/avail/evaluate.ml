@@ -1,6 +1,7 @@
 module Duration = Aved_units.Duration
 module Availability = Aved_reliability.Availability
 module Loss_window = Aved_reliability.Loss_window
+module Telemetry = Aved_telemetry.Telemetry
 
 type engine =
   | Analytic
@@ -11,12 +12,50 @@ type engine =
 let default_engine = Analytic
 let memoized () = Memoized (Memo.create ())
 
+(* Per-engine invocation counters and solve-latency histograms. The
+   disabled path pays one branch and stays allocation-free. *)
+let analytic_calls = Telemetry.Counter.make "avail.engine.analytic.calls"
+let analytic_seconds = Telemetry.Histogram.make "avail.engine.analytic.seconds"
+let memoized_calls = Telemetry.Counter.make "avail.engine.memoized.calls"
+let memoized_seconds = Telemetry.Histogram.make "avail.engine.memoized.seconds"
+let exact_calls = Telemetry.Counter.make "avail.engine.exact.calls"
+let exact_seconds = Telemetry.Histogram.make "avail.engine.exact.seconds"
+let exact_states = Telemetry.Histogram.make "avail.engine.exact.states"
+let mc_calls = Telemetry.Counter.make "avail.engine.monte_carlo.calls"
+let mc_seconds = Telemetry.Histogram.make "avail.engine.monte_carlo.seconds"
+
 let tier_downtime_fraction engine model =
   match engine with
-  | Analytic -> Analytic.downtime_fraction model
-  | Memoized cache -> Memo.downtime_fraction cache model
-  | Exact { max_states } -> Exact.downtime_fraction ~max_states model
-  | Monte_carlo config -> Monte_carlo.downtime_fraction ~config model
+  | Analytic ->
+      if Telemetry.enabled () then begin
+        Telemetry.Counter.incr analytic_calls;
+        Telemetry.Histogram.time analytic_seconds (fun () ->
+            Analytic.downtime_fraction model)
+      end
+      else Analytic.downtime_fraction model
+  | Memoized cache ->
+      if Telemetry.enabled () then begin
+        Telemetry.Counter.incr memoized_calls;
+        Telemetry.Histogram.time memoized_seconds (fun () ->
+            Memo.downtime_fraction cache model)
+      end
+      else Memo.downtime_fraction cache model
+  | Exact { max_states } ->
+      if Telemetry.enabled () then begin
+        Telemetry.Counter.incr exact_calls;
+        Telemetry.Histogram.observe exact_states
+          (float_of_int (Exact.num_states model));
+        Telemetry.Histogram.time exact_seconds (fun () ->
+            Exact.downtime_fraction ~max_states model)
+      end
+      else Exact.downtime_fraction ~max_states model
+  | Monte_carlo config ->
+      if Telemetry.enabled () then begin
+        Telemetry.Counter.incr mc_calls;
+        Telemetry.Histogram.time mc_seconds (fun () ->
+            Monte_carlo.downtime_fraction ~config model)
+      end
+      else Monte_carlo.downtime_fraction ~config model
 
 let tier_availability engine model =
   Availability.of_fraction (1. -. tier_downtime_fraction engine model)

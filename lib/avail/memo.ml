@@ -1,5 +1,9 @@
 module Duration = Aved_units.Duration
 module Service = Aved_model.Service
+module Telemetry = Aved_telemetry.Telemetry
+
+let memo_hits = Telemetry.Counter.make "avail.memo.hits"
+let memo_misses = Telemetry.Counter.make "avail.memo.misses"
 
 (* The key carries every input Analytic.downtime_fraction reads.
    tier_name, labels, loss_window and effective_performance do not
@@ -55,10 +59,12 @@ let downtime_fraction t model =
   | Some v ->
       t.hits <- t.hits + 1;
       Mutex.unlock t.mutex;
+      Telemetry.Counter.incr memo_hits;
       v
   | None ->
       t.misses <- t.misses + 1;
       Mutex.unlock t.mutex;
+      Telemetry.Counter.incr memo_misses;
       (* Compute outside the lock: evaluations dominate the search, and
          recomputing a racing duplicate yields the same pure value. *)
       let v = Analytic.downtime_fraction model in

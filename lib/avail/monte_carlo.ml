@@ -166,7 +166,12 @@ let run st ~stop ~continue =
       | None -> assert false
   done
 
+let replications_counter =
+  Aved_telemetry.Telemetry.Counter.make "sim.replications"
+
 let replicate config ~body =
+  Aved_telemetry.Telemetry.Counter.add replications_counter
+    config.replications;
   let master = Rng.create config.seed in
   List.init config.replications (fun _ -> body (Rng.split master))
 

@@ -3,6 +3,15 @@ module Money = Aved_units.Money
 module Model = Aved_model
 module Search = Aved_search
 module Pool = Aved_parallel.Pool
+module Telemetry = Aved_telemetry.Telemetry
+
+(* Per-point spans are labelled by load/requirement so a Chrome trace
+   shows which sweep points dominate; the label is only built when a
+   registry is recording. *)
+let with_point_span fmt value body =
+  if Telemetry.enabled () then
+    Telemetry.with_span (Printf.sprintf fmt value) body
+  else body ()
 
 type fig6_point = {
   load : float;
@@ -45,6 +54,7 @@ let default_fig8_downtimes = log_spaced ~lo:0.1 ~hi:100. ~count:16
 
 let fig6 ?(config = Search.Search_config.default)
     ?(loads = default_fig6_loads) () =
+  Telemetry.with_span "figures.fig6" @@ fun () ->
   let infra = Experiments.infrastructure () in
   let tier = Experiments.application_tier () in
   Pool.run ~jobs:config.Search.Search_config.jobs @@ fun pool ->
@@ -52,6 +62,7 @@ let fig6 ?(config = Search.Search_config.default)
     (Pool.map pool
        (fun load ->
          let frontier =
+           with_point_span "fig6.load:%.0f" load @@ fun () ->
            Search.Tier_search.frontier ~pool config infra ~tier ~demand:load
          in
          List.map
@@ -90,6 +101,7 @@ let checkpoint_choice (design : Model.Design.tier_design) =
 
 let fig7 ?(config = Experiments.fig7_config)
     ?(requirements_hours = default_fig7_requirements) () =
+  Telemetry.with_span "figures.fig7" @@ fun () ->
   let infra = Experiments.infrastructure_bronze () in
   let tier = Experiments.computation_tier () in
   Pool.run ~jobs:config.Search.Search_config.jobs @@ fun pool ->
@@ -98,6 +110,7 @@ let fig7 ?(config = Experiments.fig7_config)
        (fun requirement_hours ->
          let max_time = Duration.of_hours requirement_hours in
          match
+           with_point_span "fig7.req:%.2fh" requirement_hours @@ fun () ->
            Search.Job_search.optimal ~pool config infra ~tier
              ~job_size:Experiments.scientific_job_size ~max_time
          with
@@ -123,6 +136,7 @@ let fig7 ?(config = Experiments.fig7_config)
 let fig8 ?(config = Search.Search_config.default)
     ?(loads = default_fig8_loads)
     ?(downtimes_minutes = default_fig8_downtimes) () =
+  Telemetry.with_span "figures.fig8" @@ fun () ->
   let infra = Experiments.infrastructure () in
   let tier = Experiments.application_tier () in
   Pool.run ~jobs:config.Search.Search_config.jobs @@ fun pool ->
@@ -130,6 +144,7 @@ let fig8 ?(config = Search.Search_config.default)
   @@ Pool.map pool
        (fun load ->
          let frontier =
+           with_point_span "fig8.load:%.0f" load @@ fun () ->
            Search.Tier_search.frontier ~pool config infra ~tier ~demand:load
          in
          match frontier with

@@ -1,3 +1,7 @@
+module Telemetry = Aved_telemetry.Telemetry
+
+let bd_solves = Telemetry.Counter.make "markov.birth_death.solves"
+
 type t = { up : float array; down : float array }
 
 let create ~up ~down =
@@ -26,6 +30,7 @@ let num_states t = Array.length t.up + 1
 (* pi_{k+1} = pi_k * up_k / down_k; normalize. Computed with a running
    maximum subtraction in log space to stay finite for stiff rates. *)
 let stationary t =
+  Telemetry.Counter.incr bd_solves;
   let n = Array.length t.up in
   let log_pi = Array.make (n + 1) Float.neg_infinity in
   log_pi.(0) <- 0.;

@@ -1,5 +1,12 @@
 module Matrix = Aved_linalg.Matrix
 module Vector = Aved_linalg.Vector
+module Telemetry = Aved_telemetry.Telemetry
+
+let gth_solves = Telemetry.Counter.make "markov.gth.solves"
+let gth_seconds = Telemetry.Histogram.make "markov.gth.seconds"
+let lu_solves = Telemetry.Counter.make "markov.lu.solves"
+let lu_seconds = Telemetry.Histogram.make "markov.lu.seconds"
+let solve_states = Telemetry.Histogram.make "markov.solve.states"
 
 type t = {
   n : int;
@@ -55,7 +62,7 @@ let generator t =
    which keeps it stable even for stiff chains (rates spanning many
    orders of magnitude, as with hardware MTBFs in days vs. failover
    times in seconds). *)
-let stationary_gth t =
+let gth_kernel t =
   let n = t.n in
   let q = Array.make_matrix n n 0. in
   for s = 0 to n - 1 do
@@ -91,7 +98,15 @@ let stationary_gth t =
   done;
   Vector.normalize_1 pi
 
-let stationary_lu t =
+let stationary_gth t =
+  if Telemetry.enabled () then begin
+    Telemetry.Counter.incr gth_solves;
+    Telemetry.Histogram.observe solve_states (float_of_int t.n);
+    Telemetry.Histogram.time gth_seconds (fun () -> gth_kernel t)
+  end
+  else gth_kernel t
+
+let lu_kernel t =
   let n = t.n in
   (* Solve Qᵀ x = 0 with the last equation replaced by Σ x = 1. *)
   let a = Matrix.transpose (generator t) in
@@ -100,6 +115,14 @@ let stationary_lu t =
   done;
   let b = Array.init n (fun i -> if i = n - 1 then 1. else 0.) in
   Matrix.solve a b
+
+let stationary_lu t =
+  if Telemetry.enabled () then begin
+    Telemetry.Counter.incr lu_solves;
+    Telemetry.Histogram.observe solve_states (float_of_int t.n);
+    Telemetry.Histogram.time lu_seconds (fun () -> lu_kernel t)
+  end
+  else lu_kernel t
 
 let stationary = stationary_gth
 

@@ -1,8 +1,24 @@
+module Telemetry = Aved_telemetry.Telemetry
+
+let proposals = Telemetry.Counter.make "parallel.incumbent.proposals"
+let improvements = Telemetry.Counter.make "parallel.incumbent.improvements"
+let cas_retries = Telemetry.Counter.make "parallel.incumbent.cas_retries"
+
 type t = float Atomic.t
 
 let create () = Atomic.make Float.infinity
 let get = Atomic.get
 
-let rec propose t c =
-  let current = Atomic.get t in
-  if c < current && not (Atomic.compare_and_set t current c) then propose t c
+let propose t c =
+  Telemetry.Counter.incr proposals;
+  let rec attempt () =
+    let current = Atomic.get t in
+    if c < current then
+      if Atomic.compare_and_set t current c then
+        Telemetry.Counter.incr improvements
+      else begin
+        Telemetry.Counter.incr cas_retries;
+        attempt ()
+      end
+  in
+  attempt ()

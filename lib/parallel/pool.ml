@@ -1,3 +1,9 @@
+module Telemetry = Aved_telemetry.Telemetry
+
+let tasks_queued = Telemetry.Counter.make "parallel.tasks.queued"
+let tasks_inline = Telemetry.Counter.make "parallel.tasks.inline"
+let tasks_executed = Telemetry.Counter.make "parallel.tasks.executed"
+
 type task = unit -> unit
 
 type t = {
@@ -71,10 +77,12 @@ let push t task =
   else if Queue.length t.queue < t.capacity then begin
     Queue.push task t.queue;
     Condition.signal t.not_empty;
-    Mutex.unlock t.mutex
+    Mutex.unlock t.mutex;
+    Telemetry.Counter.incr tasks_queued
   end
   else begin
     Mutex.unlock t.mutex;
+    Telemetry.Counter.incr tasks_inline;
     task ()
   end
 
@@ -92,6 +100,9 @@ let map t f xs =
         let batch_mutex = Mutex.create () in
         let batch_done = Condition.create () in
         let run_slot i =
+          (* Sharded by the executing domain, so the per-shard readout
+             of this counter is the pool's per-domain utilization. *)
+          Telemetry.Counter.incr tasks_executed;
           let r = try Ok (f inputs.(i)) with e -> Error e in
           results.(i) <- Some r;
           if Atomic.fetch_and_add remaining (-1) = 1 then begin

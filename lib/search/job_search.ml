@@ -5,6 +5,7 @@ module Avail = Aved_avail
 module Perf_function = Aved_perf.Perf_function
 module Pool = Aved_parallel.Pool
 module Incumbent = Aved_parallel.Incumbent
+module Telemetry = Aved_telemetry.Telemetry
 
 type candidate = {
   design : Model.Design.tier_design;
@@ -69,6 +70,10 @@ let eval_settings config infra ~tier_name
   in
   let candidates = ref [] in
   let min_cost = ref None in
+  let generated = ref 0
+  and evaluated = ref 0
+  and pruned = ref 0
+  and rejected = ref 0 in
   List.iter
     (fun n_spare ->
       let n_active = total - n_spare in
@@ -85,18 +90,24 @@ let eval_settings config infra ~tier_name
                 ~mechanism_settings:settings ()
             in
             let cost = Model.Design.tier_cost infra design in
+            incr generated;
             (min_cost :=
                match !min_cost with
                | None -> Some cost
                | Some m -> Some (Money.min m cost));
-            if within_cap cost then
+            if within_cap cost then (
               match evaluate config infra ~option ~job_size design with
-              | candidate -> candidates := candidate :: !candidates
-              | exception Invalid_argument _ -> ())
+              | candidate ->
+                  incr evaluated;
+                  candidates := candidate :: !candidates
+              | exception Invalid_argument _ -> incr rejected)
+            else incr pruned)
           (if n_spare = 0 || not config.Search_config.explore_spare_modes then
              [ [] ]
            else Model.Resource.downward_closed_subsets resource))
     (List.init (Stdlib.min config.Search_config.max_spares total + 1) Fun.id);
+  Search_metrics.flush ~tier_name ~generated:!generated ~evaluated:!evaluated
+    ~pruned:!pruned ~rejected:!rejected;
   (List.rev !candidates, !min_cost)
 
 (* All designs of one option at one total. The mechanism-settings grid
@@ -153,6 +164,7 @@ let option_limit config (option : Model.Service.resource_option) =
    the branch's stopping logic. *)
 let search_option ?pool ?shared config infra ~tier_name ~option ~job_size
     ~max_time () =
+  Telemetry.Counter.incr Search_metrics.options_searched;
   match start_total ~option ~job_size ~max_time with
   | None -> None
   | Some start ->
@@ -163,6 +175,7 @@ let search_option ?pool ?shared config infra ~tier_name ~option ~job_size
       let stop = ref false in
       let total = ref start in
       while (not !stop) && !total <= limit do
+        Telemetry.Counter.incr Search_metrics.totals_scanned;
         let cost_cap =
           match !best with
           | None -> None
@@ -172,7 +185,11 @@ let search_option ?pool ?shared config infra ~tier_name ~option ~job_size
                 (match shared with
                 | Some inc ->
                     let bound = Incumbent.get inc in
-                    if bound < Money.to_float cap then Money.of_float bound
+                    if bound < Money.to_float cap then begin
+                      Telemetry.Counter.incr
+                        Search_metrics.incumbent_cap_tightened;
+                      Money.of_float bound
+                    end
                     else cap
                 | None -> cap)
         in
@@ -232,17 +249,24 @@ let merge_best results =
 
 let optimal ?pool config infra ~(tier : Model.Service.tier) ~job_size
     ~max_time =
+  Telemetry.with_span "search.job.optimal" @@ fun () ->
   with_pool ?pool config @@ fun pool ->
   let shared = Incumbent.create () in
   merge_best
     (Pool.map pool
        (fun option ->
-         search_option ~pool ~shared config infra ~tier_name:tier.tier_name
-           ~option ~job_size ~max_time ())
+         let body () =
+           search_option ~pool ~shared config infra
+             ~tier_name:tier.tier_name ~option ~job_size ~max_time ()
+         in
+         if Telemetry.enabled () then
+           Telemetry.with_span ("search.option:" ^ option.resource) body
+         else body ())
        tier.options)
 
 let frontier ?pool config infra ~(tier : Model.Service.tier) ~job_size
     ~max_time =
+  Telemetry.with_span "search.job.frontier" @@ fun () ->
   with_pool ?pool config @@ fun pool ->
   let tasks =
     List.concat_map
@@ -284,7 +308,9 @@ let frontier ?pool config infra ~(tier : Model.Service.tier) ~job_size
         if t < best_time then scan t (c :: acc) rest
         else scan best_time acc rest
   in
-  scan Float.infinity [] sorted
+  let front = scan Float.infinity [] sorted in
+  Search_metrics.observe_frontier (List.length front);
+  front
 
 let pp_candidate ppf c =
   Format.fprintf ppf "%a | cost %a/yr | exec %.2f h"

@@ -1,0 +1,50 @@
+(* Shared telemetry handles of the tier and job searches, plus the
+   per-enumeration flush. Candidate counts are accumulated in local
+   ints inside the enumeration loops and flushed here in one batch, so
+   the hot loops carry no per-design telemetry branches and the
+   per-tier counters intern their names once per batch, not once per
+   design. *)
+
+module Telemetry = Aved_telemetry.Telemetry
+
+let candidates_generated = Telemetry.Counter.make "search.candidates.generated"
+let candidates_evaluated = Telemetry.Counter.make "search.candidates.evaluated"
+
+let candidates_pruned =
+  Telemetry.Counter.make "search.candidates.pruned_by_incumbent"
+
+let candidates_rejected =
+  Telemetry.Counter.make "search.candidates.rejected_by_model"
+
+let options_searched = Telemetry.Counter.make "search.options.searched"
+let totals_scanned = Telemetry.Counter.make "search.totals.scanned"
+
+let incumbent_cap_tightened =
+  Telemetry.Counter.make "search.incumbent.cap_tightened"
+
+let frontiers_computed = Telemetry.Counter.make "search.frontiers.computed"
+let frontier_size = Telemetry.Histogram.make "search.frontier.size"
+
+(* Flush one enumeration batch into the global counters and their
+   per-tier variants ("search.candidates.generated[application]", ...). *)
+let flush ~tier_name ~generated ~evaluated ~pruned ~rejected =
+  if Telemetry.enabled () then begin
+    let batch counter tag v =
+      if v > 0 then begin
+        Telemetry.Counter.add counter v;
+        Telemetry.Counter.add
+          (Telemetry.Counter.make
+             (Printf.sprintf "search.candidates.%s[%s]" tag tier_name))
+          v
+      end
+    in
+    batch candidates_generated "generated" generated;
+    batch candidates_evaluated "evaluated" evaluated;
+    batch candidates_pruned "pruned_by_incumbent" pruned;
+    batch candidates_rejected "rejected_by_model" rejected
+  end
+
+let observe_frontier size =
+  Telemetry.Counter.incr frontiers_computed;
+  if Telemetry.enabled () then
+    Telemetry.Histogram.observe frontier_size (float_of_int size)

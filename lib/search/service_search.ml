@@ -3,6 +3,9 @@ module Money = Aved_units.Money
 module Model = Aved_model
 module Pool = Aved_parallel.Pool
 module Incumbent = Aved_parallel.Incumbent
+module Telemetry = Aved_telemetry.Telemetry
+
+let combos_tested = Telemetry.Counter.make "search.service.combos_tested"
 
 type tier_outcome = {
   candidate : Candidate.t;
@@ -77,6 +80,7 @@ let combine_frontiers ?pool frontiers ~budget_fraction =
       let best = ref None in
       let rec explore idx chosen_rev path_rev cost_so_far up_so_far =
         if idx = n then begin
+          Telemetry.Counter.incr combos_tested;
           if 1. -. up_so_far <= budget_fraction then begin
             let entry =
               (cost_so_far, List.rev path_rev, List.rev chosen_rev)
@@ -140,6 +144,7 @@ let enterprise_design ?pool config infra (service : Model.Service.t)
   in
   (* Phase 1: each tier in isolation against the full requirement. *)
   let isolated =
+    Telemetry.with_span "search.service.isolated" @@ fun () ->
     run
       (fun tier ->
         Tier_search.optimal ?pool config infra ~tier ~demand:throughput
@@ -153,6 +158,7 @@ let enterprise_design ?pool config infra (service : Model.Service.t)
     else begin
       (* Phase 2: refine with per-tier frontiers and exact combination. *)
       let frontiers =
+        Telemetry.with_span "search.service.frontiers" @@ fun () ->
         run
           (fun tier ->
             Tier_search.frontier ?pool config infra ~tier ~demand:throughput)
@@ -160,7 +166,8 @@ let enterprise_design ?pool config infra (service : Model.Service.t)
       in
       if List.exists (fun f -> f = []) frontiers then None
       else
-        combine_frontiers ?pool frontiers ~budget_fraction
+        (Telemetry.with_span "search.service.combine" @@ fun () ->
+         combine_frontiers ?pool frontiers ~budget_fraction)
         |> Option.map
              (enterprise_report ~service_name:service.service_name)
     end

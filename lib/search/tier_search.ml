@@ -4,6 +4,7 @@ module Model = Aved_model
 module Avail = Aved_avail
 module Pool = Aved_parallel.Pool
 module Incumbent = Aved_parallel.Incumbent
+module Telemetry = Aved_telemetry.Telemetry
 
 let settings_product infra resource =
   let mechanisms = Model.Infrastructure.resource_mechanisms infra resource in
@@ -60,6 +61,10 @@ let eval_settings config infra ~tier_name
   | Some n_min ->
       let candidates = ref [] in
       let min_cost = ref None in
+      let generated = ref 0
+      and evaluated = ref 0
+      and pruned = ref 0
+      and rejected = ref 0 in
       let n_values =
         List.filter
           (fun n ->
@@ -79,16 +84,22 @@ let eval_settings config infra ~tier_name
                   ~spare_active_components ~mechanism_settings:settings ()
               in
               let cost = Model.Design.tier_cost infra design in
+              incr generated;
               (min_cost :=
                  match !min_cost with
                  | None -> Some cost
                  | Some m -> Some (Money.min m cost));
-              if within_cap cost then
+              if within_cap cost then (
                 match evaluate config infra ~option ~demand design with
-                | candidate -> candidates := candidate :: !candidates
-                | exception Invalid_argument _ -> ())
+                | candidate ->
+                    incr evaluated;
+                    candidates := candidate :: !candidates
+                | exception Invalid_argument _ -> incr rejected)
+              else incr pruned)
             (spare_mode_choices config infra option.resource ~n_spare))
         n_values;
+      Search_metrics.flush ~tier_name ~generated:!generated
+        ~evaluated:!evaluated ~pruned:!pruned ~rejected:!rejected;
       (List.rev !candidates, !min_cost)
 
 (* All designs of one option at one total, fanned out over the
@@ -158,6 +169,7 @@ let max_total_for config start =
    merged result (see Aved_parallel.Incumbent). *)
 let search_option ?pool ?shared config infra ~tier_name
     ~(option : Model.Service.resource_option) ~demand ~max_downtime () =
+  Telemetry.Counter.incr Search_metrics.options_searched;
   let resource = Model.Infrastructure.resource_exn infra option.resource in
   let all_settings = settings_product infra resource in
   match option_minimum ~option ~settings:all_settings ~demand with
@@ -171,6 +183,7 @@ let search_option ?pool ?shared config infra ~tier_name
       let stop = ref false in
       let total = ref start in
       while (not !stop) && !total <= limit do
+        Telemetry.Counter.incr Search_metrics.totals_scanned;
         let cost_cap =
           match !best with
           | None -> None
@@ -180,7 +193,11 @@ let search_option ?pool ?shared config infra ~tier_name
                 (match shared with
                 | Some inc ->
                     let bound = Incumbent.get inc in
-                    if bound < Money.to_float cap then Money.of_float bound
+                    if bound < Money.to_float cap then begin
+                      Telemetry.Counter.incr
+                        Search_metrics.incumbent_cap_tightened;
+                      Money.of_float bound
+                    end
                     else cap
                 | None -> cap)
         in
@@ -245,16 +262,23 @@ let merge_best results =
 
 let optimal ?pool config infra ~(tier : Model.Service.tier) ~demand
     ~max_downtime =
+  Telemetry.with_span "search.tier.optimal" @@ fun () ->
   with_pool ?pool config @@ fun pool ->
   let shared = Incumbent.create () in
   merge_best
     (Pool.map pool
        (fun option ->
-         search_option ~pool ~shared config infra ~tier_name:tier.tier_name
-           ~option ~demand ~max_downtime ())
+         let body () =
+           search_option ~pool ~shared config infra
+             ~tier_name:tier.tier_name ~option ~demand ~max_downtime ()
+         in
+         if Telemetry.enabled () then
+           Telemetry.with_span ("search.option:" ^ option.resource) body
+         else body ())
        tier.options)
 
 let frontier ?pool config infra ~(tier : Model.Service.tier) ~demand =
+  Telemetry.with_span "search.tier.frontier" @@ fun () ->
   with_pool ?pool config @@ fun pool ->
   let tasks =
     List.concat_map
@@ -277,4 +301,6 @@ let frontier ?pool config infra ~(tier : Model.Service.tier) ~demand =
           ~demand ~total ())
       tasks
   in
-  Candidate.pareto (List.concat results)
+  let pareto = Candidate.pareto (List.concat results) in
+  Search_metrics.observe_frontier (List.length pareto);
+  pareto

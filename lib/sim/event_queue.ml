@@ -1,3 +1,5 @@
+let events_counter = Aved_telemetry.Telemetry.Counter.make "sim.events"
+
 type 'a entry = { time : float; seq : int; payload : 'a }
 
 type 'a t = {
@@ -24,6 +26,7 @@ let grow t entry =
 let push t ~time payload =
   if not (Float.is_finite time) then
     invalid_arg (Printf.sprintf "Event_queue.push: time %g" time);
+  Aved_telemetry.Telemetry.Counter.incr events_counter;
   let entry = { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
   grow t entry;

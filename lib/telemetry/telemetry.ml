@@ -1,0 +1,502 @@
+(* Sharding: cells live in per-shard arrays indexed by metric id; the
+   shard is picked by domain id, so concurrent increments from the
+   search pool's domains land on disjoint memory. Cells are plain
+   (non-atomic) — distinct live domains always map to distinct shards
+   in practice (domain ids grow monotonically and [num_shards] far
+   exceeds any pool size), and a wrapped-id collision at worst loses a
+   handful of increments of a diagnostic counter, never a result. *)
+
+let num_shards = 256 (* power of two: shard = domain id land (n-1) *)
+let max_metrics = 1024 (* per-kind id cap; later handles are dropped *)
+let num_buckets = 64
+let min_exponent = -30 (* bucket 0 upper bound = 2^-29 s ~ 1.9 ns *)
+
+let now_seconds () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide metric-name interning (one id space per metric kind). *)
+
+module Intern = struct
+  type t = {
+    mutex : Mutex.t;
+    ids : (string, int) Hashtbl.t;
+    mutable names : string array;
+    mutable next : int;
+  }
+
+  let create () =
+    {
+      mutex = Mutex.create ();
+      ids = Hashtbl.create 64;
+      names = Array.make 64 "";
+      next = 0;
+    }
+
+  let intern t name =
+    Mutex.lock t.mutex;
+    let id =
+      match Hashtbl.find_opt t.ids name with
+      | Some id -> id
+      | None ->
+          let id = t.next in
+          t.next <- id + 1;
+          if id >= Array.length t.names then begin
+            let grown = Array.make (2 * Array.length t.names) "" in
+            Array.blit t.names 0 grown 0 (Array.length t.names);
+            t.names <- grown
+          end;
+          t.names.(id) <- name;
+          Hashtbl.add t.ids name id;
+          id
+    in
+    Mutex.unlock t.mutex;
+    id
+
+  let find_opt t name =
+    Mutex.lock t.mutex;
+    let id = Hashtbl.find_opt t.ids name in
+    Mutex.unlock t.mutex;
+    id
+
+  (* Snapshot of (id, name) pairs, bounded by the registry cell cap. *)
+  let known t =
+    Mutex.lock t.mutex;
+    let n = Stdlib.min t.next max_metrics in
+    let pairs = List.init n (fun id -> (id, t.names.(id))) in
+    Mutex.unlock t.mutex;
+    pairs
+
+  let name t id =
+    Mutex.lock t.mutex;
+    let n = if id >= 0 && id < t.next then t.names.(id) else "?" in
+    Mutex.unlock t.mutex;
+    n
+end
+
+let counter_names = Intern.create ()
+let gauge_names = Intern.create ()
+let histogram_names = Intern.create ()
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+type hist_cell = {
+  bucket_counts : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type shard = {
+  counter_cells : int array;
+  hist_cells : hist_cell option array;
+}
+
+type span = { span_name : string; start_s : float; dur_s : float; tid : int }
+
+(* One buffer per (domain, registry); registered with the registry on
+   the domain's first span so the data survives the domain's exit. *)
+type span_buffer = { buf_tid : int; mutable buf_spans : span list }
+
+type t = {
+  id : int;
+  mutex : Mutex.t; (* guards shard creation and the buffer list *)
+  shards : shard option array;
+  gauge_cells : float array;
+  gauge_set : bool array;
+  mutable buffers : span_buffer list;
+}
+
+let next_registry_id = Atomic.make 0
+
+let create () =
+  {
+    id = Atomic.fetch_and_add next_registry_id 1;
+    mutex = Mutex.create ();
+    shards = Array.make num_shards None;
+    gauge_cells = Array.make max_metrics 0.;
+    gauge_set = Array.make max_metrics false;
+    buffers = [];
+  }
+
+let current : t option Atomic.t = Atomic.make None
+let install t = Atomic.set current (Some t)
+let uninstall () = Atomic.set current None
+let enabled () = Atomic.get current <> None
+
+let with_registry t f =
+  install t;
+  Fun.protect ~finally:uninstall f
+
+let shard_of t =
+  let i = (Domain.self () :> int) land (num_shards - 1) in
+  match t.shards.(i) with
+  | Some s -> s
+  | None ->
+      Mutex.lock t.mutex;
+      let s =
+        match t.shards.(i) with
+        | Some s -> s
+        | None ->
+            let s =
+              {
+                counter_cells = Array.make max_metrics 0;
+                hist_cells = Array.make max_metrics None;
+              }
+            in
+            t.shards.(i) <- Some s;
+            s
+      in
+      Mutex.unlock t.mutex;
+      s
+
+let fold_shards t f init =
+  Array.fold_left
+    (fun acc shard -> match shard with None -> acc | Some s -> f acc s)
+    init t.shards
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+module Counter = struct
+  type h = int
+
+  let make name = Intern.intern counter_names name
+  let name h = Intern.name counter_names h
+
+  let add h n =
+    match Atomic.get current with
+    | None -> ()
+    | Some t ->
+        if h < max_metrics then begin
+          let s = shard_of t in
+          s.counter_cells.(h) <- s.counter_cells.(h) + n
+        end
+
+  let incr h = add h 1
+  let read t h = fold_shards t (fun acc s -> acc + s.counter_cells.(h)) 0
+
+  let read_by_name t name =
+    match Intern.find_opt counter_names name with
+    | Some h when h < max_metrics -> read t h
+    | Some _ | None -> 0
+
+  let per_shard t h =
+    let cells = ref [] in
+    Array.iteri
+      (fun i shard ->
+        match shard with
+        | Some s when s.counter_cells.(h) <> 0 ->
+            cells := (i, s.counter_cells.(h)) :: !cells
+        | Some _ | None -> ())
+      t.shards;
+    List.rev !cells
+end
+
+(* ------------------------------------------------------------------ *)
+(* Gauges (rare writes: one registry-level cell, last write wins) *)
+
+module Gauge = struct
+  type h = int
+
+  let make name = Intern.intern gauge_names name
+
+  let set h v =
+    match Atomic.get current with
+    | None -> ()
+    | Some t ->
+        if h < max_metrics then begin
+          t.gauge_cells.(h) <- v;
+          t.gauge_set.(h) <- true
+        end
+
+  let read t h =
+    if h < max_metrics && t.gauge_set.(h) then Some t.gauge_cells.(h)
+    else None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+module Histogram = struct
+  type h = int
+
+  type summary = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    buckets : (float * int) list;
+  }
+
+  let make name = Intern.intern histogram_names name
+
+  (* Bucket of a positive value v: floor(log2 v) clamped into the
+     [min_exponent, min_exponent + num_buckets) window. *)
+  let bucket_of v =
+    if v <= 0. || not (Float.is_finite v) then 0
+    else
+      let _, e = Float.frexp v in
+      (* v = m * 2^e with m in [0.5, 1): floor(log2 v) = e - 1. *)
+      Stdlib.max 0 (Stdlib.min (num_buckets - 1) (e - 1 - min_exponent))
+
+  let bucket_upper_bound i = Float.pow 2. (float_of_int (i + min_exponent + 1))
+
+  let fresh_cell () =
+    {
+      bucket_counts = Array.make num_buckets 0;
+      h_count = 0;
+      h_sum = 0.;
+      h_min = Float.infinity;
+      h_max = Float.neg_infinity;
+    }
+
+  let observe h v =
+    match Atomic.get current with
+    | None -> ()
+    | Some t ->
+        if h < max_metrics then begin
+          let s = shard_of t in
+          let c =
+            match s.hist_cells.(h) with
+            | Some c -> c
+            | None ->
+                let c = fresh_cell () in
+                s.hist_cells.(h) <- Some c;
+                c
+          in
+          c.bucket_counts.(bucket_of v) <- c.bucket_counts.(bucket_of v) + 1;
+          c.h_count <- c.h_count + 1;
+          c.h_sum <- c.h_sum +. v;
+          if v < c.h_min then c.h_min <- v;
+          if v > c.h_max then c.h_max <- v
+        end
+
+  let time h f =
+    match Atomic.get current with
+    | None -> f ()
+    | Some _ ->
+        let t0 = now_seconds () in
+        Fun.protect ~finally:(fun () -> observe h (now_seconds () -. t0)) f
+
+  let read t h =
+    let merged = Array.make num_buckets 0 in
+    let count = ref 0 and sum = ref 0. in
+    let vmin = ref Float.infinity and vmax = ref Float.neg_infinity in
+    fold_shards t
+      (fun () s ->
+        match s.hist_cells.(h) with
+        | None -> ()
+        | Some c ->
+            Array.iteri
+              (fun i n -> merged.(i) <- merged.(i) + n)
+              c.bucket_counts;
+            count := !count + c.h_count;
+            sum := !sum +. c.h_sum;
+            if c.h_min < !vmin then vmin := c.h_min;
+            if c.h_max > !vmax then vmax := c.h_max)
+      ();
+    let buckets = ref [] in
+    for i = num_buckets - 1 downto 0 do
+      if merged.(i) > 0 then
+        buckets := (bucket_upper_bound i, merged.(i)) :: !buckets
+    done;
+    {
+      count = !count;
+      sum = !sum;
+      min = (if !count = 0 then Float.nan else !vmin);
+      max = (if !count = 0 then Float.nan else !vmax);
+      buckets = !buckets;
+    }
+
+  let mean s = if s.count = 0 then Float.nan else s.sum /. float_of_int s.count
+
+  let quantile s q =
+    if s.count = 0 then Float.nan
+    else begin
+      let target = q *. float_of_int s.count in
+      let rec scan acc = function
+        | [] -> s.max
+        | (ub, n) :: rest ->
+            let acc = acc + n in
+            if float_of_int acc >= target then ub else scan acc rest
+      in
+      scan 0 s.buckets
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let buffer_key : (int * span_buffer) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let push_span t span =
+  let slot = Domain.DLS.get buffer_key in
+  let buffer =
+    match !slot with
+    | Some (registry_id, b) when registry_id = t.id -> b
+    | Some _ | None ->
+        let b = { buf_tid = (Domain.self () :> int); buf_spans = [] } in
+        Mutex.lock t.mutex;
+        t.buffers <- b :: t.buffers;
+        Mutex.unlock t.mutex;
+        slot := Some (t.id, b);
+        b
+  in
+  buffer.buf_spans <- span :: buffer.buf_spans
+
+let with_span name f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some t ->
+      let t0 = now_seconds () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dur = now_seconds () -. t0 in
+          (* Re-read: the ambient registry may have been swapped while
+             the span ran; record into the one that saw the start. *)
+          push_span t
+            {
+              span_name = name;
+              start_s = t0;
+              dur_s = dur;
+              tid = (Domain.self () :> int);
+            })
+        f
+
+let spans t =
+  Mutex.lock t.mutex;
+  let buffers = t.buffers in
+  Mutex.unlock t.mutex;
+  List.concat_map (fun b -> List.rev b.buf_spans) buffers
+  |> List.sort (fun a b -> Float.compare a.start_s b.start_s)
+
+(* ------------------------------------------------------------------ *)
+(* Readouts *)
+
+let counters t =
+  List.filter_map
+    (fun (id, name) ->
+      let v = Counter.read t id in
+      if v <> 0 then Some (name, v) else None)
+    (Intern.known counter_names)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let gauges t =
+  List.filter_map
+    (fun (id, name) -> Option.map (fun v -> (name, v)) (Gauge.read t id))
+    (Intern.known gauge_names)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histograms t =
+  List.filter_map
+    (fun (id, name) ->
+      let s = Histogram.read t id in
+      if s.Histogram.count > 0 then Some (name, s) else None)
+    (Intern.known histogram_names)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_scaled ppf v =
+  if Float.is_nan v then Format.fprintf ppf "%10s" "-"
+  else if v >= 1. then Format.fprintf ppf "%9.3f s" v
+  else if v >= 1e-3 then Format.fprintf ppf "%8.3f ms" (v *. 1e3)
+  else if v >= 1e-6 then Format.fprintf ppf "%8.3f us" (v *. 1e6)
+  else Format.fprintf ppf "%8.1f ns" (v *. 1e9)
+
+(* Histograms are unit-agnostic; only names advertising seconds get the
+   time-scaled rendering, everything else prints as a plain number. *)
+let pp_histogram_value ~name ppf v =
+  let is_time =
+    let suffix = ".seconds" in
+    let ls = String.length suffix and ln = String.length name in
+    ln >= ls && String.sub name (ln - ls) ls = suffix
+  in
+  if is_time then pp_scaled ppf v
+  else if Float.is_nan v then Format.fprintf ppf "%10s" "-"
+  else Format.fprintf ppf "%10g" v
+
+let pp_summary ppf t =
+  let cs = counters t and gs = gauges t and hs = histograms t in
+  let ss = spans t in
+  Format.fprintf ppf "@[<v>telemetry summary@,";
+  if cs <> [] then begin
+    Format.fprintf ppf "@,counters:@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-52s %12d@," name v)
+      cs
+  end;
+  if gs <> [] then begin
+    Format.fprintf ppf "@,gauges:@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-52s %12g@," name v)
+      gs
+  end;
+  if hs <> [] then begin
+    Format.fprintf ppf "@,histograms:%62s@,"
+      "count mean min max p50 p99";
+    List.iter
+      (fun (name, (s : Histogram.summary)) ->
+        let pp = pp_histogram_value ~name in
+        Format.fprintf ppf "  %-30s %8d %a %a %a %a %a@," name s.count pp
+          (Histogram.mean s) pp s.min pp s.max pp
+          (Histogram.quantile s 0.5)
+          pp
+          (Histogram.quantile s 0.99))
+      hs
+  end;
+  if ss <> [] then begin
+    (* Totals per span name: calls and cumulative time. *)
+    let totals = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        let calls, secs =
+          Option.value
+            (Hashtbl.find_opt totals s.span_name)
+            ~default:(0, 0.)
+        in
+        Hashtbl.replace totals s.span_name (calls + 1, secs +. s.dur_s))
+      ss;
+    Format.fprintf ppf "@,spans:%43s@," "calls total";
+    List.iter
+      (fun (name, (calls, secs)) ->
+        Format.fprintf ppf "  %-30s %8d %a@," name calls pp_scaled secs)
+      (List.sort
+         (fun (a, _) (b, _) -> String.compare a b)
+         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals []))
+  end;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export *)
+
+let json_escape name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    name;
+  Buffer.contents b
+
+let write_chrome_trace t oc =
+  let all = spans t in
+  let base = match all with [] -> 0. | s :: _ -> s.start_s in
+  output_string oc "{\"traceEvents\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc
+        "\n\
+         {\"name\":\"%s\",\"cat\":\"aved\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}"
+        (json_escape s.span_name)
+        ((s.start_s -. base) *. 1e6)
+        (s.dur_s *. 1e6) s.tid)
+    all;
+  output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n"

@@ -1,0 +1,136 @@
+(** Low-overhead metrics and span tracing for the search and
+    availability engines.
+
+    Metric handles ({!Counter.make}, {!Gauge.make}, {!Histogram.make})
+    are interned process-wide by name and are normally created at
+    module-initialization time. A registry ({!t}) holds the metric
+    *values*; at most one registry is installed ({!install}) at a time,
+    and every recording operation is a no-op costing a single branch
+    when none is.
+
+    Counter and histogram cells are sharded by domain id: an increment
+    touches only the shard of the calling domain, so hot-path updates
+    from the parallel search pool never contend on a shared cache line.
+    Reads ({!Counter.read}, {!Histogram.read}) aggregate across shards.
+    Recording never changes program results — telemetry observes the
+    engines, it does not steer them. *)
+
+type t
+(** A metric registry: sharded counter/histogram cells, gauge cells and
+    per-domain span buffers. *)
+
+val create : unit -> t
+
+val install : t -> unit
+(** Make [t] the ambient registry recorded into by every metric
+    operation, replacing any previous one. *)
+
+val uninstall : unit -> unit
+(** Remove the ambient registry; all metric operations become no-ops. *)
+
+val enabled : unit -> bool
+(** Whether a registry is installed. Use to skip work (name formatting,
+    bulk flushes) that only matters when recording. *)
+
+val with_registry : t -> (unit -> 'a) -> 'a
+(** [with_registry t f] installs [t], runs [f] and uninstalls again
+    (even on exception). *)
+
+val now_seconds : unit -> float
+(** Wall-clock seconds (the time source used for spans and timers). *)
+
+module Counter : sig
+  type h
+  (** Handle to a named monotonic counter. *)
+
+  val make : string -> h
+  (** Intern a counter by name; idempotent per name. *)
+
+  val name : h -> string
+  val incr : h -> unit
+  val add : h -> int -> unit
+
+  val read : t -> h -> int
+  (** Aggregate value across all shards. *)
+
+  val read_by_name : t -> string -> int
+  (** [read] by name; 0 when the name was never interned. *)
+
+  val per_shard : t -> h -> (int * int) list
+  (** [(shard, value)] for every shard with a nonzero value — the
+      per-domain breakdown of a sharded counter. *)
+end
+
+module Gauge : sig
+  type h
+
+  val make : string -> h
+  val set : h -> float -> unit
+
+  val read : t -> h -> float option
+  (** Last value set, or [None] when never set. *)
+end
+
+module Histogram : sig
+  type h
+  (** Handle to a log-bucketed histogram (base-2 buckets spanning
+      roughly [2^-30, 2^33] — nanoseconds to decades when observing
+      seconds). *)
+
+  type summary = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    buckets : (float * int) list;
+        (** [(upper_bound, count)] for every nonempty bucket, in
+            increasing bound order. *)
+  }
+
+  val make : string -> h
+  val observe : h -> float -> unit
+
+  val time : h -> (unit -> 'a) -> 'a
+  (** Run the thunk and observe its wall-clock duration in seconds.
+      When no registry is installed the thunk runs untimed. *)
+
+  val read : t -> h -> summary
+  val mean : summary -> float
+
+  val quantile : summary -> float -> float
+  (** Upper bound of the bucket where the cumulative count crosses the
+      quantile; [nan] on an empty summary. *)
+end
+
+type span = {
+  span_name : string;
+  start_s : float;  (** wall-clock seconds at entry *)
+  dur_s : float;  (** duration in seconds *)
+  tid : int;  (** id of the domain that ran the span *)
+}
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Run the thunk and record a completed span (also on exception).
+    Nesting is positional: spans of one domain nest by time
+    containment, which is how Chrome's tracing UI renders them. *)
+
+val spans : t -> span list
+(** All recorded spans, sorted by start time. *)
+
+val counters : t -> (string * int) list
+(** All interned counters with nonzero aggregate value, sorted by
+    name. *)
+
+val gauges : t -> (string * float) list
+
+val histograms : t -> (string * Histogram.summary) list
+(** All interned histograms with at least one observation. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Human-readable summary table: counters, gauges, histograms
+    (count/mean/min/max/p50/p99) and span totals by name. *)
+
+val write_chrome_trace : t -> out_channel -> unit
+(** Emit the recorded spans as Chrome [trace_event] JSON (one complete
+    ["ph":"X"] event per span), loadable by [chrome://tracing] and
+    [ui.perfetto.dev]. *)

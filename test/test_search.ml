@@ -589,6 +589,62 @@ let test_trace_feeds_adaptive () =
   in
   Alcotest.(check int) "steps" 8 (List.length replay.steps)
 
+(* ------------------------------------------------------------------ *)
+(* Search_config composition *)
+
+let test_config_with_jobs () =
+  let c = Search_config.with_jobs 4 Search_config.default in
+  Alcotest.(check int) "jobs set" 4 c.Search_config.jobs;
+  (* Everything else is untouched. *)
+  Alcotest.(check int) "max_spares preserved"
+    Search_config.default.Search_config.max_spares c.Search_config.max_spares;
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d rejected" bad)
+        true
+        (match Search_config.with_jobs bad Search_config.default with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ 0; -1 ]
+
+let test_config_with_memo () =
+  let is_memoized c =
+    match c.Search_config.engine with
+    | Aved_avail.Evaluate.Memoized _ -> true
+    | _ -> false
+  in
+  (* Analytic is swapped for Memoized; other fields survive. *)
+  let base = Search_config.with_jobs 3 Search_config.default in
+  let memo = Search_config.with_memo base in
+  Alcotest.(check bool) "analytic becomes memoized" true (is_memoized memo);
+  Alcotest.(check int) "jobs preserved" 3 memo.Search_config.jobs;
+  (* Idempotent: an already-memoized engine is left alone (same cache). *)
+  let again = Search_config.with_memo memo in
+  Alcotest.(check bool) "memoized stays memoized" true (is_memoized again);
+  (match (memo.Search_config.engine, again.Search_config.engine) with
+  | Aved_avail.Evaluate.Memoized a, Aved_avail.Evaluate.Memoized b ->
+      Alcotest.(check bool) "cache shared" true (a == b)
+  | _ -> Alcotest.fail "expected memoized engines");
+  (* No-op for the validation engines. *)
+  List.iter
+    (fun engine ->
+      let c =
+        Search_config.with_memo
+          (Search_config.with_engine engine Search_config.default)
+      in
+      Alcotest.(check bool) "validation engine unchanged" true
+        (c.Search_config.engine = engine))
+    [
+      Aved_avail.Evaluate.Exact { max_states = 1000 };
+      Aved_avail.Evaluate.Monte_carlo
+        {
+          Aved_avail.Monte_carlo.replications = 2;
+          horizon = Duration.of_years 1.;
+          seed = 1;
+        };
+    ]
+
 let () =
   Alcotest.run "search"
     [
@@ -641,6 +697,11 @@ let () =
           Alcotest.test_case "csv roundtrip" `Quick test_trace_csv_roundtrip;
           Alcotest.test_case "stats" `Quick test_trace_stats;
           Alcotest.test_case "feeds adaptive" `Quick test_trace_feeds_adaptive;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "with_jobs" `Quick test_config_with_jobs;
+          Alcotest.test_case "with_memo" `Quick test_config_with_memo;
         ] );
       ( "service",
         [

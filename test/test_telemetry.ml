@@ -1,0 +1,217 @@
+(* Tests for the telemetry registry: sharded counter/histogram merge
+   across domains, span nesting, disabled-registry no-ops, and the
+   Chrome trace export. *)
+
+module Telemetry = Aved_telemetry.Telemetry
+
+let with_fresh_registry f =
+  let t = Telemetry.create () in
+  Telemetry.install t;
+  Fun.protect ~finally:Telemetry.uninstall (fun () -> f t)
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+let test_counter_basic () =
+  let c = Telemetry.Counter.make "test.counter.basic" in
+  with_fresh_registry @@ fun t ->
+  Telemetry.Counter.incr c;
+  Telemetry.Counter.add c 41;
+  Alcotest.(check int) "aggregated" 42 (Telemetry.Counter.read t c);
+  Alcotest.(check int) "by name" 42
+    (Telemetry.Counter.read_by_name t "test.counter.basic");
+  Alcotest.(check int) "unknown name" 0
+    (Telemetry.Counter.read_by_name t "test.counter.never-created")
+
+let test_counter_merge_across_domains () =
+  let c = Telemetry.Counter.make "test.counter.domains" in
+  with_fresh_registry @@ fun t ->
+  Telemetry.Counter.incr c;
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              Telemetry.Counter.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  (* The read aggregates every shard, so no increment is lost even
+     though the worker domains have exited. *)
+  Alcotest.(check int) "all increments survive" 4001
+    (Telemetry.Counter.read t c)
+
+let test_counter_isolated_between_registries () =
+  let c = Telemetry.Counter.make "test.counter.isolation" in
+  let first =
+    with_fresh_registry (fun t ->
+        Telemetry.Counter.add c 7;
+        Telemetry.Counter.read t c)
+  in
+  Alcotest.(check int) "first registry" 7 first;
+  let second =
+    with_fresh_registry (fun t ->
+        Telemetry.Counter.incr c;
+        Telemetry.Counter.read t c)
+  in
+  (* A fresh registry starts from zero; the earlier run's cells belong
+     to the earlier registry. *)
+  Alcotest.(check int) "second registry starts clean" 1 second
+
+let test_disabled_is_noop () =
+  let c = Telemetry.Counter.make "test.counter.disabled" in
+  let h = Telemetry.Histogram.make "test.histogram.disabled" in
+  (* No registry installed: record operations are dropped, value-passing
+     combinators still pass values through. *)
+  Alcotest.(check bool) "disabled" false (Telemetry.enabled ());
+  Telemetry.Counter.incr c;
+  Telemetry.Histogram.observe h 1.0;
+  Alcotest.(check int) "timed thunk still runs" 9
+    (Telemetry.Histogram.time h (fun () -> 9));
+  Alcotest.(check string) "span thunk still runs" "ok"
+    (Telemetry.with_span "test.disabled.span" (fun () -> "ok"));
+  with_fresh_registry @@ fun t ->
+  (* The pre-install activity left no trace in the new registry. *)
+  Alcotest.(check int) "counter clean" 0 (Telemetry.Counter.read t c);
+  Alcotest.(check int) "histogram clean" 0
+    (Telemetry.Histogram.read t h).Telemetry.Histogram.count
+
+(* ------------------------------------------------------------------ *)
+(* Gauges and histograms *)
+
+let test_gauge () =
+  let g = Telemetry.Gauge.make "test.gauge" in
+  with_fresh_registry @@ fun t ->
+  Alcotest.(check bool) "unset reads None" true
+    (Telemetry.Gauge.read t g = None);
+  Telemetry.Gauge.set g 2.5;
+  Telemetry.Gauge.set g 4.0;
+  Alcotest.(check (option (float 1e-9))) "last write wins" (Some 4.0)
+    (Telemetry.Gauge.read t g)
+
+let test_histogram_summary () =
+  let h = Telemetry.Histogram.make "test.histogram.summary" in
+  with_fresh_registry @@ fun t ->
+  List.iter (Telemetry.Histogram.observe h) [ 1.0; 2.0; 4.0; 8.0 ];
+  let s = Telemetry.Histogram.read t h in
+  Alcotest.(check int) "count" 4 s.Telemetry.Histogram.count;
+  Alcotest.(check (float 1e-9)) "sum" 15.0 s.Telemetry.Histogram.sum;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Telemetry.Histogram.min;
+  Alcotest.(check (float 1e-9)) "max" 8.0 s.Telemetry.Histogram.max;
+  Alcotest.(check (float 1e-9)) "mean" 3.75 (Telemetry.Histogram.mean s);
+  (* Quantiles report the upper bound of the crossing bucket. *)
+  Alcotest.(check bool) "p99 covers the max" true
+    (Telemetry.Histogram.quantile s 0.99 >= 8.0)
+
+let test_histogram_merge_across_domains () =
+  let h = Telemetry.Histogram.make "test.histogram.domains" in
+  with_fresh_registry @@ fun t ->
+  let domains =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            (* Distinct magnitudes per domain so min/max provably come
+               from different shards. *)
+            Telemetry.Histogram.observe h (Float.pow 10. (float_of_int i))))
+  in
+  List.iter Domain.join domains;
+  let s = Telemetry.Histogram.read t h in
+  Alcotest.(check int) "count" 4 s.Telemetry.Histogram.count;
+  Alcotest.(check (float 1e-6)) "sum" 1111.0 s.Telemetry.Histogram.sum;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Telemetry.Histogram.min;
+  Alcotest.(check (float 1e-9)) "max" 1000.0 s.Telemetry.Histogram.max
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let test_span_nesting () =
+  with_fresh_registry @@ fun t ->
+  let result =
+    Telemetry.with_span "outer" (fun () ->
+        Telemetry.with_span "inner" (fun () -> 17))
+  in
+  Alcotest.(check int) "value passes through" 17 result;
+  let spans = Telemetry.spans t in
+  let find name =
+    match
+      List.find_opt (fun s -> s.Telemetry.span_name = name) spans
+    with
+    | Some s -> s
+    | None -> Alcotest.failf "span %s not recorded" name
+  in
+  let outer = find "outer" and inner = find "inner" in
+  Alcotest.(check int) "same domain" outer.Telemetry.tid
+    inner.Telemetry.tid;
+  (* The inner interval lies within the outer one. *)
+  Alcotest.(check bool) "inner starts after outer" true
+    (inner.Telemetry.start_s >= outer.Telemetry.start_s);
+  Alcotest.(check bool) "inner ends before outer" true
+    (inner.Telemetry.start_s +. inner.Telemetry.dur_s
+    <= outer.Telemetry.start_s +. outer.Telemetry.dur_s +. 1e-9)
+
+let test_span_survives_exception () =
+  with_fresh_registry @@ fun t ->
+  (match Telemetry.with_span "failing" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "expected the exception to propagate"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "span recorded despite the raise" true
+    (List.exists
+       (fun s -> s.Telemetry.span_name = "failing")
+       (Telemetry.spans t))
+
+let test_chrome_trace_export () =
+  with_fresh_registry @@ fun t ->
+  Telemetry.with_span "export \"quoted\"" (fun () -> ());
+  let path = Filename.temp_file "aved_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Telemetry.write_chrome_trace t oc;
+      close_out oc;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let content = really_input_string ic len in
+      close_in ic;
+      let contains needle =
+        let nl = String.length needle and cl = String.length content in
+        let rec scan i =
+          i + nl <= cl && (String.sub content i nl = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) "has traceEvents" true
+        (contains "\"traceEvents\"");
+      Alcotest.(check bool) "has complete events" true
+        (contains "\"ph\":\"X\"");
+      Alcotest.(check bool) "escapes quotes in names" true
+        (contains "export \\\"quoted\\\""))
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "basic" `Quick test_counter_basic;
+          Alcotest.test_case "merge across domains" `Quick
+            test_counter_merge_across_domains;
+          Alcotest.test_case "registry isolation" `Quick
+            test_counter_isolated_between_registries;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_disabled_is_noop;
+        ] );
+      ( "gauges-histograms",
+        [
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram summary" `Quick
+            test_histogram_summary;
+          Alcotest.test_case "histogram merge across domains" `Quick
+            test_histogram_merge_across_domains;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "survives exceptions" `Quick
+            test_span_survives_exception;
+          Alcotest.test_case "chrome trace export" `Quick
+            test_chrome_trace_export;
+        ] );
+    ]
