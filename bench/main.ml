@@ -388,6 +388,7 @@ let bench_tests () =
               mttr = Duration.of_hours 24.;
               failover_time = Duration.of_minutes 5.;
               failover_considered = true;
+              repair_mechanism = None;
             };
           ];
         loss_window = None;

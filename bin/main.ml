@@ -160,7 +160,15 @@ let design_cmd =
 (* aved frontier *)
 
 let frontier_cmd =
-  let run infra_file service_file tier_name load jobs stats trace =
+  let explain_flag =
+    let doc =
+      "Annotate each frontier step with what changed against the previous \
+       design and what the extra spend buys (annotation lines start with \
+       '    ^'; the plain frontier lines are unchanged)."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let run infra_file service_file tier_name load explain jobs stats trace =
     handle_spec_errors (fun () ->
         let load =
           match load with Some l -> l | None -> failwith "--load is required"
@@ -182,20 +190,29 @@ let frontier_cmd =
         Format.printf
           "cost-availability frontier of tier %s at load %g (%d designs):@."
           tier.Model.Service.tier_name load (List.length frontier);
+        let prev = ref None in
         List.iter
           (fun (c : Aved_search.Candidate.t) ->
             Format.printf "  %-44s downtime %10.3f min/yr   cost %s/yr@."
               (Aved_search.Candidate.family c
                  ~n_min_nominal:c.model.Aved_avail.Tier_model.n_min)
               (Duration.minutes (Aved_search.Candidate.downtime c))
-              (Aved_units.Money.to_string c.cost))
+              (Aved_units.Money.to_string c.cost);
+            if explain then begin
+              Option.iter
+                (fun p ->
+                  Format.printf "    ^ %s@."
+                    (Aved_explain.Explain.annotate_step ~prev:p ~next:c))
+                !prev;
+              prev := Some c
+            end)
           frontier;
         0)
   in
   let term =
     Term.(
-      const run $ infra_file $ service_file $ tier_arg $ load_arg $ jobs_arg
-      $ stats_arg $ trace_file_arg)
+      const run $ infra_file $ service_file $ tier_arg $ load_arg
+      $ explain_flag $ jobs_arg $ stats_arg $ trace_file_arg)
   in
   Cmd.v
     (Cmd.info "frontier"
@@ -322,60 +339,99 @@ let validate_cmd =
     Term.(const run $ jobs_arg $ stats_arg $ trace_file_arg)
 
 (* ------------------------------------------------------------------ *)
-(* aved explain: per-failure-class downtime attribution *)
+(* aved explain: decision provenance for a design run *)
 
 let explain_cmd =
-  let run infra_file service_file load downtime jobs stats trace =
+  let top_arg =
+    let doc = "Runner-up candidates to show per tier." in
+    Arg.(value & opt int 5 & info [ "top" ] ~doc ~docv:"K")
+  in
+  let json_arg =
+    let doc = "Emit the explanation as a single JSON object on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run infra_file service_file load downtime job_hours top json jobs stats
+      trace =
     handle_spec_errors (fun () ->
-        let load, downtime =
-          match (load, downtime) with
-          | Some l, Some d -> (l, d)
-          | _ -> failwith "--load and --downtime are required"
+        let requirements =
+          match (load, downtime, job_hours) with
+          | Some load, Some minutes, None ->
+              Model.Requirements.enterprise ~throughput:load
+                ~max_annual_downtime:(Duration.of_minutes minutes)
+          | None, None, Some hours ->
+              Model.Requirements.finite_job
+                ~max_execution_time:(Duration.of_hours hours)
+          | _ ->
+              failwith
+                "specify either --load and --downtime, or --job-hours alone"
         in
         let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
         let config = search_config jobs in
         with_telemetry ~stats ?trace @@ fun () ->
-        match
-          Aved.Engine.design ~config infra service
-            (Model.Requirements.enterprise ~throughput:load
-               ~max_annual_downtime:(Duration.of_minutes downtime))
-        with
+        let trail = Aved_search.Provenance.create () in
+        let result =
+          Aved_search.Provenance.with_trail trail @@ fun () ->
+          Aved.Engine.design ~config infra service requirements
+        in
+        match result with
         | None ->
-            print_endline "no feasible design";
+            if json then
+              print_endline
+                (Aved_explain.Json.to_string
+                   (Aved_explain.Json.Obj
+                      [ ("feasible", Aved_explain.Json.Bool false) ]))
+            else print_endline "no feasible design";
             0
         | Some report ->
-            Format.printf "%a@." Aved.Engine.pp_report report;
-            let models =
-              Aved.Engine.evaluate_design infra service report.design
-                ~demand:(Some load)
+            let demand =
+              match requirements with
+              | Model.Requirements.Enterprise { throughput; _ } ->
+                  Some throughput
+              | Model.Requirements.Finite_job _ -> None
             in
-            List.iter
-              (fun (m : Aved_avail.Tier_model.t) ->
-                Format.printf
-                  "@.tier %s — downtime by failure class (min/yr):@."
-                  m.tier_name;
-                let breakdown =
-                  List.sort (fun (_, a) (_, b) -> Float.compare b a)
-                    (Aved_avail.Analytic.downtime_by_class m)
-                in
-                List.iter
-                  (fun (label, fraction) ->
-                    Format.printf "  %-24s %10.3f@." label
-                      (Duration.minutes (Duration.of_years fraction)))
-                  breakdown)
-              models;
+            let models =
+              Aved.Engine.evaluate_design infra service report.design ~demand
+            in
+            let engine = config.Aved_search.Search_config.engine in
+            let explanation =
+              {
+                Aved_explain.Explain.service_name =
+                  service.Model.Service.service_name;
+                engine = Aved_explain.Explain.engine_label engine;
+                cost = report.cost;
+                downtime = report.downtime;
+                execution_time = report.execution_time;
+                tiers =
+                  List.map2
+                    (fun (td : Model.Design.tier_design) model ->
+                      Aved_explain.Explain.explain_tier ~top ~trail ~engine
+                        ~design:td
+                        ~cost:(Model.Design.tier_cost infra td)
+                        ~model ())
+                    report.design.Model.Design.tiers models;
+                noted = Aved_search.Provenance.noted trail;
+                dropped = Aved_search.Provenance.dropped trail;
+              }
+            in
+            if json then
+              print_endline
+                (Aved_explain.Json.to_string
+                   (Aved_explain.Explain.to_json explanation))
+            else Format.printf "%a@." Aved_explain.Explain.pp explanation;
             0)
   in
   let term =
     Term.(
       const run $ infra_file $ service_file $ load_arg $ downtime_arg
-      $ jobs_arg $ stats_arg $ trace_file_arg)
+      $ job_hours_arg $ top_arg $ json_arg $ jobs_arg $ stats_arg
+      $ trace_file_arg)
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
-         "Design a service, then attribute each tier's predicted downtime to \
-          its failure classes.")
+         "Design a service, then explain the decision: per-failure-class \
+          downtime attribution of the winner and the top runner-up \
+          candidates with the reason each one lost.")
     term
 
 (* ------------------------------------------------------------------ *)

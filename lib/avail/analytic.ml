@@ -84,6 +84,15 @@ let availability model =
 
 let annual_downtime model = Duration.of_years (downtime_fraction model)
 
+let mean_failed_resources (model : Tier_model.t) =
+  match chain model with
+  | None -> 0.
+  | Some bd -> Birth_death.expected_reward bd ~reward:float_of_int
+
+(* When the raw sum exceeds 1 the reported fraction is capped, so the
+   contributions are rescaled by the same factor to keep them summing
+   to {!downtime_fraction}; below the cap they are returned as computed
+   (scaling by exactly 1.0 preserves the bits). *)
 let downtime_by_class (model : Tier_model.t) =
   let weight = transient_weight model in
   let chain_down = chain_down_fraction model in
@@ -93,12 +102,18 @@ let downtime_by_class (model : Tier_model.t) =
   let first_order_total =
     List.fold_left (fun acc c -> acc +. first_order c) 0. model.classes
   in
-  List.map
-    (fun (c : Tier_model.failure_class) ->
-      let transient = weight *. c.rate *. transient_outage c in
-      let chain_share =
-        if first_order_total <= 0. then 0.
-        else chain_down *. first_order c /. first_order_total
-      in
-      (c.label, transient +. chain_share))
-    model.classes
+  let raw =
+    List.map
+      (fun (c : Tier_model.failure_class) ->
+        let transient = weight *. c.rate *. transient_outage c in
+        let chain_share =
+          if first_order_total <= 0. then 0.
+          else chain_down *. first_order c /. first_order_total
+        in
+        (c.label, transient +. chain_share))
+      model.classes
+  in
+  let raw_total = chain_down +. transient_down_fraction model in
+  if raw_total > 1. then
+    List.map (fun (label, f) -> (label, f /. raw_total)) raw
+  else raw

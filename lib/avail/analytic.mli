@@ -43,4 +43,9 @@ val downtime_by_class : Tier_model.t -> (string * float) list
     as in the model, in model order. Transient contributions are exact
     per class; the chain's down-state mass is attributed in proportion
     to each class's unavailability product λᵢ·MTTRᵢ (its first-order
-    share). Sums to {!downtime_fraction}. *)
+    share). When the raw sum exceeds the cap of 1, contributions are
+    rescaled proportionally. Sums to {!downtime_fraction}. *)
+
+val mean_failed_resources : Tier_model.t -> float
+(** Stationary expectation of the number of failed resources (the
+    chain's occupancy) — 0 when the tier has no failures. *)

@@ -57,6 +57,57 @@ let tier_downtime_fraction engine model =
       end
       else Monte_carlo.downtime_fraction ~config model
 
+(* ----- downtime decomposition (the explain layer's data source) ----- *)
+
+type class_contribution = {
+  label : string;
+  repair_mechanism : string option;
+  fraction : float;
+}
+
+type decomposition = {
+  total : float;
+  by_class : class_contribution list;
+}
+
+let decompose_calls = Telemetry.Counter.make "avail.engine.decompose.calls"
+
+let tier_downtime_decomposition engine (model : Tier_model.t) =
+  Telemetry.Counter.incr decompose_calls;
+  let total, by_class =
+    match engine with
+    | Analytic | Memoized _ ->
+        (Analytic.downtime_fraction model, Analytic.downtime_by_class model)
+    | Exact { max_states } ->
+        ( Exact.downtime_fraction ~max_states model,
+          Exact.downtime_by_class ~max_states model )
+    | Monte_carlo config ->
+        ( Monte_carlo.downtime_fraction ~config model,
+          Monte_carlo.downtime_by_class ~config model )
+  in
+  (* by_class is in model order for every engine, so zip positionally
+     (labels need not be unique when two elements share a component). *)
+  let by_class =
+    List.map2
+      (fun (c : Tier_model.failure_class) (label, fraction) ->
+        { label; repair_mechanism = c.repair_mechanism; fraction })
+      model.classes by_class
+  in
+  { total; by_class }
+
+let by_mechanism decomposition =
+  let order = ref [] in
+  let sums = Hashtbl.create 8 in
+  List.iter
+    (fun { repair_mechanism; fraction; _ } ->
+      (match Hashtbl.find_opt sums repair_mechanism with
+      | None ->
+          order := repair_mechanism :: !order;
+          Hashtbl.add sums repair_mechanism fraction
+      | Some acc -> Hashtbl.replace sums repair_mechanism (acc +. fraction)))
+    decomposition.by_class;
+  List.rev_map (fun m -> (m, Hashtbl.find sums m)) !order
+
 let tier_availability engine model =
   Availability.of_fraction (1. -. tier_downtime_fraction engine model)
 
@@ -72,7 +123,7 @@ let service_annual_downtime engine models =
 let analytic_job_time engine (model : Tier_model.t) ~job_size =
   let rate_per_hour = model.effective_performance in
   if rate_per_hour <= 0. then
-    invalid_arg "Evaluate.job_completion_time: no throughput";
+    raise (Tier_model.Rejected "Evaluate.job_completion_time: no throughput");
   let ideal = Duration.of_hours (job_size /. rate_per_hour) in
   let availability = tier_availability engine model in
   let mtbf = Tier_model.tier_mtbf model in

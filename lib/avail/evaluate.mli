@@ -20,6 +20,31 @@ val memoized : unit -> engine
 (** [Memoized] with a fresh cache. *)
 
 val tier_downtime_fraction : engine -> Tier_model.t -> float
+
+type class_contribution = {
+  label : string;  (** The failure class, e.g. ["machineA/hard"]. *)
+  repair_mechanism : string option;
+      (** The mechanism the mode delegates repair to, when any. *)
+  fraction : float;  (** Long-run downtime fraction attributed to it. *)
+}
+
+type decomposition = {
+  total : float;  (** The engine's downtime fraction for the tier. *)
+  by_class : class_contribution list;
+      (** One entry per failure class, in model order; the fractions
+          sum to [total] (within float accumulation error). *)
+}
+
+val tier_downtime_decomposition : engine -> Tier_model.t -> decomposition
+(** Per-failure-mode downtime attribution through the chosen engine:
+    Markov steady-state occupancy for [Analytic]/[Memoized] (first-order
+    split of the chain mass) and [Exact] (exact per-state split), the
+    empirical charge-to-cause attribution for [Monte_carlo]. *)
+
+val by_mechanism : decomposition -> (string option * float) list
+(** Contributions grouped by repair mechanism, in first-appearance
+    order; [None] collects the fixed-repair modes. *)
+
 val tier_availability : engine -> Tier_model.t -> Availability.t
 val tier_annual_downtime : engine -> Tier_model.t -> Duration.t
 

@@ -55,7 +55,17 @@ let interrupts (model : Tier_model.t) ~actives =
   | Service.Tier_scope -> true
   | Service.Resource_scope -> actives = model.n_min
 
-let downtime_fraction ?(max_states = 20000) (model : Tier_model.t) =
+(* Shared state-space construction and stationary solve of the
+   multi-mode chain, used by both {!downtime_fraction} and
+   {!downtime_by_class}. *)
+type solution = {
+  states : int array array;
+  classes : Tier_model.failure_class array;  (* chain classes, model order *)
+  pi : float array;
+  n_total : int;
+}
+
+let solve ~max_states (model : Tier_model.t) =
   let n_total = model.n_active + model.n_spare in
   let classes = Array.of_list (chain_classes model) in
   let j = Array.length classes in
@@ -95,7 +105,12 @@ let downtime_fraction ?(max_states = 20000) (model : Tier_model.t) =
           end)
         classes)
     states;
-  let pi = Ctmc.stationary chain in
+  { states; classes; pi = Ctmc.stationary chain; n_total }
+
+let downtime_fraction ?(max_states = 20000) (model : Tier_model.t) =
+  let { states; classes; pi; n_total } = solve ~max_states model in
+  let failed s = Array.fold_left ( + ) 0 s in
+  let actives_of s = Stdlib.min model.n_active (n_total - failed s) in
   let chain_down = ref 0. in
   let transient = ref 0. in
   Array.iteri
@@ -124,6 +139,75 @@ let downtime_fraction ?(max_states = 20000) (model : Tier_model.t) =
       end)
     states;
   Float.min 1. (!chain_down +. !transient)
+
+(* Attribution of the downtime to the failure classes, from the same
+   stationary solve. Down-state mass is attributed to the classes whose
+   failed resources occupy the state, proportionally to their failed
+   counts — exact, unlike Engine A's first-order split. Transients are
+   per class by construction. Rescaled like {!Analytic.downtime_by_class}
+   when the raw sum exceeds the cap of 1. *)
+let downtime_by_class ?(max_states = 20000) (model : Tier_model.t) =
+  let { states; classes; pi; n_total } = solve ~max_states model in
+  let failed s = Array.fold_left ( + ) 0 s in
+  let actives_of s = Stdlib.min model.n_active (n_total - failed s) in
+  let all = Array.of_list model.classes in
+  let contrib = Array.make (Array.length all) 0. in
+  (* Positional maps into [model.classes] (labels need not be unique). *)
+  let indexed = List.mapi (fun i c -> (i, c)) model.classes in
+  let chain_pos =
+    List.filter_map
+      (fun (i, (c : Tier_model.failure_class)) ->
+        if Duration.is_zero c.mttr then None else Some i)
+      indexed
+    |> Array.of_list
+  in
+  let instant_pos =
+    List.filter_map
+      (fun (i, (c : Tier_model.failure_class)) ->
+        if Duration.is_zero c.mttr then Some i else None)
+      indexed
+    |> Array.of_list
+  in
+  Array.iteri
+    (fun i s ->
+      let operational = n_total - failed s in
+      if operational < model.n_min then begin
+        let f = float_of_int (failed s) in
+        if f > 0. then
+          Array.iteri
+            (fun k count ->
+              if count > 0 then
+                contrib.(chain_pos.(k)) <-
+                  contrib.(chain_pos.(k))
+                  +. (pi.(i) *. float_of_int count /. f))
+            s
+      end
+      else begin
+        let a = actives_of s in
+        if a > 0 && interrupts model ~actives:a then begin
+          Array.iteri
+            (fun k (c : Tier_model.failure_class) ->
+              if operational - 1 >= model.n_min then
+                contrib.(chain_pos.(k)) <-
+                  contrib.(chain_pos.(k))
+                  +. (pi.(i) *. float_of_int a *. c.rate *. transient_outage c))
+            classes;
+          Array.iter
+            (fun pos ->
+              let c = all.(pos) in
+              contrib.(pos) <-
+                contrib.(pos)
+                +. (pi.(i) *. float_of_int a *. c.rate *. transient_outage c))
+            instant_pos
+        end
+      end)
+    states;
+  let raw_total = Array.fold_left ( +. ) 0. contrib in
+  let scale = if raw_total > 1. then 1. /. raw_total else 1. in
+  List.mapi
+    (fun i (c : Tier_model.failure_class) ->
+      (c.label, if raw_total > 1. then contrib.(i) *. scale else contrib.(i)))
+    model.classes
 
 let availability ?max_states model =
   Availability.of_fraction (1. -. downtime_fraction ?max_states model)

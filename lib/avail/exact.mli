@@ -19,6 +19,15 @@ val downtime_fraction : ?max_states:int -> Tier_model.t -> float
 (** Raises [Invalid_argument] when the state space exceeds
     [max_states] (default 20000). *)
 
+val downtime_by_class :
+  ?max_states:int -> Tier_model.t -> (string * float) list
+(** Attribution of {!downtime_fraction} to the failure classes, in
+    model order, from the same stationary solve. Down-state mass π(s)
+    is split over the classes with failed resources in [s] in
+    proportion to their failed counts — exact, unlike Engine A's
+    first-order split — and transients are per class by construction.
+    Sums to {!downtime_fraction} (up to the cap rescale). *)
+
 val availability :
   ?max_states:int -> Tier_model.t -> Aved_reliability.Availability.t
 

@@ -51,6 +51,12 @@ type state = {
   mutable spares : int;  (* cold/idle operational spares *)
   mutable clock : float;
   mutable downtime : float;
+  (* Empirical attribution: index of the class whose failure last took
+     the tier down (-1 before any such event), and downtime accrued per
+     class. Repairs and further failures while down do not reassign the
+     cause; [class_downtime] sums to [downtime] by construction. *)
+  mutable down_cause : int;
+  class_downtime : float array;
   (* Hooks for the job model. *)
   mutable on_advance : float -> float -> unit;
   mutable on_failure : unit -> unit;
@@ -101,6 +107,8 @@ let make_state model rng shapes =
       spares = model.Tier_model.n_spare;
       clock = 0.;
       downtime = 0.;
+      down_cause = -1;
+      class_downtime = Array.make (Array.length classes) 0.;
       on_advance = (fun _ _ -> ());
       on_failure = (fun () -> ());
     }
@@ -116,7 +124,9 @@ let handle_event st = function
   | Unit_failure i ->
       let c = st.classes.(i) in
       st.on_failure ();
+      let was_up = is_up st in
       st.active <- st.active - 1;
+      if was_up && not (is_up st) then st.down_cause <- i;
       let repair_delay = Distribution.sample c.repair_dist st.rng in
       Event_queue.push st.queue ~time:(st.clock +. repair_delay) Repair_complete;
       (* Spare activation: only when failover is considered for this
@@ -156,7 +166,13 @@ let run st ~stop ~continue =
     let t_next = Float.min stop t_event in
     if Float.is_finite t_next then begin
       st.on_advance st.clock t_next;
-      if not (is_up st) then st.downtime <- st.downtime +. (t_next -. st.clock);
+      if not (is_up st) then begin
+        let dt = t_next -. st.clock in
+        st.downtime <- st.downtime +. dt;
+        if st.down_cause >= 0 then
+          st.class_downtime.(st.down_cause) <-
+            st.class_downtime.(st.down_cause) +. dt
+      end;
       st.clock <- t_next
     end;
     if t_next >= stop then finished := true
@@ -188,6 +204,32 @@ let downtime_fractions ?(config = default_config)
 
 let downtime_fraction ?config ?shapes model =
   (downtime_fractions ?config ?shapes model).mean
+
+(* Empirical attribution: each replication charges every down interval
+   to the class whose failure took the tier down, so the per-class sums
+   equal the replication's downtime exactly; the attribution replays
+   the same seeded trajectories as {!downtime_fraction}. A tier built
+   down (n_min > n_active, impossible via {!Tier_model.build}) would
+   leave its initial downtime unattributed. *)
+let downtime_by_class ?(config = default_config)
+    ?(shapes = exponential_shapes) model =
+  let horizon = Duration.seconds config.horizon in
+  let j = List.length model.Tier_model.classes in
+  let sums = Array.make (Stdlib.max 1 j) 0. in
+  let per_replication =
+    replicate config ~body:(fun rng ->
+        let st = make_state model rng shapes in
+        run st ~stop:horizon ~continue:(fun () -> true);
+        st.class_downtime)
+  in
+  List.iter
+    (fun cd -> Array.iteri (fun i v -> sums.(i) <- sums.(i) +. v) cd)
+    per_replication;
+  let n = float_of_int config.replications in
+  List.mapi
+    (fun i (c : Tier_model.failure_class) ->
+      (c.Tier_model.label, sums.(i) /. n /. horizon))
+    model.Tier_model.classes
 
 let downtime_fraction_samples ?(config = default_config)
     ?(shapes = exponential_shapes) model =
@@ -221,7 +263,7 @@ let job_completion_times ?(config = default_config)
     model.Tier_model.effective_performance /. 3600. (* units/hour -> /s *)
   in
   if rate_per_second <= 0. then
-    invalid_arg "Monte_carlo.job_completion_times: no throughput";
+    raise (Tier_model.Rejected "Monte_carlo.job_completion_times: no throughput");
   let lw_seconds = Option.map Duration.seconds model.Tier_model.loss_window in
   let cap = Duration.seconds (Duration.of_years 1000.) in
   let samples =

@@ -53,6 +53,15 @@ val downtime_fraction :
 val annual_downtime :
   ?config:config -> ?shapes:shapes -> Tier_model.t -> Aved_units.Duration.t
 
+val downtime_by_class :
+  ?config:config -> ?shapes:shapes -> Tier_model.t -> (string * float) list
+(** Empirical attribution of the downtime fraction to the failure
+    classes, in model order: every down interval is charged to the
+    class whose failure took the tier down (repairs and further
+    failures while already down do not reassign the cause). Replays the
+    same seeded trajectories as {!downtime_fraction}, so the per-class
+    fractions sum to its result up to float accumulation order. *)
+
 val job_completion_times :
   ?config:config -> ?shapes:shapes -> Tier_model.t -> job_size:float ->
   Aved_stats.Stats.summary

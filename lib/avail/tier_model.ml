@@ -2,12 +2,17 @@ module Duration = Aved_units.Duration
 module Model = Aved_model
 module Perf_function = Aved_perf.Perf_function
 
+exception Rejected of string
+
+let reject fmt = Printf.ksprintf (fun msg -> raise (Rejected msg)) fmt
+
 type failure_class = {
   label : string;
   rate : float;
   mttr : Duration.t;
   failover_time : Duration.t;
   failover_considered : bool;
+  repair_mechanism : string option;
 }
 
 type t = {
@@ -83,10 +88,8 @@ let compute_n_min ~(option : Model.Service.resource_option) ~design
           let n_active = design.Model.Design.n_active in
           let rec search k =
             if k > n_active then
-              invalid_arg
-                (Printf.sprintf
-                   "Tier_model: tier %s cannot deliver %g with %d resources"
-                   design.tier_name demand n_active)
+              reject "Tier_model: tier %s cannot deliver %g with %d resources"
+                design.tier_name demand n_active
             else if effective_perf ~option ~design ~n:k >= demand then k
             else search (k + 1)
           in
@@ -167,6 +170,10 @@ let build ~infra ~(option : Model.Service.resource_option)
               failover_time;
               failover_considered =
                 design.n_spare > 0 && Duration.compare mttr failover_time > 0;
+              repair_mechanism =
+                (match fm.repair with
+                | Model.Component.Fixed_repair _ -> None
+                | Model.Component.Repair_by_mechanism mech -> Some mech);
             })
           c.failure_modes)
       resource.elements
@@ -185,10 +192,8 @@ let build ~infra ~(option : Model.Service.resource_option)
   in
   (match demand with
   | Some d when effective_performance < d ->
-      invalid_arg
-        (Printf.sprintf
-           "Tier_model: tier %s delivers %g < required %g with %d resources"
-           design.tier_name effective_performance d n_active)
+      reject "Tier_model: tier %s delivers %g < required %g with %d resources"
+        design.tier_name effective_performance d n_active
   | Some _ | None -> ());
   {
     tier_name = design.tier_name;

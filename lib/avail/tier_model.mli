@@ -16,6 +16,13 @@
 
 module Duration = Aved_units.Duration
 
+exception Rejected of string
+(** A design that the model layer rejects on its merits — it cannot
+    deliver the required throughput with the resources it has. Distinct
+    from [Invalid_argument], which is reserved for malformed inputs
+    (dangling references, missing mechanism settings): the search counts
+    [Rejected] candidates and lets programming errors propagate. *)
+
 type failure_class = {
   label : string;  (** e.g. ["machineA/hard"]. *)
   rate : float;  (** Failures per second of one active resource. *)
@@ -28,6 +35,11 @@ type failure_class = {
   failover_considered : bool;
       (** Per the paper: only when [mttr > failover_time] and the design
           has spares. *)
+  repair_mechanism : string option;
+      (** Name of the availability mechanism the mode delegates repair
+          to (e.g. a maintenance contract), [None] for a fixed repair
+          time. Purely descriptive — engines ignore it; the explain
+          layer groups downtime contributions by it. *)
 }
 
 type t = {
@@ -66,9 +78,11 @@ val build :
   t
 (** Derives the model. [demand] is the tier's throughput requirement
     (needed to compute [m] under dynamic sizing; [None] only for finite
-    jobs, where [m = n]). Raises [Invalid_argument] when the design does
-    not deliver [demand] with all [n_active] resources, when [m] cannot
-    be established, or on dangling references. *)
+    jobs, where [m = n]). Raises {!Rejected} when the design does not
+    deliver [demand] with all [n_active] resources or when [m] cannot be
+    established — genuine model rejections the search counts — and
+    [Invalid_argument] on malformed inputs (dangling references, missing
+    mechanism settings). *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -1,0 +1,65 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest representation that round-trips: try 15 significant digits,
+   fall back to 17. *)
+let float_repr f =
+  let s = Printf.sprintf "%.15g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec add_to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_repr f)
+      else Buffer.add_string buf "null"
+  | String s -> add_escaped buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_to_buffer buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf key;
+          Buffer.add_char buf ':';
+          add_to_buffer buf value)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 1024 in
+  add_to_buffer buf json;
+  Buffer.contents buf
+
+let of_float_option = function Some f -> Float f | None -> Null
+let of_string_option = function Some s -> String s | None -> Null

@@ -1,0 +1,25 @@
+(** Minimal JSON values and serializer for the machine-readable explain
+    export ([aved explain --json]). Hand-rolled on purpose: the repo
+    carries no JSON dependency, and emission is all the explain layer
+    needs. Floats are printed with enough digits to round-trip (so
+    downstream validators can check contribution sums to 1e-9);
+    non-finite floats serialize as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact serialization (no insignificant whitespace). *)
+
+val add_to_buffer : Buffer.t -> t -> unit
+
+val of_float_option : float option -> t
+(** [Float f] or [Null]. *)
+
+val of_string_option : string option -> t

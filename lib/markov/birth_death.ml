@@ -47,6 +47,12 @@ let stationary t =
   let total = Array.fold_left ( +. ) 0. unnorm in
   Array.map (fun p -> p /. total) unnorm
 
+let expected_reward t ~reward =
+  let pi = stationary t in
+  let acc = ref 0. in
+  Array.iteri (fun k p -> acc := !acc +. (p *. reward k)) pi;
+  !acc
+
 let probability_at_least t k =
   let pi = stationary t in
   let acc = ref 0. in

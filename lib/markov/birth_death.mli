@@ -23,6 +23,11 @@ val stationary : t -> float array
 (** The stationary distribution. States made unreachable by a zero
     up-rate below them get probability 0. *)
 
+val expected_reward : t -> reward:(int -> float) -> float
+(** Stationary expectation [Σ_k π_k · reward k] — the occupancy export
+    used to report quantities like the mean number of failed resources
+    (mirrors {!Ctmc.expected_reward}). *)
+
 val probability_at_least : t -> int -> float
 (** [probability_at_least t k] is the stationary probability of being in
     a state [>= k]. *)

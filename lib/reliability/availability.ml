@@ -50,4 +50,14 @@ let of_annual_downtime d =
   of_fraction (1. -. Float.min 1. frac)
 
 let unavailability a = 1. -. a
+
+let nines a =
+  let u = 1. -. a in
+  if u <= 0. then Float.infinity else -.Float.log10 u
+
 let pp ppf a = Format.fprintf ppf "%.6f" a
+
+let pp_nines ppf a =
+  let n = nines a in
+  if Float.is_finite n then Format.fprintf ppf "%.1f" n
+  else Format.pp_print_string ppf "inf"

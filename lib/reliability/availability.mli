@@ -34,4 +34,13 @@ val of_annual_downtime : Aved_units.Duration.t -> t
 (** Inverse of {!annual_downtime}; downtime is clamped to one year. *)
 
 val unavailability : t -> float
+
+val nines : t -> float
+(** [−log₁₀(1 − a)]: 0.999 is 3 nines, 0.99999 is 5. [infinity] for a
+    perfect availability. *)
+
 val pp : Format.formatter -> t -> unit
+
+val pp_nines : Format.formatter -> t -> unit
+(** {!nines} to one decimal ("3.7"); ["inf"] when perfect. The shared
+    formatter behind the [explain] and [frontier --explain] outputs. *)

@@ -2,6 +2,7 @@ module Duration = Aved_units.Duration
 module Money = Aved_units.Money
 module Design = Aved_model.Design
 module Mechanism = Aved_model.Mechanism
+module Availability = Aved_reliability.Availability
 
 type t = {
   design : Design.tier_design;
@@ -11,6 +12,9 @@ type t = {
 }
 
 let downtime t = Duration.of_years t.downtime_fraction
+let availability t = Availability.of_fraction (1. -. t.downtime_fraction)
+let nines t = Availability.nines (availability t)
+let pp_nines ppf t = Availability.pp_nines ppf (availability t)
 
 let compare_total a b =
   match Money.compare a.cost b.cost with

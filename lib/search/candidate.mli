@@ -13,6 +13,17 @@ type t = {
 val downtime : t -> Duration.t
 (** Expected annual downtime. *)
 
+val availability : t -> Aved_reliability.Availability.t
+(** [1 − downtime_fraction]. *)
+
+val nines : t -> float
+(** Availability in nines ({!Aved_reliability.Availability.nines}). *)
+
+val pp_nines : Format.formatter -> t -> unit
+(** The shared nines formatter used by [explain] and
+    [frontier --explain] (and available to [design] output); {!pp}
+    itself stays min/yr-only so golden outputs are unchanged. *)
+
 val compare_total : t -> t -> int
 (** Cheaper first, then less downtime, then
     {!Aved_model.Design.compare_tier}. A total order on candidates of

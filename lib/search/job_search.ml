@@ -14,6 +14,17 @@ type candidate = {
   execution_time : Duration.t;
 }
 
+(* Provenance helper: one record of a job-search candidate. *)
+let provenance_record ~tier c fate =
+  {
+    Provenance.tier;
+    design = c.design;
+    cost = c.cost;
+    downtime = None;
+    execution_time = Some c.execution_time;
+    fate;
+  }
+
 let evaluate config infra ~option ~job_size design =
   let model = Avail.Tier_model.build ~infra ~option ~design ~demand:None in
   let execution_time =
@@ -65,9 +76,6 @@ let eval_settings config infra ~tier_name
     ~(option : Model.Service.resource_option) ~job_size ~max_time ~total
     ?cost_cap settings =
   let resource = Model.Infrastructure.resource_exn infra option.resource in
-  let within_cap cost =
-    match cost_cap with None -> true | Some cap -> Money.(cost <= cap)
-  in
   let candidates = ref [] in
   let min_cost = ref None in
   let generated = ref 0
@@ -95,13 +103,38 @@ let eval_settings config infra ~tier_name
                match !min_cost with
                | None -> Some cost
                | Some m -> Some (Money.min m cost));
-            if within_cap cost then (
-              match evaluate config infra ~option ~job_size design with
-              | candidate ->
-                  incr evaluated;
-                  candidates := candidate :: !candidates
-              | exception Invalid_argument _ -> incr rejected)
-            else incr pruned)
+            match cost_cap with
+            | Some cap when not Money.(cost <= cap) ->
+                incr pruned;
+                Provenance.note (fun () ->
+                    {
+                      Provenance.tier = tier_name;
+                      design;
+                      cost;
+                      downtime = None;
+                      execution_time = None;
+                      fate = Over_cost_cap { excess = Money.sub cost cap };
+                    })
+            | Some _ | None -> (
+                (* Only genuine model rejections are caught and counted
+                   ({!Aved_avail.Tier_model.Rejected}); an
+                   [Invalid_argument] here is a programming error and
+                   propagates. *)
+                match evaluate config infra ~option ~job_size design with
+                | candidate ->
+                    incr evaluated;
+                    candidates := candidate :: !candidates
+                | exception Avail.Tier_model.Rejected reason ->
+                    incr rejected;
+                    Provenance.note (fun () ->
+                        {
+                          Provenance.tier = tier_name;
+                          design;
+                          cost;
+                          downtime = None;
+                          execution_time = None;
+                          fate = Rejected_by_model { reason };
+                        })))
           (if n_spare = 0 || not config.Search_config.explore_spare_modes then
              [ [] ]
            else Model.Resource.downward_closed_subsets resource))
@@ -202,12 +235,34 @@ let search_option ?pool ?shared config infra ~tier_name ~option ~job_size
             (fun c -> Duration.compare c.execution_time max_time <= 0)
             candidates
         in
+        if Provenance.enabled () then
+          List.iter
+            (fun c ->
+              if Duration.compare c.execution_time max_time > 0 then
+                Provenance.note (fun () ->
+                    provenance_record ~tier:tier_name c
+                      (Over_downtime_budget
+                         {
+                           excess = Duration.sub c.execution_time max_time;
+                         })))
+            candidates;
         List.iter
           (fun c ->
             match !best with
-            | Some b when not (better c b) -> ()
+            | Some b when not (better c b) ->
+                Provenance.note (fun () ->
+                    provenance_record ~tier:tier_name c
+                      (Dominated { by = Provenance.describe b.design }))
             | Some _ | None ->
+                Option.iter
+                  (fun b ->
+                    Provenance.note (fun () ->
+                        provenance_record ~tier:tier_name b
+                          (Dominated { by = Provenance.describe c.design })))
+                  !best;
                 best := Some c;
+                Provenance.note (fun () ->
+                    provenance_record ~tier:tier_name c Incumbent);
                 Option.iter
                   (fun inc -> Incumbent.propose inc (Money.to_float c.cost))
                   shared)
@@ -252,17 +307,32 @@ let optimal ?pool config infra ~(tier : Model.Service.tier) ~job_size
   Telemetry.with_span "search.job.optimal" @@ fun () ->
   with_pool ?pool config @@ fun pool ->
   let shared = Incumbent.create () in
-  merge_best
-    (Pool.map pool
-       (fun option ->
-         let body () =
-           search_option ~pool ~shared config infra
-             ~tier_name:tier.tier_name ~option ~job_size ~max_time ()
-         in
-         if Telemetry.enabled () then
-           Telemetry.with_span ("search.option:" ^ option.resource) body
-         else body ())
-       tier.options)
+  let results =
+    Pool.map pool
+      (fun option ->
+        let body () =
+          search_option ~pool ~shared config infra
+            ~tier_name:tier.tier_name ~option ~job_size ~max_time ()
+        in
+        if Telemetry.enabled () then
+          Telemetry.with_span ("search.option:" ^ option.resource) body
+        else body ())
+      tier.options
+  in
+  let best = merge_best results in
+  (match best with
+  | Some winner when Provenance.enabled () ->
+      List.iter
+        (fun result ->
+          match result with
+          | Some b when b != winner ->
+              Provenance.note (fun () ->
+                  provenance_record ~tier:tier.tier_name b
+                    (Dominated { by = Provenance.describe winner.design }))
+          | Some _ | None -> ())
+        results
+  | Some _ | None -> ());
+  best
 
 let frontier ?pool config infra ~(tier : Model.Service.tier) ~job_size
     ~max_time =

@@ -134,6 +134,47 @@ let combine_frontiers ?pool frontiers ~budget_fraction =
     |> Option.map (fun (_, _, chosen) -> chosen)
   end
 
+(* Provenance of the frontier combination: for every tier, each
+   frontier point cheaper than the chosen one would — with the other
+   tiers' choices held fixed — push the series downtime over the
+   budget. Record by how much, so the combination step is auditable
+   tier by tier. Runs only when a trail is installed, after the
+   combination, and never influences the selection. *)
+let note_budget_swaps tiers frontiers chosen ~budget_fraction =
+  let chosen = Array.of_list chosen in
+  List.iteri
+    (fun i frontier ->
+      let tier_name =
+        (List.nth tiers i).Model.Service.tier_name
+      in
+      let up_others = ref 1. in
+      Array.iteri
+        (fun j (c : Candidate.t) ->
+          if j <> i then up_others := !up_others *. (1. -. c.downtime_fraction))
+        chosen;
+      List.iter
+        (fun (c : Candidate.t) ->
+          if Money.(c.cost < chosen.(i).Candidate.cost) then begin
+            let total = 1. -. (!up_others *. (1. -. c.downtime_fraction)) in
+            if total > budget_fraction then
+              Provenance.note (fun () ->
+                  {
+                    Provenance.tier = tier_name;
+                    design = c.design;
+                    cost = c.cost;
+                    downtime = Some (Candidate.downtime c);
+                    execution_time = None;
+                    fate =
+                      Over_downtime_budget
+                        {
+                          excess =
+                            Duration.of_years (total -. budget_fraction);
+                        };
+                  })
+          end)
+        frontier)
+    frontiers
+
 let enterprise_design ?pool config infra (service : Model.Service.t)
     ~throughput ~max_annual_downtime =
   let budget_fraction = Duration.years max_annual_downtime in
@@ -165,11 +206,19 @@ let enterprise_design ?pool config infra (service : Model.Service.t)
           service.tiers
       in
       if List.exists (fun f -> f = []) frontiers then None
-      else
-        (Telemetry.with_span "search.service.combine" @@ fun () ->
-         combine_frontiers ?pool frontiers ~budget_fraction)
-        |> Option.map
-             (enterprise_report ~service_name:service.service_name)
+      else begin
+        let chosen =
+          Telemetry.with_span "search.service.combine" @@ fun () ->
+          combine_frontiers ?pool frontiers ~budget_fraction
+        in
+        (match chosen with
+        | Some chosen when Provenance.enabled () ->
+            note_budget_swaps service.tiers frontiers chosen ~budget_fraction
+        | Some _ | None -> ());
+        Option.map
+          (enterprise_report ~service_name:service.service_name)
+          chosen
+      end
     end
   end
   else None

@@ -6,6 +6,19 @@ module Pool = Aved_parallel.Pool
 module Incumbent = Aved_parallel.Incumbent
 module Telemetry = Aved_telemetry.Telemetry
 
+(* Provenance helper: one record of an enterprise-search candidate.
+   Only called from inside a [Provenance.note] thunk or behind
+   [Provenance.enabled], so the disabled path stays allocation-free. *)
+let provenance_record ~tier (c : Candidate.t) fate =
+  {
+    Provenance.tier;
+    design = c.Candidate.design;
+    cost = c.Candidate.cost;
+    downtime = Some (Candidate.downtime c);
+    execution_time = None;
+    fate;
+  }
+
 let settings_product infra resource =
   let mechanisms = Model.Infrastructure.resource_mechanisms infra resource in
   let rec product = function
@@ -53,9 +66,6 @@ let evaluate config infra ~option ~demand design =
 let eval_settings config infra ~tier_name
     ~(option : Model.Service.resource_option) ~demand ~total ?cost_cap
     settings =
-  let within_cap cost =
-    match cost_cap with None -> true | Some cap -> Money.(cost <= cap)
-  in
   match Avail.Tier_model.minimum_actives ~option ~settings ~demand with
   | None -> ([], None)
   | Some n_min ->
@@ -89,13 +99,34 @@ let eval_settings config infra ~tier_name
                  match !min_cost with
                  | None -> Some cost
                  | Some m -> Some (Money.min m cost));
-              if within_cap cost then (
-                match evaluate config infra ~option ~demand design with
-                | candidate ->
-                    incr evaluated;
-                    candidates := candidate :: !candidates
-                | exception Invalid_argument _ -> incr rejected)
-              else incr pruned)
+              match cost_cap with
+              | Some cap when not Money.(cost <= cap) ->
+                  incr pruned;
+                  Provenance.note (fun () ->
+                      {
+                        Provenance.tier = tier_name;
+                        design;
+                        cost;
+                        downtime = None;
+                        execution_time = None;
+                        fate = Over_cost_cap { excess = Money.sub cost cap };
+                      })
+              | Some _ | None -> (
+                  match evaluate config infra ~option ~demand design with
+                  | candidate ->
+                      incr evaluated;
+                      candidates := candidate :: !candidates
+                  | exception Avail.Tier_model.Rejected reason ->
+                      incr rejected;
+                      Provenance.note (fun () ->
+                          {
+                            Provenance.tier = tier_name;
+                            design;
+                            cost;
+                            downtime = None;
+                            execution_time = None;
+                            fate = Rejected_by_model { reason };
+                          })))
             (spare_mode_choices config infra option.resource ~n_spare))
         n_values;
       Search_metrics.flush ~tier_name ~generated:!generated
@@ -210,12 +241,36 @@ let search_option ?pool ?shared config infra ~tier_name
             (fun c -> c.Candidate.downtime_fraction <= max_downtime_fraction)
             candidates
         in
+        if Provenance.enabled () then
+          List.iter
+            (fun (c : Candidate.t) ->
+              if c.Candidate.downtime_fraction > max_downtime_fraction then
+                Provenance.note (fun () ->
+                    provenance_record ~tier:tier_name c
+                      (Over_downtime_budget
+                         {
+                           excess =
+                             Duration.sub (Candidate.downtime c) max_downtime;
+                         })))
+            candidates;
         List.iter
           (fun c ->
             match !best with
-            | Some b when not (better c b) -> ()
+            | Some b when not (better c b) ->
+                Provenance.note (fun () ->
+                    provenance_record ~tier:tier_name c
+                      (Dominated { by = Provenance.describe b.Candidate.design }))
             | Some _ | None ->
+                Option.iter
+                  (fun b ->
+                    Provenance.note (fun () ->
+                        provenance_record ~tier:tier_name b
+                          (Dominated
+                             { by = Provenance.describe c.Candidate.design })))
+                  !best;
                 best := Some c;
+                Provenance.note (fun () ->
+                    provenance_record ~tier:tier_name c Incumbent);
                 Option.iter
                   (fun inc ->
                     Incumbent.propose inc (Money.to_float c.Candidate.cost))
@@ -260,22 +315,41 @@ let merge_best results =
       | Some a, Some b -> if better b a then Some b else Some a)
     None results
 
+(* After the merge, record why each losing branch's local best lost —
+   sequentially, so the notes do not race with the pool workers. *)
+let note_merge_losers ~tier results winner =
+  if Provenance.enabled () then
+    List.iter
+      (fun result ->
+        match result with
+        | Some (b : Candidate.t) when b != winner ->
+            Provenance.note (fun () ->
+                provenance_record ~tier b
+                  (Dominated
+                     { by = Provenance.describe winner.Candidate.design }))
+        | Some _ | None -> ())
+      results
+
 let optimal ?pool config infra ~(tier : Model.Service.tier) ~demand
     ~max_downtime =
   Telemetry.with_span "search.tier.optimal" @@ fun () ->
   with_pool ?pool config @@ fun pool ->
   let shared = Incumbent.create () in
-  merge_best
-    (Pool.map pool
-       (fun option ->
-         let body () =
-           search_option ~pool ~shared config infra
-             ~tier_name:tier.tier_name ~option ~demand ~max_downtime ()
-         in
-         if Telemetry.enabled () then
-           Telemetry.with_span ("search.option:" ^ option.resource) body
-         else body ())
-       tier.options)
+  let results =
+    Pool.map pool
+      (fun option ->
+        let body () =
+          search_option ~pool ~shared config infra
+            ~tier_name:tier.tier_name ~option ~demand ~max_downtime ()
+        in
+        if Telemetry.enabled () then
+          Telemetry.with_span ("search.option:" ^ option.resource) body
+        else body ())
+      tier.options
+  in
+  let best = merge_best results in
+  Option.iter (note_merge_losers ~tier:tier.tier_name results) best;
+  best
 
 let frontier ?pool config infra ~(tier : Model.Service.tier) ~demand =
   Telemetry.with_span "search.tier.frontier" @@ fun () ->

@@ -21,6 +21,7 @@ let failure_class ?(label = "c/m") ~mtbf_days ~mttr ~failover
     mttr;
     failover_time = failover;
     failover_considered;
+    repair_mechanism = None;
   }
 
 let model ?(n_active = 1) ?(n_min = 1) ?(n_spare = 0)
@@ -376,7 +377,7 @@ let test_build_rejects_undersized () =
          ~demand:(Some 1000.)
      with
     | _ -> false
-    | exception Invalid_argument _ -> true)
+    | exception Tier_model.Rejected _ -> true)
 
 let test_build_scientific_loss_window () =
   let infra = Aved.Experiments.infrastructure_bronze () in

@@ -145,6 +145,62 @@ let test_stats_does_not_change_stdout () =
   Alcotest.(check int) "stats exit" 0 s1;
   Alcotest.(check string) "stdout byte-identical" plain with_stats
 
+let test_explain_json () =
+  let status, stdout, _ =
+    run_aved
+      (Printf.sprintf "explain -i %s -s %s --load 400 --downtime 100 --json"
+         (spec "infrastructure.spec") (spec "ecommerce.spec"))
+  in
+  Alcotest.(check int) "exit status" 0 status;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) ("has " ^ key) true
+        (contains stdout (Printf.sprintf "\"%s\"" key)))
+    [
+      "service"; "engine"; "tiers"; "downtime_minutes_per_year"; "by_class";
+      "runner_ups"; "fate"; "provenance";
+    ];
+  Alcotest.(check bool) "closes the object" true
+    (String.length (String.trim stdout) > 2
+    && (String.trim stdout).[0] = '{'
+    && (String.trim stdout).[String.length (String.trim stdout) - 1] = '}')
+
+let test_explain_human () =
+  let status, stdout, _ =
+    run_aved
+      (Printf.sprintf "explain -i %s -s %s --load 400 --downtime 100 --top 3"
+         (spec "infrastructure.spec") (spec "ecommerce.spec"))
+  in
+  Alcotest.(check int) "exit status" 0 status;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true
+        (contains stdout needle))
+    [ "by failure mode"; "runner-ups"; "nines"; "min/yr" ]
+
+let test_frontier_explain_is_superset () =
+  let args tail =
+    Printf.sprintf "frontier -i %s -s %s --tier application --load 400%s"
+      (spec "infrastructure.spec") (spec "ecommerce.spec") tail
+  in
+  let s0, plain, _ = run_aved (args "") in
+  let s1, explained, _ = run_aved (args " --explain") in
+  Alcotest.(check int) "plain exit" 0 s0;
+  Alcotest.(check int) "explain exit" 0 s1;
+  (* Annotation lines carry a distinctive prefix; dropping them must
+     recover the plain output byte for byte. *)
+  let without_annotations =
+    String.split_on_char '\n' explained
+    |> List.filter (fun line ->
+           not
+             (String.length line >= 6 && String.sub line 0 6 = "    ^ "))
+    |> String.concat "\n"
+  in
+  Alcotest.(check string) "annotations are purely additive" plain
+    without_annotations;
+  Alcotest.(check bool) "has at least one annotation" true
+    (contains explained "    ^ ")
+
 let () =
   Alcotest.run "cli"
     [
@@ -163,5 +219,12 @@ let () =
             test_stats_and_trace;
           Alcotest.test_case "--stats leaves stdout unchanged" `Quick
             test_stats_does_not_change_stdout;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "explain --json" `Quick test_explain_json;
+          Alcotest.test_case "explain human report" `Quick test_explain_human;
+          Alcotest.test_case "frontier --explain is additive" `Quick
+            test_frontier_explain_is_superset;
         ] );
     ]

@@ -45,6 +45,7 @@ let gen_model ?(max_mtbf_days = 600.) ~max_classes () =
           mttr;
           failover_time = failover;
           failover_considered = s > 0 && Duration.compare mttr failover > 0;
+          repair_mechanism = None;
         })
       raw
   in

@@ -116,6 +116,7 @@ let gen_small_model =
           mttr;
           failover_time = failover;
           failover_considered = s > 0 && Duration.compare mttr failover > 0;
+          repair_mechanism = None;
         })
       raw
   in

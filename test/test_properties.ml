@@ -55,6 +55,7 @@ let gen_tier_model =
           mttr;
           failover_time = failover;
           failover_considered = s > 0 && Duration.compare mttr failover > 0;
+          repair_mechanism = None;
         })
       raw
   in
@@ -217,6 +218,36 @@ let analytic_spare_helps =
               m.classes)
       || after < before))
 
+let exact_breakdown_sums =
+  QCheck2.Test.make ~name:"exact per-class breakdown sums to the total"
+    ~count:150 gen_tier_model (fun m ->
+      let total = Aved_avail.Exact.downtime_fraction m in
+      let parts =
+        List.fold_left
+          (fun acc (_, f) -> acc +. f)
+          0.
+          (Aved_avail.Exact.downtime_by_class m)
+      in
+      Float.abs (total -. parts) < 1e-12 +. (1e-9 *. total))
+
+let decomposition_matches_by_class =
+  (* Evaluate.tier_downtime_decomposition is the engines' per-class
+     attribution re-labeled: the total must equal the engine's downtime
+     fraction bit-for-bit and the per-class fractions must match the
+     engine's own breakdown. *)
+  QCheck2.Test.make ~name:"decomposition equals the engine breakdown"
+    ~count:150 gen_tier_model (fun m ->
+      let d =
+        Aved_avail.Evaluate.tier_downtime_decomposition
+          Aved_avail.Evaluate.Analytic m
+      in
+      d.Aved_avail.Evaluate.total = Aved_avail.Analytic.downtime_fraction m
+      && List.for_all2
+           (fun (c : Aved_avail.Evaluate.class_contribution) (label, f) ->
+             String.equal c.label label && c.fraction = f)
+           d.by_class
+           (Aved_avail.Analytic.downtime_by_class m))
+
 let exact_agrees_on_singleton_class =
   QCheck2.Test.make ~name:"exact engine equals analytic for one class"
     ~count:150
@@ -339,6 +370,8 @@ let () =
           qtest analytic_downtime_bounded;
           qtest analytic_breakdown_sums;
           qtest analytic_spare_helps;
+          qtest exact_breakdown_sums;
+          qtest decomposition_matches_by_class;
           qtest exact_agrees_on_singleton_class;
         ] );
       ( "pareto",

@@ -432,6 +432,31 @@ let test_sensitivity_improvement_direction () =
         true (reliable <= nominal)
   | _ -> Alcotest.fail "expected designs under both variations"
 
+let test_sensitivity_monotone_ladder () =
+  (* Optimal cost is non-increasing along an MTBF-scaling ladder: more
+     reliable parts never force a more expensive design. *)
+  let cost_at scale =
+    let scaled =
+      Sensitivity.scaled_infrastructure (infra ())
+        { Sensitivity.nominal with mtbf_scale = scale }
+    in
+    Tier_search.optimal config scaled ~tier:(app_tier ()) ~demand:1000.
+      ~max_downtime:(Duration.of_minutes 100.)
+    |> Option.fold ~none:Float.infinity ~some:(fun c ->
+           Money.to_float c.Candidate.cost)
+  in
+  let ladder = List.map cost_at [ 0.5; 1.; 2.; 4. ] in
+  Alcotest.(check bool) "nominal feasible" true
+    (List.for_all Float.is_finite (List.tl ladder));
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> b <= a && monotone rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "costs non-increasing (%s)"
+       (String.concat " >= " (List.map (Printf.sprintf "%g") ladder)))
+    true (monotone ladder)
+
 let test_sensitivity_outcomes () =
   let outcomes =
     Sensitivity.tier_sensitivity config (infra ()) ~tier:(app_tier ())
@@ -481,6 +506,46 @@ let test_adaptive_replay () =
   Alcotest.(check int) "redesign count" 3 replay.redesigns;
   Alcotest.(check bool) "average cost positive" true
     (Money.to_float replay.average_cost > 0.)
+
+let test_adaptive_step_invariants () =
+  let trace =
+    [ (hour 0, 600.); (hour 1, 620.); (hour 2, 1500.); (hour 3, 1480.);
+      (hour 4, 600.) ]
+  in
+  let replay =
+    Adaptive.replay config (infra ()) ~tier:(app_tier ())
+      ~max_downtime:(Duration.of_minutes 100.)
+      ~trace ()
+  in
+  (* Every step's design in force delivers at least the step's load. *)
+  List.iter
+    (fun (s : Adaptive.step) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "capacity %.0f covers load %.0f"
+           s.candidate.Candidate.model.Aved_avail.Tier_model.effective_performance s.load)
+        true
+        (s.candidate.Candidate.model.Aved_avail.Tier_model.effective_performance
+        >= s.load))
+    replay.steps;
+  (* A step without a redesign keeps the previous step's exact design. *)
+  ignore
+    (List.fold_left
+       (fun prev (s : Adaptive.step) ->
+         (match prev with
+         | Some (p : Adaptive.step) when not s.redesigned ->
+             Alcotest.(check int) "kept design" 0
+               (Design.compare_tier s.candidate.Candidate.design
+                  p.candidate.Candidate.design)
+         | _ -> ());
+         Some s)
+       None replay.steps);
+  (* Redesigns counts the [redesigned] steps after the initial one. *)
+  let flagged =
+    List.filteri (fun i (s : Adaptive.step) -> i > 0 && s.redesigned)
+      replay.steps
+  in
+  Alcotest.(check int) "redesign count consistent" replay.redesigns
+    (List.length flagged)
 
 let test_adaptive_headroom_reduces_churn () =
   let trace =
@@ -682,11 +747,15 @@ let () =
           Alcotest.test_case "scaling" `Quick test_sensitivity_scaling;
           Alcotest.test_case "improvement direction" `Quick
             test_sensitivity_improvement_direction;
+          Alcotest.test_case "monotone ladder" `Quick
+            test_sensitivity_monotone_ladder;
           Alcotest.test_case "outcomes" `Quick test_sensitivity_outcomes;
         ] );
       ( "adaptive",
         [
           Alcotest.test_case "replay" `Quick test_adaptive_replay;
+          Alcotest.test_case "step invariants" `Quick
+            test_adaptive_step_invariants;
           Alcotest.test_case "headroom reduces churn" `Quick
             test_adaptive_headroom_reduces_churn;
           Alcotest.test_case "validation" `Quick test_adaptive_validation;
