@@ -65,6 +65,39 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let no_check_arg =
+  let doc =
+    "Skip the implicit static check ($(b,aved check)) of the specification \
+     files. Without this flag, commands refuse to run on specs with \
+     Error-severity diagnostics."
+  in
+  Arg.(value & flag & info [ "no-check" ] ~doc)
+
+(* Load the two spec files and run the static checker over them, unless
+   --no-check. Errors refuse the run; clean specs print nothing, so
+   stdout stays byte-identical to an unchecked run. Spec.load runs
+   first so syntactically broken files keep their original one-line
+   "spec error" report. *)
+let load_checked ~no_check ~infra_file ~service_file =
+  let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
+  if not no_check then begin
+    let diags = Aved_check.Check.check_files [ infra_file; service_file ] in
+    let errors =
+      List.filter
+        (fun (d : Aved_check.Diagnostic.t) ->
+          d.severity = Aved_check.Diagnostic.Error)
+        diags
+    in
+    if errors <> [] then begin
+      prerr_endline (Aved_check.Check.render_human errors);
+      failwith
+        (Printf.sprintf
+           "static check failed with %d error(s); use --no-check to override"
+           (List.length errors))
+    end
+  end;
+  (infra, service)
+
 let trace_file_arg =
   let doc =
     "Record span timings and write them to $(docv) as Chrome trace-event \
@@ -114,7 +147,8 @@ let search_config ?(base = Aved_search.Search_config.default) jobs =
 (* aved design *)
 
 let design_cmd =
-  let run infra_file service_file load downtime job_hours jobs stats trace =
+  let run infra_file service_file load downtime job_hours jobs stats trace
+      no_check =
     handle_spec_errors (fun () ->
         let requirements =
           match (load, downtime, job_hours) with
@@ -128,12 +162,10 @@ let design_cmd =
               failwith
                 "specify either --load and --downtime, or --job-hours alone"
         in
+        let infra, service = load_checked ~no_check ~infra_file ~service_file in
         let config = search_config jobs in
         with_telemetry ~stats ?trace @@ fun () ->
-        match
-          Aved.Engine.design_from_files ~config ~infra_file ~service_file
-            requirements
-        with
+        match Aved.Engine.design ~config infra service requirements with
         | Some report ->
             Format.printf "%a@." Aved.Engine.pp_report report;
             0
@@ -147,7 +179,7 @@ let design_cmd =
   let term =
     Term.(
       const run $ infra_file $ service_file $ load_arg $ downtime_arg
-      $ job_hours_arg $ jobs_arg $ stats_arg $ trace_file_arg)
+      $ job_hours_arg $ jobs_arg $ stats_arg $ trace_file_arg $ no_check_arg)
   in
   Cmd.v
     (Cmd.info "design"
@@ -168,12 +200,13 @@ let frontier_cmd =
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run infra_file service_file tier_name load explain jobs stats trace =
+  let run infra_file service_file tier_name load explain jobs stats trace
+      no_check =
     handle_spec_errors (fun () ->
         let load =
           match load with Some l -> l | None -> failwith "--load is required"
         in
-        let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
+        let infra, service = load_checked ~no_check ~infra_file ~service_file in
         let tier =
           match tier_name with
           | Some name -> (
@@ -212,7 +245,7 @@ let frontier_cmd =
   let term =
     Term.(
       const run $ infra_file $ service_file $ tier_arg $ load_arg
-      $ explain_flag $ jobs_arg $ stats_arg $ trace_file_arg)
+      $ explain_flag $ jobs_arg $ stats_arg $ trace_file_arg $ no_check_arg)
   in
   Cmd.v
     (Cmd.info "frontier"
@@ -351,7 +384,7 @@ let explain_cmd =
     Arg.(value & flag & info [ "json" ] ~doc)
   in
   let run infra_file service_file load downtime job_hours top json jobs stats
-      trace =
+      trace no_check =
     handle_spec_errors (fun () ->
         let requirements =
           match (load, downtime, job_hours) with
@@ -365,7 +398,7 @@ let explain_cmd =
               failwith
                 "specify either --load and --downtime, or --job-hours alone"
         in
-        let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
+        let infra, service = load_checked ~no_check ~infra_file ~service_file in
         let config = search_config jobs in
         with_telemetry ~stats ?trace @@ fun () ->
         let trail = Aved_search.Provenance.create () in
@@ -424,7 +457,7 @@ let explain_cmd =
     Term.(
       const run $ infra_file $ service_file $ load_arg $ downtime_arg
       $ job_hours_arg $ top_arg $ json_arg $ jobs_arg $ stats_arg
-      $ trace_file_arg)
+      $ trace_file_arg $ no_check_arg)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -445,7 +478,7 @@ let report_cmd =
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the report to a file.")
   in
   let run infra_file service_file load downtime job_hours jobs out stats trace
-      =
+      no_check =
     handle_spec_errors (fun () ->
         let requirements =
           match (load, downtime, job_hours) with
@@ -459,7 +492,7 @@ let report_cmd =
               failwith
                 "specify either --load and --downtime, or --job-hours alone"
         in
-        let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
+        let infra, service = load_checked ~no_check ~infra_file ~service_file in
         let config = search_config jobs in
         with_telemetry ~stats ?trace @@ fun () ->
         match Aved.Report.generate ~config infra service requirements with
@@ -479,7 +512,8 @@ let report_cmd =
   let term =
     Term.(
       const run $ infra_file $ service_file $ load_arg $ downtime_arg
-      $ job_hours_arg $ jobs_arg $ out_arg $ stats_arg $ trace_file_arg)
+      $ job_hours_arg $ jobs_arg $ out_arg $ stats_arg $ trace_file_arg
+      $ no_check_arg)
   in
   Cmd.v
     (Cmd.info "report"
@@ -575,14 +609,14 @@ let adapt_cmd =
   (* [--trace] already names the load-trace CSV here, so adapt exposes
      only [--stats]; use another command for span traces. *)
   let run infra_file service_file tier_name load downtime trace headroom jobs
-      stats =
+      stats no_check =
     handle_spec_errors (fun () ->
         let downtime =
           match downtime with
           | Some d -> d
           | None -> failwith "--downtime is required"
         in
-        let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
+        let infra, service = load_checked ~no_check ~infra_file ~service_file in
         let tier =
           match tier_name with
           | Some name -> (
@@ -626,7 +660,8 @@ let adapt_cmd =
   let term =
     Term.(
       const run $ infra_file $ service_file $ tier_arg $ load_arg
-      $ downtime_arg $ trace_arg $ headroom_arg $ jobs_arg $ stats_arg)
+      $ downtime_arg $ trace_arg $ headroom_arg $ jobs_arg $ stats_arg
+      $ no_check_arg)
   in
   Cmd.v
     (Cmd.info "adapt"
@@ -634,6 +669,49 @@ let adapt_cmd =
          "Replay a load trace through the adaptive redesign controller \
           (utility-computing mode).")
     term
+
+(* ------------------------------------------------------------------ *)
+(* aved check: the static analyzer *)
+
+let check_cmd =
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Specification files to check together. Files are classified \
+             by content: a file with an $(b,application) line is a service \
+             spec, anything else an infrastructure spec. Service specs are \
+             resolved against the infrastructure specs in the same \
+             invocation.")
+  in
+  let strict_arg =
+    let doc = "Exit with status 1 on any diagnostic, warnings included." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the diagnostics as a JSON array on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run files strict json =
+    let diags = Aved_check.Check.check_files files in
+    if json then print_endline (Aved_check.Check.render_json diags)
+    else if diags <> [] then begin
+      print_endline (Aved_check.Check.render_human diags);
+      print_endline (Aved_check.Diagnostic.summary diags)
+    end;
+    Aved_check.Check.exit_status ~strict diags
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically check specification files: dimension/unit inference \
+          over expressions, cross-reference and liveness analysis, \
+          expression lints (unreachable branches, division by zero, \
+          discontinuous piecewise splits, non-monotone performance), and \
+          CTMC well-formedness of the induced availability models. Exits 0 \
+          when clean, 1 on errors (or on any diagnostic with --strict).")
+    Term.(const run $ files_arg $ strict_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* aved dump-specs *)
@@ -677,6 +755,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
+            check_cmd;
             design_cmd;
             frontier_cmd;
             fig6_cmd;

@@ -65,7 +65,7 @@ type solution = {
   n_total : int;
 }
 
-let solve ~max_states (model : Tier_model.t) =
+let build_chain ~max_states (model : Tier_model.t) =
   let n_total = model.n_active + model.n_spare in
   let classes = Array.of_list (chain_classes model) in
   let j = Array.length classes in
@@ -105,6 +105,14 @@ let solve ~max_states (model : Tier_model.t) =
           end)
         classes)
     states;
+  (states, classes, chain, n_total)
+
+let chain ?(max_states = 20000) (model : Tier_model.t) =
+  let _, _, chain, _ = build_chain ~max_states model in
+  chain
+
+let solve ~max_states (model : Tier_model.t) =
+  let states, classes, chain, n_total = build_chain ~max_states model in
   { states; classes; pi = Ctmc.stationary chain; n_total }
 
 let downtime_fraction ?(max_states = 20000) (model : Tier_model.t) =

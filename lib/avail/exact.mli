@@ -15,6 +15,12 @@
 val num_states : Tier_model.t -> int
 (** Size of the state space this model would need. *)
 
+val chain : ?max_states:int -> Tier_model.t -> Aved_markov.Ctmc.t
+(** The multi-mode CTMC itself, without solving it — the static checker
+    audits its structure via {!Aved_markov.Ctmc.well_formedness}. State
+    0 is the all-up state. Raises [Invalid_argument] when the state
+    space exceeds [max_states] (default 20000). *)
+
 val downtime_fraction : ?max_states:int -> Tier_model.t -> float
 (** Raises [Invalid_argument] when the state space exceeds
     [max_states] (default 20000). *)

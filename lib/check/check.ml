@@ -1,0 +1,312 @@
+module L = Aved_spec.Line_lexer
+module Spec = Aved_spec.Spec
+module Model = Aved_model
+module Ctmc = Aved_markov.Ctmc
+module Tier_model = Aved_avail.Tier_model
+module Exact = Aved_avail.Exact
+
+(* --- CTMC well-formedness -------------------------------------------- *)
+
+let max_ctmc_states = 4096
+let row_residual_tolerance = 1e-9
+
+let take_sample n list =
+  let rec loop i = function
+    | [] -> []
+    | _ when i = n -> []
+    | x :: rest -> x :: loop (i + 1) rest
+  in
+  loop 0 list
+
+let format_states states =
+  let shown = take_sample 5 states in
+  let suffix = if List.length states > 5 then ", ..." else "" in
+  String.concat ", " (List.map string_of_int shown) ^ suffix
+
+let check_ctmc ?(context = "CTMC") chain =
+  let wf = Ctmc.well_formedness chain in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if wf.max_row_residual > row_residual_tolerance then
+    add
+      (Diagnostic.errorf ~code:"ctmc-row-sum"
+         "%s: generator rows do not sum to 0 (max residual %g)" context
+         wf.max_row_residual);
+  List.iter
+    (fun (src, dst, rate) ->
+      add
+        (Diagnostic.errorf ~code:"ctmc-negative-rate"
+           "%s: negative rate %g on transition %d -> %d" context rate src dst))
+    wf.negative_rates;
+  if Ctmc.num_states chain > 1 then begin
+    if wf.unreachable <> [] then
+      add
+        (Diagnostic.errorf ~code:"ctmc-unreachable"
+           "%s: %d state(s) unreachable from the all-up state: %s" context
+           (List.length wf.unreachable)
+           (format_states wf.unreachable));
+    if wf.cannot_reach_start <> [] then
+      add
+        (Diagnostic.errorf ~code:"ctmc-absorbing"
+           "%s: %d state(s) cannot return to the all-up state (absorbing \
+            class): %s"
+           context
+           (List.length wf.cannot_reach_start)
+           (format_states wf.cannot_reach_start))
+  end;
+  List.rev !diags
+
+(* One representative design per (tier, resource option): the smallest
+   admissible resource count, no spares, the first setting of every
+   mechanism. Demand is what that design actually delivers, so the
+   option is never rejected for performance reasons that are the
+   search's business, not the checker's. *)
+let check_tier_option ~infra ~(service : Model.Service.t)
+    ~(tier : Model.Service.tier) ~(option : Model.Service.resource_option) =
+  let context =
+    Printf.sprintf "tier %s, resource %s" tier.tier_name option.resource
+  in
+  match Model.Infrastructure.find_resource infra option.resource with
+  | None -> [] (* Reported by the cross-reference pass. *)
+  | Some resource -> (
+      let mechs = Model.Infrastructure.resource_mechanisms infra resource in
+      let settings =
+        List.map
+          (fun (m : Model.Mechanism.t) ->
+            (m.name, Model.Mechanism.first_setting m))
+          mechs
+      in
+      let n = Model.Int_range.min_value option.n_active in
+      match
+        let design =
+          Model.Design.tier_design ~tier_name:tier.tier_name
+            ~resource:option.resource ~n_active:(max 1 n)
+            ~mechanism_settings:settings ()
+        in
+        let demand =
+          if Model.Service.is_finite_job service then None
+          else
+            Some
+              (Tier_model.effective_performance_of ~option ~settings
+                 ~n:(max 1 n))
+        in
+        Tier_model.build ~infra ~option ~design ~demand
+      with
+      | exception Aved_expr.Expr.Unbound_variable v ->
+          [
+            Diagnostic.errorf ~code:"free-var"
+              "%s: performance model references undeclared variable %s" context
+              v;
+          ]
+      | exception Tier_model.Rejected reason ->
+          [
+            Diagnostic.warningf ~code:"option-rejected"
+              "%s: the smallest design of this option is rejected: %s" context
+              reason;
+          ]
+      | exception Invalid_argument message ->
+          [
+            Diagnostic.errorf ~code:"model-error" "%s: %s" context message;
+          ]
+      | model ->
+          let rate_diags =
+            List.concat_map
+              (fun (c : Tier_model.failure_class) ->
+                if (not (Float.is_finite c.rate)) || c.rate <= 0. then
+                  [
+                    Diagnostic.errorf ~code:"bad-rate"
+                      "%s: failure class %s has rate %g" context c.label c.rate;
+                  ]
+                else [])
+              model.classes
+          in
+          let ctmc_diags =
+            if Exact.num_states model > max_ctmc_states then []
+            else
+              match Exact.chain ~max_states:max_ctmc_states model with
+              | chain -> check_ctmc ~context chain
+              | exception Invalid_argument _ -> []
+          in
+          rate_diags @ ctmc_diags)
+
+let check_model ~infra ~(service : Model.Service.t) =
+  List.concat_map
+    (fun (tier : Model.Service.tier) ->
+      List.concat_map
+        (fun option -> check_tier_option ~infra ~service ~tier ~option)
+        tier.options)
+    service.tiers
+
+(* --- file orchestration ---------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type scanned =
+  | Unreadable of Diagnostic.t
+  | Infra of Surface.infra_scan
+  | Service of string * Surface.service_scan
+
+let parse_error_diag ~file = function
+  | L.Error { line; col; message } ->
+      Some
+        (Diagnostic.error
+           ~span:{ Diagnostic.file; line; col }
+           ~code:"parse-error" message)
+  | _ -> None
+
+let merge_infra (scans : Surface.infra_scan list) =
+  match scans with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun (acc : Surface.infra_scan) (s : Surface.infra_scan) ->
+             {
+               acc with
+               components = acc.components @ s.components;
+               mechanisms = acc.mechanisms @ s.mechanisms;
+               resources = acc.resources @ s.resources;
+               element_refs =
+                 List.sort_uniq String.compare
+                   (acc.element_refs @ s.element_refs);
+               mech_refs =
+                 List.sort_uniq String.compare (acc.mech_refs @ s.mech_refs);
+             })
+           first rest)
+
+let surface_errors_for file diags =
+  List.exists
+    (fun (d : Diagnostic.t) ->
+      d.severity = Diagnostic.Error
+      && match d.span with Some s -> s.file = file | None -> false)
+    diags
+
+let check_files files =
+  (* Pass 1: tokenize and classify. *)
+  let scanned =
+    List.map
+      (fun file ->
+        match read_file file with
+        | exception Sys_error message ->
+            Unreadable (Diagnostic.error ~code:"io-error" message)
+        | content -> (
+            match L.tokenize content with
+            | exception L.Error { line; col; message } ->
+                Unreadable
+                  (Diagnostic.error
+                     ~span:{ Diagnostic.file; line; col }
+                     ~code:"parse-error" message)
+            | lines -> (
+                match Surface.classify lines with
+                | `Infra -> Infra (Surface.scan_infra ~file lines)
+                | `Service ->
+                    (* The infra scans are not known yet; re-scan below. *)
+                    Service (file, Surface.scan_service ~file ~infra:None lines)
+                )))
+      files
+  in
+  let infra_scans =
+    List.filter_map (function Infra s -> Some s | _ -> None) scanned
+  in
+  let merged_infra = merge_infra infra_scans in
+  (* Pass 2: service scans see the infrastructure definitions. *)
+  let scanned =
+    List.map
+      (function
+        | Service (file, _) -> (
+            let lines = L.tokenize (read_file file) in
+            Service
+              (file, Surface.scan_service ~file ~infra:merged_infra lines))
+        | other -> other)
+      scanned
+  in
+  let service_scans =
+    List.filter_map (function Service (_, s) -> Some s | _ -> None) scanned
+  in
+  let surface_diags =
+    List.concat_map
+      (function
+        | Unreadable d -> [ d ]
+        | Infra s -> s.i_diags
+        | Service (_, s) -> s.s_diags)
+      scanned
+  in
+  let liveness_diags =
+    match merged_infra with
+    | Some infra when service_scans <> [] ->
+        Surface.liveness ~infra ~services:service_scans
+    | _ -> []
+  in
+  (* Pass 3: the real parsers and the model-level checks. A parse error
+     is only reported when the surface scan saw nothing wrong in that
+     file — otherwise it would duplicate the located diagnostic. *)
+  let model_diags = ref [] in
+  let add_model d = model_diags := d :: !model_diags in
+  let infra_file =
+    List.find_map
+      (function Infra s -> Some s.Surface.i_file | _ -> None)
+      scanned
+  in
+  let parsed_infra =
+    Option.bind infra_file (fun file ->
+        match Aved_spec.Spec.infrastructure_of_file file with
+        | infra -> Some infra
+        | exception (L.Error _ as e) ->
+            if not (surface_errors_for file surface_diags) then
+              Option.iter add_model (parse_error_diag ~file e);
+            None)
+  in
+  List.iter
+    (function
+      | Service (file, _) when surface_errors_for file surface_diags ->
+          (* The surface pass already found errors here; the model pass
+             would re-derive them (or crash on the malformed input). *)
+          ()
+      | Service (file, _) -> (
+          match Aved_spec.Spec.service_of_file file with
+          | exception (L.Error _ as e) ->
+              if not (surface_errors_for file surface_diags) then
+                Option.iter add_model (parse_error_diag ~file e)
+          | service -> (
+              match parsed_infra with
+              | None -> ()
+              | Some infra -> (
+                  match Model.Service.validate_against service infra with
+                  | exception Invalid_argument message ->
+                      if not (surface_errors_for file surface_diags) then
+                        add_model
+                          (Diagnostic.error
+                             ~span:{ Diagnostic.file; line = 0; col = 0 }
+                             ~code:"dangling-ref" message)
+                  | () ->
+                      List.iter
+                        (fun d ->
+                          add_model
+                            {
+                              d with
+                              Diagnostic.span =
+                                Some { Diagnostic.file; line = 0; col = 0 };
+                            })
+                        (check_model ~infra ~service))))
+      | Infra _ | Unreadable _ -> ())
+    scanned;
+  List.sort_uniq Diagnostic.compare
+    (surface_diags @ liveness_diags @ List.rev !model_diags)
+
+(* --- rendering ------------------------------------------------------- *)
+
+let render_human diags = String.concat "\n" (List.map Diagnostic.to_string diags)
+
+let render_json diags =
+  "[" ^ String.concat "," (List.map Diagnostic.to_json diags) ^ "]"
+
+(* Exit status: 0 = acceptably clean, 1 = failing. [strict] fails on
+   any diagnostic; the default only on errors. *)
+let exit_status ~strict diags =
+  if Diagnostic.has_errors diags then 1
+  else if strict && diags <> [] then 1
+  else 0

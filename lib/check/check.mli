@@ -1,0 +1,39 @@
+(** The static analyzer behind [aved check].
+
+    Four analysis families over spec files and programmatic models:
+    dimension/unit inference ({!Dim}), cross-reference and liveness
+    analysis ({!Surface}), expression lints ({!Expr_lint}), and CTMC
+    well-formedness (below). Diagnostics are merged, sorted by source
+    position, and deduplicated. *)
+
+val check_files : string list -> Diagnostic.t list
+(** Checks a set of spec files together. Files are classified by
+    content (an [application] line makes a service spec); service specs
+    are resolved against the infrastructure specs in the same set.
+    Liveness of resources and mechanisms is only judged when at least
+    one service spec is present. *)
+
+val check_model :
+  infra:Aved_model.Infrastructure.t ->
+  service:Aved_model.Service.t ->
+  Diagnostic.t list
+(** Model-level checks on an already-parsed pair: per (tier, option), a
+    representative design (smallest resource count, first mechanism
+    settings, no spares) is instantiated and its exact multi-mode CTMC
+    audited via {!check_ctmc}. Diagnostics carry no spans. *)
+
+val check_ctmc : ?context:string -> Aved_markov.Ctmc.t -> Diagnostic.t list
+(** CTMC well-formedness: generator rows sum to ~0, no negative
+    off-diagonal rates, every state reachable from state 0 and able to
+    return to it (no absorbing classes). Single-state chains are
+    trivially well-formed. *)
+
+val render_human : Diagnostic.t list -> string
+(** One diagnostic per line, no trailing newline. *)
+
+val render_json : Diagnostic.t list -> string
+(** A JSON array of diagnostic objects. *)
+
+val exit_status : strict:bool -> Diagnostic.t list -> int
+(** [0] when acceptably clean; [1] when there are errors, or — under
+    [strict] — any diagnostics at all. *)

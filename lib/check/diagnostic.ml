@@ -1,0 +1,88 @@
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type span = { file : string; line : int; col : int }
+
+type t = { severity : severity; code : string; span : span option; message : string }
+
+let make ?span severity ~code message = { severity; code; span; message }
+
+let error ?span ~code message = make ?span Error ~code message
+let warning ?span ~code message = make ?span Warning ~code message
+let info ?span ~code message = make ?span Info ~code message
+
+let errorf ?span ~code fmt = Printf.ksprintf (error ?span ~code) fmt
+let warningf ?span ~code fmt = Printf.ksprintf (warning ?span ~code) fmt
+let infof ?span ~code fmt = Printf.ksprintf (info ?span ~code) fmt
+
+let compare a b =
+  (* File, then position, then severity, then code: stable report order. *)
+  let span_key = function
+    | None -> ("", max_int, max_int)
+    | Some { file; line; col } -> (file, line, col)
+  in
+  let c = Stdlib.compare (span_key a.span) (span_key b.span) in
+  if c <> 0 then c
+  else
+    let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+    if c <> 0 then c
+    else
+      let c = String.compare a.code b.code in
+      if c <> 0 then c else String.compare a.message b.message
+
+let span_to_string { file; line; col } =
+  if line = 0 then file
+  else if col = 0 then Printf.sprintf "%s:%d" file line
+  else Printf.sprintf "%s:%d:%d" file line col
+
+let to_string t =
+  let prefix =
+    match t.span with None -> "" | Some s -> span_to_string s ^ ": "
+  in
+  Printf.sprintf "%s%s[%s]: %s" prefix
+    (severity_to_string t.severity)
+    t.code t.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let span_fields =
+    match t.span with
+    | None -> ""
+    | Some { file; line; col } ->
+        Printf.sprintf "\"file\":\"%s\",\"line\":%d,\"col\":%d,"
+          (json_escape file) line col
+  in
+  Printf.sprintf "{%s\"severity\":\"%s\",\"code\":\"%s\",\"message\":\"%s\"}"
+    span_fields
+    (severity_to_string t.severity)
+    (json_escape t.code) (json_escape t.message)
+
+let count severity diags =
+  List.length (List.filter (fun d -> d.severity = severity) diags)
+
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+
+let summary diags =
+  Printf.sprintf "%d error(s), %d warning(s), %d note(s)" (count Error diags)
+    (count Warning diags) (count Info diags)

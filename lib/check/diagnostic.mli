@@ -1,0 +1,45 @@
+(** Severity-tagged, source-located diagnostics emitted by the static
+    checker ([aved check]). *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+
+type span = {
+  file : string;
+  line : int;  (** 1-based; 0 = whole-file / model-level. *)
+  col : int;  (** 1-based; 0 = unknown. *)
+}
+
+type t = {
+  severity : severity;
+  code : string;  (** Stable kebab-case identifier, e.g. "dim-mismatch". *)
+  span : span option;
+  message : string;
+}
+
+val make : ?span:span -> severity -> code:string -> string -> t
+val error : ?span:span -> code:string -> string -> t
+val warning : ?span:span -> code:string -> string -> t
+val info : ?span:span -> code:string -> string -> t
+
+val errorf :
+  ?span:span -> code:string -> ('a, unit, string, t) format4 -> 'a
+
+val warningf :
+  ?span:span -> code:string -> ('a, unit, string, t) format4 -> 'a
+
+val infof : ?span:span -> code:string -> ('a, unit, string, t) format4 -> 'a
+
+val compare : t -> t -> int
+(** Report order: by file, position, severity, code. *)
+
+val to_string : t -> string
+(** [file:line:col: severity[code]: message]. *)
+
+val to_json : t -> string
+(** One JSON object; no trailing newline. *)
+
+val count : severity -> t list -> int
+val has_errors : t list -> bool
+val summary : t list -> string

@@ -1,0 +1,127 @@
+module Expr = Aved_expr.Expr
+
+type t = Any | Scalar | Duration | Per_duration | Money
+
+let to_string = function
+  | Any -> "dimensionless"
+  | Scalar -> "count/fraction"
+  | Duration -> "duration"
+  | Per_duration -> "rate (1/duration)"
+  | Money -> "money"
+
+(* The lattice is deliberately loose where the paper's own formulas are
+   loose: a rate like [10/cpi] is compared against the fraction [100%]
+   in Table 1, because duration parameters are bound as raw minutes (the
+   "minutes convention" of Mech_impact.eval). So Per_duration and Scalar
+   unify. Duration and Money never dissolve into scalars: adding minutes
+   to a count, or comparing money to time, is always a bug. *)
+let unify a b =
+  match (a, b) with
+  | Any, d | d, Any -> Some d
+  | Scalar, Scalar -> Some Scalar
+  | Duration, Duration -> Some Duration
+  | Money, Money -> Some Money
+  | Per_duration, Per_duration -> Some Per_duration
+  | (Per_duration | Scalar), (Per_duration | Scalar) -> Some Scalar
+  | (Duration | Money), _ | _, (Duration | Money) -> None
+
+type product = Dim of t | Nonsense of string
+
+(* a · b. Nonsensical products in this domain: squared time, squared
+   money, and money·time. *)
+let mul a b =
+  match (a, b) with
+  | Any, d | d, Any -> Dim d
+  | Scalar, d | d, Scalar -> Dim d
+  | Duration, Per_duration | Per_duration, Duration -> Dim Scalar
+  | Duration, Duration -> Nonsense "duration x duration (time squared)"
+  | Money, Money -> Nonsense "money x money"
+  | Money, (Duration | Per_duration) | (Duration | Per_duration), Money ->
+      Nonsense "money x time"
+  | Per_duration, Per_duration -> Nonsense "rate x rate (1/time squared)"
+
+(* a / b. *)
+let div a b =
+  match (a, b) with
+  | d, (Any | Scalar) -> Dim d
+  | Money, Money -> Dim Scalar
+  | _, Money -> Nonsense "money in a denominator"
+  | Any, Duration | Scalar, Duration -> Dim Per_duration
+  | Duration, Duration -> Dim Scalar
+  | Per_duration, Duration -> Nonsense "rate / duration (1/time squared)"
+  | Money, Duration -> Nonsense "money / duration"
+  | Any, Per_duration | Scalar, Per_duration -> Dim Duration
+  | Duration, Per_duration -> Nonsense "duration / rate (time squared)"
+  | Per_duration, Per_duration -> Dim Scalar
+  | Money, Per_duration -> Nonsense "money x time"
+
+type reporter = Diagnostic.severity -> string -> unit
+
+let operator_name = function
+  | `Add -> "+"
+  | `Sub -> "-"
+  | `Min -> "min"
+  | `Max -> "max"
+  | `Compare -> "comparison"
+  | `Branches -> "if branches"
+
+let rec infer ~env ~(report : reporter) (expr : Expr.t) : t =
+  let unify_or_report op a b =
+    match unify a b with
+    | Some d -> d
+    | None ->
+        report Diagnostic.Error
+          (Printf.sprintf "dimension mismatch in %s: %s vs %s"
+             (operator_name op) (to_string a) (to_string b));
+        Any
+  in
+  let product_or_report what result =
+    match result with
+    | Dim d -> d
+    | Nonsense why ->
+        report Diagnostic.Warning
+          (Printf.sprintf "suspicious %s: %s" what why);
+        Any
+  in
+  match expr with
+  | Const _ -> Any
+  | Var v -> ( match env v with Some d -> d | None -> Any)
+  | Add (a, b) ->
+      unify_or_report `Add (infer ~env ~report a) (infer ~env ~report b)
+  | Sub (a, b) ->
+      unify_or_report `Sub (infer ~env ~report a) (infer ~env ~report b)
+  | Mul (a, b) ->
+      product_or_report "product"
+        (mul (infer ~env ~report a) (infer ~env ~report b))
+  | Div (a, b) ->
+      product_or_report "division"
+        (div (infer ~env ~report a) (infer ~env ~report b))
+  | Neg a -> infer ~env ~report a
+  | Call ("min", [ a; b ]) ->
+      unify_or_report `Min (infer ~env ~report a) (infer ~env ~report b)
+  | Call ("max", [ a; b ]) ->
+      unify_or_report `Max (infer ~env ~report a) (infer ~env ~report b)
+  | Call (("floor" | "ceil" | "abs"), [ a ]) -> infer ~env ~report a
+  | Call (("exp" | "log") as fn, [ a ]) ->
+      (match unify (infer ~env ~report a) Scalar with
+      | Some _ -> ()
+      | None ->
+          report Diagnostic.Warning
+            (Printf.sprintf "%s applied to a dimensioned value" fn));
+      Any
+  | Call ("pow", [ a; b ]) ->
+      (match unify (infer ~env ~report b) Scalar with
+      | Some _ -> ()
+      | None ->
+          report Diagnostic.Warning "dimensioned value used as an exponent");
+      ignore (infer ~env ~report a);
+      Any
+  | Call (_, args) ->
+      List.iter (fun a -> ignore (infer ~env ~report a)) args;
+      Any
+  | If (_, lhs, rhs, then_, else_) ->
+      ignore
+        (unify_or_report `Compare (infer ~env ~report lhs)
+           (infer ~env ~report rhs));
+      unify_or_report `Branches (infer ~env ~report then_)
+        (infer ~env ~report else_)

@@ -1,0 +1,32 @@
+(** Dimension inference over {!Aved_expr.Expr.t}.
+
+    A five-point lattice: [Any] (polymorphic constants), [Scalar]
+    (counts and fractions), [Duration], [Per_duration] (1/time) and
+    [Money]. Unification is deliberately loose where Table 1 of the
+    paper is loose — [Per_duration] unifies with [Scalar] because
+    duration parameters are bound as raw minutes ([max(10/cpi, 100%)]
+    is a shipped formula) — and strict where mixing is always a bug:
+    [Duration] and [Money] unify only with themselves and [Any]. *)
+
+type t = Any | Scalar | Duration | Per_duration | Money
+
+val to_string : t -> string
+
+val unify : t -> t -> t option
+(** Meet of two dimensions for [+], [-], [min], [max], comparisons and
+    branch joins; [None] means a dimension mismatch. *)
+
+type product = Dim of t | Nonsense of string
+
+val mul : t -> t -> product
+val div : t -> t -> product
+(** Product dimensions; [Nonsense] flags units with no meaning in this
+    domain (time squared, money in a denominator, money x time). *)
+
+type reporter = Diagnostic.severity -> string -> unit
+
+val infer : env:(string -> t option) -> report:reporter -> Aved_expr.Expr.t -> t
+(** Infers the dimension of an expression, calling [report] for every
+    mismatch (Error) and nonsensical product (Warning). Unknown
+    variables are [Any] — the free-variable check reports them
+    separately. *)

@@ -1,0 +1,126 @@
+module Expr = Aved_expr.Expr
+
+type reporter = Diagnostic.severity -> code:string -> string -> unit
+
+let comparison_to_string = function
+  | Expr.Le -> "<="
+  | Expr.Lt -> "<"
+  | Expr.Ge -> ">="
+  | Expr.Gt -> ">"
+  | Expr.Eq -> "=="
+  | Expr.Ne -> "!="
+
+let eval_opt expr bindings =
+  match Expr.eval_alist expr bindings with
+  | v -> Some v
+  | exception Expr.Unbound_variable _ -> None
+  | exception Division_by_zero -> None
+
+let relative_gap a b =
+  let scale = Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) /. scale
+
+(* A piecewise expression is suspicious when its two branches disagree
+   at the split point itself: [if n <= 30 then f else g] with
+   [f(30) <> g(30)] produces a throughput jump a real system would not
+   exhibit. Only comparisons pinning a single variable against a
+   constant are probed; [bindings] supplies representative values for
+   the remaining variables. *)
+let check_split_continuity ~bindings ~(report : reporter) lhs rhs then_ else_
+    =
+  let pin =
+    match (lhs, rhs) with
+    | Expr.Var v, other | other, Expr.Var v -> (
+        match Expr.const_value other with
+        | Some k -> Some (v, k)
+        | None -> None)
+    | _ -> None
+  in
+  match pin with
+  | None -> ()
+  | Some (v, k) -> (
+      let at_split = (v, k) :: List.remove_assoc v bindings in
+      match (eval_opt then_ at_split, eval_opt else_ at_split) with
+      | Some a, Some b when relative_gap a b > 1e-6 ->
+          report Diagnostic.Warning ~code:"discontinuity"
+            (Printf.sprintf
+               "branches disagree at the split point %s = %g: %g vs %g" v k a
+               b)
+      | _ -> ())
+
+let rec lint ~bindings ~(report : reporter) (expr : Expr.t) =
+  let recurse e = lint ~bindings ~report e in
+  match expr with
+  | Expr.Const _ | Expr.Var _ -> ()
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) ->
+      recurse a;
+      recurse b
+  | Expr.Div (a, b) ->
+      (match Expr.const_value b with
+      | Some 0. ->
+          report Diagnostic.Error ~code:"div-by-zero"
+            "division by a constant zero"
+      | Some _ | None -> ());
+      recurse a;
+      recurse b
+  | Expr.Neg a -> recurse a
+  | Expr.Call (_, args) -> List.iter recurse args
+  | Expr.If (cmp, lhs, rhs, then_, else_) ->
+      (match (Expr.const_value lhs, Expr.const_value rhs) with
+      | Some a, Some b ->
+          let holds = Expr.compare_holds cmp a b in
+          report Diagnostic.Warning ~code:"unreachable-branch"
+            (Printf.sprintf
+               "condition %g %s %g is always %b; the %s branch is unreachable"
+               a (comparison_to_string cmp) b holds
+               (if holds then "else" else "then"))
+      | _ -> check_split_continuity ~bindings ~report lhs rhs then_ else_);
+      recurse lhs;
+      recurse rhs;
+      recurse then_;
+      recurse else_
+
+(* Cap probing so huge nActive ranges stay cheap. *)
+let sample_up_to limit values =
+  let n = List.length values in
+  if n <= limit then values
+  else
+    let arr = Array.of_list values in
+    List.init limit (fun i -> arr.(i * (n - 1) / (limit - 1)))
+    |> List.sort_uniq Int.compare
+
+let check_monotone_performance ~n_values ~(report : reporter)
+    (perf : Aved_perf.Perf_function.t) =
+  let probe =
+    match Aved_perf.Perf_function.classify perf with
+    | `Const _ -> None
+    | `Expression _ | `Table _ ->
+        Some (fun n -> Aved_perf.Perf_function.eval perf ~n)
+  in
+  match probe with
+  | None -> ()
+  | Some f -> (
+      let ns = sample_up_to 64 (List.sort_uniq Int.compare n_values) in
+      let evaluated =
+        List.filter_map
+          (fun n ->
+            match f n with
+            | v -> Some (n, v)
+            | exception _ -> None)
+          ns
+      in
+      let rec first_drop = function
+        | (n1, v1) :: ((n2, v2) :: _ as rest) ->
+            if v2 < v1 -. (1e-9 *. Float.max 1. (Float.abs v1)) then
+              Some (n1, v1, n2, v2)
+            else first_drop rest
+        | [ _ ] | [] -> None
+      in
+      match first_drop evaluated with
+      | Some (n1, v1, n2, v2) ->
+          report Diagnostic.Warning ~code:"non-monotone"
+            (Printf.sprintf
+               "performance decreases with more resources: f(%d) = %g but \
+                f(%d) = %g"
+               n1 v1 n2 v2)
+      | None -> ())

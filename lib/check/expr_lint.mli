@@ -1,0 +1,28 @@
+(** Expression lints: constant-foldable pitfalls the evaluator only
+    hits at runtime, plus semantic probes over declared ranges. *)
+
+type reporter = Diagnostic.severity -> code:string -> string -> unit
+
+val lint :
+  bindings:(string * float) list ->
+  report:reporter ->
+  Aved_expr.Expr.t ->
+  unit
+(** Walks the expression reporting:
+    - ["div-by-zero"] (Error): division by a constant zero;
+    - ["unreachable-branch"] (Warning): an [if] whose condition folds
+      to a constant, leaving one branch dead;
+    - ["discontinuity"] (Warning): a piecewise split
+      [if v <= K then f else g] with [f <> g] at [v = K]. [bindings]
+      supplies representative values for the expression's other free
+      variables (e.g. duration parameters at their range midpoints). *)
+
+val check_monotone_performance :
+  n_values:int list ->
+  report:reporter ->
+  Aved_perf.Perf_function.t ->
+  unit
+(** Probes a performance function over the declared resource counts
+    (up to 64 samples) and reports ["non-monotone"] (Warning) when
+    throughput decreases as resources are added. Constant functions are
+    exempt. *)

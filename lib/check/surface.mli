@@ -1,0 +1,56 @@
+(** Token-level scan of spec files, before the real parsers run.
+
+    Mirrors the parsers' block structure over the raw
+    {!Aved_spec.Line_lexer} stream, so every definition, reference and
+    embedded expression gets a precise [file:line:col] span — and keeps
+    scanning where a parser would stop at the first error. *)
+
+type def = { name : string; span : Diagnostic.span }
+
+type param_info =
+  | Enum_param of string list
+  | Duration_param of { lo_min : float; hi_min : float }
+      (** Bounds in minutes — the binding convention of
+          [Mech_impact.eval]. *)
+
+type mech_info = { m_def : def; m_params : (string * param_info) list }
+
+type infra_scan = {
+  i_file : string;
+  i_diags : Diagnostic.t list;
+  components : def list;
+  mechanisms : mech_info list;
+  resources : def list;
+  element_refs : string list;  (** Components placed in some resource. *)
+  mech_refs : string list;  (** Mechanisms referenced by components. *)
+}
+
+type service_scan = {
+  s_file : string;
+  s_diags : Diagnostic.t list;
+  resource_refs : (string * Diagnostic.span) list;
+  service_mech_refs : (string * Diagnostic.span) list;
+}
+
+val classify : Aved_spec.Line_lexer.line list -> [ `Infra | `Service ]
+(** A file with an [application] line is a service spec. *)
+
+val scan_infra : file:string -> Aved_spec.Line_lexer.line list -> infra_scan
+(** Duplicate names, dangling mechanism/element/dependency references,
+    and unused components. *)
+
+val scan_service :
+  file:string ->
+  infra:infra_scan option ->
+  Aved_spec.Line_lexer.line list ->
+  service_scan
+(** Duplicate tiers/options, dangling resource and mechanism references
+    (when an infrastructure scan is supplied), free variables, dimension
+    inference and expression lints over [performance]/[mperformance],
+    bad [nActive] ranges, guard validation, and performance monotonicity
+    probing. *)
+
+val liveness :
+  infra:infra_scan -> services:service_scan list -> Diagnostic.t list
+(** Unused resources and mechanisms. Empty when [services] is empty —
+    without the services, usage cannot be decided. *)

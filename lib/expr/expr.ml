@@ -89,6 +89,11 @@ let rec eval expr lookup =
 let eval_alist expr bindings =
   eval expr (fun name -> List.assoc_opt name bindings)
 
+let const_value expr =
+  match eval expr (fun _ -> None) with
+  | v -> Some v
+  | exception Unbound_variable _ -> None
+
 let variables expr =
   let rec collect acc = function
     | Const _ -> acc

@@ -22,9 +22,22 @@
     functions: [min], [max], [exp], [log], [sqrt], [floor], [ceil],
     [abs], [pow]. *)
 
-type t
-
 type comparison = Le | Lt | Ge | Gt | Eq | Ne
+
+type t =
+  | Const of float
+  | Var of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+  | Call of string * t list
+  | If of comparison * t * t * t * t  (** cmp, lhs, rhs, then, else *)
+
+(** The representation is exposed so that external analyses (the static
+    checker in [lib/check]) can walk the syntax; construct values through
+    the functions below, which validate arities. *)
 
 (** Constructors, for building expressions programmatically. *)
 
@@ -60,6 +73,13 @@ val eval_alist : t -> (string * float) list -> float
 
 val variables : t -> string list
 (** Free variables, sorted, without duplicates. *)
+
+val const_value : t -> float option
+(** [const_value e] evaluates [e] when it contains no variables, [None]
+    otherwise. Used by the static checker to fold constant subterms. *)
+
+val compare_holds : comparison -> float -> float -> bool
+(** Whether [a cmp b] holds, with the evaluator's exact semantics. *)
 
 val to_string : t -> string
 (** Prints a form that {!of_string} parses back to an equal expression. *)

@@ -218,6 +218,73 @@ let transient t ~initial ~time ~epsilon =
     result
   end
 
+type well_formedness = {
+  max_row_residual : float;
+  negative_rates : (int * int * float) list;
+  unreachable : int list;
+  cannot_reach_start : int list;
+  no_exit : int list;
+}
+
+let well_formedness t =
+  let q = generator t in
+  let max_row_residual = ref 0. in
+  let negative_rates = ref [] in
+  for s = 0 to t.n - 1 do
+    let row_sum = ref 0. in
+    for d = 0 to t.n - 1 do
+      let rate = Matrix.get q s d in
+      row_sum := !row_sum +. rate;
+      if d <> s && rate < 0. then
+        negative_rates := (s, d, rate) :: !negative_rates
+    done;
+    max_row_residual := Float.max !max_row_residual (Float.abs !row_sum)
+  done;
+  (* Forward reachability from state 0 and reverse reachability to it.
+     States outside the former are dead weight; states outside the
+     latter form absorbing classes that trap stationary probability. *)
+  let bfs neighbours =
+    let seen = Array.make t.n false in
+    let queue = Queue.create () in
+    seen.(0) <- true;
+    Queue.add 0 queue;
+    while not (Queue.is_empty queue) do
+      let s = Queue.pop queue in
+      List.iter
+        (fun d ->
+          if not seen.(d) then begin
+            seen.(d) <- true;
+            Queue.add d queue
+          end)
+        (neighbours s)
+    done;
+    seen
+  in
+  let forward =
+    bfs (fun s -> Hashtbl.fold (fun d _ acc -> d :: acc) t.rates.(s) [])
+  in
+  let reverse_adj = Array.make t.n [] in
+  Array.iteri
+    (fun src table ->
+      Hashtbl.iter
+        (fun dst _ -> reverse_adj.(dst) <- src :: reverse_adj.(dst))
+        table)
+    t.rates;
+  let reverse = bfs (fun s -> reverse_adj.(s)) in
+  let unmarked seen =
+    List.filter (fun s -> not seen.(s)) (List.init t.n Fun.id)
+  in
+  let no_exit =
+    List.filter (fun s -> Hashtbl.length t.rates.(s) = 0) (List.init t.n Fun.id)
+  in
+  {
+    max_row_residual = !max_row_residual;
+    negative_rates = List.rev !negative_rates;
+    unreachable = unmarked forward;
+    cannot_reach_start = unmarked reverse;
+    no_exit;
+  }
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>ctmc with %d states" t.n;
   List.iter

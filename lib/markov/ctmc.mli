@@ -64,4 +64,24 @@ val transient :
 (** State distribution after [time], starting from [initial], computed by
     uniformization with truncation error below [epsilon]. *)
 
+type well_formedness = {
+  max_row_residual : float;
+      (** Largest |row sum| of the generator — 0 up to rounding for a
+          well-formed chain. *)
+  negative_rates : (int * int * float) list;
+      (** Negative off-diagonal generator entries (impossible through
+          {!add_transition}; guards external constructions). *)
+  unreachable : int list;  (** States unreachable from state 0. *)
+  cannot_reach_start : int list;
+      (** States with no path back to state 0 — members of absorbing
+          classes that trap stationary probability. *)
+  no_exit : int list;  (** States with no outgoing transition at all. *)
+}
+
+val well_formedness : t -> well_formedness
+(** Structural audit of the chain for the static checker: generator row
+    sums, off-diagonal signs, and reachability to and from state 0 (the
+    all-up state in availability models, which should communicate with
+    every state). *)
+
 val pp : Format.formatter -> t -> unit

@@ -106,6 +106,25 @@ let param_values p =
       in
       loop lo []
 
+let duration_parameters t =
+  List.filter
+    (fun p ->
+      match p.range with Duration_geometric _ -> true | Enum _ -> false)
+    t.parameters
+
+let enum_parameters t =
+  List.filter
+    (fun p -> match p.range with Enum _ -> true | Duration_geometric _ -> false)
+    t.parameters
+
+let first_setting t =
+  List.map
+    (fun p ->
+      match param_values p with
+      | v :: _ -> (p.param_name, v)
+      | [] -> invalid_arg (Printf.sprintf "mechanism %s: empty range" t.name))
+    t.parameters
+
 let settings t =
   let rec product = function
     | [] -> [ [] ]

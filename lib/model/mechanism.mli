@@ -67,6 +67,20 @@ val param_values : parameter -> value list
 (** All values of a parameter (a geometric duration range is enumerated,
     endpoint included). *)
 
+val duration_parameters : t -> parameter list
+(** The duration-valued parameters, in declaration order. Their names
+    are the variables an [mperformance] expression may use (bound in
+    minutes — the paper's [cpi] convention). *)
+
+val enum_parameters : t -> parameter list
+(** The enum-valued parameters, in declaration order. Their names are
+    the legal [mperformance] guard keys. *)
+
+val first_setting : t -> setting
+(** The first value of every parameter — a canonical configuration,
+    used by the static checker to instantiate one representative CTMC
+    per design option. *)
+
 val settings : t -> setting list
 (** The cartesian product of all parameter ranges — every configuration
     of the mechanism. Singleton [[]] for a parameterless mechanism. *)

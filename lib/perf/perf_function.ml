@@ -55,34 +55,73 @@ let parse_table body =
   in
   of_table (List.map parse_entry entries)
 
-let of_string text =
-  let text = String.trim text in
+type parse_error = { message : string; position : int option }
+
+let of_string_located text0 =
+  (* [position]s are byte offsets into [text0] as given, so callers can
+     map them to source columns. *)
+  let leading =
+    let n = String.length text0 in
+    let rec skip i =
+      if i < n && (text0.[i] = ' ' || text0.[i] = '\t') then skip (i + 1)
+      else i
+    in
+    skip 0
+  in
+  let text = String.trim text0 in
   let with_prefix prefix =
     let pl = String.length prefix in
     if String.length text > pl && String.sub text 0 pl = prefix then
       Some (String.sub text pl (String.length text - pl))
     else None
   in
+  let wrap f =
+    match f () with
+    | v -> Ok v
+    | exception Invalid_argument message -> Error { message; position = None }
+  in
   match with_prefix "const:" with
   | Some body -> (
       match float_of_string_opt (String.trim body) with
-      | Some v -> of_const v
+      | Some v -> wrap (fun () -> of_const v)
       | None ->
-          invalid_arg (Printf.sprintf "Perf_function.of_string: %S" text))
+          Error
+            {
+              message = Printf.sprintf "bad constant %S" (String.trim body);
+              position = Some leading;
+            })
   | None -> (
       match with_prefix "table:" with
-      | Some body -> parse_table body
-      | None ->
-          let body =
-            match with_prefix "expr:" with Some b -> b | None -> text
+      | Some body -> wrap (fun () -> parse_table body)
+      | None -> (
+          let body, offset =
+            match with_prefix "expr:" with
+            | Some b -> (b, leading + 5)
+            | None -> (text, leading)
           in
-          (match Expr.of_string body with
-          | expr -> of_expr expr
+          match Expr.of_string body with
+          | expr -> wrap (fun () -> of_expr expr)
           | exception Expr.Parse_error { message; position } ->
-              invalid_arg
-                (Printf.sprintf
-                   "Perf_function.of_string: %s at offset %d in %S" message
-                   position body)))
+              Error { message; position = Some (offset + position) }))
+
+let of_string text =
+  match of_string_located text with
+  | Ok t -> t
+  | Error { message; position = Some p } ->
+      invalid_arg
+        (Printf.sprintf "Perf_function.of_string: %s at offset %d in %S"
+           message p (String.trim text))
+  | Error { message; position = None } ->
+      invalid_arg (Printf.sprintf "Perf_function.of_string: %s" message)
+
+let as_expr = function
+  | Expression expr -> Some expr
+  | Const _ | Table _ -> None
+
+let classify = function
+  | Const v -> `Const v
+  | Expression expr -> `Expression expr
+  | Table points -> `Table (Array.to_list points)
 
 let table_eval points n =
   let len = Array.length points in

@@ -28,6 +28,24 @@ val of_string : string -> t
     [table:n1=v1,n2=v2,...]. A bare expression (no prefix) is accepted
     as [expr:]. Raises [Invalid_argument] on malformed input. *)
 
+type parse_error = { message : string; position : int option }
+(** [position] is a 0-based byte offset into the string handed to
+    {!of_string_located} (prefix included), when one is known. *)
+
+val of_string_located : string -> (t, parse_error) result
+(** Like {!of_string}, but returns malformed input as a value carrying
+    the error position, for source-located spec diagnostics. *)
+
+val as_expr : t -> Aved_expr.Expr.t option
+(** The underlying expression, for expression-backed models. *)
+
+val classify :
+  t ->
+  [ `Const of float
+  | `Expression of Aved_expr.Expr.t
+  | `Table of (int * float) list ]
+(** Structural view for external analyses (the static checker). *)
+
 val eval : t -> n:int -> float
 (** Throughput with [n] active resources. [n] must be non-negative;
     [eval t ~n:0] is 0 for expression and table models. *)

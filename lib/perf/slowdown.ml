@@ -5,13 +5,23 @@ type t = Identity | Expression of Expr.t
 let none = Identity
 let of_expr expr = Expression expr
 
-let of_string text =
+type parse_error = { message : string; position : int }
+
+let of_string_located text =
   match Expr.of_string text with
-  | expr -> of_expr expr
+  | expr -> Ok (of_expr expr)
   | exception Expr.Parse_error { message; position } ->
+      Error { message; position }
+
+let of_string text =
+  match of_string_located text with
+  | Ok t -> t
+  | Error { message; position } ->
       invalid_arg
         (Printf.sprintf "Slowdown.of_string: %s at offset %d in %S" message
            position text)
+
+let as_expr = function Identity -> None | Expression expr -> Some expr
 
 let eval t bindings =
   match t with

@@ -21,6 +21,16 @@ val of_string : string -> t
     [if n <= 30 then max(10/cpi, 100%) else max(n/(3*cpi), 100%)].
     Raises [Invalid_argument] on malformed input. *)
 
+type parse_error = { message : string; position : int }
+(** [position] is a 0-based byte offset into the parsed string. *)
+
+val of_string_located : string -> (t, parse_error) result
+(** Like {!of_string}, but returns malformed input as a value carrying
+    the error position, for source-located spec diagnostics. *)
+
+val as_expr : t -> Aved_expr.Expr.t option
+(** The underlying expression ([None] for the identity slowdown). *)
+
 val eval : t -> (string * float) list -> float
 (** The slowdown factor (>= 1) under the given variable bindings.
     Raises [Aved_expr.Expr.Unbound_variable] if a variable is missing. *)

@@ -334,7 +334,7 @@ let parse source =
   with
   | infra -> infra
   | exception Invalid_argument message ->
-      raise (Line_lexer.Error { line = 0; message })
+      raise (Line_lexer.Error { line = 0; col = 0; message })
 
 let parse_file path =
   let ic = open_in path in

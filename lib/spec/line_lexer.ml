@@ -1,15 +1,21 @@
-exception Error of { line : int; message : string }
+exception Error of { line : int; col : int; message : string }
+(* [col] is a 1-based column; 0 means "unknown" and is omitted when the
+   error is printed. *)
 
 type attr = {
   key : string;
+  key_col : int;
   args : string option;
   value : string;
+  value_col : int;
 }
 
-type line = { lineno : int; attrs : attr list }
+type line = { lineno : int; text : string; attrs : attr list }
 
 let fail lineno fmt =
-  Printf.ksprintf (fun message -> raise (Error { line = lineno; message })) fmt
+  Printf.ksprintf
+    (fun message -> raise (Error { line = lineno; col = 0; message }))
+    fmt
 
 let strip_comment text =
   let n = String.length text in
@@ -25,7 +31,9 @@ let rest_of_line_keys = [ "performance"; "mperformance" ]
 
 let is_space c = c = ' ' || c = '\t' || c = '\r'
 
-(* Scan one attribute starting at [i]; returns (attr, next position). *)
+(* Scan one attribute starting at [i]; returns (attr, next position).
+   Columns are 1-based offsets into the line as written (comments are a
+   strict suffix, so offsets into the stripped text agree). *)
 let scan_attr lineno text i =
   let n = String.length text in
   (* Key: up to '(' or '='. *)
@@ -82,7 +90,12 @@ let scan_attr lineno text i =
     end
   in
   let value = String.trim (String.sub text vstart (vend - vstart)) in
-  ({ key; args; value }, vend)
+  let value_col =
+    (* Column of the first significant byte of the (trimmed) value. *)
+    let rec skip j = if j < vend && is_space text.[j] then skip (j + 1) else j in
+    skip vstart + 1
+  in
+  ({ key; key_col = i + 1; args; value; value_col }, vend)
 
 let tokenize_line lineno text =
   let n = String.length text in
@@ -98,10 +111,10 @@ let tokenize_line lineno text =
 let tokenize source =
   let raw_lines = String.split_on_char '\n' source in
   List.filteri (fun _ _ -> true) raw_lines
-  |> List.mapi (fun idx text -> (idx + 1, strip_comment text))
-  |> List.filter_map (fun (lineno, text) ->
+  |> List.mapi (fun idx text -> (idx + 1, text, strip_comment text))
+  |> List.filter_map (fun (lineno, raw, text) ->
          if String.trim text = "" then None
-         else Some { lineno; attrs = tokenize_line lineno text })
+         else Some { lineno; text = raw; attrs = tokenize_line lineno text })
 
 let find line key = List.find_opt (fun a -> String.equal a.key key) line.attrs
 let find_value line key = Option.map (fun a -> a.value) (find line key)

@@ -13,15 +13,24 @@
     of the line (so unquoted expressions work); any other value extends
     to the next whitespace. *)
 
-exception Error of { line : int; message : string }
+exception Error of { line : int; col : int; message : string }
+(** [col] is a 1-based column into the offending line, or [0] when no
+    column is known (pre-existing call sites and whole-model errors). *)
 
 type attr = {
   key : string;
+  key_col : int;  (** 1-based column of the first byte of the key. *)
   args : string option;  (** The text between the parentheses, if any. *)
   value : string;
+  value_col : int;
+      (** 1-based column of the first significant byte of the value. *)
 }
 
-type line = { lineno : int; attrs : attr list }
+type line = {
+  lineno : int;
+  text : string;  (** The raw line as written, for caret snippets. *)
+  attrs : attr list;
+}
 
 val tokenize : string -> line list
 (** Lexes a whole specification text. Line numbers are 1-based. Raises

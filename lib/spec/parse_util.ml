@@ -3,7 +3,20 @@ module Money = Aved_units.Money
 
 let fail lineno fmt =
   Printf.ksprintf
-    (fun message -> raise (Line_lexer.Error { line = lineno; message }))
+    (fun message -> raise (Line_lexer.Error { line = lineno; col = 0; message }))
+    fmt
+
+(* Error with a caret snippet pointing at column [col] of the raw line.
+   Used when a position inside an embedded expression is known. *)
+let fail_at (line : Line_lexer.line) ~col fmt =
+  Printf.ksprintf
+    (fun message ->
+      let text = line.text in
+      let col = max 1 (min col (String.length text + 1)) in
+      let message =
+        Printf.sprintf "%s\n  %s\n  %s^" message text (String.make (col - 1) ' ')
+      in
+      raise (Line_lexer.Error { line = line.lineno; col; message }))
     fmt
 
 let duration lineno text =

@@ -3,6 +3,10 @@
 val fail : int -> ('a, unit, string, 'b) format4 -> 'a
 (** Raise {!Line_lexer.Error} at the given line. *)
 
+val fail_at : Line_lexer.line -> col:int -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Line_lexer.Error} at a 1-based column of the given line,
+    appending a caret snippet of the offending source line. *)
+
 val duration : int -> string -> Aved_units.Duration.t
 (** Parse a duration value ([650d], [2m], [0]) or fail at the line. *)
 

@@ -81,10 +81,21 @@ let parse_scope lineno = function
   | "tier" -> Model.Service.Tier_scope
   | other -> fail lineno "unknown failurescope %S" other
 
-let parse_performance lineno text =
-  match Perf_function.of_string text with
-  | perf -> perf
-  | exception Invalid_argument message -> fail lineno "%s" message
+let parse_performance (line : Line_lexer.line) (attr : Line_lexer.attr) =
+  match Perf_function.of_string_located attr.value with
+  | Ok perf -> perf
+  | Error { message; position = Some p } ->
+      fail_at line ~col:(attr.value_col + p) "bad performance function: %s"
+        message
+  | Error { message; position = None } ->
+      fail line.lineno "bad performance function: %s" message
+
+let parse_slowdown (line : Line_lexer.line) (attr : Line_lexer.attr) =
+  match Slowdown.of_string_located attr.value with
+  | Ok s -> s
+  | Error { message; position } ->
+      fail_at line ~col:(attr.value_col + position) "bad mperformance: %s"
+        message
 
 let option_attr (b : option_builder) (line : Line_lexer.line)
     (attr : Line_lexer.attr) =
@@ -96,7 +107,7 @@ let option_attr (b : option_builder) (line : Line_lexer.line)
       | exception Invalid_argument message -> fail line.lineno "%s" message)
   | "performance", _ ->
       (* Arguments like (nActive) are decorative, as in the paper. *)
-      b.o_performance <- Some (parse_performance line.lineno attr.value)
+      b.o_performance <- Some (parse_performance line attr)
   | "mechanism", None ->
       b.o_current_mech <- Some attr.value;
       if not (List.mem_assoc attr.value b.o_mechs) then
@@ -110,12 +121,7 @@ let option_attr (b : option_builder) (line : Line_lexer.line)
             | None -> []
             | Some text -> guard_list line.lineno text
           in
-          let slowdown =
-            match Slowdown.of_string attr.value with
-            | s -> s
-            | exception Invalid_argument message ->
-                fail line.lineno "%s" message
-          in
+          let slowdown = parse_slowdown line attr in
           let case = Model.Mech_impact.case ~guards slowdown in
           b.o_mechs <-
             List.map
@@ -193,7 +199,9 @@ let parse source =
   let name =
     match state.app_name with
     | Some n -> n
-    | None -> raise (Line_lexer.Error { line = 0; message = "no application line" })
+    | None ->
+        raise
+          (Line_lexer.Error { line = 0; col = 0; message = "no application line" })
   in
   match
     Model.Service.make ~name ?job_size:state.job_size
@@ -201,7 +209,7 @@ let parse source =
   with
   | service -> service
   | exception Invalid_argument message ->
-      raise (Line_lexer.Error { line = 0; message })
+      raise (Line_lexer.Error { line = 0; col = 0; message })
 
 let parse_file path =
   let ic = open_in path in

@@ -11,12 +11,16 @@ let load ~infra_file ~service_file =
   (match Aved_model.Service.validate_against service infra with
   | () -> ()
   | exception Invalid_argument message ->
-      raise (Error { line = 0; message }));
+      raise (Error { line = 0; col = 0; message }));
   (infra, service)
 
 let error_to_string = function
-  | Error { line; message } ->
+  | Error { line; col; message } ->
       Some
         (if line = 0 then Printf.sprintf "spec error: %s" message
-         else Printf.sprintf "spec error at line %d: %s" line message)
+         else if col = 0 then
+           Printf.sprintf "spec error at line %d: %s" line message
+         else
+           Printf.sprintf "spec error at line %d, column %d: %s" line col
+             message)
   | _ -> None

@@ -1,7 +1,8 @@
 (** Facade for the specification language. *)
 
-exception Error of { line : int; message : string }
-(** Re-export of {!Line_lexer.Error} under a friendlier name. *)
+exception Error of { line : int; col : int; message : string }
+(** Re-export of {!Line_lexer.Error} under a friendlier name. [col] is
+    a 1-based column, or [0] when no column is known. *)
 
 val infrastructure_of_string : string -> Aved_model.Infrastructure.t
 val infrastructure_of_file : string -> Aved_model.Infrastructure.t
