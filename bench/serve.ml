@@ -1,0 +1,324 @@
+(* Load generator for the aved serve daemon.
+
+   Runs the server in-process on a temp Unix-domain socket, replays a
+   deterministic mixed workload (design over a fig6-style grid of loads
+   and downtime requirements, frontier, explain, check, health, stats)
+   over one connection, and reports per-verb latency percentiles plus
+   end-to-end throughput. The server's own stats verb supplies the memo
+   readout, which the bench asserts stays within its configured bound —
+   the long-lived-process memory contract.
+
+   Run with:             dune exec bench/serve.exe
+   Machine-readable:     dune exec bench/serve.exe -- json   (BENCH_serve.json)
+   Request count:        dune exec bench/serve.exe -- -n 2000 *)
+
+module Server = Aved_server.Server
+module Protocol = Aved_server.Protocol
+module Json = Aved_explain.Json
+
+(* ------------------------------------------------------------------ *)
+(* Client *)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let rpc ic oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  input_line ic
+
+let result_of_response line =
+  match Protocol.response_of_line line with
+  | Ok { outcome = Ok result; _ } -> result
+  | Ok { outcome = Error (_, message); _ } ->
+      failwith (Printf.sprintf "server error: %s" message)
+  | Error message ->
+      failwith (Printf.sprintf "unparsable response: %s" message)
+
+let obj_field json name =
+  match json with
+  | Json.Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "response lacks %S" name))
+  | _ -> failwith "expected a JSON object"
+
+let int_field json name =
+  match obj_field json name with
+  | Json.Int i -> i
+  | _ -> failwith (Printf.sprintf "field %S is not an integer" name)
+
+(* ------------------------------------------------------------------ *)
+(* Workload *)
+
+type spec_files = { infra : string; service : string }
+
+let write_specs dir =
+  let write name content =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    path
+  in
+  {
+    infra = write "infrastructure.spec" Aved.Experiments.infrastructure_spec;
+    service = write "ecommerce.spec" Aved.Experiments.ecommerce_spec;
+  }
+
+let design_loads = [| 250.; 500.; 1000.; 1500.; 2000.; 2500.; 3000.; 4000. |]
+let design_downtimes = [| 5.; 50.; 500. |]
+
+let spec_params specs =
+  [
+    ("infra_file", Json.String specs.infra);
+    ("service_file", Json.String specs.service);
+  ]
+
+(* Request [i] of the workload: mostly design over the grid, with
+   frontier/explain/check/stats sprinkled deterministically and health
+   as the cheap heartbeat. *)
+let request_line specs i =
+  let design k =
+    let load = design_loads.(k mod Array.length design_loads) in
+    let downtime =
+      design_downtimes.(k / Array.length design_loads
+                        mod Array.length design_downtimes)
+    in
+    Protocol.request_line ~id:(Json.Int i) Protocol.Design
+      (spec_params specs
+      @ [ ("load", Json.Float load); ("downtime_minutes", Json.Float downtime) ])
+  in
+  match i mod 20 with
+  | 0 -> Protocol.request_line ~id:(Json.Int i) Protocol.Health []
+  | 5 ->
+      Protocol.request_line ~id:(Json.Int i) Protocol.Check
+        [ ("files", Json.List [ Json.String specs.infra; Json.String specs.service ]) ]
+  | 10 ->
+      Protocol.request_line ~id:(Json.Int i) Protocol.Frontier
+        (spec_params specs
+        @ [
+            ( "load",
+              Json.Float (design_loads.(i / 20 mod Array.length design_loads))
+            );
+          ])
+  | 15 when i mod 100 = 15 ->
+      Protocol.request_line ~id:(Json.Int i) Protocol.Explain
+        (spec_params specs
+        @ [
+            ("load", Json.Float 1000.);
+            ("downtime_minutes", Json.Float 100.);
+            ("top", Json.Int 3);
+          ])
+  | 19 when i mod 100 = 99 ->
+      Protocol.request_line ~id:(Json.Int i) Protocol.Stats []
+  | _ -> design i
+
+let verb_of_line line =
+  (* The workload built the line, so the verb is always present. *)
+  match Protocol.request_of_line line with
+  | Ok request -> Protocol.verb_to_string request.Protocol.verb
+  | Error message -> failwith message
+
+(* ------------------------------------------------------------------ *)
+(* Percentiles *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(Int.min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+type verb_summary = {
+  verb : string;
+  count : int;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+let summarize verb samples =
+  let sorted = Array.of_list samples in
+  Array.sort compare sorted;
+  let count = Array.length sorted in
+  let sum = Array.fold_left ( +. ) 0. sorted in
+  {
+    verb;
+    count;
+    mean_ms = 1000. *. sum /. float_of_int (Int.max 1 count);
+    p50_ms = 1000. *. percentile sorted 0.50;
+    p95_ms = 1000. *. percentile sorted 0.95;
+    p99_ms = 1000. *. percentile sorted 0.99;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The run *)
+
+type outcome = {
+  jobs : int;
+  requests : int;
+  wall_seconds : float;
+  throughput_rps : float;
+  verbs : verb_summary list;
+  memo_entries : int;
+  memo_capacity : int;
+  memo_hits : int;
+  memo_misses : int;
+  memo_evictions : int;
+  heap_words_before : int;
+  heap_words_after : int;
+}
+
+let run_bench ~requests () =
+  let dir = Filename.temp_file "aved_serve_bench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let specs = write_specs dir in
+  let socket = Filename.concat dir "aved.sock" in
+  let jobs = Domain.recommended_domain_count () in
+  let config =
+    {
+      (Server.default_config (Server.Unix_socket socket)) with
+      Server.jobs;
+      memo_capacity = 1 lsl 16;
+    }
+  in
+  let server = Server.create config in
+  let runner = Thread.create Server.run server in
+  let fd, ic, oc = connect socket in
+  let finally () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Server.stop server;
+    Thread.join runner;
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  (* Warm up each verb once so the measured window reflects the steady
+     state the daemon exists for, then pin the heap baseline. *)
+  List.iter
+    (fun i -> ignore (result_of_response (rpc ic oc (request_line specs i))))
+    [ 0; 5; 10; 15; 99; 1 ];
+  Gc.compact ();
+  let heap_words_before = (Gc.stat ()).Gc.heap_words in
+  let latencies = Hashtbl.create 8 in
+  let record verb dt =
+    Hashtbl.replace latencies verb
+      (dt :: Option.value (Hashtbl.find_opt latencies verb) ~default:[])
+  in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to requests - 1 do
+    let line = request_line specs i in
+    let start = Unix.gettimeofday () in
+    let response = rpc ic oc line in
+    record (verb_of_line line) (Unix.gettimeofday () -. start);
+    ignore (result_of_response response)
+  done;
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  Gc.compact ();
+  let heap_words_after = (Gc.stat ()).Gc.heap_words in
+  let stats =
+    result_of_response
+      (rpc ic oc (Protocol.request_line Protocol.Stats []))
+  in
+  let memo = obj_field stats "memo" in
+  let memo_entries = int_field memo "entries" in
+  let memo_capacity = int_field memo "capacity" in
+  if memo_entries > memo_capacity then
+    failwith
+      (Printf.sprintf "memo bound violated: %d entries > capacity %d"
+         memo_entries memo_capacity);
+  {
+    jobs;
+    requests;
+    wall_seconds;
+    throughput_rps = float_of_int requests /. Float.max 1e-9 wall_seconds;
+    verbs =
+      Hashtbl.fold (fun verb samples acc -> summarize verb samples :: acc)
+        latencies []
+      |> List.sort (fun a b -> compare b.count a.count);
+    memo_entries;
+    memo_capacity;
+    memo_hits = int_field memo "hits";
+    memo_misses = int_field memo "misses";
+    memo_evictions = int_field memo "evictions";
+    heap_words_before;
+    heap_words_after;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+let print_human o =
+  Printf.printf
+    "aved serve bench: %d requests over 1 connection, jobs=%d\n\
+     wall %.3f s, throughput %.1f req/s\n\n"
+    o.requests o.jobs o.wall_seconds o.throughput_rps;
+  Printf.printf "%-10s %8s %10s %10s %10s %10s\n" "verb" "count" "mean ms"
+    "p50 ms" "p95 ms" "p99 ms";
+  List.iter
+    (fun v ->
+      Printf.printf "%-10s %8d %10.2f %10.2f %10.2f %10.2f\n" v.verb v.count
+        v.mean_ms v.p50_ms v.p95_ms v.p99_ms)
+    o.verbs;
+  Printf.printf
+    "\nmemo: %d/%d entries, %d hits, %d misses, %d evictions (bound held)\n"
+    o.memo_entries o.memo_capacity o.memo_hits o.memo_misses o.memo_evictions;
+  Printf.printf "heap: %d -> %d words after compaction (%+d)\n"
+    o.heap_words_before o.heap_words_after
+    (o.heap_words_after - o.heap_words_before)
+
+let print_json o =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" o.jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"requests\": %d,\n" o.requests);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"wall_seconds\": %.6f,\n" o.wall_seconds);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"throughput_rps\": %.2f,\n" o.throughput_rps);
+  Buffer.add_string buf "  \"verbs\": [\n";
+  List.iteri
+    (fun i v ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"verb\": %S, \"count\": %d, \"mean_ms\": %.3f, \
+            \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n"
+           v.verb v.count v.mean_ms v.p50_ms v.p95_ms v.p99_ms
+           (if i = List.length o.verbs - 1 then "" else ",")))
+    o.verbs;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"memo\": {\"entries\": %d, \"capacity\": %d, \"hits\": %d, \
+        \"misses\": %d, \"evictions\": %d},\n"
+       o.memo_entries o.memo_capacity o.memo_hits o.memo_misses
+       o.memo_evictions);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"heap_words_before\": %d,\n" o.heap_words_before);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"heap_words_after\": %d\n" o.heap_words_after);
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_serve.json" in
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec requests = function
+    | "-n" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 -> n
+        | _ -> failwith "-n expects a positive integer")
+    | _ :: rest -> requests rest
+    | [] -> 1000
+  in
+  let outcome = run_bench ~requests:(requests args) () in
+  if List.mem "json" args then print_json outcome else print_human outcome

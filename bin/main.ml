@@ -1,185 +1,47 @@
 (* The aved command-line tool: design services from specification files
-   and regenerate the paper's evaluation artifacts. *)
+   and regenerate the paper's evaluation artifacts. The flags shared by
+   every command, the static-check gate and the exit-code contract live
+   in Common_flags; machine-readable output renders through Aved_api,
+   the same encoders the serve daemon answers with. *)
 
 open Cmdliner
+open Common_flags
 module Duration = Aved_units.Duration
 module Model = Aved_model
-module Telemetry = Aved_telemetry.Telemetry
-
-(* Run a command body, mapping user-facing errors (bad arguments, bad
-   specification files) to exit status 1 with a one-line message on
-   stderr. The body returns its own exit status so commands can signal
-   failure without exceptions too. *)
-let handle_spec_errors f =
-  match f () with
-  | code -> code
-  | exception Failure message ->
-      prerr_endline message;
-      1
-  | exception exn -> (
-      match Aved_spec.Spec.error_to_string exn with
-      | Some message ->
-          prerr_endline message;
-          1
-      | None -> raise exn)
-
-(* ------------------------------------------------------------------ *)
-(* Common arguments *)
-
-let infra_file =
-  let doc = "Infrastructure specification file (paper Fig. 3 format)." in
-  Arg.(required & opt (some file) None & info [ "infra"; "i" ] ~doc ~docv:"FILE")
-
-let service_file =
-  let doc = "Service specification file (paper Figs. 4/5 format)." in
-  Arg.(
-    required & opt (some file) None & info [ "service"; "s" ] ~doc ~docv:"FILE")
-
-let load_arg =
-  let doc = "Throughput requirement in service-specific units of load." in
-  Arg.(value & opt (some float) None & info [ "load" ] ~doc ~docv:"UNITS")
-
-let downtime_arg =
-  let doc = "Maximum annual downtime, in minutes." in
-  Arg.(value & opt (some float) None & info [ "downtime" ] ~doc ~docv:"MIN")
-
-let job_hours_arg =
-  let doc = "Maximum expected job completion time, in hours." in
-  Arg.(value & opt (some float) None & info [ "job-hours" ] ~doc ~docv:"H")
-
-let tier_arg =
-  let doc = "Tier to analyze (defaults to the first tier)." in
-  Arg.(value & opt (some string) None & info [ "tier" ] ~doc ~docv:"NAME")
-
-let jobs_arg =
-  let doc =
-    "Number of domains the search may use (defaults to the runtime's \
-     recommended domain count). The result is identical for every value."
-  in
-  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~doc ~docv:"N")
-
-let stats_arg =
-  let doc =
-    "Print a telemetry summary (search counters, engine latency histograms, \
-     span totals) to stderr after the command finishes."
-  in
-  Arg.(value & flag & info [ "stats" ] ~doc)
-
-let no_check_arg =
-  let doc =
-    "Skip the implicit static check ($(b,aved check)) of the specification \
-     files. Without this flag, commands refuse to run on specs with \
-     Error-severity diagnostics."
-  in
-  Arg.(value & flag & info [ "no-check" ] ~doc)
-
-(* Load the two spec files and run the static checker over them, unless
-   --no-check. Errors refuse the run; clean specs print nothing, so
-   stdout stays byte-identical to an unchecked run. Spec.load runs
-   first so syntactically broken files keep their original one-line
-   "spec error" report. *)
-let load_checked ~no_check ~infra_file ~service_file =
-  let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
-  if not no_check then begin
-    let diags = Aved_check.Check.check_files [ infra_file; service_file ] in
-    let errors =
-      List.filter
-        (fun (d : Aved_check.Diagnostic.t) ->
-          d.severity = Aved_check.Diagnostic.Error)
-        diags
-    in
-    if errors <> [] then begin
-      prerr_endline (Aved_check.Check.render_human errors);
-      failwith
-        (Printf.sprintf
-           "static check failed with %d error(s); use --no-check to override"
-           (List.length errors))
-    end
-  end;
-  (infra, service)
-
-let trace_file_arg =
-  let doc =
-    "Record span timings and write them to $(docv) as Chrome trace-event \
-     JSON (load in chrome://tracing or ui.perfetto.dev)."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
-
-(* Install a recording registry around a command body when --stats or
-   --trace asks for one. With both flags absent no registry exists, so
-   every instrumentation point in the libraries stays on its disabled
-   one-branch path and output is byte-identical to an uninstrumented
-   build. *)
-let with_telemetry ?(stats = false) ?trace f =
-  if (not stats) && trace = None then f ()
-  else begin
-    let t = Telemetry.create () in
-    Telemetry.install t;
-    let code = Fun.protect ~finally:(fun () -> Telemetry.uninstall ()) f in
-    if stats then Telemetry.pp_summary Format.err_formatter t;
-    Option.iter
-      (fun path ->
-        let oc = open_out path in
-        Telemetry.write_chrome_trace t oc;
-        close_out oc;
-        Printf.eprintf "wrote trace to %s\n%!" path)
-      trace;
-    code
-  end
-
-(* Search configuration of every command: the requested parallelism plus
-   the memoized analytic engine. Validated here rather than in the
-   cmdliner converter so every command reports bad values the same way
-   (exit 1, one line on stderr). *)
-let search_config ?(base = Aved_search.Search_config.default) jobs =
-  let jobs =
-    match jobs with
-    | Some j when j < 1 ->
-        failwith (Printf.sprintf "--jobs must be a positive integer (got %d)" j)
-    | Some j -> j
-    | None -> Domain.recommended_domain_count ()
-  in
-  base
-  |> Aved_search.Search_config.with_jobs jobs
-  |> Aved_search.Search_config.with_memo
+module Api = Aved_api.Api
+module Json = Aved_explain.Json
 
 (* ------------------------------------------------------------------ *)
 (* aved design *)
 
 let design_cmd =
-  let run infra_file service_file load downtime job_hours jobs stats trace
+  let run infra_file service_file load downtime job_hours json jobs stats trace
       no_check =
-    handle_spec_errors (fun () ->
-        let requirements =
-          match (load, downtime, job_hours) with
-          | Some load, Some minutes, None ->
-              Model.Requirements.enterprise ~throughput:load
-                ~max_annual_downtime:(Duration.of_minutes minutes)
-          | None, None, Some hours ->
-              Model.Requirements.finite_job
-                ~max_execution_time:(Duration.of_hours hours)
-          | _ ->
-              failwith
-                "specify either --load and --downtime, or --job-hours alone"
-        in
+    handle_errors (fun () ->
+        let requirements = requirements ~load ~downtime ~job_hours in
         let infra, service = load_checked ~no_check ~infra_file ~service_file in
         let config = search_config jobs in
         with_telemetry ~stats ?trace @@ fun () ->
-        match Aved.Engine.design ~config infra service requirements with
-        | Some report ->
-            Format.printf "%a@." Aved.Engine.pp_report report;
-            0
-        | None ->
-            Format.printf
-              "no feasible design: the design space holds no configuration \
-               meeting %a@."
-              Model.Requirements.pp requirements;
-            0)
+        let report = Aved.Engine.design ~config infra service requirements in
+        (if json then
+           print_endline
+             (Json.to_string
+                (Api.design_result_to_json (Api.design_result_of_report report)))
+         else
+           match report with
+           | Some report -> Format.printf "%a@." Aved.Engine.pp_report report
+           | None ->
+               Format.printf
+                 "no feasible design: the design space holds no configuration \
+                  meeting %a@."
+                 Model.Requirements.pp requirements);
+        ok_exit)
   in
   let term =
     Term.(
       const run $ infra_file $ service_file $ load_arg $ downtime_arg
-      $ job_hours_arg $ jobs_arg $ stats_arg $ trace_file_arg $ no_check_arg)
+      $ job_hours_arg $ json_arg $ jobs_arg $ stats_arg $ trace_file_arg
+      $ no_check_arg)
   in
   Cmd.v
     (Cmd.info "design"
@@ -200,9 +62,9 @@ let frontier_cmd =
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run infra_file service_file tier_name load explain jobs stats trace
+  let run infra_file service_file tier_name load explain json jobs stats trace
       no_check =
-    handle_spec_errors (fun () ->
+    handle_errors (fun () ->
         let load =
           match load with Some l -> l | None -> failwith "--load is required"
         in
@@ -220,32 +82,41 @@ let frontier_cmd =
         let frontier =
           Aved_search.Tier_search.frontier config infra ~tier ~demand:load
         in
-        Format.printf
-          "cost-availability frontier of tier %s at load %g (%d designs):@."
-          tier.Model.Service.tier_name load (List.length frontier);
-        let prev = ref None in
-        List.iter
-          (fun (c : Aved_search.Candidate.t) ->
-            Format.printf "  %-44s downtime %10.3f min/yr   cost %s/yr@."
-              (Aved_search.Candidate.family c
-                 ~n_min_nominal:c.model.Aved_avail.Tier_model.n_min)
-              (Duration.minutes (Aved_search.Candidate.downtime c))
-              (Aved_units.Money.to_string c.cost);
-            if explain then begin
-              Option.iter
-                (fun p ->
-                  Format.printf "    ^ %s@."
-                    (Aved_explain.Explain.annotate_step ~prev:p ~next:c))
-                !prev;
-              prev := Some c
-            end)
-          frontier;
-        0)
+        if json then
+          print_endline
+            (Json.to_string
+               (Api.frontier_result_to_json
+                  (Api.frontier_result_of_candidates
+                     ~tier:tier.Model.Service.tier_name ~demand:load frontier)))
+        else begin
+          Format.printf
+            "cost-availability frontier of tier %s at load %g (%d designs):@."
+            tier.Model.Service.tier_name load (List.length frontier);
+          let prev = ref None in
+          List.iter
+            (fun (c : Aved_search.Candidate.t) ->
+              Format.printf "  %-44s downtime %10.3f min/yr   cost %s/yr@."
+                (Aved_search.Candidate.family c
+                   ~n_min_nominal:c.model.Aved_avail.Tier_model.n_min)
+                (Duration.minutes (Aved_search.Candidate.downtime c))
+                (Aved_units.Money.to_string c.cost);
+              if explain then begin
+                Option.iter
+                  (fun p ->
+                    Format.printf "    ^ %s@."
+                      (Aved_explain.Explain.annotate_step ~prev:p ~next:c))
+                  !prev;
+                prev := Some c
+              end)
+            frontier
+        end;
+        ok_exit)
   in
   let term =
     Term.(
       const run $ infra_file $ service_file $ tier_arg $ load_arg
-      $ explain_flag $ jobs_arg $ stats_arg $ trace_file_arg $ no_check_arg)
+      $ explain_flag $ json_arg $ jobs_arg $ stats_arg $ trace_file_arg
+      $ no_check_arg)
   in
   Cmd.v
     (Cmd.info "frontier"
@@ -257,12 +128,12 @@ let frontier_cmd =
 
 let fig6_cmd =
   let run jobs stats trace =
-    handle_spec_errors (fun () ->
+    handle_errors (fun () ->
         let config = search_config jobs in
         with_telemetry ~stats ?trace @@ fun () ->
         Aved.Figures.print_fig6 Format.std_formatter
           (Aved.Figures.fig6 ~config ());
-        0)
+        ok_exit)
   in
   Cmd.v
     (Cmd.info "fig6"
@@ -273,12 +144,12 @@ let fig6_cmd =
 
 let fig7_cmd =
   let run jobs stats trace =
-    handle_spec_errors (fun () ->
+    handle_errors (fun () ->
         let config = search_config ~base:Aved.Experiments.fig7_config jobs in
         with_telemetry ~stats ?trace @@ fun () ->
         Aved.Figures.print_fig7 Format.std_formatter
           (Aved.Figures.fig7 ~config ());
-        0)
+        ok_exit)
   in
   Cmd.v
     (Cmd.info "fig7"
@@ -289,12 +160,12 @@ let fig7_cmd =
 
 let fig8_cmd =
   let run jobs stats trace =
-    handle_spec_errors (fun () ->
+    handle_errors (fun () ->
         let config = search_config jobs in
         with_telemetry ~stats ?trace @@ fun () ->
         Aved.Figures.print_fig8 Format.std_formatter
           (Aved.Figures.fig8 ~config ());
-        0)
+        ok_exit)
   in
   Cmd.v
     (Cmd.info "fig8"
@@ -306,7 +177,7 @@ let fig8_cmd =
 let table1_cmd =
   let run () =
     Aved.Figures.print_table1 Format.std_formatter;
-    0
+    ok_exit
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Print paper Table 1: the performance functions.")
@@ -317,7 +188,7 @@ let table1_cmd =
 
 let validate_cmd =
   let run jobs stats trace =
-    handle_spec_errors @@ fun () ->
+    handle_errors @@ fun () ->
     let config = search_config jobs in
     with_telemetry ~stats ?trace @@ fun () ->
     let infra = Aved.Experiments.infrastructure () in
@@ -329,7 +200,7 @@ let validate_cmd =
     match Aved.Engine.design ~config infra service requirements with
     | None ->
         prerr_endline "validation scenario unexpectedly infeasible";
-        1
+        user_error_exit
     | Some report ->
         Format.printf "%a@.@." Aved.Engine.pp_report report;
         let models =
@@ -362,7 +233,7 @@ let validate_cmd =
             Format.printf "%-14s %12.3f %s %12.3f@." m.tier_name
               (minutes analytic) exact (minutes simulated))
           models;
-        0
+        ok_exit
   in
   Cmd.v
     (Cmd.info "validate"
@@ -379,25 +250,10 @@ let explain_cmd =
     let doc = "Runner-up candidates to show per tier." in
     Arg.(value & opt int 5 & info [ "top" ] ~doc ~docv:"K")
   in
-  let json_arg =
-    let doc = "Emit the explanation as a single JSON object on stdout." in
-    Arg.(value & flag & info [ "json" ] ~doc)
-  in
   let run infra_file service_file load downtime job_hours top json jobs stats
       trace no_check =
-    handle_spec_errors (fun () ->
-        let requirements =
-          match (load, downtime, job_hours) with
-          | Some load, Some minutes, None ->
-              Model.Requirements.enterprise ~throughput:load
-                ~max_annual_downtime:(Duration.of_minutes minutes)
-          | None, None, Some hours ->
-              Model.Requirements.finite_job
-                ~max_execution_time:(Duration.of_hours hours)
-          | _ ->
-              failwith
-                "specify either --load and --downtime, or --job-hours alone"
-        in
+    handle_errors (fun () ->
+        let requirements = requirements ~load ~downtime ~job_hours in
         let infra, service = load_checked ~no_check ~infra_file ~service_file in
         let config = search_config jobs in
         with_telemetry ~stats ?trace @@ fun () ->
@@ -406,52 +262,24 @@ let explain_cmd =
           Aved_search.Provenance.with_trail trail @@ fun () ->
           Aved.Engine.design ~config infra service requirements
         in
-        match result with
-        | None ->
-            if json then
-              print_endline
-                (Aved_explain.Json.to_string
-                   (Aved_explain.Json.Obj
-                      [ ("feasible", Aved_explain.Json.Bool false) ]))
-            else print_endline "no feasible design";
-            0
-        | Some report ->
-            let demand =
-              match requirements with
-              | Model.Requirements.Enterprise { throughput; _ } ->
-                  Some throughput
-              | Model.Requirements.Finite_job _ -> None
-            in
-            let models =
-              Aved.Engine.evaluate_design infra service report.design ~demand
-            in
-            let engine = config.Aved_search.Search_config.engine in
-            let explanation =
-              {
-                Aved_explain.Explain.service_name =
-                  service.Model.Service.service_name;
-                engine = Aved_explain.Explain.engine_label engine;
-                cost = report.cost;
-                downtime = report.downtime;
-                execution_time = report.execution_time;
-                tiers =
-                  List.map2
-                    (fun (td : Model.Design.tier_design) model ->
-                      Aved_explain.Explain.explain_tier ~top ~trail ~engine
-                        ~design:td
-                        ~cost:(Model.Design.tier_cost infra td)
-                        ~model ())
-                    report.design.Model.Design.tiers models;
-                noted = Aved_search.Provenance.noted trail;
-                dropped = Aved_search.Provenance.dropped trail;
-              }
-            in
-            if json then
-              print_endline
-                (Aved_explain.Json.to_string
-                   (Aved_explain.Explain.to_json explanation))
-            else Format.printf "%a@." Aved_explain.Explain.pp explanation;
-            0)
+        let explanation =
+          Option.map
+            (fun report ->
+              Aved.Engine.explain ~top ~trail ~config infra service
+                requirements report)
+            result
+        in
+        (if json then
+           print_endline
+             (Json.to_string
+                (Api.explain_result_to_json
+                   (Api.explain_result_of_explanation explanation)))
+         else
+           match explanation with
+           | None -> print_endline "no feasible design"
+           | Some explanation ->
+               Format.printf "%a@." Aved_explain.Explain.pp explanation);
+        ok_exit)
   in
   let term =
     Term.(
@@ -479,26 +307,15 @@ let report_cmd =
   in
   let run infra_file service_file load downtime job_hours jobs out stats trace
       no_check =
-    handle_spec_errors (fun () ->
-        let requirements =
-          match (load, downtime, job_hours) with
-          | Some load, Some minutes, None ->
-              Model.Requirements.enterprise ~throughput:load
-                ~max_annual_downtime:(Duration.of_minutes minutes)
-          | None, None, Some hours ->
-              Model.Requirements.finite_job
-                ~max_execution_time:(Duration.of_hours hours)
-          | _ ->
-              failwith
-                "specify either --load and --downtime, or --job-hours alone"
-        in
+    handle_errors (fun () ->
+        let requirements = requirements ~load ~downtime ~job_hours in
         let infra, service = load_checked ~no_check ~infra_file ~service_file in
         let config = search_config jobs in
         with_telemetry ~stats ?trace @@ fun () ->
         match Aved.Report.generate ~config infra service requirements with
         | None ->
             print_endline "no feasible design";
-            0
+            ok_exit
         | Some text ->
             (match out with
             | None -> print_string text
@@ -507,7 +324,7 @@ let report_cmd =
                 output_string oc text;
                 close_out oc;
                 Printf.printf "wrote %s\n" path);
-            0)
+            ok_exit)
   in
   let term =
     Term.(
@@ -528,7 +345,7 @@ let report_cmd =
 
 let ablate_cmd =
   let run stats trace =
-    handle_spec_errors @@ fun () ->
+    handle_errors @@ fun () ->
     with_telemetry ~stats ?trace @@ fun () ->
     let infra = Aved.Experiments.infrastructure () in
     let service = Aved.Experiments.ecommerce () in
@@ -539,7 +356,7 @@ let ablate_cmd =
     with
     | None ->
         prerr_endline "scenario unexpectedly infeasible";
-        1
+        user_error_exit
     | Some report ->
         Format.printf "%a@.@." Aved.Engine.pp_report report;
         Format.printf
@@ -577,7 +394,7 @@ let ablate_cmd =
             Format.printf "%-14s %s@." m.tier_name (String.concat " " cells))
           (Aved.Engine.evaluate_design infra service report.design
              ~demand:(Some 1000.));
-        0
+        ok_exit
   in
   Cmd.v
     (Cmd.info "ablate"
@@ -610,7 +427,7 @@ let adapt_cmd =
      only [--stats]; use another command for span traces. *)
   let run infra_file service_file tier_name load downtime trace headroom jobs
       stats no_check =
-    handle_spec_errors (fun () ->
+    handle_errors (fun () ->
         let downtime =
           match downtime with
           | Some d -> d
@@ -655,7 +472,7 @@ let adapt_cmd =
           "@.%d redesigns after the initial one; time-weighted cost %s/yr@."
           replay.redesigns
           (Aved_units.Money.to_string replay.average_cost);
-        0)
+        ok_exit)
   in
   let term =
     Term.(
@@ -689,13 +506,12 @@ let check_cmd =
     let doc = "Exit with status 1 on any diagnostic, warnings included." in
     Arg.(value & flag & info [ "strict" ] ~doc)
   in
-  let json_arg =
-    let doc = "Emit the diagnostics as a JSON array on stdout." in
-    Arg.(value & flag & info [ "json" ] ~doc)
-  in
   let run files strict json =
     let diags = Aved_check.Check.check_files files in
-    if json then print_endline (Aved_check.Check.render_json diags)
+    if json then
+      print_endline
+        (Json.to_string
+           (Api.check_result_to_json (Api.check_result_of_diagnostics diags)))
     else if diags <> [] then begin
       print_endline (Aved_check.Check.render_human diags);
       print_endline (Aved_check.Diagnostic.summary diags)
@@ -712,6 +528,142 @@ let check_cmd =
           CTMC well-formedness of the induced availability models. Exits 0 \
           when clean, 1 on errors (or on any diagnostic with --strict).")
     Term.(const run $ files_arg $ strict_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* aved serve: the long-running design daemon *)
+
+let serve_cmd =
+  let module Server = Aved_server.Server in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv).")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Listen on TCP $(docv) (port 0 lets the kernel pick).")
+  in
+  let dispatchers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "dispatchers" ] ~docv:"N"
+          ~doc:"Worker threads answering requests.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue capacity; requests beyond it are shed with an \
+             $(i,overloaded) response.")
+  in
+  let memo_capacity_arg =
+    Arg.(
+      value
+      & opt int Aved_avail.Memo.default_capacity
+      & info [ "memo-capacity" ] ~docv:"N"
+          ~doc:
+            "Entry bound of the shared availability memo (LRU eviction past \
+             it).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default queueing deadline for requests that do not carry their \
+             own deadline_ms.")
+  in
+  let run socket tcp jobs dispatchers queue memo_capacity deadline =
+    handle_errors (fun () ->
+        let transport =
+          match (socket, tcp) with
+          | Some path, None -> Server.Unix_socket path
+          | None, Some hostport -> (
+              match String.rindex_opt hostport ':' with
+              | None -> failwith "--tcp expects HOST:PORT"
+              | Some i -> (
+                  let host =
+                    match String.sub hostport 0 i with
+                    | "" -> "127.0.0.1"
+                    | host -> host
+                  in
+                  let port_text =
+                    String.sub hostport (i + 1)
+                      (String.length hostport - i - 1)
+                  in
+                  match int_of_string_opt port_text with
+                  | Some port when port >= 0 && port < 65536 ->
+                      Server.Tcp { host; port }
+                  | Some _ | None ->
+                      failwith
+                        (Printf.sprintf "invalid --tcp port %S" port_text)))
+          | Some _, Some _ ->
+              failwith "--socket and --tcp are mutually exclusive"
+          | None, None -> failwith "specify --socket PATH or --tcp HOST:PORT"
+        in
+        let jobs =
+          match jobs with
+          | Some j when j < 1 ->
+              failwith
+                (Printf.sprintf "--jobs must be a positive integer (got %d)" j)
+          | Some j -> j
+          | None -> Domain.recommended_domain_count ()
+        in
+        List.iter
+          (fun (flag, v) ->
+            if v < 1 then
+              failwith
+                (Printf.sprintf "%s must be a positive integer (got %d)" flag v))
+          [
+            ("--dispatchers", dispatchers);
+            ("--queue", queue);
+            ("--memo-capacity", memo_capacity);
+          ];
+        let config =
+          {
+            (Server.default_config transport) with
+            Server.jobs;
+            dispatchers;
+            queue_capacity = queue;
+            memo_capacity;
+            default_deadline_ms = deadline;
+          }
+        in
+        let server =
+          try Server.create config
+          with Unix.Unix_error (err, _, _) ->
+            failwith
+              (Printf.sprintf "cannot listen: %s" (Unix.error_message err))
+        in
+        Server.install_signal_handlers server;
+        (match transport with
+        | Server.Unix_socket path ->
+            Printf.eprintf "aved serve: listening on %s\n%!" path
+        | Server.Tcp { host; _ } ->
+            Printf.eprintf "aved serve: listening on %s:%d\n%!" host
+              (Option.value (Server.bound_port server) ~default:0));
+        Server.run server;
+        ok_exit)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived design daemon: newline-delimited JSON requests \
+          (design, frontier, explain, check, health, stats) over a \
+          Unix-domain or TCP socket, answered from warm state — a shared \
+          search pool, a bounded availability memo and a content-hash spec \
+          cache. Results are byte-identical to the corresponding --json \
+          command. SIGTERM drains gracefully.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ jobs_arg $ dispatchers_arg
+      $ queue_arg $ memo_capacity_arg $ deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* aved dump-specs *)
@@ -735,7 +687,7 @@ let dump_specs_cmd =
     write "infrastructure.spec" Aved.Experiments.infrastructure_spec;
     write "ecommerce.spec" Aved.Experiments.ecommerce_spec;
     write "scientific.spec" Aved.Experiments.scientific_spec;
-    0
+    ok_exit
   in
   Cmd.v
     (Cmd.info "dump-specs"
@@ -767,5 +719,6 @@ let () =
             report_cmd;
             ablate_cmd;
             adapt_cmd;
+            serve_cmd;
             dump_specs_cmd;
           ]))

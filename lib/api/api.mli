@@ -1,0 +1,153 @@
+(** The versioned wire API of Aved.
+
+    One place defines the JSON shape of every machine-readable result —
+    design, frontier, explain, check — and both front ends render
+    through it: the one-shot CLI ([aved design --json], [aved frontier
+    --json], [aved explain --json], [aved check --json]) and the
+    [aved serve] daemon. A server response is therefore byte-identical
+    to the CLI output for the same specification and request.
+
+    Every top-level encoding carries a [schema_version] field
+    ({!schema_version}); decoders reject documents whose version they
+    do not understand, so clients can pin fixtures and detect skew.
+
+    Encoders pair with decoders ([*_of_json]) whose re-encoding is
+    byte-identical to the original document (floats round-trip through
+    {!Aved_explain.Json}'s shortest representation), which the test
+    suite pins with golden fixtures. *)
+
+module Json = Aved_explain.Json
+
+val schema_version : int
+(** Version of every encoding in this module. Bump when a field
+    changes meaning or disappears; adding fields is also a bump —
+    decoders are exact. *)
+
+val versioned : (string * Json.t) list -> Json.t
+(** Wrap fields into an object led by ["schema_version"]. *)
+
+(** {1 Design results} *)
+
+type design_result = {
+  feasible : bool;
+  design : Aved_model.Design.t option;
+  cost : float option;  (** Currency units per year. *)
+  downtime_minutes : float option;  (** Predicted annual downtime. *)
+  execution_hours : float option;  (** Predicted job completion. *)
+}
+
+val design_result_of_report :
+  Aved_search.Service_search.report option -> design_result
+
+val design_result_to_json : design_result -> Json.t
+val design_result_of_json : Json.t -> (design_result, string) result
+
+(** {1 Frontier results} *)
+
+type frontier_point = {
+  family : string;
+      (** The paper's design-family label ({!Aved_search.Candidate.family}). *)
+  point_cost : float;
+  point_downtime_minutes : float;
+  point_design : Aved_model.Design.tier_design;
+}
+
+type frontier_result = {
+  frontier_tier : string;
+  demand : float;
+  points : frontier_point list;
+}
+
+val frontier_result_of_candidates :
+  tier:string -> demand:float -> Aved_search.Candidate.t list -> frontier_result
+
+val frontier_result_to_json : frontier_result -> Json.t
+val frontier_result_of_json : Json.t -> (frontier_result, string) result
+
+(** {1 Explain results} *)
+
+type contribution = {
+  label : string;
+  repair_mechanism : string option;
+  fraction : float;
+  contribution_minutes : float;
+  contribution_nines : float;
+}
+
+type mechanism_share = {
+  mechanism : string option;
+  share_fraction : float;
+  share_minutes : float;
+}
+
+type fate_detail = No_detail | Text_detail of string | Number_detail of float
+
+type runner_up = {
+  runner_design : string;  (** {!Aved_search.Provenance.describe} text. *)
+  fate : string;
+  detail : fate_detail;
+  runner_cost : float;
+  cost_delta : float;
+  runner_downtime_minutes : float option;
+  downtime_delta_minutes : float option;
+  runner_execution_seconds : float option;
+}
+
+type explain_tier = {
+  explain_tier_name : string;
+  tier_design_text : string;
+  tier_resource : string;
+  tier_n_active : int;
+  tier_n_spare : int;
+  tier_cost : float;
+  tier_fraction : float;
+  tier_minutes : float;
+  tier_nines : float;
+  by_class : contribution list;
+  by_mechanism : mechanism_share list;
+  mean_failed_resources : float option;
+  designs_considered : int;
+  runner_ups : runner_up list;
+}
+
+type explain_body = {
+  explain_service : string;
+  explain_engine : string;
+  explain_cost : float;
+  explain_downtime_minutes : float option;
+  explain_execution_seconds : float option;
+  noted : int;
+  dropped : int;
+  explain_tiers : explain_tier list;
+}
+
+type explain_result = { explain_feasible : bool; body : explain_body option }
+
+val explain_result_of_explanation :
+  Aved_explain.Explain.t option -> explain_result
+(** [None] encodes an infeasible search ([{"feasible":false}]). *)
+
+val explain_result_to_json : explain_result -> Json.t
+val explain_result_of_json : Json.t -> (explain_result, string) result
+
+(** {1 Check results} *)
+
+type diagnostic = {
+  severity : string;  (** ["error"], ["warning"] or ["info"]. *)
+  code : string;
+  file : string option;
+  line : int option;
+  col : int option;
+  message : string;
+}
+
+type check_result = { diagnostics : diagnostic list }
+
+val check_result_of_diagnostics :
+  Aved_check.Diagnostic.t list -> check_result
+
+val check_result_to_json : check_result -> Json.t
+(** Also emits derived [errors]/[warnings]/[infos] counts; the decoder
+    recomputes them, keeping round trips byte-stable. *)
+
+val check_result_of_json : Json.t -> (check_result, string) result

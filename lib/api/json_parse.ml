@@ -1,0 +1,202 @@
+module Json = Aved_explain.Json
+
+exception Parse_error of int * string
+
+type state = { input : string; mutable pos : int }
+
+let fail st message = raise (Parse_error (st.pos, message))
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let n = String.length st.input in
+  while
+    st.pos < n
+    && match st.input.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> fail st (Printf.sprintf "expected %C, found %C" c d)
+  | None -> fail st (Printf.sprintf "expected %C, found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.input
+    && String.sub st.input st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+(* Append the UTF-8 encoding of a Unicode scalar value. *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail st "invalid \\u escape"
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> fail st "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if st.pos + 4 > String.length st.input then
+                  fail st "truncated \\u escape";
+                let code =
+                  (hex_digit st st.input.[st.pos] lsl 12)
+                  lor (hex_digit st st.input.[st.pos + 1] lsl 8)
+                  lor (hex_digit st st.input.[st.pos + 2] lsl 4)
+                  lor hex_digit st st.input.[st.pos + 3]
+                in
+                st.pos <- st.pos + 4;
+                add_utf8 buf code
+            | c -> fail st (Printf.sprintf "invalid escape \\%c" c));
+            loop ())
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let n = String.length st.input in
+  let is_number_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while st.pos < n && is_number_char st.input.[st.pos] do
+    advance st
+  done;
+  if st.pos = start then fail st "expected a number";
+  let text = String.sub st.input start (st.pos - start) in
+  let is_integral =
+    String.for_all (fun c -> match c with '.' | 'e' | 'E' -> false | _ -> true) text
+  in
+  if is_integral then
+    match int_of_string_opt text with
+    | Some i -> Json.Int i
+    | None -> (
+        (* Out of int range: keep it as a float. *)
+        match float_of_string_opt text with
+        | Some f -> Json.Float f
+        | None ->
+            st.pos <- start;
+            fail st (Printf.sprintf "malformed number %S" text))
+  else
+    match float_of_string_opt text with
+    | Some f -> Json.Float f
+    | None ->
+        st.pos <- start;
+        fail st (Printf.sprintf "malformed number %S" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "expected a value, found end of input"
+  | Some 'n' -> literal st "null" Json.Null
+  | Some 't' -> literal st "true" (Json.Bool true)
+  | Some 'f' -> literal st "false" (Json.Bool false)
+  | Some '"' -> Json.String (parse_string st)
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        Json.List []
+      end
+      else begin
+        let items = ref [ parse_value st ] in
+        skip_ws st;
+        while peek st = Some ',' do
+          advance st;
+          items := parse_value st :: !items;
+          skip_ws st
+        done;
+        expect st ']';
+        Json.List (List.rev !items)
+      end
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Json.Obj []
+      end
+      else begin
+        let member () =
+          skip_ws st;
+          let key = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let value = parse_value st in
+          (key, value)
+        in
+        let fields = ref [ member () ] in
+        skip_ws st;
+        while peek st = Some ',' do
+          advance st;
+          fields := member () :: !fields;
+          skip_ws st
+        done;
+        expect st '}';
+        Json.Obj (List.rev !fields)
+      end
+  | Some _ -> parse_number st
+
+let of_string input =
+  let st = { input; pos = 0 } in
+  match
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length input then fail st "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (pos, message) ->
+      Error (Printf.sprintf "json parse error at offset %d: %s" pos message)
+
+let of_string_exn input =
+  match of_string input with Ok v -> v | Error e -> failwith e

@@ -1,0 +1,18 @@
+(** Parser for the repo's hand-rolled JSON values ({!Aved_explain.Json}).
+
+    The inverse of {!Aved_explain.Json.to_string}, and a full JSON
+    parser for the wire protocol of [aved serve]: requests arrive as
+    one JSON document per line. Numbers without [.], [e] or [E] that
+    fit in an OCaml [int] parse as [Int]; everything else parses as
+    [Float] via [float_of_string], so a serialize/parse/serialize trip
+    is byte-stable (both directions go through
+    {!Aved_explain.Json.to_string}'s shortest round-tripping float
+    representation). [\uXXXX] escapes decode to UTF-8. *)
+
+val of_string : string -> (Aved_explain.Json.t, string) result
+(** Parses exactly one JSON document (surrounding whitespace allowed;
+    trailing garbage is an error). The error string carries a 0-based
+    byte offset. *)
+
+val of_string_exn : string -> Aved_explain.Json.t
+(** {!of_string}, raising [Failure] on malformed input. *)

@@ -10,7 +10,7 @@ type engine =
   | Monte_carlo of Monte_carlo.config
 
 let default_engine = Analytic
-let memoized () = Memoized (Memo.create ())
+let memoized ?capacity () = Memoized (Memo.create ?capacity ())
 
 (* Per-engine invocation counters and solve-latency histograms. The
    disabled path pays one branch and stays allocation-free. *)

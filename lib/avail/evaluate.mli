@@ -16,8 +16,10 @@ type engine =
 
 val default_engine : engine
 
-val memoized : unit -> engine
-(** [Memoized] with a fresh cache. *)
+val memoized : ?capacity:int -> unit -> engine
+(** [Memoized] with a fresh cache bounded at [capacity] entries
+    (default {!Memo.default_capacity}); see {!Memo} for the LRU
+    eviction contract. *)
 
 val tier_downtime_fraction : engine -> Tier_model.t -> float
 

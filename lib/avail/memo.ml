@@ -4,6 +4,7 @@ module Telemetry = Aved_telemetry.Telemetry
 
 let memo_hits = Telemetry.Counter.make "avail.memo.hits"
 let memo_misses = Telemetry.Counter.make "avail.memo.misses"
+let memo_evictions = Telemetry.Counter.make "avail.memo.evictions"
 
 (* The key carries every input Analytic.downtime_fraction reads.
    tier_name, labels, loss_window and effective_performance do not
@@ -17,20 +18,83 @@ type key = {
   classes : (float * float * float * bool) array;
 }
 
-type t = {
-  mutex : Mutex.t;
-  table : (key, float) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
+(* Intrusive doubly-linked LRU list node. [prev] points toward the
+   most-recently-used end, [next] toward the eviction end. *)
+type node = {
+  key : key;
+  value : float;
+  mutable prev : node option;
+  mutable next : node option;
 }
 
-let create () =
+type t = {
+  mutex : Mutex.t;
+  table : (key, node) Hashtbl.t;
+  capacity : int;
+  mutable head : node option;  (** Most recently used. *)
+  mutable tail : node option;  (** Least recently used; next to evict. *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evicted : int;
+}
+
+let default_capacity = 1 lsl 20
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Memo.create: capacity must be >= 1";
   {
     mutex = Mutex.create ();
     table = Hashtbl.create 1024;
+    capacity;
+    head = None;
+    tail = None;
     hits = 0;
     misses = 0;
+    evicted = 0;
   }
+
+let capacity t = t.capacity
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n
+
+(* List surgery; all callers hold [t.mutex]. *)
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  if t.head != Some node then begin
+    unlink t node;
+    push_front t node
+  end
+
+let evict_over_capacity t =
+  while Hashtbl.length t.table > t.capacity do
+    match t.tail with
+    | None -> assert false
+    | Some lru ->
+        unlink t lru;
+        Hashtbl.remove t.table lru.key;
+        t.evicted <- t.evicted + 1;
+        Telemetry.Counter.incr memo_evictions
+  done
 
 let key_of (model : Tier_model.t) =
   {
@@ -56,11 +120,12 @@ let downtime_fraction t model =
   let key = key_of model in
   Mutex.lock t.mutex;
   match Hashtbl.find_opt t.table key with
-  | Some v ->
+  | Some node ->
       t.hits <- t.hits + 1;
+      touch t node;
       Mutex.unlock t.mutex;
       Telemetry.Counter.incr memo_hits;
-      v
+      node.value
   | None ->
       t.misses <- t.misses + 1;
       Mutex.unlock t.mutex;
@@ -69,7 +134,12 @@ let downtime_fraction t model =
          recomputing a racing duplicate yields the same pure value. *)
       let v = Analytic.downtime_fraction model in
       Mutex.lock t.mutex;
-      if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v;
+      if not (Hashtbl.mem t.table key) then begin
+        let node = { key; value = v; prev = None; next = None } in
+        Hashtbl.add t.table key node;
+        push_front t node;
+        evict_over_capacity t
+      end;
       Mutex.unlock t.mutex;
       v
 
@@ -78,3 +148,9 @@ let stats t =
   let s = (t.hits, t.misses) in
   Mutex.unlock t.mutex;
   s
+
+let evictions t =
+  Mutex.lock t.mutex;
+  let e = t.evicted in
+  Mutex.unlock t.mutex;
+  e

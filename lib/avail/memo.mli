@@ -1,4 +1,4 @@
-(** A domain-safe memo table for Engine A evaluations.
+(** A domain-safe, bounded LRU memo table for Engine A evaluations.
 
     The search evaluates the same availability model thousands of times
     across cost-distinct designs: different mechanism settings (e.g.
@@ -11,15 +11,38 @@
     float the uncached computation would produce (the computation is
     pure), keeping memoized runs bit-identical to unmemoized ones.
 
+    The table is bounded: it holds at most [capacity] entries and evicts
+    the least-recently-used entry when a new one would exceed the bound,
+    so a long-lived process (the [aved serve] daemon shares one table
+    across every request) cannot grow without bound. Eviction only ever
+    forgets values, never changes them, so results stay bit-identical at
+    any capacity. The default capacity ({!default_capacity}) is far
+    above what a figure sweep inserts; one-shot runs never evict.
+
     A single [Mutex] guards the table, making one cache shareable by
-    every worker domain of a parallel search. *)
+    every worker domain of a parallel search and every dispatcher
+    thread of the server. *)
 
 type t
 
-val create : unit -> t
+val default_capacity : int
+(** 1,048,576 entries — at roughly a hundred bytes per entry, a bound
+    of ~100 MB; orders of magnitude above a figure sweep's footprint. *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the entry count (default {!default_capacity};
+    raises [Invalid_argument] when [< 1]). *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Entries currently cached; always [<= capacity t]. *)
 
 val downtime_fraction : t -> Tier_model.t -> float
 (** [Analytic.downtime_fraction], memoized. *)
 
 val stats : t -> int * int
 (** [(hits, misses)] since creation. *)
+
+val evictions : t -> int
+(** Entries evicted by the LRU bound since creation. *)

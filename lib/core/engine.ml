@@ -9,7 +9,7 @@ type report = Search.Service_search.report = {
   execution_time : Duration.t option;
 }
 
-let design ?(config = Search.Search_config.default) ?jobs infra service
+let design ?(config = Search.Search_config.default) ?jobs ?pool infra service
     requirements =
   let config =
     match jobs with
@@ -17,7 +17,7 @@ let design ?(config = Search.Search_config.default) ?jobs infra service
     | Some jobs -> Search.Search_config.with_jobs jobs config
   in
   Model.Service.validate_against service infra;
-  Search.Service_search.design config infra service requirements
+  Search.Service_search.design ?pool config infra service requirements
 
 let design_from_files ?config ?jobs ~infra_file ~service_file requirements =
   let infra, service = Aved_spec.Spec.load ~infra_file ~service_file in
@@ -45,6 +45,38 @@ let evaluate_design infra service (d : Model.Design.t) ~demand =
                    td.tier_name td.resource)
           | Some option -> Aved_avail.Tier_model.build ~infra ~option ~design:td ~demand))
     d.tiers
+
+(* Assemble the decision-provenance explanation for a finished design
+   run. Shared by [aved explain --json], the human explain report and
+   the server's [explain] verb, so every front end attributes downtime
+   identically. *)
+let explain ?top ?trail ~config infra (service : Model.Service.t) requirements
+    (report : report) =
+  let demand =
+    match requirements with
+    | Model.Requirements.Enterprise { throughput; _ } -> Some throughput
+    | Model.Requirements.Finite_job _ -> None
+  in
+  let models = evaluate_design infra service report.design ~demand in
+  let engine = config.Search.Search_config.engine in
+  {
+    Aved_explain.Explain.service_name = service.Model.Service.service_name;
+    engine = Aved_explain.Explain.engine_label engine;
+    cost = report.cost;
+    downtime = report.downtime;
+    execution_time = report.execution_time;
+    tiers =
+      List.map2
+        (fun (td : Model.Design.tier_design) model ->
+          Aved_explain.Explain.explain_tier ?top ?trail ~engine ~design:td
+            ~cost:(Model.Design.tier_cost infra td)
+            ~model ())
+        report.design.Model.Design.tiers models;
+    noted =
+      (match trail with Some t -> Search.Provenance.noted t | None -> 0);
+    dropped =
+      (match trail with Some t -> Search.Provenance.dropped t | None -> 0);
+  }
 
 let pp_report ppf (r : report) =
   Format.fprintf ppf "@[<v>%a@,annual cost: %a" Model.Design.pp r.design

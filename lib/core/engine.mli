@@ -17,13 +17,16 @@ type report = Aved_search.Service_search.report = {
 val design :
   ?config:Aved_search.Search_config.t ->
   ?jobs:int ->
+  ?pool:Aved_parallel.Pool.t ->
   Aved_model.Infrastructure.t ->
   Aved_model.Service.t ->
   Aved_model.Requirements.t ->
   report option
 (** Minimum-cost design meeting the requirements, or [None]. [jobs]
     overrides [config.jobs] (number of search domains; the result is
-    bit-identical for every value). *)
+    bit-identical for every value). [pool] reuses an existing domain
+    pool instead of spawning one per call — the serving daemon passes
+    its long-lived pool here. *)
 
 val design_from_files :
   ?config:Aved_search.Search_config.t ->
@@ -44,5 +47,20 @@ val evaluate_design :
 (** Re-evaluates a resolved design (e.g. one proposed by hand): builds
     every tier's availability model. Raises [Invalid_argument] when the
     design references tiers or resources the service does not offer. *)
+
+val explain :
+  ?top:int ->
+  ?trail:Aved_search.Provenance.t ->
+  config:Aved_search.Search_config.t ->
+  Aved_model.Infrastructure.t ->
+  Aved_model.Service.t ->
+  Aved_model.Requirements.t ->
+  report ->
+  Aved_explain.Explain.t
+(** Decision-provenance explanation of a finished design run:
+    re-evaluates the chosen design's tier models, decomposes their
+    downtime through [config]'s engine and recovers the top-[top]
+    runner-ups from [trail] when one was installed around the search.
+    Shared by the CLI and the server so both attribute identically. *)
 
 val pp_report : Format.formatter -> report -> unit

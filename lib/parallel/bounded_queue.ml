@@ -1,0 +1,58 @@
+type 'a t = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  queue : 'a Queue.t;
+  capacity : int;
+  mutable is_closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bounded_queue.create: capacity must be >= 1";
+  {
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    queue = Queue.create ();
+    capacity;
+    is_closed = false;
+  }
+
+let capacity t = t.capacity
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let try_push t x =
+  Mutex.lock t.mutex;
+  let accepted =
+    (not t.is_closed) && Queue.length t.queue < t.capacity
+  in
+  if accepted then begin
+    Queue.push x t.queue;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.mutex;
+  accepted
+
+let pop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.is_closed do
+    Condition.wait t.not_empty t.mutex
+  done;
+  let x = Queue.take_opt t.queue in
+  Mutex.unlock t.mutex;
+  x
+
+let close t =
+  Mutex.lock t.mutex;
+  t.is_closed <- true;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.mutex
+
+let closed t =
+  Mutex.lock t.mutex;
+  let c = t.is_closed in
+  Mutex.unlock t.mutex;
+  c

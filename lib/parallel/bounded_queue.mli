@@ -1,0 +1,35 @@
+(** A bounded multi-producer/multi-consumer FIFO queue.
+
+    The server's admission queue: connection readers push requests with
+    {!try_push}, which never blocks — when the queue is at capacity the
+    push is refused and the caller sheds the request with an explicit
+    backpressure response instead of stalling the socket. Dispatcher
+    threads block in {!pop} until an element or {!close} arrives.
+
+    Safe across systhreads and domains (a single [Mutex]/[Condition]
+    pair guards the queue; the hot path is one lock acquisition). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] makes an empty queue holding at most [capacity]
+    elements ([capacity >= 1]; raises [Invalid_argument] otherwise). *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Current depth (racy by nature; exact at the instant of the read). *)
+
+val try_push : 'a t -> 'a -> bool
+(** [try_push t x] enqueues [x] and returns [true], or returns [false]
+    without blocking when the queue is full or closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an element is available and dequeues it. Returns
+    [None] once the queue is closed {e and} drained — elements pushed
+    before {!close} are still delivered. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake every blocked {!pop}. Idempotent. *)
+
+val closed : 'a t -> bool

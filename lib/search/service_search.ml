@@ -243,8 +243,13 @@ let job_design ?pool config infra (service : Model.Service.t) ~job_size
            "Service_search: finite job %s must have exactly one tier"
            service.service_name)
 
-let design config infra (service : Model.Service.t) requirements =
-  Pool.run ~jobs:config.Search_config.jobs @@ fun pool ->
+let design ?pool config infra (service : Model.Service.t) requirements =
+  let with_pool f =
+    match pool with
+    | Some pool -> f pool
+    | None -> Pool.run ~jobs:config.Search_config.jobs f
+  in
+  with_pool @@ fun pool ->
   match (requirements, service.job_size) with
   | Model.Requirements.Enterprise { throughput; max_annual_downtime }, None ->
       enterprise_design ~pool config infra service ~throughput

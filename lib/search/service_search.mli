@@ -35,6 +35,7 @@ type report = {
 }
 
 val design :
+  ?pool:Aved_parallel.Pool.t ->
   Search_config.t ->
   Aved_model.Infrastructure.t ->
   Aved_model.Service.t ->
@@ -44,7 +45,10 @@ val design :
     the design space holds no feasible design. Raises
     [Invalid_argument] when requirements and service type disagree
     (e.g. a job-time requirement for a service without [job_size], or a
-    finite job with several tiers). *)
+    finite job with several tiers). Runs on [pool] when given — a
+    long-lived caller (the server) passes one pool so repeated designs
+    do not pay domain spawn/join per request — otherwise on a fresh
+    pool of [config.jobs] domains. *)
 
 val series_downtime_fraction : Candidate.t list -> float
 (** Service downtime fraction of a tier combination (series

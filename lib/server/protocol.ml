@@ -1,0 +1,154 @@
+module Json = Aved_explain.Json
+module Json_parse = Aved_api.Json_parse
+module Api = Aved_api.Api
+
+type verb = Design | Frontier | Explain | Check | Health | Stats
+
+let verb_to_string = function
+  | Design -> "design"
+  | Frontier -> "frontier"
+  | Explain -> "explain"
+  | Check -> "check"
+  | Health -> "health"
+  | Stats -> "stats"
+
+let all_verbs = [ Design; Frontier; Explain; Check; Health; Stats ]
+
+let verb_of_string s =
+  List.find_opt (fun v -> String.equal (verb_to_string v) s) all_verbs
+
+type request = {
+  id : Json.t;
+  verb : verb;
+  params : (string * Json.t) list;
+  deadline_ms : float option;
+}
+
+let lookup name fields = List.assoc_opt name fields
+
+let request_of_line line =
+  match Json_parse.of_string line with
+  | Error msg -> Error (Printf.sprintf "malformed JSON: %s" msg)
+  | Ok (Json.Obj fields) -> (
+      match lookup "schema_version" fields with
+      | Some (Json.Int v) when v <> Api.schema_version ->
+          Error
+            (Printf.sprintf "unsupported schema_version %d (expected %d)" v
+               Api.schema_version)
+      | Some (Json.Int _) | None -> (
+          let id = Option.value (lookup "id" fields) ~default:Json.Null in
+          let deadline_ms =
+            match lookup "deadline_ms" fields with
+            | Some (Json.Int ms) -> Some (float_of_int ms)
+            | Some (Json.Float ms) -> Some ms
+            | _ -> None
+          in
+          let params =
+            match lookup "params" fields with
+            | Some (Json.Obj params) -> Some params
+            | None -> Some []
+            | Some _ -> None
+          in
+          match (lookup "verb" fields, params) with
+          | None, _ -> Error "missing \"verb\""
+          | Some (Json.String v), Some params -> (
+              match verb_of_string v with
+              | Some verb -> Ok { id; verb; params; deadline_ms }
+              | None -> Error (Printf.sprintf "unknown verb %S" v))
+          | _, None -> Error "\"params\" must be an object"
+          | Some _, _ -> Error "\"verb\" must be a string")
+      | Some _ -> Error "\"schema_version\" must be an integer")
+  | Ok _ -> Error "request must be a JSON object"
+
+let request_line ?(id = Json.Null) ?deadline_ms verb params =
+  let fields =
+    [
+      ("schema_version", Json.Int Api.schema_version);
+      ("id", id);
+      ("verb", Json.String (verb_to_string verb));
+    ]
+    @ (match deadline_ms with
+      | Some ms -> [ ("deadline_ms", Json.Float ms) ]
+      | None -> [])
+    @ [ ("params", Json.Obj params) ]
+  in
+  Json.to_string (Json.Obj fields)
+
+type error_code =
+  | Bad_request
+  | Overloaded
+  | Deadline_exceeded
+  | User_error
+  | Shutting_down
+  | Internal
+
+let error_code_to_string = function
+  | Bad_request -> "bad-request"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | User_error -> "user-error"
+  | Shutting_down -> "shutting-down"
+  | Internal -> "internal"
+
+let all_error_codes =
+  [ Bad_request; Overloaded; Deadline_exceeded; User_error; Shutting_down;
+    Internal ]
+
+let error_code_of_string s =
+  List.find_opt (fun c -> String.equal (error_code_to_string c) s)
+    all_error_codes
+
+let ok_response ~id result =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema_version", Json.Int Api.schema_version);
+         ("id", id);
+         ("ok", Json.Bool true);
+         ("result", result);
+       ])
+
+let error_response ~id code message =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema_version", Json.Int Api.schema_version);
+         ("id", id);
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [
+               ("code", Json.String (error_code_to_string code));
+               ("message", Json.String message);
+             ] );
+       ])
+
+type response = {
+  response_id : Json.t;
+  outcome : (Json.t, error_code option * string) result;
+}
+
+let response_of_line line =
+  match Json_parse.of_string line with
+  | Error msg -> Error (Printf.sprintf "malformed JSON: %s" msg)
+  | Ok (Json.Obj fields) -> (
+      let response_id =
+        Option.value (lookup "id" fields) ~default:Json.Null
+      in
+      match (lookup "ok" fields, lookup "result" fields, lookup "error" fields)
+      with
+      | Some (Json.Bool true), Some result, _ ->
+          Ok { response_id; outcome = Ok result }
+      | Some (Json.Bool false), _, Some (Json.Obj err) -> (
+          match (lookup "code" err, lookup "message" err) with
+          | Some (Json.String code), Some (Json.String message) ->
+              Ok
+                {
+                  response_id;
+                  outcome = Error (error_code_of_string code, message);
+                }
+          | _ -> Error "error object must carry string code and message")
+      | Some (Json.Bool true), None, _ -> Error "ok response missing result"
+      | Some (Json.Bool false), _, _ -> Error "error response missing error"
+      | _ -> Error "response missing boolean \"ok\"")
+  | Ok _ -> Error "response must be a JSON object"

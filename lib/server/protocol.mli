@@ -1,0 +1,72 @@
+(** The wire protocol of [aved serve]: newline-delimited JSON.
+
+    One request per line, one response line per request. A request is
+
+    {v
+    {"schema_version":1,"id":7,"verb":"design","deadline_ms":2000,
+     "params":{"infra_file":"infra.spec","service_file":"svc.spec",
+               "load":1000,"downtime_minutes":100}}
+    v}
+
+    [schema_version] and [deadline_ms] are optional ([schema_version]
+    must equal {!Aved_api.Api.schema_version} when present); [id] is
+    echoed verbatim in the response and defaults to [null]; [params]
+    defaults to [{}]. A response is
+
+    {v
+    {"schema_version":1,"id":7,"ok":true,"result":{...}}
+    {"schema_version":1,"id":7,"ok":false,
+     "error":{"code":"user-error","message":"..."}}
+    v}
+
+    where [result] is exactly the versioned {!Aved_api.Api} encoding
+    the one-shot CLI prints for the same request — byte-identical once
+    re-serialized, which the smoke test asserts. *)
+
+module Json = Aved_explain.Json
+
+type verb = Design | Frontier | Explain | Check | Health | Stats
+
+val verb_to_string : verb -> string
+val verb_of_string : string -> verb option
+val all_verbs : verb list
+
+type request = {
+  id : Json.t;  (** Echoed verbatim; [Null] when the client sent none. *)
+  verb : verb;
+  params : (string * Json.t) list;
+  deadline_ms : float option;
+      (** Time budget in milliseconds from admission to dispatch. *)
+}
+
+val request_of_line : string -> (request, string) result
+
+val request_line :
+  ?id:Json.t -> ?deadline_ms:float -> verb -> (string * Json.t) list -> string
+(** Client-side builder (the bench and tests): one serialized request
+    line, newline not included. *)
+
+type error_code =
+  | Bad_request  (** Malformed JSON, unknown verb, bad params. *)
+  | Overloaded  (** Shed: the admission queue was full. *)
+  | Deadline_exceeded
+  | User_error  (** Spec errors, failed check gate, bad requirements. *)
+  | Shutting_down  (** Received while draining. *)
+  | Internal
+
+val error_code_to_string : error_code -> string
+
+val ok_response : id:Json.t -> Json.t -> string
+(** Serialized success envelope (no trailing newline). *)
+
+val error_response : id:Json.t -> error_code -> string -> string
+
+(** Client-side view of a parsed response envelope. *)
+type response = {
+  response_id : Json.t;
+  outcome : (Json.t, error_code option * string) result;
+      (** [Ok result], or [Error (code, message)] ([None] for an
+          unrecognized code string). *)
+}
+
+val response_of_line : string -> (response, string) result

@@ -1,0 +1,635 @@
+module Telemetry = Aved_telemetry.Telemetry
+module Json = Aved_explain.Json
+module Api = Aved_api.Api
+module Model = Aved_model
+module Duration = Aved_units.Duration
+module Memo = Aved_avail.Memo
+module Pool = Aved_parallel.Pool
+module Bounded_queue = Aved_parallel.Bounded_queue
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let request_counters =
+  List.map
+    (fun v ->
+      (v, Telemetry.Counter.make ("server.requests." ^ Protocol.verb_to_string v)))
+    Protocol.all_verbs
+
+let responses_ok = Telemetry.Counter.make "server.responses.ok"
+let responses_error = Telemetry.Counter.make "server.responses.error"
+let shed_counter = Telemetry.Counter.make "server.requests.shed"
+
+let deadline_counter =
+  Telemetry.Counter.make "server.requests.deadline_exceeded"
+
+let connections_opened = Telemetry.Counter.make "server.connections.opened"
+let connections_closed = Telemetry.Counter.make "server.connections.closed"
+let queue_depth_gauge = Telemetry.Gauge.make "server.queue.depth"
+let request_seconds = Telemetry.Histogram.make "server.request.seconds"
+let queue_wait_seconds = Telemetry.Histogram.make "server.queue.wait.seconds"
+
+(* ------------------------------------------------------------------ *)
+(* Configuration *)
+
+type transport = Unix_socket of string | Tcp of { host : string; port : int }
+
+type config = {
+  transport : transport;
+  jobs : int;
+  dispatchers : int;
+  queue_capacity : int;
+  default_deadline_ms : float option;
+  memo_capacity : int;
+  span_capacity : int;
+}
+
+let default_config transport =
+  {
+    transport;
+    jobs = Domain.recommended_domain_count ();
+    dispatchers = 2;
+    queue_capacity = 128;
+    default_deadline_ms = None;
+    memo_capacity = Memo.default_capacity;
+    span_capacity = 4096;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Connections *)
+
+(* The write mutex orders response lines from concurrent dispatchers
+   and makes close/write/shutdown mutually exclusive, so the fd is
+   never used after it is closed (no fd-reuse races). *)
+type conn = {
+  fd : Unix.file_descr;
+  oc : out_channel;
+  write_mutex : Mutex.t;
+  mutable conn_open : bool;
+}
+
+type job = { conn : conn; request : Protocol.request; enqueued_at : float }
+
+(* Searches record candidate fates into an ambient provenance trail
+   (process-global), so a trail-installed search must not overlap any
+   other search: plain searches take the gate shared, [explain] takes
+   it exclusive. *)
+type search_gate = {
+  g_mutex : Mutex.t;
+  g_cond : Condition.t;
+  mutable g_readers : int;
+  mutable g_writer : bool;
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  port : int option;
+  queue : job Bounded_queue.t;
+  pool : Pool.t;
+  memo : Memo.t;
+  search_config : Aved_search.Search_config.t;
+  specs : Spec_cache.t;
+  registry : Telemetry.t;
+  gate : search_gate;
+  started_at : float;
+  stopping : bool Atomic.t;
+  state_mutex : Mutex.t;
+  mutable dispatcher_threads : Thread.t list;
+  mutable reader_threads : Thread.t list;
+  mutable conns : conn list;
+}
+
+let locked t f =
+  Mutex.lock t.state_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.state_mutex) f
+
+let send_line conn line =
+  Mutex.lock conn.write_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock conn.write_mutex) @@ fun () ->
+  if conn.conn_open then
+    try
+      output_string conn.oc line;
+      output_char conn.oc '\n';
+      flush conn.oc
+    with Sys_error _ | Unix.Unix_error _ -> conn.conn_open <- false
+
+let close_conn t conn =
+  Mutex.lock conn.write_mutex;
+  if conn.conn_open then begin
+    conn.conn_open <- false;
+    close_out_noerr conn.oc;
+    Mutex.unlock conn.write_mutex;
+    Telemetry.Counter.incr connections_closed;
+    locked t (fun () -> t.conns <- List.filter (fun c -> c != conn) t.conns)
+  end
+  else Mutex.unlock conn.write_mutex
+
+let shutdown_conn conn =
+  Mutex.lock conn.write_mutex;
+  if conn.conn_open then begin
+    try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+    with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock conn.write_mutex
+
+(* ------------------------------------------------------------------ *)
+(* The search gate *)
+
+let make_gate () =
+  {
+    g_mutex = Mutex.create ();
+    g_cond = Condition.create ();
+    g_readers = 0;
+    g_writer = false;
+  }
+
+let with_shared g f =
+  Mutex.lock g.g_mutex;
+  while g.g_writer do
+    Condition.wait g.g_cond g.g_mutex
+  done;
+  g.g_readers <- g.g_readers + 1;
+  Mutex.unlock g.g_mutex;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock g.g_mutex;
+      g.g_readers <- g.g_readers - 1;
+      if g.g_readers = 0 then Condition.broadcast g.g_cond;
+      Mutex.unlock g.g_mutex)
+
+let with_exclusive g f =
+  Mutex.lock g.g_mutex;
+  while g.g_writer || g.g_readers > 0 do
+    Condition.wait g.g_cond g.g_mutex
+  done;
+  g.g_writer <- true;
+  Mutex.unlock g.g_mutex;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock g.g_mutex;
+      g.g_writer <- false;
+      Condition.broadcast g.g_cond;
+      Mutex.unlock g.g_mutex)
+
+(* ------------------------------------------------------------------ *)
+(* Parameter decoding *)
+
+exception Bad_params of string
+
+let bad_params fmt = Printf.ksprintf (fun m -> raise (Bad_params m)) fmt
+let find_param params name = List.assoc_opt name params
+
+let string_param params name =
+  match find_param params name with
+  | Some (Json.String s) -> Some s
+  | Some _ -> bad_params "param %S must be a string" name
+  | None -> None
+
+let required_string params name =
+  match string_param params name with
+  | Some s -> s
+  | None -> bad_params "missing required param %S" name
+
+let number_param params name =
+  match find_param params name with
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | Some (Json.Float f) -> Some f
+  | Some _ -> bad_params "param %S must be a number" name
+  | None -> None
+
+let int_param params name ~default =
+  match find_param params name with
+  | Some (Json.Int i) -> i
+  | Some _ -> bad_params "param %S must be an integer" name
+  | None -> default
+
+let bool_param params name ~default =
+  match find_param params name with
+  | Some (Json.Bool b) -> b
+  | Some _ -> bad_params "param %S must be a boolean" name
+  | None -> default
+
+let requirements_of_params params =
+  let load = number_param params "load" in
+  let downtime = number_param params "downtime_minutes" in
+  let job_hours = number_param params "job_hours" in
+  match (load, downtime, job_hours) with
+  | Some load, Some minutes, None ->
+      Model.Requirements.enterprise ~throughput:load
+        ~max_annual_downtime:(Duration.of_minutes minutes)
+  | None, None, Some hours ->
+      Model.Requirements.finite_job
+        ~max_execution_time:(Duration.of_hours hours)
+  | _ ->
+      raise
+        (Bad_params
+           "specify either \"load\" and \"downtime_minutes\", or \
+            \"job_hours\" alone")
+
+let load_checked t ~no_check ~infra_file ~service_file =
+  let loaded = Spec_cache.load t.specs ~infra_file ~service_file in
+  if (not no_check) && loaded.Spec_cache.check_errors <> [] then
+    failwith
+      (Printf.sprintf
+         "static check failed with %d error(s); set \"no_check\":true to \
+          override"
+         (List.length loaded.Spec_cache.check_errors));
+  (loaded.Spec_cache.infra, loaded.Spec_cache.service)
+
+let resolve_tier service = function
+  | Some name -> (
+      match Model.Service.find_tier service name with
+      | Some tier -> tier
+      | None -> failwith (Printf.sprintf "no tier %S" name))
+  | None -> List.hd service.Model.Service.tiers
+
+(* ------------------------------------------------------------------ *)
+(* Verb handlers — each renders through the same Api encoder the CLI's
+   --json flag uses, which is what makes responses byte-identical. *)
+
+let handle_design t params =
+  let infra_file = required_string params "infra_file" in
+  let service_file = required_string params "service_file" in
+  let no_check = bool_param params "no_check" ~default:false in
+  let requirements = requirements_of_params params in
+  let infra, service = load_checked t ~no_check ~infra_file ~service_file in
+  let report =
+    with_shared t.gate @@ fun () ->
+    Aved.Engine.design ~config:t.search_config ~pool:t.pool infra service
+      requirements
+  in
+  Api.design_result_to_json (Api.design_result_of_report report)
+
+let handle_frontier t params =
+  let infra_file = required_string params "infra_file" in
+  let service_file = required_string params "service_file" in
+  let no_check = bool_param params "no_check" ~default:false in
+  let load =
+    match number_param params "load" with
+    | Some l -> l
+    | None -> bad_params "missing required param %S" "load"
+  in
+  let infra, service = load_checked t ~no_check ~infra_file ~service_file in
+  let tier = resolve_tier service (string_param params "tier") in
+  let frontier =
+    with_shared t.gate @@ fun () ->
+    Aved_search.Tier_search.frontier ~pool:t.pool t.search_config infra ~tier
+      ~demand:load
+  in
+  Api.frontier_result_to_json
+    (Api.frontier_result_of_candidates ~tier:tier.Model.Service.tier_name
+       ~demand:load frontier)
+
+let handle_explain t params =
+  let infra_file = required_string params "infra_file" in
+  let service_file = required_string params "service_file" in
+  let no_check = bool_param params "no_check" ~default:false in
+  let top = int_param params "top" ~default:5 in
+  let requirements = requirements_of_params params in
+  let infra, service = load_checked t ~no_check ~infra_file ~service_file in
+  let explanation =
+    with_exclusive t.gate @@ fun () ->
+    let trail = Aved_search.Provenance.create () in
+    let result =
+      Aved_search.Provenance.with_trail trail @@ fun () ->
+      Aved.Engine.design ~config:t.search_config ~pool:t.pool infra service
+        requirements
+    in
+    Option.map
+      (fun report ->
+        Aved.Engine.explain ~top ~trail ~config:t.search_config infra service
+          requirements report)
+      result
+  in
+  Api.explain_result_to_json (Api.explain_result_of_explanation explanation)
+
+let handle_check params =
+  let files =
+    match find_param params "files" with
+    | Some (Json.List items) ->
+        List.map
+          (function
+            | Json.String s -> s
+            | _ -> bad_params "param %S must be a list of path strings" "files")
+          items
+    | Some _ -> bad_params "param %S must be a list of path strings" "files"
+    | None -> bad_params "missing required param %S" "files"
+  in
+  if files = [] then bad_params "param %S must be non-empty" "files";
+  Api.check_result_to_json
+    (Api.check_result_of_diagnostics (Aved_check.Check.check_files files))
+
+let handle_health () = Api.versioned [ ("status", Json.String "ok") ]
+
+let histogram_json (s : Telemetry.Histogram.summary) =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("mean", Json.Float (Telemetry.Histogram.mean s));
+      ("p50", Json.Float (Telemetry.Histogram.quantile s 0.5));
+      ("p95", Json.Float (Telemetry.Histogram.quantile s 0.95));
+      ("p99", Json.Float (Telemetry.Histogram.quantile s 0.99));
+    ]
+
+let span_totals spans =
+  let totals = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Telemetry.span) ->
+      if not (Hashtbl.mem totals s.span_name) then
+        order := s.span_name :: !order;
+      let calls, secs =
+        Option.value (Hashtbl.find_opt totals s.span_name) ~default:(0, 0.)
+      in
+      Hashtbl.replace totals s.span_name (calls + 1, secs +. s.dur_s))
+    spans;
+  List.rev_map
+    (fun name ->
+      let calls, secs = Hashtbl.find totals name in
+      ( name,
+        Json.Obj
+          [ ("calls", Json.Int calls); ("total_seconds", Json.Float secs) ] ))
+    !order
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let handle_stats t =
+  let memo_hits, memo_misses = Memo.stats t.memo in
+  Api.versioned
+    [
+      ( "uptime_seconds",
+        Json.Float (Telemetry.now_seconds () -. t.started_at) );
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", Json.Int (Bounded_queue.length t.queue));
+            ("capacity", Json.Int (Bounded_queue.capacity t.queue));
+          ] );
+      ( "memo",
+        Json.Obj
+          [
+            ("entries", Json.Int (Memo.length t.memo));
+            ("capacity", Json.Int (Memo.capacity t.memo));
+            ("hits", Json.Int memo_hits);
+            ("misses", Json.Int memo_misses);
+            ("evictions", Json.Int (Memo.evictions t.memo));
+          ] );
+      ( "spec_cache",
+        Json.Obj
+          [
+            ("entries", Json.Int (Spec_cache.length t.specs));
+            ("hits", Json.Int (Spec_cache.hits t.specs));
+            ("misses", Json.Int (Spec_cache.misses t.specs));
+          ] );
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (name, v) -> (name, Json.Int v))
+             (Telemetry.counters t.registry)) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (name, s) -> (name, histogram_json s))
+             (Telemetry.histograms t.registry)) );
+      ("spans", Json.Obj (span_totals (Telemetry.spans t.registry)));
+      ("spans_dropped", Json.Int (Telemetry.spans_dropped t.registry));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch *)
+
+let handle_request t (job : job) =
+  let request = job.request in
+  Telemetry.Counter.incr (List.assoc request.Protocol.verb request_counters);
+  let respond_ok result =
+    Telemetry.Counter.incr responses_ok;
+    send_line job.conn (Protocol.ok_response ~id:request.Protocol.id result)
+  in
+  let respond_error code message =
+    Telemetry.Counter.incr responses_error;
+    send_line job.conn
+      (Protocol.error_response ~id:request.Protocol.id code message)
+  in
+  let waited = Telemetry.now_seconds () -. job.enqueued_at in
+  Telemetry.Histogram.observe queue_wait_seconds waited;
+  let deadline_ms =
+    match request.Protocol.deadline_ms with
+    | Some ms -> Some ms
+    | None -> t.config.default_deadline_ms
+  in
+  match deadline_ms with
+  | Some ms when waited *. 1000. > ms ->
+      Telemetry.Counter.incr deadline_counter;
+      respond_error Protocol.Deadline_exceeded
+        (Printf.sprintf
+           "request waited %.0f ms in queue, over its %.0f ms deadline"
+           (waited *. 1000.) ms)
+  | Some _ | None -> (
+      let verb_name = Protocol.verb_to_string request.Protocol.verb in
+      match
+        Telemetry.with_span ("serve." ^ verb_name) @@ fun () ->
+        Telemetry.Histogram.time request_seconds @@ fun () ->
+        match request.Protocol.verb with
+        | Protocol.Design -> handle_design t request.Protocol.params
+        | Protocol.Frontier -> handle_frontier t request.Protocol.params
+        | Protocol.Explain -> handle_explain t request.Protocol.params
+        | Protocol.Check -> handle_check request.Protocol.params
+        | Protocol.Health -> handle_health ()
+        | Protocol.Stats -> handle_stats t
+      with
+      | result -> respond_ok result
+      | exception Bad_params message ->
+          respond_error Protocol.Bad_request message
+      | exception Failure message ->
+          respond_error Protocol.User_error message
+      | exception Sys_error message ->
+          respond_error Protocol.User_error message
+      | exception exn -> (
+          match Aved_spec.Spec.error_to_string exn with
+          | Some message -> respond_error Protocol.User_error message
+          | None ->
+              respond_error Protocol.Internal (Printexc.to_string exn)))
+
+let rec dispatcher_loop t =
+  match Bounded_queue.pop t.queue with
+  | None -> ()
+  | Some job ->
+      Telemetry.Gauge.set queue_depth_gauge
+        (float_of_int (Bounded_queue.length t.queue));
+      handle_request t job;
+      dispatcher_loop t
+
+(* ------------------------------------------------------------------ *)
+(* Connection readers *)
+
+let admit t conn (request : Protocol.request) =
+  let job = { conn; request; enqueued_at = Telemetry.now_seconds () } in
+  if Bounded_queue.try_push t.queue job then
+    Telemetry.Gauge.set queue_depth_gauge
+      (float_of_int (Bounded_queue.length t.queue))
+  else if Bounded_queue.closed t.queue then begin
+    Telemetry.Counter.incr responses_error;
+    send_line conn
+      (Protocol.error_response ~id:request.Protocol.id Protocol.Shutting_down
+         "server is draining; retry elsewhere")
+  end
+  else begin
+    Telemetry.Counter.incr shed_counter;
+    Telemetry.Counter.incr responses_error;
+    send_line conn
+      (Protocol.error_response ~id:request.Protocol.id Protocol.Overloaded
+         (Printf.sprintf "admission queue is full (capacity %d); retry later"
+            (Bounded_queue.capacity t.queue)))
+  end
+
+let reader_loop t conn =
+  let ic = Unix.in_channel_of_descr conn.fd in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
+    | line ->
+        (if String.trim line <> "" then
+           match Protocol.request_of_line line with
+           | Ok request -> admit t conn request
+           | Error message ->
+               Telemetry.Counter.incr responses_error;
+               send_line conn
+                 (Protocol.error_response ~id:Json.Null Protocol.Bad_request
+                    message));
+        loop ()
+  in
+  loop ();
+  close_conn t conn
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let bind_listener = function
+  | Unix_socket path ->
+      if Sys.file_exists path then (try Unix.unlink path with Sys_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind fd (Unix.ADDR_UNIX path);
+         Unix.listen fd 64
+       with exn ->
+         Unix.close fd;
+         raise exn);
+      (fd, None)
+  | Tcp { host; port } ->
+      let inet =
+        match Unix.inet_addr_of_string host with
+        | addr -> addr
+        | exception Failure _ -> (
+            try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            with Not_found ->
+              failwith (Printf.sprintf "cannot resolve host %S" host))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (inet, port));
+         Unix.listen fd 64
+       with exn ->
+         Unix.close fd;
+         raise exn);
+      let port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> Some p
+        | Unix.ADDR_UNIX _ -> None
+      in
+      (fd, port)
+
+let create config =
+  if config.dispatchers < 1 then
+    invalid_arg "Server.create: dispatchers must be >= 1";
+  (* SIGPIPE would kill the process on a write to a client that hung
+     up; we detect that per-connection from the write error instead. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let registry = Telemetry.create ~span_capacity:config.span_capacity () in
+  Telemetry.install registry;
+  let memo = Memo.create ~capacity:config.memo_capacity () in
+  let search_config =
+    Aved_search.Search_config.default
+    |> Aved_search.Search_config.with_jobs config.jobs
+    |> Aved_search.Search_config.with_engine
+         (Aved_avail.Evaluate.Memoized memo)
+  in
+  let listen_fd, port = bind_listener config.transport in
+  let t =
+    {
+      config;
+      listen_fd;
+      port;
+      queue = Bounded_queue.create ~capacity:config.queue_capacity;
+      pool = Pool.create ~jobs:config.jobs;
+      memo;
+      search_config;
+      specs = Spec_cache.create ();
+      registry;
+      gate = make_gate ();
+      started_at = Telemetry.now_seconds ();
+      stopping = Atomic.make false;
+      state_mutex = Mutex.create ();
+      dispatcher_threads = [];
+      reader_threads = [];
+      conns = [];
+    }
+  in
+  t.dispatcher_threads <-
+    List.init config.dispatchers (fun _ -> Thread.create dispatcher_loop t);
+  t
+
+let stop t = Atomic.set t.stopping true
+
+let install_signal_handlers t =
+  let handler = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler
+
+let bound_port t = t.port
+
+let accept_one t =
+  match Unix.accept t.listen_fd with
+  | exception
+      Unix.Unix_error
+        ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    ->
+      ()
+  | fd, _addr ->
+      let conn =
+        {
+          fd;
+          oc = Unix.out_channel_of_descr fd;
+          write_mutex = Mutex.create ();
+          conn_open = true;
+        }
+      in
+      Telemetry.Counter.incr connections_opened;
+      locked t (fun () -> t.conns <- conn :: t.conns);
+      let thread = Thread.create (fun () -> reader_loop t conn) () in
+      locked t (fun () -> t.reader_threads <- thread :: t.reader_threads)
+
+let run t =
+  (* Accept with a short select timeout so [stop] — possibly set from a
+     signal handler — is noticed promptly without any wakeup channel. *)
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.25 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> accept_one t);
+      loop ()
+    end
+  in
+  loop ();
+  (* Drain: stop accepting, refuse new admissions, answer everything
+     already admitted, then close connections and join every thread. *)
+  Unix.close t.listen_fd;
+  (match t.config.transport with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  Bounded_queue.close t.queue;
+  List.iter Thread.join t.dispatcher_threads;
+  List.iter shutdown_conn (locked t (fun () -> t.conns));
+  List.iter Thread.join (locked t (fun () -> t.reader_threads));
+  Pool.shutdown t.pool;
+  Telemetry.uninstall ()

@@ -1,0 +1,86 @@
+(** The [aved serve] daemon: a long-running design service answering
+    {!Protocol} requests over a Unix-domain or TCP socket from warm
+    state.
+
+    {2 Architecture}
+
+    One {e accept loop} (the thread calling {!run}) hands each
+    connection to a {e reader thread} that parses newline-delimited
+    requests and admits them to a bounded queue ({!Aved_parallel.Bounded_queue}).
+    Admission never blocks: when the queue is full the request is shed
+    with an explicit [overloaded] error response, so a burst degrades
+    into visible backpressure rather than unbounded buffering. A fixed
+    set of {e dispatcher threads} dequeues requests and answers them on
+    a single shared {!Aved_parallel.Pool} of search domains.
+
+    Warm state shared by every request: the domain pool, one bounded
+    LRU availability memo ({!Aved_avail.Memo}), a content-hash cache of
+    parsed specification pairs ({!Spec_cache}), and a telemetry
+    registry whose counters and histograms the [stats] verb reports.
+
+    {2 Deadlines}
+
+    A request may carry ["deadline_ms"], a queueing budget: a request
+    still queued when its budget lapses is answered with
+    [deadline-exceeded] instead of being executed. The deadline bounds
+    time-in-queue, not execution — an admitted request runs to
+    completion.
+
+    {2 Shutdown}
+
+    {!stop} (or SIGTERM/SIGINT after {!install_signal_handlers})
+    initiates a graceful drain: the listener stops accepting, readers
+    answer further requests with [shutting-down], every request already
+    admitted is executed and answered, then connections close and
+    {!run} returns.
+
+    {2 Parity}
+
+    Results are byte-identical to the one-shot CLI: handlers render
+    through the same {!Aved_api.Api} encoders the [--json] flags use,
+    and the shared memo is bit-identical to the unmemoized engine. *)
+
+type transport = Unix_socket of string | Tcp of { host : string; port : int }
+
+type config = {
+  transport : transport;
+  jobs : int;  (** Domains of the shared search pool. *)
+  dispatchers : int;  (** Request worker threads. *)
+  queue_capacity : int;  (** Admission queue bound. *)
+  default_deadline_ms : float option;
+      (** Queueing budget applied when a request names none. *)
+  memo_capacity : int;  (** Bound of the shared availability memo. *)
+  span_capacity : int;
+      (** Per-domain telemetry span retention ({!Aved_telemetry.Telemetry.create}). *)
+}
+
+val default_config : transport -> config
+(** [jobs = Domain.recommended_domain_count ()], 2 dispatchers, a
+    128-request queue, no default deadline, {!Aved_avail.Memo.default_capacity}
+    memo entries, 4096 retained spans per domain. *)
+
+type t
+
+val create : config -> t
+(** Binds and listens on the transport, spawns the dispatcher threads
+    and installs the server's telemetry registry. Raises
+    [Unix.Unix_error] when the address cannot be bound and
+    [Invalid_argument] on non-positive sizes. *)
+
+val run : t -> unit
+(** The accept loop. Returns after {!stop}, once every admitted request
+    has been answered and every thread joined. Call from the thread
+    that owns the server's lifetime (the CLI's main thread, or a
+    dedicated thread when embedding, as the bench does). *)
+
+val stop : t -> unit
+(** Initiate graceful drain. Thread-safe, idempotent, and safe to call
+    from a signal handler (it only sets a flag; {!run} notices within
+    its 250 ms accept timeout). *)
+
+val install_signal_handlers : t -> unit
+(** Route SIGTERM and SIGINT to {!stop}. *)
+
+val bound_port : t -> int option
+(** The actually-bound TCP port — useful with [Tcp { port = 0 }] (the
+    kernel picks); [None] for Unix-domain transports. *)

@@ -97,7 +97,11 @@ type span = { span_name : string; start_s : float; dur_s : float; tid : int }
 
 (* One buffer per (domain, registry); registered with the registry on
    the domain's first span so the data survives the domain's exit. *)
-type span_buffer = { buf_tid : int; mutable buf_spans : span list }
+type span_buffer = {
+  buf_tid : int;
+  mutable buf_spans : span list;
+  mutable buf_len : int;
+}
 
 type t = {
   id : int;
@@ -106,11 +110,15 @@ type t = {
   gauge_cells : float array;
   gauge_set : bool array;
   mutable buffers : span_buffer list;
+  span_capacity : int; (* per-buffer bound; max_int = unbounded *)
+  spans_dropped : int Atomic.t;
 }
 
 let next_registry_id = Atomic.make 0
 
-let create () =
+let create ?(span_capacity = max_int) () =
+  if span_capacity < 0 then
+    invalid_arg "Telemetry.create: span_capacity must be non-negative";
   {
     id = Atomic.fetch_and_add next_registry_id 1;
     mutex = Mutex.create ();
@@ -118,6 +126,8 @@ let create () =
     gauge_cells = Array.make max_metrics 0.;
     gauge_set = Array.make max_metrics false;
     buffers = [];
+    span_capacity;
+    spans_dropped = Atomic.make 0;
   }
 
 let current : t option Atomic.t = Atomic.make None
@@ -338,14 +348,23 @@ let push_span t span =
     match !slot with
     | Some (registry_id, b) when registry_id = t.id -> b
     | Some _ | None ->
-        let b = { buf_tid = (Domain.self () :> int); buf_spans = [] } in
+        let b =
+          { buf_tid = (Domain.self () :> int); buf_spans = []; buf_len = 0 }
+        in
         Mutex.lock t.mutex;
         t.buffers <- b :: t.buffers;
         Mutex.unlock t.mutex;
         slot := Some (t.id, b);
         b
   in
-  buffer.buf_spans <- span :: buffer.buf_spans
+  if buffer.buf_len >= t.span_capacity then
+    (* Long-lived processes (the serve daemon) bound span memory; the
+       counters and histograms keep aggregating past the cap. *)
+    Atomic.incr t.spans_dropped
+  else begin
+    buffer.buf_spans <- span :: buffer.buf_spans;
+    buffer.buf_len <- buffer.buf_len + 1
+  end
 
 let with_span name f =
   match Atomic.get current with
@@ -372,6 +391,8 @@ let spans t =
   Mutex.unlock t.mutex;
   List.concat_map (fun b -> List.rev b.buf_spans) buffers
   |> List.sort (fun a b -> Float.compare a.start_s b.start_s)
+
+let spans_dropped t = Atomic.get t.spans_dropped
 
 (* ------------------------------------------------------------------ *)
 (* Readouts *)

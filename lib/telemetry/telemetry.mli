@@ -19,7 +19,13 @@ type t
 (** A metric registry: sharded counter/histogram cells, gauge cells and
     per-domain span buffers. *)
 
-val create : unit -> t
+val create : ?span_capacity:int -> unit -> t
+(** [span_capacity] bounds the number of spans each domain's buffer
+    retains (default: unbounded). Long-lived processes — the [aved
+    serve] daemon keeps a registry installed for its whole lifetime —
+    pass a cap so span memory stays bounded; spans past the cap are
+    counted in {!spans_dropped} instead of retained, while counters and
+    histograms keep aggregating. *)
 
 val install : t -> unit
 (** Make [t] the ambient registry recorded into by every metric
@@ -116,6 +122,9 @@ val with_span : string -> (unit -> 'a) -> 'a
 
 val spans : t -> span list
 (** All recorded spans, sorted by start time. *)
+
+val spans_dropped : t -> int
+(** Spans discarded because a buffer hit [span_capacity]. *)
 
 val counters : t -> (string * int) list
 (** All interned counters with nonzero aggregate value, sorted by

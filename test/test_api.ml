@@ -1,0 +1,482 @@
+(* The versioned wire API: golden fixtures pin every encoder's byte
+   shape at the current schema_version, decoders round-trip those bytes
+   exactly, and the JSON parser is the exact inverse of the printer.
+
+   Fixtures live in api_fixtures/*.json. To regenerate after an
+   intentional schema bump:
+
+     dune build test/test_api.exe
+     (cd test && AVED_API_BLESS=1 ../_build/default/test/test_api.exe) *)
+
+module Api = Aved_api.Api
+module Json_parse = Aved_api.Json_parse
+module Json = Aved_explain.Json
+module Design = Aved_model.Design
+module Mechanism = Aved_model.Mechanism
+module Duration = Aved_units.Duration
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built values, floats chosen to need the 17-digit fallback *)
+
+let tricky = 0.1 +. 0.2 (* 0.30000000000000004 *)
+
+let web_tier =
+  Design.tier_design ~tier_name:"web" ~resource:"blade" ~n_active:3 ~n_spare:1
+    ~spare_active_components:[ "os" ]
+    ~mechanism_settings:
+      [
+        ("repair", [ ("grade", Mechanism.Enum_value "gold") ]);
+        ( "backup",
+          [
+            ("interval", Mechanism.Duration_value (Duration.of_hours 0.5));
+            ("media", Mechanism.Enum_value "tape");
+          ] );
+      ]
+    ()
+
+let db_tier =
+  Design.tier_design ~tier_name:"db" ~resource:"server" ~n_active:1 ()
+
+let design_feasible =
+  {
+    Api.feasible = true;
+    design = Some (Design.make ~service_name:"shop" ~tiers:[ web_tier; db_tier ]);
+    cost = Some 123456.78;
+    downtime_minutes = Some tricky;
+    execution_hours = None;
+  }
+
+let design_infeasible =
+  {
+    Api.feasible = false;
+    design = None;
+    cost = None;
+    downtime_minutes = None;
+    execution_hours = None;
+  }
+
+let frontier =
+  {
+    Api.frontier_tier = "application";
+    demand = 1500.;
+    points =
+      [
+        {
+          Api.family = "3 blade";
+          point_cost = 1e6 /. 3.;
+          point_downtime_minutes = 4.2;
+          point_design = web_tier;
+        };
+        {
+          Api.family = "1 server";
+          point_cost = 42000.;
+          point_downtime_minutes = tricky;
+          point_design = db_tier;
+        };
+      ];
+  }
+
+let explain_feasible =
+  {
+    Api.explain_feasible = true;
+    body =
+      Some
+        {
+          Api.explain_service = "shop";
+          explain_engine = "analytic";
+          explain_cost = 98765.4321;
+          explain_downtime_minutes = Some 87.5;
+          explain_execution_seconds = None;
+          noted = 12;
+          dropped = 3;
+          explain_tiers =
+            [
+              {
+                Api.explain_tier_name = "web";
+                tier_design_text = "3 blade + 1 spare";
+                tier_resource = "blade";
+                tier_n_active = 3;
+                tier_n_spare = 1;
+                tier_cost = 3333.25;
+                tier_fraction = 1e-4;
+                tier_minutes = 52.56;
+                tier_nines = 4.;
+                by_class =
+                  [
+                    {
+                      Api.label = "hardware";
+                      repair_mechanism = Some "contract";
+                      fraction = 7e-5;
+                      contribution_minutes = 36.792;
+                      contribution_nines = 4.154901959985743;
+                    };
+                    {
+                      Api.label = "software";
+                      repair_mechanism = None;
+                      fraction = 3e-5;
+                      contribution_minutes = 15.768;
+                      contribution_nines = 4.52287874528034;
+                    };
+                  ];
+                by_mechanism =
+                  [
+                    {
+                      Api.mechanism = Some "contract";
+                      share_fraction = 0.7;
+                      share_minutes = 36.792;
+                    };
+                    {
+                      Api.mechanism = None;
+                      share_fraction = 0.3;
+                      share_minutes = 15.768;
+                    };
+                  ];
+                mean_failed_resources = Some tricky;
+                designs_considered = 144;
+                runner_ups =
+                  [
+                    {
+                      Api.runner_design = "4 blade";
+                      fate = "dominated";
+                      detail = Api.Text_detail "3 blade + 1 spare";
+                      runner_cost = 4444.;
+                      cost_delta = 1110.75;
+                      runner_downtime_minutes = Some 60.;
+                      downtime_delta_minutes = Some 7.4399999999999995;
+                      runner_execution_seconds = None;
+                    };
+                    {
+                      Api.runner_design = "2 blade";
+                      fate = "over-downtime-budget";
+                      detail = Api.Number_detail 250.5;
+                      runner_cost = 2222.;
+                      cost_delta = -1111.25;
+                      runner_downtime_minutes = None;
+                      downtime_delta_minutes = None;
+                      runner_execution_seconds = Some 3.;
+                    };
+                    {
+                      Api.runner_design = "3 blade";
+                      fate = "incumbent";
+                      detail = Api.No_detail;
+                      runner_cost = 3333.25;
+                      cost_delta = 0.;
+                      runner_downtime_minutes = Some 52.56;
+                      downtime_delta_minutes = Some 0.;
+                      runner_execution_seconds = None;
+                    };
+                  ];
+              };
+            ];
+        };
+  }
+
+let explain_infeasible = { Api.explain_feasible = false; body = None }
+
+let check_with_findings =
+  {
+    Api.diagnostics =
+      [
+        {
+          Api.severity = "error";
+          code = "unknown-resource";
+          file = Some "infra.spec";
+          line = Some 7;
+          col = Some 12;
+          message = "resource \"bladee\" is not declared";
+        };
+        {
+          Api.severity = "warning";
+          code = "unused-mechanism";
+          file = Some "infra.spec";
+          line = Some 20;
+          col = Some 1;
+          message = "mechanism \"backup\" is never referenced";
+        };
+        {
+          Api.severity = "info";
+          code = "summary";
+          file = None;
+          line = None;
+          col = None;
+          message = "checked 2 files";
+        };
+      ];
+  }
+
+let check_clean = { Api.diagnostics = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Golden fixtures *)
+
+let bless = Sys.getenv_opt "AVED_API_BLESS" = Some "1"
+let fixture_dir = "api_fixtures"
+let fixture_path name = Filename.concat fixture_dir (name ^ ".json")
+
+let golden_cases =
+  [
+    ("design_feasible", Api.design_result_to_json design_feasible);
+    ("design_infeasible", Api.design_result_to_json design_infeasible);
+    ("frontier", Api.frontier_result_to_json frontier);
+    ("explain_feasible", Api.explain_result_to_json explain_feasible);
+    ("explain_infeasible", Api.explain_result_to_json explain_infeasible);
+    ("check_with_findings", Api.check_result_to_json check_with_findings);
+    ("check_clean", Api.check_result_to_json check_clean);
+  ]
+
+let test_golden (name, json) () =
+  let encoded = Json.to_string json ^ "\n" in
+  if bless then (
+    if not (Sys.file_exists fixture_dir) then Sys.mkdir fixture_dir 0o755;
+    Out_channel.with_open_bin (fixture_path name) (fun oc ->
+        Out_channel.output_string oc encoded);
+    Printf.printf "blessed %s\n" (fixture_path name))
+  else
+    let expected =
+      In_channel.with_open_bin (fixture_path name) In_channel.input_all
+    in
+    Alcotest.(check string) (name ^ " matches fixture") expected encoded
+
+(* ------------------------------------------------------------------ *)
+(* Round trips: encode -> serialize -> parse -> decode -> re-encode *)
+
+let check_roundtrip name to_json of_json value =
+  let serialized = Json.to_string (to_json value) in
+  let parsed = Json_parse.of_string_exn serialized in
+  match of_json parsed with
+  | Error e -> Alcotest.failf "%s: decode failed: %s" name e
+  | Ok decoded ->
+      Alcotest.(check string)
+        (name ^ ": re-encoding is byte-identical")
+        serialized
+        (Json.to_string (to_json decoded))
+
+let test_roundtrips () =
+  check_roundtrip "design feasible" Api.design_result_to_json
+    Api.design_result_of_json design_feasible;
+  check_roundtrip "design infeasible" Api.design_result_to_json
+    Api.design_result_of_json design_infeasible;
+  check_roundtrip "frontier" Api.frontier_result_to_json
+    Api.frontier_result_of_json frontier;
+  check_roundtrip "explain feasible" Api.explain_result_to_json
+    Api.explain_result_of_json explain_feasible;
+  check_roundtrip "explain infeasible" Api.explain_result_to_json
+    Api.explain_result_of_json explain_infeasible;
+  check_roundtrip "check with findings" Api.check_result_to_json
+    Api.check_result_of_json check_with_findings;
+  check_roundtrip "check clean" Api.check_result_to_json
+    Api.check_result_of_json check_clean
+
+(* ------------------------------------------------------------------ *)
+(* Decoder rejections *)
+
+let with_version v = function
+  | Json.Obj (("schema_version", _) :: rest) ->
+      Json.Obj (("schema_version", v) :: rest)
+  | _ -> Alcotest.fail "encoding does not lead with schema_version"
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec loop i =
+    if i + n > h then false
+    else if String.sub haystack i n = needle then true
+    else loop (i + 1)
+  in
+  n = 0 || loop 0
+
+let expect_version_error name of_json doc =
+  match of_json (with_version (Json.Int 999) doc) with
+  | Ok _ -> Alcotest.failf "%s: accepted schema_version 999" name
+  | Error e ->
+      Alcotest.(check bool)
+        (name ^ ": error names the version")
+        true
+        (contains e "schema_version 999")
+
+let test_version_rejected () =
+  expect_version_error "design" Api.design_result_of_json
+    (Api.design_result_to_json design_feasible);
+  expect_version_error "frontier" Api.frontier_result_of_json
+    (Api.frontier_result_to_json frontier);
+  expect_version_error "explain" Api.explain_result_of_json
+    (Api.explain_result_to_json explain_feasible);
+  expect_version_error "check" Api.check_result_of_json
+    (Api.check_result_to_json check_with_findings)
+
+let test_malformed_rejected () =
+  let expect_error name of_json doc =
+    match of_json doc with
+    | Ok _ -> Alcotest.failf "%s: accepted a malformed document" name
+    | Error _ -> ()
+  in
+  expect_error "not an object" Api.design_result_of_json (Json.Int 3);
+  expect_error "missing version" Api.design_result_of_json
+    (Json.Obj [ ("feasible", Json.Bool false) ]);
+  expect_error "feasible not a bool" Api.design_result_of_json
+    (Api.versioned [ ("feasible", Json.Int 1) ]);
+  expect_error "frontier without points" Api.frontier_result_of_json
+    (Api.versioned [ ("tier", Json.String "t"); ("demand", Json.Float 1.) ]);
+  expect_error "check diagnostics not a list" Api.check_result_of_json
+    (Api.versioned
+       [
+         ("errors", Json.Int 0);
+         ("warnings", Json.Int 0);
+         ("infos", Json.Int 0);
+         ("diagnostics", Json.String "none");
+       ]);
+  expect_error "tier with n_active 0" Api.frontier_result_of_json
+    (with_version (Json.Int Api.schema_version)
+       (Api.frontier_result_to_json
+          {
+            frontier with
+            Api.points =
+              [
+                {
+                  (List.hd frontier.Api.points) with
+                  Api.point_design = { web_tier with Design.n_active = 0 };
+                };
+              ];
+          }))
+
+(* ------------------------------------------------------------------ *)
+(* The JSON parser *)
+
+let json_testable =
+  Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Json.to_string v))
+    ( = )
+
+let parse_ok s =
+  match Json_parse.of_string s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let test_parse_values () =
+  Alcotest.(check json_testable)
+    "scalars and containers"
+    (Json.Obj
+       [
+         ( "a",
+           Json.List
+             [ Json.Int 1; Json.Float 2.5; Json.Bool true; Json.Null ] );
+         ("b", Json.String "xA\n");
+       ])
+    (parse_ok "  {\"a\": [1, 2.5, true, null], \"b\": \"x\\u0041\\n\"}  ");
+  Alcotest.(check json_testable)
+    "plain integer parses as Int" (Json.Int 1000) (parse_ok "1000");
+  Alcotest.(check json_testable)
+    "exponent form parses as Float" (Json.Float 1000.) (parse_ok "1e3");
+  Alcotest.(check json_testable)
+    "negative float" (Json.Float (-0.25)) (parse_ok "-0.25");
+  Alcotest.(check json_testable)
+    "unicode escape to UTF-8" (Json.String "caf\xc3\xa9")
+    (parse_ok "\"caf\\u00e9\"");
+  Alcotest.(check json_testable) "empty object" (Json.Obj []) (parse_ok "{}");
+  Alcotest.(check json_testable) "empty array" (Json.List []) (parse_ok "[]")
+
+let test_parse_errors () =
+  let expect_error s =
+    match Json_parse.of_string s with
+    | Ok v -> Alcotest.failf "parse %S unexpectedly gave %s" s (Json.to_string v)
+    | Error _ -> ()
+  in
+  List.iter expect_error
+    [
+      "";
+      "1 2" (* trailing garbage *);
+      "\"\\q\"" (* bad escape *);
+      "[1," (* unterminated array *);
+      "{\"a\" 1}" (* missing colon *);
+      "{\"a\":1,}" (* trailing comma *);
+      "truth";
+      "\"unterminated";
+      "\"\\u12g4\"" (* bad hex *);
+      "nan";
+    ]
+
+let test_parse_print_identity () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        (Printf.sprintf "print (parse %S)" s)
+        s
+        (Json.to_string (parse_ok s)))
+    [
+      "null";
+      "true";
+      "-17";
+      "0.30000000000000004";
+      "\"he said \\\"hi\\\"\"";
+      "[1,2,[3,{}]]";
+      "{\"k\":[null,false],\"j\":{\"x\":0.5}}";
+    ]
+
+(* Property: serialize -> parse -> serialize is the identity on the
+   serialized form, for arbitrary JSON values (including non-finite
+   floats, which print as null and stay null). *)
+let gen_json =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         let scalar =
+           oneof
+             [
+               return Json.Null;
+               map (fun b -> Json.Bool b) bool;
+               map (fun i -> Json.Int i) int;
+               map (fun f -> Json.Float f) (float_range (-1e9) 1e9);
+               return (Json.Float nan);
+               map (fun s -> Json.String s) (string_size (int_range 0 8));
+             ]
+         in
+         if n = 0 then scalar
+         else
+           oneof
+             [
+               scalar;
+               map
+                 (fun l -> Json.List l)
+                 (list_size (int_range 0 4) (self (n / 2)));
+               map
+                 (fun l -> Json.Obj l)
+                 (list_size (int_range 0 4)
+                    (pair (string_size (int_range 0 5)) (self (n / 2))));
+             ])
+
+let prop_serialize_parse_serialize =
+  QCheck2.Test.make ~name:"serialize/parse/serialize is stable" ~count:500
+    gen_json (fun v ->
+      let s = Json.to_string v in
+      match Json_parse.of_string s with
+      | Error e -> QCheck2.Test.fail_reportf "did not reparse %s: %s" s e
+      | Ok v' -> String.equal s (Json.to_string v'))
+
+let () =
+  Alcotest.run "api"
+    [
+      ( "golden",
+        List.map
+          (fun (name, json) ->
+            Alcotest.test_case name `Quick (test_golden (name, json)))
+          golden_cases );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "every encoder round-trips byte-identically"
+            `Quick test_roundtrips;
+        ] );
+      ( "decoder",
+        [
+          Alcotest.test_case "foreign schema_version rejected" `Quick
+            test_version_rejected;
+          Alcotest.test_case "malformed documents rejected" `Quick
+            test_malformed_rejected;
+        ] );
+      ( "json-parse",
+        [
+          Alcotest.test_case "values" `Quick test_parse_values;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "parse/print identity" `Quick
+            test_parse_print_identity;
+          QCheck_alcotest.to_alcotest prop_serialize_parse_serialize;
+        ] );
+    ]

@@ -106,8 +106,12 @@ let test_json_output () =
     run_aved (Printf.sprintf "check --json %s %s" base_infra spec)
   in
   Alcotest.(check int) "exit status" 1 status;
-  Alcotest.(check bool) "is an array" true
-    (String.length stdout > 1 && stdout.[0] = '[');
+  Alcotest.(check bool) "is a versioned object" true
+    (String.length stdout > 1
+    && stdout.[0] = '{'
+    && contains stdout "\"schema_version\":1");
+  Alcotest.(check bool) "carries a diagnostics array" true
+    (contains stdout "\"diagnostics\":[");
   Alcotest.(check bool) "carries severity" true
     (contains stdout "\"severity\":\"error\"");
   Alcotest.(check bool) "carries the span" true
@@ -116,7 +120,10 @@ let test_json_output () =
     run_aved (Printf.sprintf "check --json %s" base_infra)
   in
   Alcotest.(check int) "clean exit" 0 clean;
-  Alcotest.(check string) "empty array" "[]" (String.trim empty)
+  Alcotest.(check bool) "clean report has zero errors" true
+    (contains empty "\"errors\":0");
+  Alcotest.(check bool) "clean report has no diagnostics" true
+    (contains empty "\"diagnostics\":[]")
 
 let test_design_refuses_errors () =
   (* The implicit check: design refuses a spec with checker errors and

@@ -162,6 +162,105 @@ let test_memo_hits () =
   Alcotest.(check int) "misses" 1 misses;
   Alcotest.(check int) "hits" 2 hits
 
+(* The LRU bound: a capacity-k table holds at most k entries, evicts
+   the least-recently-used key first, and recomputed evictees still
+   agree with the uncached engine (eviction forgets, never corrupts). *)
+let test_memo_lru_bound () =
+  let models =
+    QCheck2.Gen.generate ~rand:(Random.State.make [| 404 |]) ~n:64
+      gen_small_model
+  in
+  let cache = Aved_avail.Memo.create ~capacity:16 () in
+  List.iter (fun m -> ignore (Aved_avail.Memo.downtime_fraction cache m)) models;
+  Alcotest.(check bool) "bounded" true (Aved_avail.Memo.length cache <= 16);
+  Alcotest.(check int) "capacity" 16 (Aved_avail.Memo.capacity cache);
+  Alcotest.(check bool) "evicted" true (Aved_avail.Memo.evictions cache > 0);
+  List.iter
+    (fun m ->
+      Alcotest.(check (float 0.))
+        "recompute agrees"
+        (Aved_avail.Analytic.downtime_fraction m)
+        (Aved_avail.Memo.downtime_fraction cache m))
+    models
+
+let test_memo_lru_order () =
+  (* Distinct keys via n_active; capacity 2. Touching the older entry
+     promotes it, so the untouched one is evicted first. *)
+  let base =
+    QCheck2.Gen.generate1 ~rand:(Random.State.make [| 11 |]) gen_small_model
+  in
+  let model n =
+    {
+      base with
+      Aved_avail.Tier_model.n_active = n;
+      n_min = 1;
+      n_spare = 0;
+      failure_scope = Service.Resource_scope;
+    }
+  in
+  let cache = Aved_avail.Memo.create ~capacity:2 () in
+  let touch n = ignore (Aved_avail.Memo.downtime_fraction cache (model n)) in
+  touch 1;
+  touch 2;
+  touch 1 (* promote 1: LRU is now 2 *);
+  touch 3 (* evicts 2 *);
+  touch 1 (* still cached: hit *);
+  let hits, misses = Aved_avail.Memo.stats cache in
+  Alcotest.(check int) "misses" 3 misses;
+  Alcotest.(check int) "hits" 2 hits;
+  Alcotest.(check int) "one eviction" 1 (Aved_avail.Memo.evictions cache);
+  touch 2 (* was evicted: a miss again *);
+  let _, misses = Aved_avail.Memo.stats cache in
+  Alcotest.(check int) "evicted key misses" 4 misses
+
+(* ------------------------------------------------------------------ *)
+(* The bounded admission queue *)
+
+module Bounded_queue = Aved_parallel.Bounded_queue
+
+let test_queue_fifo () =
+  let q = Bounded_queue.create ~capacity:4 in
+  List.iter
+    (fun i -> Alcotest.(check bool) "push" true (Bounded_queue.try_push q i))
+    [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Bounded_queue.length q);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Bounded_queue.pop q);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Bounded_queue.pop q);
+  Alcotest.(check (option int)) "fifo 3" (Some 3) (Bounded_queue.pop q)
+
+let test_queue_sheds_when_full () =
+  let q = Bounded_queue.create ~capacity:2 in
+  Alcotest.(check bool) "1 fits" true (Bounded_queue.try_push q 1);
+  Alcotest.(check bool) "2 fits" true (Bounded_queue.try_push q 2);
+  Alcotest.(check bool) "3 refused" false (Bounded_queue.try_push q 3);
+  ignore (Bounded_queue.pop q);
+  Alcotest.(check bool) "slot freed" true (Bounded_queue.try_push q 3)
+
+let test_queue_close_drains () =
+  let q = Bounded_queue.create ~capacity:4 in
+  ignore (Bounded_queue.try_push q 1);
+  ignore (Bounded_queue.try_push q 2);
+  Bounded_queue.close q;
+  Alcotest.(check bool) "closed refuses" false (Bounded_queue.try_push q 3);
+  Alcotest.(check bool) "reports closed" true (Bounded_queue.closed q);
+  Alcotest.(check (option int)) "delivers 1" (Some 1) (Bounded_queue.pop q);
+  Alcotest.(check (option int)) "delivers 2" (Some 2) (Bounded_queue.pop q);
+  Alcotest.(check (option int)) "then none" None (Bounded_queue.pop q)
+
+let test_queue_close_wakes_consumers () =
+  let q : int Bounded_queue.t = Bounded_queue.create ~capacity:1 in
+  let results = Array.make 2 (Some 0) in
+  let consumers =
+    Array.init 2 (fun i ->
+        Thread.create (fun () -> results.(i) <- Bounded_queue.pop q) ())
+  in
+  Thread.delay 0.05;
+  Bounded_queue.close q;
+  Array.iter Thread.join consumers;
+  Array.iter
+    (fun r -> Alcotest.(check (option int)) "woken with None" None r)
+    results
+
 let test_memoized_engine_in_search () =
   let plain = Search_config.default in
   let memo = Search_config.with_memo Search_config.default in
@@ -327,8 +426,22 @@ let () =
           Alcotest.test_case "memoized equals uncached on 1000 random models"
             `Quick test_memo_equals_uncached;
           Alcotest.test_case "cache hits ignore labels" `Quick test_memo_hits;
+          Alcotest.test_case "LRU bound holds and eviction never corrupts"
+            `Quick test_memo_lru_bound;
+          Alcotest.test_case "LRU evicts the least recently used" `Quick
+            test_memo_lru_order;
           Alcotest.test_case "memoized engine reproduces the search" `Quick
             test_memoized_engine_in_search;
+        ] );
+      ( "bounded-queue",
+        [
+          Alcotest.test_case "fifo order" `Quick test_queue_fifo;
+          Alcotest.test_case "refuses pushes at capacity" `Quick
+            test_queue_sheds_when_full;
+          Alcotest.test_case "close drains then ends" `Quick
+            test_queue_close_drains;
+          Alcotest.test_case "close wakes blocked consumers" `Quick
+            test_queue_close_wakes_consumers;
         ] );
       ( "determinism",
         [

@@ -1,0 +1,405 @@
+(* End-to-end tests of the aved serve daemon: a real subprocess on a
+   temp Unix socket, driven over the wire protocol. The load-bearing
+   assertion is byte parity — for every verb with a CLI --json twin,
+   the server's "result" field re-serializes to exactly the CLI's
+   stdout for the same spec files and request. The suite ends by
+   delivering SIGTERM and asserting a clean drain: exit status 0 and
+   the socket file unlinked. Runs from _build/default/test. *)
+
+module Protocol = Aved_server.Protocol
+module Json = Aved_explain.Json
+
+let aved = Filename.concat (Filename.concat ".." "bin") "main.exe"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  content
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+let run_aved args =
+  let dir = Filename.temp_file "aved_srv_cli" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let out = Filename.concat dir "out" in
+  let err = Filename.concat dir "err" in
+  let status =
+    Sys.command
+      (Printf.sprintf "%s %s > %s 2> %s" (Filename.quote aved) args
+         (Filename.quote out) (Filename.quote err))
+  in
+  let stdout = read_file out and stderr = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  Sys.rmdir dir;
+  (status, stdout, stderr)
+
+let spec_dir =
+  lazy
+    (let dir = Filename.temp_file "aved_srv_specs" "" in
+     Sys.remove dir;
+     let status, _, _ = run_aved (Printf.sprintf "dump-specs %s" dir) in
+     if status <> 0 then Alcotest.failf "dump-specs failed with %d" status;
+     dir)
+
+let spec name = Filename.concat (Lazy.force spec_dir) name
+
+(* ------------------------------------------------------------------ *)
+(* The daemon under test, shared by the whole suite *)
+
+type daemon = { pid : int; socket : string; dir : string }
+
+let daemon = ref None
+
+let start_daemon () =
+  let dir = Filename.temp_file "aved_srv" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let socket = Filename.concat dir "aved.sock" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process aved
+      [| aved; "serve"; "--socket"; socket; "--jobs"; "2" |]
+      Unix.stdin devnull devnull
+  in
+  Unix.close devnull;
+  let d = { pid; socket; dir } in
+  daemon := Some d;
+  d
+
+let connect_once socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Some fd
+  | exception Unix.Unix_error _ ->
+      Unix.close fd;
+      None
+
+(* The daemon, started on first use and polled until it accepts. *)
+let the_daemon =
+  lazy
+    (let d = start_daemon () in
+     let deadline = Unix.gettimeofday () +. 10. in
+     let rec wait () =
+       match connect_once d.socket with
+       | Some fd ->
+           Unix.close fd;
+           d
+       | None ->
+           if Unix.gettimeofday () > deadline then
+             Alcotest.fail "server did not come up within 10s";
+           Unix.sleepf 0.05;
+           wait ()
+     in
+     wait ())
+
+let with_conn f =
+  let d = Lazy.force the_daemon in
+  match connect_once d.socket with
+  | None -> Alcotest.fail "could not connect to the server"
+  | Some fd ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> f ic oc)
+
+let rpc ic oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  input_line ic
+
+let response line =
+  match Protocol.response_of_line line with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "unparsable response %S: %s" line m
+
+let server_result line =
+  with_conn @@ fun ic oc ->
+  match (response (rpc ic oc line)).Protocol.outcome with
+  | Ok result -> result
+  | Error (_, m) -> Alcotest.failf "server refused %S: %s" line m
+
+let server_error line =
+  with_conn @@ fun ic oc ->
+  let r = response (rpc ic oc line) in
+  match r.Protocol.outcome with
+  | Ok result ->
+      Alcotest.failf "server accepted %S: %s" line (Json.to_string result)
+  | Error (code, message) -> (r.Protocol.response_id, code, message)
+
+let code_name = function
+  | Some c -> Protocol.error_code_to_string c
+  | None -> "<unknown code>"
+
+let check_code name expected actual =
+  Alcotest.(check string)
+    name
+    (Protocol.error_code_to_string expected)
+    (code_name actual)
+
+let spec_params () =
+  [
+    ("infra_file", Json.String (spec "infrastructure.spec"));
+    ("service_file", Json.String (spec "ecommerce.spec"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Byte parity with the one-shot CLI *)
+
+let check_parity name ~cli ~verb ~params =
+  let status, stdout, stderr = run_aved cli in
+  if status <> 0 then
+    Alcotest.failf "%s: CLI exited %d: %s" name status stderr;
+  let result = server_result (Protocol.request_line verb params) in
+  Alcotest.(check string)
+    (name ^ ": server result = CLI stdout")
+    (String.trim stdout) (Json.to_string result)
+
+let test_design_parity () =
+  check_parity "design"
+    ~cli:
+      (Printf.sprintf "design -i %s -s %s --load 1000 --downtime 100 --json"
+         (spec "infrastructure.spec") (spec "ecommerce.spec"))
+    ~verb:Protocol.Design
+    ~params:
+      (spec_params ()
+      @ [ ("load", Json.Float 1000.); ("downtime_minutes", Json.Float 100.) ])
+
+let test_frontier_parity () =
+  check_parity "frontier"
+    ~cli:
+      (Printf.sprintf "frontier -i %s -s %s --load 1000 --json"
+         (spec "infrastructure.spec") (spec "ecommerce.spec"))
+    ~verb:Protocol.Frontier
+    ~params:(spec_params () @ [ ("load", Json.Float 1000.) ])
+
+let test_explain_parity () =
+  check_parity "explain"
+    ~cli:
+      (Printf.sprintf
+         "explain -i %s -s %s --load 1000 --downtime 100 --top 2 --json"
+         (spec "infrastructure.spec") (spec "ecommerce.spec"))
+    ~verb:Protocol.Explain
+    ~params:
+      (spec_params ()
+      @ [
+          ("load", Json.Float 1000.);
+          ("downtime_minutes", Json.Float 100.);
+          ("top", Json.Int 2);
+        ])
+
+let test_check_parity () =
+  let status, stdout, stderr =
+    run_aved
+      (Printf.sprintf "check %s %s --json" (spec "infrastructure.spec")
+         (spec "ecommerce.spec"))
+  in
+  if status <> 0 then
+    Alcotest.failf "check: CLI exited %d: %s" status stderr;
+  let result =
+    server_result
+      (Protocol.request_line Protocol.Check
+         [
+           ( "files",
+             Json.List
+               [
+                 Json.String (spec "infrastructure.spec");
+                 Json.String (spec "ecommerce.spec");
+               ] );
+         ])
+  in
+  Alcotest.(check string)
+    "check: server result = CLI stdout" (String.trim stdout)
+    (Json.to_string result)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol behavior *)
+
+let test_health () =
+  let result = server_result (Protocol.request_line Protocol.Health []) in
+  Alcotest.(check string)
+    "exact bytes" "{\"schema_version\":1,\"status\":\"ok\"}"
+    (Json.to_string result)
+
+let test_id_echo () =
+  with_conn @@ fun ic oc ->
+  let line =
+    Protocol.request_line ~id:(Json.String "req-5") Protocol.Health []
+  in
+  let r = response (rpc ic oc line) in
+  Alcotest.(check string)
+    "id echoed" "\"req-5\""
+    (Json.to_string r.Protocol.response_id)
+
+let test_stats_shape () =
+  let result = server_result (Protocol.request_line Protocol.Stats []) in
+  match result with
+  | Json.Obj fields ->
+      List.iter
+        (fun key ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stats has %S" key)
+            true
+            (List.mem_assoc key fields))
+        [ "uptime_seconds"; "queue"; "memo"; "spec_cache"; "counters" ]
+  | _ -> Alcotest.fail "stats result is not an object"
+
+let test_bad_json () =
+  let id, code, message = server_error "this is not json" in
+  check_code "code" Protocol.Bad_request code;
+  Alcotest.(check string) "null id" "null" (Json.to_string id);
+  Alcotest.(check bool) "names the parse failure" true
+    (contains message "malformed JSON")
+
+let test_unknown_verb () =
+  let _, code, message =
+    server_error "{\"schema_version\":1,\"verb\":\"bogus\",\"params\":{}}"
+  in
+  check_code "code" Protocol.Bad_request code;
+  Alcotest.(check bool) "names the verb" true (contains message "bogus")
+
+let test_wrong_schema_version () =
+  let _, code, message =
+    server_error "{\"schema_version\":2,\"verb\":\"health\",\"params\":{}}"
+  in
+  check_code "code" Protocol.Bad_request code;
+  Alcotest.(check bool) "names the version" true
+    (contains message "schema_version 2")
+
+let test_missing_params () =
+  let _, code, message =
+    server_error (Protocol.request_line Protocol.Design [])
+  in
+  check_code "code" Protocol.Bad_request code;
+  Alcotest.(check bool) "names the param" true (contains message "infra_file")
+
+let test_bad_spec_is_user_error () =
+  let _, code, _ =
+    server_error
+      (Protocol.request_line Protocol.Design
+         [
+           ("infra_file", Json.String "/nonexistent/infra.spec");
+           ("service_file", Json.String (spec "ecommerce.spec"));
+           ("load", Json.Float 1000.);
+           ("downtime_minutes", Json.Float 100.);
+         ])
+  in
+  check_code "code" Protocol.User_error code
+
+let test_expired_deadline () =
+  (* A negative queueing deadline has always already passed, so the
+     check fires deterministically regardless of clock granularity. *)
+  let id, code, _ =
+    server_error
+      (Protocol.request_line ~id:(Json.Int 42) ~deadline_ms:(-1.)
+         Protocol.Design
+         (spec_params ()
+         @ [ ("load", Json.Float 1000.); ("downtime_minutes", Json.Float 100.) ]
+         ))
+  in
+  check_code "code" Protocol.Deadline_exceeded code;
+  Alcotest.(check string) "id echoed" "42" (Json.to_string id)
+
+let test_blank_lines_skipped () =
+  with_conn @@ fun ic oc ->
+  output_string oc "\n  \n";
+  let line = Protocol.request_line Protocol.Health [] in
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  match (response (input_line ic)).Protocol.outcome with
+  | Ok _ -> ()
+  | Error (_, m) -> Alcotest.failf "health refused after blank lines: %s" m
+
+let test_concurrent_connections () =
+  with_conn @@ fun ic1 oc1 ->
+  with_conn @@ fun ic2 oc2 ->
+  let line = Protocol.request_line Protocol.Health [] in
+  output_string oc1 line;
+  output_char oc1 '\n';
+  flush oc1;
+  output_string oc2 line;
+  output_char oc2 '\n';
+  flush oc2;
+  List.iter
+    (fun ic ->
+      match (response (input_line ic)).Protocol.outcome with
+      | Ok _ -> ()
+      | Error (_, m) -> Alcotest.failf "health failed: %s" m)
+    [ ic2; ic1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown — must run last: it takes the shared daemon down *)
+
+let test_sigterm_drains () =
+  let d = Lazy.force the_daemon in
+  Unix.kill d.pid Sys.sigterm;
+  let _, status = Unix.waitpid [] d.pid in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "server exited %d" n
+  | Unix.WSIGNALED n -> Alcotest.failf "server killed by signal %d" n
+  | Unix.WSTOPPED n -> Alcotest.failf "server stopped by signal %d" n);
+  Alcotest.(check bool)
+    "socket unlinked" false (Sys.file_exists d.socket);
+  (try Sys.rmdir d.dir with Sys_error _ -> ());
+  daemon := None
+
+(* Belt and braces: never leave the subprocess behind, even if the
+   suite dies before the shutdown test. *)
+let () =
+  at_exit (fun () ->
+      match !daemon with
+      | Some d -> ( try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> ())
+      | None -> ())
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "design = CLI --json" `Quick test_design_parity;
+          Alcotest.test_case "frontier = CLI --json" `Quick
+            test_frontier_parity;
+          Alcotest.test_case "explain = CLI --json" `Quick test_explain_parity;
+          Alcotest.test_case "check = CLI --json" `Quick test_check_parity;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "health answers exact bytes" `Quick test_health;
+          Alcotest.test_case "request ids echo back" `Quick test_id_echo;
+          Alcotest.test_case "stats carries the observability surface" `Quick
+            test_stats_shape;
+          Alcotest.test_case "malformed JSON is a bad request" `Quick
+            test_bad_json;
+          Alcotest.test_case "unknown verb is a bad request" `Quick
+            test_unknown_verb;
+          Alcotest.test_case "foreign schema_version is a bad request" `Quick
+            test_wrong_schema_version;
+          Alcotest.test_case "missing params are a bad request" `Quick
+            test_missing_params;
+          Alcotest.test_case "unreadable spec is a user error" `Quick
+            test_bad_spec_is_user_error;
+          Alcotest.test_case "expired deadline is reported as such" `Quick
+            test_expired_deadline;
+          Alcotest.test_case "blank lines are skipped" `Quick
+            test_blank_lines_skipped;
+          Alcotest.test_case "connections are independent" `Quick
+            test_concurrent_connections;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "SIGTERM drains and exits 0" `Quick
+            test_sigterm_drains;
+        ] );
+    ]
