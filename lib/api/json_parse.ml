@@ -132,7 +132,14 @@ let parse_number st =
         st.pos <- start;
         fail st (Printf.sprintf "malformed number %S" text)
 
-let rec parse_value st =
+(* Bounds recursion so adversarial input (thousands of '[') raises
+   Parse_error instead of Stack_overflow — the server's reader threads
+   rely on every malformed line being reported as a parse error. *)
+let max_depth = 128
+
+let rec parse_value st depth =
+  if depth > max_depth then
+    fail st (Printf.sprintf "nesting deeper than %d levels" max_depth);
   skip_ws st;
   match peek st with
   | None -> fail st "expected a value, found end of input"
@@ -148,11 +155,11 @@ let rec parse_value st =
         Json.List []
       end
       else begin
-        let items = ref [ parse_value st ] in
+        let items = ref [ parse_value st (depth + 1) ] in
         skip_ws st;
         while peek st = Some ',' do
           advance st;
-          items := parse_value st :: !items;
+          items := parse_value st (depth + 1) :: !items;
           skip_ws st
         done;
         expect st ']';
@@ -171,7 +178,7 @@ let rec parse_value st =
           let key = parse_string st in
           skip_ws st;
           expect st ':';
-          let value = parse_value st in
+          let value = parse_value st (depth + 1) in
           (key, value)
         in
         let fields = ref [ member () ] in
@@ -189,7 +196,7 @@ let rec parse_value st =
 let of_string input =
   let st = { input; pos = 0 } in
   match
-    let v = parse_value st in
+    let v = parse_value st 0 in
     skip_ws st;
     if st.pos <> String.length input then fail st "trailing garbage";
     v

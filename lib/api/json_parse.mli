@@ -12,7 +12,9 @@
 val of_string : string -> (Aved_explain.Json.t, string) result
 (** Parses exactly one JSON document (surrounding whitespace allowed;
     trailing garbage is an error). The error string carries a 0-based
-    byte offset. *)
+    byte offset. Nesting is limited to 128 levels of containers so
+    adversarial input is reported as a parse error rather than
+    overflowing the stack. *)
 
 val of_string_exn : string -> Aved_explain.Json.t
 (** {!of_string}, raising [Failure] on malformed input. *)

@@ -79,11 +79,14 @@ let push_front t node =
   (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
   t.head <- Some node
 
+(* Compare payloads physically: [t.head != Some node] is always true
+   because [Some node] is a fresh allocation. *)
 let touch t node =
-  if t.head != Some node then begin
-    unlink t node;
-    push_front t node
-  end
+  match t.head with
+  | Some h when h == node -> ()
+  | _ ->
+      unlink t node;
+      push_front t node
 
 let evict_over_capacity t =
   while Hashtbl.length t.table > t.capacity do

@@ -42,6 +42,7 @@ type config = {
   default_deadline_ms : float option;
   memo_capacity : int;
   span_capacity : int;
+  send_timeout_s : float;
 }
 
 let default_config transport =
@@ -53,6 +54,7 @@ let default_config transport =
     default_deadline_ms = None;
     memo_capacity = Memo.default_capacity;
     span_capacity = 4096;
+    send_timeout_s = 10.;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -60,12 +62,15 @@ let default_config transport =
 
 (* The write mutex orders response lines from concurrent dispatchers
    and makes close/write/shutdown mutually exclusive, so the fd is
-   never used after it is closed (no fd-reuse races). *)
+   never used after it is closed (no fd-reuse races). [conn_open]
+   means the fd has not been closed yet (only [close_conn] clears it);
+   [write_dead] marks a connection whose client stopped reading or
+   hung up, so further responses are dropped instead of retried. *)
 type conn = {
   fd : Unix.file_descr;
-  oc : out_channel;
   write_mutex : Mutex.t;
   mutable conn_open : bool;
+  mutable write_dead : bool;
 }
 
 type job = { conn : conn; request : Protocol.request; enqueued_at : float }
@@ -79,6 +84,10 @@ type search_gate = {
   g_cond : Condition.t;
   mutable g_readers : int;
   mutable g_writer : bool;
+  mutable g_writers_waiting : int;
+      (* Writer-preference: new readers also wait while a writer is
+         queued, so sustained design/frontier traffic cannot starve an
+         [explain] request indefinitely. *)
 }
 
 type t = {
@@ -104,21 +113,36 @@ let locked t f =
   Mutex.lock t.state_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.state_mutex) f
 
+(* Writes go straight to the fd so the SO_SNDTIMEO set at accept time
+   bounds them: a client that sends requests but never reads its socket
+   makes the write fail with EAGAIN after the timeout instead of
+   wedging a dispatcher forever. On any write failure the socket is
+   shut down, which wakes the (possibly blocked) reader thread so it
+   runs [close_conn] and frees the fd. *)
 let send_line conn line =
   Mutex.lock conn.write_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock conn.write_mutex) @@ fun () ->
-  if conn.conn_open then
-    try
-      output_string conn.oc line;
-      output_char conn.oc '\n';
-      flush conn.oc
-    with Sys_error _ | Unix.Unix_error _ -> conn.conn_open <- false
+  if conn.conn_open && not conn.write_dead then begin
+    let data = line ^ "\n" in
+    let len = String.length data in
+    let rec write_from off =
+      if off < len then
+        match Unix.write_substring conn.fd data off (len - off) with
+        | wrote -> write_from (off + wrote)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_from off
+    in
+    try write_from 0
+    with Unix.Unix_error _ | Sys_error _ ->
+      conn.write_dead <- true;
+      (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+       with Unix.Unix_error _ -> ())
+  end
 
 let close_conn t conn =
   Mutex.lock conn.write_mutex;
   if conn.conn_open then begin
     conn.conn_open <- false;
-    close_out_noerr conn.oc;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     Mutex.unlock conn.write_mutex;
     Telemetry.Counter.incr connections_closed;
     locked t (fun () -> t.conns <- List.filter (fun c -> c != conn) t.conns)
@@ -142,11 +166,12 @@ let make_gate () =
     g_cond = Condition.create ();
     g_readers = 0;
     g_writer = false;
+    g_writers_waiting = 0;
   }
 
 let with_shared g f =
   Mutex.lock g.g_mutex;
-  while g.g_writer do
+  while g.g_writer || g.g_writers_waiting > 0 do
     Condition.wait g.g_cond g.g_mutex
   done;
   g.g_readers <- g.g_readers + 1;
@@ -159,9 +184,11 @@ let with_shared g f =
 
 let with_exclusive g f =
   Mutex.lock g.g_mutex;
+  g.g_writers_waiting <- g.g_writers_waiting + 1;
   while g.g_writer || g.g_readers > 0 do
     Condition.wait g.g_cond g.g_mutex
   done;
+  g.g_writers_waiting <- g.g_writers_waiting - 1;
   g.g_writer <- true;
   Mutex.unlock g.g_mutex;
   Fun.protect f ~finally:(fun () ->
@@ -485,16 +512,28 @@ let reader_loop t conn =
   let rec loop () =
     match input_line ic with
     | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
-    | line ->
-        (if String.trim line <> "" then
-           match Protocol.request_of_line line with
-           | Ok request -> admit t conn request
-           | Error message ->
-               Telemetry.Counter.incr responses_error;
-               send_line conn
-                 (Protocol.error_response ~id:Json.Null Protocol.Bad_request
-                    message));
-        loop ()
+    | line -> (
+        (* The catch-all keeps a malicious or pathological line (e.g.
+           one that trips an unexpected exception in parsing/admission)
+           from killing the reader before [close_conn] runs and leaking
+           the fd: answer Internal and drop the connection instead. *)
+        match
+          if String.trim line <> "" then
+            match Protocol.request_of_line line with
+            | Ok request -> admit t conn request
+            | Error message ->
+                Telemetry.Counter.incr responses_error;
+                send_line conn
+                  (Protocol.error_response ~id:Json.Null Protocol.Bad_request
+                     message)
+        with
+        | () -> loop ()
+        | exception exn ->
+            Telemetry.Counter.incr responses_error;
+            send_line conn
+              (Protocol.error_response ~id:Json.Null Protocol.Internal
+                 (Printf.sprintf "unexpected error reading request: %s"
+                    (Printexc.to_string exn))))
   in
   loop ();
   close_conn t conn
@@ -502,9 +541,32 @@ let reader_loop t conn =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle *)
 
+(* A leftover socket path may belong to a still-running daemon: probe
+   it with a connect before unlinking, and refuse to steal a live
+   endpoint. A stale path (nothing accepting) is removed; failure to
+   remove it is a clean user error, not an uncaught Unix_error. *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    Unix.close probe;
+    if live then
+      failwith
+        (Printf.sprintf "socket %S is in use by a running server" path);
+    try Unix.unlink path
+    with Unix.Unix_error (err, _, _) ->
+      failwith
+        (Printf.sprintf "cannot remove stale socket %S: %s" path
+           (Unix.error_message err))
+  end
+
 let bind_listener = function
   | Unix_socket path ->
-      if Sys.file_exists path then (try Unix.unlink path with Sys_error _ -> ());
+      claim_socket_path path;
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       (try
          Unix.bind fd (Unix.ADDR_UNIX path);
@@ -595,13 +657,13 @@ let accept_one t =
     ->
       ()
   | fd, _addr ->
+      (* Bound every response write so a client that never reads its
+         socket cannot park a dispatcher inside [send_line]. *)
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.send_timeout_s
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
       let conn =
-        {
-          fd;
-          oc = Unix.out_channel_of_descr fd;
-          write_mutex = Mutex.create ();
-          conn_open = true;
-        }
+        { fd; write_mutex = Mutex.create (); conn_open = true;
+          write_dead = false }
       in
       Telemetry.Counter.incr connections_opened;
       locked t (fun () -> t.conns <- conn :: t.conns);
@@ -622,7 +684,10 @@ let run t =
   in
   loop ();
   (* Drain: stop accepting, refuse new admissions, answer everything
-     already admitted, then close connections and join every thread. *)
+     already admitted, then close connections and join every thread.
+     Joining dispatchers first is what answers admitted requests; it
+     cannot hang on a stalled client because SO_SNDTIMEO bounds every
+     response write (the write fails and the connection is dropped). *)
   Unix.close t.listen_fd;
   (match t.config.transport with
   | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())

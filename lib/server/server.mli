@@ -52,20 +52,27 @@ type config = {
   memo_capacity : int;  (** Bound of the shared availability memo. *)
   span_capacity : int;
       (** Per-domain telemetry span retention ({!Aved_telemetry.Telemetry.create}). *)
+  send_timeout_s : float;
+      (** SO_SNDTIMEO applied to every accepted connection: a response
+          write to a client that stopped reading fails after this many
+          seconds and the connection is dropped, instead of blocking a
+          dispatcher indefinitely. *)
 }
 
 val default_config : transport -> config
 (** [jobs = Domain.recommended_domain_count ()], 2 dispatchers, a
     128-request queue, no default deadline, {!Aved_avail.Memo.default_capacity}
-    memo entries, 4096 retained spans per domain. *)
+    memo entries, 4096 retained spans per domain, a 10 s send timeout. *)
 
 type t
 
 val create : config -> t
 (** Binds and listens on the transport, spawns the dispatcher threads
     and installs the server's telemetry registry. Raises
-    [Unix.Unix_error] when the address cannot be bound and
-    [Invalid_argument] on non-positive sizes. *)
+    [Unix.Unix_error] when the address cannot be bound,
+    [Invalid_argument] on non-positive sizes, and [Failure] when a
+    Unix-socket path is already served by a live daemon (an existing
+    path is probed with a connect before being unlinked). *)
 
 val run : t -> unit
 (** The accept loop. Returns after {!stop}, once every admitted request

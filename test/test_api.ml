@@ -394,6 +394,29 @@ let test_parse_errors () =
       "nan";
     ]
 
+(* Adversarial input: nesting past the parser's depth limit must come
+   back as a parse error, never a Stack_overflow (which would kill a
+   server reader thread and leak its connection). *)
+let test_parse_depth_limit () =
+  let nested n = String.make n '[' ^ "1" ^ String.make n ']' in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+    at 0
+  in
+  (match Json_parse.of_string (nested 100) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth 100 should parse, got: %s" e);
+  List.iter
+    (fun n ->
+      match Json_parse.of_string (nested n) with
+      | Ok _ -> Alcotest.failf "depth %d unexpectedly parsed" n
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "depth %d reports the nesting limit" n)
+            true (contains e "nesting"))
+    [ 200; 100_000 ]
+
 let test_parse_print_identity () =
   List.iter
     (fun s ->
@@ -475,6 +498,7 @@ let () =
         [
           Alcotest.test_case "values" `Quick test_parse_values;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "depth limit" `Quick test_parse_depth_limit;
           Alcotest.test_case "parse/print identity" `Quick
             test_parse_print_identity;
           QCheck_alcotest.to_alcotest prop_serialize_parse_serialize;

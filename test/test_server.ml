@@ -321,6 +321,40 @@ let test_blank_lines_skipped () =
   | Ok _ -> ()
   | Error (_, m) -> Alcotest.failf "health refused after blank lines: %s" m
 
+let test_deep_nesting_rejected () =
+  (* A deeply nested line must be a bad request, not a Stack_overflow
+     that kills the reader thread and leaks the connection: the same
+     connection must still answer a health request afterwards. *)
+  with_conn @@ fun ic oc ->
+  let bomb = String.make 100_000 '[' in
+  let r = response (rpc ic oc bomb) in
+  (match r.Protocol.outcome with
+  | Ok result ->
+      Alcotest.failf "nesting bomb accepted: %s" (Json.to_string result)
+  | Error (code, _) -> check_code "code" Protocol.Bad_request code);
+  match (response (rpc ic oc (Protocol.request_line Protocol.Health []))).Protocol.outcome with
+  | Ok _ -> ()
+  | Error (_, m) -> Alcotest.failf "health refused after nesting bomb: %s" m
+
+let test_live_socket_refused () =
+  (* A second daemon pointed at the live daemon's socket must refuse to
+     steal the endpoint and exit as a user error. *)
+  let d = Lazy.force the_daemon in
+  let status, _, stderr =
+    run_aved (Printf.sprintf "serve --socket %s" (Filename.quote d.socket))
+  in
+  Alcotest.(check int) "exit code" 1 status;
+  Alcotest.(check bool) "names the conflict" true (contains stderr "in use");
+  (* The probe must not have disturbed the running daemon. *)
+  match
+    (response
+       (with_conn @@ fun ic oc ->
+        rpc ic oc (Protocol.request_line Protocol.Health [])))
+      .Protocol.outcome
+  with
+  | Ok _ -> ()
+  | Error (_, m) -> Alcotest.failf "daemon unhealthy after probe: %s" m
+
 let test_concurrent_connections () =
   with_conn @@ fun ic1 oc1 ->
   with_conn @@ fun ic2 oc2 ->
@@ -396,6 +430,10 @@ let () =
             test_blank_lines_skipped;
           Alcotest.test_case "connections are independent" `Quick
             test_concurrent_connections;
+          Alcotest.test_case "nesting bomb is a bad request" `Quick
+            test_deep_nesting_rejected;
+          Alcotest.test_case "live socket path is refused" `Quick
+            test_live_socket_refused;
         ] );
       ( "shutdown",
         [
