@@ -20,7 +20,55 @@ let section title =
 (* Machine-readable search benchmark (dune exec bench/main.exe -- json)
 
    One telemetry-instrumented run per figure kernel, written to
-   BENCH_search.json for CI artifact upload and regression tracking. *)
+   BENCH_search.json (schema_version 2) for CI artifact upload and
+   regression tracking. The first recorded run's per-figure wall times
+   are carried forward verbatim as the "baseline" object on every
+   subsequent run — a v1 file's "figures" array is adopted as the
+   baseline — so the reported speedup is always against the pre-change
+   code, not against the previous rerun. *)
+
+module Json = Aved_explain.Json
+
+type bench_baseline = { figures : (string * float) list }
+
+let read_baseline path =
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Aved_api.Json_parse.of_string contents with
+    | Error _ -> None
+    | Ok json -> (
+        let wall_of = function
+          | Json.Obj fields -> (
+              match
+                (List.assoc_opt "name" fields, List.assoc_opt "wall_seconds" fields)
+              with
+              | Some (Json.String name), Some (Json.Float w) -> Some (name, w)
+              | Some (Json.String name), Some (Json.Int w) ->
+                  Some (name, float_of_int w)
+              | _ -> None)
+          | _ -> None
+        in
+        let figures_of = function
+          | Some (Json.List rows) ->
+              let parsed = List.filter_map wall_of rows in
+              if parsed = [] then None else Some { figures = parsed }
+          | _ -> None
+        in
+        match json with
+        | Json.Obj fields -> (
+            (* Prefer an existing baseline; else a v1 file's own figures
+               become the baseline. *)
+            match List.assoc_opt "baseline" fields with
+            | Some (Json.Obj baseline_fields) ->
+                figures_of (List.assoc_opt "figures" baseline_fields)
+            | _ -> figures_of (List.assoc_opt "figures" fields))
+        | _ -> None)
 
 let json_search_benchmark () =
   let jobs = Domain.recommended_domain_count () in
@@ -30,19 +78,14 @@ let json_search_benchmark () =
     |> Search.Search_config.with_memo
   in
   let measure name f =
+    Search.Eval_cache.reset_downtime_counters ();
     let t = Telemetry.create () in
     Telemetry.install t;
     let t0 = Unix.gettimeofday () in
     let () = Fun.protect ~finally:Telemetry.uninstall f in
     let wall = Unix.gettimeofday () -. t0 in
     let counter n = Telemetry.Counter.read_by_name t n in
-    let generated = counter "search.candidates.generated" in
-    let evaluated = counter "search.candidates.evaluated" in
-    let pruned = counter "search.candidates.pruned_by_incumbent" in
-    let hits = counter "avail.memo.hits" in
-    let misses = counter "avail.memo.misses" in
-    let lookups = hits + misses in
-    (name, wall, generated, evaluated, pruned, hits, misses, lookups)
+    (name, wall, counter)
   in
   let rows =
     [
@@ -58,27 +101,69 @@ let json_search_benchmark () =
       measure "fig8" (fun () -> ignore (Aved.Figures.fig8 ~config ()));
     ]
   in
-  let buf = Buffer.create 1024 in
+  let path = "BENCH_search.json" in
+  let baseline = read_baseline path in
+  let total = List.fold_left (fun acc (_, w, _) -> acc +. w) 0. rows in
+  let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema_version\": 2,\n";
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  (match baseline with
+  | Some { figures } ->
+      let baseline_total = List.fold_left (fun acc (_, w) -> acc +. w) 0. figures in
+      Buffer.add_string buf "  \"baseline\": {\"figures\": [\n";
+      List.iteri
+        (fun i (name, wall) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    {\"name\": %S, \"wall_seconds\": %.6f}%s\n"
+               name wall
+               (if i = List.length figures - 1 then "" else ",")))
+        figures;
+      Buffer.add_string buf
+        (Printf.sprintf "  ], \"total_wall_seconds\": %.6f},\n" baseline_total);
+      Buffer.add_string buf
+        (Printf.sprintf "  \"speedup_vs_baseline\": %.2f,\n"
+           (baseline_total /. Float.max 1e-9 total))
+  | None ->
+      Buffer.add_string buf "  \"baseline\": null,\n";
+      Buffer.add_string buf "  \"speedup_vs_baseline\": null,\n");
+  Buffer.add_string buf
+    (Printf.sprintf "  \"total_wall_seconds\": %.6f,\n" total);
   Buffer.add_string buf "  \"figures\": [\n";
   List.iteri
-    (fun i (name, wall, generated, evaluated, pruned, hits, misses, lookups) ->
+    (fun i (name, wall, counter) ->
+      let generated = counter "search.candidates.generated" in
+      let evaluated = counter "search.candidates.evaluated" in
+      let pruned = counter "search.candidates.pruned_by_incumbent" in
+      let hits = counter "avail.memo.hits" in
+      let misses = counter "avail.memo.misses" in
+      let lookups = hits + misses in
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"name\": %S, \"wall_seconds\": %.6f, \
             \"candidates_generated\": %d, \"candidates_evaluated\": %d, \
             \"candidates_pruned\": %d, \"candidates_per_second\": %.1f, \
             \"memo_hits\": %d, \"memo_misses\": %d, \
-            \"memo_hit_rate\": %.4f}%s\n"
+            \"memo_hit_rate\": %.4f, \
+            \"downtime_fresh\": %d, \"downtime_reused\": %d, \
+            \"solver_fresh\": %d, \"solver_incremental\": %d, \
+            \"solver_fallback\": %d, \"solver_cached\": %d, \
+            \"exact_fresh\": %d, \"exact_incremental\": %d}%s\n"
            name wall generated evaluated pruned
            (float_of_int evaluated /. Float.max 1e-9 wall)
            hits misses
            (float_of_int hits /. Float.max 1. (float_of_int lookups))
+           (counter "search.eval.downtime.fresh")
+           (counter "search.eval.downtime.reused")
+           (counter "markov.solver.fresh")
+           (counter "markov.solver.incremental")
+           (counter "markov.solver.fallback")
+           (counter "markov.solver.cached")
+           (counter "avail.exact.solve.fresh")
+           (counter "avail.exact.solve.incremental")
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]\n}\n";
-  let path = "BENCH_search.json" in
   let oc = open_out path in
   Buffer.output_buffer oc buf;
   close_out oc;

@@ -29,14 +29,19 @@ let state_distribution (model : Tier_model.t) =
       pi.(0) <- 1.;
       pi
 
-let chain_down_fraction (model : Tier_model.t) =
+(* The [_of] variants take a precomputed stationary distribution so one
+   solve can serve every contribution of an evaluation; the public
+   functions below solve once and thread it through. *)
+let chain_down_of (model : Tier_model.t) pi =
   let n_total = model.n_active + model.n_spare in
-  let pi = state_distribution model in
   let acc = ref 0. in
   for k = 0 to n_total do
     if n_total - k < model.n_min then acc := !acc +. pi.(k)
   done;
   !acc
+
+let chain_down_fraction (model : Tier_model.t) =
+  chain_down_of model (state_distribution model)
 
 (* The per-event outage of a failure the chain does not see as a down
    state: the failover time when a spare takes over, or the full repair
@@ -50,9 +55,8 @@ let transient_outage (c : Tier_model.failure_class) =
    to states where a failure visibly interrupts service yet lands in
    another up state. Multiplying by a class's rate × outage gives that
    class's transient downtime fraction. *)
-let transient_weight (model : Tier_model.t) =
+let transient_weight_of (model : Tier_model.t) pi =
   let n_total = model.n_active + model.n_spare in
-  let pi = state_distribution model in
   let acc = ref 0. in
   for k = 0 to n_total - 1 do
     let a = actives model k in
@@ -68,16 +72,22 @@ let transient_weight (model : Tier_model.t) =
   done;
   !acc
 
+let transient_weight (model : Tier_model.t) =
+  transient_weight_of model (state_distribution model)
+
+let outage_rate_sum (model : Tier_model.t) =
+  List.fold_left
+    (fun acc c -> acc +. (c.Tier_model.rate *. transient_outage c))
+    0. model.classes
+
 let transient_down_fraction (model : Tier_model.t) =
-  let outage_rate_sum =
-    List.fold_left
-      (fun acc c -> acc +. (c.Tier_model.rate *. transient_outage c))
-      0. model.classes
-  in
-  transient_weight model *. outage_rate_sum
+  transient_weight model *. outage_rate_sum model
 
 let downtime_fraction model =
-  Float.min 1. (chain_down_fraction model +. transient_down_fraction model)
+  let pi = state_distribution model in
+  Float.min 1.
+    (chain_down_of model pi
+    +. (transient_weight_of model pi *. outage_rate_sum model))
 
 let availability model =
   Availability.of_fraction (1. -. downtime_fraction model)
@@ -94,8 +104,9 @@ let mean_failed_resources (model : Tier_model.t) =
    to {!downtime_fraction}; below the cap they are returned as computed
    (scaling by exactly 1.0 preserves the bits). *)
 let downtime_by_class (model : Tier_model.t) =
-  let weight = transient_weight model in
-  let chain_down = chain_down_fraction model in
+  let pi = state_distribution model in
+  let weight = transient_weight_of model pi in
+  let chain_down = chain_down_of model pi in
   let first_order (c : Tier_model.failure_class) =
     c.rate *. Duration.seconds c.mttr
   in
@@ -113,7 +124,7 @@ let downtime_by_class (model : Tier_model.t) =
         (c.label, transient +. chain_share))
       model.classes
   in
-  let raw_total = chain_down +. transient_down_fraction model in
+  let raw_total = chain_down +. (weight *. outage_rate_sum model) in
   if raw_total > 1. then
     List.map (fun (label, f) -> (label, f /. raw_total)) raw
   else raw

@@ -120,12 +120,13 @@ let service_availability engine models =
 let service_annual_downtime engine models =
   Availability.annual_downtime (service_availability engine models)
 
-let analytic_job_time engine (model : Tier_model.t) ~job_size =
+let job_completion_time_of ~downtime_fraction (model : Tier_model.t)
+    ~job_size =
   let rate_per_hour = model.effective_performance in
   if rate_per_hour <= 0. then
     raise (Tier_model.Rejected "Evaluate.job_completion_time: no throughput");
   let ideal = Duration.of_hours (job_size /. rate_per_hour) in
-  let availability = tier_availability engine model in
+  let availability = Availability.of_fraction (1. -. downtime_fraction) in
   let mtbf = Tier_model.tier_mtbf model in
   (* Without checkpoints a failure loses the whole remaining job, so the
      loss window is the job itself; a configured window larger than the
@@ -138,6 +139,11 @@ let analytic_job_time engine (model : Tier_model.t) ~job_size =
   Loss_window.expected_job_time
     ~work_seconds:(Duration.seconds ideal)
     ~availability ~mtbf ~lw
+
+let analytic_job_time engine (model : Tier_model.t) ~job_size =
+  job_completion_time_of
+    ~downtime_fraction:(tier_downtime_fraction engine model)
+    model ~job_size
 
 let job_completion_time engine model ~job_size =
   match engine with

@@ -56,6 +56,17 @@ val service_availability : engine -> Tier_model.t list -> Availability.t
 
 val service_annual_downtime : engine -> Tier_model.t list -> Duration.t
 
+val job_completion_time_of :
+  downtime_fraction:float -> Tier_model.t -> job_size:float -> Duration.t
+(** The analytic completion-time formula with the downtime fraction
+    supplied by the caller — bitwise identical to
+    {!job_completion_time} when the fraction is the engine's own
+    [tier_downtime_fraction], which lets the search reuse a cached
+    fraction without re-solving. Not meaningful for [Monte_carlo],
+    whose completion time is simulated rather than derived from the
+    fraction. Raises [Tier_model.Rejected] when the model has no
+    throughput. *)
+
 val job_completion_time :
   engine -> Tier_model.t -> job_size:float -> Duration.t
 (** Expected completion time of a finite job on a single computation

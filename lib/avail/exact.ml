@@ -2,6 +2,7 @@ module Duration = Aved_units.Duration
 module Availability = Aved_reliability.Availability
 module Ctmc = Aved_markov.Ctmc
 module Service = Aved_model.Service
+module Telemetry = Aved_telemetry.Telemetry
 
 (* Classes that occupy the chain: repairs take positive time. Classes
    with zero MTTR repair instantaneously and only contribute transient
@@ -111,9 +112,152 @@ let chain ?(max_states = 20000) (model : Tier_model.t) =
   let _, _, chain, _ = build_chain ~max_states model in
   chain
 
+(* ----- skeleton-cached solving ----- *)
+
+(* The transition STRUCTURE of the multi-mode chain depends only on
+   (j, n_total): a failure transition exists iff the state has room for
+   one more failed resource (n_active ≥ 1 always, so the active count
+   min(n_active, n_total − f) is positive exactly when f < n_total), and
+   a repair transition iff the class has a failed resource. Only the
+   RATES carry the model parameters. So the state enumeration, the index
+   and the transition list are cached per (j, n_total) — and with them a
+   {!Ctmc.Solver} whose compiled sparse structure is updated in place
+   and re-solved warm-started when the next model reuses the shape. *)
+type skeleton_transition = {
+  src : int;
+  dst : int;
+  cls : int;
+  is_repair : bool;
+  mult : int; (* repairs: the class's failed count in [src] *)
+  failed : int; (* failures: total failed resources in [src] *)
+}
+
+type skeleton = {
+  states : int array array;
+  skeleton_transitions : skeleton_transition array;
+  mutable solver : Ctmc.Solver.t option;
+}
+
+let fresh_solves = Atomic.make 0
+let incremental_solves = Atomic.make 0
+let tm_fresh = Telemetry.Counter.make "avail.exact.solve.fresh"
+let tm_incremental = Telemetry.Counter.make "avail.exact.solve.incremental"
+
+type solver_counters = { fresh : int; incremental : int }
+
+let solver_counters () =
+  {
+    fresh = Atomic.get fresh_solves;
+    incremental = Atomic.get incremental_solves;
+  }
+
+let skeleton_cache_key :
+    ((int * int, skeleton) Hashtbl.t) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let reset_solver_cache () =
+  Hashtbl.reset (Domain.DLS.get skeleton_cache_key);
+  Atomic.set fresh_solves 0;
+  Atomic.set incremental_solves 0
+
+let build_skeleton ~j ~n_total =
+  let states = Array.of_list (enumerate_states ~j ~total:n_total) in
+  let index = Hashtbl.create (Array.length states) in
+  Array.iteri (fun i s -> Hashtbl.add index (Array.to_list s) i) states;
+  let lookup s = Hashtbl.find index (Array.to_list s) in
+  let transitions = ref [] in
+  Array.iteri
+    (fun src s ->
+      let f = Array.fold_left ( + ) 0 s in
+      for i = 0 to j - 1 do
+        if f < n_total then begin
+          let target = Array.copy s in
+          target.(i) <- target.(i) + 1;
+          transitions :=
+            {
+              src;
+              dst = lookup target;
+              cls = i;
+              is_repair = false;
+              mult = 0;
+              failed = f;
+            }
+            :: !transitions
+        end;
+        if s.(i) > 0 then begin
+          let target = Array.copy s in
+          target.(i) <- target.(i) - 1;
+          transitions :=
+            {
+              src;
+              dst = lookup target;
+              cls = i;
+              is_repair = true;
+              mult = s.(i);
+              failed = f;
+            }
+            :: !transitions
+        end
+      done)
+    states;
+  {
+    states;
+    skeleton_transitions = Array.of_list (List.rev !transitions);
+    solver = None;
+  }
+
 let solve ~max_states (model : Tier_model.t) =
-  let states, classes, chain, n_total = build_chain ~max_states model in
-  { states; classes; pi = Ctmc.stationary chain; n_total }
+  let n_total = model.n_active + model.n_spare in
+  let classes = Array.of_list (chain_classes model) in
+  let j = Array.length classes in
+  let size = num_states model in
+  if size > max_states then
+    invalid_arg
+      (Printf.sprintf "Exact.downtime_fraction: %d states exceed limit %d"
+         size max_states);
+  let cache = Domain.DLS.get skeleton_cache_key in
+  let entry =
+    match Hashtbl.find_opt cache (j, n_total) with
+    | Some e -> e
+    | None ->
+        let e = build_skeleton ~j ~n_total in
+        Hashtbl.add cache (j, n_total) e;
+        e
+  in
+  (* Same arithmetic as [build_chain]: a failure fires from each of the
+     min(n_active, n_total − f) active resources; a repair per failed
+     resource of the class. *)
+  let rate_of tr =
+    let c = classes.(tr.cls) in
+    if tr.is_repair then float_of_int tr.mult /. Duration.seconds c.mttr
+    else
+      float_of_int (Stdlib.min model.n_active (n_total - tr.failed)) *. c.rate
+  in
+  let pi =
+    match entry.solver with
+    | Some solver ->
+        Array.iter
+          (fun tr ->
+            Ctmc.Solver.update_rate solver ~src:tr.src ~dst:tr.dst
+              ~rate:(rate_of tr))
+          entry.skeleton_transitions;
+        Atomic.incr incremental_solves;
+        if Telemetry.enabled () then Telemetry.Counter.incr tm_incremental;
+        Ctmc.Solver.solve solver
+    | None ->
+        let chain = Ctmc.create (Array.length entry.states) in
+        Array.iter
+          (fun tr ->
+            Ctmc.add_transition chain ~src:tr.src ~dst:tr.dst
+              ~rate:(rate_of tr))
+          entry.skeleton_transitions;
+        let solver = Ctmc.Solver.create chain in
+        entry.solver <- Some solver;
+        Atomic.incr fresh_solves;
+        if Telemetry.enabled () then Telemetry.Counter.incr tm_fresh;
+        Ctmc.Solver.solve solver
+  in
+  { states = entry.states; classes; pi; n_total }
 
 let downtime_fraction ?(max_states = 20000) (model : Tier_model.t) =
   let { states; classes; pi; n_total } = solve ~max_states model in

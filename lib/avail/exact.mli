@@ -38,3 +38,26 @@ val availability :
   ?max_states:int -> Tier_model.t -> Aved_reliability.Availability.t
 
 val annual_downtime : ?max_states:int -> Tier_model.t -> Aved_units.Duration.t
+
+(** {2 Incremental solving}
+
+    The transition structure of the multi-mode chain depends only on the
+    class count and the total resource count, so the engine caches the
+    state enumeration and compiled sparse chain per (j, N) in
+    domain-local storage. A model that reuses a cached shape only
+    rewrites rates in place and re-solves warm-started from the previous
+    stationary vector ({!Aved_markov.Ctmc.Solver}). *)
+
+type solver_counters = {
+  fresh : int;  (** solves that built and compiled a new state space *)
+  incremental : int;  (** solves that reused a cached skeleton *)
+}
+
+val solver_counters : unit -> solver_counters
+(** Process-wide totals, also exported as telemetry counters
+    [avail.exact.solve.fresh] / [avail.exact.solve.incremental]. *)
+
+val reset_solver_cache : unit -> unit
+(** Drops the calling domain's skeleton cache and zeroes the counters —
+    the differential tests use it to compare incremental against
+    from-scratch solves. *)

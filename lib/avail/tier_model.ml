@@ -95,18 +95,18 @@ let compute_n_min ~(option : Model.Service.resource_option) ~design
           in
           search 1)
 
-let repair_time ~infra ~(design : Model.Design.tier_design)
-    (fm : Model.Component.failure_mode) =
+let repair_time ~infra ~settings ~tier_name (fm : Model.Component.failure_mode)
+    =
   match fm.repair with
   | Model.Component.Fixed_repair d -> d
   | Model.Component.Repair_by_mechanism mech_name -> (
       let mech = Model.Infrastructure.mechanism_exn infra mech_name in
-      match Model.Design.setting_of design mech_name with
+      match List.assoc_opt mech_name settings with
       | None ->
           invalid_arg
             (Printf.sprintf
                "Tier_model: design %s lacks a setting for mechanism %s"
-               design.tier_name mech_name)
+               tier_name mech_name)
       | Some setting -> (
           match Model.Mechanism.mttr_of mech setting with
           | Some d -> d
@@ -115,20 +115,69 @@ let repair_time ~infra ~(design : Model.Design.tier_design)
                 (Printf.sprintf "Tier_model: mechanism %s provides no mttr"
                    mech_name)))
 
-let component_loss_window ~infra ~(design : Model.Design.tier_design)
-    (c : Model.Component.t) =
+let component_loss_window ~infra ~settings ~tier_name (c : Model.Component.t) =
   match c.loss_window with
   | Model.Component.No_loss_window -> None
   | Model.Component.Fixed_loss_window d -> Some d
   | Model.Component.Loss_window_by_mechanism mech_name -> (
       let mech = Model.Infrastructure.mechanism_exn infra mech_name in
-      match Model.Design.setting_of design mech_name with
+      match List.assoc_opt mech_name settings with
       | None ->
           invalid_arg
             (Printf.sprintf
                "Tier_model: design %s lacks a setting for mechanism %s"
-               design.tier_name mech_name)
+               tier_name mech_name)
       | Some setting -> Model.Mechanism.loss_window_of mech setting)
+
+(* The failure classes of a resource under fixed mechanism settings and
+   spare-active set. Everything here is independent of the resource
+   counts except [failover_considered], which flips with the presence of
+   spares — hence the [has_spares] parameter, letting the skeleton cache
+   both variants. *)
+let classes_of ~infra ~(resource : Model.Resource.t) ~settings ~tier_name
+    ~spare_active ~has_spares =
+  (* Components inactive in a spare, whose startup makes up failover time. *)
+  let inactive_in_spare =
+    List.filter
+      (fun c -> not (List.mem c spare_active))
+      (Model.Resource.component_names resource)
+  in
+  let failover_base =
+    Duration.add resource.reconfig_time
+      (Model.Resource.startup_time_of resource inactive_in_spare)
+  in
+  List.concat_map
+    (fun (element : Model.Resource.element) ->
+      let c = Model.Infrastructure.component_exn infra element.component in
+      List.map
+        (fun (fm : Model.Component.failure_mode) ->
+          let repair = repair_time ~infra ~settings ~tier_name fm in
+          let restart = Model.Resource.restart_time resource element.component in
+          let mttr = Duration.add fm.detect_time (Duration.add repair restart) in
+          let failover_time = Duration.add fm.detect_time failover_base in
+          {
+            label = element.component ^ "/" ^ fm.mode_name;
+            rate = 1. /. Duration.seconds fm.mtbf;
+            mttr;
+            failover_time;
+            failover_considered =
+              has_spares && Duration.compare mttr failover_time > 0;
+            repair_mechanism =
+              (match fm.repair with
+              | Model.Component.Fixed_repair _ -> None
+              | Model.Component.Repair_by_mechanism mech -> Some mech);
+          })
+        c.failure_modes)
+    resource.elements
+
+let loss_window_of ~infra ~resource ~settings ~tier_name =
+  List.fold_left
+    (fun acc c ->
+      match (acc, component_loss_window ~infra ~settings ~tier_name c) with
+      | None, lw | lw, None -> lw
+      | Some a, Some b -> Some (Duration.max a b))
+    None
+    (Model.Infrastructure.resource_components infra resource)
 
 let build ~infra ~(option : Model.Service.resource_option)
     ~(design : Model.Design.tier_design) ~demand =
@@ -139,53 +188,14 @@ let build ~infra ~(option : Model.Service.resource_option)
   let resource = Model.Infrastructure.resource_exn infra design.resource in
   let n_active = design.n_active in
   let n_min = compute_n_min ~option ~design ~demand in
-  (* Components inactive in a spare, whose startup makes up failover time. *)
-  let inactive_in_spare =
-    List.filter
-      (fun c -> not (List.mem c design.spare_active_components))
-      (Model.Resource.component_names resource)
-  in
-  let failover_base =
-    Duration.add resource.reconfig_time
-      (Model.Resource.startup_time_of resource inactive_in_spare)
-  in
   let classes =
-    List.concat_map
-      (fun (element : Model.Resource.element) ->
-        let c = Model.Infrastructure.component_exn infra element.component in
-        List.map
-          (fun (fm : Model.Component.failure_mode) ->
-            let repair = repair_time ~infra ~design fm in
-            let restart =
-              Model.Resource.restart_time resource element.component
-            in
-            let mttr =
-              Duration.add fm.detect_time (Duration.add repair restart)
-            in
-            let failover_time = Duration.add fm.detect_time failover_base in
-            {
-              label = element.component ^ "/" ^ fm.mode_name;
-              rate = 1. /. Duration.seconds fm.mtbf;
-              mttr;
-              failover_time;
-              failover_considered =
-                design.n_spare > 0 && Duration.compare mttr failover_time > 0;
-              repair_mechanism =
-                (match fm.repair with
-                | Model.Component.Fixed_repair _ -> None
-                | Model.Component.Repair_by_mechanism mech -> Some mech);
-            })
-          c.failure_modes)
-      resource.elements
+    classes_of ~infra ~resource ~settings:design.mechanism_settings
+      ~tier_name:design.tier_name ~spare_active:design.spare_active_components
+      ~has_spares:(design.n_spare > 0)
   in
   let loss_window =
-    List.fold_left
-      (fun acc c ->
-        match (acc, component_loss_window ~infra ~design c) with
-        | None, lw | lw, None -> lw
-        | Some a, Some b -> Some (Duration.max a b))
-      None
-      (Model.Infrastructure.resource_components infra resource)
+    loss_window_of ~infra ~resource ~settings:design.mechanism_settings
+      ~tier_name:design.tier_name
   in
   let effective_performance =
     effective_perf ~option ~design ~n:n_active
@@ -205,6 +215,166 @@ let build ~infra ~(option : Model.Service.resource_option)
     loss_window;
     effective_performance;
   }
+
+(* A tier model factored by what actually varies inside the inner search
+   loop. For one (option, mechanism settings, spare-active set) the
+   failure classes, loss window, per-resource costs and the effective
+   performance curve are all fixed; only the resource counts (n, s) and
+   the derived m change per candidate. [make] does the expensive
+   derivations once; [instantiate] replays [build]'s arithmetic on the
+   cached pieces — same operations in the same order, so the resulting
+   model is bitwise identical to a fresh [build], including the
+   [Rejected] messages. *)
+module Skeleton = struct
+  module Money = Aved_units.Money
+
+  type tier = t
+
+  (* What [instantiate]'s linear scan for the minimum m has established
+     about a demand so far: either the smallest count that meets it —
+     minimal over ALL counts, since the scan always starts at 1 — or
+     that no count up to the recorded bound does. *)
+  type dynamic_min = Found of int | Exhausted_below of int
+
+  type t = {
+    tier_name : string;
+    option : Model.Service.resource_option;
+    settings : (string * Model.Mechanism.setting) list;
+    candidates : int list; (* the option's nActive range, ascending *)
+    eff : (int, float) Hashtbl.t; (* n -> effective performance *)
+    n_min : (float, int option) Hashtbl.t; (* demand -> minimum actives *)
+    n_min_dynamic : (float, dynamic_min) Hashtbl.t;
+        (* demand -> progress of [instantiate]'s m-derivation, which
+           scans every count from 1 (not just the option's range). *)
+    classes_spare : failure_class list;
+    classes_nospare : failure_class list;
+    loss_window : Duration.t option;
+    active_cost : Money.t; (* annual cost of one active resource *)
+    spare_cost : Money.t; (* annual cost of one spare resource *)
+  }
+
+  let make ~infra ~tier_name ~(option : Model.Service.resource_option)
+      ~settings ~spare_active =
+    let resource = Model.Infrastructure.resource_exn infra option.resource in
+    let active_cost, spare_cost =
+      Model.Design.resource_costs infra ~tier_name ~resource:option.resource
+        ~mechanism_settings:settings ~spare_active_components:spare_active
+    in
+    {
+      tier_name;
+      option;
+      settings;
+      candidates = Model.Int_range.to_list option.n_active;
+      eff = Hashtbl.create 8;
+      n_min = Hashtbl.create 8;
+      n_min_dynamic = Hashtbl.create 8;
+      classes_spare =
+        classes_of ~infra ~resource ~settings ~tier_name ~spare_active
+          ~has_spares:true;
+      classes_nospare =
+        classes_of ~infra ~resource ~settings ~tier_name ~spare_active
+          ~has_spares:false;
+      loss_window = loss_window_of ~infra ~resource ~settings ~tier_name;
+      active_cost;
+      spare_cost;
+    }
+
+  let effective_performance skel ~n =
+    match Hashtbl.find_opt skel.eff n with
+    | Some v -> v
+    | None ->
+        let v =
+          effective_performance_of ~option:skel.option ~settings:skel.settings
+            ~n
+        in
+        Hashtbl.add skel.eff n v;
+        v
+
+  let minimum_actives skel ~demand =
+    match Hashtbl.find_opt skel.n_min demand with
+    | Some answer -> answer
+    | None ->
+        let answer =
+          List.find_opt
+            (fun n -> n > 0 && effective_performance skel ~n >= demand)
+            skel.candidates
+        in
+        Hashtbl.add skel.n_min demand answer;
+        answer
+
+  let tier_cost skel ~n_active ~n_spare =
+    Money.add
+      (Money.scale (float_of_int n_active) skel.active_cost)
+      (Money.scale (float_of_int n_spare) skel.spare_cost)
+
+  let classes skel ~spares =
+    if spares then skel.classes_spare else skel.classes_nospare
+
+  let failure_scope skel = skel.option.Model.Service.failure_scope
+
+  let instantiate skel ~n_active ~n_spare ~demand : tier =
+    let n_min =
+      match (skel.option.sizing, skel.option.failure_scope) with
+      | Model.Service.Static, _ | _, Model.Service.Tier_scope -> n_active
+      | Model.Service.Dynamic, Model.Service.Resource_scope -> (
+          match demand with
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Tier_model: tier %s needs a throughput requirement to \
+                    derive m"
+                   skel.tier_name)
+          | Some demand -> (
+              let reject_at_bound () =
+                reject "Tier_model: tier %s cannot deliver %g with %d resources"
+                  skel.tier_name demand n_active
+              in
+              let rec search k =
+                if k > n_active then begin
+                  Hashtbl.replace skel.n_min_dynamic demand
+                    (Exhausted_below n_active);
+                  reject_at_bound ()
+                end
+                else if effective_performance skel ~n:k >= demand then begin
+                  Hashtbl.replace skel.n_min_dynamic demand (Found k);
+                  k
+                end
+                else search (k + 1)
+              in
+              (* The scan is monotone in k, so earlier answers transfer:
+                 a [Found] below the current bound is THE minimum, a
+                 [Found] above it or an exhausted prefix covering the
+                 bound means rejection, and a shorter exhausted prefix
+                 lets the scan resume where it stopped. Skipped
+                 re-evaluations are memoized pure lookups, so the
+                 outcome — including the rejection message, which quotes
+                 the current bound — is bitwise unchanged. *)
+              match Hashtbl.find_opt skel.n_min_dynamic demand with
+              | Some (Found k) when k <= n_active -> k
+              | Some (Found _) -> reject_at_bound ()
+              | Some (Exhausted_below bound) ->
+                  if n_active <= bound then reject_at_bound ()
+                  else search (bound + 1)
+              | None -> search 1))
+    in
+    let effective_performance = effective_performance skel ~n:n_active in
+    (match demand with
+    | Some d when effective_performance < d ->
+        reject
+          "Tier_model: tier %s delivers %g < required %g with %d resources"
+          skel.tier_name effective_performance d n_active
+    | Some _ | None -> ());
+    {
+      tier_name = skel.tier_name;
+      n_active;
+      n_min;
+      n_spare;
+      failure_scope = skel.option.failure_scope;
+      classes = (if n_spare > 0 then skel.classes_spare else skel.classes_nospare);
+      loss_window = skel.loss_window;
+      effective_performance;
+    }
+end
 
 let pp ppf t =
   Format.fprintf ppf

@@ -103,3 +103,51 @@ val minimum_actives :
   int option
 (** The smallest admissible member of the option's [nActive] range whose
     effective performance meets [demand]. *)
+
+(** A tier model factored for the search's inner loop. For one (resource
+    option, mechanism settings, spare-active set), the failure classes,
+    loss window, effective-performance curve and per-resource costs are
+    all independent of the candidate's resource counts; {!Skeleton.make}
+    derives them once and {!Skeleton.instantiate} replays {!build}'s
+    remaining arithmetic per (n, s). The instantiated model — and any
+    {!Rejected} it raises — is bitwise identical to a fresh {!build} of
+    the corresponding design. *)
+module Skeleton : sig
+  type tier = t
+  type t
+
+  val make :
+    infra:Aved_model.Infrastructure.t ->
+    tier_name:string ->
+    option:Aved_model.Service.resource_option ->
+    settings:(string * Aved_model.Mechanism.setting) list ->
+    spare_active:string list ->
+    t
+  (** One-time derivation. Raises [Invalid_argument] on malformed inputs
+      (dangling references, missing mechanism settings) — the same cases
+      where {!build} would. *)
+
+  val effective_performance : t -> n:int -> float
+  (** Memoized {!effective_performance_of} at [n] active resources. *)
+
+  val minimum_actives : t -> demand:float -> int option
+  (** As the top-level {!minimum_actives}, against the memoized curve. *)
+
+  val tier_cost : t -> n_active:int -> n_spare:int -> Aved_units.Money.t
+  (** Bitwise identical to [Design.tier_cost] of the corresponding
+      design. *)
+
+  val classes : t -> spares:bool -> failure_class list
+  (** The failure classes an instantiated model carries when it has
+      (resp. has not) spares. Together with {!failure_scope} and the
+      counts (n, m, s) these determine the deterministic engines'
+      downtime fraction completely — the same factoring {!Aved_avail}'s
+      global memo keys on — so callers may share downtime caches across
+      skeletons whose classes and scope are equal. *)
+
+  val failure_scope : t -> Aved_model.Service.failure_scope
+
+  val instantiate : t -> n_active:int -> n_spare:int -> demand:float option -> tier
+  (** The tier model at the given resource counts. Raises {!Rejected}
+      exactly as {!build} does (same messages, same precedence). *)
+end

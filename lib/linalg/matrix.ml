@@ -1,5 +1,14 @@
-type t = { rows : int; cols : int; data : float array }
-(* Row-major storage: element (i, j) lives at [i * cols + j]. *)
+(* Row-major storage in a flat float64 bigarray: element (i, j) lives
+   at [i * cols + j]. Unboxed access, C-compatible layout, and the
+   in-place kernels below make the steady path of the Markov solvers
+   allocation-free when paired with a {!Workspace}. *)
+
+type ba = Workspace.floats
+
+type t = { rows : int; cols : int; data : ba }
+
+let ba_create n : ba =
+  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
 
 let check_dims rows cols =
   if rows <= 0 || cols <= 0 then
@@ -7,11 +16,18 @@ let check_dims rows cols =
 
 let create rows cols v =
   check_dims rows cols;
-  { rows; cols; data = Array.make (rows * cols) v }
+  let data = ba_create (rows * cols) in
+  Bigarray.Array1.fill data v;
+  { rows; cols; data }
 
 let init rows cols f =
   check_dims rows cols;
-  let data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) in
+  let data = ba_create (rows * cols) in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      Bigarray.Array1.unsafe_set data ((i * cols) + j) (f i j)
+    done
+  done;
   { rows; cols; data }
 
 let identity n = init n n (fun i j -> if i = j then 1. else 0.)
@@ -28,9 +44,6 @@ let of_rows rows_arr =
     rows_arr;
   init rows cols (fun i j -> rows_arr.(i).(j))
 
-let to_rows m =
-  Array.init m.rows (fun i -> Array.sub m.data (i * m.cols) m.cols)
-
 let rows m = m.rows
 let cols m = m.cols
 
@@ -41,30 +54,76 @@ let check_bounds m i j =
 
 let get m i j =
   check_bounds m i j;
-  m.data.((i * m.cols) + j)
+  Bigarray.Array1.get m.data ((i * m.cols) + j)
 
 let set m i j v =
   check_bounds m i j;
-  m.data.((i * m.cols) + j) <- v
+  Bigarray.Array1.set m.data ((i * m.cols) + j) v
 
-let unsafe_get m i j = Array.unsafe_get m.data ((i * m.cols) + j)
-let unsafe_set m i j v = Array.unsafe_set m.data ((i * m.cols) + j) v
-let copy m = { m with data = Array.copy m.data }
+let unsafe_get m i j = Bigarray.Array1.unsafe_get m.data ((i * m.cols) + j)
+
+let unsafe_set m i j v =
+  Bigarray.Array1.unsafe_set m.data ((i * m.cols) + j) v
+
+let to_rows m = Array.init m.rows (fun i -> Array.init m.cols (unsafe_get m i))
+
+let copy m =
+  let data = ba_create (m.rows * m.cols) in
+  Bigarray.Array1.blit m.data data;
+  { m with data }
+
 let transpose m = init m.cols m.rows (fun i j -> unsafe_get m j i)
 
 let check_same m a =
   if m.rows <> a.rows || m.cols <> a.cols then
     invalid_arg "Matrix: shape mismatch"
 
+let map2_into dst f a b =
+  for k = 0 to (a.rows * a.cols) - 1 do
+    Bigarray.Array1.unsafe_set dst.data k
+      (f
+         (Bigarray.Array1.unsafe_get a.data k)
+         (Bigarray.Array1.unsafe_get b.data k))
+  done
+
 let add m a =
   check_same m a;
-  { m with data = Array.mapi (fun k x -> x +. a.data.(k)) m.data }
+  let out = { m with data = ba_create (m.rows * m.cols) } in
+  map2_into out ( +. ) m a;
+  out
 
 let sub m a =
   check_same m a;
-  { m with data = Array.mapi (fun k x -> x -. a.data.(k)) m.data }
+  let out = { m with data = ba_create (m.rows * m.cols) } in
+  map2_into out ( -. ) m a;
+  out
 
-let scale k m = { m with data = Array.map (fun x -> k *. x) m.data }
+let scale k m =
+  let out = { m with data = ba_create (m.rows * m.cols) } in
+  for i = 0 to (m.rows * m.cols) - 1 do
+    Bigarray.Array1.unsafe_set out.data i
+      (k *. Bigarray.Array1.unsafe_get m.data i)
+  done;
+  out
+
+(* In-place element-wise kernels; [dst] may alias either operand. *)
+
+let add_into ~dst m a =
+  check_same m a;
+  check_same m dst;
+  map2_into dst ( +. ) m a
+
+let sub_into ~dst m a =
+  check_same m a;
+  check_same m dst;
+  map2_into dst ( -. ) m a
+
+let scale_into ~dst k m =
+  check_same m dst;
+  for i = 0 to (m.rows * m.cols) - 1 do
+    Bigarray.Array1.unsafe_set dst.data i
+      (k *. Bigarray.Array1.unsafe_get m.data i)
+  done
 
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Matrix.mul: shape mismatch";
@@ -98,60 +157,79 @@ let vec_mul x a =
       done;
       !acc)
 
+let mul_vec_into a x ~dst =
+  if a.cols <> Array.length x then
+    invalid_arg "Matrix.mul_vec_into: shape mismatch";
+  if a.rows <> Array.length dst then
+    invalid_arg "Matrix.mul_vec_into: result dimension mismatch";
+  (* Alias-safe: when [dst] is [x] itself, stage the product in the
+     domain workspace before writing it back. *)
+  let out =
+    if dst == x then Workspace.float_array (Workspace.domain ()) a.rows
+    else dst
+  in
+  for i = 0 to a.rows - 1 do
+    let acc = ref 0. in
+    for j = 0 to a.cols - 1 do
+      acc := !acc +. (unsafe_get a i j *. x.(j))
+    done;
+    out.(i) <- !acc
+  done;
+  if out != dst then Array.blit out 0 dst 0 a.rows
+
 exception Singular
 
-type lu = { factors : t; pivots : int array; sign : float }
-
-let lu_decompose m =
-  if m.rows <> m.cols then invalid_arg "Matrix.lu_decompose: not square";
-  let n = m.rows in
-  let a = copy m in
-  let pivots = Array.init n (fun i -> i) in
-  let sign = ref 1. in
+(* LU factorization with partial pivoting over a flat buffer, recording
+   the row swapped with [k] at step [k] (LAPACK-style ipiv). Shared by
+   the allocating and the in-place entry points so they are bitwise
+   interchangeable. A non-finite pivot column (NaN/inf input) raises
+   {!Singular} rather than silently propagating NaNs. *)
+let factor_flat (a : ba) n (ipiv : int array) =
   for k = 0 to n - 1 do
     (* Partial pivoting: bring the largest remaining entry into (k,k). *)
     let best = ref k in
-    let best_mag = ref (Float.abs (unsafe_get a k k)) in
+    let best_mag =
+      ref (Float.abs (Bigarray.Array1.unsafe_get a ((k * n) + k)))
+    in
     for i = k + 1 to n - 1 do
-      let mag = Float.abs (unsafe_get a i k) in
+      let mag = Float.abs (Bigarray.Array1.unsafe_get a ((i * n) + k)) in
       if mag > !best_mag then begin
         best := i;
         best_mag := mag
       end
     done;
-    if !best_mag = 0. then raise Singular;
+    if !best_mag = 0. || not (Float.is_finite !best_mag) then raise Singular;
+    ipiv.(k) <- !best;
     if !best <> k then begin
+      let rk = k * n and rb = !best * n in
       for j = 0 to n - 1 do
-        let tmp = unsafe_get a k j in
-        unsafe_set a k j (unsafe_get a !best j);
-        unsafe_set a !best j tmp
-      done;
-      let tmp = pivots.(k) in
-      pivots.(k) <- pivots.(!best);
-      pivots.(!best) <- tmp;
-      sign := -. !sign
+        let tmp = Bigarray.Array1.unsafe_get a (rk + j) in
+        Bigarray.Array1.unsafe_set a (rk + j)
+          (Bigarray.Array1.unsafe_get a (rb + j));
+        Bigarray.Array1.unsafe_set a (rb + j) tmp
+      done
     end;
-    let pivot = unsafe_get a k k in
+    let pivot = Bigarray.Array1.unsafe_get a ((k * n) + k) in
     for i = k + 1 to n - 1 do
-      let factor = unsafe_get a i k /. pivot in
-      unsafe_set a i k factor;
+      let factor = Bigarray.Array1.unsafe_get a ((i * n) + k) /. pivot in
+      Bigarray.Array1.unsafe_set a ((i * n) + k) factor;
       if factor <> 0. then
         for j = k + 1 to n - 1 do
-          unsafe_set a i j (unsafe_get a i j -. (factor *. unsafe_get a k j))
+          Bigarray.Array1.unsafe_set a ((i * n) + j)
+            (Bigarray.Array1.unsafe_get a ((i * n) + j)
+            -. (factor *. Bigarray.Array1.unsafe_get a ((k * n) + j)))
         done
     done
-  done;
-  { factors = a; pivots; sign = !sign }
+  done
 
-let lu_solve { factors; pivots; _ } b =
-  let n = factors.rows in
-  if Array.length b <> n then invalid_arg "Matrix.lu_solve: shape mismatch";
-  let x = Array.init n (fun i -> b.(pivots.(i))) in
+(* Triangular solves against factors in a flat buffer, overwriting [x]
+   (which must already be permuted per the factorization's swaps). *)
+let substitute_flat (a : ba) n (x : float array) =
   (* Forward substitution with the unit lower triangle. *)
   for i = 1 to n - 1 do
     let acc = ref x.(i) in
     for j = 0 to i - 1 do
-      acc := !acc -. (unsafe_get factors i j *. x.(j))
+      acc := !acc -. (Bigarray.Array1.unsafe_get a ((i * n) + j) *. x.(j))
     done;
     x.(i) <- !acc
   done;
@@ -159,15 +237,80 @@ let lu_solve { factors; pivots; _ } b =
   for i = n - 1 downto 0 do
     let acc = ref x.(i) in
     for j = i + 1 to n - 1 do
-      acc := !acc -. (unsafe_get factors i j *. x.(j))
+      acc := !acc -. (Bigarray.Array1.unsafe_get a ((i * n) + j) *. x.(j))
     done;
-    let pivot = unsafe_get factors i i in
+    let pivot = Bigarray.Array1.unsafe_get a ((i * n) + i) in
     if pivot = 0. then raise Singular;
     x.(i) <- !acc /. pivot
+  done
+
+let apply_swaps (ipiv : int array) n (x : float array) =
+  for k = 0 to n - 1 do
+    let p = ipiv.(k) in
+    if p <> k then begin
+      let tmp = x.(k) in
+      x.(k) <- x.(p);
+      x.(p) <- tmp
+    end
+  done
+
+type lu = { factors : t; pivots : int array; sign : float }
+
+let lu_decompose m =
+  if m.rows <> m.cols then invalid_arg "Matrix.lu_decompose: not square";
+  let n = m.rows in
+  let a = copy m in
+  let ipiv = Array.make n 0 in
+  factor_flat a.data n ipiv;
+  (* Fold the swap sequence into a permutation and its sign. *)
+  let pivots = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    if ipiv.(k) <> k then begin
+      let tmp = pivots.(k) in
+      pivots.(k) <- pivots.(ipiv.(k));
+      pivots.(ipiv.(k)) <- tmp;
+      sign := -. !sign
+    end
   done;
+  { factors = a; pivots; sign = !sign }
+
+let lu_solve { factors; pivots; _ } b =
+  let n = factors.rows in
+  if Array.length b <> n then invalid_arg "Matrix.lu_solve: shape mismatch";
+  let x = Array.init n (fun i -> b.(pivots.(i))) in
+  substitute_flat factors.data n x;
   x
 
+let lu_factor_in_place m ~pivots =
+  if m.rows <> m.cols then invalid_arg "Matrix.lu_factor_in_place: not square";
+  if Array.length pivots <> m.rows then
+    invalid_arg "Matrix.lu_factor_in_place: pivot array dimension mismatch";
+  factor_flat m.data m.rows pivots
+
+let lu_solve_in_place m ~pivots b =
+  let n = m.rows in
+  if Array.length b <> n then
+    invalid_arg "Matrix.lu_solve_in_place: shape mismatch";
+  apply_swaps pivots n b;
+  substitute_flat m.data n b
+
 let solve a b = lu_solve (lu_decompose a) b
+
+(* Like {!solve} but staging the factorization in [ws], so repeated
+   solves of same-sized systems allocate only the result vector. *)
+let solve_ws ws a b =
+  if a.rows <> a.cols then invalid_arg "Matrix.solve: not square";
+  let n = a.rows in
+  if Array.length b <> n then invalid_arg "Matrix.solve: shape mismatch";
+  let buf = Workspace.floats ws (n * n) in
+  Bigarray.Array1.blit a.data buf;
+  let ipiv = Workspace.ints ws n in
+  factor_flat buf n ipiv;
+  let x = Array.copy b in
+  apply_swaps ipiv n x;
+  substitute_flat buf n x;
+  x
 
 let solve_many a bs =
   let lu = lu_decompose a in
@@ -200,7 +343,17 @@ let residual_inf a x b = Vector.norm_inf (Vector.sub (mul_vec a x) b)
 
 let equal ?(tol = 0.) a b =
   a.rows = b.rows && a.cols = b.cols
-  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a.data b.data
+  &&
+  let n = a.rows * a.cols in
+  let rec go k =
+    k >= n
+    || Float.abs
+         (Bigarray.Array1.unsafe_get a.data k
+         -. Bigarray.Array1.unsafe_get b.data k)
+       <= tol
+       && go (k + 1)
+  in
+  go 0
 
 let pp ppf m =
   Format.fprintf ppf "@[<v>";

@@ -1,7 +1,10 @@
 (** Dense float matrices with LU-based solvers.
 
     This is the numeric substrate for the Markov engine: solving linear
-    systems for stationary distributions and mean times to absorption. *)
+    systems for stationary distributions and mean times to absorption.
+    Storage is a flat row-major [float64] bigarray; the [_into] and
+    [_in_place] kernels below, combined with a {!Workspace}, keep the
+    hot solve paths free of per-call allocation. *)
 
 type t
 
@@ -21,6 +24,13 @@ val transpose : t -> t
 val add : t -> t -> t
 val sub : t -> t -> t
 val scale : float -> t -> t
+
+val add_into : dst:t -> t -> t -> unit
+(** [add_into ~dst a b] stores [a + b] in [dst]; [dst] may alias either
+    operand. *)
+
+val sub_into : dst:t -> t -> t -> unit
+val scale_into : dst:t -> float -> t -> unit
 val mul : t -> t -> t
 val mul_vec : t -> Vector.t -> Vector.t
 (** [mul_vec a x] is [a x]. *)
@@ -28,8 +38,14 @@ val mul_vec : t -> Vector.t -> Vector.t
 val vec_mul : Vector.t -> t -> Vector.t
 (** [vec_mul x a] is [xᵀ a], as a vector. *)
 
+val mul_vec_into : t -> Vector.t -> dst:Vector.t -> unit
+(** [mul_vec_into a x ~dst] stores [a x] in [dst]. Alias-safe: when
+    [dst == x] the product is staged in the domain workspace. *)
+
 exception Singular
-(** Raised by the solvers when the matrix is (numerically) singular. *)
+(** Raised by the solvers when the matrix is (numerically) singular —
+    including a pivot column that is NaN or infinite, so malformed
+    inputs fail cleanly instead of propagating NaNs. *)
 
 type lu
 (** An LU factorization with partial pivoting. *)
@@ -39,8 +55,24 @@ val lu_decompose : t -> lu
 
 val lu_solve : lu -> Vector.t -> Vector.t
 
+val lu_factor_in_place : t -> pivots:int array -> unit
+(** Factors the matrix in place (unit lower + upper triangle packed in
+    the storage), recording at [pivots.(k)] the row swapped with [k] at
+    step [k]. [pivots] must have length [rows]. Raises {!Singular};
+    bitwise-identical factors to {!lu_decompose}. *)
+
+val lu_solve_in_place : t -> pivots:int array -> Vector.t -> unit
+(** Solves against factors produced by {!lu_factor_in_place},
+    overwriting the right-hand side with the solution. Allocation-free.
+    Raises {!Singular} on a zero pivot. *)
+
 val solve : t -> Vector.t -> Vector.t
 (** [solve a b] returns [x] with [a x = b]. Raises {!Singular}. *)
+
+val solve_ws : Workspace.t -> t -> Vector.t -> Vector.t
+(** {!solve}, staging the factorization in the given workspace instead
+    of allocating: bitwise the same solution, and only the result
+    vector is freshly allocated. *)
 
 val solve_many : t -> Vector.t list -> Vector.t list
 (** Factorizes once and solves each right-hand side. *)

@@ -1,0 +1,48 @@
+type floats =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  mutable floats : floats;
+  mutable float_array : float array;
+  mutable ints : int array;
+}
+
+let create () =
+  {
+    floats = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 0;
+    float_array = [||];
+    ints = [||];
+  }
+
+let key = Domain.DLS.new_key create
+let domain () = Domain.DLS.get key
+
+(* Geometric growth so a sequence of increasing requests settles after
+   O(log n) reallocations. *)
+let grown_capacity current requested =
+  let c = Stdlib.max 16 current in
+  let rec go c = if c >= requested then c else go (2 * c) in
+  go c
+
+let floats t n =
+  if n < 0 then invalid_arg "Workspace.floats: negative size";
+  if Bigarray.Array1.dim t.floats < n then
+    t.floats <-
+      Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
+        (grown_capacity (Bigarray.Array1.dim t.floats) n);
+  Bigarray.Array1.sub t.floats 0 n
+
+let float_array t n =
+  if n < 0 then invalid_arg "Workspace.float_array: negative size";
+  if Array.length t.float_array < n then
+    t.float_array <-
+      Array.make (grown_capacity (Array.length t.float_array) n) 0.;
+  t.float_array
+
+let ints t n =
+  if n < 0 then invalid_arg "Workspace.ints: negative size";
+  if Array.length t.ints < n then
+    t.ints <- Array.make (grown_capacity (Array.length t.ints) n) 0;
+  t.ints
+
+let floats_capacity t = Bigarray.Array1.dim t.floats

@@ -1,0 +1,44 @@
+(** Reusable scratch memory for the numeric kernels.
+
+    A workspace owns growable buffers — a flat [float64] bigarray, a
+    plain float array and an int array — that the dense and sparse
+    solvers borrow instead of allocating per call. Buffers only ever
+    grow (geometrically), so a steady-state workload such as candidate
+    evaluation settles into an allocation-free loop.
+
+    A workspace is not reentrant: each [floats]/[float_array]/[ints]
+    call hands out (a prefix of) the same backing buffer, so a kernel
+    must be done with its scratch before the next kernel borrows from
+    the same workspace. Kernels that need several disjoint regions
+    request one buffer and slice it themselves. Workspaces are not
+    thread-safe either; use {!domain} for a per-domain instance. *)
+
+type t
+
+type floats =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : unit -> t
+(** A fresh workspace with empty buffers. *)
+
+val domain : unit -> t
+(** The calling domain's workspace (domain-local storage) — the default
+    scratch space of the solvers. *)
+
+val floats : t -> int -> floats
+(** [floats ws n] is a scratch bigarray of exactly [n] floats (a view
+    of the backing buffer). Contents are unspecified — kernels must
+    initialize what they read. Invalidated by the next [floats] call
+    on [ws]. *)
+
+val float_array : t -> int -> float array
+(** Like {!floats} but a plain float array of length at least [n]
+    (the same backing array is returned while it is big enough, so its
+    physical length may exceed [n]). *)
+
+val ints : t -> int -> int array
+(** Like {!float_array} for ints. *)
+
+val floats_capacity : t -> int
+(** Current capacity of the bigarray buffer, in floats — exposed so
+    tests can assert that reuse does not reallocate. *)

@@ -1,12 +1,17 @@
 module Matrix = Aved_linalg.Matrix
 module Vector = Aved_linalg.Vector
+module Workspace = Aved_linalg.Workspace
 module Telemetry = Aved_telemetry.Telemetry
 
 let gth_solves = Telemetry.Counter.make "markov.gth.solves"
 let gth_seconds = Telemetry.Histogram.make "markov.gth.seconds"
+let banded_solves = Telemetry.Counter.make "markov.banded.solves"
+let power_solves = Telemetry.Counter.make "markov.power.solves"
 let lu_solves = Telemetry.Counter.make "markov.lu.solves"
 let lu_seconds = Telemetry.Histogram.make "markov.lu.seconds"
 let solve_states = Telemetry.Histogram.make "markov.solve.states"
+
+exception Non_ergodic of string
 
 type t = {
   n : int;
@@ -56,31 +61,89 @@ let generator t =
   done;
   q
 
+let compile t = Sparse.of_adjacency ~n:t.n t.rates
+
+(* Ergodicity precheck shared by every stationary solver. A chain is
+   accepted when every state reachable from state 0 can also return to
+   it: then state 0's communicating class is the unique closed class and
+   the stationary distribution is well defined, with probability 0 on
+   any states outside it (harmless unreachable islands are tolerated —
+   they carry no mass). Probability escaping into a trap is rejected
+   with {!Non_ergodic} before any arithmetic runs, so all backends fail
+   the same way on the same chains. *)
+let check_ergodic csr =
+  let n = Sparse.num_states csr in
+  let queue = Queue.create () in
+  let forward = Array.make n false in
+  forward.(0) <- true;
+  Queue.add 0 queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    Sparse.iter_row csr s (fun ~dst ~rate:_ ->
+        if not forward.(dst) then begin
+          forward.(dst) <- true;
+          Queue.add dst queue
+        end)
+  done;
+  let rev = Array.make n [] in
+  Sparse.iter csr (fun ~src ~dst ~rate:_ -> rev.(dst) <- src :: rev.(dst));
+  let reverse = Array.make n false in
+  reverse.(0) <- true;
+  Queue.add 0 queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun src ->
+        if not reverse.(src) then begin
+          reverse.(src) <- true;
+          Queue.add src queue
+        end)
+      rev.(s)
+  done;
+  for s = 0 to n - 1 do
+    if forward.(s) && not reverse.(s) then
+      raise
+        (Non_ergodic
+           (Printf.sprintf
+              "Ctmc: state %d is reachable from state 0 but cannot return to \
+               it (probability is trapped outside the recurrent class)"
+              s))
+  done
+
 (* Grassmann–Taksar–Heyman elimination on the rate matrix. States are
    eliminated from the highest index down; the algorithm uses only
    additions, multiplications and divisions of non-negative quantities,
    which keeps it stable even for stiff chains (rates spanning many
    orders of magnitude, as with hardware MTBFs in days vs. failover
-   times in seconds). *)
-let gth_kernel t =
-  let n = t.n in
-  let q = Array.make_matrix n n 0. in
-  for s = 0 to n - 1 do
-    Hashtbl.iter (fun dst rate -> q.(s).(dst) <- q.(s).(dst) +. rate) t.rates.(s)
-  done;
-  let exit_sums = Array.make n 0. in
+   times in seconds). The working triangle lives in the per-domain
+   workspace, so repeated solves allocate only the result vector. *)
+let gth_csr csr =
+  let n = Sparse.num_states csr in
+  let ws = Workspace.domain () in
+  let q = Workspace.floats ws (n * n) in
+  Bigarray.Array1.fill q 0.;
+  Sparse.iter csr (fun ~src ~dst ~rate ->
+      Bigarray.Array1.unsafe_set q ((src * n) + dst) rate);
+  let exit_sums = Workspace.float_array ws n in
   for k = n - 1 downto 1 do
     let s = ref 0. in
+    let base_k = k * n in
     for j = 0 to k - 1 do
-      s := !s +. q.(k).(j)
+      s := !s +. Bigarray.Array1.unsafe_get q (base_k + j)
     done;
     exit_sums.(k) <- !s;
     if !s > 0. then
       for i = 0 to k - 1 do
-        let qik = q.(i).(k) in
+        let base_i = i * n in
+        let qik = Bigarray.Array1.unsafe_get q (base_i + k) in
         if qik > 0. then
           for j = 0 to k - 1 do
-            if j <> i then q.(i).(j) <- q.(i).(j) +. (qik *. q.(k).(j) /. !s)
+            if j <> i then
+              Bigarray.Array1.unsafe_set q (base_i + j)
+                (Bigarray.Array1.unsafe_get q (base_i + j)
+                +. qik
+                   *. Bigarray.Array1.unsafe_get q (base_k + j)
+                   /. !s)
           done
       done
   done;
@@ -89,22 +152,187 @@ let gth_kernel t =
   for k = 1 to n - 1 do
     let inflow = ref 0. in
     for i = 0 to k - 1 do
-      inflow := !inflow +. (pi.(i) *. q.(i).(k))
+      inflow := !inflow +. (pi.(i) *. Bigarray.Array1.unsafe_get q ((i * n) + k))
     done;
     if exit_sums.(k) > 0. then pi.(k) <- !inflow /. exit_sums.(k)
     else if !inflow > 0. then
-      invalid_arg "Ctmc.stationary_gth: reducible chain (closed class apart)"
+      raise (Non_ergodic "Ctmc.stationary_gth: reducible chain (closed class apart)")
     else pi.(k) <- 0.
   done;
   Vector.normalize_1 pi
 
-let stationary_gth t =
-  if Telemetry.enabled () then begin
-    Telemetry.Counter.incr gth_solves;
-    Telemetry.Histogram.observe solve_states (float_of_int t.n);
-    Telemetry.Histogram.time gth_seconds (fun () -> gth_kernel t)
+(* Banded variant: with half-bandwidth [b] (every transition satisfies
+   |src − dst| ≤ b), elimination of state k only touches rows and
+   columns in [k − b, k − 1], so fill-in never leaves the band and the
+   working set is n·(2b+1) instead of n². Every operation the dense
+   kernel performs outside the band is an addition of exactly +0.0 to a
+   non-negative value, so the result is bitwise identical to
+   {!gth_csr}. *)
+let gth_banded_csr csr ~half_bandwidth:b =
+  let n = Sparse.num_states csr in
+  let w = (2 * b) + 1 in
+  let ws = Workspace.domain () in
+  let q = Workspace.floats ws (n * w) in
+  Bigarray.Array1.fill q 0.;
+  (* Entry (i, j) lives at i·w + (j − i + b). *)
+  Sparse.iter csr (fun ~src ~dst ~rate ->
+      Bigarray.Array1.unsafe_set q ((src * w) + (dst - src + b)) rate);
+  let exit_sums = Workspace.float_array ws n in
+  for k = n - 1 downto 1 do
+    let lo = Stdlib.max 0 (k - b) in
+    let s = ref 0. in
+    for j = lo to k - 1 do
+      s := !s +. Bigarray.Array1.unsafe_get q ((k * w) + (j - k + b))
+    done;
+    exit_sums.(k) <- !s;
+    if !s > 0. then
+      for i = lo to k - 1 do
+        let qik = Bigarray.Array1.unsafe_get q ((i * w) + (k - i + b)) in
+        if qik > 0. then
+          for j = lo to k - 1 do
+            if j <> i then
+              Bigarray.Array1.unsafe_set q
+                ((i * w) + (j - i + b))
+                (Bigarray.Array1.unsafe_get q ((i * w) + (j - i + b))
+                +. qik
+                   *. Bigarray.Array1.unsafe_get q ((k * w) + (j - k + b))
+                   /. !s)
+          done
+      done
+  done;
+  let pi = Array.make n 0. in
+  pi.(0) <- 1.;
+  for k = 1 to n - 1 do
+    let inflow = ref 0. in
+    for i = Stdlib.max 0 (k - b) to k - 1 do
+      inflow :=
+        !inflow +. (pi.(i) *. Bigarray.Array1.unsafe_get q ((i * w) + (k - i + b)))
+    done;
+    if exit_sums.(k) > 0. then pi.(k) <- !inflow /. exit_sums.(k)
+    else if !inflow > 0. then
+      raise (Non_ergodic "Ctmc.stationary_gth: reducible chain (closed class apart)")
+    else pi.(k) <- 0.
+  done;
+  Vector.normalize_1 pi
+
+(* Power iteration on the uniformized transition matrix
+   P = I + Q/Λ, Λ = 1.02·max exit rate. Every state keeps a self-loop
+   probability of at least 1 − 1/1.02, so P is aperiodic and the
+   iteration converges for any chain that passes the ergodicity check.
+   Acceptance is by residual: ‖πQ‖∞ ≤ tol·Λ, checked periodically so
+   the common path stays a pure sparse sweep. *)
+let power_csr ?start csr ~tol ~max_iters =
+  let n = Sparse.num_states csr in
+  let exit = Array.init n (fun s -> Sparse.exit_rate csr s) in
+  let max_exit = Array.fold_left Float.max 0. exit in
+  let initial () =
+    match start with
+    | Some v ->
+        if Array.length v <> n then
+          invalid_arg "Ctmc.stationary_power: start dimension mismatch";
+        Array.copy v
+    | None ->
+        let v = Array.make n 0. in
+        v.(0) <- 1.;
+        v
+  in
+  if max_exit = 0. then initial ()
+  else begin
+    let lambda = 1.02 *. max_exit in
+    let residual = Array.make n 0. in
+    let residual_ok v =
+      Array.fill residual 0 n 0.;
+      for s = 0 to n - 1 do
+        residual.(s) <- residual.(s) -. (v.(s) *. exit.(s));
+        Sparse.iter_row csr s (fun ~dst ~rate ->
+            residual.(dst) <- residual.(dst) +. (v.(s) *. rate))
+      done;
+      Vector.norm_inf residual <= tol *. lambda
+    in
+    let v = ref (initial ()) in
+    let next = ref (Array.make n 0.) in
+    let converged = ref (residual_ok !v) in
+    let iters = ref 0 in
+    while (not !converged) && !iters < max_iters do
+      let cur = !v and out = !next in
+      for s = 0 to n - 1 do
+        out.(s) <- cur.(s) *. (1. -. (exit.(s) /. lambda))
+      done;
+      for s = 0 to n - 1 do
+        if cur.(s) > 0. then
+          Sparse.iter_row csr s (fun ~dst ~rate ->
+              out.(dst) <- out.(dst) +. (cur.(s) *. rate /. lambda))
+      done;
+      (* Renormalize to stem drift from rounding. *)
+      let total = ref 0. in
+      for s = 0 to n - 1 do
+        total := !total +. out.(s)
+      done;
+      if !total > 0. && Float.is_finite !total then begin
+        let inv = 1. /. !total in
+        for s = 0 to n - 1 do
+          out.(s) <- out.(s) *. inv
+        done
+      end;
+      v := out;
+      next := cur;
+      incr iters;
+      if !iters mod 8 = 0 then converged := residual_ok !v
+    done;
+    if not !converged then converged := residual_ok !v;
+    if not !converged then
+      failwith
+        (Printf.sprintf
+           "Ctmc.stationary_power: no convergence after %d iterations \
+            (residual above %g)"
+           !iters (tol *. lambda));
+    Vector.normalize_1 !v
   end
-  else gth_kernel t
+
+type backend = Gth | Banded | Power | Lu
+
+(* Backend choice by structure. Dense and banded GTH give bitwise
+   identical results, so the split between them is purely a speed
+   heuristic; power iteration is reserved for chains too large for an
+   O(n³) elimination, where it agrees with GTH to solver tolerance. *)
+let select_backend_csr csr =
+  let n = Sparse.num_states csr in
+  let b = Sparse.bandwidth csr in
+  if n > 32 && (2 * b) + 1 <= n / 6 then Banded
+  else if n <= 256 then Gth
+  else if Sparse.density csr < 0.02 then Power
+  else Gth
+
+let select_backend t = select_backend_csr (compile t)
+
+let default_power_tol = 1e-12
+let default_power_iters n = 10_000 + (200 * n)
+
+let solve_csr backend csr =
+  match backend with
+  | Gth -> gth_csr csr
+  | Banded -> gth_banded_csr csr ~half_bandwidth:(Sparse.bandwidth csr)
+  | Power -> (
+      let n = Sparse.num_states csr in
+      try
+        power_csr csr ~tol:default_power_tol ~max_iters:(default_power_iters n)
+      with Failure _ -> gth_csr csr)
+  | Lu -> assert false (* dispatched before solve_csr *)
+
+let with_solve_telemetry counter histogram t f =
+  if Telemetry.enabled () then begin
+    Telemetry.Counter.incr counter;
+    Telemetry.Histogram.observe solve_states (float_of_int t.n);
+    match histogram with
+    | Some h -> Telemetry.Histogram.time h f
+    | None -> f ()
+  end
+  else f ()
+
+let stationary_gth t =
+  let csr = compile t in
+  check_ergodic csr;
+  with_solve_telemetry gth_solves (Some gth_seconds) t (fun () -> gth_csr csr)
 
 let lu_kernel t =
   let n = t.n in
@@ -117,14 +345,143 @@ let lu_kernel t =
   Matrix.solve a b
 
 let stationary_lu t =
-  if Telemetry.enabled () then begin
-    Telemetry.Counter.incr lu_solves;
-    Telemetry.Histogram.observe solve_states (float_of_int t.n);
-    Telemetry.Histogram.time lu_seconds (fun () -> lu_kernel t)
-  end
-  else lu_kernel t
+  check_ergodic (compile t);
+  with_solve_telemetry lu_solves (Some lu_seconds) t (fun () -> lu_kernel t)
 
-let stationary = stationary_gth
+let stationary_power ?start ?(tol = default_power_tol) ?max_iters t =
+  let csr = compile t in
+  check_ergodic csr;
+  let max_iters =
+    match max_iters with Some m -> m | None -> default_power_iters t.n
+  in
+  with_solve_telemetry power_solves None t (fun () ->
+      power_csr ?start csr ~tol ~max_iters)
+
+let stationary_with backend t =
+  match backend with
+  | Gth -> stationary_gth t
+  | Lu -> stationary_lu t
+  | Power -> stationary_power t
+  | Banded ->
+      let csr = compile t in
+      check_ergodic csr;
+      with_solve_telemetry banded_solves None t (fun () ->
+          gth_banded_csr csr ~half_bandwidth:(Sparse.bandwidth csr))
+
+let stationary t =
+  let csr = compile t in
+  check_ergodic csr;
+  let backend = select_backend_csr csr in
+  let counter, histogram =
+    match backend with
+    | Gth -> (gth_solves, Some gth_seconds)
+    | Banded -> (banded_solves, None)
+    | Power -> (power_solves, None)
+    | Lu -> (lu_solves, Some lu_seconds)
+  in
+  with_solve_telemetry counter histogram t (fun () -> solve_csr backend csr)
+
+module Solver = struct
+  type chain = t
+
+  type nonrec t = {
+    csr : Sparse.t;
+    mutable pi : Vector.t option; (* last accepted solution *)
+    mutable dirty : bool;
+  }
+
+  let fresh_counter = Atomic.make 0
+  let incremental_counter = Atomic.make 0
+  let fallback_counter = Atomic.make 0
+  let cached_counter = Atomic.make 0
+  let tm_fresh = Telemetry.Counter.make "markov.solver.fresh"
+  let tm_incremental = Telemetry.Counter.make "markov.solver.incremental"
+  let tm_fallback = Telemetry.Counter.make "markov.solver.fallback"
+  let tm_cached = Telemetry.Counter.make "markov.solver.cached"
+
+  let bump atomic tm =
+    Atomic.incr atomic;
+    if Telemetry.enabled () then Telemetry.Counter.incr tm
+
+  type counters = {
+    fresh : int;
+    incremental : int;
+    fallback : int;
+    cached : int;
+  }
+
+  let counters () =
+    {
+      fresh = Atomic.get fresh_counter;
+      incremental = Atomic.get incremental_counter;
+      fallback = Atomic.get fallback_counter;
+      cached = Atomic.get cached_counter;
+    }
+
+  let reset_counters () =
+    Atomic.set fresh_counter 0;
+    Atomic.set incremental_counter 0;
+    Atomic.set fallback_counter 0;
+    Atomic.set cached_counter 0
+
+  let create chain =
+    let csr = compile chain in
+    check_ergodic csr;
+    { csr; pi = None; dirty = true }
+
+  let num_states t = Sparse.num_states t.csr
+
+  let update_rate t ~src ~dst ~rate =
+    if not (Float.is_finite rate) || rate <= 0. then
+      invalid_arg (Printf.sprintf "Ctmc.Solver.update_rate: rate %g" rate);
+    match Sparse.slot t.csr ~src ~dst with
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Ctmc.Solver.update_rate: no transition %d -> %d in the compiled \
+              structure"
+             src dst)
+    | Some k ->
+        if Sparse.rate_at t.csr k <> rate then begin
+          Sparse.set_rate_at t.csr k rate;
+          t.dirty <- true
+        end
+
+  (* A perturbed chain's stationary vector is close to the previous one,
+     so a handful of warm-started power sweeps usually reach an ‖πQ‖∞
+     residual far below what any downstream consumer can observe. When
+     they do not (large perturbation, unlucky spectrum), fall back to a
+     fresh elimination rather than loop. *)
+  let refine_tol = 1e-13
+  let refine_iters = 400
+
+  let solve t =
+    match t.pi with
+    | Some pi when not t.dirty ->
+        bump cached_counter tm_cached;
+        Array.copy pi
+    | previous ->
+        let pi =
+          match previous with
+          | Some warm -> (
+              try
+                let refined =
+                  power_csr ~start:warm t.csr ~tol:refine_tol
+                    ~max_iters:refine_iters
+                in
+                bump incremental_counter tm_incremental;
+                refined
+              with Failure _ ->
+                bump fallback_counter tm_fallback;
+                solve_csr (select_backend_csr t.csr) t.csr)
+          | None ->
+              bump fresh_counter tm_fresh;
+              solve_csr (select_backend_csr t.csr) t.csr
+        in
+        t.pi <- Some pi;
+        t.dirty <- false;
+        Array.copy pi
+end
 
 let expected_reward t ~reward =
   let pi = stationary t in

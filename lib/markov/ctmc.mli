@@ -3,10 +3,26 @@
     This module stands in for the external availability engines the paper
     interfaces with (Avanto, Mobius, Sharpe): an availability model is
     translated into a CTMC whose stationary distribution yields expected
-    annual uptime and downtime. *)
+    annual uptime and downtime.
+
+    Stationary analysis compiles the chain into a compressed sparse-row
+    form ({!Sparse}) once per solve, runs a structural ergodicity check,
+    and picks a backend by structure: dense GTH elimination for small
+    chains, a banded elimination (bitwise identical to the dense one)
+    when the transition structure is narrow, and uniformized power
+    iteration for large sparse chains. The dense kernels stage their
+    working set in the per-domain {!Aved_linalg.Workspace}, so a steady
+    stream of solves allocates little beyond the result vectors. *)
 
 type t
 (** A finite CTMC with states numbered [0 .. num_states - 1]. *)
+
+exception Non_ergodic of string
+(** Raised by the stationary solvers — all of them, identically — when
+    probability can escape state 0's communicating class: some state is
+    reachable from state 0 but cannot return to it. States that are
+    unreachable from state 0 altogether are tolerated and receive
+    stationary probability 0. *)
 
 val create : int -> t
 (** [create n] is an empty chain over [n] states (no transitions yet).
@@ -28,21 +44,91 @@ val transitions : t -> (int * int * float) list
 val generator : t -> Aved_linalg.Matrix.t
 (** The generator matrix Q: off-diagonal rates, diagonal = −(row sum). *)
 
-val stationary_gth : t -> Aved_linalg.Vector.t
-(** Stationary distribution by Grassmann–Taksar–Heyman elimination —
-    numerically stable (no subtractions), O(n³) time, O(n²) space.
-    Intended for irreducible chains (every availability model here is
-    one). On reducible chains: states that cannot reach state 0's
-    communicating class receive probability 0, and if probability
-    escapes state 0's class entirely (state 0 transient),
-    [Invalid_argument] is raised. *)
+val compile : t -> Sparse.t
+(** The chain's transitions in compressed sparse-row form — what the
+    stationary solvers and {!Solver} operate on. *)
 
-val stationary_lu : t -> Aved_linalg.Vector.t
-(** Stationary distribution by solving [πQ = 0, Σπ = 1] with LU.
-    Raises [Aved_linalg.Matrix.Singular] on reducible chains. *)
+type backend = Gth | Banded | Power | Lu
+(** Stationary solver backends. [Gth] and [Banded] produce bitwise
+    identical results; [Power] and [Lu] agree with them to solver
+    tolerance. [Lu] is never auto-selected. *)
+
+val select_backend : t -> backend
+(** The backend {!stationary} would use for this chain: [Banded] when
+    the bandwidth is narrow relative to the state count, [Gth] for small
+    or dense chains, [Power] for large sparse ones. *)
 
 val stationary : t -> Aved_linalg.Vector.t
-(** The default solver ({!stationary_gth}). *)
+(** Stationary distribution via the auto-selected backend. Raises
+    {!Non_ergodic} as described there. *)
+
+val stationary_with : backend -> t -> Aved_linalg.Vector.t
+(** Stationary distribution via an explicit backend — primarily for the
+    differential test harness. Same {!Non_ergodic} contract; [Lu] may
+    additionally raise [Aved_linalg.Matrix.Singular] on chains with
+    unreachable states (it cannot represent the "zero mass on islands"
+    convention of the elimination backends). *)
+
+val stationary_gth : t -> Aved_linalg.Vector.t
+(** Stationary distribution by Grassmann–Taksar–Heyman elimination —
+    numerically stable (no subtractions), O(n³) time, O(n²) workspace. *)
+
+val stationary_lu : t -> Aved_linalg.Vector.t
+(** Stationary distribution by solving [πQ = 0, Σπ = 1] with LU. *)
+
+val stationary_power :
+  ?start:Aved_linalg.Vector.t ->
+  ?tol:float ->
+  ?max_iters:int ->
+  t ->
+  Aved_linalg.Vector.t
+(** Stationary distribution by uniformized power iteration, accepted
+    when ‖πQ‖∞ ≤ [tol]·Λ (Λ = 1.02 × the largest exit rate; [tol]
+    defaults to 1e-12). [start] warm-starts the iteration — the basis of
+    incremental re-solving. Raises [Failure] when the iteration budget
+    is exhausted before the residual test passes. *)
+
+(** Incremental stationary solving for a chain whose transition
+    {e structure} is fixed while individual rates change — the shape
+    produced by perturbing one model parameter. The CSR form is compiled
+    once; {!Solver.update_rate} edits rates in place and the next
+    {!Solver.solve} warm-starts from the previous solution, falling back
+    to a fresh elimination when refinement does not converge. *)
+module Solver : sig
+  type chain = t
+  type t
+
+  val create : chain -> t
+  (** Compiles the chain and runs the ergodicity check (structure never
+      changes afterwards, so the check holds for all rate updates).
+      Raises {!Non_ergodic}. The solver does not alias the chain: later
+      [add_transition] calls on the chain are not seen. *)
+
+  val num_states : t -> int
+
+  val update_rate : t -> src:int -> dst:int -> rate:float -> unit
+  (** Overwrites the rate of an existing transition. Raises
+      [Invalid_argument] if the transition is absent from the compiled
+      structure or the rate is not finite and positive. *)
+
+  val solve : t -> Aved_linalg.Vector.t
+  (** The stationary distribution for the current rates. Returns a fresh
+      copy; caches internally, so calling it twice without an
+      intervening rate change is O(n). *)
+
+  type counters = {
+    fresh : int;  (** solves from scratch (first solve of a structure) *)
+    incremental : int;  (** warm-started refinements that converged *)
+    fallback : int;  (** refinements that fell back to elimination *)
+    cached : int;  (** solves answered from the cached vector *)
+  }
+
+  val counters : unit -> counters
+  (** Process-wide totals across all solver instances and domains; also
+      exported as telemetry counters [markov.solver.*]. *)
+
+  val reset_counters : unit -> unit
+end
 
 val expected_reward : t -> reward:(int -> float) -> float
 (** [expected_reward chain ~reward] is Σ π(s)·reward(s) under the

@@ -1,0 +1,44 @@
+(** Compressed-sparse-row adjacency of a CTMC's transition rates.
+
+    Built once per chain from the hash-table adjacency of {!Ctmc}, it
+    gives the solvers cache-friendly iteration, O(log degree) slot
+    lookup for in-place rate updates, and the structural measures
+    (bandwidth, density) that drive backend selection. Column indices
+    are sorted within each row; every stored rate is positive. *)
+
+type t
+
+val of_adjacency : n:int -> (int, float) Hashtbl.t array -> t
+(** [of_adjacency ~n rates] compiles per-source hash tables (as kept by
+    [Ctmc]) into CSR form. Deterministic: rows are laid out in state
+    order and columns sorted ascending, independent of hash-table
+    iteration order. *)
+
+val num_states : t -> int
+val nnz : t -> int
+
+val bandwidth : t -> int
+(** Largest [|src - dst|] over the stored transitions; [0] for a chain
+    with no transitions. *)
+
+val density : t -> float
+(** [nnz / (n * (n - 1))] — the filled fraction of the off-diagonal. *)
+
+val exit_rate : t -> int -> float
+(** Sum of the outgoing rates of a state, in column order. *)
+
+val slot : t -> src:int -> dst:int -> int option
+(** Index of the (src, dst) entry in the value array, if present.
+    Binary search within the row. *)
+
+val rate_at : t -> int -> float
+val set_rate_at : t -> int -> float -> unit
+(** Overwrite the rate in a slot found by {!slot}. Structure (which
+    transitions exist) is immutable; only magnitudes change. *)
+
+val iter_row : t -> int -> (dst:int -> rate:float -> unit) -> unit
+(** Visit a state's outgoing transitions in ascending destination
+    order. *)
+
+val iter : t -> (src:int -> dst:int -> rate:float -> unit) -> unit
+(** Visit every transition, rows in order, columns ascending. *)

@@ -107,20 +107,21 @@ let compare_tier a b =
      is total on them. *)
   Stdlib.compare a.mechanism_settings b.mechanism_settings
 
-let tier_cost infra td =
-  let resource = Infrastructure.resource_exn infra td.resource in
+let resource_costs infra ~tier_name ~resource:resource_name
+    ~mechanism_settings ~spare_active_components =
+  let resource = Infrastructure.resource_exn infra resource_name in
   let components = Infrastructure.resource_components infra resource in
   let mechanism_cost (c : Component.t) =
     Money.sum
       (List.map
          (fun mech_name ->
            let mech = Infrastructure.mechanism_exn infra mech_name in
-           match setting_of td mech_name with
+           match List.assoc_opt mech_name mechanism_settings with
            | Some setting -> Mechanism.cost_of mech setting
            | None ->
                invalid_arg
                  (Printf.sprintf "design %s: missing setting for mechanism %s"
-                    td.tier_name mech_name))
+                    tier_name mech_name))
          (Component.mechanism_references c))
   in
   let active_resource_cost =
@@ -134,12 +135,20 @@ let tier_cost infra td =
       (List.map
          (fun (c : Component.t) ->
            let mode =
-             if List.mem c.name td.spare_active_components then
+             if List.mem c.name spare_active_components then
                Component.Active
              else Component.Inactive
            in
            Money.add (Component.cost c mode) (mechanism_cost c))
          components)
+  in
+  (active_resource_cost, spare_resource_cost)
+
+let tier_cost infra td =
+  let active_resource_cost, spare_resource_cost =
+    resource_costs infra ~tier_name:td.tier_name ~resource:td.resource
+      ~mechanism_settings:td.mechanism_settings
+      ~spare_active_components:td.spare_active_components
   in
   Money.add
     (Money.scale (float_of_int td.n_active) active_resource_cost)

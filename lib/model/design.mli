@@ -39,6 +39,20 @@ val validate_against : t -> Infrastructure.t -> unit
     the mechanisms the resource references with values in range.
     Raises [Invalid_argument] otherwise. *)
 
+val resource_costs :
+  Infrastructure.t ->
+  tier_name:string ->
+  resource:string ->
+  mechanism_settings:(string * Mechanism.setting) list ->
+  spare_active_components:string list ->
+  Money.t * Money.t
+(** Per-resource annual cost of one active resource and of one spare
+    resource, under the given mechanism settings and spare-active set.
+    [tier_cost] is [n_active] × the first plus [n_spare] × the second;
+    exposed so the search can price a candidate without materializing a
+    [tier_design]. Raises [Invalid_argument] on a missing mechanism
+    setting, naming [tier_name]. *)
+
 val tier_cost : Infrastructure.t -> tier_design -> Money.t
 (** Annual cost of the tier: active resources at active component costs,
     spares at their per-component operational modes, plus mechanism

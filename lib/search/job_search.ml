@@ -63,85 +63,122 @@ let feasible_n ~option ~job_size ~max_time n =
   | None -> false
   | Some ideal -> Duration.compare ideal max_time <= 0
 
-(* One mechanism-settings combination at one total resource count:
-   every active/spare split (feasibility-prechecked) and spare
-   operational mode. Alongside the candidates, returns the minimum
-   cost over ALL designs of the combination — including those pruned
-   by [cost_cap] — so the caller's stopping rule is independent of the
-   cap (and hence of parallel completion order). Designs failing the
-   failure-free feasibility precheck are not part of the space and do
-   not count. Equal-cost candidates survive the cap so ties can break
-   toward faster completion deterministically. *)
-let eval_settings config infra ~tier_name
-    ~(option : Model.Service.resource_option) ~job_size ~max_time ~total
-    ?cost_cap settings =
-  let resource = Model.Infrastructure.resource_exn infra option.resource in
-  let candidates = ref [] in
-  let min_cost = ref None in
-  let generated = ref 0
-  and evaluated = ref 0
-  and pruned = ref 0
-  and rejected = ref 0 in
-  List.iter
+(* The active/spare splits of [total] that pass the failure-free
+   feasibility precheck. Settings-independent, so the caller computes
+   it once per (option, total) rather than once per mechanism
+   combination. *)
+let feasible_splits config ~(option : Model.Service.resource_option)
+    ~job_size ~max_time ~total =
+  List.filter_map
     (fun n_spare ->
       let n_active = total - n_spare in
       if
         n_active > 0
         && Model.Int_range.mem option.n_active n_active
         && feasible_n ~option ~job_size ~max_time n_active
-      then
-        List.iter
-          (fun spare_active_components ->
-            let design =
-              Model.Design.tier_design ~tier_name ~resource:option.resource
-                ~n_active ~n_spare ~spare_active_components
-                ~mechanism_settings:settings ()
-            in
-            let cost = Model.Design.tier_cost infra design in
-            incr generated;
-            (min_cost :=
-               match !min_cost with
-               | None -> Some cost
-               | Some m -> Some (Money.min m cost));
-            match cost_cap with
-            | Some cap when not Money.(cost <= cap) ->
-                incr pruned;
-                Provenance.note (fun () ->
-                    {
-                      Provenance.tier = tier_name;
-                      design;
-                      cost;
-                      downtime = None;
-                      execution_time = None;
-                      fate = Over_cost_cap { excess = Money.sub cost cap };
-                    })
-            | Some _ | None -> (
-                (* Only genuine model rejections are caught and counted
-                   ({!Aved_avail.Tier_model.Rejected}); an
-                   [Invalid_argument] here is a programming error and
-                   propagates. *)
-                match evaluate config infra ~option ~job_size design with
-                | candidate ->
-                    incr evaluated;
-                    candidates := candidate :: !candidates
-                | exception Avail.Tier_model.Rejected reason ->
-                    incr rejected;
-                    Provenance.note (fun () ->
-                        {
-                          Provenance.tier = tier_name;
-                          design;
-                          cost;
-                          downtime = None;
-                          execution_time = None;
-                          fate = Rejected_by_model { reason };
-                        })))
-          (if n_spare = 0 || not config.Search_config.explore_spare_modes then
-             [ [] ]
-           else Model.Resource.downward_closed_subsets resource))
-    (List.init (Stdlib.min config.Search_config.max_spares total + 1) Fun.id);
+      then Some (n_active, n_spare)
+      else None)
+    (List.init (Stdlib.min config.Search_config.max_spares total + 1) Fun.id)
+
+(* One mechanism-settings combination at the precomputed feasible
+   splits of one total resource count: every split and spare
+   operational mode, each surviving candidate passed to [emit] in
+   enumeration order. Returns the minimum cost over ALL designs of the
+   combination — including those pruned by [cost_cap] — so the
+   caller's stopping rule is independent of the cap (and hence of
+   parallel completion order). Designs failing the failure-free
+   feasibility precheck are not part of the space and do not count.
+   Equal-cost candidates survive the cap so ties can break toward
+   faster completion deterministically. *)
+let eval_settings_fold config ~tier_name
+    ~(option : Model.Service.resource_option) ~job_size ~splits ?cost_cap
+    ~emit (settings, base_entry) =
+  let min_cost = ref None in
+  let generated = ref 0
+  and evaluated = ref 0
+  and pruned = ref 0
+  and rejected = ref 0 in
+  List.iter
+    (fun (n_active, n_spare) ->
+      List.iter
+        (fun (spare_active_components, entry) ->
+          let design =
+            Model.Design.tier_design ~tier_name ~resource:option.resource
+              ~n_active ~n_spare ~spare_active_components
+              ~mechanism_settings:settings ()
+          in
+          let cost = Eval_cache.tier_cost entry ~n_active ~n_spare in
+          incr generated;
+          (min_cost :=
+             match !min_cost with
+             | None -> Some cost
+             | Some m -> Some (Money.min m cost));
+          match cost_cap with
+          | Some cap when not Money.(cost <= cap) ->
+              incr pruned;
+              Provenance.note (fun () ->
+                  {
+                    Provenance.tier = tier_name;
+                    design;
+                    cost;
+                    downtime = None;
+                    execution_time = None;
+                    fate = Over_cost_cap { excess = Money.sub cost cap };
+                  })
+          | Some _ | None -> (
+              (* Only genuine model rejections are caught and counted
+                 ({!Aved_avail.Tier_model.Rejected}); an
+                 [Invalid_argument] here is a programming error and
+                 propagates. *)
+              match
+                let model =
+                  Eval_cache.model entry ~n_active ~n_spare ~demand:None
+                in
+                let execution_time =
+                  match config.Search_config.engine with
+                  | Avail.Evaluate.Analytic | Avail.Evaluate.Memoized _ ->
+                      let downtime_fraction =
+                        Eval_cache.downtime_fraction entry
+                          config.Search_config.engine model
+                      in
+                      Avail.Evaluate.job_completion_time_of
+                        ~downtime_fraction model ~job_size
+                  | Avail.Evaluate.Exact _ | Avail.Evaluate.Monte_carlo _ ->
+                      Avail.Evaluate.job_completion_time
+                        config.Search_config.engine model ~job_size
+                in
+                { design; model; cost; execution_time }
+              with
+              | candidate ->
+                  incr evaluated;
+                  emit candidate
+              | exception Avail.Tier_model.Rejected reason ->
+                  incr rejected;
+                  Provenance.note (fun () ->
+                      {
+                        Provenance.tier = tier_name;
+                        design;
+                        cost;
+                        downtime = None;
+                        execution_time = None;
+                        fate = Rejected_by_model { reason };
+                      })))
+        (if n_spare = 0 || not config.Search_config.explore_spare_modes then
+           [ ([], base_entry) ]
+         else Eval_cache.spare_entries base_entry))
+    splits;
   Search_metrics.flush ~tier_name ~generated:!generated ~evaluated:!evaluated
     ~pruned:!pruned ~rejected:!rejected;
-  (List.rev !candidates, !min_cost)
+  !min_cost
+
+let eval_settings config ~tier_name ~option ~job_size ~splits ?cost_cap pair =
+  let candidates = ref [] in
+  let min_cost =
+    eval_settings_fold config ~tier_name ~option ~job_size ~splits ?cost_cap
+      ~emit:(fun candidate -> candidates := candidate :: !candidates)
+      pair
+  in
+  (List.rev !candidates, min_cost)
 
 (* All designs of one option at one total. The mechanism-settings grid
    is the dominant fan-out of the job search (e.g. the checkpoint
@@ -151,17 +188,26 @@ let eval_settings config infra ~tier_name
 let enumerate_and_min ?pool config infra ~tier_name
     ~(option : Model.Service.resource_option) ~job_size ~max_time ~total
     ?cost_cap () =
-  let resource = Model.Infrastructure.resource_exn infra option.resource in
-  let all_settings = Tier_search.settings_product infra resource in
-  let eval settings =
-    eval_settings config infra ~tier_name ~option ~job_size ~max_time ~total
-      ?cost_cap settings
+  let splits = feasible_splits config ~option ~job_size ~max_time ~total in
+  if splits = [] then ([], None)
+  else begin
+  let pairs = Eval_cache.settings_entries ~infra ~tier_name ~option in
+  let eval pair =
+    eval_settings config ~tier_name ~option ~job_size ~splits ?cost_cap pair
   in
   let per_settings =
     match pool with
-    | Some pool when Pool.jobs pool > 1 && List.length all_settings > 1 ->
-        Pool.map pool eval all_settings
-    | Some _ | None -> List.map eval all_settings
+    | Some pool when Pool.jobs pool > 1 && List.length pairs > 1 ->
+        (* Cache entries are domain-local: ship only the settings and
+           let each worker resolve them in its own cache. *)
+        Pool.map pool
+          (fun (settings, _) ->
+            eval
+              ( settings,
+                Eval_cache.entry ~infra ~tier_name ~option ~settings
+                  ~spare_active:[] ))
+          pairs
+    | Some _ | None -> List.map eval pairs
   in
   let candidates = List.concat_map fst per_settings in
   let min_cost =
@@ -173,12 +219,80 @@ let enumerate_and_min ?pool config infra ~tier_name
       None per_settings
   in
   (candidates, min_cost)
+  end
 
 let enumerate_total ?pool config infra ~tier_name ~option ~job_size ~max_time
     ~total ?cost_cap () =
   fst
     (enumerate_and_min ?pool config infra ~tier_name ~option ~job_size
        ~max_time ~total ?cost_cap ())
+
+(* As {!enumerate_and_min}, but reduced on the fly to what the optimal
+   search consumes — the best feasible candidate, the fastest execution
+   time over every evaluated candidate, and the minimum cost — instead
+   of materializing one candidate list per total only to fold it away.
+   The reduction visits candidates in the same order as the list path
+   and keeps the earlier candidate on [compare_total] ties, so the
+   selected design is identical. Used when provenance is off; the
+   explain path wants the full lists. *)
+let enumerate_reduced ?pool config infra ~tier_name
+    ~(option : Model.Service.resource_option) ~job_size ~max_time ~total
+    ?cost_cap () =
+  let splits = feasible_splits config ~option ~job_size ~max_time ~total in
+  if splits = [] then (None, Float.infinity, None)
+  else begin
+    let pairs = Eval_cache.settings_entries ~infra ~tier_name ~option in
+    let eval pair =
+      let best = ref None in
+      let min_time = ref Float.infinity in
+      let emit c =
+        let t = Duration.seconds c.execution_time in
+        if t < !min_time then min_time := t;
+        if Duration.compare c.execution_time max_time <= 0 then
+          match !best with
+          | Some b when not (better c b) -> ()
+          | Some _ | None -> best := Some c
+      in
+      let min_cost =
+        eval_settings_fold config ~tier_name ~option ~job_size ~splits
+          ?cost_cap ~emit pair
+      in
+      (!best, !min_time, min_cost)
+    in
+    let per_settings =
+      match pool with
+      | Some pool when Pool.jobs pool > 1 && List.length pairs > 1 ->
+          Pool.map pool
+            (fun (settings, _) ->
+              eval
+                ( settings,
+                  Eval_cache.entry ~infra ~tier_name ~option ~settings
+                    ~spare_active:[] ))
+            pairs
+      | Some _ | None -> List.map eval pairs
+    in
+    (* Merge in settings order with the same tie rule as the flat
+       iteration, so parallel completion order cannot change the
+       result. *)
+    List.fold_left
+      (fun (best, min_time, min_cost) (b, t, m) ->
+        let best =
+          match (best, b) with
+          | None, b -> b
+          | best, None -> best
+          | Some incumbent, Some challenger ->
+              if better challenger incumbent then Some challenger
+              else Some incumbent
+        in
+        let min_cost =
+          match (min_cost, m) with
+          | None, m | m, None -> m
+          | Some a, Some b -> Some (Money.min a b)
+        in
+        (best, Float.min min_time t, min_cost))
+      (None, Float.infinity, None)
+      per_settings
+  end
 
 let start_total ~(option : Model.Service.resource_option) ~job_size ~max_time =
   List.find_opt
@@ -226,9 +340,27 @@ let search_option ?pool ?shared config infra ~tier_name ~option ~job_size
                     else cap
                 | None -> cap)
         in
-        let candidates, min_cost_all =
-          enumerate_and_min ?pool config infra ~tier_name ~option ~job_size
-            ~max_time ~total:!total ?cost_cap ()
+        let candidates, min_time_all, min_cost_all =
+          if Provenance.enabled () then
+            let candidates, min_cost_all =
+              enumerate_and_min ?pool config infra ~tier_name ~option
+                ~job_size ~max_time ~total:!total ?cost_cap ()
+            in
+            let min_time_all =
+              List.fold_left
+                (fun acc c ->
+                  Float.min acc (Duration.seconds c.execution_time))
+                Float.infinity candidates
+            in
+            (candidates, min_time_all, min_cost_all)
+          else
+            let best_here, min_time_all, min_cost_all =
+              enumerate_reduced ?pool config infra ~tier_name ~option
+                ~job_size ~max_time ~total:!total ?cost_cap ()
+            in
+            ( (match best_here with Some c -> [ c ] | None -> []),
+              min_time_all,
+              min_cost_all )
         in
         let feasible =
           List.filter
@@ -273,12 +405,7 @@ let search_option ?pool ?shared config infra ~tier_name ~option ~job_size
             | None -> stop := true
             | Some m -> if Money.(b.cost <= m) then stop := true)
         | None ->
-            let best_time_here =
-              List.fold_left
-                (fun acc c ->
-                  Float.min acc (Duration.seconds c.execution_time))
-                Float.infinity candidates
-            in
+            let best_time_here = min_time_all in
             if best_time_here >= !previous_best_time then begin
               incr degradations;
               if !degradations >= 2 then stop := true

@@ -25,23 +25,57 @@ let incumbent_cap_tightened =
 let frontiers_computed = Telemetry.Counter.make "search.frontiers.computed"
 let frontier_size = Telemetry.Histogram.make "search.frontier.size"
 
+(* The per-tier counter handles ("search.candidates.generated[application]",
+   ...), resolved once per tier per domain: a flush runs once per
+   enumeration batch, and interning four sprintf-built names each time
+   is measurable against the cached inner loop. Handles are bound to
+   names, not to an installed registry, so caching them across
+   telemetry install/uninstall cycles is sound. *)
+type tier_counters = {
+  tc_generated : Telemetry.Counter.h;
+  tc_evaluated : Telemetry.Counter.h;
+  tc_pruned : Telemetry.Counter.h;
+  tc_rejected : Telemetry.Counter.h;
+}
+
+let tier_counters_key : (string, tier_counters) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let tier_counters tier_name =
+  let table = Domain.DLS.get tier_counters_key in
+  match Hashtbl.find_opt table tier_name with
+  | Some counters -> counters
+  | None ->
+      let make tag =
+        Telemetry.Counter.make
+          (Printf.sprintf "search.candidates.%s[%s]" tag tier_name)
+      in
+      let counters =
+        {
+          tc_generated = make "generated";
+          tc_evaluated = make "evaluated";
+          tc_pruned = make "pruned_by_incumbent";
+          tc_rejected = make "rejected_by_model";
+        }
+      in
+      Hashtbl.add table tier_name counters;
+      counters
+
 (* Flush one enumeration batch into the global counters and their
-   per-tier variants ("search.candidates.generated[application]", ...). *)
+   per-tier variants. *)
 let flush ~tier_name ~generated ~evaluated ~pruned ~rejected =
   if Telemetry.enabled () then begin
-    let batch counter tag v =
+    let tier = tier_counters tier_name in
+    let batch counter tier_counter v =
       if v > 0 then begin
         Telemetry.Counter.add counter v;
-        Telemetry.Counter.add
-          (Telemetry.Counter.make
-             (Printf.sprintf "search.candidates.%s[%s]" tag tier_name))
-          v
+        Telemetry.Counter.add tier_counter v
       end
     in
-    batch candidates_generated "generated" generated;
-    batch candidates_evaluated "evaluated" evaluated;
-    batch candidates_pruned "pruned_by_incumbent" pruned;
-    batch candidates_rejected "rejected_by_model" rejected
+    batch candidates_generated tier.tc_generated generated;
+    batch candidates_evaluated tier.tc_evaluated evaluated;
+    batch candidates_pruned tier.tc_pruned pruned;
+    batch candidates_rejected tier.tc_rejected rejected
   end
 
 let observe_frontier size =

@@ -19,39 +19,15 @@ let provenance_record ~tier (c : Candidate.t) fate =
     fate;
   }
 
-let settings_product infra resource =
-  let mechanisms = Model.Infrastructure.resource_mechanisms infra resource in
-  let rec product = function
-    | [] -> [ [] ]
-    | (m : Model.Mechanism.t) :: rest ->
-        let tails = product rest in
-        List.concat_map
-          (fun setting ->
-            List.map (fun tail -> (m.name, setting) :: tail) tails)
-          (Model.Mechanism.settings m)
-  in
-  product mechanisms
+let settings_product = Eval_cache.settings_product
 
-let spare_mode_choices config infra resource_name ~n_spare =
-  if n_spare = 0 then [ [] ]
-  else if not config.Search_config.explore_spare_modes then [ [] ]
-  else
-    let resource = Model.Infrastructure.resource_exn infra resource_name in
-    Model.Resource.downward_closed_subsets resource
-
-let evaluate config infra ~option ~demand design =
-  let model =
-    Avail.Tier_model.build ~infra ~option ~design ~demand:(Some demand)
-  in
-  let downtime_fraction =
-    Avail.Evaluate.tier_downtime_fraction config.Search_config.engine model
-  in
-  {
-    Candidate.design;
-    model;
-    cost = Model.Design.tier_cost infra design;
-    downtime_fraction;
-  }
+(* The spare-mode fan-out of one (settings, split): each choice paired
+   with its cache entry, with the no-spare entry serving the empty
+   mode. Order matches [Resource.downward_closed_subsets]. *)
+let spare_mode_entries config base_entry ~n_spare =
+  if n_spare = 0 || not config.Search_config.explore_spare_modes then
+    [ ([], base_entry) ]
+  else Eval_cache.spare_entries base_entry
 
 (* One mechanism-settings combination at one total resource count:
    every (active/spare split, spare operational mode) design. Returns
@@ -63,10 +39,10 @@ let evaluate config infra ~option ~demand design =
    search). Candidates costing more than [cost_cap] are skipped without
    availability evaluation; equal cost is kept so ties can be broken
    toward lower downtime deterministically. *)
-let eval_settings config infra ~tier_name
+let eval_settings config _infra ~tier_name
     ~(option : Model.Service.resource_option) ~demand ~total ?cost_cap
-    settings =
-  match Avail.Tier_model.minimum_actives ~option ~settings ~demand with
+    (settings, base_entry) =
+  match Eval_cache.minimum_actives base_entry ~demand with
   | None -> ([], None)
   | Some n_min ->
       let candidates = ref [] in
@@ -87,13 +63,13 @@ let eval_settings config infra ~tier_name
         (fun n_active ->
           let n_spare = total - n_active in
           List.iter
-            (fun spare_active_components ->
+            (fun (spare_active_components, entry) ->
               let design =
                 Model.Design.tier_design ~tier_name
                   ~resource:option.resource ~n_active ~n_spare
                   ~spare_active_components ~mechanism_settings:settings ()
               in
-              let cost = Model.Design.tier_cost infra design in
+              let cost = Eval_cache.tier_cost entry ~n_active ~n_spare in
               incr generated;
               (min_cost :=
                  match !min_cost with
@@ -112,7 +88,17 @@ let eval_settings config infra ~tier_name
                         fate = Over_cost_cap { excess = Money.sub cost cap };
                       })
               | Some _ | None -> (
-                  match evaluate config infra ~option ~demand design with
+                  match
+                    let model =
+                      Eval_cache.model entry ~n_active ~n_spare
+                        ~demand:(Some demand)
+                    in
+                    let downtime_fraction =
+                      Eval_cache.downtime_fraction entry
+                        config.Search_config.engine model
+                    in
+                    { Candidate.design; model; cost; downtime_fraction }
+                  with
                   | candidate ->
                       incr evaluated;
                       candidates := candidate :: !candidates
@@ -127,7 +113,7 @@ let eval_settings config infra ~tier_name
                             execution_time = None;
                             fate = Rejected_by_model { reason };
                           })))
-            (spare_mode_choices config infra option.resource ~n_spare))
+            (spare_mode_entries config base_entry ~n_spare))
         n_values;
       Search_metrics.flush ~tier_name ~generated:!generated
         ~evaluated:!evaluated ~pruned:!pruned ~rejected:!rejected;
@@ -139,17 +125,24 @@ let eval_settings config infra ~tier_name
    sequential enumeration. *)
 let enumerate_and_min ?pool config infra ~tier_name
     ~(option : Model.Service.resource_option) ~demand ~total ?cost_cap () =
-  let resource = Model.Infrastructure.resource_exn infra option.resource in
-  let all_settings = settings_product infra resource in
-  let eval settings =
+  let pairs = Eval_cache.settings_entries ~infra ~tier_name ~option in
+  let eval pair =
     eval_settings config infra ~tier_name ~option ~demand ~total ?cost_cap
-      settings
+      pair
   in
   let per_settings =
     match pool with
-    | Some pool when Pool.jobs pool > 1 && List.length all_settings > 1 ->
-        Pool.map pool eval all_settings
-    | Some _ | None -> List.map eval all_settings
+    | Some pool when Pool.jobs pool > 1 && List.length pairs > 1 ->
+        (* Cache entries are domain-local: ship only the settings and
+           let each worker resolve them in its own cache. *)
+        Pool.map pool
+          (fun (settings, _) ->
+            eval
+              ( settings,
+                Eval_cache.entry ~infra ~tier_name ~option ~settings
+                  ~spare_active:[] ))
+          pairs
+    | Some _ | None -> List.map eval pairs
   in
   let candidates = List.concat_map fst per_settings in
   let min_cost =

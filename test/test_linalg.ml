@@ -1,5 +1,6 @@
 module Matrix = Aved_linalg.Matrix
 module Vector = Aved_linalg.Vector
+module Workspace = Aved_linalg.Workspace
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -103,6 +104,114 @@ let test_inverse_property () =
          Matrix.equal ~tol:1e-7 (Matrix.identity n)
            (Matrix.mul (Matrix.inverse a) a)))
 
+let test_into_kernels () =
+  let a = Matrix.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Matrix.of_rows [| [| 10.; 20. |]; [| 30.; 40. |] |] in
+  let dst = Matrix.create 2 2 0. in
+  Matrix.add_into ~dst a b;
+  Alcotest.(check bool) "add_into" true
+    (Matrix.equal ~tol:0. dst (Matrix.add a b));
+  Matrix.sub_into ~dst b a;
+  Alcotest.(check bool) "sub_into" true
+    (Matrix.equal ~tol:0. dst (Matrix.sub b a));
+  Matrix.scale_into ~dst 3. a;
+  Alcotest.(check bool) "scale_into" true
+    (Matrix.equal ~tol:0. dst (Matrix.scale 3. a));
+  (* Aliasing: dst is also an operand. *)
+  let c = Matrix.copy a in
+  Matrix.add_into ~dst:c c b;
+  Alcotest.(check bool) "add_into aliased" true
+    (Matrix.equal ~tol:0. c (Matrix.add a b));
+  let d = Matrix.copy a in
+  Matrix.scale_into ~dst:d 0.5 d;
+  Alcotest.(check bool) "scale_into aliased" true
+    (Matrix.equal ~tol:0. d (Matrix.scale 0.5 a))
+
+let test_mul_vec_into_aliasing () =
+  let m = Matrix.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let x = [| 1.; 2. |] in
+  let expected = Matrix.mul_vec m x in
+  let dst = [| 0.; 0. |] in
+  Matrix.mul_vec_into m x ~dst;
+  Alcotest.(check (array (float 0.))) "mul_vec_into" expected dst;
+  (* dst == x must still read every x before overwriting it. *)
+  let y = [| 1.; 2. |] in
+  Matrix.mul_vec_into m y ~dst:y;
+  Alcotest.(check (array (float 0.))) "mul_vec_into aliased" expected y
+
+let test_lu_in_place_matches () =
+  let a = Matrix.of_rows [| [| 0.; 1.; 4. |]; [| 2.; 7.; 1. |]; [| 5.; 3.; 2. |] |] in
+  let b = [| 3.; 9.; 1. |] in
+  let expected = Matrix.solve a b in
+  let factors = Matrix.copy a in
+  let pivots = Array.make 3 0 in
+  Matrix.lu_factor_in_place factors ~pivots;
+  let x = Vector.copy b in
+  Matrix.lu_solve_in_place factors ~pivots x;
+  (* In-place kernels replay the exact same arithmetic: bitwise equal. *)
+  Alcotest.(check (array (float 0.))) "in-place solve" expected x
+
+let test_solve_ws_reuse () =
+  let ws = Workspace.create () in
+  let a = Matrix.of_rows [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let b = [| 5.; 10. |] in
+  let expected = Matrix.solve a b in
+  Alcotest.(check (array (float 0.))) "solve_ws" expected
+    (Matrix.solve_ws ws a b);
+  (* A steady-state loop must not grow the workspace after warm-up. *)
+  ignore (Matrix.solve_ws ws a b);
+  let capacity = Workspace.floats_capacity ws in
+  for _ = 1 to 50 do
+    ignore (Matrix.solve_ws ws a b)
+  done;
+  Alcotest.(check int) "workspace capacity is stable" capacity
+    (Workspace.floats_capacity ws);
+  (* Scratch buffers hand out the same backing storage when it fits. *)
+  let arr1 = Workspace.float_array ws 16 in
+  let arr2 = Workspace.float_array ws 12 in
+  Alcotest.(check bool) "float_array reuses its buffer" true (arr1 == arr2);
+  let ints1 = Workspace.ints ws 8 in
+  let ints2 = Workspace.ints ws 4 in
+  Alcotest.(check bool) "ints reuses its buffer" true (ints1 == ints2)
+
+let test_malformed_inputs_fail_cleanly () =
+  (* NaN and infinite pivot columns must raise Singular, not return
+     NaN-filled vectors. *)
+  let nan_m = Matrix.of_rows [| [| Float.nan; 1. |]; [| Float.nan; 2. |] |] in
+  Alcotest.check_raises "nan pivot" Matrix.Singular (fun () ->
+      ignore (Matrix.solve nan_m [| 1.; 1. |]));
+  let inf_m =
+    Matrix.of_rows [| [| Float.infinity; 1. |]; [| Float.infinity; 2. |] |]
+  in
+  Alcotest.check_raises "infinite pivot" Matrix.Singular (fun () ->
+      ignore (Matrix.solve inf_m [| 1.; 1. |]));
+  (* The in-place and workspace variants share the contract. *)
+  let pivots = Array.make 2 0 in
+  Alcotest.check_raises "in-place nan pivot" Matrix.Singular (fun () ->
+      Matrix.lu_factor_in_place (Matrix.copy nan_m) ~pivots);
+  let singular = Matrix.of_rows [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "solve_ws singular" Matrix.Singular (fun () ->
+      ignore (Matrix.solve_ws (Workspace.create ()) singular [| 1.; 1. |]))
+
+let gen_ws_system =
+  let open QCheck2.Gen in
+  let* n = int_range 1 10 in
+  let* entries = array_repeat (n * n) (float_range (-1.) 1.) in
+  let* rhs = array_repeat n (float_range (-10.) 10.) in
+  let m =
+    Matrix.init n n (fun i j ->
+        let v = entries.((i * n) + j) in
+        if i = j then v +. (2. *. float_of_int n) else v)
+  in
+  return (m, rhs)
+
+let test_solve_ws_bitwise_property () =
+  let ws = Workspace.create () in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~name:"solve_ws is bitwise solve" ~count:200
+       gen_ws_system (fun (a, b) ->
+         Matrix.solve_ws ws a b = Matrix.solve a b))
+
 let test_solve_many () =
   let a = Matrix.of_rows [| [| 2.; 0. |]; [| 0.; 4. |] |] in
   match Matrix.solve_many a [ [| 2.; 4. |]; [| 6.; 8. |] ] with
@@ -128,9 +237,24 @@ let () =
           Alcotest.test_case "inverse" `Quick test_inverse;
           Alcotest.test_case "solve_many" `Quick test_solve_many;
         ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "into kernels and aliasing" `Quick
+            test_into_kernels;
+          Alcotest.test_case "mul_vec_into aliasing" `Quick
+            test_mul_vec_into_aliasing;
+          Alcotest.test_case "in-place LU matches solve" `Quick
+            test_lu_in_place_matches;
+          Alcotest.test_case "workspace solve and reuse" `Quick
+            test_solve_ws_reuse;
+          Alcotest.test_case "malformed inputs fail cleanly" `Quick
+            test_malformed_inputs_fail_cleanly;
+        ] );
       ( "properties",
         [
           Alcotest.test_case "solve residual" `Quick test_solve_property;
           Alcotest.test_case "inverse identity" `Quick test_inverse_property;
+          Alcotest.test_case "solve_ws bitwise" `Quick
+            test_solve_ws_bitwise_property;
         ] );
     ]

@@ -193,7 +193,7 @@ let test_reducible_gth () =
   Ctmc.add_transition leaky ~src:3 ~dst:2 ~rate:1.;
   match Ctmc.stationary_gth leaky with
   | _ -> Alcotest.fail "expected reducible-chain failure"
-  | exception Invalid_argument _ -> ()
+  | exception Ctmc.Non_ergodic _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Stochastic Petri nets *)

@@ -1,0 +1,276 @@
+(* Numerical-equivalence harness for the CTMC solving substrate.
+
+   The sparse backends (GTH elimination, banded elimination, warm-started
+   power iteration) and the incremental solver exist to make the search
+   fast; this suite pins them to the dense LU reference on randomly
+   generated ergodic chains so a speed optimization can never silently
+   change the numbers. Chains are generated from fixed seeds — failures
+   reproduce. *)
+
+module Ctmc = Aved_markov.Ctmc
+module Matrix = Aved_linalg.Matrix
+module Vector = Aved_linalg.Vector
+module Duration = Aved_units.Duration
+module Avail = Aved_avail
+
+let backends = [ ("gth", Ctmc.Gth); ("banded", Ctmc.Banded); ("power", Ctmc.Power); ("lu", Ctmc.Lu) ]
+
+(* ------------------------------------------------------------------ *)
+(* Random ergodic chains: a Hamiltonian cycle guarantees irreducibility,
+   random extra edges vary the structure (bandwidth, density) enough to
+   exercise every backend-selection regime. Rates span [0.05, 20). *)
+
+let rand_rate st = 0.05 +. Random.State.float st 19.95
+
+let rand_chain st ~n ~extra =
+  let chain = Ctmc.create n in
+  for i = 0 to n - 1 do
+    Ctmc.add_transition chain ~src:i ~dst:((i + 1) mod n) ~rate:(rand_rate st)
+  done;
+  let added = ref 0 in
+  while !added < extra do
+    let src = Random.State.int st n and dst = Random.State.int st n in
+    if src <> dst then begin
+      Ctmc.add_transition chain ~src ~dst ~rate:(rand_rate st);
+      incr added
+    end
+  done;
+  chain
+
+let max_exit_rate chain =
+  let m = ref 0. in
+  for s = 0 to Ctmc.num_states chain - 1 do
+    m := Float.max !m (Ctmc.total_exit_rate chain s)
+  done;
+  !m
+
+(* One chain per (size, fill) cell; sizes cover the 5-200 range the
+   engines meet in practice (the exact engine's state spaces and the
+   checker's audits sit in the low hundreds). *)
+let sweep_chains () =
+  let st = Random.State.make [| 0x5eed; 42 |] in
+  List.concat_map
+    (fun n ->
+      List.filter_map
+        (fun fill ->
+          let extra = max 1 (fill n) in
+          Some (rand_chain st ~n ~extra))
+        [ (fun n -> n / 2); (fun n -> 3 * n) ])
+    [ 5; 8; 13; 21; 34; 55; 89; 144; 200 ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: every backend within 1e-9 of dense LU, elementwise. *)
+
+let test_backends_vs_lu () =
+  List.iteri
+    (fun i chain ->
+      let reference = Ctmc.stationary_lu chain in
+      List.iter
+        (fun (name, backend) ->
+          let pi = Ctmc.stationary_with backend chain in
+          let diff = Vector.max_abs_diff pi reference in
+          if diff > 1e-9 then
+            Alcotest.failf "chain %d (%d states): %s differs from lu by %.3e"
+              i (Ctmc.num_states chain) name diff)
+        backends)
+    (sweep_chains ())
+
+(* Invariants every backend must honor on every chain: a distribution
+   (non-negative, unit mass) that actually solves piQ = 0. GTH is
+   subtraction-free and power iteration multiplies non-negative
+   matrices, so both must be exactly non-negative; the elimination
+   backends may carry rounding at the -1e-10 level. *)
+let test_backend_invariants () =
+  List.iteri
+    (fun i chain ->
+      let q = Ctmc.generator chain in
+      let scale = Float.max 1. (max_exit_rate chain) in
+      List.iter
+        (fun (name, backend) ->
+          let pi = Ctmc.stationary_with backend chain in
+          let floor =
+            match backend with
+            | Ctmc.Gth | Ctmc.Power -> 0.
+            | Ctmc.Banded | Ctmc.Lu -> -1e-10
+          in
+          Array.iteri
+            (fun s p ->
+              if p < floor then
+                Alcotest.failf "chain %d: %s pi(%d) = %.3e below %.0e" i name
+                  s p floor)
+            pi;
+          let mass = Vector.norm_1 pi in
+          if Float.abs (mass -. 1.) > 1e-12 then
+            Alcotest.failf "chain %d: %s mass %.17g" i name mass;
+          let residual = Vector.norm_inf (Matrix.vec_mul pi q) in
+          if residual > 1e-8 *. scale then
+            Alcotest.failf "chain %d: %s residual %.3e (scale %.3g)" i name
+              residual scale)
+        backends)
+    (sweep_chains ())
+
+(* ------------------------------------------------------------------ *)
+(* Ill-posed chains: every backend (and the incremental solver) must
+   reject them with the same typed error, never return garbage. *)
+
+let absorbing_chain n =
+  let chain = Ctmc.create n in
+  for i = 0 to n - 2 do
+    Ctmc.add_transition chain ~src:i ~dst:(i + 1) ~rate:1.
+  done;
+  chain
+
+(* Mass escapes from state 0's component into a closed class it cannot
+   leave: states 0 and 1 cycle, but 0 also leaks into the {2, 3} cycle,
+   which never returns. (A closed class that is simply unreachable from
+   state 0 is tolerated by the documented contract and not tested
+   here.) *)
+let escaping_chain () =
+  let chain = Ctmc.create 4 in
+  Ctmc.add_transition chain ~src:0 ~dst:1 ~rate:1.;
+  Ctmc.add_transition chain ~src:1 ~dst:0 ~rate:1.;
+  Ctmc.add_transition chain ~src:0 ~dst:2 ~rate:0.5;
+  Ctmc.add_transition chain ~src:2 ~dst:3 ~rate:1.;
+  Ctmc.add_transition chain ~src:3 ~dst:2 ~rate:1.;
+  chain
+
+let test_non_ergodic_rejected () =
+  List.iter
+    (fun (kind, chain) ->
+      List.iter
+        (fun (name, backend) ->
+          match Ctmc.stationary_with backend chain with
+          | _ -> Alcotest.failf "%s: %s accepted a non-ergodic chain" kind name
+          | exception Ctmc.Non_ergodic _ -> ())
+        backends;
+      match Ctmc.Solver.create chain with
+      | _ -> Alcotest.failf "%s: Solver.create accepted it" kind
+      | exception Ctmc.Non_ergodic _ -> ())
+    [
+      ("absorbing", absorbing_chain 6);
+      ("escaping", escaping_chain ());
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Incremental solving: perturb one rate at a time; the warm-started
+   solver must track a from-scratch dense solve of the same chain. *)
+
+let test_incremental_vs_fresh () =
+  let st = Random.State.make [| 0x1234; 7 |] in
+  let n = 60 in
+  let chain = rand_chain st ~n ~extra:(2 * n) in
+  let transitions = Array.of_list (Ctmc.transitions chain) in
+  let solver = Ctmc.Solver.create chain in
+  for step = 1 to 25 do
+    let i = Random.State.int st (Array.length transitions) in
+    let src, dst, _ = transitions.(i) in
+    let rate = rand_rate st in
+    transitions.(i) <- (src, dst, rate);
+    Ctmc.Solver.update_rate solver ~src ~dst ~rate;
+    let fresh = Ctmc.create n in
+    Array.iter
+      (fun (src, dst, rate) -> Ctmc.add_transition fresh ~src ~dst ~rate)
+      transitions;
+    let incremental = Ctmc.Solver.solve solver in
+    let reference = Ctmc.stationary_lu fresh in
+    let diff = Vector.max_abs_diff incremental reference in
+    if diff > 1e-9 then
+      Alcotest.failf "step %d: incremental differs from fresh by %.3e" step
+        diff
+  done
+
+let test_solver_counters_move () =
+  Ctmc.Solver.reset_counters ();
+  let st = Random.State.make [| 0xc0; 3 |] in
+  let chain = rand_chain st ~n:30 ~extra:30 in
+  let solver = Ctmc.Solver.create chain in
+  ignore (Ctmc.Solver.solve solver);
+  ignore (Ctmc.Solver.solve solver);
+  Ctmc.Solver.update_rate solver ~src:0 ~dst:1 ~rate:2.5;
+  ignore (Ctmc.Solver.solve solver);
+  let c = Ctmc.Solver.counters () in
+  Alcotest.(check bool) "a fresh solve happened" true (c.fresh >= 1);
+  Alcotest.(check bool) "the repeat was served from cache" true (c.cached >= 1);
+  Alcotest.(check bool)
+    "the rate update re-solved without a fresh build" true
+    (c.incremental + c.fallback >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* The exact availability engine rides the same solver: perturbing one
+   model parameter must give the same downtime whether the (j, N)
+   skeleton is reused warm or rebuilt from scratch. *)
+
+let synthetic_model ~mttr_hours ~n_active =
+  {
+    Avail.Tier_model.tier_name = "synthetic";
+    n_active;
+    n_min = max 1 (n_active - 2);
+    n_spare = 1;
+    failure_scope = Aved_model.Service.Resource_scope;
+    classes =
+      [
+        {
+          Avail.Tier_model.label = "hw";
+          rate = 1. /. (720. *. 3600.);
+          mttr = Duration.of_hours mttr_hours;
+          failover_time = Duration.of_minutes 5.;
+          failover_considered = true;
+          repair_mechanism = None;
+        };
+        {
+          Avail.Tier_model.label = "sw";
+          rate = 1. /. (96. *. 3600.);
+          mttr = Duration.of_hours (mttr_hours /. 4.);
+          failover_time = Duration.of_minutes 2.;
+          failover_considered = false;
+          repair_mechanism = None;
+        };
+      ];
+    loss_window = None;
+    effective_performance = 100.;
+  }
+
+let test_exact_incremental_vs_fresh () =
+  Avail.Exact.reset_solver_cache ();
+  (* Warm the (j, N) skeleton, then perturb one MTTR and solve warm. *)
+  ignore (Avail.Exact.downtime_fraction (synthetic_model ~mttr_hours:8. ~n_active:5));
+  let warm =
+    Avail.Exact.downtime_fraction (synthetic_model ~mttr_hours:11. ~n_active:5)
+  in
+  let counters = Avail.Exact.solver_counters () in
+  Alcotest.(check bool) "second solve reused the skeleton" true
+    (counters.incremental >= 1);
+  (* From scratch: drop the cache and solve the perturbed model cold. *)
+  Avail.Exact.reset_solver_cache ();
+  let cold =
+    Avail.Exact.downtime_fraction (synthetic_model ~mttr_hours:11. ~n_active:5)
+  in
+  let diff = Float.abs (warm -. cold) in
+  if diff > 1e-9 then
+    Alcotest.failf "exact warm %.17g vs cold %.17g (diff %.3e)" warm cold diff
+
+let () =
+  Alcotest.run "solver_equivalence"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "all backends vs dense LU" `Quick
+            test_backends_vs_lu;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "distribution and residual" `Quick
+            test_backend_invariants;
+          Alcotest.test_case "non-ergodic chains rejected" `Quick
+            test_non_ergodic_rejected;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "solver tracks fresh solves" `Quick
+            test_incremental_vs_fresh;
+          Alcotest.test_case "solver counters" `Quick
+            test_solver_counters_move;
+          Alcotest.test_case "exact engine warm vs cold" `Quick
+            test_exact_incremental_vs_fresh;
+        ] );
+    ]
