@@ -51,6 +51,12 @@ let int_field json name =
   | Json.Int i -> i
   | _ -> failwith (Printf.sprintf "field %S is not an integer" name)
 
+let float_field json name =
+  match obj_field json name with
+  | Json.Float f -> f
+  | Json.Int i -> float_of_int i
+  | _ -> failwith (Printf.sprintf "field %S is not a number" name)
+
 (* ------------------------------------------------------------------ *)
 (* Workload *)
 
@@ -170,7 +176,46 @@ type outcome = {
   memo_evictions : int;
   heap_words_before : int;
   heap_words_after : int;
+  (* Schema v2: burst-phase backpressure and the daemon's own SLO. *)
+  burst_connections : int;
+  burst_requests : int;
+  burst_errors : int;
+  queue_high_water : int;
+  shed : int;
+  deadline_exceeded : int;
+  slo_requests : int;
+  slo_bad : int;
+  slo_success_rate : float;
+  slo_budget_remaining : float;
 }
+
+(* Burst phase: [conns] concurrent connections each pipelining [per_conn]
+   requests before reading any response, so the admission queue actually
+   fills — the sequential phase keeps depth at 1 and would leave the
+   high-water mark and shed counters untouched. Error responses
+   (overloaded under a small queue) are counted, not fatal. *)
+let run_burst specs socket ~conns ~per_conn =
+  let errors = Atomic.make 0 in
+  let worker c =
+    let fd, ic, oc = connect socket in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    for i = 0 to per_conn - 1 do
+      output_string oc (request_line specs ((c * per_conn) + i));
+      output_char oc '\n'
+    done;
+    flush oc;
+    for _ = 0 to per_conn - 1 do
+      match Protocol.response_of_line (input_line ic) with
+      | Ok { outcome = Ok _; _ } -> ()
+      | Ok { outcome = Error _; _ } -> Atomic.incr errors
+      | Error message -> failwith (Printf.sprintf "burst: %s" message)
+    done
+  in
+  let threads = List.init conns (fun c -> Thread.create worker c) in
+  List.iter Thread.join threads;
+  Atomic.get errors
 
 let run_bench ~requests () =
   let dir = Filename.temp_file "aved_serve_bench" "" in
@@ -222,10 +267,17 @@ let run_bench ~requests () =
   let wall_seconds = Unix.gettimeofday () -. t0 in
   Gc.compact ();
   let heap_words_after = (Gc.stat ()).Gc.heap_words in
+  let burst_connections = 8 in
+  let burst_per_conn = Int.max 4 (requests / 50) in
+  let burst_errors =
+    run_burst specs socket ~conns:burst_connections ~per_conn:burst_per_conn
+  in
   let stats =
     result_of_response
       (rpc ic oc (Protocol.request_line Protocol.Stats []))
   in
+  let queue = obj_field stats "queue" in
+  let slo = obj_field stats "slo" in
   let memo = obj_field stats "memo" in
   let memo_entries = int_field memo "entries" in
   let memo_capacity = int_field memo "capacity" in
@@ -249,6 +301,16 @@ let run_bench ~requests () =
     memo_evictions = int_field memo "evictions";
     heap_words_before;
     heap_words_after;
+    burst_connections;
+    burst_requests = burst_connections * burst_per_conn;
+    burst_errors;
+    queue_high_water = int_field queue "high_water";
+    shed = int_field queue "shed";
+    deadline_exceeded = int_field queue "deadline_exceeded";
+    slo_requests = int_field slo "requests";
+    slo_bad = int_field slo "bad";
+    slo_success_rate = float_field slo "success_rate";
+    slo_budget_remaining = float_field slo "budget_remaining";
   }
 
 (* ------------------------------------------------------------------ *)
@@ -271,11 +333,23 @@ let print_human o =
     o.memo_entries o.memo_capacity o.memo_hits o.memo_misses o.memo_evictions;
   Printf.printf "heap: %d -> %d words after compaction (%+d)\n"
     o.heap_words_before o.heap_words_after
-    (o.heap_words_after - o.heap_words_before)
+    (o.heap_words_after - o.heap_words_before);
+  Printf.printf
+    "burst: %d conns x %d pipelined, %d error responses\n"
+    o.burst_connections
+    (o.burst_requests / Int.max 1 o.burst_connections)
+    o.burst_errors;
+  Printf.printf
+    "queue: high water %d, shed %d, deadline-exceeded %d\n" o.queue_high_water
+    o.shed o.deadline_exceeded;
+  Printf.printf
+    "slo: %d requests in window, %d bad, success %.4f, budget remaining %.3f\n"
+    o.slo_requests o.slo_bad o.slo_success_rate o.slo_budget_remaining
 
 let print_json o =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema_version\": 2,\n";
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" o.jobs);
   Buffer.add_string buf (Printf.sprintf "  \"requests\": %d,\n" o.requests);
   Buffer.add_string buf
@@ -302,7 +376,21 @@ let print_json o =
   Buffer.add_string buf
     (Printf.sprintf "  \"heap_words_before\": %d,\n" o.heap_words_before);
   Buffer.add_string buf
-    (Printf.sprintf "  \"heap_words_after\": %d\n" o.heap_words_after);
+    (Printf.sprintf "  \"heap_words_after\": %d,\n" o.heap_words_after);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"burst\": {\"connections\": %d, \"requests\": %d, \"errors\": %d},\n"
+       o.burst_connections o.burst_requests o.burst_errors);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"queue\": {\"high_water\": %d, \"shed\": %d, \
+        \"deadline_exceeded\": %d},\n"
+       o.queue_high_water o.shed o.deadline_exceeded);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"slo\": {\"requests\": %d, \"bad\": %d, \"success_rate\": %.6f, \
+        \"budget_remaining\": %.6f}\n"
+       o.slo_requests o.slo_bad o.slo_success_rate o.slo_budget_remaining);
   Buffer.add_string buf "}\n";
   let path = "BENCH_serve.json" in
   let oc = open_out path in

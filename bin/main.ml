@@ -580,7 +580,41 @@ let serve_cmd =
             "Default queueing deadline for requests that do not carry their \
              own deadline_ms.")
   in
-  let run socket tcp jobs dispatchers queue memo_capacity deadline =
+  let log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Append a structured JSON log to $(docv): one object per \
+             request (trace id, per-stage timings, outcome), plus \
+             start/stop/snapshot events.")
+  in
+  let slo_target_arg =
+    Arg.(
+      value
+      & opt float 0.999
+      & info [ "slo-target" ] ~docv:"FRACTION"
+          ~doc:
+            "Availability target in (0, 1]: the fraction of work requests \
+             that must be served within the latency budget.")
+  in
+  let slo_latency_arg =
+    Arg.(
+      value & opt float 50.
+      & info [ "slo-latency-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request latency budget: a served answer slower than this \
+             spends error budget and is flagged slow in the log.")
+  in
+  let slo_window_arg =
+    Arg.(
+      value & opt float 300.
+      & info [ "slo-window" ] ~docv:"SECONDS"
+          ~doc:"Rolling window over which the SLO is evaluated.")
+  in
+  let run socket tcp jobs dispatchers queue memo_capacity deadline log_path
+      slo_target slo_latency_ms slo_window =
     handle_errors (fun () ->
         let transport =
           match (socket, tcp) with
@@ -626,6 +660,18 @@ let serve_cmd =
             ("--queue", queue);
             ("--memo-capacity", memo_capacity);
           ];
+        let slo =
+          match
+            Aved_obs.Slo.validate_config
+              {
+                Aved_obs.Slo.target = slo_target;
+                latency_budget_s = slo_latency_ms /. 1000.;
+                window_s = slo_window;
+              }
+          with
+          | Ok slo -> slo
+          | Error msg -> failwith msg
+        in
         let config =
           {
             (Server.default_config transport) with
@@ -634,6 +680,8 @@ let serve_cmd =
             queue_capacity = queue;
             memo_capacity;
             default_deadline_ms = deadline;
+            log_path;
+            slo;
           }
         in
         let server =
@@ -656,14 +704,101 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the long-lived design daemon: newline-delimited JSON requests \
-          (design, frontier, explain, check, health, stats) over a \
+          (design, frontier, explain, check, health, stats, metrics) over a \
           Unix-domain or TCP socket, answered from warm state — a shared \
           search pool, a bounded availability memo and a content-hash spec \
           cache. Results are byte-identical to the corresponding --json \
-          command. SIGTERM drains gracefully.")
+          command. The daemon tracks its own availability SLO (--slo-target, \
+          --slo-latency-ms, --slo-window), logs every request with a trace \
+          id and per-stage timings (--log), answers Prometheus-format \
+          scrapes on the metrics verb, and dumps a full metrics/GC snapshot \
+          on SIGUSR1. SIGTERM drains gracefully.")
     Term.(
       const run $ socket_arg $ tcp_arg $ jobs_arg $ dispatchers_arg
-      $ queue_arg $ memo_capacity_arg $ deadline_arg)
+      $ queue_arg $ memo_capacity_arg $ deadline_arg $ log_arg
+      $ slo_target_arg $ slo_latency_arg $ slo_window_arg)
+
+(* ------------------------------------------------------------------ *)
+(* aved top: live dashboard over a running daemon *)
+
+let top_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Connect to the daemon's Unix-domain socket at $(docv).")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Connect to TCP $(docv).")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between refreshes.")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Render $(docv) frames then exit; 0 runs until interrupted.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Scrape the metrics verb once, print the Prometheus text body \
+             and exit (no dashboard).")
+  in
+  let run socket tcp interval iterations metrics =
+    handle_errors (fun () ->
+        let endpoint =
+          match (socket, tcp) with
+          | Some path, None -> Top_ui.Unix_socket path
+          | None, Some hostport -> (
+              match String.rindex_opt hostport ':' with
+              | None -> failwith "--tcp expects HOST:PORT"
+              | Some i -> (
+                  let host =
+                    match String.sub hostport 0 i with
+                    | "" -> "127.0.0.1"
+                    | host -> host
+                  in
+                  let port_text =
+                    String.sub hostport (i + 1)
+                      (String.length hostport - i - 1)
+                  in
+                  match int_of_string_opt port_text with
+                  | Some port when port > 0 && port < 65536 ->
+                      Top_ui.Tcp { host; port }
+                  | Some _ | None ->
+                      failwith
+                        (Printf.sprintf "invalid --tcp port %S" port_text)))
+          | Some _, Some _ ->
+              failwith "--socket and --tcp are mutually exclusive"
+          | None, None -> failwith "specify --socket PATH or --tcp HOST:PORT"
+        in
+        if iterations < 0 then failwith "--iterations must be >= 0";
+        if metrics then Top_ui.print_metrics_once endpoint
+        else Top_ui.run ~endpoint ~interval_s:interval ~iterations;
+        ok_exit)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running aved serve daemon: per-verb latency \
+          percentiles from the server's own histograms, request rate, \
+          queue/dispatcher occupancy, and the SLO error-budget readout. \
+          With $(b,--metrics), scrape the Prometheus text exposition once \
+          and print it.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ interval_arg $ iterations_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* aved dump-specs *)
@@ -720,5 +855,6 @@ let () =
             ablate_cmd;
             adapt_cmd;
             serve_cmd;
+            top_cmd;
             dump_specs_cmd;
           ]))

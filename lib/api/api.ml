@@ -769,3 +769,22 @@ let check_result_of_json json =
   let* diags = list_field "diagnostics" fields in
   let* diagnostics = map_result diagnostic_of_json diags in
   Ok { diagnostics }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics results *)
+
+type metrics_result = { metrics_content_type : string; body : string }
+
+let metrics_result_to_json m =
+  versioned
+    [
+      ("content_type", Json.String m.metrics_content_type);
+      ("body", Json.String m.body);
+    ]
+
+let metrics_result_of_json json =
+  let* fields = as_obj json in
+  let* fields = checked_version fields in
+  let* metrics_content_type = string_field "content_type" fields in
+  let* body = string_field "body" fields in
+  Ok { metrics_content_type; body }

@@ -151,3 +151,19 @@ val check_result_to_json : check_result -> Json.t
     recomputes them, keeping round trips byte-stable. *)
 
 val check_result_of_json : Json.t -> (check_result, string) result
+
+(** {1 Metrics results}
+
+    The [metrics] wire verb of [aved serve]: the body is a complete
+    Prometheus text-format (0.0.4) exposition of the daemon's metric
+    registries — request/stage latency histograms, queue and
+    connection gauges, GC/runtime stats and the SLO series — carried
+    as a string inside the JSON envelope so the wire protocol stays
+    newline-delimited JSON. [content_type] is what an HTTP exposition
+    of the same body would declare
+    ({!Aved_obs.Prometheus.content_type}-compatible). *)
+
+type metrics_result = { metrics_content_type : string; body : string }
+
+val metrics_result_to_json : metrics_result -> Json.t
+val metrics_result_of_json : Json.t -> (metrics_result, string) result

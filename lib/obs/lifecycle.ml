@@ -1,0 +1,97 @@
+module Telemetry = Aved_telemetry.Telemetry
+module Json = Aved_explain.Json
+
+type t = {
+  lc_trace_id : string;
+  lc_verb : string;
+  conn_id : int;
+  req_id : Json.t;
+  started_s : float;
+  mutable stamps : (string * float) list; (* newest first *)
+}
+
+let start ~trace_id ~verb ~conn_id ~req_id ~now =
+  { lc_trace_id = trace_id; lc_verb = verb; conn_id; req_id;
+    started_s = now; stamps = [] }
+
+let stamp t stage = t.stamps <- (stage, Unix.gettimeofday ()) :: t.stamps
+
+let trace_id t = t.lc_trace_id
+let verb t = t.lc_verb
+
+let elapsed_s t =
+  let last =
+    match t.stamps with (_, s) :: _ -> s | [] -> Unix.gettimeofday ()
+  in
+  last -. t.started_s
+
+(* Histogram handles keyed by full metric name. Telemetry.Histogram.make
+   is itself an interning lookup under a mutex; this cache just avoids
+   re-allocating the name string seven times per request. *)
+let handles : (string, Telemetry.Histogram.h) Hashtbl.t = Hashtbl.create 64
+let handles_mutex = Mutex.create ()
+
+let histogram name =
+  Mutex.lock handles_mutex;
+  let h =
+    match Hashtbl.find_opt handles name with
+    | Some h -> h
+    | None ->
+        let h = Telemetry.Histogram.make name in
+        Hashtbl.add handles name h;
+        h
+  in
+  Mutex.unlock handles_mutex;
+  h
+
+let finish t ~outcome ~slow_threshold_s =
+  let stamps = List.rev t.stamps in
+  let end_s =
+    match t.stamps with (_, s) :: _ -> s | [] -> t.started_s
+  in
+  let total_s = end_s -. t.started_s in
+  let slow = total_s > slow_threshold_s in
+  let record_stages =
+    if Telemetry.enabled () then begin
+      Telemetry.Histogram.observe
+        (histogram (Printf.sprintf "server.verb.%s.seconds" t.lc_verb))
+        total_s;
+      true
+    end
+    else false
+  in
+  let stages =
+    List.rev
+      (fst
+         (List.fold_left
+            (fun (acc, prev) (stage, at) ->
+              let dur = at -. prev in
+              if record_stages then
+                Telemetry.Histogram.observe
+                  (histogram
+                     (Printf.sprintf "server.stage.%s.%s.seconds" t.lc_verb
+                        stage))
+                  dur;
+              ( Json.Obj
+                  [
+                    ("stage", Json.String stage);
+                    ("end_s", Json.Float at);
+                    ("ms", Json.Float (dur *. 1e3));
+                  ]
+                :: acc,
+                at ))
+            ([], t.started_s) stamps))
+  in
+  Json.Obj
+    [
+      ("ts", Json.Float t.started_s);
+      ("event", Json.String "request");
+      ("trace_id", Json.String t.lc_trace_id);
+      ("conn", Json.Int t.conn_id);
+      ("id", t.req_id);
+      ("verb", Json.String t.lc_verb);
+      ("outcome", Json.String outcome);
+      ("slow", Json.Bool slow);
+      ("total_ms", Json.Float (total_s *. 1e3));
+      ("stages", Json.List stages);
+    ]

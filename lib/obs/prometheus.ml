@@ -1,0 +1,71 @@
+module Telemetry = Aved_telemetry.Telemetry
+
+let content_type = "text/plain; version=0.0.4"
+
+let sanitize_name name =
+  let ok i c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+    | '0' .. '9' -> i > 0
+    | _ -> false
+  in
+  let b = Buffer.create (String.length name + 1) in
+  String.iteri
+    (fun i c ->
+      if ok (Buffer.length b) c then Buffer.add_char b c
+      else begin
+        if i = 0 then Buffer.add_char b '_';
+        match c with
+        | '0' .. '9' -> Buffer.add_char b c
+        | _ -> Buffer.add_char b '_'
+      end)
+    name;
+  if Buffer.length b = 0 then "_" else Buffer.contents b
+
+(* Prometheus floats: plain decimal, with Inf/NaN spelled its way. *)
+let float_text v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let render ?(extra_counters = []) ?(extra_gauges = []) t =
+  let buf = Buffer.create 4096 in
+  let seen = Hashtbl.create 64 in
+  let family name =
+    let name = sanitize_name name in
+    if Hashtbl.mem seen name then name ^ "_extra"
+    else begin
+      Hashtbl.add seen name ();
+      name
+    end
+  in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  let counter (name, v) =
+    let name = family name in
+    line "# TYPE %s counter\n%s %d\n" name name v
+  in
+  let gauge (name, v) =
+    let name = family name in
+    line "# TYPE %s gauge\n%s %s\n" name name (float_text v)
+  in
+  let histogram (name, (s : Telemetry.Histogram.summary)) =
+    let name = family name in
+    line "# TYPE %s histogram\n" name;
+    let cumulative = ref 0 in
+    List.iter
+      (fun (ub, n) ->
+        cumulative := !cumulative + n;
+        line "%s_bucket{le=\"%s\"} %d\n" name (float_text ub) !cumulative)
+      s.Telemetry.Histogram.buckets;
+    line "%s_bucket{le=\"+Inf\"} %d\n" name s.Telemetry.Histogram.count;
+    line "%s_sum %s\n" name (float_text s.Telemetry.Histogram.sum);
+    line "%s_count %d\n" name s.Telemetry.Histogram.count
+  in
+  let by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+  List.iter counter (by_name (Telemetry.counters t @ extra_counters));
+  List.iter gauge (by_name (Telemetry.gauges t @ extra_gauges));
+  List.iter histogram (Telemetry.histograms t);
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+module Json = Aved_explain.Json
+
+type t = {
+  mutex : Mutex.t;
+  oc : out_channel;
+  mutable log_open : bool;
+}
+
+let open_path path =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  { mutex = Mutex.create (); oc; log_open = true }
+
+let write t record =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  if t.log_open then begin
+    output_string t.oc (Json.to_string record);
+    output_char t.oc '\n';
+    flush t.oc
+  end
+
+let event t ?ts ~kind fields =
+  let ts =
+    match ts with Some ts -> ts | None -> Unix.gettimeofday ()
+  in
+  write t
+    (Json.Obj
+       (("ts", Json.Float ts) :: ("event", Json.String kind) :: fields))
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  if t.log_open then begin
+    t.log_open <- false;
+    try close_out t.oc with Sys_error _ -> ()
+  end

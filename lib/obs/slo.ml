@@ -1,0 +1,72 @@
+module Rolling = Aved_telemetry.Rolling
+
+type config = {
+  target : float;
+  latency_budget_s : float;
+  window_s : float;
+}
+
+let default_config = { target = 0.999; latency_budget_s = 0.050; window_s = 300. }
+
+let validate_config c =
+  if not (Float.is_finite c.target) || c.target <= 0. || c.target > 1. then
+    Error "slo target must be in (0, 1]"
+  else if not (Float.is_finite c.latency_budget_s) || c.latency_budget_s <= 0.
+  then Error "slo latency budget must be positive"
+  else if not (Float.is_finite c.window_s) || c.window_s <= 0. then
+    Error "slo window must be positive"
+  else Ok c
+
+type t = { cfg : config; rolling : Rolling.t }
+
+let create ?(buckets = 60) cfg =
+  match validate_config cfg with
+  | Error m -> invalid_arg ("Slo.create: " ^ m)
+  | Ok cfg ->
+      { cfg; rolling = Rolling.create ~window_s:cfg.window_s ~buckets }
+
+let config t = t.cfg
+
+let record t ~now ~ok ~latency_s =
+  Rolling.record t.rolling ~now
+    ~good:(ok && latency_s <= t.cfg.latency_budget_s)
+
+let record_failure t ~now = Rolling.record t.rolling ~now ~good:false
+
+type snapshot = {
+  window_seconds : float;
+  target : float;
+  total : int;
+  good : int;
+  bad : int;
+  success_rate : float;
+  error_budget : float;
+  burn_rate : float;
+  budget_remaining : float;
+  met : bool;
+}
+
+let snapshot t ~now =
+  let { Rolling.good; bad } = Rolling.totals t.rolling ~now in
+  let total = good + bad in
+  let success_rate =
+    if total = 0 then 1. else float_of_int good /. float_of_int total
+  in
+  let error_budget = 1. -. t.cfg.target in
+  let burn_rate =
+    if total = 0 || bad = 0 then 0.
+    else if error_budget <= 0. then Float.infinity
+    else float_of_int bad /. float_of_int total /. error_budget
+  in
+  {
+    window_seconds = Rolling.window_s t.rolling;
+    target = t.cfg.target;
+    total;
+    good;
+    bad;
+    success_rate;
+    error_budget;
+    burn_rate;
+    budget_remaining = 1. -. burn_rate;
+    met = success_rate >= t.cfg.target;
+  }

@@ -1,0 +1,66 @@
+(** The daemon's own service-level objective: a rolling availability
+    target it continuously measures itself against.
+
+    An SLO here is "at least [target] of requests good over a rolling
+    [window_s]-second window", where a request is {e good} when it was
+    answered successfully within [latency_budget_s] — errors, shed
+    requests, queueing-deadline timeouts and slow successes all count
+    against the target, the same failure notions the paper's design
+    engine budgets for.
+
+    The error budget is the complement of the target: over a window
+    holding [total] requests, up to [(1 - target) * total] may be bad.
+    {!snapshot} reports how much of that budget the window has
+    consumed and the {e burn rate} — the ratio of the observed error
+    rate to the budgeted error rate. Burn rate 1.0 consumes the budget
+    exactly as fast as the window replenishes it; above 1.0 the budget
+    is being exhausted, and [budget_remaining] goes negative once it
+    is overspent. As bad events age out of the rolling window the
+    budget recovers — downtime is forgiven after [window_s], matching
+    the rolling-window SLA convention. *)
+
+type config = {
+  target : float;  (** Good fraction required, in (0, 1]. *)
+  latency_budget_s : float;  (** A success slower than this is bad. *)
+  window_s : float;  (** Rolling measurement window. *)
+}
+
+val default_config : config
+(** 99.9% of requests good within 50 ms over a 300 s window. *)
+
+val validate_config : config -> (config, string) result
+
+type t
+
+val create : ?buckets:int -> config -> t
+(** [buckets] sets the rolling window's granularity (default 60);
+    raises [Invalid_argument] on a config {!validate_config} rejects. *)
+
+val config : t -> config
+
+val record : t -> now:float -> ok:bool -> latency_s:float -> unit
+(** Record one finished request: good iff [ok] and
+    [latency_s <= latency_budget_s]. Thread-safe. *)
+
+val record_failure : t -> now:float -> unit
+(** Record a request that never produced a latency (shed at admission,
+    refused while draining): always bad. *)
+
+type snapshot = {
+  window_seconds : float;
+  target : float;
+  total : int;  (** Requests in the window. *)
+  good : int;
+  bad : int;
+  success_rate : float;  (** [good/total]; 1.0 on an empty window. *)
+  error_budget : float;  (** Allowed bad fraction, [1 - target]. *)
+  burn_rate : float;
+      (** Observed bad fraction over the budgeted bad fraction; 0.0 on
+          an empty window, [infinity] when a zero budget is violated. *)
+  budget_remaining : float;
+      (** [1 - burn_rate]: fraction of the window's error budget still
+          unspent; negative once overspent. *)
+  met : bool;  (** [success_rate >= target] (empty windows pass). *)
+}
+
+val snapshot : t -> now:float -> snapshot

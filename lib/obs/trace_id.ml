@@ -1,0 +1,21 @@
+(* splitmix64 over (base + sequence): the mix makes consecutive ids
+   look unrelated while the sequence guarantees in-process uniqueness
+   for the first 2^63 requests. *)
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let base =
+  mix
+    (Int64.logxor
+       (Int64.of_float (Unix.gettimeofday () *. 1e6))
+       (Int64.shift_left (Int64.of_int (Unix.getpid ())) 40))
+
+let sequence = Atomic.make 0
+
+let fresh () =
+  let n = Atomic.fetch_and_add sequence 1 in
+  Printf.sprintf "%016Lx" (mix (Int64.add base (Int64.of_int n)))

@@ -2,7 +2,7 @@ module Json = Aved_explain.Json
 module Json_parse = Aved_api.Json_parse
 module Api = Aved_api.Api
 
-type verb = Design | Frontier | Explain | Check | Health | Stats
+type verb = Design | Frontier | Explain | Check | Health | Stats | Metrics
 
 let verb_to_string = function
   | Design -> "design"
@@ -11,8 +11,9 @@ let verb_to_string = function
   | Check -> "check"
   | Health -> "health"
   | Stats -> "stats"
+  | Metrics -> "metrics"
 
-let all_verbs = [ Design; Frontier; Explain; Check; Health; Stats ]
+let all_verbs = [ Design; Frontier; Explain; Check; Health; Stats; Metrics ]
 
 let verb_of_string s =
   List.find_opt (fun v -> String.equal (verb_to_string v) s) all_verbs

@@ -25,7 +25,7 @@
 
 module Json = Aved_explain.Json
 
-type verb = Design | Frontier | Explain | Check | Health | Stats
+type verb = Design | Frontier | Explain | Check | Health | Stats | Metrics
 
 val verb_to_string : verb -> string
 val verb_of_string : string -> verb option

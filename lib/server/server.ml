@@ -6,6 +6,11 @@ module Duration = Aved_units.Duration
 module Memo = Aved_avail.Memo
 module Pool = Aved_parallel.Pool
 module Bounded_queue = Aved_parallel.Bounded_queue
+module Trace_id = Aved_obs.Trace_id
+module Lifecycle = Aved_obs.Lifecycle
+module Slo = Aved_obs.Slo
+module Prometheus = Aved_obs.Prometheus
+module Request_log = Aved_obs.Request_log
 
 (* ------------------------------------------------------------------ *)
 (* Metrics *)
@@ -29,6 +34,41 @@ let queue_depth_gauge = Telemetry.Gauge.make "server.queue.depth"
 let request_seconds = Telemetry.Histogram.make "server.request.seconds"
 let queue_wait_seconds = Telemetry.Histogram.make "server.queue.wait.seconds"
 
+(* Observability gauges: connection/queue/dispatcher occupancy is set
+   where it changes; GC, runtime and SLO gauges are sampled at scrape
+   time ([metrics], [stats], SIGUSR1) — see [set_runtime_gauges]. *)
+let connections_live_gauge = Telemetry.Gauge.make "server.connections.live"
+let queue_high_water_gauge = Telemetry.Gauge.make "server.queue.high_water"
+let queue_capacity_gauge = Telemetry.Gauge.make "server.queue.capacity"
+let dispatchers_busy_gauge = Telemetry.Gauge.make "server.dispatchers.busy"
+let dispatchers_total_gauge = Telemetry.Gauge.make "server.dispatchers.total"
+let memo_entries_gauge = Telemetry.Gauge.make "server.memo.entries"
+let spec_cache_entries_gauge = Telemetry.Gauge.make "server.spec_cache.entries"
+let uptime_gauge = Telemetry.Gauge.make "server.uptime.seconds"
+let pool_domains_gauge = Telemetry.Gauge.make "server.pool.domains"
+let gc_heap_words_gauge = Telemetry.Gauge.make "server.gc.heap_words"
+let gc_major_words_gauge = Telemetry.Gauge.make "server.gc.major_words"
+let gc_minor_words_gauge = Telemetry.Gauge.make "server.gc.minor_words"
+
+let gc_major_collections_gauge =
+  Telemetry.Gauge.make "server.gc.major_collections"
+
+let gc_minor_collections_gauge =
+  Telemetry.Gauge.make "server.gc.minor_collections"
+
+let gc_compactions_gauge = Telemetry.Gauge.make "server.gc.compactions"
+let slo_target_gauge = Telemetry.Gauge.make "server.slo.target"
+let slo_window_gauge = Telemetry.Gauge.make "server.slo.window.seconds"
+let slo_total_gauge = Telemetry.Gauge.make "server.slo.window.requests"
+let slo_bad_gauge = Telemetry.Gauge.make "server.slo.window.bad"
+let slo_success_rate_gauge = Telemetry.Gauge.make "server.slo.success_rate"
+let slo_burn_rate_gauge = Telemetry.Gauge.make "server.slo.burn_rate"
+
+let slo_budget_remaining_gauge =
+  Telemetry.Gauge.make "server.slo.error_budget_remaining"
+
+let slo_met_gauge = Telemetry.Gauge.make "server.slo.met"
+
 (* ------------------------------------------------------------------ *)
 (* Configuration *)
 
@@ -43,6 +83,8 @@ type config = {
   memo_capacity : int;
   span_capacity : int;
   send_timeout_s : float;
+  log_path : string option;
+  slo : Slo.config;
 }
 
 let default_config transport =
@@ -55,6 +97,8 @@ let default_config transport =
     memo_capacity = Memo.default_capacity;
     span_capacity = 4096;
     send_timeout_s = 10.;
+    log_path = None;
+    slo = Slo.default_config;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -68,12 +112,18 @@ let default_config transport =
    hung up, so further responses are dropped instead of retried. *)
 type conn = {
   fd : Unix.file_descr;
+  conn_id : int;  (** Monotone accept sequence; keys the request log. *)
   write_mutex : Mutex.t;
   mutable conn_open : bool;
   mutable write_dead : bool;
 }
 
-type job = { conn : conn; request : Protocol.request; enqueued_at : float }
+type job = {
+  conn : conn;
+  request : Protocol.request;
+  enqueued_at : float;
+  lifecycle : Lifecycle.t;
+}
 
 (* Searches record candidate fates into an ambient provenance trail
    (process-global), so a trail-installed search must not overlap any
@@ -101,8 +151,14 @@ type t = {
   specs : Spec_cache.t;
   registry : Telemetry.t;
   gate : search_gate;
+  slo : Slo.t;
+  log : Request_log.t option;
   started_at : float;
   stopping : bool Atomic.t;
+  snapshot_requested : bool Atomic.t; (* set by SIGUSR1 *)
+  next_conn_id : int Atomic.t;
+  queue_high_water : int Atomic.t;
+  dispatchers_busy : int Atomic.t;
   state_mutex : Mutex.t;
   mutable dispatcher_threads : Thread.t list;
   mutable reader_threads : Thread.t list;
@@ -145,7 +201,10 @@ let close_conn t conn =
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     Mutex.unlock conn.write_mutex;
     Telemetry.Counter.incr connections_closed;
-    locked t (fun () -> t.conns <- List.filter (fun c -> c != conn) t.conns)
+    locked t (fun () ->
+        t.conns <- List.filter (fun c -> c != conn) t.conns;
+        Telemetry.Gauge.set connections_live_gauge
+          (float_of_int (List.length t.conns)))
   end
   else Mutex.unlock conn.write_mutex
 
@@ -270,6 +329,41 @@ let resolve_tier service = function
   | None -> List.hd service.Model.Service.tiers
 
 (* ------------------------------------------------------------------ *)
+(* Request lifecycle: SLO accounting and the structured log *)
+
+(* The SLO covers the work verbs; monitoring traffic (health, stats,
+   metrics) and lines that never parsed to a verb are excluded, so
+   dashboard polling and port scanners cannot move the measured
+   availability in either direction. *)
+let slo_eligible_verb = function
+  | "design" | "frontier" | "explain" | "check" -> true
+  | _ -> false
+
+(* Outcomes the SLO counts as served: a prompt, well-formed answer —
+   including a user error, which is a correct answer to a bad request.
+   Shed, deadline-exceeded, shutting-down and internal outcomes spend
+   error budget, as does a served answer above the latency budget. *)
+let outcome_served = function
+  | "ok" | "user-error" | "bad-request" -> true
+  | _ -> false
+
+(* Close one request's lifecycle: record it against the SLO, observe
+   the per-verb/per-stage histograms, and append the structured log
+   record. Called exactly once per request line, on every path —
+   answered, shed, refused, malformed. *)
+let finish_lifecycle t lifecycle ~outcome =
+  if slo_eligible_verb (Lifecycle.verb lifecycle) then
+    Slo.record t.slo
+      ~now:(Telemetry.now_seconds ())
+      ~ok:(outcome_served outcome)
+      ~latency_s:(Lifecycle.elapsed_s lifecycle);
+  let record =
+    Lifecycle.finish lifecycle ~outcome
+      ~slow_threshold_s:t.config.slo.Slo.latency_budget_s
+  in
+  Option.iter (fun log -> Request_log.write log record) t.log
+
+(* ------------------------------------------------------------------ *)
 (* Verb handlers — each renders through the same Api encoder the CLI's
    --json flag uses, which is what makes responses byte-identical. *)
 
@@ -352,9 +446,9 @@ let histogram_json (s : Telemetry.Histogram.summary) =
     [
       ("count", Json.Int s.count);
       ("mean", Json.Float (Telemetry.Histogram.mean s));
-      ("p50", Json.Float (Telemetry.Histogram.quantile s 0.5));
-      ("p95", Json.Float (Telemetry.Histogram.quantile s 0.95));
-      ("p99", Json.Float (Telemetry.Histogram.quantile s 0.99));
+      ("p50", Json.Float (Telemetry.Histogram.quantile_est s 0.5));
+      ("p95", Json.Float (Telemetry.Histogram.quantile_est s 0.95));
+      ("p99", Json.Float (Telemetry.Histogram.quantile_est s 0.99));
     ]
 
 let span_totals spans =
@@ -378,8 +472,76 @@ let span_totals spans =
     !order
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* GC, runtime, occupancy and SLO gauges are sampled here — at scrape
+   time — rather than on the request path, so their cost is paid by
+   whoever asks ([metrics], [stats], SIGUSR1), never by a request. *)
+let set_runtime_gauges t =
+  let gc = Gc.quick_stat () in
+  Telemetry.Gauge.set gc_heap_words_gauge (float_of_int gc.Gc.heap_words);
+  Telemetry.Gauge.set gc_major_words_gauge gc.Gc.major_words;
+  Telemetry.Gauge.set gc_minor_words_gauge gc.Gc.minor_words;
+  Telemetry.Gauge.set gc_major_collections_gauge
+    (float_of_int gc.Gc.major_collections);
+  Telemetry.Gauge.set gc_minor_collections_gauge
+    (float_of_int gc.Gc.minor_collections);
+  Telemetry.Gauge.set gc_compactions_gauge (float_of_int gc.Gc.compactions);
+  Telemetry.Gauge.set uptime_gauge (Telemetry.now_seconds () -. t.started_at);
+  Telemetry.Gauge.set pool_domains_gauge (float_of_int t.config.jobs);
+  Telemetry.Gauge.set dispatchers_total_gauge
+    (float_of_int t.config.dispatchers);
+  Telemetry.Gauge.set dispatchers_busy_gauge
+    (float_of_int (Atomic.get t.dispatchers_busy));
+  Telemetry.Gauge.set queue_depth_gauge
+    (float_of_int (Bounded_queue.length t.queue));
+  Telemetry.Gauge.set queue_capacity_gauge
+    (float_of_int (Bounded_queue.capacity t.queue));
+  Telemetry.Gauge.set queue_high_water_gauge
+    (float_of_int (Atomic.get t.queue_high_water));
+  Telemetry.Gauge.set memo_entries_gauge (float_of_int (Memo.length t.memo));
+  Telemetry.Gauge.set spec_cache_entries_gauge
+    (float_of_int (Spec_cache.length t.specs));
+  Telemetry.Gauge.set connections_live_gauge
+    (float_of_int (List.length (locked t (fun () -> t.conns))));
+  let snap = Slo.snapshot t.slo ~now:(Telemetry.now_seconds ()) in
+  Telemetry.Gauge.set slo_target_gauge snap.Slo.target;
+  Telemetry.Gauge.set slo_window_gauge snap.Slo.window_seconds;
+  Telemetry.Gauge.set slo_total_gauge (float_of_int snap.Slo.total);
+  Telemetry.Gauge.set slo_bad_gauge (float_of_int snap.Slo.bad);
+  Telemetry.Gauge.set slo_success_rate_gauge snap.Slo.success_rate;
+  Telemetry.Gauge.set slo_burn_rate_gauge snap.Slo.burn_rate;
+  Telemetry.Gauge.set slo_budget_remaining_gauge snap.Slo.budget_remaining;
+  Telemetry.Gauge.set slo_met_gauge (if snap.Slo.met then 1. else 0.);
+  snap
+
+let slo_json (s : Slo.snapshot) =
+  Json.Obj
+    [
+      ("target", Json.Float s.Slo.target);
+      ("window_seconds", Json.Float s.Slo.window_seconds);
+      ("requests", Json.Int s.Slo.total);
+      ("good", Json.Int s.Slo.good);
+      ("bad", Json.Int s.Slo.bad);
+      ("success_rate", Json.Float s.Slo.success_rate);
+      ("error_budget", Json.Float s.Slo.error_budget);
+      ("burn_rate", Json.Float s.Slo.burn_rate);
+      ("budget_remaining", Json.Float s.Slo.budget_remaining);
+      ("met", Json.Bool s.Slo.met);
+    ]
+
+let handle_metrics t =
+  ignore (set_runtime_gauges t);
+  let body =
+    Prometheus.render
+      ~extra_counters:
+        [ ("server.spans.dropped", Telemetry.spans_dropped t.registry) ]
+      t.registry
+  in
+  Api.metrics_result_to_json
+    { Api.metrics_content_type = Prometheus.content_type; body }
+
 let handle_stats t =
   let memo_hits, memo_misses = Memo.stats t.memo in
+  let snap = set_runtime_gauges t in
   Api.versioned
     [
       ( "uptime_seconds",
@@ -389,7 +551,24 @@ let handle_stats t =
           [
             ("depth", Json.Int (Bounded_queue.length t.queue));
             ("capacity", Json.Int (Bounded_queue.capacity t.queue));
+            ("high_water", Json.Int (Atomic.get t.queue_high_water));
+            ( "shed",
+              Json.Int (Telemetry.Counter.read t.registry shed_counter) );
+            ( "deadline_exceeded",
+              Json.Int (Telemetry.Counter.read t.registry deadline_counter) );
           ] );
+      ( "connections",
+        Json.Obj
+          [
+            ("live", Json.Int (List.length (locked t (fun () -> t.conns))));
+            ( "opened",
+              Json.Int (Telemetry.Counter.read t.registry connections_opened)
+            );
+            ( "closed",
+              Json.Int (Telemetry.Counter.read t.registry connections_closed)
+            );
+          ] );
+      ("slo", slo_json snap);
       ( "memo",
         Json.Obj
           [
@@ -411,6 +590,11 @@ let handle_stats t =
           (List.map
              (fun (name, v) -> (name, Json.Int v))
              (Telemetry.counters t.registry)) );
+      ( "gauges",
+        Json.Obj
+          (List.map
+             (fun (name, v) -> (name, Json.Float v))
+             (Telemetry.gauges t.registry)) );
       ( "histograms",
         Json.Obj
           (List.map
@@ -425,15 +609,29 @@ let handle_stats t =
 
 let handle_request t (job : job) =
   let request = job.request in
+  let lc = job.lifecycle in
+  Lifecycle.stamp lc "queue";
   Telemetry.Counter.incr (List.assoc request.Protocol.verb request_counters);
+  (* [render] is deferred so serialization lands in the "encode" stage
+     rather than being charged to whichever stage built the value. *)
+  let respond ~outcome render =
+    Lifecycle.stamp lc "handle";
+    let line = render () in
+    Lifecycle.stamp lc "encode";
+    send_line job.conn line;
+    Lifecycle.stamp lc "write";
+    finish_lifecycle t lc ~outcome
+  in
   let respond_ok result =
     Telemetry.Counter.incr responses_ok;
-    send_line job.conn (Protocol.ok_response ~id:request.Protocol.id result)
+    respond ~outcome:"ok" (fun () ->
+        Protocol.ok_response ~id:request.Protocol.id result)
   in
   let respond_error code message =
     Telemetry.Counter.incr responses_error;
-    send_line job.conn
-      (Protocol.error_response ~id:request.Protocol.id code message)
+    respond
+      ~outcome:(Protocol.error_code_to_string code)
+      (fun () -> Protocol.error_response ~id:request.Protocol.id code message)
   in
   let waited = Telemetry.now_seconds () -. job.enqueued_at in
   Telemetry.Histogram.observe queue_wait_seconds waited;
@@ -461,6 +659,7 @@ let handle_request t (job : job) =
         | Protocol.Check -> handle_check request.Protocol.params
         | Protocol.Health -> handle_health ()
         | Protocol.Stats -> handle_stats t
+        | Protocol.Metrics -> handle_metrics t
       with
       | result -> respond_ok result
       | exception Bad_params message ->
@@ -481,22 +680,50 @@ let rec dispatcher_loop t =
   | Some job ->
       Telemetry.Gauge.set queue_depth_gauge
         (float_of_int (Bounded_queue.length t.queue));
-      handle_request t job;
+      Atomic.incr t.dispatchers_busy;
+      Telemetry.Gauge.set dispatchers_busy_gauge
+        (float_of_int (Atomic.get t.dispatchers_busy));
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.decr t.dispatchers_busy;
+          Telemetry.Gauge.set dispatchers_busy_gauge
+            (float_of_int (Atomic.get t.dispatchers_busy)))
+        (fun () -> handle_request t job);
       dispatcher_loop t
 
 (* ------------------------------------------------------------------ *)
 (* Connection readers *)
 
-let admit t conn (request : Protocol.request) =
-  let job = { conn; request; enqueued_at = Telemetry.now_seconds () } in
-  if Bounded_queue.try_push t.queue job then
-    Telemetry.Gauge.set queue_depth_gauge
-      (float_of_int (Bounded_queue.length t.queue))
+(* Raise the high-water mark with a CAS loop: several readers can push
+   concurrently and the mark must never move down. *)
+let raise_high_water t depth =
+  let rec bump () =
+    let seen = Atomic.get t.queue_high_water in
+    if depth > seen then
+      if not (Atomic.compare_and_set t.queue_high_water seen depth) then
+        bump ()
+  in
+  bump ();
+  Telemetry.Gauge.set queue_high_water_gauge
+    (float_of_int (Atomic.get t.queue_high_water))
+
+let admit t conn lifecycle (request : Protocol.request) =
+  let job =
+    { conn; request; enqueued_at = Telemetry.now_seconds (); lifecycle }
+  in
+  Lifecycle.stamp lifecycle "admit";
+  if Bounded_queue.try_push t.queue job then begin
+    let depth = Bounded_queue.length t.queue in
+    Telemetry.Gauge.set queue_depth_gauge (float_of_int depth);
+    raise_high_water t depth
+  end
   else if Bounded_queue.closed t.queue then begin
     Telemetry.Counter.incr responses_error;
     send_line conn
       (Protocol.error_response ~id:request.Protocol.id Protocol.Shutting_down
-         "server is draining; retry elsewhere")
+         "server is draining; retry elsewhere");
+    Lifecycle.stamp lifecycle "write";
+    finish_lifecycle t lifecycle ~outcome:"shutting-down"
   end
   else begin
     Telemetry.Counter.incr shed_counter;
@@ -504,7 +731,9 @@ let admit t conn (request : Protocol.request) =
     send_line conn
       (Protocol.error_response ~id:request.Protocol.id Protocol.Overloaded
          (Printf.sprintf "admission queue is full (capacity %d); retry later"
-            (Bounded_queue.capacity t.queue)))
+            (Bounded_queue.capacity t.queue)));
+    Lifecycle.stamp lifecycle "write";
+    finish_lifecycle t lifecycle ~outcome:"overloaded"
   end
 
 let reader_loop t conn =
@@ -513,6 +742,7 @@ let reader_loop t conn =
     match input_line ic with
     | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
     | line -> (
+        let t_read = Telemetry.now_seconds () in
         (* The catch-all keeps a malicious or pathological line (e.g.
            one that trips an unexpected exception in parsing/admission)
            from killing the reader before [close_conn] runs and leaking
@@ -520,12 +750,31 @@ let reader_loop t conn =
         match
           if String.trim line <> "" then
             match Protocol.request_of_line line with
-            | Ok request -> admit t conn request
+            | Ok request ->
+                let lifecycle =
+                  Lifecycle.start ~trace_id:(Trace_id.fresh ())
+                    ~verb:(Protocol.verb_to_string request.Protocol.verb)
+                    ~conn_id:conn.conn_id ~req_id:request.Protocol.id
+                    ~now:t_read
+                in
+                Lifecycle.stamp lifecycle "parse";
+                admit t conn lifecycle request
             | Error message ->
+                (* Never parsed to a verb, so it still gets a trace id
+                   and a log record, but under the reserved verb
+                   "invalid" which the SLO ignores. *)
+                let lifecycle =
+                  Lifecycle.start ~trace_id:(Trace_id.fresh ())
+                    ~verb:"invalid" ~conn_id:conn.conn_id ~req_id:Json.Null
+                    ~now:t_read
+                in
+                Lifecycle.stamp lifecycle "parse";
                 Telemetry.Counter.incr responses_error;
                 send_line conn
                   (Protocol.error_response ~id:Json.Null Protocol.Bad_request
-                     message)
+                     message);
+                Lifecycle.stamp lifecycle "write";
+                finish_lifecycle t lifecycle ~outcome:"bad-request"
         with
         | () -> loop ()
         | exception exn ->
@@ -602,6 +851,9 @@ let bind_listener = function
 let create config =
   if config.dispatchers < 1 then
     invalid_arg "Server.create: dispatchers must be >= 1";
+  (match Slo.validate_config config.slo with
+  | Ok _ -> ()
+  | Error msg -> failwith (Printf.sprintf "invalid SLO config: %s" msg));
   (* SIGPIPE would kill the process on a write to a client that hung
      up; we detect that per-connection from the write error instead. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -615,7 +867,21 @@ let create config =
     |> Aved_search.Search_config.with_engine
          (Aved_avail.Evaluate.Memoized memo)
   in
-  let listen_fd, port = bind_listener config.transport in
+  let log =
+    match config.log_path with
+    | None -> None
+    | Some path -> (
+        match Request_log.open_path path with
+        | log -> Some log
+        | exception Sys_error msg ->
+            failwith (Printf.sprintf "cannot open request log: %s" msg))
+  in
+  let listen_fd, port =
+    try bind_listener config.transport
+    with exn ->
+      Option.iter Request_log.close log;
+      raise exn
+  in
   let t =
     {
       config;
@@ -628,14 +894,31 @@ let create config =
       specs = Spec_cache.create ();
       registry;
       gate = make_gate ();
+      slo = Slo.create config.slo;
+      log;
       started_at = Telemetry.now_seconds ();
       stopping = Atomic.make false;
+      snapshot_requested = Atomic.make false;
+      next_conn_id = Atomic.make 0;
+      queue_high_water = Atomic.make 0;
+      dispatchers_busy = Atomic.make 0;
       state_mutex = Mutex.create ();
       dispatcher_threads = [];
       reader_threads = [];
       conns = [];
     }
   in
+  Option.iter
+    (fun log ->
+      Request_log.event log ~kind:"start"
+        [
+          ("pid", Json.Int (Unix.getpid ()));
+          ("slo_target", Json.Float config.slo.Slo.target);
+          ( "slo_latency_budget_ms",
+            Json.Float (config.slo.Slo.latency_budget_s *. 1000.) );
+          ("slo_window_s", Json.Float config.slo.Slo.window_s);
+        ])
+    t.log;
   t.dispatcher_threads <-
     List.init config.dispatchers (fun _ -> Thread.create dispatcher_loop t);
   t
@@ -645,7 +928,14 @@ let stop t = Atomic.set t.stopping true
 let install_signal_handlers t =
   let handler = Sys.Signal_handle (fun _ -> stop t) in
   Sys.set_signal Sys.sigterm handler;
-  Sys.set_signal Sys.sigint handler
+  Sys.set_signal Sys.sigint handler;
+  (* SIGUSR1 requests a full metrics/GC snapshot. The handler only sets
+     a flag; the accept loop performs the dump, since writing the log
+     from a signal handler would not be async-signal-safe. *)
+  try
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle (fun _ -> Atomic.set t.snapshot_requested true))
+  with Invalid_argument _ | Sys_error _ -> ()
 
 let bound_port t = t.port
 
@@ -662,19 +952,35 @@ let accept_one t =
       (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.send_timeout_s
        with Unix.Unix_error _ | Invalid_argument _ -> ());
       let conn =
-        { fd; write_mutex = Mutex.create (); conn_open = true;
+        { fd; conn_id = Atomic.fetch_and_add t.next_conn_id 1;
+          write_mutex = Mutex.create (); conn_open = true;
           write_dead = false }
       in
       Telemetry.Counter.incr connections_opened;
-      locked t (fun () -> t.conns <- conn :: t.conns);
+      locked t (fun () ->
+          t.conns <- conn :: t.conns;
+          Telemetry.Gauge.set connections_live_gauge
+            (float_of_int (List.length t.conns)));
       let thread = Thread.create (fun () -> reader_loop t conn) () in
       locked t (fun () -> t.reader_threads <- thread :: t.reader_threads)
+
+(* SIGUSR1 snapshot: the full stats document (counters, gauges, SLO,
+   GC) as one "snapshot" record in the structured log, or on stderr
+   when no log is configured. *)
+let dump_snapshot t =
+  let stats = handle_stats t in
+  match t.log with
+  | Some log -> Request_log.event log ~kind:"snapshot" [ ("stats", stats) ]
+  | None ->
+      Printf.eprintf "aved serve snapshot: %s\n%!" (Json.to_string stats)
 
 let run t =
   (* Accept with a short select timeout so [stop] — possibly set from a
      signal handler — is noticed promptly without any wakeup channel. *)
   let rec loop () =
     if not (Atomic.get t.stopping) then begin
+      if Atomic.compare_and_set t.snapshot_requested true false then
+        dump_snapshot t;
       (match Unix.select [ t.listen_fd ] [] [] 0.25 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | [], _, _ -> ()
@@ -697,4 +1003,13 @@ let run t =
   List.iter shutdown_conn (locked t (fun () -> t.conns));
   List.iter Thread.join (locked t (fun () -> t.reader_threads));
   Pool.shutdown t.pool;
+  Option.iter
+    (fun log ->
+      Request_log.event log ~kind:"stop"
+        [
+          ( "uptime_s",
+            Json.Float (Telemetry.now_seconds () -. t.started_at) );
+        ];
+      Request_log.close log)
+    t.log;
   Telemetry.uninstall ()

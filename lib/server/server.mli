@@ -57,12 +57,24 @@ type config = {
           write to a client that stopped reading fails after this many
           seconds and the connection is dropped, instead of blocking a
           dispatcher indefinitely. *)
+  log_path : string option;
+      (** Structured request log ([aved serve --log FILE]): one JSON
+          object per request with trace id, per-stage timings and
+          outcome, plus start/stop/snapshot events. [None] disables
+          logging entirely. *)
+  slo : Aved_obs.Slo.config;
+      (** The daemon's own availability objective — target success
+          rate, per-request latency budget, and rolling window —
+          tracked continuously and exposed via [stats] and [metrics]
+          (see {!Aved_obs.Slo}). *)
 }
 
 val default_config : transport -> config
 (** [jobs = Domain.recommended_domain_count ()], 2 dispatchers, a
     128-request queue, no default deadline, {!Aved_avail.Memo.default_capacity}
-    memo entries, 4096 retained spans per domain, a 10 s send timeout. *)
+    memo entries, 4096 retained spans per domain, a 10 s send timeout,
+    no request log, and {!Aved_obs.Slo.default_config} (99.9% of work
+    requests within 50 ms over a 5-minute window). *)
 
 type t
 
@@ -72,7 +84,8 @@ val create : config -> t
     [Unix.Unix_error] when the address cannot be bound,
     [Invalid_argument] on non-positive sizes, and [Failure] when a
     Unix-socket path is already served by a live daemon (an existing
-    path is probed with a connect before being unlinked). *)
+    path is probed with a connect before being unlinked), when the
+    SLO config is invalid, or when the request log cannot be opened. *)
 
 val run : t -> unit
 (** The accept loop. Returns after {!stop}, once every admitted request
@@ -86,7 +99,11 @@ val stop : t -> unit
     its 250 ms accept timeout). *)
 
 val install_signal_handlers : t -> unit
-(** Route SIGTERM and SIGINT to {!stop}. *)
+(** Route SIGTERM and SIGINT to {!stop}, and SIGUSR1 to a full
+    metrics/GC snapshot: the accept loop notices the flag within its
+    250 ms timeout and appends a ["snapshot"] record (the complete
+    [stats] document) to the request log, or prints it to stderr when
+    no log is configured. *)
 
 val bound_port : t -> int option
 (** The actually-bound TCP port — useful with [Tcp { port = 0 }] (the

@@ -1,0 +1,62 @@
+(* Ring of time buckets keyed by epoch = floor(now / bucket_s). Slot
+   [epoch mod buckets] holds that epoch's counts; a slot carrying a
+   stale epoch is reset on first touch, so no sweeper thread exists and
+   an idle window costs nothing. *)
+
+type t = {
+  mutex : Mutex.t;
+  bucket_s : float;
+  buckets : int;
+  epochs : int array; (* epoch currently stored in each slot; -1 empty *)
+  good_counts : int array;
+  bad_counts : int array;
+}
+
+type totals = { good : int; bad : int }
+
+let create ~window_s ~buckets =
+  if not (Float.is_finite window_s) || window_s <= 0. then
+    invalid_arg "Rolling.create: window_s must be positive";
+  if buckets < 1 then invalid_arg "Rolling.create: buckets must be >= 1";
+  {
+    mutex = Mutex.create ();
+    bucket_s = window_s /. float_of_int buckets;
+    buckets;
+    epochs = Array.make buckets (-1);
+    good_counts = Array.make buckets 0;
+    bad_counts = Array.make buckets 0;
+  }
+
+let window_s t = t.bucket_s *. float_of_int t.buckets
+let epoch_of t now = int_of_float (Float.floor (now /. t.bucket_s))
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let record t ~now ~good =
+  let epoch = epoch_of t now in
+  let slot = ((epoch mod t.buckets) + t.buckets) mod t.buckets in
+  locked t @@ fun () ->
+  if t.epochs.(slot) <> epoch then begin
+    t.epochs.(slot) <- epoch;
+    t.good_counts.(slot) <- 0;
+    t.bad_counts.(slot) <- 0
+  end;
+  if good then t.good_counts.(slot) <- t.good_counts.(slot) + 1
+  else t.bad_counts.(slot) <- t.bad_counts.(slot) + 1
+
+let totals t ~now =
+  let epoch = epoch_of t now in
+  locked t @@ fun () ->
+  let good = ref 0 and bad = ref 0 in
+  for slot = 0 to t.buckets - 1 do
+    let e = t.epochs.(slot) in
+    (* Keep the last [buckets] epochs up to [now]; also keep anything
+       stamped ahead of [now] (another thread's slightly later clock). *)
+    if e >= 0 && e > epoch - t.buckets then begin
+      good := !good + t.good_counts.(slot);
+      bad := !bad + t.bad_counts.(slot)
+    end
+  done;
+  { good = !good; bad = !bad }

@@ -1,0 +1,32 @@
+(** A rolling time window of good/bad event counts.
+
+    The substrate of the serve daemon's SLO tracker: every answered
+    request is recorded as good (served within its latency budget) or
+    bad (error, shed, timed out, or too slow), and the window reports
+    the counts over roughly the last [window_s] seconds.
+
+    The window is a ring of [buckets] fixed-width time buckets. A
+    bucket is recycled lazily when time moves past it, so {!record} is
+    O(1) and allocation-free; {!totals} sums the buckets that still
+    fall inside the window. Granularity is one bucket: the reported
+    range covers between [window_s - window_s/buckets] and [window_s]
+    seconds depending on where [now] falls inside the current bucket.
+
+    Thread-safe (one mutex); callers pass [now] explicitly so the
+    arithmetic is deterministic under test. *)
+
+type t
+
+val create : window_s:float -> buckets:int -> t
+(** [window_s > 0.], [buckets >= 1]; raises [Invalid_argument]
+    otherwise. Each bucket covers [window_s /. buckets] seconds. *)
+
+val window_s : t -> float
+
+type totals = { good : int; bad : int }
+
+val record : t -> now:float -> good:bool -> unit
+val totals : t -> now:float -> totals
+(** Counts recorded within the window ending at [now]. Events recorded
+    at a time later than [now] (clock skew between threads) are still
+    counted; events older than the window are gone. *)

@@ -334,6 +334,32 @@ module Histogram = struct
       in
       scan 0 s.buckets
     end
+
+  let quantile_est s q =
+    if s.count = 0 then Float.nan
+    else begin
+      let target = q *. float_of_int s.count in
+      let rec scan acc = function
+        | [] -> s.max
+        | (ub, n) :: rest ->
+            let reached = acc + n in
+            if float_of_int reached >= target then begin
+              (* Log-bucketed: the bucket spans (ub/2, ub]. Interpolate
+                 by rank position inside it, then clamp to the observed
+                 extremes so a single-bucket summary reports a value
+                 that was actually seen. *)
+              let lb = ub /. 2. in
+              let frac =
+                Float.max 0.
+                  (Float.min 1.
+                     ((target -. float_of_int acc) /. float_of_int n))
+              in
+              Float.min s.max (Float.max s.min (lb +. (frac *. (ub -. lb))))
+            end
+            else scan reached rest
+      in
+      scan 0 s.buckets
+    end
 end
 
 (* ------------------------------------------------------------------ *)

@@ -106,6 +106,14 @@ module Histogram : sig
   val quantile : summary -> float -> float
   (** Upper bound of the bucket where the cumulative count crosses the
       quantile; [nan] on an empty summary. *)
+
+  val quantile_est : summary -> float -> float
+  (** Interpolated quantile estimate: linear within the crossing log
+      bucket and clamped to the observed [[min, max]] range, so the
+      error is bounded by one bucket's width (a factor of two) rather
+      than always rounding up to the bucket bound. [nan] on an empty
+      summary. This is what latency dashboards ([aved top], the
+      [metrics] verb) report as p50/p95/p99. *)
 end
 
 type span = {

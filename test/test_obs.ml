@@ -1,0 +1,383 @@
+(* Tests for the observability layer: the rolling SLO window (budget
+   exhaustion and recovery), trace-id generation, Prometheus text
+   exposition, and the request-lifecycle log record. *)
+
+module Telemetry = Aved_telemetry.Telemetry
+module Rolling = Aved_telemetry.Rolling
+module Slo = Aved_obs.Slo
+module Trace_id = Aved_obs.Trace_id
+module Prometheus = Aved_obs.Prometheus
+module Lifecycle = Aved_obs.Lifecycle
+module Json = Aved_explain.Json
+
+(* ------------------------------------------------------------------ *)
+(* Rolling window *)
+
+let test_rolling_counts () =
+  let r = Rolling.create ~window_s:60. ~buckets:6 in
+  let t0 = 1000. in
+  Rolling.record r ~now:t0 ~good:true;
+  Rolling.record r ~now:(t0 +. 1.) ~good:true;
+  Rolling.record r ~now:(t0 +. 2.) ~good:false;
+  let { Rolling.good; bad } = Rolling.totals r ~now:(t0 +. 3.) in
+  Alcotest.(check int) "good" 2 good;
+  Alcotest.(check int) "bad" 1 bad
+
+let test_rolling_expiry () =
+  let r = Rolling.create ~window_s:60. ~buckets:6 in
+  let t0 = 1000. in
+  Rolling.record r ~now:t0 ~good:false;
+  (* Still visible within the window... *)
+  Alcotest.(check int) "inside window" 1 (Rolling.totals r ~now:(t0 +. 30.)).Rolling.bad;
+  (* ...gone after the window has fully rolled past it. *)
+  Alcotest.(check int) "expired" 0 (Rolling.totals r ~now:(t0 +. 120.)).Rolling.bad;
+  (* And the recycled bucket does not resurrect old counts. *)
+  Rolling.record r ~now:(t0 +. 120.) ~good:true;
+  let { Rolling.good; bad } = Rolling.totals r ~now:(t0 +. 121.) in
+  Alcotest.(check int) "fresh good" 1 good;
+  Alcotest.(check int) "no resurrection" 0 bad
+
+let test_rolling_validation () =
+  Alcotest.check_raises "zero window" (Invalid_argument "Rolling.create: window_s must be positive")
+    (fun () -> ignore (Rolling.create ~window_s:0. ~buckets:6));
+  Alcotest.check_raises "zero buckets" (Invalid_argument "Rolling.create: buckets must be >= 1")
+    (fun () -> ignore (Rolling.create ~window_s:60. ~buckets:0))
+
+(* ------------------------------------------------------------------ *)
+(* SLO tracker *)
+
+let slo_config = { Slo.target = 0.9; latency_budget_s = 0.05; window_s = 60. }
+
+let test_slo_good_window () =
+  let slo = Slo.create ~buckets:6 slo_config in
+  let t0 = 1000. in
+  for i = 0 to 99 do
+    Slo.record slo ~now:(t0 +. float_of_int i /. 10.) ~ok:true ~latency_s:0.01
+  done;
+  let s = Slo.snapshot slo ~now:(t0 +. 10.) in
+  Alcotest.(check int) "total" 100 s.Slo.total;
+  Alcotest.(check (float 1e-9)) "success" 1.0 s.Slo.success_rate;
+  Alcotest.(check (float 1e-9)) "burn" 0.0 s.Slo.burn_rate;
+  Alcotest.(check (float 1e-9)) "budget intact" 1.0 s.Slo.budget_remaining;
+  Alcotest.(check bool) "met" true s.Slo.met
+
+(* Budget exhaustion: with a 90% target the error budget is 10% of the
+   window. 80 good + 20 bad is a 20% error rate — twice the budget, so
+   burn rate 2.0, budget_remaining -1.0, objective missed. *)
+let test_slo_budget_exhaustion () =
+  let slo = Slo.create ~buckets:6 slo_config in
+  let t0 = 1000. in
+  for _ = 1 to 80 do
+    Slo.record slo ~now:t0 ~ok:true ~latency_s:0.01
+  done;
+  for i = 1 to 20 do
+    (* Mix the failure modes: errors, slow successes, and sheds. *)
+    if i mod 3 = 0 then Slo.record_failure slo ~now:t0
+    else if i mod 3 = 1 then Slo.record slo ~now:t0 ~ok:false ~latency_s:0.01
+    else Slo.record slo ~now:t0 ~ok:true ~latency_s:0.2
+  done;
+  let s = Slo.snapshot slo ~now:(t0 +. 1.) in
+  Alcotest.(check int) "total" 100 s.Slo.total;
+  Alcotest.(check int) "bad" 20 s.Slo.bad;
+  Alcotest.(check (float 1e-9)) "success" 0.8 s.Slo.success_rate;
+  Alcotest.(check (float 1e-9)) "burn rate" 2.0 s.Slo.burn_rate;
+  Alcotest.(check (float 1e-9)) "budget overspent" (-1.0) s.Slo.budget_remaining;
+  Alcotest.(check bool) "missed" false s.Slo.met
+
+(* Recovery: the bad burst ages out of the rolling window while fresh
+   good traffic keeps arriving, so the budget replenishes without any
+   reset. *)
+let test_slo_recovery () =
+  let slo = Slo.create ~buckets:6 slo_config in
+  let t0 = 1000. in
+  for _ = 1 to 20 do
+    Slo.record_failure slo ~now:t0
+  done;
+  let burning = Slo.snapshot slo ~now:(t0 +. 1.) in
+  Alcotest.(check bool) "burning" false burning.Slo.met;
+  Alcotest.(check bool) "budget gone" true
+    (burning.Slo.budget_remaining < 0.);
+  (* 90 seconds later the burst is outside the 60 s window. *)
+  for i = 0 to 49 do
+    Slo.record slo ~now:(t0 +. 90. +. float_of_int i /. 10.) ~ok:true
+      ~latency_s:0.01
+  done;
+  let healed = Slo.snapshot slo ~now:(t0 +. 95.) in
+  Alcotest.(check int) "burst aged out" 0 healed.Slo.bad;
+  Alcotest.(check (float 1e-9)) "success back to 1" 1.0
+    healed.Slo.success_rate;
+  Alcotest.(check (float 1e-9)) "budget recovered" 1.0
+    healed.Slo.budget_remaining;
+  Alcotest.(check bool) "met again" true healed.Slo.met
+
+let test_slo_empty_window_passes () =
+  let slo = Slo.create ~buckets:6 slo_config in
+  let s = Slo.snapshot slo ~now:1000. in
+  Alcotest.(check int) "empty" 0 s.Slo.total;
+  Alcotest.(check (float 1e-9)) "success 1.0" 1.0 s.Slo.success_rate;
+  Alcotest.(check bool) "met" true s.Slo.met
+
+let test_slo_validate_config () =
+  let bad cfg = match Slo.validate_config cfg with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "default valid" false (bad Slo.default_config);
+  Alcotest.(check bool) "target 0" true
+    (bad { slo_config with Slo.target = 0. });
+  Alcotest.(check bool) "target > 1" true
+    (bad { slo_config with Slo.target = 1.5 });
+  Alcotest.(check bool) "negative latency" true
+    (bad { slo_config with Slo.latency_budget_s = -1. });
+  Alcotest.(check bool) "zero window" true
+    (bad { slo_config with Slo.window_s = 0. })
+
+(* ------------------------------------------------------------------ *)
+(* Trace ids *)
+
+let test_trace_id_format_and_uniqueness () =
+  let seen = Hashtbl.create 4096 in
+  let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') in
+  for _ = 1 to 10_000 do
+    let id = Trace_id.fresh () in
+    Alcotest.(check int) "16 chars" 16 (String.length id);
+    Alcotest.(check bool) "lowercase hex" true (String.for_all is_hex id);
+    if Hashtbl.mem seen id then Alcotest.failf "duplicate trace id %s" id;
+    Hashtbl.add seen id ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition *)
+
+(* A minimal text-format parser strong enough to catch what CI also
+   validates: every non-comment line is [name{labels} value], every
+   family has exactly one TYPE header, histogram buckets are cumulative
+   and end at +Inf = count. *)
+let parse_exposition text =
+  let types = Hashtbl.create 16 in
+  let samples = ref [] in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line = "" then ()
+         else if String.length line >= 6 && String.sub line 0 6 = "# TYPE" then (
+           match String.split_on_char ' ' line with
+           | [ "#"; "TYPE"; name; kind ] ->
+               if Hashtbl.mem types name then
+                 Alcotest.failf "duplicate TYPE for %s" name;
+               Hashtbl.add types name kind
+           | _ -> Alcotest.failf "malformed TYPE line %S" line)
+         else if line.[0] = '#' then ()
+         else
+           match String.index_opt line ' ' with
+           | None -> Alcotest.failf "malformed sample line %S" line
+           | Some i ->
+               let name_part = String.sub line 0 i in
+               let value_part =
+                 String.sub line (i + 1) (String.length line - i - 1)
+               in
+               let value =
+                 if value_part = "+Inf" then infinity
+                 else
+                   match float_of_string_opt value_part with
+                   | Some v -> v
+                   | None -> Alcotest.failf "bad sample value %S" value_part
+               in
+               samples := (name_part, value) :: !samples);
+  (types, List.rev !samples)
+
+let metric_name_ok name =
+  let base =
+    match String.index_opt name '{' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  String.length base > 0
+  && (match base.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       base
+
+let test_prometheus_render () =
+  let c = Telemetry.Counter.make "test.prom.requests" in
+  let g = Telemetry.Gauge.make "test.prom.depth" in
+  let h = Telemetry.Histogram.make "test.prom.latency.seconds" in
+  let t = Telemetry.create () in
+  Telemetry.install t;
+  Fun.protect ~finally:Telemetry.uninstall @@ fun () ->
+  Telemetry.Counter.add c 7;
+  Telemetry.Gauge.set g 3.5;
+  List.iter (Telemetry.Histogram.observe h) [ 0.001; 0.004; 0.02; 1.5 ];
+  let text =
+    Prometheus.render ~extra_counters:[ ("test.prom.extra", 11) ]
+      ~extra_gauges:[ ("test.prom.budget", 0.25) ]
+      t
+  in
+  Alcotest.(check bool) "ends with newline" true
+    (String.length text > 0 && text.[String.length text - 1] = '\n');
+  let types, samples = parse_exposition text in
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool) (Printf.sprintf "name %S legal" name) true
+        (metric_name_ok name))
+    samples;
+  Alcotest.(check (option string)) "counter typed" (Some "counter")
+    (Hashtbl.find_opt types "test_prom_requests");
+  Alcotest.(check (option string)) "gauge typed" (Some "gauge")
+    (Hashtbl.find_opt types "test_prom_depth");
+  Alcotest.(check (option string)) "histogram typed" (Some "histogram")
+    (Hashtbl.find_opt types "test_prom_latency_seconds");
+  Alcotest.(check (option string)) "extra counter typed" (Some "counter")
+    (Hashtbl.find_opt types "test_prom_extra");
+  let value name =
+    match List.assoc_opt name samples with
+    | Some v -> v
+    | None -> Alcotest.failf "missing sample %s" name
+  in
+  Alcotest.(check (float 1e-9)) "counter value" 7. (value "test_prom_requests");
+  Alcotest.(check (float 1e-9)) "gauge value" 3.5 (value "test_prom_depth");
+  Alcotest.(check (float 1e-9)) "extra counter" 11. (value "test_prom_extra");
+  Alcotest.(check (float 1e-9)) "extra gauge" 0.25 (value "test_prom_budget");
+  (* Histogram series: cumulative buckets, +Inf bucket equals count. *)
+  let buckets =
+    List.filter
+      (fun (name, _) ->
+        String.length name > 25
+        && String.sub name 0 25 = "test_prom_latency_seconds"
+        && String.contains name '{')
+      samples
+  in
+  Alcotest.(check bool) "has buckets" true (List.length buckets > 1);
+  let counts = List.map snd buckets in
+  Alcotest.(check bool) "buckets cumulative" true
+    (List.for_all2 ( <= ) counts
+       (List.tl counts @ [ List.nth counts (List.length counts - 1) ]));
+  Alcotest.(check (float 1e-9)) "count" 4.
+    (value "test_prom_latency_seconds_count");
+  Alcotest.(check bool) "+Inf bucket present" true
+    (List.exists
+       (fun (name, v) ->
+         String.length name > 4
+         && String.sub name (String.length name - 5) 5 = "Inf\"}"
+         && v = 4.)
+       buckets);
+  Alcotest.(check (float 1e-6)) "sum" 1.525
+    (value "test_prom_latency_seconds_sum")
+
+let test_prometheus_sanitize () =
+  Alcotest.(check string) "dots" "server_queue_depth"
+    (Prometheus.sanitize_name "server.queue.depth");
+  Alcotest.(check string) "leading digit" "_9lives"
+    (Prometheus.sanitize_name "9lives");
+  Alcotest.(check string) "parens" "evaluated_web_"
+    (Prometheus.sanitize_name "evaluated(web)")
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle records *)
+
+let test_lifecycle_record () =
+  let t = Telemetry.create () in
+  Telemetry.install t;
+  Fun.protect ~finally:Telemetry.uninstall @@ fun () ->
+  let lc =
+    Lifecycle.start ~trace_id:"00000000deadbeef" ~verb:"design" ~conn_id:3
+      ~req_id:(Json.Int 7)
+      ~now:(Unix.gettimeofday ())
+  in
+  List.iter
+    (fun stage -> Lifecycle.stamp lc stage)
+    [ "parse"; "admit"; "queue"; "handle"; "encode"; "write" ];
+  let record = Lifecycle.finish lc ~outcome:"ok" ~slow_threshold_s:10. in
+  let fields = match record with Json.Obj f -> f | _ -> [] in
+  Alcotest.(check bool) "is object" true (fields <> []);
+  let str name =
+    match List.assoc_opt name fields with
+    | Some (Json.String s) -> s
+    | _ -> Alcotest.failf "field %S missing or not a string" name
+  in
+  Alcotest.(check string) "trace id" "00000000deadbeef" (str "trace_id");
+  Alcotest.(check string) "verb" "design" (str "verb");
+  Alcotest.(check string) "outcome" "ok" (str "outcome");
+  (match List.assoc_opt "slow" fields with
+  | Some (Json.Bool false) -> ()
+  | _ -> Alcotest.fail "slow flag should be false under a 10 s threshold");
+  let stages =
+    match List.assoc_opt "stages" fields with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "stages missing"
+  in
+  Alcotest.(check int) "six stages" 6 (List.length stages);
+  let ends =
+    List.map
+      (fun s ->
+        match s with
+        | Json.Obj f -> (
+            match List.assoc_opt "end_s" f with
+            | Some (Json.Float e) -> e
+            | _ -> Alcotest.fail "stage missing end_s")
+        | _ -> Alcotest.fail "stage not an object")
+      stages
+  in
+  Alcotest.(check bool) "monotone stage timestamps" true
+    (List.for_all2 ( <= ) ends (List.tl ends @ [ infinity ]));
+  (* Stage durations partition the end-to-end latency. *)
+  let stage_ms =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | Json.Obj f -> (
+            match List.assoc_opt "ms" f with
+            | Some (Json.Float ms) -> acc +. ms
+            | _ -> acc)
+        | _ -> acc)
+      0. stages
+  in
+  let total_ms =
+    match List.assoc_opt "total_ms" fields with
+    | Some (Json.Float ms) -> ms
+    | _ -> Alcotest.fail "total_ms missing"
+  in
+  Alcotest.(check (float 1e-6)) "stages sum to total" total_ms stage_ms;
+  (* The per-verb and per-stage histograms were fed. *)
+  let histogram_count name =
+    match List.assoc_opt name (Telemetry.histograms t) with
+    | Some s -> s.Telemetry.Histogram.count
+    | None -> 0
+  in
+  Alcotest.(check int) "verb histogram observed" 1
+    (histogram_count "server.verb.design.seconds");
+  Alcotest.(check int) "stage histogram observed" 1
+    (histogram_count "server.stage.design.handle.seconds")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "rolling",
+        [
+          Alcotest.test_case "counts" `Quick test_rolling_counts;
+          Alcotest.test_case "expiry" `Quick test_rolling_expiry;
+          Alcotest.test_case "validation" `Quick test_rolling_validation;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "good window" `Quick test_slo_good_window;
+          Alcotest.test_case "budget exhaustion" `Quick
+            test_slo_budget_exhaustion;
+          Alcotest.test_case "recovery" `Quick test_slo_recovery;
+          Alcotest.test_case "empty window passes" `Quick
+            test_slo_empty_window_passes;
+          Alcotest.test_case "validate config" `Quick test_slo_validate_config;
+        ] );
+      ( "trace-id",
+        [
+          Alcotest.test_case "format and uniqueness" `Quick
+            test_trace_id_format_and_uniqueness;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "render" `Quick test_prometheus_render;
+          Alcotest.test_case "sanitize" `Quick test_prometheus_sanitize;
+        ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "record" `Quick test_lifecycle_record ] );
+    ]

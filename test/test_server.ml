@@ -251,8 +251,67 @@ let test_stats_shape () =
             (Printf.sprintf "stats has %S" key)
             true
             (List.mem_assoc key fields))
-        [ "uptime_seconds"; "queue"; "memo"; "spec_cache"; "counters" ]
+        [
+          "uptime_seconds"; "queue"; "connections"; "slo"; "memo";
+          "spec_cache"; "counters"; "gauges"; "histograms"; "spans_dropped";
+        ];
+      (* The queue object carries the backpressure counters... *)
+      (match List.assoc_opt "queue" fields with
+      | Some (Json.Obj q) ->
+          List.iter
+            (fun key ->
+              Alcotest.(check bool)
+                (Printf.sprintf "queue has %S" key)
+                true (List.mem_assoc key q))
+            [ "depth"; "capacity"; "high_water"; "shed"; "deadline_exceeded" ]
+      | _ -> Alcotest.fail "stats queue is not an object");
+      (* ...and the SLO object the error-budget readout. *)
+      (match List.assoc_opt "slo" fields with
+      | Some (Json.Obj s) ->
+          List.iter
+            (fun key ->
+              Alcotest.(check bool)
+                (Printf.sprintf "slo has %S" key)
+                true (List.mem_assoc key s))
+            [
+              "target"; "window_seconds"; "requests"; "good"; "bad";
+              "success_rate"; "error_budget"; "burn_rate"; "budget_remaining";
+              "met";
+            ]
+      | _ -> Alcotest.fail "stats slo is not an object")
   | _ -> Alcotest.fail "stats result is not an object"
+
+let test_metrics_exposition () =
+  let result = server_result (Protocol.request_line Protocol.Metrics []) in
+  match Aved_api.Api.metrics_result_of_json result with
+  | Error m -> Alcotest.failf "metrics result did not decode: %s" m
+  | Ok { Aved_api.Api.metrics_content_type; body } ->
+      Alcotest.(check string)
+        "content type" "text/plain; version=0.0.4" metrics_content_type;
+      Alcotest.(check bool) "non-empty" true (String.length body > 0);
+      Alcotest.(check bool) "ends with newline" true
+        (body.[String.length body - 1] = '\n');
+      (* Every family the dashboard relies on is present and typed. *)
+      List.iter
+        (fun family ->
+          Alcotest.(check bool)
+            (Printf.sprintf "exposes %s" family)
+            true
+            (contains body (Printf.sprintf "# TYPE %s " family)))
+        [
+          "server_slo_target"; "server_slo_success_rate";
+          "server_slo_burn_rate"; "server_slo_error_budget_remaining";
+          "server_queue_depth"; "server_connections_live";
+          "server_requests_health"; "server_spans_dropped";
+          "server_gc_heap_words";
+        ];
+      (* Request histograms render as native histogram families. *)
+      Alcotest.(check bool) "request histogram" true
+        (contains body "# TYPE server_request_seconds histogram");
+      Alcotest.(check bool) "cumulative buckets" true
+        (contains body "server_request_seconds_bucket{le=\"+Inf\"}");
+      Alcotest.(check bool) "histogram count series" true
+        (contains body "server_request_seconds_count")
 
 let test_bad_json () =
   let id, code, message = server_error "this is not json" in
@@ -373,6 +432,197 @@ let test_concurrent_connections () =
     [ ic2; ic1 ]
 
 (* ------------------------------------------------------------------ *)
+(* The structured request log, against a dedicated constrained daemon *)
+
+(* A private daemon with --log, a one-slot queue and one dispatcher:
+   a slow cold design parks the dispatcher, so pipelined health
+   requests behind it overflow the queue deterministically and at
+   least one is shed. Every request line — answered, shed, malformed —
+   must then appear exactly once in the JSON log with monotone stage
+   timestamps, and SIGUSR1 must append a snapshot record. *)
+let test_request_log () =
+  let dir = Filename.temp_file "aved_srv_log" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let socket = Filename.concat dir "aved.sock" in
+  let log_path = Filename.concat dir "requests.jsonl" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process aved
+      [|
+        aved; "serve"; "--socket"; socket; "--jobs"; "1"; "--dispatchers";
+        "1"; "--queue"; "1"; "--log"; log_path;
+      |]
+      Unix.stdin devnull devnull
+  in
+  Unix.close devnull;
+  let cleanup () =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait () =
+    match connect_once socket with
+    | Some fd -> fd
+    | None ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "log daemon did not come up within 10s";
+        Unix.sleepf 0.05;
+        wait ()
+  in
+  let fd = wait () in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let healths = 8 in
+  let requests = 1 + healths in
+  (* One write: the design reaches the lone dispatcher first, then the
+     healths behind it hit the one-slot queue while it is still busy. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Protocol.request_line ~id:(Json.Int 1) Protocol.Design
+       (spec_params ()
+       @ [ ("load", Json.Float 1000.); ("downtime_minutes", Json.Float 100.) ]
+       ));
+  Buffer.add_char buf '\n';
+  for i = 2 to requests do
+    Buffer.add_string buf
+      (Protocol.request_line ~id:(Json.Int i) Protocol.Health []);
+    Buffer.add_char buf '\n'
+  done;
+  output_string oc (Buffer.contents buf);
+  flush oc;
+  let shed_seen = ref 0 in
+  for _ = 1 to requests do
+    match (response (input_line ic)).Protocol.outcome with
+    | Ok _ -> ()
+    | Error (Some Protocol.Overloaded, _) -> incr shed_seen
+    | Error (code, m) ->
+        Alcotest.failf "unexpected error %s: %s" (code_name code) m
+  done;
+  Alcotest.(check bool) "at least one request shed" true (!shed_seen >= 1);
+  (* A malformed line must be logged too, under verb "invalid". *)
+  (match (response (rpc ic oc "not json")).Protocol.outcome with
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error _ -> ());
+  Unix.close fd;
+  (* SIGUSR1: the accept loop notices within its 250 ms timeout. *)
+  Unix.kill pid Sys.sigusr1;
+  Unix.sleepf 0.6;
+  Unix.kill pid Sys.sigterm;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> Alcotest.fail "log daemon did not drain cleanly");
+  let records =
+    read_file log_path |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun line ->
+           match Aved_api.Json_parse.of_string line with
+           | Ok (Json.Obj fields) -> fields
+           | Ok _ -> Alcotest.failf "log line is not an object: %s" line
+           | Error m -> Alcotest.failf "unparsable log line %S: %s" line m)
+  in
+  let event fields =
+    match List.assoc_opt "event" fields with
+    | Some (Json.String e) -> e
+    | _ -> Alcotest.fail "log record lacks an event"
+  in
+  let of_kind k = List.filter (fun r -> event r = k) records in
+  Alcotest.(check int) "one start event" 1 (List.length (of_kind "start"));
+  Alcotest.(check int) "one stop event" 1 (List.length (of_kind "stop"));
+  Alcotest.(check bool) "snapshot dumped" true
+    (List.length (of_kind "snapshot") >= 1);
+  let reqs = of_kind "request" in
+  (* Every request line appears exactly once: the N well-formed ones,
+     keyed by their echoed ids, plus the malformed line. *)
+  Alcotest.(check int) "one record per request" (requests + 1)
+    (List.length reqs);
+  for i = 1 to requests do
+    Alcotest.(check int)
+      (Printf.sprintf "request %d logged once" i)
+      1
+      (List.length
+         (List.filter
+            (fun r -> List.assoc_opt "id" r = Some (Json.Int i))
+            reqs))
+  done;
+  Alcotest.(check int) "malformed line logged as invalid" 1
+    (List.length
+       (List.filter
+          (fun r -> List.assoc_opt "verb" r = Some (Json.String "invalid"))
+          reqs));
+  Alcotest.(check int) "shed requests logged as overloaded" !shed_seen
+    (List.length
+       (List.filter
+          (fun r ->
+            List.assoc_opt "outcome" r = Some (Json.String "overloaded"))
+          reqs));
+  (* Trace ids are unique across the run. *)
+  let ids =
+    List.map
+      (fun r ->
+        match List.assoc_opt "trace_id" r with
+        | Some (Json.String id) -> id
+        | _ -> Alcotest.fail "request record lacks a trace id")
+      reqs
+  in
+  Alcotest.(check int) "trace ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  (* Stage timestamps are monotone and stage durations partition the
+     end-to-end latency. *)
+  List.iter
+    (fun r ->
+      let stages =
+        match List.assoc_opt "stages" r with
+        | Some (Json.List l) -> l
+        | _ -> Alcotest.fail "request record lacks stages"
+      in
+      let ends =
+        List.map
+          (fun s ->
+            match s with
+            | Json.Obj f -> (
+                match List.assoc_opt "end_s" f with
+                | Some (Json.Float e) -> e
+                | _ -> Alcotest.fail "stage lacks end_s")
+            | _ -> Alcotest.fail "stage is not an object")
+          stages
+      in
+      Alcotest.(check bool) "monotone stage timestamps" true
+        (List.for_all2 ( <= ) ends (List.tl ends @ [ infinity ]));
+      let stage_ms =
+        List.fold_left
+          (fun acc s ->
+            match s with
+            | Json.Obj f -> (
+                match List.assoc_opt "ms" f with
+                | Some (Json.Float ms) -> acc +. ms
+                | _ -> acc)
+            | _ -> acc)
+          0. stages
+      in
+      match List.assoc_opt "total_ms" r with
+      | Some (Json.Float total) ->
+          Alcotest.(check (float 1e-6)) "stages sum to total" total stage_ms
+      | _ -> Alcotest.fail "request record lacks total_ms")
+    reqs;
+  (* The snapshot carries the full stats document. *)
+  match of_kind "snapshot" with
+  | snap :: _ -> (
+      match List.assoc_opt "stats" snap with
+      | Some (Json.Obj stats) ->
+          Alcotest.(check bool) "snapshot has slo" true
+            (List.mem_assoc "slo" stats);
+          Alcotest.(check bool) "snapshot has gauges" true
+            (List.mem_assoc "gauges" stats)
+      | _ -> Alcotest.fail "snapshot record lacks stats")
+  | [] -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Shutdown — must run last: it takes the shared daemon down *)
 
 let test_sigterm_drains () =
@@ -414,6 +664,10 @@ let () =
           Alcotest.test_case "request ids echo back" `Quick test_id_echo;
           Alcotest.test_case "stats carries the observability surface" `Quick
             test_stats_shape;
+          Alcotest.test_case "metrics verb speaks Prometheus" `Quick
+            test_metrics_exposition;
+          Alcotest.test_case "request log: every request exactly once" `Quick
+            test_request_log;
           Alcotest.test_case "malformed JSON is a bad request" `Quick
             test_bad_json;
           Alcotest.test_case "unknown verb is a bad request" `Quick

@@ -102,6 +102,70 @@ let test_histogram_summary () =
   Alcotest.(check bool) "p99 covers the max" true
     (Telemetry.Histogram.quantile s 0.99 >= 8.0)
 
+(* quantile_est interpolates within the crossing log bucket, so any
+   estimate must land within one bucket (a factor of 2) of the true
+   quantile of the observed distribution — and exactly on it when every
+   observation in the crossing bucket is the same value. *)
+let test_histogram_quantile_est () =
+  let h = Telemetry.Histogram.make "test.histogram.quantile_est" in
+  with_fresh_registry @@ fun t ->
+  (* Uniform 1..1000 ms expressed in seconds. *)
+  for i = 1 to 1000 do
+    Telemetry.Histogram.observe h (float_of_int i /. 1000.)
+  done;
+  let s = Telemetry.Histogram.read t h in
+  List.iter
+    (fun (q, exact) ->
+      let est = Telemetry.Histogram.quantile_est s q in
+      let ratio = est /. exact in
+      if not (ratio >= 0.5 && ratio <= 2.0) then
+        Alcotest.failf "p%.0f estimate %.4f not within a bucket of %.4f"
+          (100. *. q) est exact;
+      (* And never outside the observed range. *)
+      Alcotest.(check bool) "within min/max" true
+        (est >= s.Telemetry.Histogram.min && est <= s.Telemetry.Histogram.max))
+    [ (0.5, 0.5); (0.95, 0.95); (0.99, 0.99) ]
+
+let test_histogram_quantile_est_point_mass () =
+  let h = Telemetry.Histogram.make "test.histogram.quantile_point" in
+  with_fresh_registry @@ fun t ->
+  (* Every observation identical: all quantiles are that value, and
+     min/max clamping makes the estimate exact. *)
+  for _ = 1 to 100 do
+    Telemetry.Histogram.observe h 0.042
+  done;
+  let s = Telemetry.Histogram.read t h in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%.0f of point mass" (100. *. q))
+        0.042
+        (Telemetry.Histogram.quantile_est s q))
+    [ 0.5; 0.95; 0.99 ];
+  (* Empty summary: NaN, matching [quantile]. *)
+  let empty = Telemetry.Histogram.make "test.histogram.quantile_empty" in
+  let s = Telemetry.Histogram.read t empty in
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Telemetry.Histogram.quantile_est s 0.5))
+
+(* A two-sided spread: 90 fast observations and 10 slow ones. p50 must
+   report the fast mode and p99 the slow mode — the tail is never
+   averaged away. *)
+let test_histogram_quantile_est_bimodal () =
+  let h = Telemetry.Histogram.make "test.histogram.quantile_bimodal" in
+  with_fresh_registry @@ fun t ->
+  for _ = 1 to 90 do
+    Telemetry.Histogram.observe h 0.001
+  done;
+  for _ = 1 to 10 do
+    Telemetry.Histogram.observe h 1.0
+  done;
+  let s = Telemetry.Histogram.read t h in
+  let p50 = Telemetry.Histogram.quantile_est s 0.5 in
+  let p99 = Telemetry.Histogram.quantile_est s 0.99 in
+  Alcotest.(check bool) "p50 sits in the fast mode" true (p50 < 0.01);
+  Alcotest.(check bool) "p99 sits in the slow mode" true (p99 > 0.5)
+
 let test_histogram_merge_across_domains () =
   let h = Telemetry.Histogram.make "test.histogram.domains" in
   with_fresh_registry @@ fun t ->
@@ -201,6 +265,12 @@ let () =
       ( "gauges-histograms",
         [
           Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram quantile_est uniform" `Quick
+            test_histogram_quantile_est;
+          Alcotest.test_case "histogram quantile_est point mass" `Quick
+            test_histogram_quantile_est_point_mass;
+          Alcotest.test_case "histogram quantile_est bimodal" `Quick
+            test_histogram_quantile_est_bimodal;
           Alcotest.test_case "histogram summary" `Quick
             test_histogram_summary;
           Alcotest.test_case "histogram merge across domains" `Quick
