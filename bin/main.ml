@@ -613,8 +613,26 @@ let serve_cmd =
       & info [ "slo-window" ] ~docv:"SECONDS"
           ~doc:"Rolling window over which the SLO is evaluated.")
   in
+  let trace_sample_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "trace-sample" ] ~docv:"FRACTION"
+          ~doc:
+            "Head-sampling rate in [0, 1]: the fraction of requests traced \
+             with a full span tree (search, engine and solver spans with \
+             per-span CPU and allocation attribution), fetchable by trace \
+             id with $(b,aved trace). 0 (the default) disables tracing.")
+  in
+  let trace_ring_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "trace-ring" ] ~docv:"N"
+          ~doc:
+            "How many completed sampled traces the daemon retains for the \
+             $(i,trace) verb before evicting the oldest.")
+  in
   let run socket tcp jobs dispatchers queue memo_capacity deadline log_path
-      slo_target slo_latency_ms slo_window =
+      slo_target slo_latency_ms slo_window trace_sample trace_ring =
     handle_errors (fun () ->
         let transport =
           match (socket, tcp) with
@@ -682,6 +700,8 @@ let serve_cmd =
             default_deadline_ms = deadline;
             log_path;
             slo;
+            trace_sample;
+            trace_ring;
           }
         in
         let server =
@@ -711,12 +731,40 @@ let serve_cmd =
           command. The daemon tracks its own availability SLO (--slo-target, \
           --slo-latency-ms, --slo-window), logs every request with a trace \
           id and per-stage timings (--log), answers Prometheus-format \
-          scrapes on the metrics verb, and dumps a full metrics/GC snapshot \
-          on SIGUSR1. SIGTERM drains gracefully.")
+          scrapes on the metrics verb, head-samples full request traces \
+          (--trace-sample) served back over the trace verb, and dumps a \
+          full metrics/GC snapshot on SIGUSR1. SIGTERM drains gracefully.")
     Term.(
       const run $ socket_arg $ tcp_arg $ jobs_arg $ dispatchers_arg
       $ queue_arg $ memo_capacity_arg $ deadline_arg $ log_arg
-      $ slo_target_arg $ slo_latency_arg $ slo_window_arg)
+      $ slo_target_arg $ slo_latency_arg $ slo_window_arg
+      $ trace_sample_arg $ trace_ring_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Client-side endpoint parsing shared by the daemon clients
+   (aved top, aved trace). *)
+
+let client_endpoint socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> Top_ui.Unix_socket path
+  | None, Some hostport -> (
+      match String.rindex_opt hostport ':' with
+      | None -> failwith "--tcp expects HOST:PORT"
+      | Some i -> (
+          let host =
+            match String.sub hostport 0 i with
+            | "" -> "127.0.0.1"
+            | host -> host
+          in
+          let port_text =
+            String.sub hostport (i + 1) (String.length hostport - i - 1)
+          in
+          match int_of_string_opt port_text with
+          | Some port when port > 0 && port < 65536 -> Top_ui.Tcp { host; port }
+          | Some _ | None ->
+              failwith (Printf.sprintf "invalid --tcp port %S" port_text)))
+  | Some _, Some _ -> failwith "--socket and --tcp are mutually exclusive"
+  | None, None -> failwith "specify --socket PATH or --tcp HOST:PORT"
 
 (* ------------------------------------------------------------------ *)
 (* aved top: live dashboard over a running daemon *)
@@ -757,32 +805,7 @@ let top_cmd =
   in
   let run socket tcp interval iterations metrics =
     handle_errors (fun () ->
-        let endpoint =
-          match (socket, tcp) with
-          | Some path, None -> Top_ui.Unix_socket path
-          | None, Some hostport -> (
-              match String.rindex_opt hostport ':' with
-              | None -> failwith "--tcp expects HOST:PORT"
-              | Some i -> (
-                  let host =
-                    match String.sub hostport 0 i with
-                    | "" -> "127.0.0.1"
-                    | host -> host
-                  in
-                  let port_text =
-                    String.sub hostport (i + 1)
-                      (String.length hostport - i - 1)
-                  in
-                  match int_of_string_opt port_text with
-                  | Some port when port > 0 && port < 65536 ->
-                      Top_ui.Tcp { host; port }
-                  | Some _ | None ->
-                      failwith
-                        (Printf.sprintf "invalid --tcp port %S" port_text)))
-          | Some _, Some _ ->
-              failwith "--socket and --tcp are mutually exclusive"
-          | None, None -> failwith "specify --socket PATH or --tcp HOST:PORT"
-        in
+        let endpoint = client_endpoint socket tcp in
         if iterations < 0 then failwith "--iterations must be >= 0";
         if metrics then Top_ui.print_metrics_once endpoint
         else Top_ui.run ~endpoint ~interval_s:interval ~iterations;
@@ -799,6 +822,62 @@ let top_cmd =
     Term.(
       const run $ socket_arg $ tcp_arg $ interval_arg $ iterations_arg
       $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* aved trace: fetch and render one sampled request trace *)
+
+let trace_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Connect to the daemon's Unix-domain socket at $(docv).")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Connect to TCP $(docv).")
+  in
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE_ID"
+          ~doc:
+            "The trace id to fetch — echoed in every response envelope's \
+             $(i,trace_id) field, in the --log record, and in metrics \
+             exemplars.")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Also write the spans as Chrome trace_event JSON to $(docv) \
+             (loadable by chrome://tracing and ui.perfetto.dev).")
+  in
+  let run socket tcp trace_id json chrome =
+    handle_errors (fun () ->
+        let endpoint = client_endpoint socket tcp in
+        Trace_view.show ~endpoint ~trace_id ~json ~chrome;
+        ok_exit)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Fetch one completed request's span tree from a running aved \
+          serve daemon (started with --trace-sample > 0) and render it as \
+          a waterfall: tree-indented spans from the request lifecycle down \
+          through search, engine and solver layers, each with wall/CPU \
+          time, allocation attribution and the owning domain, plus the \
+          request-scoped engine counter deltas. With $(b,--json), print \
+          the wire document instead; $(b,--chrome) exports the spans for \
+          chrome://tracing.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ id_arg $ json_arg $ chrome_arg)
 
 (* ------------------------------------------------------------------ *)
 (* aved dump-specs *)
@@ -856,5 +935,6 @@ let () =
             adapt_cmd;
             serve_cmd;
             top_cmd;
+            trace_cmd;
             dump_specs_cmd;
           ]))

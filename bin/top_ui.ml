@@ -138,6 +138,15 @@ let render ~endpoint ~prev stats =
        (num gauges "server.gc.heap_words" /. 1e6));
   Buffer.add_string buf
     (Printf.sprintf
+       "process   cpu %.1fs   open fds %.0f   threads %.0f   traces %.0f \
+        sampled (%.0f spans dropped)\n"
+       (num gauges "process.cpu.seconds.total")
+       (num gauges "process.open.fds")
+       (num gauges "process.threads.live")
+       (num counters "server.traces.sampled")
+       (num counters "server.trace.spans.dropped"));
+  Buffer.add_string buf
+    (Printf.sprintf
        "slo       target %.3f%%   success %.3f%%   burn %.2f   budget left \
         %5.1f%%   window %.0fs (%.0f reqs)   %s\n"
        (100. *. num slo "target")

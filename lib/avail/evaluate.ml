@@ -27,6 +27,7 @@ let mc_seconds = Telemetry.Histogram.make "avail.engine.monte_carlo.seconds"
 let tier_downtime_fraction engine model =
   match engine with
   | Analytic ->
+      Telemetry.with_trace_span "avail.engine.analytic" @@ fun () ->
       if Telemetry.enabled () then begin
         Telemetry.Counter.incr analytic_calls;
         Telemetry.Histogram.time analytic_seconds (fun () ->
@@ -34,6 +35,7 @@ let tier_downtime_fraction engine model =
       end
       else Analytic.downtime_fraction model
   | Memoized cache ->
+      Telemetry.with_trace_span "avail.engine.memoized" @@ fun () ->
       if Telemetry.enabled () then begin
         Telemetry.Counter.incr memoized_calls;
         Telemetry.Histogram.time memoized_seconds (fun () ->
@@ -41,6 +43,7 @@ let tier_downtime_fraction engine model =
       end
       else Memo.downtime_fraction cache model
   | Exact { max_states } ->
+      Telemetry.with_trace_span "avail.engine.exact" @@ fun () ->
       if Telemetry.enabled () then begin
         Telemetry.Counter.incr exact_calls;
         Telemetry.Histogram.observe exact_states
@@ -50,6 +53,7 @@ let tier_downtime_fraction engine model =
       end
       else Exact.downtime_fraction ~max_states model
   | Monte_carlo config ->
+      Telemetry.with_trace_span "avail.engine.monte_carlo" @@ fun () ->
       if Telemetry.enabled () then begin
         Telemetry.Counter.incr mc_calls;
         Telemetry.Histogram.time mc_seconds (fun () ->

@@ -319,7 +319,15 @@ let solve_csr backend csr =
       with Failure _ -> gth_csr csr)
   | Lu -> assert false (* dispatched before solve_csr *)
 
-let with_solve_telemetry counter histogram t f =
+let backend_name = function
+  | Gth -> "gth"
+  | Banded -> "banded"
+  | Power -> "power"
+  | Lu -> "lu"
+
+let with_solve_telemetry counter histogram ~backend t f =
+  Telemetry.with_trace_span ("markov.solve." ^ backend_name backend)
+  @@ fun () ->
   if Telemetry.enabled () then begin
     Telemetry.Counter.incr counter;
     Telemetry.Histogram.observe solve_states (float_of_int t.n);
@@ -332,7 +340,8 @@ let with_solve_telemetry counter histogram t f =
 let stationary_gth t =
   let csr = compile t in
   check_ergodic csr;
-  with_solve_telemetry gth_solves (Some gth_seconds) t (fun () -> gth_csr csr)
+  with_solve_telemetry gth_solves (Some gth_seconds) ~backend:Gth t (fun () ->
+      gth_csr csr)
 
 let lu_kernel t =
   let n = t.n in
@@ -346,7 +355,8 @@ let lu_kernel t =
 
 let stationary_lu t =
   check_ergodic (compile t);
-  with_solve_telemetry lu_solves (Some lu_seconds) t (fun () -> lu_kernel t)
+  with_solve_telemetry lu_solves (Some lu_seconds) ~backend:Lu t (fun () ->
+      lu_kernel t)
 
 let stationary_power ?start ?(tol = default_power_tol) ?max_iters t =
   let csr = compile t in
@@ -354,7 +364,7 @@ let stationary_power ?start ?(tol = default_power_tol) ?max_iters t =
   let max_iters =
     match max_iters with Some m -> m | None -> default_power_iters t.n
   in
-  with_solve_telemetry power_solves None t (fun () ->
+  with_solve_telemetry power_solves None ~backend:Power t (fun () ->
       power_csr ?start csr ~tol ~max_iters)
 
 let stationary_with backend t =
@@ -365,7 +375,7 @@ let stationary_with backend t =
   | Banded ->
       let csr = compile t in
       check_ergodic csr;
-      with_solve_telemetry banded_solves None t (fun () ->
+      with_solve_telemetry banded_solves None ~backend:Banded t (fun () ->
           gth_banded_csr csr ~half_bandwidth:(Sparse.bandwidth csr))
 
 let stationary t =
@@ -379,7 +389,8 @@ let stationary t =
     | Power -> (power_solves, None)
     | Lu -> (lu_solves, Some lu_seconds)
   in
-  with_solve_telemetry counter histogram t (fun () -> solve_csr backend csr)
+  with_solve_telemetry counter histogram ~backend t (fun () ->
+      solve_csr backend csr)
 
 module Solver = struct
   type chain = t
@@ -466,17 +477,21 @@ module Solver = struct
           | Some warm -> (
               try
                 let refined =
-                  power_csr ~start:warm t.csr ~tol:refine_tol
-                    ~max_iters:refine_iters
+                  Telemetry.with_trace_span "markov.solver.incremental"
+                    (fun () ->
+                      power_csr ~start:warm t.csr ~tol:refine_tol
+                        ~max_iters:refine_iters)
                 in
                 bump incremental_counter tm_incremental;
                 refined
               with Failure _ ->
                 bump fallback_counter tm_fallback;
-                solve_csr (select_backend_csr t.csr) t.csr)
+                Telemetry.with_trace_span "markov.solver.fallback" (fun () ->
+                    solve_csr (select_backend_csr t.csr) t.csr))
           | None ->
               bump fresh_counter tm_fresh;
-              solve_csr (select_backend_csr t.csr) t.csr
+              Telemetry.with_trace_span "markov.solver.fresh" (fun () ->
+                  solve_csr (select_backend_csr t.csr) t.csr)
         in
         t.pi <- Some pi;
         t.dirty <- false;

@@ -1,0 +1,33 @@
+module Telemetry = Aved_telemetry.Telemetry
+
+type exemplar = { ex_trace_id : string; ex_value : float; ex_ts : float }
+
+(* Latest-wins per (histogram family, bucket bound): a scrape links
+   each latency bucket to the most recent sampled request that landed
+   in it, which is exactly the "give me a trace from the tail" workflow
+   exemplars exist for. Bounded by families x 64 log buckets. *)
+type t = {
+  mutex : Mutex.t;
+  tbl : (string * float, exemplar) Hashtbl.t;
+}
+
+let create () = { mutex = Mutex.create (); tbl = Hashtbl.create 64 }
+
+let observe t ~metric ~trace_id ~value ~now =
+  let le = Telemetry.Histogram.bound_of_value value in
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.tbl (metric, le)
+    { ex_trace_id = trace_id; ex_value = value; ex_ts = now };
+  Mutex.unlock t.mutex
+
+let find t ~metric ~le =
+  Mutex.lock t.mutex;
+  let e = Hashtbl.find_opt t.tbl (metric, le) in
+  Mutex.unlock t.mutex;
+  e
+
+let count t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.mutex;
+  n

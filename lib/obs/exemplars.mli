@@ -1,0 +1,31 @@
+(** Exemplar store: the bridge from latency histograms to traces.
+
+    For every sampled request the daemon records the request's trace id
+    against the histogram bucket its end-to-end latency landed in
+    (per-verb and overall). {!Prometheus.render} appends these to the
+    matching [_bucket] lines in OpenMetrics exemplar syntax —
+    [... # {trace_id="<id>"} <value> <ts>] — so "what is living in the
+    p99 bucket?" is answered by feeding the exemplar's id to
+    [aved trace]. Latest-wins per bucket; memory is bounded by
+    (families x log-buckets). *)
+
+type exemplar = {
+  ex_trace_id : string;
+  ex_value : float;  (** The observation itself, in the metric's unit. *)
+  ex_ts : float;  (** Wall-clock seconds when observed. *)
+}
+
+type t
+
+val create : unit -> t
+
+val observe :
+  t -> metric:string -> trace_id:string -> value:float -> now:float -> unit
+(** Record [value]'s exemplar under the histogram bucket it falls in
+    (the registry's log-bucket bounds). [metric] is the unsanitized
+    histogram name. Thread-safe. *)
+
+val find : t -> metric:string -> le:float -> exemplar option
+(** The exemplar attached to the bucket with upper bound [le], if any. *)
+
+val count : t -> int

@@ -8,16 +8,32 @@ type t = {
   req_id : Json.t;
   started_s : float;
   mutable stamps : (string * float) list; (* newest first *)
+  lc_trace : Telemetry.Trace.t option;
+  mutable lc_handle_span : int; (* 0 until [handle_context] allocates *)
 }
 
-let start ~trace_id ~verb ~conn_id ~req_id ~now =
+let start ?trace ~trace_id ~verb ~conn_id ~req_id ~now () =
   { lc_trace_id = trace_id; lc_verb = verb; conn_id; req_id;
-    started_s = now; stamps = [] }
+    started_s = now; stamps = []; lc_trace = trace; lc_handle_span = 0 }
 
 let stamp t stage = t.stamps <- (stage, Unix.gettimeofday ()) :: t.stamps
 
 let trace_id t = t.lc_trace_id
 let verb t = t.lc_verb
+let trace t = t.lc_trace
+let started_s t = t.started_s
+let conn_id t = t.conn_id
+
+(* The handle-stage span id is allocated on demand (at dispatch) so the
+   verb handler's spans can parent under it while it is still open; the
+   span itself is recorded at [finish], when its duration is known. *)
+let handle_context t =
+  match t.lc_trace with
+  | None -> None
+  | Some tr ->
+      if t.lc_handle_span = 0 then
+        t.lc_handle_span <- Telemetry.Trace.alloc_span_id tr;
+      Some (Telemetry.Trace.context tr ~parent:t.lc_handle_span)
 
 let elapsed_s t =
   let last =
@@ -60,6 +76,27 @@ let finish t ~outcome ~slow_threshold_s =
     end
     else false
   in
+  (* For sampled requests, synthesize the span tree's spine from the
+     stamps: one root span covering the whole request, one child per
+     stage. The handle stage reuses the id [handle_context] reserved
+     at dispatch, which is what the verb handler's spans parented
+     under — so search/solver spans nest below "handle" in the tree. *)
+  let record_span =
+    match t.lc_trace with
+    | None -> fun ~stage:_ ~start:_ ~end_:_ -> ()
+    | Some tr ->
+        let tid = (Domain.self () :> int) in
+        let root = Telemetry.Trace.alloc_span_id tr in
+        Telemetry.Trace.record tr ~id:root ~parent:0 ~name:"request"
+          ~start_s:t.started_s ~dur_s:total_s ~tid;
+        fun ~stage ~start ~end_ ->
+          let id =
+            if stage = "handle" && t.lc_handle_span <> 0 then t.lc_handle_span
+            else Telemetry.Trace.alloc_span_id tr
+          in
+          Telemetry.Trace.record tr ~id ~parent:root ~name:stage
+            ~start_s:start ~dur_s:(end_ -. start) ~tid
+  in
   let stages =
     List.rev
       (fst
@@ -72,6 +109,7 @@ let finish t ~outcome ~slow_threshold_s =
                      (Printf.sprintf "server.stage.%s.%s.seconds" t.lc_verb
                         stage))
                   dur;
+              record_span ~stage ~start:prev ~end_:at;
               ( Json.Obj
                   [
                     ("stage", Json.String stage);

@@ -29,16 +29,21 @@
 type t
 
 val start :
+  ?trace:Aved_telemetry.Telemetry.Trace.t ->
   trace_id:string ->
   verb:string ->
   conn_id:int ->
   req_id:Aved_explain.Json.t ->
   now:float ->
+  unit ->
   t
 (** Begin a lifecycle at [now] (the read timestamp). [verb] is the
     wire verb name, or a synthetic name like ["invalid"] for lines
     that never parsed. [req_id] is the client's id field, echoed into
-    the log. *)
+    the log. [trace] is the span collector of a head-sampled request;
+    when present, {!finish} synthesizes the root and per-stage spans
+    into it and {!handle_context} hands the verb handler a context to
+    parent its spans under. *)
 
 val stamp : t -> string -> unit
 (** Mark the end of the named stage at the current wall clock. Stages
@@ -48,6 +53,20 @@ val stamp : t -> string -> unit
 
 val trace_id : t -> string
 val verb : t -> string
+
+val trace : t -> Aved_telemetry.Telemetry.Trace.t option
+(** The sampled request's span collector, if one was attached. *)
+
+val started_s : t -> float
+(** The [now] passed to {!start}. *)
+
+val conn_id : t -> int
+
+val handle_context : t -> Aved_telemetry.Telemetry.Trace.context option
+(** A trace context parented under the (future) handle-stage span;
+    [None] for unsampled requests. Allocates the handle span's id on
+    first call — the span itself is recorded by {!finish}, once its
+    duration is known, while handler spans parent under it live. *)
 
 val elapsed_s : t -> float
 (** Seconds since [start]'s [now] (last stamp if finished). *)

@@ -1,0 +1,35 @@
+(* Host-pressure readings for the daemon's own process. CPU comes from
+   [Unix.times] (portable); fd and thread counts come from /proc and
+   are [None] where that filesystem does not exist (macOS), so callers
+   simply skip the gauge rather than publish a lie. *)
+
+let cpu_seconds () =
+  let t = Unix.times () in
+  t.Unix.tms_utime +. t.Unix.tms_stime
+
+let open_fds () =
+  match Sys.readdir "/proc/self/fd" with
+  | entries ->
+      (* The readdir itself holds one fd open on the directory. *)
+      Some (Stdlib.max 0 (Array.length entries - 1))
+  | exception Sys_error _ -> None
+
+let live_threads () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line ->
+            let prefix = "Threads:" in
+            if String.length line > String.length prefix
+               && String.sub line 0 (String.length prefix) = prefix
+            then
+              int_of_string_opt
+                (String.trim
+                   (String.sub line (String.length prefix)
+                      (String.length line - String.length prefix)))
+            else scan ()
+      in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) scan

@@ -1,0 +1,16 @@
+(** Process-level resource readings for the daemon's own gauges:
+    [aved top] and metric scrapes should see host pressure (CPU burn,
+    fd exhaustion approaching, thread growth), not just app-level
+    queues. *)
+
+val cpu_seconds : unit -> float
+(** Total process CPU (user + system) seconds since start, from
+    [Unix.times]. Monotone — exposed as [process_cpu_seconds_total]. *)
+
+val open_fds : unit -> int option
+(** Open file descriptors, counted via [/proc/self/fd]; [None] where
+    /proc is unavailable. *)
+
+val live_threads : unit -> int option
+(** Live threads of the process, from [/proc/self/status]; [None]
+    where /proc is unavailable. *)

@@ -31,7 +31,7 @@ let float_text v =
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%.12g" v
 
-let render ?(extra_counters = []) ?(extra_gauges = []) t =
+let render ?exemplars ?(extra_counters = []) ?(extra_gauges = []) t =
   let buf = Buffer.create 4096 in
   let seen = Hashtbl.create 64 in
   let family name =
@@ -52,20 +52,53 @@ let render ?(extra_counters = []) ?(extra_gauges = []) t =
     line "# TYPE %s gauge\n%s %s\n" name name (float_text v)
   in
   let histogram (name, (s : Telemetry.Histogram.summary)) =
+    let metric = name in
     let name = family name in
     line "# TYPE %s histogram\n" name;
     let cumulative = ref 0 in
     List.iter
       (fun (ub, n) ->
         cumulative := !cumulative + n;
-        line "%s_bucket{le=\"%s\"} %d\n" name (float_text ub) !cumulative)
+        line "%s_bucket{le=\"%s\"} %d" name (float_text ub) !cumulative;
+        (* OpenMetrics exemplar syntax on the bucket that holds the
+           exemplar's observation; Prometheus >= 2.26 ingests these,
+           plain 0.0.4 parsers must strip from " # " (the CI validator
+           does). *)
+        (match
+           Option.bind exemplars (fun ex ->
+               Exemplars.find ex ~metric ~le:ub)
+         with
+        | Some e ->
+            (* Trace ids are 16 hex digits — safe verbatim as a label
+               value (no escaping needed). *)
+            line " # {trace_id=\"%s\"} %s %.3f" e.Exemplars.ex_trace_id
+              (float_text e.Exemplars.ex_value)
+              e.Exemplars.ex_ts
+        | None -> ());
+        line "\n")
       s.Telemetry.Histogram.buckets;
     line "%s_bucket{le=\"+Inf\"} %d\n" name s.Telemetry.Histogram.count;
     line "%s_sum %s\n" name (float_text s.Telemetry.Histogram.sum);
     line "%s_count %d\n" name s.Telemetry.Histogram.count
   in
-  let by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
-  List.iter counter (by_name (Telemetry.counters t @ extra_counters));
-  List.iter gauge (by_name (Telemetry.gauges t @ extra_gauges));
+  (* Extras first: a name tracked both by the registry and by a
+     server-side total (e.g. trace-ring evictions, whose registry
+     counter only counts while a registry is installed) must render
+     once, from the authoritative server-side value. *)
+  let by_name l =
+    let seen = Hashtbl.create 16 in
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (List.filter
+         (fun (name, _) ->
+           if Hashtbl.mem seen name then false
+           else begin
+             Hashtbl.add seen name ();
+             true
+           end)
+         l)
+  in
+  List.iter counter (by_name (extra_counters @ Telemetry.counters t));
+  List.iter gauge (by_name (extra_gauges @ Telemetry.gauges t));
   List.iter histogram (Telemetry.histograms t);
   Buffer.contents buf

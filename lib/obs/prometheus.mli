@@ -24,6 +24,7 @@ val sanitize_name : string -> string
     and a leading digit is prefixed with ['_']. *)
 
 val render :
+  ?exemplars:Exemplars.t ->
   ?extra_counters:(string * int) list ->
   ?extra_gauges:(string * float) list ->
   Aved_telemetry.Telemetry.t ->
@@ -32,4 +33,10 @@ val render :
     its sample lines, families sorted by name, terminated by a final
     newline. Extras are rendered with the same sanitization; an extra
     whose sanitized name collides with a registry metric is suffixed
-    with [_extra] rather than duplicated. *)
+    with [_extra] rather than duplicated.
+
+    With [exemplars], histogram [_bucket] lines whose bucket holds a
+    recorded exemplar gain an OpenMetrics-syntax trailer
+    [... # {trace_id="<id>"} <value> <ts>] linking the bucket to a
+    sampled request's trace. The base format stays 0.0.4 — consumers
+    that cannot ingest exemplars strip from [" # "]. *)

@@ -19,3 +19,22 @@ let sequence = Atomic.make 0
 let fresh () =
   let n = Atomic.fetch_and_add sequence 1 in
   Printf.sprintf "%016Lx" (mix (Int64.add base (Int64.of_int n)))
+
+(* Head sampling, decided from the id alone so the decision is
+   deterministic and reproducible from a logged trace id. The id is
+   re-mixed before thresholding: ids are themselves splitmix outputs,
+   but re-mixing keeps the decision independent of any structure a
+   caller-supplied id might have (tests pass "deadbeef..."). *)
+let sampled id ~rate =
+  if rate >= 1. then true
+  else if rate <= 0. || Float.is_nan rate then false
+  else begin
+    let h = ref 0L in
+    String.iter
+      (fun c ->
+        h := Int64.add (Int64.mul !h 31L) (Int64.of_int (Char.code c)))
+      id;
+    let bits = Int64.shift_right_logical (mix !h) 11 in
+    (* 53 uniform bits -> [0, 1) *)
+    Int64.to_float bits *. 0x1p-53 < rate
+  end

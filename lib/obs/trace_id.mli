@@ -11,3 +11,8 @@
 
 val fresh : unit -> string
 (** A new 16-hex-digit id. Thread- and domain-safe. *)
+
+val sampled : string -> rate:float -> bool
+(** Head-sampling decision for a trace id: deterministic in [id], true
+    for roughly a [rate] fraction of ids. [rate >= 1.] always samples,
+    [rate <= 0.] (and NaN) never does. *)

@@ -1,0 +1,102 @@
+module Telemetry = Aved_telemetry.Telemetry
+module Json = Aved_explain.Json
+
+(* Ring evictions are visible to scrapes: a trace id that 404s on the
+   [trace] verb was either unsampled or aged out, and this counter says
+   how much aging-out is happening. *)
+let evictions_counter = Telemetry.Counter.make "server.trace.ring.evictions"
+
+type completed = {
+  trace_id : string;
+  verb : string;
+  conn_id : int;
+  outcome : string;
+  started_s : float;
+  total_s : float;
+  spans : Telemetry.Trace.span list;
+  spans_dropped : int;
+  counters : (string * int) list;
+}
+
+type t = {
+  mutex : Mutex.t;
+  capacity : int;
+  by_id : (string, completed) Hashtbl.t;
+  order : string Queue.t; (* oldest first *)
+  mutable evicted : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg "Trace_store.create: capacity must be >= 1";
+  {
+    mutex = Mutex.create ();
+    capacity;
+    by_id = Hashtbl.create (2 * capacity);
+    order = Queue.create ();
+    evicted = 0;
+  }
+
+let add t completed =
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.by_id completed.trace_id completed;
+  Queue.push completed.trace_id t.order;
+  while Queue.length t.order > t.capacity do
+    let oldest = Queue.pop t.order in
+    (* A re-added id (impossible for fresh ids, harmless otherwise)
+       may already be gone; only count real evictions. *)
+    if Hashtbl.mem t.by_id oldest then begin
+      Hashtbl.remove t.by_id oldest;
+      t.evicted <- t.evicted + 1;
+      Telemetry.Counter.incr evictions_counter
+    end
+  done;
+  Mutex.unlock t.mutex
+
+let find t id =
+  Mutex.lock t.mutex;
+  let c = Hashtbl.find_opt t.by_id id in
+  Mutex.unlock t.mutex;
+  c
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.order in
+  Mutex.unlock t.mutex;
+  n
+
+let evictions t =
+  Mutex.lock t.mutex;
+  let n = t.evicted in
+  Mutex.unlock t.mutex;
+  n
+
+let span_json ~base (s : Telemetry.Trace.span) =
+  Json.Obj
+    [
+      ("id", Json.Int s.Telemetry.Trace.id);
+      ("parent", Json.Int s.Telemetry.Trace.parent);
+      ("name", Json.String s.Telemetry.Trace.name);
+      ("start_ms", Json.Float ((s.Telemetry.Trace.start_s -. base) *. 1e3));
+      ("dur_ms", Json.Float (s.Telemetry.Trace.dur_s *. 1e3));
+      ("tid", Json.Int s.Telemetry.Trace.tid);
+      ("cpu_ms", Json.Float (s.Telemetry.Trace.cpu_s *. 1e3));
+      ("minor_words", Json.Float s.Telemetry.Trace.minor_words);
+      ("major_words", Json.Float s.Telemetry.Trace.major_words);
+    ]
+
+let to_json c =
+  Json.Obj
+    [
+      ("trace_id", Json.String c.trace_id);
+      ("verb", Json.String c.verb);
+      ("conn", Json.Int c.conn_id);
+      ("outcome", Json.String c.outcome);
+      ("started_s", Json.Float c.started_s);
+      ("total_ms", Json.Float (c.total_s *. 1e3));
+      ("spans_dropped", Json.Int c.spans_dropped);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) c.counters) );
+      ( "spans",
+        Json.List (List.map (span_json ~base:c.started_s) c.spans) );
+    ]

@@ -1,0 +1,46 @@
+(** A bounded ring of completed request traces, keyed by trace id.
+
+    The serve daemon adds every sampled request's finished span tree
+    here; the [trace] wire verb looks them up by id. The ring holds
+    the most recent [capacity] traces — older ones are evicted (and
+    counted, both locally and in the process-wide
+    [server.trace.ring.evictions] telemetry counter), so memory stays
+    bounded no matter the sampling rate. *)
+
+module Telemetry := Aved_telemetry.Telemetry
+
+(** Everything the daemon knows about one finished, sampled request. *)
+type completed = {
+  trace_id : string;
+  verb : string;
+  conn_id : int;
+  outcome : string;  (** ["ok"], an error code, or a shed outcome. *)
+  started_s : float;  (** Wall clock at the read of the request line. *)
+  total_s : float;  (** End-to-end latency (sum of the stage spans). *)
+  spans : Telemetry.Trace.span list;  (** Sorted by start time. *)
+  spans_dropped : int;  (** Spans lost to the per-trace capacity. *)
+  counters : (string * int) list;
+      (** Request-scoped deltas of the attributed solver/search
+          counters (dispatch-to-finish, so concurrent requests'
+          activity can bleed in — an attribution hint). *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val add : t -> completed -> unit
+(** Insert, evicting the oldest entry when full. Thread-safe. *)
+
+val find : t -> string -> completed option
+val length : t -> int
+
+val evictions : t -> int
+(** Total entries evicted since [create]. *)
+
+val to_json : completed -> Aved_explain.Json.t
+(** The wire encoding the [trace] verb returns: envelope fields plus a
+    flat [spans] list ([{id, parent, name, start_ms, dur_ms, tid,
+    cpu_ms, minor_words, major_words}], [start_ms] relative to
+    [started_s]) from which clients rebuild the tree by [parent]. *)

@@ -263,7 +263,10 @@ let downtime_fraction entry engine (m : Avail.Tier_model.t) =
           if Telemetry.enabled () then Telemetry.Counter.incr tm_reused;
           f
       | None ->
-          let f = Avail.Evaluate.tier_downtime_fraction engine m in
+          let f =
+            Telemetry.with_trace_span "search.eval.downtime" (fun () ->
+                Avail.Evaluate.tier_downtime_fraction engine m)
+          in
           Atomic.incr fresh_downtimes;
           if Telemetry.enabled () then Telemetry.Counter.incr tm_fresh;
           Hashtbl.add table key f;

@@ -2,7 +2,15 @@ module Json = Aved_explain.Json
 module Json_parse = Aved_api.Json_parse
 module Api = Aved_api.Api
 
-type verb = Design | Frontier | Explain | Check | Health | Stats | Metrics
+type verb =
+  | Design
+  | Frontier
+  | Explain
+  | Check
+  | Health
+  | Stats
+  | Metrics
+  | Trace
 
 let verb_to_string = function
   | Design -> "design"
@@ -12,8 +20,10 @@ let verb_to_string = function
   | Health -> "health"
   | Stats -> "stats"
   | Metrics -> "metrics"
+  | Trace -> "trace"
 
-let all_verbs = [ Design; Frontier; Explain; Check; Health; Stats; Metrics ]
+let all_verbs =
+  [ Design; Frontier; Explain; Check; Health; Stats; Metrics; Trace ]
 
 let verb_of_string s =
   List.find_opt (fun v -> String.equal (verb_to_string v) s) all_verbs
@@ -99,33 +109,45 @@ let error_code_of_string s =
   List.find_opt (fun c -> String.equal (error_code_to_string c) s)
     all_error_codes
 
-let ok_response ~id result =
-  Json.to_string
-    (Json.Obj
-       [
-         ("schema_version", Json.Int Api.schema_version);
-         ("id", id);
-         ("ok", Json.Bool true);
-         ("result", result);
-       ])
+(* The envelope carries the request's trace id on both success and
+   error paths, so a client holding a slow or failed response can fetch
+   the matching trace (when sampled) or grep the structured log. *)
+let trace_field = function
+  | None -> []
+  | Some trace_id -> [ ("trace_id", Json.String trace_id) ]
 
-let error_response ~id code message =
+let ok_response ?trace_id ~id result =
   Json.to_string
     (Json.Obj
-       [
-         ("schema_version", Json.Int Api.schema_version);
-         ("id", id);
-         ("ok", Json.Bool false);
-         ( "error",
-           Json.Obj
-             [
-               ("code", Json.String (error_code_to_string code));
-               ("message", Json.String message);
-             ] );
-       ])
+       ([
+          ("schema_version", Json.Int Api.schema_version);
+          ("id", id);
+          ("ok", Json.Bool true);
+        ]
+       @ trace_field trace_id
+       @ [ ("result", result) ]))
+
+let error_response ?trace_id ~id code message =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("schema_version", Json.Int Api.schema_version);
+          ("id", id);
+          ("ok", Json.Bool false);
+        ]
+       @ trace_field trace_id
+       @ [
+           ( "error",
+             Json.Obj
+               [
+                 ("code", Json.String (error_code_to_string code));
+                 ("message", Json.String message);
+               ] );
+         ]))
 
 type response = {
   response_id : Json.t;
+  response_trace_id : string option;
   outcome : (Json.t, error_code option * string) result;
 }
 
@@ -136,16 +158,22 @@ let response_of_line line =
       let response_id =
         Option.value (lookup "id" fields) ~default:Json.Null
       in
+      let response_trace_id =
+        match lookup "trace_id" fields with
+        | Some (Json.String s) -> Some s
+        | Some _ | None -> None
+      in
       match (lookup "ok" fields, lookup "result" fields, lookup "error" fields)
       with
       | Some (Json.Bool true), Some result, _ ->
-          Ok { response_id; outcome = Ok result }
+          Ok { response_id; response_trace_id; outcome = Ok result }
       | Some (Json.Bool false), _, Some (Json.Obj err) -> (
           match (lookup "code" err, lookup "message" err) with
           | Some (Json.String code), Some (Json.String message) ->
               Ok
                 {
                   response_id;
+                  response_trace_id;
                   outcome = Error (error_code_of_string code, message);
                 }
           | _ -> Error "error object must carry string code and message")

@@ -25,7 +25,15 @@
 
 module Json = Aved_explain.Json
 
-type verb = Design | Frontier | Explain | Check | Health | Stats | Metrics
+type verb =
+  | Design
+  | Frontier
+  | Explain
+  | Check
+  | Health
+  | Stats
+  | Metrics
+  | Trace  (** Fetch a completed request's span tree by trace id. *)
 
 val verb_to_string : verb -> string
 val verb_of_string : string -> verb option
@@ -56,14 +64,21 @@ type error_code =
 
 val error_code_to_string : error_code -> string
 
-val ok_response : id:Json.t -> Json.t -> string
-(** Serialized success envelope (no trailing newline). *)
+val ok_response : ?trace_id:string -> id:Json.t -> Json.t -> string
+(** Serialized success envelope (no trailing newline). [trace_id] is
+    echoed as a top-level field when the server knows it. *)
 
-val error_response : id:Json.t -> error_code -> string -> string
+val error_response :
+  ?trace_id:string -> id:Json.t -> error_code -> string -> string
+(** Like {!ok_response} for the error envelope — shed, bad-request and
+    user-error responses carry the trace id too, so failures correlate
+    with [--log] records and fetched traces. *)
 
 (** Client-side view of a parsed response envelope. *)
 type response = {
   response_id : Json.t;
+  response_trace_id : string option;
+      (** The server-assigned trace id, when the envelope carried one. *)
   outcome : (Json.t, error_code option * string) result;
       (** [Ok result], or [Error (code, message)] ([None] for an
           unrecognized code string). *)

@@ -11,6 +11,9 @@ module Lifecycle = Aved_obs.Lifecycle
 module Slo = Aved_obs.Slo
 module Prometheus = Aved_obs.Prometheus
 module Request_log = Aved_obs.Request_log
+module Trace_store = Aved_obs.Trace_store
+module Exemplars = Aved_obs.Exemplars
+module Process_stats = Aved_obs.Process_stats
 
 (* ------------------------------------------------------------------ *)
 (* Metrics *)
@@ -68,6 +71,49 @@ let slo_budget_remaining_gauge =
   Telemetry.Gauge.make "server.slo.error_budget_remaining"
 
 let slo_met_gauge = Telemetry.Gauge.make "server.slo.met"
+let traces_sampled_counter = Telemetry.Counter.make "server.traces.sampled"
+
+(* Per-trace collector overflow, summed across requests at finish (the
+   registry's own buffer drops stay in [server.spans.dropped]). *)
+let trace_spans_dropped_counter =
+  Telemetry.Counter.make "server.trace.spans.dropped"
+
+(* Host pressure: sampled at scrape time like the GC gauges. Dotted
+   names render as process_cpu_seconds_total / process_open_fds /
+   process_threads_live in the Prometheus exposition. *)
+let process_cpu_gauge = Telemetry.Gauge.make "process.cpu.seconds.total"
+let process_fds_gauge = Telemetry.Gauge.make "process.open.fds"
+let process_threads_gauge = Telemetry.Gauge.make "process.threads.live"
+
+(* Counters whose dispatch-to-finish deltas a sampled trace records as
+   its resource attribution: where the request's search and solver
+   work actually went. Process-wide, so concurrent requests bleed into
+   each other's deltas — an attribution hint, not an exact ledger. *)
+let attributed_counters =
+  [
+    "search.candidates.generated";
+    "search.candidates.evaluated";
+    "search.eval.downtime.fresh";
+    "search.eval.downtime.reused";
+    "avail.engine.analytic.calls";
+    "avail.engine.memoized.calls";
+    "avail.engine.exact.calls";
+    "avail.exact.solve.fresh";
+    "avail.exact.solve.incremental";
+    "avail.memo.hits";
+    "avail.memo.misses";
+    "markov.birth_death.solves";
+    "markov.gth.solves";
+    "markov.banded.solves";
+    "markov.power.solves";
+    "markov.lu.solves";
+    "markov.solver.fresh";
+    "markov.solver.incremental";
+    "markov.solver.fallback";
+    "markov.solver.cached";
+    "parallel.tasks.queued";
+    "parallel.tasks.executed";
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Configuration *)
@@ -85,6 +131,9 @@ type config = {
   send_timeout_s : float;
   log_path : string option;
   slo : Slo.config;
+  trace_sample : float;
+  trace_ring : int;
+  trace_spans : int;
 }
 
 let default_config transport =
@@ -99,6 +148,9 @@ let default_config transport =
     send_timeout_s = 10.;
     log_path = None;
     slo = Slo.default_config;
+    trace_sample = 0.;
+    trace_ring = 256;
+    trace_spans = Telemetry.Trace.default_capacity;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -152,6 +204,8 @@ type t = {
   registry : Telemetry.t;
   gate : search_gate;
   slo : Slo.t;
+  traces : Trace_store.t;
+  exemplars : Exemplars.t;
   log : Request_log.t option;
   started_at : float;
   stopping : bool Atomic.t;
@@ -350,7 +404,9 @@ let outcome_served = function
 (* Close one request's lifecycle: record it against the SLO, observe
    the per-verb/per-stage histograms, and append the structured log
    record. Called exactly once per request line, on every path —
-   answered, shed, refused, malformed. *)
+   answered, shed, refused, malformed. For sampled requests this is
+   also where the finished span tree enters the trace ring and the
+   latency exemplars are recorded. *)
 let finish_lifecycle t lifecycle ~outcome =
   if slo_eligible_verb (Lifecycle.verb lifecycle) then
     Slo.record t.slo
@@ -361,6 +417,45 @@ let finish_lifecycle t lifecycle ~outcome =
     Lifecycle.finish lifecycle ~outcome
       ~slow_threshold_s:t.config.slo.Slo.latency_budget_s
   in
+  (match Lifecycle.trace lifecycle with
+  | None -> ()
+  | Some trace ->
+      let now = Telemetry.now_seconds () in
+      let trace_id = Lifecycle.trace_id lifecycle in
+      let verb = Lifecycle.verb lifecycle in
+      let total_s = Lifecycle.elapsed_s lifecycle in
+      let dropped = Telemetry.Trace.dropped trace in
+      if dropped > 0 then
+        Telemetry.Counter.add trace_spans_dropped_counter dropped;
+      let counters =
+        match Telemetry.Trace.baseline trace with
+        | [] -> [] (* never dispatched: shed, malformed, refused *)
+        | baseline ->
+            List.filter_map
+              (fun (name, before) ->
+                let delta =
+                  Telemetry.Counter.read_by_name t.registry name - before
+                in
+                if delta <> 0 then Some (name, delta) else None)
+              baseline
+      in
+      Trace_store.add t.traces
+        {
+          Trace_store.trace_id;
+          verb;
+          conn_id = Lifecycle.conn_id lifecycle;
+          outcome;
+          started_s = Lifecycle.started_s lifecycle;
+          total_s;
+          spans = Telemetry.Trace.spans trace;
+          spans_dropped = dropped;
+          counters;
+        };
+      Exemplars.observe t.exemplars
+        ~metric:(Printf.sprintf "server.verb.%s.seconds" verb)
+        ~trace_id ~value:total_s ~now;
+      Exemplars.observe t.exemplars ~metric:"server.request.seconds"
+        ~trace_id ~value:total_s ~now);
   Option.iter (fun log -> Request_log.write log record) t.log
 
 (* ------------------------------------------------------------------ *)
@@ -441,6 +536,18 @@ let handle_check params =
 
 let handle_health () = Api.versioned [ ("status", Json.String "ok") ]
 
+let handle_trace t params =
+  let id = required_string params "trace_id" in
+  match Trace_store.find t.traces id with
+  | Some completed ->
+      Api.versioned [ ("trace", Trace_store.to_json completed) ]
+  | None ->
+      failwith
+        (Printf.sprintf
+           "no completed trace %S: not sampled (see serve --trace-sample), \
+            not finished yet, or evicted from the ring"
+           id)
+
 let histogram_json (s : Telemetry.Histogram.summary) =
   Json.Obj
     [
@@ -485,6 +592,13 @@ let set_runtime_gauges t =
   Telemetry.Gauge.set gc_minor_collections_gauge
     (float_of_int gc.Gc.minor_collections);
   Telemetry.Gauge.set gc_compactions_gauge (float_of_int gc.Gc.compactions);
+  Telemetry.Gauge.set process_cpu_gauge (Process_stats.cpu_seconds ());
+  Option.iter
+    (fun n -> Telemetry.Gauge.set process_fds_gauge (float_of_int n))
+    (Process_stats.open_fds ());
+  Option.iter
+    (fun n -> Telemetry.Gauge.set process_threads_gauge (float_of_int n))
+    (Process_stats.live_threads ());
   Telemetry.Gauge.set uptime_gauge (Telemetry.now_seconds () -. t.started_at);
   Telemetry.Gauge.set pool_domains_gauge (float_of_int t.config.jobs);
   Telemetry.Gauge.set dispatchers_total_gauge
@@ -531,9 +645,12 @@ let slo_json (s : Slo.snapshot) =
 let handle_metrics t =
   ignore (set_runtime_gauges t);
   let body =
-    Prometheus.render
+    Prometheus.render ~exemplars:t.exemplars
       ~extra_counters:
-        [ ("server.spans.dropped", Telemetry.spans_dropped t.registry) ]
+        [
+          ("server.spans.dropped", Telemetry.spans_dropped t.registry);
+          ("server.trace.ring.evictions", Trace_store.evictions t.traces);
+        ]
       t.registry
   in
   Api.metrics_result_to_json
@@ -612,6 +729,7 @@ let handle_request t (job : job) =
   let lc = job.lifecycle in
   Lifecycle.stamp lc "queue";
   Telemetry.Counter.incr (List.assoc request.Protocol.verb request_counters);
+  let trace_id = Lifecycle.trace_id lc in
   (* [render] is deferred so serialization lands in the "encode" stage
      rather than being charged to whichever stage built the value. *)
   let respond ~outcome render =
@@ -625,13 +743,14 @@ let handle_request t (job : job) =
   let respond_ok result =
     Telemetry.Counter.incr responses_ok;
     respond ~outcome:"ok" (fun () ->
-        Protocol.ok_response ~id:request.Protocol.id result)
+        Protocol.ok_response ~trace_id ~id:request.Protocol.id result)
   in
   let respond_error code message =
     Telemetry.Counter.incr responses_error;
     respond
       ~outcome:(Protocol.error_code_to_string code)
-      (fun () -> Protocol.error_response ~id:request.Protocol.id code message)
+      (fun () ->
+        Protocol.error_response ~trace_id ~id:request.Protocol.id code message)
   in
   let waited = Telemetry.now_seconds () -. job.enqueued_at in
   Telemetry.Histogram.observe queue_wait_seconds waited;
@@ -649,7 +768,21 @@ let handle_request t (job : job) =
            (waited *. 1000.) ms)
   | Some _ | None -> (
       let verb_name = Protocol.verb_to_string request.Protocol.verb in
+      (* Sampled requests: snapshot the attributed counters and install
+         the trace context (parented under the handle-stage span) for
+         the handler — every [with_span]/[with_trace_span] below this
+         point, including on pool worker domains, lands in the tree. *)
+      let trace_ctx = Lifecycle.handle_context lc in
+      (match Lifecycle.trace lc with
+      | Some trace ->
+          Telemetry.Trace.set_baseline trace
+            (List.map
+               (fun name ->
+                 (name, Telemetry.Counter.read_by_name t.registry name))
+               attributed_counters)
+      | None -> ());
       match
+        Telemetry.Trace.with_context trace_ctx @@ fun () ->
         Telemetry.with_span ("serve." ^ verb_name) @@ fun () ->
         Telemetry.Histogram.time request_seconds @@ fun () ->
         match request.Protocol.verb with
@@ -660,6 +793,7 @@ let handle_request t (job : job) =
         | Protocol.Health -> handle_health ()
         | Protocol.Stats -> handle_stats t
         | Protocol.Metrics -> handle_metrics t
+        | Protocol.Trace -> handle_trace t request.Protocol.params
       with
       | result -> respond_ok result
       | exception Bad_params message ->
@@ -720,7 +854,9 @@ let admit t conn lifecycle (request : Protocol.request) =
   else if Bounded_queue.closed t.queue then begin
     Telemetry.Counter.incr responses_error;
     send_line conn
-      (Protocol.error_response ~id:request.Protocol.id Protocol.Shutting_down
+      (Protocol.error_response
+         ~trace_id:(Lifecycle.trace_id lifecycle)
+         ~id:request.Protocol.id Protocol.Shutting_down
          "server is draining; retry elsewhere");
     Lifecycle.stamp lifecycle "write";
     finish_lifecycle t lifecycle ~outcome:"shutting-down"
@@ -729,12 +865,30 @@ let admit t conn lifecycle (request : Protocol.request) =
     Telemetry.Counter.incr shed_counter;
     Telemetry.Counter.incr responses_error;
     send_line conn
-      (Protocol.error_response ~id:request.Protocol.id Protocol.Overloaded
+      (Protocol.error_response
+         ~trace_id:(Lifecycle.trace_id lifecycle)
+         ~id:request.Protocol.id Protocol.Overloaded
          (Printf.sprintf "admission queue is full (capacity %d); retry later"
             (Bounded_queue.capacity t.queue)));
     Lifecycle.stamp lifecycle "write";
     finish_lifecycle t lifecycle ~outcome:"overloaded"
   end
+
+(* The head-sampling decision is taken here, once per request line:
+   sampled requests get a span collector that rides the lifecycle to
+   the dispatcher and into the engines. Deciding from the trace id
+   keeps it deterministic and free of shared state. *)
+let start_lifecycle t ~verb ~conn_id ~req_id ~now =
+  let trace_id = Trace_id.fresh () in
+  let trace =
+    if Trace_id.sampled trace_id ~rate:t.config.trace_sample then begin
+      Telemetry.Counter.incr traces_sampled_counter;
+      Some
+        (Telemetry.Trace.create ~capacity:t.config.trace_spans ~trace_id ())
+    end
+    else None
+  in
+  Lifecycle.start ?trace ~trace_id ~verb ~conn_id ~req_id ~now ()
 
 let reader_loop t conn =
   let ic = Unix.in_channel_of_descr conn.fd in
@@ -752,7 +906,7 @@ let reader_loop t conn =
             match Protocol.request_of_line line with
             | Ok request ->
                 let lifecycle =
-                  Lifecycle.start ~trace_id:(Trace_id.fresh ())
+                  start_lifecycle t
                     ~verb:(Protocol.verb_to_string request.Protocol.verb)
                     ~conn_id:conn.conn_id ~req_id:request.Protocol.id
                     ~now:t_read
@@ -764,15 +918,15 @@ let reader_loop t conn =
                    and a log record, but under the reserved verb
                    "invalid" which the SLO ignores. *)
                 let lifecycle =
-                  Lifecycle.start ~trace_id:(Trace_id.fresh ())
-                    ~verb:"invalid" ~conn_id:conn.conn_id ~req_id:Json.Null
-                    ~now:t_read
+                  start_lifecycle t ~verb:"invalid" ~conn_id:conn.conn_id
+                    ~req_id:Json.Null ~now:t_read
                 in
                 Lifecycle.stamp lifecycle "parse";
                 Telemetry.Counter.incr responses_error;
                 send_line conn
-                  (Protocol.error_response ~id:Json.Null Protocol.Bad_request
-                     message);
+                  (Protocol.error_response
+                     ~trace_id:(Lifecycle.trace_id lifecycle)
+                     ~id:Json.Null Protocol.Bad_request message);
                 Lifecycle.stamp lifecycle "write";
                 finish_lifecycle t lifecycle ~outcome:"bad-request"
         with
@@ -854,6 +1008,13 @@ let create config =
   (match Slo.validate_config config.slo with
   | Ok _ -> ()
   | Error msg -> failwith (Printf.sprintf "invalid SLO config: %s" msg));
+  if
+    Float.is_nan config.trace_sample
+    || config.trace_sample < 0.
+    || config.trace_sample > 1.
+  then failwith "trace_sample must be within [0, 1]";
+  if config.trace_ring < 1 then failwith "trace_ring must be >= 1";
+  if config.trace_spans < 1 then failwith "trace_spans must be >= 1";
   (* SIGPIPE would kill the process on a write to a client that hung
      up; we detect that per-connection from the write error instead. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -895,6 +1056,8 @@ let create config =
       registry;
       gate = make_gate ();
       slo = Slo.create config.slo;
+      traces = Trace_store.create ~capacity:config.trace_ring;
+      exemplars = Exemplars.create ();
       log;
       started_at = Telemetry.now_seconds ();
       stopping = Atomic.make false;

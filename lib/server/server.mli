@@ -67,14 +67,29 @@ type config = {
           rate, per-request latency budget, and rolling window —
           tracked continuously and exposed via [stats] and [metrics]
           (see {!Aved_obs.Slo}). *)
+  trace_sample : float;
+      (** Head-sampling rate in [0, 1]: the fraction of requests that
+          get a full span tree (search, engine and solver spans with
+          per-span CPU/allocation attribution), fetchable by trace id
+          via the [trace] verb and [aved trace]. 0 disables tracing
+          entirely — the cost is one atomic load per potential span. *)
+  trace_ring : int;
+      (** How many completed sampled traces the daemon retains for the
+          [trace] verb; older ones are evicted
+          ([server.trace.ring.evictions]). *)
+  trace_spans : int;
+      (** Per-trace span bound; overflow is dropped subtree-first and
+          counted ([server.trace.spans.dropped]). *)
 }
 
 val default_config : transport -> config
 (** [jobs = Domain.recommended_domain_count ()], 2 dispatchers, a
     128-request queue, no default deadline, {!Aved_avail.Memo.default_capacity}
     memo entries, 4096 retained spans per domain, a 10 s send timeout,
-    no request log, and {!Aved_obs.Slo.default_config} (99.9% of work
-    requests within 50 ms over a 5-minute window). *)
+    no request log, {!Aved_obs.Slo.default_config} (99.9% of work
+    requests within 50 ms over a 5-minute window), tracing off
+    ([trace_sample = 0.]) with a 256-trace ring and 2048 spans per
+    trace. *)
 
 type t
 

@@ -253,6 +253,10 @@ module Histogram = struct
 
   let bucket_upper_bound i = Float.pow 2. (float_of_int (i + min_exponent + 1))
 
+  (* Upper bound of the bucket [observe v] would land in — the [le]
+     label an exemplar for [v] must attach to. *)
+  let bound_of_value v = bucket_upper_bound (bucket_of v)
+
   let fresh_cell () =
     {
       bucket_counts = Array.make num_buckets 0;
@@ -363,6 +367,236 @@ module Histogram = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Per-request trace collectors *)
+
+module Trace = struct
+  type span = {
+    id : int;
+    parent : int;
+    name : string;
+    start_s : float;
+    dur_s : float;
+    tid : int;
+    cpu_s : float;
+    minor_words : float;
+    major_words : float;
+  }
+
+  (* A cell is claimed at span *entry* and filled at exit. Claiming on
+     entry (not exit) is what keeps trees well-formed under the
+     capacity bound: a parent always claims before its children, and
+     capacity never frees within one trace, so once a span is dropped
+     every later entry — all its descendants included — is dropped
+     too. Retained spans therefore always have retained parents. *)
+  type cell = {
+    c_id : int;
+    c_parent : int;
+    c_name : string;
+    c_tid : int;
+    c_start_s : float;
+    mutable c_dur_s : float; (* < 0 until the span exits *)
+    mutable c_cpu_s : float;
+    mutable c_minor : float;
+    mutable c_major : float;
+  }
+
+  type t = {
+    trace_id : string;
+    t_mutex : Mutex.t; (* guards cells/len/dropped *)
+    mutable cells : cell list; (* newest first *)
+    mutable len : int;
+    capacity : int;
+    mutable t_dropped : int;
+    next_id : int Atomic.t;
+    mutable baseline : (string * int) list;
+  }
+
+  type context = { trace : t; parent : int }
+
+  let default_capacity = 2048
+
+  let create ?(capacity = default_capacity) ~trace_id () =
+    if capacity < 0 then
+      invalid_arg "Telemetry.Trace.create: capacity must be non-negative";
+    {
+      trace_id;
+      t_mutex = Mutex.create ();
+      cells = [];
+      len = 0;
+      capacity;
+      t_dropped = 0;
+      next_id = Atomic.make 1;
+      baseline = [];
+    }
+
+  let trace_id t = t.trace_id
+  let alloc_span_id t = Atomic.fetch_and_add t.next_id 1
+  let context t ~parent = { trace = t; parent }
+  let set_baseline t pairs = t.baseline <- pairs
+  let baseline t = t.baseline
+
+  let dropped t =
+    Mutex.lock t.t_mutex;
+    let d = t.t_dropped in
+    Mutex.unlock t.t_mutex;
+    d
+
+  (* Unconditional append, used for the handful of synthetic lifecycle
+     spans the server records at finish time (root + one per stage) —
+     those must survive even when handler spans hit the capacity. *)
+  let record t ~id ~parent ~name ~start_s ~dur_s ~tid =
+    let cell =
+      {
+        c_id = id;
+        c_parent = parent;
+        c_name = name;
+        c_tid = tid;
+        c_start_s = start_s;
+        c_dur_s = dur_s;
+        c_cpu_s = 0.;
+        c_minor = 0.;
+        c_major = 0.;
+      }
+    in
+    Mutex.lock t.t_mutex;
+    t.cells <- cell :: t.cells;
+    t.len <- t.len + 1;
+    Mutex.unlock t.t_mutex
+
+  (* The ambient context is per-*thread*, not per-domain: the daemon's
+     dispatcher threads share domain 0, so Domain.DLS would bleed one
+     request's context into a concurrent request's spans. Threads are
+     keyed by [Thread.id]; the table is only consulted while at least
+     one context is installed anywhere ([installed] > 0), so with
+     sampling off the whole machinery costs one atomic load. *)
+  let installed = Atomic.make 0
+  let tls_mutex = Mutex.create ()
+  let tls : (int, context) Hashtbl.t = Hashtbl.create 64
+  let self_key () = Thread.id (Thread.self ())
+
+  let current () =
+    if Atomic.get installed = 0 then None
+    else begin
+      let key = self_key () in
+      Mutex.lock tls_mutex;
+      let ctx = Hashtbl.find_opt tls key in
+      Mutex.unlock tls_mutex;
+      ctx
+    end
+
+  let swap_ctx key ctx =
+    Mutex.lock tls_mutex;
+    let prev = Hashtbl.find_opt tls key in
+    (match ctx with
+    | Some c -> Hashtbl.replace tls key c
+    | None -> Hashtbl.remove tls key);
+    (match (prev, ctx) with
+    | None, Some _ -> Atomic.incr installed
+    | Some _, None -> Atomic.decr installed
+    | None, None | Some _, Some _ -> ());
+    Mutex.unlock tls_mutex;
+    prev
+
+  let with_context ctx f =
+    match ctx with
+    | None when Atomic.get installed = 0 -> f ()
+    | _ ->
+        let key = self_key () in
+        let saved = swap_ctx key ctx in
+        Fun.protect ~finally:(fun () -> ignore (swap_ctx key saved)) f
+
+  type open_span = {
+    os_cell : cell option;
+    os_key : int;
+    os_saved : context option;
+    os_cpu0 : float;
+    os_minor0 : float;
+    os_major0 : float;
+  }
+
+  let enter ctx name start_s =
+    let t = ctx.trace in
+    Mutex.lock t.t_mutex;
+    let cell =
+      if t.len >= t.capacity then begin
+        t.t_dropped <- t.t_dropped + 1;
+        None
+      end
+      else begin
+        let c =
+          {
+            c_id = alloc_span_id t;
+            c_parent = ctx.parent;
+            c_name = name;
+            c_tid = (Domain.self () :> int);
+            c_start_s = start_s;
+            c_dur_s = -1.;
+            c_cpu_s = 0.;
+            c_minor = 0.;
+            c_major = 0.;
+          }
+        in
+        t.cells <- c :: t.cells;
+        t.len <- t.len + 1;
+        Some c
+      end
+    in
+    Mutex.unlock t.t_mutex;
+    let key = self_key () in
+    let saved =
+      match cell with
+      | Some c -> swap_ctx key (Some { trace = t; parent = c.c_id })
+      | None -> swap_ctx key (Some ctx)
+    in
+    let minor0, _, major0 = Gc.counters () in
+    {
+      os_cell = cell;
+      os_key = key;
+      os_saved = saved;
+      os_cpu0 = Sys.time ();
+      os_minor0 = minor0;
+      os_major0 = major0;
+    }
+
+  let exit_span os end_s =
+    ignore (swap_ctx os.os_key os.os_saved);
+    match os.os_cell with
+    | None -> ()
+    | Some c ->
+        let minor1, _, major1 = Gc.counters () in
+        c.c_cpu_s <- Sys.time () -. os.os_cpu0;
+        c.c_minor <- minor1 -. os.os_minor0;
+        c.c_major <- major1 -. os.os_major0;
+        c.c_dur_s <- end_s -. c.c_start_s
+
+  let spans t =
+    Mutex.lock t.t_mutex;
+    let cells = t.cells in
+    Mutex.unlock t.t_mutex;
+    List.filter_map
+      (fun c ->
+        if c.c_dur_s < 0. then None (* still open; skip *)
+        else
+          Some
+            {
+              id = c.c_id;
+              parent = c.c_parent;
+              name = c.c_name;
+              start_s = c.c_start_s;
+              dur_s = c.c_dur_s;
+              tid = c.c_tid;
+              cpu_s = c.c_cpu_s;
+              minor_words = c.c_minor;
+              major_words = c.c_major;
+            })
+      cells
+    |> List.sort (fun a b ->
+           match Float.compare a.start_s b.start_s with
+           | 0 -> Stdlib.compare a.id b.id
+           | n -> n)
+end
+
+(* ------------------------------------------------------------------ *)
 (* Spans *)
 
 let buffer_key : (int * span_buffer) option ref Domain.DLS.key =
@@ -393,23 +627,40 @@ let push_span t span =
   end
 
 let with_span name f =
-  match Atomic.get current with
-  | None -> f ()
-  | Some t ->
+  let registry = Atomic.get current in
+  let tctx = Trace.current () in
+  match (registry, tctx) with
+  | None, None -> f ()
+  | _ ->
       let t0 = now_seconds () in
+      let entered = Option.map (fun c -> Trace.enter c name t0) tctx in
       Fun.protect
         ~finally:(fun () ->
-          let dur = now_seconds () -. t0 in
-          (* Re-read: the ambient registry may have been swapped while
-             the span ran; record into the one that saw the start. *)
-          push_span t
-            {
-              span_name = name;
-              start_s = t0;
-              dur_s = dur;
-              tid = (Domain.self () :> int);
-            })
+          let t1 = now_seconds () in
+          Option.iter (fun os -> Trace.exit_span os t1) entered;
+          match registry with
+          | None -> ()
+          | Some t ->
+              push_span t
+                {
+                  span_name = name;
+                  start_s = t0;
+                  dur_s = t1 -. t0;
+                  tid = (Domain.self () :> int);
+                })
         f
+
+(* Trace-only span: records into the ambient request trace (when one
+   is sampled) but never into the registry's per-domain buffers. For
+   hot instrumentation points — solver backends, cache misses — that
+   would flood [--trace] files and span buffers if recorded always. *)
+let with_trace_span name f =
+  match Trace.current () with
+  | None -> f ()
+  | Some c ->
+      let t0 = now_seconds () in
+      let os = Trace.enter c name t0 in
+      Fun.protect ~finally:(fun () -> Trace.exit_span os (now_seconds ())) f
 
 let spans t =
   Mutex.lock t.mutex;
@@ -532,8 +783,7 @@ let json_escape name =
     name;
   Buffer.contents b
 
-let write_chrome_trace t oc =
-  let all = spans t in
+let write_chrome_spans all oc =
   let base = match all with [] -> 0. | s :: _ -> s.start_s in
   output_string oc "{\"traceEvents\":[";
   List.iteri
@@ -547,3 +797,5 @@ let write_chrome_trace t oc =
         (s.dur_s *. 1e6) s.tid)
     all;
   output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let write_chrome_trace t oc = write_chrome_spans (spans t) oc

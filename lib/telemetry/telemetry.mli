@@ -114,6 +114,100 @@ module Histogram : sig
       than always rounding up to the bucket bound. [nan] on an empty
       summary. This is what latency dashboards ([aved top], the
       [metrics] verb) report as p50/p95/p99. *)
+
+  val bound_of_value : float -> float
+  (** Upper bound of the bucket {!observe} files [v] into — the [le]
+      label a Prometheus exemplar for an observation must attach to. *)
+end
+
+(** Per-request trace collectors: parent/child span trees with resource
+    attribution, threaded through the engines by an ambient
+    {e trace context}.
+
+    A collector ({!Trace.t}) belongs to one sampled request. A
+    {!Trace.context} names a collector plus the span id new child spans
+    attach under; it is installed per-{e thread} (dispatcher threads
+    share a domain, so domain-local storage would bleed contexts across
+    concurrent requests) and adopted by pool worker domains for the
+    duration of each task ({!Aved_parallel.Pool.map} captures the
+    spawning context). {!with_span} and {!with_trace_span} consult the
+    ambient context: inside one, they allocate a child span, re-install
+    the context with themselves as parent, and on exit record wall
+    duration plus resource deltas — process CPU seconds ([Sys.time])
+    and the executing domain's minor/major allocated words
+    ([Gc.counters]).
+
+    With no context installed anywhere the cost is one atomic load per
+    potential span — sampling off means tracing is free. *)
+module Trace : sig
+  type span = {
+    id : int;  (** Unique within the trace, > 0. *)
+    parent : int;  (** Parent span id; 0 for the root. *)
+    name : string;
+    start_s : float;
+    dur_s : float;
+    tid : int;  (** Domain that ran the span. *)
+    cpu_s : float;
+        (** Process CPU seconds elapsed during the span (includes
+            other domains' work — an attribution hint, not a cycle
+            count). *)
+    minor_words : float;  (** Executing domain's minor allocations. *)
+    major_words : float;  (** Executing domain's major allocations. *)
+  }
+
+  type t
+  (** A bounded span collector for one sampled request. *)
+
+  type context
+  (** A collector plus the span id to parent new spans under. *)
+
+  val default_capacity : int
+  (** 2048 — the default per-trace span bound. *)
+
+  val create : ?capacity:int -> trace_id:string -> unit -> t
+  (** [capacity] (default 2048) bounds retained spans. Span slots are
+      claimed at entry, so under the bound dropped spans are always
+      complete subtrees: a retained span's parent is always retained. *)
+
+  val trace_id : t -> string
+
+  val alloc_span_id : t -> int
+  (** Reserve a span id (for synthetic spans recorded later via
+      {!record} while children attach under it in the meantime). *)
+
+  val record :
+    t ->
+    id:int ->
+    parent:int ->
+    name:string ->
+    start_s:float ->
+    dur_s:float ->
+    tid:int ->
+    unit
+  (** Append a pre-measured span unconditionally (not counted against
+      [capacity]); used for the per-request lifecycle stage spans. *)
+
+  val context : t -> parent:int -> context
+
+  val current : unit -> context option
+  (** The calling thread's installed context, if any. *)
+
+  val with_context : context option -> (unit -> 'a) -> 'a
+  (** Install (or clear, on [None]) the ambient context for the
+      calling thread while the thunk runs; always restores. *)
+
+  val spans : t -> span list
+  (** Completed spans sorted by start time (then id). Call after the
+      request finishes; still-open spans are skipped. *)
+
+  val dropped : t -> int
+  (** Spans not retained because the collector hit [capacity]. *)
+
+  val set_baseline : t -> (string * int) list -> unit
+  (** Attach a counter snapshot taken at dispatch time; {!baseline}
+      reads it back at finish to compute request-scoped deltas. *)
+
+  val baseline : t -> (string * int) list
 end
 
 type span = {
@@ -126,7 +220,16 @@ type span = {
 val with_span : string -> (unit -> 'a) -> 'a
 (** Run the thunk and record a completed span (also on exception).
     Nesting is positional: spans of one domain nest by time
-    containment, which is how Chrome's tracing UI renders them. *)
+    containment, which is how Chrome's tracing UI renders them.
+    Additionally, when the calling thread has an ambient
+    {!Trace.context}, a child span with explicit parent links and
+    resource deltas is recorded into that trace. *)
+
+val with_trace_span : string -> (unit -> 'a) -> 'a
+(** Like {!with_span} but records {e only} into the ambient
+    {!Trace.context} (nothing when none is installed). For hot
+    instrumentation points — solver backends, cache misses — that
+    would flood the positional buffers if recorded unconditionally. *)
 
 val spans : t -> span list
 (** All recorded spans, sorted by start time. *)
@@ -151,3 +254,7 @@ val write_chrome_trace : t -> out_channel -> unit
 (** Emit the recorded spans as Chrome [trace_event] JSON (one complete
     ["ph":"X"] event per span), loadable by [chrome://tracing] and
     [ui.perfetto.dev]. *)
+
+val write_chrome_spans : span list -> out_channel -> unit
+(** The same trace_event writer over an explicit span list — what
+    [aved trace --chrome] feeds a fetched request trace through. *)

@@ -283,6 +283,7 @@ let test_lifecycle_record () =
     Lifecycle.start ~trace_id:"00000000deadbeef" ~verb:"design" ~conn_id:3
       ~req_id:(Json.Int 7)
       ~now:(Unix.gettimeofday ())
+      ()
   in
   List.iter
     (fun stage -> Lifecycle.stamp lc stage)
@@ -349,6 +350,284 @@ let test_lifecycle_record () =
   Alcotest.(check int) "stage histogram observed" 1
     (histogram_count "server.stage.design.handle.seconds")
 
+(* ------------------------------------------------------------------ *)
+(* Trace collectors: span trees, capacity, sampling, ring, exemplars *)
+
+module Trace = Telemetry.Trace
+module Trace_store = Aved_obs.Trace_store
+module Exemplars = Aved_obs.Exemplars
+module Process_stats = Aved_obs.Process_stats
+
+let span_ids spans = List.map (fun s -> s.Trace.id) spans
+
+let check_parents_resolve spans =
+  let ids = span_ids spans in
+  List.iter
+    (fun s ->
+      if s.Trace.parent <> 0 && not (List.mem s.Trace.parent ids) then
+        Alcotest.failf "span %d (%s) has unresolvable parent %d" s.Trace.id
+          s.Trace.name s.Trace.parent)
+    spans
+
+let test_trace_tree () =
+  let tr = Trace.create ~trace_id:"cafe" () in
+  let root = Trace.alloc_span_id tr in
+  Trace.with_context (Some (Trace.context tr ~parent:root)) (fun () ->
+      Telemetry.with_trace_span "outer" (fun () ->
+          Telemetry.with_trace_span "inner" (fun () -> ());
+          Telemetry.with_trace_span "inner2" (fun () -> ())));
+  Alcotest.(check (option bool))
+    "context restored" None
+    (Option.map (fun _ -> true) (Trace.current ()));
+  let spans = Trace.spans tr in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  let find name = List.find (fun s -> s.Trace.name = name) spans in
+  let outer = find "outer" and inner = find "inner" and inner2 = find "inner2" in
+  Alcotest.(check int) "outer under root" root outer.Trace.parent;
+  Alcotest.(check int) "inner under outer" outer.Trace.id inner.Trace.parent;
+  Alcotest.(check int) "inner2 under outer" outer.Trace.id inner2.Trace.parent;
+  (* Durations nest: children start no earlier and end no later. *)
+  List.iter
+    (fun child ->
+      Alcotest.(check bool) "child starts after parent" true
+        (child.Trace.start_s >= outer.Trace.start_s);
+      Alcotest.(check bool) "child ends before parent" true
+        (child.Trace.start_s +. child.Trace.dur_s
+        <= outer.Trace.start_s +. outer.Trace.dur_s +. 1e-9))
+    [ inner; inner2 ];
+  Alcotest.(check bool) "children sum within parent" true
+    (inner.Trace.dur_s +. inner2.Trace.dur_s <= outer.Trace.dur_s +. 1e-9);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "cpu nonnegative" true (s.Trace.cpu_s >= 0.);
+      Alcotest.(check bool) "minor words nonnegative" true
+        (s.Trace.minor_words >= 0.))
+    spans;
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped tr)
+
+let test_trace_capacity_drops_subtrees () =
+  let tr = Trace.create ~capacity:3 ~trace_id:"feed" () in
+  let root = Trace.alloc_span_id tr in
+  Trace.with_context (Some (Trace.context tr ~parent:root)) (fun () ->
+      for i = 1 to 10 do
+        Telemetry.with_trace_span (Printf.sprintf "outer%d" i) (fun () ->
+            Telemetry.with_trace_span "leaf" (fun () -> ()))
+      done);
+  (* The daemon's lifecycle records the root span at finish. *)
+  Trace.record tr ~id:root ~parent:0 ~name:"request" ~start_s:0. ~dur_s:1.
+    ~tid:0;
+  let spans = Trace.spans tr in
+  Alcotest.(check int) "capacity respected" 4 (List.length spans);
+  Alcotest.(check int) "drops counted" 17 (Trace.dropped tr);
+  (* Cells are claimed at entry, so retained spans always form complete
+     chains back to the root: no orphan leaves from dropped parents. *)
+  check_parents_resolve spans;
+  (* A dropped parent must not leave a retained child: every leaf's
+     parent is present. *)
+  List.iter
+    (fun s ->
+      if s.Trace.name = "leaf" then
+        Alcotest.(check bool) "leaf's parent retained" true
+          (List.exists
+             (fun p -> p.Trace.id = s.Trace.parent)
+             spans))
+    spans
+
+let test_trace_record_bypasses_capacity () =
+  let tr = Trace.create ~capacity:1 ~trace_id:"beef" () in
+  Trace.with_context (Some (Trace.context tr ~parent:0)) (fun () ->
+      Telemetry.with_trace_span "a" (fun () -> ());
+      Telemetry.with_trace_span "b" (fun () -> ()));
+  let root = Trace.alloc_span_id tr in
+  Trace.record tr ~id:root ~parent:0 ~name:"request" ~start_s:0. ~dur_s:1.
+    ~tid:0;
+  (* The synthetic lifecycle span lands even though the cap is long
+     gone; only the organically-entered span was bounded. *)
+  let names = List.map (fun s -> s.Trace.name) (Trace.spans tr) in
+  Alcotest.(check bool) "request span present" true
+    (List.mem "request" names);
+  Alcotest.(check int) "one organic span" 2 (List.length names)
+
+let test_trace_sampling () =
+  let id = "00000000deadbeef" in
+  Alcotest.(check bool) "rate 1 samples" true (Trace_id.sampled id ~rate:1.);
+  Alcotest.(check bool) "rate 0 never" false (Trace_id.sampled id ~rate:0.);
+  Alcotest.(check bool) "nan never" false (Trace_id.sampled id ~rate:Float.nan);
+  (* Deterministic per id: the decision is a pure function of the id,
+     so reader threads and tests agree without shared state. *)
+  let d = Trace_id.sampled id ~rate:0.5 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "stable" d (Trace_id.sampled id ~rate:0.5)
+  done;
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Trace_id.sampled (Trace_id.fresh ()) ~rate:0.3 then incr hits
+  done;
+  let fraction = float_of_int !hits /. float_of_int n in
+  if fraction < 0.25 || fraction > 0.35 then
+    Alcotest.failf "sampling rate 0.3 hit %.3f" fraction
+
+let completed ~trace_id ~verb =
+  {
+    Trace_store.trace_id;
+    verb;
+    conn_id = 1;
+    outcome = "ok";
+    started_s = 100.;
+    total_s = 0.5;
+    spans = [];
+    spans_dropped = 0;
+    counters = [ ("markov.birth_death.solves", 3) ];
+  }
+
+let test_trace_store_ring () =
+  let ring = Trace_store.create ~capacity:2 in
+  Trace_store.add ring (completed ~trace_id:"aa" ~verb:"design");
+  Trace_store.add ring (completed ~trace_id:"bb" ~verb:"explain");
+  Alcotest.(check int) "two live" 2 (Trace_store.length ring);
+  Trace_store.add ring (completed ~trace_id:"cc" ~verb:"check");
+  Alcotest.(check int) "still two" 2 (Trace_store.length ring);
+  Alcotest.(check int) "one eviction" 1 (Trace_store.evictions ring);
+  Alcotest.(check bool) "oldest gone" true (Trace_store.find ring "aa" = None);
+  (match Trace_store.find ring "cc" with
+  | Some c -> Alcotest.(check string) "newest verb" "check" c.Trace_store.verb
+  | None -> Alcotest.fail "newest trace missing");
+  match Trace_store.to_json (completed ~trace_id:"dd" ~verb:"design") with
+  | Json.Obj fields ->
+      List.iter
+        (fun key ->
+          Alcotest.(check bool) (key ^ " present") true
+            (List.mem_assoc key fields))
+        [ "trace_id"; "verb"; "outcome"; "total_ms"; "spans"; "counters" ]
+  | _ -> Alcotest.fail "to_json not an object"
+
+let test_exemplar_store () =
+  let ex = Exemplars.create () in
+  Exemplars.observe ex ~metric:"server.request.seconds" ~trace_id:"t1"
+    ~value:0.01 ~now:5.;
+  let le = Telemetry.Histogram.bound_of_value 0.01 in
+  (match Exemplars.find ex ~metric:"server.request.seconds" ~le with
+  | Some { Exemplars.ex_trace_id; ex_value; _ } ->
+      Alcotest.(check string) "id" "t1" ex_trace_id;
+      Alcotest.(check (float 0.)) "value" 0.01 ex_value
+  | None -> Alcotest.fail "exemplar not found");
+  (* Latest wins within a bucket; other buckets are unaffected. *)
+  Exemplars.observe ex ~metric:"server.request.seconds" ~trace_id:"t2"
+    ~value:0.0101 ~now:6.;
+  (match Exemplars.find ex ~metric:"server.request.seconds" ~le with
+  | Some e -> Alcotest.(check string) "latest wins" "t2" e.Exemplars.ex_trace_id
+  | None -> Alcotest.fail "exemplar vanished");
+  Exemplars.observe ex ~metric:"server.request.seconds" ~trace_id:"t3"
+    ~value:100. ~now:7.;
+  Alcotest.(check int) "two buckets" 2 (Exemplars.count ex);
+  match Exemplars.find ex ~metric:"other" ~le with
+  | Some _ -> Alcotest.fail "wrong metric matched"
+  | None -> ()
+
+let test_prometheus_exemplars () =
+  let t = Telemetry.create () in
+  Telemetry.with_registry t (fun () ->
+      Telemetry.Histogram.observe
+        (Telemetry.Histogram.make "server.request.seconds")
+        0.02);
+  let ex = Exemplars.create () in
+  Exemplars.observe ex ~metric:"server.request.seconds" ~trace_id:"abcd1234"
+    ~value:0.02 ~now:9.;
+  let body = Prometheus.render ~exemplars:ex t in
+  let exemplar_line =
+    List.find_opt
+      (fun line ->
+        let has_prefix p =
+          String.length line >= String.length p
+          && String.sub line 0 (String.length p) = p
+        in
+        has_prefix "server_request_seconds_bucket"
+        && String.length line > 3
+        &&
+        let rec contains i =
+          i + 3 <= String.length line
+          && (String.sub line i 3 = " # " || contains (i + 1))
+        in
+        contains 0)
+      (String.split_on_char '\n' body)
+  in
+  (match exemplar_line with
+  | None -> Alcotest.fail "no exemplar on any bucket line"
+  | Some line ->
+      let is_sub sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length line
+          && (String.sub line i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "exemplar labels trace id" true
+        (is_sub "# {trace_id=\"abcd1234\"}"));
+  (* A scraper that strips exemplars must see the plain exposition:
+     drop everything from " # " and re-validate with the strict
+     parser (cumulative buckets, one TYPE per family). *)
+  let stripped =
+    String.split_on_char '\n' body
+    |> List.map (fun line ->
+           let rec find i =
+             if i + 3 > String.length line then None
+             else if String.sub line i 3 = " # " then Some i
+             else find (i + 1)
+           in
+           match find 0 with
+           | Some i -> String.sub line 0 i
+           | None -> line)
+    |> String.concat "\n"
+  in
+  let _types, samples = parse_exposition stripped in
+  Alcotest.(check bool) "stripped body parses" true (samples <> [])
+
+let test_process_stats () =
+  let cpu = Process_stats.cpu_seconds () in
+  Alcotest.(check bool) "cpu nonnegative" true (cpu >= 0.);
+  (match Process_stats.open_fds () with
+  | Some fds -> Alcotest.(check bool) "some fds open" true (fds >= 3)
+  | None -> ());
+  match Process_stats.live_threads () with
+  | Some n -> Alcotest.(check bool) "at least one thread" true (n >= 1)
+  | None -> ()
+
+(* Pool workers adopt the spawning request's context: spans recorded
+   inside tasks land in the same trace, parented under the span that
+   was ambient at the [map] call. *)
+let test_trace_pool_propagation () =
+  let pool = Aved_parallel.Pool.create ~jobs:2 in
+  Fun.protect ~finally:(fun () -> Aved_parallel.Pool.shutdown pool)
+  @@ fun () ->
+  let tr = Trace.create ~trace_id:"00ddba11" () in
+  let root = Trace.alloc_span_id tr in
+  Trace.with_context (Some (Trace.context tr ~parent:root)) (fun () ->
+      Telemetry.with_trace_span "fanout" (fun () ->
+          ignore
+            (Aved_parallel.Pool.map pool
+               (fun i ->
+                 Telemetry.with_trace_span (Printf.sprintf "task%d" i)
+                   (fun () -> i * i))
+               [ 1; 2; 3; 4 ])));
+  Trace.record tr ~id:root ~parent:0 ~name:"request" ~start_s:0. ~dur_s:1.
+    ~tid:0;
+  let spans = Trace.spans tr in
+  check_parents_resolve spans;
+  let fanout = List.find (fun s -> s.Trace.name = "fanout") spans in
+  let tasks =
+    List.filter
+      (fun s ->
+        String.length s.Trace.name >= 4 && String.sub s.Trace.name 0 4 = "task")
+      spans
+  in
+  Alcotest.(check int) "all tasks traced" 4 (List.length tasks);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "task under fanout" fanout.Trace.id s.Trace.parent)
+    tasks
+
 let () =
   Alcotest.run "obs"
     [
@@ -380,4 +659,23 @@ let () =
         ] );
       ( "lifecycle",
         [ Alcotest.test_case "record" `Quick test_lifecycle_record ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span tree" `Quick test_trace_tree;
+          Alcotest.test_case "capacity drops subtrees" `Quick
+            test_trace_capacity_drops_subtrees;
+          Alcotest.test_case "record bypasses capacity" `Quick
+            test_trace_record_bypasses_capacity;
+          Alcotest.test_case "sampling" `Quick test_trace_sampling;
+          Alcotest.test_case "ring" `Quick test_trace_store_ring;
+          Alcotest.test_case "pool propagation" `Quick
+            test_trace_pool_propagation;
+        ] );
+      ( "exemplars",
+        [
+          Alcotest.test_case "store" `Quick test_exemplar_store;
+          Alcotest.test_case "rendered" `Quick test_prometheus_exemplars;
+        ] );
+      ( "process",
+        [ Alcotest.test_case "stats" `Quick test_process_stats ] );
     ]

@@ -623,6 +623,272 @@ let test_request_log () =
   | [] -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Distributed tracing: a dedicated daemon with sampling forced on *)
+
+let obj_fields = function Json.Obj fields -> fields | _ -> []
+
+(* Span accessors over the wire encoding of the trace verb. *)
+let span_int s name =
+  match List.assoc_opt name (match s with Json.Obj f -> f | _ -> []) with
+  | Some (Json.Int i) -> i
+  | _ -> Alcotest.failf "span missing int field %s" name
+
+let span_float s name =
+  match List.assoc_opt name (match s with Json.Obj f -> f | _ -> []) with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | _ -> Alcotest.failf "span missing float field %s" name
+
+let span_str s name =
+  match List.assoc_opt name (match s with Json.Obj f -> f | _ -> []) with
+  | Some (Json.String v) -> v
+  | _ -> Alcotest.failf "span missing string field %s" name
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Does [id]'s ancestor chain pass through [ancestor]? *)
+let rec under parents id ancestor =
+  match Hashtbl.find_opt parents id with
+  | None -> false
+  | Some p -> p = ancestor || under parents p ancestor
+
+let check_span_tree spans =
+  let ids = Hashtbl.create 256 in
+  let parents = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      let id = span_int s "id" in
+      if Hashtbl.mem ids id then Alcotest.failf "duplicate span id %d" id;
+      Hashtbl.add ids id ();
+      Hashtbl.add parents id (span_int s "parent"))
+    spans;
+  let roots =
+    List.filter (fun s -> span_int s "parent" = 0) spans
+  in
+  (match roots with
+  | [ root ] ->
+      Alcotest.(check string)
+        "root is the request span" "request" (span_str root "name")
+  | _ -> Alcotest.failf "expected exactly one root, got %d" (List.length roots));
+  (* Every parent link resolves: capacity drops whole subtrees, never
+     a parent out from under a retained child. *)
+  List.iter
+    (fun s ->
+      let parent = span_int s "parent" in
+      if parent <> 0 && not (Hashtbl.mem ids parent) then
+        Alcotest.failf "span %d (%s) has unresolvable parent %d"
+          (span_int s "id") (span_str s "name") parent)
+    spans;
+  (* Containment: every span's window lies within its parent's (a small
+     epsilon absorbs float rounding of the shared wall clock), and the
+     same-domain children of any span fit inside it back-to-back. *)
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun s -> Hashtbl.add by_id (span_int s "id") s) spans;
+  let eps = 0.5 (* ms *) in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt by_id (span_int s "parent") with
+      | None -> ()
+      | Some p ->
+          let s0 = span_float s "start_ms" and d = span_float s "dur_ms" in
+          let p0 = span_float p "start_ms" and pd = span_float p "dur_ms" in
+          if s0 < p0 -. eps || s0 +. d > p0 +. pd +. eps then
+            Alcotest.failf "span %d (%s) escapes its parent %d (%s)"
+              (span_int s "id") (span_str s "name") (span_int p "id")
+              (span_str p "name"))
+    spans;
+  (* The lifecycle stages are a strict partition of the request: their
+     durations sum to the root's. (Deeper levels only guarantee
+     containment — a worker help-draining a sibling task runs it
+     nested inside its own span's window, so sibling durations can
+     legitimately double-count.) *)
+  let root = List.find (fun s -> span_int s "parent" = 0) spans in
+  let stage_sum =
+    List.fold_left
+      (fun a s ->
+        if span_int s "parent" = span_int root "id" then
+          a +. span_float s "dur_ms"
+        else a)
+      0. spans
+  in
+  if Float.abs (stage_sum -. span_float root "dur_ms") > eps then
+    Alcotest.failf "stage spans sum to %.3f ms, request took %.3f ms"
+      stage_sum (span_float root "dur_ms");
+  parents
+
+let test_tracing_live () =
+  let dir = Filename.temp_file "aved_srv_trace" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let socket = Filename.concat dir "aved.sock" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process aved
+      [|
+        aved; "serve"; "--socket"; socket; "--jobs"; "2"; "--trace-sample";
+        "1";
+      |]
+      Unix.stdin devnull devnull
+  in
+  Unix.close devnull;
+  let cleanup () =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait () =
+    match connect_once socket with
+    | Some fd -> fd
+    | None ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "trace daemon did not come up within 10s";
+        Unix.sleepf 0.05;
+        wait ()
+  in
+  let fd = wait () in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let design_line =
+    Protocol.request_line ~id:(Json.Int 1) Protocol.Design
+      (spec_params ()
+      @ [ ("load", Json.Float 1000.); ("downtime_minutes", Json.Float 100.) ])
+  in
+  let fetch_trace () =
+    let r = response (rpc ic oc design_line) in
+    (match r.Protocol.outcome with
+    | Ok _ -> ()
+    | Error (_, m) -> Alcotest.failf "design refused: %s" m);
+    let trace_id =
+      match r.Protocol.response_trace_id with
+      | Some id -> id
+      | None -> Alcotest.fail "ok envelope carries no trace_id"
+    in
+    (* The response is written before the lifecycle finishes, so the
+       trace can land in the ring a moment after the client has the
+       answer; a fetch straight after the reply may race it. *)
+    let rec fetch_doc attempts =
+      match
+        (response
+           (rpc ic oc
+              (Protocol.request_line Protocol.Trace
+                 [ ("trace_id", Json.String trace_id) ])))
+          .Protocol.outcome
+      with
+      | Ok result -> (
+          match List.assoc_opt "trace" (obj_fields result) with
+          | Some doc -> doc
+          | None -> Alcotest.fail "trace result lacks a trace field")
+      | Error (_, m) ->
+          if attempts >= 40 then Alcotest.failf "trace fetch refused: %s" m
+          else begin
+            Unix.sleepf 0.05;
+            fetch_doc (attempts + 1)
+          end
+    in
+    let doc = fetch_doc 0 in
+    Alcotest.(check string)
+      "trace document echoes the id" trace_id
+      (match List.assoc_opt "trace_id" (obj_fields doc) with
+      | Some (Json.String s) -> s
+      | _ -> "");
+    doc
+  in
+  let doc = fetch_trace () in
+  let spans =
+    match List.assoc_opt "spans" (obj_fields doc) with
+    | Some (Json.List spans) -> spans
+    | _ -> Alcotest.fail "trace document lacks spans"
+  in
+  Alcotest.(check bool) "trace has spans" true (List.length spans > 6);
+  let parents = check_span_tree spans in
+  let handle =
+    match List.find_opt (fun s -> span_str s "name" = "handle") spans with
+    | Some s -> span_int s "id"
+    | None -> Alcotest.fail "no handle stage span"
+  in
+  let under_handle pred =
+    List.filter
+      (fun s -> pred (span_str s "name") && under parents (span_int s "id") handle)
+      spans
+  in
+  Alcotest.(check bool) "search-layer span under handle" true
+    (under_handle (has_prefix "search.") <> []);
+  Alcotest.(check bool) "solver-layer span under handle" true
+    (under_handle (fun n ->
+         has_prefix "markov." n || has_prefix "avail.engine." n)
+    <> []);
+  (* Worker domains adopt the request's context: with --jobs 2 the
+     search fans out to domains other than the dispatcher's, so spans
+     from a different tid must appear in the same trace. Pool pickup
+     is scheduling-dependent, so allow a few attempts. *)
+  let root_tid =
+    match List.find_opt (fun s -> span_int s "parent" = 0) spans with
+    | Some root -> span_int root "tid"
+    | None -> Alcotest.fail "no root span"
+  in
+  let has_worker_span spans =
+    List.exists (fun s -> span_int s "tid" <> root_tid) spans
+  in
+  let rec try_workers attempt spans =
+    if has_worker_span spans then ()
+    else if attempt >= 5 then
+      Alcotest.fail "no worker-domain span in any sampled trace"
+    else
+      let doc = fetch_trace () in
+      match List.assoc_opt "spans" (obj_fields doc) with
+      | Some (Json.List spans) -> try_workers (attempt + 1) spans
+      | _ -> Alcotest.fail "trace document lacks spans"
+  in
+  try_workers 0 spans;
+  (* Request-scoped counter attribution reached the document. *)
+  (match List.assoc_opt "counters" (obj_fields doc) with
+  | Some (Json.Obj counters) ->
+      Alcotest.(check bool) "attributed counters present" true (counters <> [])
+  | _ -> Alcotest.fail "trace document lacks counters");
+  (* Unknown ids are a user error, and even error envelopes carry a
+     trace id. *)
+  let r =
+    response
+      (rpc ic oc
+         (Protocol.request_line Protocol.Trace
+            [ ("trace_id", Json.String "doesnotexist") ]))
+  in
+  (match r.Protocol.outcome with
+  | Ok _ -> Alcotest.fail "unknown trace id was accepted"
+  | Error (code, _) -> check_code "unknown id" Protocol.User_error code);
+  match r.Protocol.response_trace_id with
+  | Some _ -> ()
+  | None -> Alcotest.fail "error envelope carries no trace_id"
+
+(* The shared daemon runs with sampling off: its envelopes still carry
+   trace ids, but the trace verb has nothing to serve. *)
+let test_trace_ids_without_sampling () =
+  (with_conn @@ fun ic oc ->
+   let r =
+     response (rpc ic oc (Protocol.request_line Protocol.Health []))
+   in
+   match r.Protocol.response_trace_id with
+   | Some id -> Alcotest.(check int) "16-hex id" 16 (String.length id)
+   | None -> Alcotest.fail "ok envelope carries no trace_id");
+  let _, code, message =
+    server_error
+      (Protocol.request_line Protocol.Trace
+         [ ("trace_id", Json.String "0123456789abcdef") ])
+  in
+  check_code "unsampled fetch is a user error" Protocol.User_error code;
+  Alcotest.(check bool) "message points at --trace-sample" true
+    (contains message "trace-sample")
+
+(* ------------------------------------------------------------------ *)
 (* Shutdown — must run last: it takes the shared daemon down *)
 
 let test_sigterm_drains () =
@@ -688,6 +954,13 @@ let () =
             test_deep_nesting_rejected;
           Alcotest.test_case "live socket path is refused" `Quick
             test_live_socket_refused;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "sampled request yields a span tree" `Quick
+            test_tracing_live;
+          Alcotest.test_case "trace ids without sampling" `Quick
+            test_trace_ids_without_sampling;
         ] );
       ( "shutdown",
         [
