@@ -1,0 +1,94 @@
+(* Micro-benchmark of the expression-evaluator hot path.
+
+   The design search calls Perf_function.eval once per candidate
+   resource count; before the compiled forms every call walked the AST
+   through an association-list lookup, allocating a binding list and a
+   closure each time. This benchmark times the three evaluation paths
+   and reports minor-heap words allocated per call, so allocation
+   regressions show up as numbers, not vibes.
+
+   Run with: dune exec bench/expr_bench.exe *)
+
+module Expr = Aved_expr.Expr
+module Perf = Aved_perf.Perf_function
+
+let paper_general = Expr.of_string "(10*n)/(1+0.004*n)"
+let paper_affine = Expr.of_string "200*n"
+
+let minor_words_per_call ~calls f =
+  (* Relative readout: allocation attributable to one call, averaged
+     over enough calls to drown the measurement's own boxing. *)
+  let before = Gc.minor_words () in
+  for i = 1 to calls do
+    ignore (Sys.opaque_identity (f i))
+  done;
+  (Gc.minor_words () -. before) /. float_of_int calls
+
+let allocation_table () =
+  let general = Perf.of_expr paper_general in
+  let affine = Perf.of_expr paper_affine in
+  let calls = 100_000 in
+  let rows =
+    [
+      ( "Expr.eval_alist (binding list per call)",
+        fun i -> Expr.eval_alist paper_general [ ("n", float_of_int i) ] );
+      ( "Expr.eval1 (no binding structure)",
+        fun i -> Expr.eval1 paper_general ~var:"n" ~value:(float_of_int i) );
+      ( "Perf_function.eval, general expression",
+        fun i -> Perf.eval general ~n:(1 + (i land 63)) );
+      ( "Perf_function.eval, compiled affine",
+        fun i -> Perf.eval affine ~n:(1 + (i land 63)) );
+    ]
+  in
+  Printf.printf "minor words allocated per call (avg over %d calls):\n" calls;
+  List.iter
+    (fun (name, f) ->
+      Printf.printf "  %-44s %8.2f\n" name (minor_words_per_call ~calls f))
+    rows
+
+let timing () =
+  let open Bechamel in
+  let general = Perf.of_expr paper_general in
+  let affine = Perf.of_expr paper_affine in
+  let tests =
+    [
+      Test.make ~name:"eval_alist: (10*n)/(1+0.004*n)"
+        (Staged.stage (fun () ->
+             ignore (Expr.eval_alist paper_general [ ("n", 12.) ])));
+      Test.make ~name:"eval1: (10*n)/(1+0.004*n)"
+        (Staged.stage (fun () ->
+             ignore (Expr.eval1 paper_general ~var:"n" ~value:12.)));
+      Test.make ~name:"perf eval: general expression"
+        (Staged.stage (fun () -> ignore (Perf.eval general ~n:12)));
+      Test.make ~name:"perf eval: compiled affine"
+        (Staged.stage (fun () -> ignore (Perf.eval affine ~n:12)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw =
+        Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ])
+      in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ estimate ] ->
+              Printf.printf "%-44s %8.1f ns/run\n%!" name estimate
+          | Some _ | None -> Printf.printf "%-44s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  allocation_table ();
+  if not (Array.mem "--no-timing" Sys.argv) then begin
+    print_newline ();
+    timing ()
+  end

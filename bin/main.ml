@@ -15,12 +15,12 @@ module Json = Aved_explain.Json
 (* aved design *)
 
 let design_cmd =
-  let run infra_file service_file load downtime job_hours json jobs stats trace
-      no_check =
+  let run infra_file service_file load downtime job_hours json jobs
+      prune_bounds stats trace no_check =
     handle_errors (fun () ->
         let requirements = requirements ~load ~downtime ~job_hours in
         let infra, service = load_checked ~no_check ~infra_file ~service_file in
-        let config = search_config jobs in
+        let config = search_config ~prune_bounds jobs in
         with_telemetry ~stats ?trace @@ fun () ->
         let report = Aved.Engine.design ~config infra service requirements in
         (if json then
@@ -40,8 +40,8 @@ let design_cmd =
   let term =
     Term.(
       const run $ infra_file $ service_file $ load_arg $ downtime_arg
-      $ job_hours_arg $ json_arg $ jobs_arg $ stats_arg $ trace_file_arg
-      $ no_check_arg)
+      $ job_hours_arg $ json_arg $ jobs_arg $ prune_bounds_arg $ stats_arg
+      $ trace_file_arg $ no_check_arg)
   in
   Cmd.v
     (Cmd.info "design"
@@ -62,8 +62,8 @@ let frontier_cmd =
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run infra_file service_file tier_name load explain json jobs stats trace
-      no_check =
+  let run infra_file service_file tier_name load explain json jobs
+      prune_bounds stats trace no_check =
     handle_errors (fun () ->
         let load =
           match load with Some l -> l | None -> failwith "--load is required"
@@ -77,7 +77,7 @@ let frontier_cmd =
               | None -> failwith (Printf.sprintf "no tier %S" name))
           | None -> List.hd service.Model.Service.tiers
         in
-        let config = search_config jobs in
+        let config = search_config ~prune_bounds jobs in
         with_telemetry ~stats ?trace @@ fun () ->
         let frontier =
           Aved_search.Tier_search.frontier config infra ~tier ~demand:load
@@ -115,8 +115,8 @@ let frontier_cmd =
   let term =
     Term.(
       const run $ infra_file $ service_file $ tier_arg $ load_arg
-      $ explain_flag $ json_arg $ jobs_arg $ stats_arg $ trace_file_arg
-      $ no_check_arg)
+      $ explain_flag $ json_arg $ jobs_arg $ prune_bounds_arg $ stats_arg
+      $ trace_file_arg $ no_check_arg)
   in
   Cmd.v
     (Cmd.info "frontier"
@@ -250,12 +250,12 @@ let explain_cmd =
     let doc = "Runner-up candidates to show per tier." in
     Arg.(value & opt int 5 & info [ "top" ] ~doc ~docv:"K")
   in
-  let run infra_file service_file load downtime job_hours top json jobs stats
-      trace no_check =
+  let run infra_file service_file load downtime job_hours top json jobs
+      prune_bounds stats trace no_check =
     handle_errors (fun () ->
         let requirements = requirements ~load ~downtime ~job_hours in
         let infra, service = load_checked ~no_check ~infra_file ~service_file in
-        let config = search_config jobs in
+        let config = search_config ~prune_bounds jobs in
         with_telemetry ~stats ?trace @@ fun () ->
         let trail = Aved_search.Provenance.create () in
         let result =
@@ -284,8 +284,8 @@ let explain_cmd =
   let term =
     Term.(
       const run $ infra_file $ service_file $ load_arg $ downtime_arg
-      $ job_hours_arg $ top_arg $ json_arg $ jobs_arg $ stats_arg
-      $ trace_file_arg $ no_check_arg)
+      $ job_hours_arg $ top_arg $ json_arg $ jobs_arg $ prune_bounds_arg
+      $ stats_arg $ trace_file_arg $ no_check_arg)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -305,12 +305,12 @@ let report_cmd =
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the report to a file.")
   in
-  let run infra_file service_file load downtime job_hours jobs out stats trace
-      no_check =
+  let run infra_file service_file load downtime job_hours jobs prune_bounds
+      out stats trace no_check =
     handle_errors (fun () ->
         let requirements = requirements ~load ~downtime ~job_hours in
         let infra, service = load_checked ~no_check ~infra_file ~service_file in
-        let config = search_config jobs in
+        let config = search_config ~prune_bounds jobs in
         with_telemetry ~stats ?trace @@ fun () ->
         match Aved.Report.generate ~config infra service requirements with
         | None ->
@@ -329,8 +329,8 @@ let report_cmd =
   let term =
     Term.(
       const run $ infra_file $ service_file $ load_arg $ downtime_arg
-      $ job_hours_arg $ jobs_arg $ out_arg $ stats_arg $ trace_file_arg
-      $ no_check_arg)
+      $ job_hours_arg $ jobs_arg $ prune_bounds_arg $ out_arg $ stats_arg
+      $ trace_file_arg $ no_check_arg)
   in
   Cmd.v
     (Cmd.info "report"
@@ -506,17 +506,83 @@ let check_cmd =
     let doc = "Exit with status 1 on any diagnostic, warnings included." in
     Arg.(value & flag & info [ "strict" ] ~doc)
   in
-  let run files strict json =
-    let diags = Aved_check.Check.check_files files in
-    if json then
-      print_endline
-        (Json.to_string
-           (Api.check_result_to_json (Api.check_result_of_diagnostics diags)))
-    else if diags <> [] then begin
-      print_endline (Aved_check.Check.render_human diags);
-      print_endline (Aved_check.Diagnostic.summary diags)
-    end;
-    Aved_check.Check.exit_status ~strict diags
+  let bounds_arg =
+    let doc =
+      "Run the whole-domain bounds analysis: per (tier, option), bracket \
+       the downtime fraction of every design the search could evaluate in \
+       outward-rounded interval arithmetic, audit CTMC well-formedness at \
+       the extreme mttr corners of the mechanism-settings grid, and — when \
+       --downtime gives a budget — certify it infeasible or trivially \
+       satisfiable before any search runs."
+    in
+    Arg.(value & flag & info [ "bounds" ] ~doc)
+  in
+  let certificates_arg =
+    let doc =
+      "Write the feasibility certificates produced by --bounds to $(docv) \
+       as a JSON array (machine-checkable proof objects)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "certificates" ] ~doc ~docv:"FILE")
+  in
+  let run files strict json bounds load downtime certificates =
+    handle_errors (fun () ->
+        let diags = Aved_check.Check.check_files files in
+        let bounds_outcome =
+          if bounds then
+            let budget_fraction =
+              Option.map
+                (fun minutes ->
+                  Duration.years (Duration.of_minutes minutes))
+                downtime
+            in
+            Some
+              (Aved_check.Check.bounds_for_files files ~demand:load
+                 ~budget_fraction)
+          else None
+        in
+        let diags =
+          match bounds_outcome with
+          | None -> diags
+          | Some o ->
+              List.sort_uniq Aved_check.Diagnostic.compare
+                (diags @ o.Aved_check.Check.bo_diags)
+        in
+        if json then
+          print_endline
+            (Json.to_string
+               (Api.check_result_to_json
+                  (Api.check_result_of_diagnostics diags)))
+        else begin
+          if diags <> [] then begin
+            print_endline (Aved_check.Check.render_human diags);
+            print_endline (Aved_check.Diagnostic.summary diags)
+          end;
+          Option.iter
+            (fun (o : Aved_check.Check.bounds_outcome) ->
+              if o.bo_reports <> [] then begin
+                print_endline "downtime bounds (over all settings):";
+                print_endline (Aved_check.Check.render_bounds o.bo_reports)
+              end)
+            bounds_outcome
+        end;
+        Option.iter
+          (fun (o : Aved_check.Check.bounds_outcome) ->
+            Option.iter
+              (fun path ->
+                let oc = open_out path in
+                output_string oc
+                  (Aved_check.Check.render_certificates o.bo_certificates);
+                output_char oc '\n';
+                close_out oc;
+                Printf.eprintf "wrote %d certificate(s) to %s\n%!"
+                  (List.length o.bo_certificates)
+                  path)
+              certificates)
+          bounds_outcome;
+        Aved_check.Check.exit_status ~strict diags)
   in
   Cmd.v
     (Cmd.info "check"
@@ -525,9 +591,14 @@ let check_cmd =
           over expressions, cross-reference and liveness analysis, \
           expression lints (unreachable branches, division by zero, \
           discontinuous piecewise splits, non-monotone performance), and \
-          CTMC well-formedness of the induced availability models. Exits 0 \
-          when clean, 1 on errors (or on any diagnostic with --strict).")
-    Term.(const run $ files_arg $ strict_arg $ json_arg)
+          CTMC well-formedness of the induced availability models. With \
+          --bounds, additionally bracket every option's downtime by \
+          abstract interpretation and certify a --downtime budget \
+          infeasible or trivially satisfiable. Exits 0 when clean, 1 on \
+          errors (or on any diagnostic with --strict).")
+    Term.(
+      const run $ files_arg $ strict_arg $ json_arg $ bounds_arg $ load_arg
+      $ downtime_arg $ certificates_arg)
 
 (* ------------------------------------------------------------------ *)
 (* aved serve: the long-running design daemon *)

@@ -1,0 +1,287 @@
+module Expr = Aved_expr.Expr
+
+(* Abstract interpretation of the expression language over the interval
+   domain, with the dimension lattice from [Dim] riding along. Unlike
+   [Dim.infer] this walk is silent: dimension conflicts have already
+   been reported by the lint pass, so here they just widen to [Any]
+   rather than re-reporting. *)
+
+type value = { range : Interval.t; dim : Dim.t }
+
+let join_dim a b = match Dim.unify a b with Some d -> d | None -> Dim.Any
+let product_dim = function Dim.Dim d -> d | Dim.Nonsense _ -> Dim.Any
+
+(* Whether [a cmp b] is certainly true, certainly false, or undecided
+   over the boxes. Agrees with [Expr.compare_holds] on every pair of
+   concrete members when it returns [Some _]. *)
+let decide cmp (a : Interval.t) (b : Interval.t) =
+  let lo = Interval.lo and hi = Interval.hi in
+  match (cmp : Expr.comparison) with
+  | Le ->
+      if hi a <= lo b then Some true
+      else if lo a > hi b then Some false
+      else None
+  | Lt ->
+      if hi a < lo b then Some true
+      else if lo a >= hi b then Some false
+      else None
+  | Ge ->
+      if lo a >= hi b then Some true
+      else if hi a < lo b then Some false
+      else None
+  | Gt ->
+      if lo a > hi b then Some true
+      else if hi a <= lo b then Some false
+      else None
+  | Eq ->
+      if Interval.is_point a && Interval.is_point b && lo a = lo b then
+        Some true
+      else if hi a < lo b || hi b < lo a then Some false
+      else None
+  | Ne ->
+      if hi a < lo b || hi b < lo a then Some true
+      else if Interval.is_point a && Interval.is_point b && lo a = lo b then
+        Some false
+      else None
+
+let rec eval ~env (expr : Expr.t) : value =
+  match expr with
+  | Const c -> { range = Interval.point c; dim = Dim.Any }
+  | Var v -> (
+      match env v with
+      | Some value -> value
+      | None -> raise (Expr.Unbound_variable v))
+  | Add (a, b) ->
+      let va = eval ~env a and vb = eval ~env b in
+      { range = Interval.add va.range vb.range; dim = join_dim va.dim vb.dim }
+  | Sub (a, b) ->
+      let va = eval ~env a and vb = eval ~env b in
+      { range = Interval.sub va.range vb.range; dim = join_dim va.dim vb.dim }
+  | Mul (a, b) ->
+      let va = eval ~env a and vb = eval ~env b in
+      {
+        range = Interval.mul va.range vb.range;
+        dim = product_dim (Dim.mul va.dim vb.dim);
+      }
+  | Div (a, b) ->
+      let va = eval ~env a and vb = eval ~env b in
+      {
+        range = Interval.div va.range vb.range;
+        dim = product_dim (Dim.div va.dim vb.dim);
+      }
+  | Neg a ->
+      let va = eval ~env a in
+      { va with range = Interval.neg va.range }
+  | Call ("min", [ a; b ]) ->
+      let va = eval ~env a and vb = eval ~env b in
+      { range = Interval.min_ va.range vb.range; dim = join_dim va.dim vb.dim }
+  | Call ("max", [ a; b ]) ->
+      let va = eval ~env a and vb = eval ~env b in
+      { range = Interval.max_ va.range vb.range; dim = join_dim va.dim vb.dim }
+  | Call ("abs", [ a ]) ->
+      let va = eval ~env a in
+      { va with range = Interval.abs va.range }
+  | Call ("floor", [ a ]) ->
+      let va = eval ~env a in
+      { va with range = Interval.floor va.range }
+  | Call ("ceil", [ a ]) ->
+      let va = eval ~env a in
+      { va with range = Interval.ceil va.range }
+  | Call ("exp", [ a ]) ->
+      { range = Interval.exp (eval ~env a).range; dim = Dim.Any }
+  | Call ("log", [ a ]) ->
+      { range = Interval.log (eval ~env a).range; dim = Dim.Any }
+  | Call ("sqrt", [ a ]) ->
+      { range = Interval.sqrt (eval ~env a).range; dim = Dim.Any }
+  | Call ("pow", [ a; b ]) ->
+      {
+        range = Interval.pow (eval ~env a).range (eval ~env b).range;
+        dim = Dim.Any;
+      }
+  | Call (_, args) ->
+      (* Unknown builtins cannot be constructed through the parser, but
+         stay sound if one appears. *)
+      List.iter (fun a -> ignore (eval ~env a)) args;
+      { range = Interval.top; dim = Dim.Any }
+  | If (cmp, lhs, rhs, then_, else_) -> (
+      let vl = eval ~env lhs and vr = eval ~env rhs in
+      match decide cmp vl.range vr.range with
+      | Some true -> eval ~env then_
+      | Some false -> eval ~env else_
+      | None ->
+          let vt = eval ~env then_ and ve = eval ~env else_ in
+          {
+            range = Interval.hull vt.range ve.range;
+            dim = join_dim vt.dim ve.dim;
+          })
+
+let eval_range ~env expr =
+  let env v = Option.map (fun range -> { range; dim = Dim.Any }) (env v) in
+  (eval ~env expr).range
+
+(* Difference-quotient analysis: for the expression [e], the variable
+   [var] ranging over its interval and every other variable fixed at
+   any point of its own interval, [slope] bounds both the value of [e]
+   and every difference quotient (e(x2) - e(x1)) / (x2 - x1), x1 < x2.
+   A quotient interval with lo >= 0 therefore proves [e] nondecreasing
+   in [var] over the whole box — the sound replacement for the
+   point-sampling monotonicity lint.
+
+   The composite rules are the interval mean-value theorem where a
+   derivative exists ([exp], [log], [sqrt], [pow]) and direct algebra
+   elsewhere:
+     q(f*g) = f2*qg + g1*qf          in  F*Qg + G*Qf
+     q(f/g) = (g1*qf - f1*qg)/(g1*g2) in (G*Qf - F*Qg)/(G*G), 0 not in G
+     q(min(f,g)), q(max(f,g))         in  hull(Qf, Qg)
+   Branching [If] is analyzed per fixed assignment of the other
+   variables: a condition that does not mention [var] selects one fixed
+   branch as [var] sweeps, so the quotient stays within the branch
+   hull; a condition on [var] that the boxes cannot decide may switch
+   branches discontinuously, which only the trivial bound covers. *)
+
+type slope = { value : Interval.t; quotient : Interval.t }
+
+let nonneg = Interval.of_bounds 0. infinity
+let nonpos = Interval.of_bounds neg_infinity 0.
+let zero = Interval.point 0.
+
+let rec slope ~var ~env (expr : Expr.t) : slope =
+  match expr with
+  | Const c -> { value = Interval.point c; quotient = zero }
+  | Var v -> (
+      match env v with
+      | Some value ->
+          { value; quotient = (if v = var then Interval.point 1. else zero) }
+      | None -> raise (Expr.Unbound_variable v))
+  | Add (a, b) ->
+      let sa = slope ~var ~env a and sb = slope ~var ~env b in
+      {
+        value = Interval.add sa.value sb.value;
+        quotient = Interval.add sa.quotient sb.quotient;
+      }
+  | Sub (a, b) ->
+      let sa = slope ~var ~env a and sb = slope ~var ~env b in
+      {
+        value = Interval.sub sa.value sb.value;
+        quotient = Interval.sub sa.quotient sb.quotient;
+      }
+  | Mul (a, b) ->
+      let sa = slope ~var ~env a and sb = slope ~var ~env b in
+      {
+        value = Interval.mul sa.value sb.value;
+        quotient =
+          Interval.add
+            (Interval.mul sa.value sb.quotient)
+            (Interval.mul sb.value sa.quotient);
+      }
+  | Div (a, b) ->
+      let sa = slope ~var ~env a and sb = slope ~var ~env b in
+      let value = Interval.div sa.value sb.value in
+      let quotient =
+        if Interval.contains_zero sb.value then Interval.top
+        else
+          Interval.div
+            (Interval.sub
+               (Interval.mul sb.value sa.quotient)
+               (Interval.mul sa.value sb.quotient))
+            (Interval.mul sb.value sb.value)
+      in
+      { value; quotient }
+  | Neg a ->
+      let sa = slope ~var ~env a in
+      { value = Interval.neg sa.value; quotient = Interval.neg sa.quotient }
+  | Call (("min" | "max") as fn, [ a; b ]) ->
+      let sa = slope ~var ~env a and sb = slope ~var ~env b in
+      let combine = if fn = "min" then Interval.min_ else Interval.max_ in
+      {
+        value = combine sa.value sb.value;
+        quotient = Interval.hull sa.quotient sb.quotient;
+      }
+  | Call ("abs", [ a ]) ->
+      let sa = slope ~var ~env a in
+      let quotient =
+        if Interval.lo sa.value >= 0. then sa.quotient
+        else if Interval.hi sa.value <= 0. then Interval.neg sa.quotient
+        else Interval.hull sa.quotient (Interval.neg sa.quotient)
+      in
+      { value = Interval.abs sa.value; quotient }
+  | Call (("floor" | "ceil") as fn, [ a ]) ->
+      let sa = slope ~var ~env a in
+      let value =
+        if fn = "floor" then Interval.floor sa.value else Interval.ceil sa.value
+      in
+      (* Steps make the local quotient unbounded; only the direction of
+         variation survives. *)
+      let quotient =
+        if Interval.equal sa.quotient zero then zero
+        else if Interval.lo sa.quotient >= 0. then nonneg
+        else if Interval.hi sa.quotient <= 0. then nonpos
+        else Interval.top
+      in
+      { value; quotient }
+  | Call ("exp", [ a ]) ->
+      let sa = slope ~var ~env a in
+      {
+        value = Interval.exp sa.value;
+        quotient = Interval.mul (Interval.exp sa.value) sa.quotient;
+      }
+  | Call ("log", [ a ]) ->
+      let sa = slope ~var ~env a in
+      let quotient =
+        if Interval.lo sa.value > 0. then Interval.div sa.quotient sa.value
+        else Interval.top
+      in
+      { value = Interval.log sa.value; quotient }
+  | Call ("sqrt", [ a ]) ->
+      let sa = slope ~var ~env a in
+      let quotient =
+        if Interval.lo sa.value > 0. then
+          Interval.div sa.quotient
+            (Interval.mul (Interval.point 2.) (Interval.sqrt sa.value))
+        else Interval.top
+      in
+      { value = Interval.sqrt sa.value; quotient }
+  | Call ("pow", [ a; b ]) ->
+      let sa = slope ~var ~env a and sb = slope ~var ~env b in
+      let value = Interval.pow sa.value sb.value in
+      let quotient =
+        if
+          Interval.is_point sb.value
+          && Interval.equal sb.quotient zero
+          && Interval.lo sa.value > 0.
+        then
+          (* d/dx xi^k = k * xi^(k-1), any real constant k, base > 0. *)
+          let k = Interval.lo sb.value in
+          Interval.mul
+            (Interval.mul (Interval.point k)
+               (Interval.pow sa.value (Interval.point (k -. 1.))))
+            sa.quotient
+        else Interval.top
+      in
+      { value; quotient }
+  | Call (_, args) ->
+      List.iter (fun a -> ignore (slope ~var ~env a)) args;
+      { value = Interval.top; quotient = Interval.top }
+  | If (cmp, lhs, rhs, then_, else_) -> (
+      let sl = slope ~var ~env lhs and sr = slope ~var ~env rhs in
+      match decide cmp sl.value sr.value with
+      | Some true -> slope ~var ~env then_
+      | Some false -> slope ~var ~env else_
+      | None ->
+          let st = slope ~var ~env then_ and se = slope ~var ~env else_ in
+          let mentions e = List.mem var (Expr.variables e) in
+          let quotient =
+            if mentions lhs || mentions rhs then Interval.top
+            else Interval.hull st.quotient se.quotient
+          in
+          { value = Interval.hull st.value se.value; quotient })
+
+type monotonicity = Constant | Nondecreasing | Nonincreasing | Unknown
+
+let monotonicity ~var ~env expr =
+  let { quotient; _ } = slope ~var ~env expr in
+  let lo = Interval.lo quotient and hi = Interval.hi quotient in
+  if lo >= 0. && hi <= 0. then Constant
+  else if lo >= 0. then Nondecreasing
+  else if hi <= 0. then Nonincreasing
+  else Unknown

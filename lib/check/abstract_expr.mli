@@ -1,0 +1,43 @@
+(** Abstract interpretation of {!Aved_expr.Expr} over intervals.
+
+    Two analyses share the walk: plain range evaluation (every concrete
+    [Expr.eval] result over the boxes lies in the returned interval)
+    and a difference-quotient analysis that can prove an expression
+    monotone in one variable over its whole domain — the sound
+    replacement for point-sampling lints. Dimensions from {!Dim} ride
+    along silently (conflicts widen to [Any] instead of reporting;
+    the lint pass owns diagnostics). *)
+
+type value = { range : Interval.t; dim : Dim.t }
+
+val decide : Aved_expr.Expr.comparison -> Interval.t -> Interval.t -> bool option
+(** Whether the comparison certainly holds / certainly fails over the
+    boxes, agreeing with [Expr.compare_holds] on all concrete members
+    when decided; [None] when the boxes overlap. *)
+
+val eval : env:(string -> value option) -> Aved_expr.Expr.t -> value
+(** Interval evaluation. Decided [If] conditions select their branch;
+    undecided ones hull both. Raises [Expr.Unbound_variable] exactly
+    where the concrete evaluator would. *)
+
+val eval_range :
+  env:(string -> Interval.t option) -> Aved_expr.Expr.t -> Interval.t
+(** {!eval} without dimension tracking. *)
+
+type slope = { value : Interval.t; quotient : Interval.t }
+
+val slope : var:string -> env:(string -> Interval.t option) -> Aved_expr.Expr.t -> slope
+(** [slope ~var ~env e] bounds, over every fixed assignment of the
+    other variables within their boxes, both the value of [e] and every
+    difference quotient [(e(x2) - e(x1)) / (x2 - x1)] with
+    [x1 < x2] ranging over [env var]. A quotient of {!Interval.top}
+    means the expression is outside the analyzable fragment. *)
+
+type monotonicity = Constant | Nondecreasing | Nonincreasing | Unknown
+
+val monotonicity :
+  var:string -> env:(string -> Interval.t option) -> Aved_expr.Expr.t ->
+  monotonicity
+(** Verdict from the sign of {!slope}'s quotient interval. [Unknown]
+    means unproven either way, not disproven — callers fall back to
+    sampling. *)

@@ -1,0 +1,63 @@
+(** Machine-checkable proof objects for the bounds analysis.
+
+    A certificate pairs a conclusion with the interval facts it depends
+    on. {!verify} re-checks the numeric implication from facts to
+    conclusion; the [check_fact] callback lets a consumer re-ground
+    every fact against concrete evaluation (the soundness tests do).
+    Units: downtime and budget values are fractions of a year, rates
+    are per hour, outages are seconds, costs are per-year money. *)
+
+type fact =
+  | Class_rate of { label : string; per_hour : Interval.t }
+  | Class_outage of { label : string; seconds : Interval.t }
+  | Downtime_bound of { design : string; fraction : Interval.t }
+  | Witness_downtime of { design : string; fraction : float; cost : float }
+  | Ideal_time of { design : string; hours : float }
+  | Budget of { fraction : float }
+  | Region of { description : string }
+
+type conclusion =
+  | Infeasible of {
+      tier : string;
+      resource : string;
+      budget_fraction : float;
+      best_case_fraction : float;
+    }
+  | Trivially_satisfiable of {
+      tier : string;
+      resource : string;
+      budget_fraction : float;
+      worst_case_fraction : float;
+    }
+  | Dominated of {
+      design : string;
+      witness : string;
+      cost : float;
+      witness_cost : float;
+      downtime_lower_bound : float;
+      witness_downtime : float;
+    }
+  | Exceeds_time_budget of {
+      design : string;
+      max_hours : float;
+      ideal_hours : float;
+      availability_upper : float;
+      lower_bound_hours : float;
+    }
+      (** Job searches: the expected completion time is at least
+          [ideal_hours / availability_upper > max_hours]. *)
+
+type t = { conclusion : conclusion; facts : fact list }
+
+val make : conclusion -> fact list -> t
+
+val verify : ?check_fact:(fact -> bool) -> t -> bool
+(** Whether the facts numerically imply the conclusion, and every fact
+    passes [check_fact] (defaults to accepting). *)
+
+val summary : t -> string
+(** One-line human rendering of the conclusion. *)
+
+val to_json : t -> string
+(** Flat JSON object; infinite interval endpoints render as the strings
+    ["inf"] / ["-inf"]. *)

@@ -129,6 +129,68 @@ let check_tier_option ~infra ~(service : Model.Service.t)
           in
           rate_diags @ ctmc_diags)
 
+(* CTMC well-formedness at the mechanism-settings mttr corners. The
+   representative audit above fixes one settings assignment (the first
+   of every mechanism) — a chain that degenerates only under the
+   slowest or fastest repair setting escapes it. When the bounds
+   analysis is in play we know the interval-minimal and -maximal
+   corners; audit both. *)
+let corner_audit ~infra ~(service : Model.Service.t) ~tier_name
+    ~(option : Model.Service.resource_option) =
+  match Model.Infrastructure.find_resource infra option.resource with
+  | None -> []
+  | Some resource ->
+      let lo, hi = Bounds.mttr_corner_settings ~infra ~resource in
+      let corners =
+        if lo = hi then [ ("mttr-min corner", lo) ]
+        else [ ("mttr-min corner", lo); ("mttr-max corner", hi) ]
+      in
+      List.concat_map
+        (fun (tag, settings) ->
+          let context =
+            Printf.sprintf "tier %s, resource %s (%s)" tier_name
+              option.resource tag
+          in
+          let n = max 1 (Model.Int_range.min_value option.n_active) in
+          match
+            let design =
+              Model.Design.tier_design ~tier_name ~resource:option.resource
+                ~n_active:n ~mechanism_settings:settings ()
+            in
+            let demand =
+              if Model.Service.is_finite_job service then None
+              else
+                Some (Tier_model.effective_performance_of ~option ~settings ~n)
+            in
+            Tier_model.build ~infra ~option ~design ~demand
+          with
+          | exception Aved_expr.Expr.Unbound_variable _ -> []
+          | exception Tier_model.Rejected _ -> []
+          | exception Invalid_argument _ ->
+              [] (* all three already reported by the representative audit *)
+          | model ->
+              let rate_diags =
+                List.concat_map
+                  (fun (c : Tier_model.failure_class) ->
+                    if (not (Float.is_finite c.rate)) || c.rate <= 0. then
+                      [
+                        Diagnostic.errorf ~code:"bad-rate"
+                          "%s: failure class %s has rate %g" context c.label
+                          c.rate;
+                      ]
+                    else [])
+                  model.classes
+              in
+              let ctmc_diags =
+                if Exact.num_states model > max_ctmc_states then []
+                else
+                  match Exact.chain ~max_states:max_ctmc_states model with
+                  | chain -> check_ctmc ~context chain
+                  | exception Invalid_argument _ -> []
+              in
+              rate_diags @ ctmc_diags)
+        corners
+
 let check_model ~infra ~(service : Model.Service.t) =
   List.concat_map
     (fun (tier : Model.Service.tier) ->
@@ -296,6 +358,133 @@ let check_files files =
     scanned;
   List.sort_uniq Diagnostic.compare
     (surface_diags @ liveness_diags @ List.rev !model_diags)
+
+(* --- whole-domain bounds (aved check --bounds) ------------------------ *)
+
+type bounds_outcome = {
+  bo_reports : Bounds.report list;
+  bo_diags : Diagnostic.t list;
+  bo_certificates : Certificate.t list;
+}
+
+let empty_bounds_outcome =
+  { bo_reports = []; bo_diags = []; bo_certificates = [] }
+
+let check_bounds ~infra ~(service : Model.Service.t) ~demand ~budget_fraction =
+  (* Downtime budgets are an enterprise-service notion; a finite job is
+     judged on completion time, which the bounds report still brackets
+     through availability, but no feasibility verdict applies. *)
+  let finite = Model.Service.is_finite_job service in
+  let demand = if finite then None else demand in
+  let budget_fraction = if finite then None else budget_fraction in
+  let reports = ref [] in
+  let diags = ref [] in
+  let certs = ref [] in
+  List.iter
+    (fun (tier : Model.Service.tier) ->
+      List.iter
+        (fun (option : Model.Service.resource_option) ->
+          let report =
+            Bounds.analyze_option ~infra ~tier_name:tier.tier_name ~option
+              ~demand ~budget_fraction ()
+          in
+          reports := report :: !reports;
+          List.iter
+            (fun d -> diags := d :: !diags)
+            (corner_audit ~infra ~service ~tier_name:tier.tier_name ~option);
+          match report.Bounds.rp_verdict with
+          | Some (Bounds.Infeasible c) ->
+              certs := c :: !certs;
+              diags :=
+                Diagnostic.errorf ~code:"infeasible-budget" "%s"
+                  (Certificate.summary c)
+                :: !diags
+          | Some (Bounds.Trivially_satisfiable c) ->
+              certs := c :: !certs;
+              diags :=
+                Diagnostic.infof ~code:"budget-trivial" "%s"
+                  (Certificate.summary c)
+                :: !diags
+          | Some Bounds.Inconclusive | None -> ())
+        tier.options)
+    service.tiers;
+  {
+    bo_reports = List.rev !reports;
+    bo_diags = List.rev !diags;
+    bo_certificates = List.rev !certs;
+  }
+
+(* File-level driver for [--bounds]. Parse failures are skipped
+   silently: [check_files] runs alongside and reports them with spans;
+   re-deriving them here would duplicate every diagnostic. *)
+let bounds_for_files files ~demand ~budget_fraction =
+  let classify file =
+    match Surface.classify (L.tokenize (read_file file)) with
+    | kind -> Some kind
+    | exception L.Error _ -> None
+    | exception Sys_error _ -> None
+  in
+  let infra_file = List.find_opt (fun f -> classify f = Some `Infra) files in
+  let parsed_infra =
+    Option.bind infra_file (fun file ->
+        match Spec.infrastructure_of_file file with
+        | infra -> Some infra
+        | exception L.Error _ -> None
+        | exception Sys_error _ -> None)
+  in
+  match parsed_infra with
+  | None -> empty_bounds_outcome
+  | Some infra ->
+      List.fold_left
+        (fun acc file ->
+          if classify file <> Some `Service then acc
+          else
+            match Spec.service_of_file file with
+            | exception L.Error _ -> acc
+            | exception Sys_error _ -> acc
+            | service -> (
+                match Model.Service.validate_against service infra with
+                | exception Invalid_argument _ -> acc
+                | () ->
+                    let o =
+                      check_bounds ~infra ~service ~demand ~budget_fraction
+                    in
+                    {
+                      bo_reports = acc.bo_reports @ o.bo_reports;
+                      bo_diags = acc.bo_diags @ o.bo_diags;
+                      bo_certificates = acc.bo_certificates @ o.bo_certificates;
+                    }))
+        empty_bounds_outcome files
+
+let minutes_per_year fraction = fraction *. 365. *. 24. *. 60.
+
+let render_bounds (reports : Bounds.report list) =
+  let line (r : Bounds.report) =
+    match r.Bounds.rp_bounds with
+    | None ->
+        Printf.sprintf "%s/%s: bounds unavailable%s" r.Bounds.rp_tier
+          r.Bounds.rp_resource
+          (match r.Bounds.rp_note with
+          | Some note -> ": " ^ note
+          | None -> "")
+    | Some iv ->
+        let verdict =
+          match r.Bounds.rp_verdict with
+          | Some (Bounds.Infeasible _) -> "  [budget provably unattainable]"
+          | Some (Bounds.Trivially_satisfiable _) ->
+              "  [budget trivially satisfiable]"
+          | Some Bounds.Inconclusive | None -> ""
+        in
+        Printf.sprintf "%s/%s: downtime in [%.3f, %.3f] min/yr over %s%s"
+          r.Bounds.rp_tier r.Bounds.rp_resource
+          (minutes_per_year (Interval.lo iv))
+          (minutes_per_year (Interval.hi iv))
+          r.Bounds.rp_region verdict
+  in
+  String.concat "\n" (List.map line reports)
+
+let render_certificates certs =
+  "[" ^ String.concat "," (List.map Certificate.to_json certs) ^ "]"
 
 (* --- rendering ------------------------------------------------------- *)
 

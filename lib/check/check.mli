@@ -28,6 +28,46 @@ val check_ctmc : ?context:string -> Aved_markov.Ctmc.t -> Diagnostic.t list
     return to it (no absorbing classes). Single-state chains are
     trivially well-formed. *)
 
+(** {1 Whole-domain bounds mode ([aved check --bounds])} *)
+
+type bounds_outcome = {
+  bo_reports : Bounds.report list;  (** One per (tier, resource option). *)
+  bo_diags : Diagnostic.t list;
+      (** [infeasible-budget] errors, [budget-trivial] notes, and CTMC
+          corner-audit findings. *)
+  bo_certificates : Certificate.t list;
+      (** Proof objects behind the verdicts, for [--certificates]. *)
+}
+
+val check_bounds :
+  infra:Aved_model.Infrastructure.t ->
+  service:Aved_model.Service.t ->
+  demand:float option ->
+  budget_fraction:float option ->
+  bounds_outcome
+(** Runs {!Bounds.analyze_option} over every (tier, option), renders
+    verdicts as diagnostics, and audits CTMC well-formedness at the
+    interval-minimal and -maximal mttr corners of the settings grid
+    (closing the single-representative blind spot of {!check_model}).
+    For finite-job services [demand] and [budget_fraction] are ignored:
+    no downtime-budget verdict applies. *)
+
+val bounds_for_files :
+  string list ->
+  demand:float option ->
+  budget_fraction:float option ->
+  bounds_outcome
+(** File-level driver: classifies and parses like {!check_files}, then
+    runs {!check_bounds} per service spec. Unparsable files contribute
+    nothing here — {!check_files} is expected to run alongside and
+    report them. *)
+
+val render_bounds : Bounds.report list -> string
+(** One bounds line per (tier, option), downtime in minutes/year. *)
+
+val render_certificates : Certificate.t list -> string
+(** A JSON array of certificate objects. *)
+
 val render_human : Diagnostic.t list -> string
 (** One diagnostic per line, no trailing newline. *)
 

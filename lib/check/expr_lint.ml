@@ -89,38 +89,70 @@ let sample_up_to limit values =
     List.init limit (fun i -> arr.(i * (n - 1) / (limit - 1)))
     |> List.sort_uniq Int.compare
 
+let report_drop ~(report : reporter) probe ns =
+  let evaluated =
+    List.filter_map
+      (fun n ->
+        match probe n with
+        | v -> Some (n, v)
+        | exception _ -> None)
+      ns
+  in
+  let rec first_drop = function
+    | (n1, v1) :: ((n2, v2) :: _ as rest) ->
+        if v2 < v1 -. (1e-9 *. Float.max 1. (Float.abs v1)) then
+          Some (n1, v1, n2, v2)
+        else first_drop rest
+    | [ _ ] | [] -> None
+  in
+  match first_drop evaluated with
+  | Some (n1, v1, n2, v2) ->
+      report Diagnostic.Warning ~code:"non-monotone"
+        (Printf.sprintf
+           "performance decreases with more resources: f(%d) = %g but \
+            f(%d) = %g"
+           n1 v1 n2 v2)
+  | None -> ()
+
+(* An expression is first attacked with the difference-quotient
+   analysis: a nonnegative quotient interval over the whole [n] box
+   proves monotonicity for every admissible count, not just the probed
+   ones. Sampling remains as the fallback for the unproven cases — it
+   also supplies the concrete witness pair the diagnostic quotes.
+   Tables need no sampling cap at all: piecewise-linear functions are
+   monotone iff they are monotone at their breakpoints, so probing the
+   breakpoints inside the range (plus its endpoints) is exact. *)
 let check_monotone_performance ~n_values ~(report : reporter)
     (perf : Aved_perf.Perf_function.t) =
-  let probe =
-    match Aved_perf.Perf_function.classify perf with
-    | `Const _ -> None
-    | `Expression _ | `Table _ ->
-        Some (fun n -> Aved_perf.Perf_function.eval perf ~n)
-  in
-  match probe with
-  | None -> ()
-  | Some f -> (
-      let ns = sample_up_to 64 (List.sort_uniq Int.compare n_values) in
-      let evaluated =
+  let ns = List.sort_uniq Int.compare n_values in
+  match (Aved_perf.Perf_function.classify perf, ns) with
+  | `Const _, _ | _, ([] | [ _ ]) -> ()
+  | `Expression expr, ns ->
+      let probe n = Aved_perf.Perf_function.eval perf ~n in
+      let lo = List.hd ns and hi = List.nth ns (List.length ns - 1) in
+      let proven_monotone =
+        (* [eval] pins n = 0 to zero output regardless of the
+           expression, so the interval argument only covers n >= 1. *)
+        lo >= 1
+        &&
+        let env = function
+          | "n" ->
+              Some (Interval.of_bounds (float_of_int lo) (float_of_int hi))
+          | _ -> None
+        in
+        match Abstract_expr.monotonicity ~var:"n" ~env expr with
+        | Abstract_expr.Constant | Abstract_expr.Nondecreasing -> true
+        | Abstract_expr.Nonincreasing | Abstract_expr.Unknown -> false
+        | exception _ -> false
+      in
+      if not proven_monotone then report_drop ~report probe (sample_up_to 64 ns)
+  | `Table points, ns ->
+      let probe n = Aved_perf.Perf_function.eval perf ~n in
+      let lo = List.hd ns and hi = List.nth ns (List.length ns - 1) in
+      let breakpoints =
         List.filter_map
-          (fun n ->
-            match f n with
-            | v -> Some (n, v)
-            | exception _ -> None)
-          ns
+          (fun (n, _) -> if n > lo && n < hi then Some n else None)
+          points
       in
-      let rec first_drop = function
-        | (n1, v1) :: ((n2, v2) :: _ as rest) ->
-            if v2 < v1 -. (1e-9 *. Float.max 1. (Float.abs v1)) then
-              Some (n1, v1, n2, v2)
-            else first_drop rest
-        | [ _ ] | [] -> None
-      in
-      match first_drop evaluated with
-      | Some (n1, v1, n2, v2) ->
-          report Diagnostic.Warning ~code:"non-monotone"
-            (Printf.sprintf
-               "performance decreases with more resources: f(%d) = %g but \
-                f(%d) = %g"
-               n1 v1 n2 v2)
-      | None -> ())
+      report_drop ~report probe
+        (List.sort_uniq Int.compare (lo :: hi :: breakpoints))

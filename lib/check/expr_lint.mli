@@ -22,7 +22,11 @@ val check_monotone_performance :
   report:reporter ->
   Aved_perf.Perf_function.t ->
   unit
-(** Probes a performance function over the declared resource counts
-    (up to 64 samples) and reports ["non-monotone"] (Warning) when
-    throughput decreases as resources are added. Constant functions are
-    exempt. *)
+(** Reports ["non-monotone"] (Warning) when throughput decreases as
+    resources are added. Expressions are first run through the
+    difference-quotient analysis of {!Abstract_expr.monotonicity},
+    which proves monotonicity over the whole declared range; only
+    unproven expressions fall back to point sampling (up to 64 probes),
+    which also supplies the concrete witness pair in the message.
+    Tables are checked exactly at their breakpoints. Constant functions
+    are exempt. *)

@@ -1,0 +1,72 @@
+(** Outward-rounded interval arithmetic.
+
+    The abstract domain of the checker's whole-domain analyses: a value
+    [t] stands for the closed set of reals [[lo t, hi t]]. Endpoints may
+    be infinite but never NaN; operations whose concrete counterpart can
+    produce NaN widen to {!top}. Inexact operations round their
+    endpoints outward ([Float.pred]/[Float.succ]), so for every
+    operation [op] here and concrete floats [x ∈ a], [y ∈ b]:
+    [mem (op_concrete x y) (op a b)] holds. *)
+
+type t
+
+val top : t
+(** The whole real line, [[-inf, +inf]]. *)
+
+val is_top : t -> bool
+
+val point : float -> t
+(** Singleton interval; [point nan] is {!top}. *)
+
+val of_bounds : float -> float -> t
+(** [of_bounds lo hi] normalizes: NaN endpoints give {!top}, reversed
+    bounds are swapped. *)
+
+val lo : t -> float
+val hi : t -> float
+val is_point : t -> bool
+
+val mem : float -> t -> bool
+(** Membership. NaN is a member only of {!top}. *)
+
+val subset : t -> t -> bool
+val hull : t -> t -> t
+
+val meet : t -> t -> t option
+(** Intersection; [None] when disjoint. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** {!top} when the divisor contains zero. *)
+
+val inv : t -> t
+val abs : t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+val exp : t -> t
+
+val log : t -> t
+(** {!top} when the argument can be negative. *)
+
+val sqrt : t -> t
+(** {!top} when the argument can be negative. *)
+
+val floor : t -> t
+val ceil : t -> t
+
+val pow : t -> t -> t
+(** Corner-evaluated [x ** y]; {!top} unless the base is strictly
+    positive. *)
+
+val clamp : lo:float -> hi:float -> t -> t
+(** Intersect with [[lo, hi]], collapsing to the nearest bound when the
+    interval lies entirely outside. *)
+
+val contains_zero : t -> bool
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -51,18 +51,32 @@ let compare_holds cmp a b =
   | Eq -> a = b
   | Ne -> a <> b
 
+(* Direct unary/binary application, so the evaluator's hot path never
+   builds an argument list. The builtins are all arity 1 or 2 (checked
+   at construction), so [eval_builtin] over a list survives only as the
+   mismatched-arity error path. *)
+let eval_builtin1 fn a =
+  match fn with
+  | "exp" -> Float.exp a
+  | "log" -> Float.log a
+  | "sqrt" -> Float.sqrt a
+  | "floor" -> Float.floor a
+  | "ceil" -> Float.ceil a
+  | "abs" -> Float.abs a
+  | fn -> invalid_arg (Printf.sprintf "Expr.eval: bad call %s/1" fn)
+
+let eval_builtin2 fn a b =
+  match fn with
+  | "min" -> Float.min a b
+  | "max" -> Float.max a b
+  | "pow" -> Float.pow a b
+  | fn -> invalid_arg (Printf.sprintf "Expr.eval: bad call %s/2" fn)
+
 let eval_builtin fn args =
-  match (fn, args) with
-  | "min", [ a; b ] -> Float.min a b
-  | "max", [ a; b ] -> Float.max a b
-  | "pow", [ a; b ] -> Float.pow a b
-  | "exp", [ a ] -> Float.exp a
-  | "log", [ a ] -> Float.log a
-  | "sqrt", [ a ] -> Float.sqrt a
-  | "floor", [ a ] -> Float.floor a
-  | "ceil", [ a ] -> Float.ceil a
-  | "abs", [ a ] -> Float.abs a
-  | fn, args ->
+  match args with
+  | [ a ] -> eval_builtin1 fn a
+  | [ a; b ] -> eval_builtin2 fn a b
+  | args ->
       invalid_arg
         (Printf.sprintf "Expr.eval: bad call %s/%d" fn (List.length args))
 
@@ -78,6 +92,11 @@ let rec eval expr lookup =
   | Mul (a, b) -> eval a lookup *. eval b lookup
   | Div (a, b) -> eval a lookup /. eval b lookup
   | Neg a -> -.eval a lookup
+  | Call (fn, [ a ]) -> eval_builtin1 fn (eval a lookup)
+  | Call (fn, [ a; b ]) ->
+      let va = eval a lookup in
+      let vb = eval b lookup in
+      eval_builtin2 fn va vb
   | Call (fn, args) ->
       let values = List.map (fun arg -> eval arg lookup) args in
       eval_builtin fn values
@@ -88,6 +107,31 @@ let rec eval expr lookup =
 
 let eval_alist expr bindings =
   eval expr (fun name -> List.assoc_opt name bindings)
+
+(* Single-variable evaluation with the binding passed as arguments, so
+   callers on hot paths (Perf_function.eval) allocate neither a binding
+   list nor a lookup closure per call. *)
+let rec eval1 expr ~var ~value =
+  match expr with
+  | Const v -> v
+  | Var name ->
+      if String.equal name var then value else raise (Unbound_variable name)
+  | Add (a, b) -> eval1 a ~var ~value +. eval1 b ~var ~value
+  | Sub (a, b) -> eval1 a ~var ~value -. eval1 b ~var ~value
+  | Mul (a, b) -> eval1 a ~var ~value *. eval1 b ~var ~value
+  | Div (a, b) -> eval1 a ~var ~value /. eval1 b ~var ~value
+  | Neg a -> -.eval1 a ~var ~value
+  | Call (fn, [ a ]) -> eval_builtin1 fn (eval1 a ~var ~value)
+  | Call (fn, [ a; b ]) ->
+      let va = eval1 a ~var ~value in
+      let vb = eval1 b ~var ~value in
+      eval_builtin2 fn va vb
+  | Call (fn, args) ->
+      eval_builtin fn (List.map (fun arg -> eval1 arg ~var ~value) args)
+  | If (cmp, a, b, then_, else_) ->
+      if compare_holds cmp (eval1 a ~var ~value) (eval1 b ~var ~value) then
+        eval1 then_ ~var ~value
+      else eval1 else_ ~var ~value
 
 let const_value expr =
   match eval expr (fun _ -> None) with

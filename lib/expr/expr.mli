@@ -71,6 +71,10 @@ val eval : t -> (string -> float option) -> float
 
 val eval_alist : t -> (string * float) list -> float
 
+val eval1 : t -> var:string -> value:float -> float
+(** [eval1 e ~var ~value] is [eval_alist e [ (var, value) ]] without
+    the per-call binding-list and closure allocation. *)
+
 val variables : t -> string list
 (** Free variables, sorted, without duplicates. *)
 

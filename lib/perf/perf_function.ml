@@ -1,9 +1,46 @@
 module Expr = Aved_expr.Expr
 
+(* Compiled evaluation forms. [Affine] is only produced for expression
+   shapes whose straight-line evaluation [k0 +. k1 *. n] is bit-exact
+   against walking the tree: a sum or difference of at most one
+   constant term and at most one [k*n] term (IEEE addition commutes
+   and negation is exact, so reassociating those is safe). Anything
+   else stays [General] and is interpreted — never risking a one-ulp
+   drift against the tree the checker and printers see. *)
+type compiled = Affine of { k0 : float; k1 : float } | General
+
 type t =
   | Const of float
-  | Expression of Expr.t
+  | Expression of Expr.t * compiled
   | Table of (int * float) array (* sorted by n, distinct *)
+
+let term = function
+  | Expr.Const v -> Some (`C v)
+  | Expr.Var _ -> Some (`N 1.)
+  | Expr.Mul (Expr.Const k, Expr.Var _) | Expr.Mul (Expr.Var _, Expr.Const k)
+    ->
+      Some (`N k)
+  | _ -> None
+
+let compile expr =
+  match expr with
+  | Expr.Add (a, b) -> (
+      match (term a, term b) with
+      | Some (`C c), Some (`N k) | Some (`N k), Some (`C c) ->
+          Affine { k0 = c; k1 = k }
+      | Some (`N j), Some (`N k) when j = 0. || k = 0. ->
+          Affine { k0 = 0.; k1 = j +. k }
+      | _ -> General)
+  | Expr.Sub (a, b) -> (
+      match (term a, term b) with
+      | Some (`C c), Some (`N k) -> Affine { k0 = c; k1 = -.k }
+      | Some (`N k), Some (`C c) -> Affine { k0 = -.c; k1 = k }
+      | _ -> General)
+  | e -> (
+      match term e with
+      | Some (`C v) -> Affine { k0 = v; k1 = 0. }
+      | Some (`N k) -> Affine { k0 = 0.; k1 = k }
+      | None -> General)
 
 let of_const v =
   if not (Float.is_finite v) || v < 0. then
@@ -12,7 +49,7 @@ let of_const v =
 
 let of_expr expr =
   match Expr.variables expr with
-  | [] | [ "n" ] -> Expression expr
+  | [] | [ "n" ] -> Expression (expr, compile expr)
   | vars ->
       invalid_arg
         (Printf.sprintf "Perf_function.of_expr: unexpected variables %s"
@@ -115,12 +152,12 @@ let of_string text =
       invalid_arg (Printf.sprintf "Perf_function.of_string: %s" message)
 
 let as_expr = function
-  | Expression expr -> Some expr
+  | Expression (expr, _) -> Some expr
   | Const _ | Table _ -> None
 
 let classify = function
   | Const v -> `Const v
-  | Expression expr -> `Expression expr
+  | Expression (expr, _) -> `Expression expr
   | Table points -> `Table (Array.to_list points)
 
 let table_eval points n =
@@ -149,8 +186,9 @@ let eval t ~n =
   match t with
   | Const v -> v
   | Expression _ when n = 0 -> 0.
-  | Expression expr ->
-      Expr.eval_alist expr [ ("n", float_of_int n) ]
+  | Expression (_, Affine { k0; k1 }) -> k0 +. (k1 *. float_of_int n)
+  | Expression (expr, General) ->
+      Expr.eval1 expr ~var:"n" ~value:(float_of_int n)
   | Table _ when n = 0 -> 0.
   | Table points -> table_eval points n
 
@@ -164,7 +202,7 @@ let is_scalable = function
 
 let to_string = function
   | Const v -> Printf.sprintf "const:%g" v
-  | Expression expr -> "expr:" ^ Expr.to_string expr
+  | Expression (expr, _) -> "expr:" ^ Expr.to_string expr
   | Table points ->
       "table:"
       ^ String.concat ","

@@ -1,0 +1,67 @@
+(** Certified pruning for the design searches, built on the interval
+    bounds analysis of {!Aved_check.Bounds}.
+
+    Every prune here skips only work whose outcome is already decided:
+    the budget prunes fire on candidates whose downtime (or expected
+    completion time) lower bound already exceeds the requirement; the
+    frontier witness prune fires on candidates that cost at least as
+    much as an already-evaluated witness while their downtime lower
+    bound exceeds the witness's exact downtime. Callers gate the
+    prunes so they never perturb a stopping rule (see the search
+    modules); with the gating in place, search results are
+    byte-identical with pruning on or off.
+
+    Each fired prune returns a thunk materializing the
+    {!Aved_check.Certificate.t} proving the candidate could not win —
+    built only inside a {!Provenance.note}, so the no-trail path
+    allocates nothing beyond the interval lookup. *)
+
+type prune =
+  design:Aved_model.Design.tier_design ->
+  cost:Aved_units.Money.t ->
+  model:Aved_avail.Tier_model.t ->
+  (unit -> Aved_check.Certificate.t) option
+(** [None]: evaluate the candidate. [Some certificate]: skip it,
+    recording the certificate in its provenance. *)
+
+val analyzer :
+  Search_config.t ->
+  infra:Aved_model.Infrastructure.t ->
+  tier_name:string ->
+  option:Aved_model.Service.resource_option ->
+  Aved_check.Bounds.analyzer option
+(** The bounds analyzer for one option, or [None] when pruning is off
+    ([config.prune_bounds]), spare-active modes are being explored
+    (the analysis assumes inactive spares), or the option is outside
+    the analyzable fragment. *)
+
+val downtime_budget_prune :
+  Aved_check.Bounds.analyzer ->
+  resource:string ->
+  max_downtime_fraction:float ->
+  prune
+(** Enterprise budget prune: fires when the candidate's downtime lower
+    bound already exceeds the per-tier budget, so it could never pass
+    the feasibility filter. *)
+
+val job_time_prune :
+  Aved_check.Bounds.analyzer -> job_size:float -> max_time_hours:float -> prune
+(** Job budget prune: fires when the failure-free completion time
+    divided by the best possible availability already exceeds the
+    execution-time requirement. *)
+
+val frontier_witness :
+  Search_config.t ->
+  Aved_model.Infrastructure.t ->
+  tier_name:string ->
+  option:Aved_model.Service.resource_option ->
+  demand:float ->
+  total:int ->
+  prune option
+(** Witness prune for one (option, total) task of the tier frontier:
+    evaluates the cheapest certain-to-evaluate candidate of every
+    active/spare split exactly (through the shared evaluation cache)
+    and prunes candidates costing at least as much as some witness
+    while their downtime lower bound strictly exceeds that witness's
+    downtime — designs the Pareto scan would have dropped. [None] when
+    {!analyzer} declines or no split yields a witness. *)

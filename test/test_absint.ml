@@ -1,0 +1,490 @@
+(* Soundness of the abstract-interpretation layer and of the pruning
+   built on it.
+
+   Three layers of property tests: interval arithmetic contains the
+   concrete operation, abstract expression evaluation contains concrete
+   evaluation, and the whole-domain downtime bounds contain the
+   analytic engine's result for every concrete design and settings
+   assignment. On top of those, differential tests pin the contract
+   that makes --prune-bounds safe to ship: the pruned search returns
+   byte-identical figures, while actually pruning work. *)
+
+module Duration = Aved_units.Duration
+module Expr = Aved_expr.Expr
+module Interval = Aved_check.Interval
+module Abstract_expr = Aved_check.Abstract_expr
+module Bounds = Aved_check.Bounds
+module Certificate = Aved_check.Certificate
+module Model = Aved_model
+module Mechanism = Aved_model.Mechanism
+module Tier_model = Aved_avail.Tier_model
+module Search_config = Aved_search.Search_config
+module Search_metrics = Aved_search.Search_metrics
+module Provenance = Aved_search.Provenance
+module Experiments = Aved.Experiments
+module Figures = Aved.Figures
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Interval arithmetic: the concrete operation stays inside *)
+
+let gen_interval_and_point =
+  let open QCheck2.Gen in
+  let* a = float_range (-100.) 100. in
+  let* b = float_range (-100.) 100. in
+  let lo = Float.min a b and hi = Float.max a b in
+  let* t = float_range 0. 1. in
+  let x = lo +. (t *. (hi -. lo)) in
+  return (Interval.of_bounds lo hi, Float.min hi (Float.max lo x))
+
+let interval_ops_sound =
+  let open QCheck2 in
+  Test.make ~name:"interval ops contain the concrete result" ~count:2000
+    (Gen.pair gen_interval_and_point gen_interval_and_point)
+    (fun ((ia, a), (ib, b)) ->
+      let contains op_name iv v =
+        Float.is_nan v || Interval.mem v iv
+        || QCheck2.Test.fail_reportf "%s: %g not in %s" op_name v
+             (Interval.to_string iv)
+      in
+      contains "add" (Interval.add ia ib) (a +. b)
+      && contains "sub" (Interval.sub ia ib) (a -. b)
+      && contains "mul" (Interval.mul ia ib) (a *. b)
+      && contains "div" (Interval.div ia ib) (a /. b)
+      && contains "neg" (Interval.neg ia) (-.a)
+      && contains "abs" (Interval.abs ia) (Float.abs a)
+      && contains "min" (Interval.min_ ia ib) (Float.min a b)
+      && contains "max" (Interval.max_ ia ib) (Float.max a b)
+      && contains "exp" (Interval.exp ia) (Float.exp a)
+      && contains "log" (Interval.log ia) (Float.log a)
+      && contains "sqrt" (Interval.sqrt ia) (Float.sqrt a)
+      && contains "floor" (Interval.floor ia) (Float.floor a)
+      && contains "ceil" (Interval.ceil ia) (Float.ceil a)
+      && contains "pow" (Interval.pow ia ib) (Float.pow a b))
+
+(* ------------------------------------------------------------------ *)
+(* Abstract expression evaluation: concrete eval stays inside *)
+
+let var_names = [ "n"; "cpi"; "x" ]
+
+let gen_expr =
+  let open QCheck2.Gen in
+  sized (fun size ->
+      fix
+        (fun self size ->
+          let leaf =
+            oneof
+              [
+                map (fun v -> Expr.const v) (float_range (-100.) 100.);
+                map Expr.var (oneofl var_names);
+              ]
+          in
+          if size <= 1 then leaf
+          else
+            let sub = self (size / 2) in
+            oneof
+              [
+                leaf;
+                map2 Expr.add sub sub;
+                map2 Expr.sub sub sub;
+                map2 Expr.mul sub sub;
+                map2 Expr.div sub sub;
+                map Expr.neg sub;
+                map2 Expr.min_ sub sub;
+                map2 Expr.max_ sub sub;
+                map (fun e -> Expr.apply "abs" [ e ]) sub;
+                map (fun e -> Expr.apply "sqrt" [ e ]) sub;
+                map (fun e -> Expr.apply "floor" [ e ]) sub;
+                map2
+                  (fun a b -> Expr.if_ Expr.Le a b ~then_:a ~else_:b)
+                  sub sub;
+              ])
+        (min size 8))
+
+(* One box and one concrete point inside it, per variable. *)
+let gen_env =
+  let open QCheck2.Gen in
+  let gen_binding name =
+    let* a = float_range (-50.) 50. in
+    let* b = float_range (-50.) 50. in
+    let lo = Float.min a b and hi = Float.max a b in
+    let* t = float_range 0. 1. in
+    let x = Float.min hi (Float.max lo (lo +. (t *. (hi -. lo)))) in
+    return (name, (lo, hi), x)
+  in
+  flatten_l (List.map gen_binding var_names)
+
+let abstract_eval_sound =
+  let open QCheck2 in
+  Test.make ~name:"concrete eval lies in the abstract interval"
+    ~count:2000
+    (Gen.pair gen_expr gen_env)
+    (fun (e, bindings) ->
+      let env name =
+        List.find_map
+          (fun (v, (lo, hi), _) ->
+            if String.equal v name then Some (Interval.of_bounds lo hi)
+            else None)
+          bindings
+      in
+      let lookup name =
+        List.find_map
+          (fun (v, _, x) -> if String.equal v name then Some x else None)
+          bindings
+      in
+      let iv = Abstract_expr.eval_range ~env e in
+      match Expr.eval e lookup with
+      | v ->
+          Float.is_nan v || Interval.mem v iv
+          || QCheck2.Test.fail_reportf "%s = %g not in %s" (Expr.to_string e)
+               v (Interval.to_string iv)
+      | exception Division_by_zero -> true)
+
+let monotonicity_sound =
+  let open QCheck2 in
+  Test.make
+    ~name:"a monotonicity verdict is honored by concrete samples"
+    ~count:1000
+    (Gen.pair gen_expr gen_env)
+    (fun (e, bindings) ->
+      (* n ranges over a box; the other variables are pinned to their
+         sampled concrete value, a member of any box we could have
+         given them. *)
+      let n_lo = 1. and n_hi = 40. in
+      let env name =
+        if String.equal name "n" then Some (Interval.of_bounds n_lo n_hi)
+        else
+          List.find_map
+            (fun (v, _, x) ->
+              if String.equal v name then Some (Interval.point x) else None)
+            bindings
+      in
+      let eval_at n =
+        Expr.eval e (fun name ->
+            if String.equal name "n" then Some n
+            else
+              List.find_map
+                (fun (v, _, x) ->
+                  if String.equal v name then Some x else None)
+                bindings)
+      in
+      match Abstract_expr.monotonicity ~var:"n" ~env e with
+      | Abstract_expr.Unknown -> true
+      | verdict ->
+          let samples = List.init 21 (fun i -> 1. +. (float_of_int i *. 1.95)) in
+          let ok v1 v2 =
+            Float.is_nan v1 || Float.is_nan v2
+            ||
+            match verdict with
+            | Abstract_expr.Constant -> v1 = v2
+            | Abstract_expr.Nondecreasing -> v1 <= v2
+            | Abstract_expr.Nonincreasing -> v1 >= v2
+            | Abstract_expr.Unknown -> true
+          in
+          let rec pairs = function
+            | n1 :: (n2 :: _ as rest) ->
+                (ok (eval_at n1) (eval_at n2)
+                || QCheck2.Test.fail_reportf
+                     "%s claimed %s but f(%g)=%g, f(%g)=%g"
+                     (Expr.to_string e)
+                     (match verdict with
+                     | Abstract_expr.Constant -> "constant"
+                     | Abstract_expr.Nondecreasing -> "nondecreasing"
+                     | Abstract_expr.Nonincreasing -> "nonincreasing"
+                     | Abstract_expr.Unknown -> "unknown")
+                     n1 (eval_at n1) n2 (eval_at n2))
+                && pairs rest
+            | [ _ ] | [] -> true
+          in
+          pairs samples)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-domain bounds contain the analytic engine *)
+
+(* Random concrete designs over the paper's infrastructure: any
+   mechanism settings, any resource count in a window, any spare
+   count. The analyzer must bracket the analytic downtime of every
+   one of them. *)
+let gen_design_case =
+  let open QCheck2.Gen in
+  let* tier_pick = oneofl [ `App; `Sci ] in
+  let* option_index = int_range 0 5 in
+  let* n = int_range 1 8 in
+  let* spares = int_range 0 2 in
+  let* demand_scale = float_range 0.1 1.0 in
+  let* setting_picks = list_repeat 4 (int_range 0 1000) in
+  return (tier_pick, option_index, n, spares, demand_scale, setting_picks)
+
+let bounds_contain_analytic =
+  let open QCheck2 in
+  let app_infra = Experiments.infrastructure () in
+  let bronze_infra = Experiments.infrastructure_bronze () in
+  let app_tier = Experiments.application_tier () in
+  let sci_tier = Experiments.computation_tier () in
+  Test.make ~name:"downtime bounds contain the analytic downtime"
+    ~count:300 gen_design_case
+    (fun (tier_pick, option_index, n, spares, demand_scale, setting_picks) ->
+      let infra, tier =
+        match tier_pick with
+        | `App -> (app_infra, app_tier)
+        | `Sci -> (bronze_infra, sci_tier)
+      in
+      let options = tier.Model.Service.options in
+      let option = List.nth options (option_index mod List.length options) in
+      match Model.Infrastructure.find_resource infra option.resource with
+      | None -> true
+      | Some resource -> (
+          let mechs =
+            Model.Infrastructure.resource_mechanisms infra resource
+          in
+          let settings =
+            List.mapi
+              (fun i (m : Mechanism.t) ->
+                let all = Mechanism.settings m in
+                let pick =
+                  List.nth setting_picks (i mod List.length setting_picks)
+                in
+                (m.name, List.nth all (pick mod List.length all)))
+              mechs
+          in
+          match Bounds.analyzer ~infra ~tier_name:tier.tier_name ~option with
+          | None -> true
+          | Some an -> (
+              let design =
+                Model.Design.tier_design ~tier_name:tier.tier_name
+                  ~resource:option.resource ~n_active:n ~n_spare:spares
+                  ~mechanism_settings:settings ()
+              in
+              let demand =
+                if
+                  Model.Service.is_finite_job
+                    (match tier_pick with
+                    | `App -> Experiments.ecommerce ()
+                    | `Sci -> Experiments.scientific ())
+                then None
+                else
+                  Some
+                    (demand_scale
+                    *. Tier_model.effective_performance_of ~option ~settings
+                         ~n)
+              in
+              match Tier_model.build ~infra ~option ~design ~demand with
+              | exception Tier_model.Rejected _ -> true
+              | exception Invalid_argument _ -> true
+              | model ->
+                  let concrete =
+                    Aved_avail.Analytic.downtime_fraction model
+                  in
+                  let iv =
+                    Bounds.downtime_interval an ~n_active:model.n_active
+                      ~n_min:model.n_min ~n_spare:model.n_spare
+                  in
+                  Interval.mem concrete iv
+                  || QCheck2.Test.fail_reportf
+                       "%s/%s n=%d n_min=%d s=%d: %.12g not in %s"
+                       tier.tier_name option.resource model.n_active
+                       model.n_min model.n_spare concrete
+                       (Interval.to_string iv))))
+
+(* ------------------------------------------------------------------ *)
+(* Certificates: produced verdicts re-verify *)
+
+let test_region_certificates () =
+  let infra = Experiments.infrastructure () in
+  let service = Experiments.ecommerce () in
+  let database =
+    match Model.Service.find_tier service "database" with
+    | Some t -> t
+    | None -> Alcotest.fail "no database tier"
+  in
+  let option = List.hd database.options in
+  let analyze budget_minutes =
+    Bounds.analyze_option ~infra ~tier_name:database.tier_name ~option
+      ~demand:(Some 1000.)
+      ~budget_fraction:
+        (Some (Duration.years (Duration.of_minutes budget_minutes)))
+      ()
+  in
+  (match (analyze 10.).rp_verdict with
+  | Some (Bounds.Infeasible c) ->
+      Alcotest.(check bool) "infeasible certificate verifies" true
+        (Certificate.verify c);
+      Alcotest.(check bool) "summary mentions the budget" true
+        (String.length (Certificate.summary c) > 0);
+      Alcotest.(check bool) "serializes" true
+        (String.length (Certificate.to_json c) > 2)
+  | _ -> Alcotest.fail "10 min/yr should be provably unattainable");
+  match (analyze 1_000_000.).rp_verdict with
+  | Some (Bounds.Trivially_satisfiable c) ->
+      Alcotest.(check bool) "trivial certificate verifies" true
+        (Certificate.verify c)
+  | _ -> Alcotest.fail "a 1M min/yr budget should be trivially satisfiable"
+
+let test_prune_certificates_verify () =
+  (* Every certificate attached to a Pruned_by_bound fate must
+     re-verify: the proof object is only worth shipping if it stands
+     on its own. *)
+  let infra = Experiments.infrastructure () in
+  let tier = Experiments.application_tier () in
+  let config =
+    Search_config.default |> Search_config.with_prune_bounds true
+  in
+  let trail = Provenance.create ~capacity:4096 () in
+  let result =
+    Provenance.with_trail trail @@ fun () ->
+    Aved_search.Tier_search.optimal config infra ~tier ~demand:1000.
+      ~max_downtime:(Duration.of_minutes 100.)
+  in
+  Alcotest.(check bool) "search found a design" true (result <> None);
+  let pruned_certs =
+    List.filter_map
+      (fun (r : Provenance.record) ->
+        match r.fate with
+        | Provenance.Pruned_by_bound { certificate } -> Some certificate
+        | _ -> None)
+      (Provenance.records trail ~tier:tier.Model.Service.tier_name)
+  in
+  List.iter
+    (fun c ->
+      if not (Certificate.verify c) then
+        Alcotest.failf "certificate does not verify: %s"
+          (Certificate.summary c))
+    pruned_certs
+
+(* ------------------------------------------------------------------ *)
+(* Differential: --prune-bounds never changes a figure *)
+
+(* (figure, generated, bound_pruned) per pruned run; the prune-rate
+   test at the end asserts the work reduction is real on at least one
+   figure, so the identity tests cannot silently pass because pruning
+   never fired. *)
+let prune_stats : (string * int * int) list ref = ref []
+
+let differential name ~render ~run =
+  let off = run Search_config.default in
+  Search_metrics.reset_counts ();
+  let on =
+    run (Search_config.default |> Search_config.with_prune_bounds true)
+  in
+  let generated = Search_metrics.generated_count () in
+  let pruned = Search_metrics.bound_pruned_count () in
+  prune_stats := (name, generated, pruned) :: !prune_stats;
+  Alcotest.(check string)
+    (Printf.sprintf "%s byte-identical under --prune-bounds" name)
+    (render off) (render on)
+
+let test_fig6_differential () =
+  differential "fig6"
+    ~render:(Format.asprintf "%a" Figures.print_fig6)
+    ~run:(fun config ->
+      Figures.fig6 ~config ~loads:[ 400.; 1000.; 1600.; 3200. ] ())
+
+let test_fig7_differential () =
+  let base = Experiments.fig7_config in
+  let off =
+    Figures.fig7 ~config:base ~requirements_hours:[ 2.; 10.; 100. ] ()
+  in
+  Search_metrics.reset_counts ();
+  let on =
+    Figures.fig7
+      ~config:(Search_config.with_prune_bounds true base)
+      ~requirements_hours:[ 2.; 10.; 100. ] ()
+  in
+  prune_stats :=
+    ("fig7", Search_metrics.generated_count (),
+     Search_metrics.bound_pruned_count ())
+    :: !prune_stats;
+  Alcotest.(check string) "fig7 byte-identical under --prune-bounds"
+    (Format.asprintf "%a" Figures.print_fig7 off)
+    (Format.asprintf "%a" Figures.print_fig7 on)
+
+let test_fig8_differential () =
+  differential "fig8"
+    ~render:(Format.asprintf "%a" Figures.print_fig8)
+    ~run:(fun config ->
+      Figures.fig8 ~config ~loads:[ 400.; 800. ]
+        ~downtimes_minutes:[ 0.5; 5.; 50. ] ())
+
+let test_prune_rate () =
+  let stats = !prune_stats in
+  Alcotest.(check bool) "differential runs recorded" true (stats <> []);
+  List.iter
+    (fun (name, generated, pruned) ->
+      Printf.printf "%s: generated %d, pruned by bound %d (%.2f%%)\n" name
+        generated pruned
+        (100. *. float_of_int pruned /. float_of_int (max 1 generated)))
+    stats;
+  let fires =
+    List.exists
+      (fun (_, generated, pruned) ->
+        generated > 0
+        && float_of_int pruned >= 0.01 *. float_of_int generated)
+      stats
+  in
+  Alcotest.(check bool) "bound pruning skips >= 1% on some figure" true
+    fires
+
+(* Random requirements over the paper's tier: pruned and unpruned
+   searches agree on the optimum everywhere, not just at the figures'
+   grid points. *)
+let optimal_differential =
+  let open QCheck2 in
+  let infra = Experiments.infrastructure () in
+  let tier = Experiments.application_tier () in
+  Test.make ~name:"pruned tier search returns the identical optimum"
+    ~count:12
+    Gen.(pair (float_range 200. 3000.) (float_range 1. 300.))
+    (fun (demand, budget_minutes) ->
+      let max_downtime = Duration.of_minutes budget_minutes in
+      let run config =
+        Aved_search.Tier_search.optimal config infra ~tier ~demand
+          ~max_downtime
+      in
+      let describe = function
+        | None -> "infeasible"
+        | Some (c : Aved_search.Candidate.t) ->
+            Format.asprintf "%s %.9f %s"
+              (Provenance.describe c.design)
+              (Duration.minutes (Aved_search.Candidate.downtime c))
+              (Aved_units.Money.to_string c.cost)
+      in
+      let off = describe (run Search_config.default) in
+      let on =
+        describe
+          (run (Search_config.with_prune_bounds true Search_config.default))
+      in
+      String.equal off on
+      || QCheck2.Test.fail_reportf
+           "demand %g budget %g min: unpruned %s vs pruned %s" demand
+           budget_minutes off on)
+
+let () =
+  Alcotest.run "absint"
+    [
+      ( "soundness",
+        [
+          qtest interval_ops_sound;
+          qtest abstract_eval_sound;
+          qtest monotonicity_sound;
+          qtest bounds_contain_analytic;
+        ] );
+      ( "certificates",
+        [
+          Alcotest.test_case "region verdicts verify" `Quick
+            test_region_certificates;
+          Alcotest.test_case "prune certificates verify" `Quick
+            test_prune_certificates_verify;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "fig6 identical under pruning" `Slow
+            test_fig6_differential;
+          Alcotest.test_case "fig7 identical under pruning" `Slow
+            test_fig7_differential;
+          Alcotest.test_case "fig8 identical under pruning" `Slow
+            test_fig8_differential;
+          Alcotest.test_case "pruning removes work" `Slow test_prune_rate;
+          qtest optimal_differential;
+        ] );
+    ]

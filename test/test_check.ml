@@ -100,6 +100,24 @@ let test_strict_promotes_warnings () =
   in
   Alcotest.(check int) "strict exit" 1 strict
 
+let test_bounds_infeasible_budget () =
+  (* The worked --bounds example: a tier-scope service whose downtime
+     lower bound over the whole search region exceeds a 5 min/yr
+     budget. The bounds pass must certify infeasibility (exit 1)
+     byte-for-byte per the blessed output; without --bounds the spec
+     checks clean (covered by the corpus golden above). *)
+  let spec = Filename.concat "bad_specs" "svc_infeasible_budget.spec" in
+  let expected =
+    read_file (Filename.concat "bad_specs" "svc_infeasible_budget.bounds.expected")
+  in
+  let status, stdout, stderr =
+    run_aved
+      (Printf.sprintf "check --bounds --downtime 5 %s %s" base_infra spec)
+  in
+  Alcotest.(check string) "stderr" "" stderr;
+  Alcotest.(check string) "diagnostics and bounds table" expected stdout;
+  Alcotest.(check int) "exit status" 1 status
+
 let test_json_output () =
   let spec = Filename.concat "bad_specs" "svc_parse_caret.spec" in
   let status, stdout, _ =
@@ -372,6 +390,8 @@ let () =
             test_base_infra_is_clean;
           Alcotest.test_case "--strict promotes warnings" `Quick
             test_strict_promotes_warnings;
+          Alcotest.test_case "--bounds certifies an infeasible budget"
+            `Quick test_bounds_infeasible_budget;
           Alcotest.test_case "--json" `Quick test_json_output;
           Alcotest.test_case "design refuses checker errors" `Quick
             test_design_refuses_errors;

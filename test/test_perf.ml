@@ -89,6 +89,75 @@ let test_min_resources_monotone_property () =
          | None, Some _ -> false
          | Some _, None | None, None -> true))
 
+(* The compiled forms exist to cut evaluator allocation on the search's
+   hot path. Guard the win with Gc counters, relatively — an absolute
+   zero-allocation bound is not achievable (float results box across
+   module boundaries), but the compiled affine path must stay well
+   under the interpreted association-list path. *)
+let minor_words_per_call ~calls f =
+  let before = Gc.minor_words () in
+  for i = 1 to calls do
+    ignore (Sys.opaque_identity (f i))
+  done;
+  (Gc.minor_words () -. before) /. float_of_int calls
+
+let test_eval_allocation () =
+  let expr = Aved_expr.Expr.of_string "(10*n)/(1+0.004*n)" in
+  let affine = Perf_function.of_string "200*n" in
+  let calls = 50_000 in
+  let alist =
+    minor_words_per_call ~calls (fun i ->
+        Aved_expr.Expr.eval_alist expr [ ("n", float_of_int i) ])
+  in
+  let eval1 =
+    minor_words_per_call ~calls (fun i ->
+        Aved_expr.Expr.eval1 expr ~var:"n" ~value:(float_of_int i))
+  in
+  let compiled =
+    minor_words_per_call ~calls (fun i ->
+        Perf_function.eval affine ~n:(1 + (i land 63)))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "eval1 (%.1f w/call) below eval_alist (%.1f w/call)"
+       eval1 alist)
+    true (eval1 < alist);
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "compiled affine (%.1f w/call) at most half of eval_alist (%.1f \
+        w/call)"
+       compiled alist)
+    true
+    (compiled <= alist /. 2.)
+
+let test_affine_matches_interpreter () =
+  (* The compiled affine path must agree bit-for-bit with walking the
+     tree, or search results could drift with the representation. *)
+  List.iter
+    (fun text ->
+      let p = Perf_function.of_string text in
+      let expr = Option.get (Perf_function.as_expr p) in
+      for n = 0 to 200 do
+        let compiled = Perf_function.eval p ~n in
+        let interpreted =
+          if n = 0 then 0.
+          else Aved_expr.Expr.eval_alist expr [ ("n", float_of_int n) ]
+        in
+        if not (Float.equal compiled interpreted) then
+          Alcotest.failf "%s at n=%d: compiled %h vs interpreted %h" text n
+            compiled interpreted
+      done)
+    [
+      "200*n";
+      "n*200";
+      "n";
+      "100-10*n";
+      "100*n-7";
+      "50+2*n";
+      "2*n+50";
+      "0.37*n+0.11";
+      "123.456";
+    ]
+
 let test_slowdown () =
   let s = Slowdown.of_string "max(10/cpi, 100%)" in
   check_float "overhead region" 10. (Slowdown.eval s [ ("cpi", 1.) ]);
@@ -119,6 +188,10 @@ let () =
           Alcotest.test_case "min_resources" `Quick test_min_resources;
           Alcotest.test_case "min_resources monotone" `Quick
             test_min_resources_monotone_property;
+          Alcotest.test_case "evaluator allocation budget" `Quick
+            test_eval_allocation;
+          Alcotest.test_case "compiled affine is bit-exact" `Quick
+            test_affine_matches_interpreter;
         ] );
       ("slowdown", [ Alcotest.test_case "evaluation" `Quick test_slowdown ]);
     ]
