@@ -633,6 +633,34 @@ let serve_cmd =
             "Admission queue capacity; requests beyond it are shed with an \
              $(i,overloaded) response.")
   in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 900
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Concurrent connection bound (at most 1000 — the event loop \
+             multiplexes with select). Connections over the limit get one \
+             $(i,overloaded) response and are closed.")
+  in
+  let coalesce_arg =
+    Arg.(
+      value & opt bool true
+      & info [ "coalesce" ] ~docv:"BOOL"
+          ~doc:
+            "Attach identical in-flight work requests to one computation: a \
+             thundering herd on one spec runs the search once and every \
+             waiter receives the shared result under its own id. Set false \
+             to force every request through its own search.")
+  in
+  let send_timeout_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "send-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Write-stall bound: a connection whose response backlog makes no \
+             progress for this long is dropped instead of buffering without \
+             bound for a client that stopped reading.")
+  in
   let memo_capacity_arg =
     Arg.(
       value
@@ -702,8 +730,9 @@ let serve_cmd =
             "How many completed sampled traces the daemon retains for the \
              $(i,trace) verb before evicting the oldest.")
   in
-  let run socket tcp jobs dispatchers queue memo_capacity deadline log_path
-      slo_target slo_latency_ms slo_window trace_sample trace_ring =
+  let run socket tcp jobs dispatchers queue max_conns coalesce send_timeout
+      memo_capacity deadline log_path slo_target slo_latency_ms slo_window
+      trace_sample trace_ring =
     handle_errors (fun () ->
         let transport =
           match (socket, tcp) with
@@ -747,8 +776,15 @@ let serve_cmd =
           [
             ("--dispatchers", dispatchers);
             ("--queue", queue);
+            ("--max-conns", max_conns);
             ("--memo-capacity", memo_capacity);
           ];
+        if max_conns > 1000 then
+          failwith
+            (Printf.sprintf "--max-conns must be at most 1000 (got %d)"
+               max_conns);
+        if (not (Float.is_finite send_timeout)) || send_timeout <= 0. then
+          failwith "--send-timeout must be a positive number of seconds";
         let slo =
           match
             Aved_obs.Slo.validate_config
@@ -767,6 +803,9 @@ let serve_cmd =
             Server.jobs;
             dispatchers;
             queue_capacity = queue;
+            max_conns;
+            coalesce;
+            send_timeout_s = send_timeout;
             memo_capacity;
             default_deadline_ms = deadline;
             log_path;
@@ -798,8 +837,11 @@ let serve_cmd =
           (design, frontier, explain, check, health, stats, metrics) over a \
           Unix-domain or TCP socket, answered from warm state — a shared \
           search pool, a bounded availability memo and a content-hash spec \
-          cache. Results are byte-identical to the corresponding --json \
-          command. The daemon tracks its own availability SLO (--slo-target, \
+          cache. One event loop multiplexes up to --max-conns connections \
+          (see PROTOCOL.md for the wire format, schema versions 1 and 2); \
+          identical concurrent work requests coalesce onto one search \
+          (--coalesce). Results are byte-identical to the corresponding \
+          --json command. The daemon tracks its own availability SLO (--slo-target, \
           --slo-latency-ms, --slo-window), logs every request with a trace \
           id and per-stage timings (--log), answers Prometheus-format \
           scrapes on the metrics verb, head-samples full request traces \
@@ -807,7 +849,8 @@ let serve_cmd =
           full metrics/GC snapshot on SIGUSR1. SIGTERM drains gracefully.")
     Term.(
       const run $ socket_arg $ tcp_arg $ jobs_arg $ dispatchers_arg
-      $ queue_arg $ memo_capacity_arg $ deadline_arg $ log_arg
+      $ queue_arg $ max_conns_arg $ coalesce_arg $ send_timeout_arg
+      $ memo_capacity_arg $ deadline_arg $ log_arg
       $ slo_target_arg $ slo_latency_arg $ slo_window_arg
       $ trace_sample_arg $ trace_ring_arg)
 

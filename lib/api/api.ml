@@ -8,10 +8,11 @@ module Provenance = Aved_search.Provenance
 module Explain = Aved_explain.Explain
 module Availability = Aved_reliability.Availability
 
-let schema_version = 1
+let schema_version = 2
+let min_schema_version = 1
 
-let versioned fields =
-  Json.Obj (("schema_version", Json.Int schema_version) :: fields)
+let versioned ?(version = schema_version) fields =
+  Json.Obj (("schema_version", Json.Int version) :: fields)
 
 (* ------------------------------------------------------------------ *)
 (* Decoding combinators *)
@@ -82,7 +83,7 @@ let map_result f l =
 let checked_version fields =
   let* v = field "schema_version" fields in
   let* v = as_int "schema_version" v in
-  if v = schema_version then Ok fields
+  if v >= min_schema_version && v <= schema_version then Ok fields
   else decode_error "unsupported schema_version %d (this build speaks %d)" v
       schema_version
 
@@ -210,10 +211,10 @@ let design_to_json (d : Design.t) =
       ("tiers", Json.List (List.map tier_design_to_json d.tiers));
     ]
 
-let design_result_to_json r =
-  if not r.feasible then versioned [ ("feasible", Json.Bool false) ]
+let design_result_to_json ?version r =
+  if not r.feasible then versioned ?version [ ("feasible", Json.Bool false) ]
   else
-    versioned
+    versioned ?version
       [
         ("feasible", Json.Bool true);
         ( "design",
@@ -303,8 +304,8 @@ let frontier_point_to_json p =
       ("design", tier_design_to_json p.point_design);
     ]
 
-let frontier_result_to_json f =
-  versioned
+let frontier_result_to_json ?version f =
+  versioned ?version
     [
       ("tier", Json.String f.frontier_tier);
       ("demand", Json.Float f.demand);
@@ -537,13 +538,14 @@ let explain_tier_to_json e =
       ("runner_ups", Json.List (List.map runner_up_to_json e.runner_ups));
     ]
 
-let explain_result_to_json r =
-  if not r.explain_feasible then versioned [ ("feasible", Json.Bool false) ]
+let explain_result_to_json ?version r =
+  if not r.explain_feasible then
+    versioned ?version [ ("feasible", Json.Bool false) ]
   else
     match r.body with
-    | None -> versioned [ ("feasible", Json.Bool false) ]
+    | None -> versioned ?version [ ("feasible", Json.Bool false) ]
     | Some b ->
-        versioned
+        versioned ?version
           [
             ("feasible", Json.Bool true);
             ("service", Json.String b.explain_service);
@@ -740,11 +742,11 @@ let diagnostic_to_json d =
       ("message", Json.String d.message);
     ]
 
-let check_result_to_json c =
+let check_result_to_json ?version c =
   let count severity =
     List.length (List.filter (fun d -> d.severity = severity) c.diagnostics)
   in
-  versioned
+  versioned ?version
     [
       ("errors", Json.Int (count "error"));
       ("warnings", Json.Int (count "warning"));
@@ -777,8 +779,8 @@ let check_result_of_json json =
 
 type metrics_result = { metrics_content_type : string; body : string }
 
-let metrics_result_to_json m =
-  versioned
+let metrics_result_to_json ?version m =
+  versioned ?version
     [
       ("content_type", Json.String m.metrics_content_type);
       ("body", Json.String m.body);

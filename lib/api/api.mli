@@ -19,11 +19,18 @@
 module Json = Aved_explain.Json
 
 val schema_version : int
-(** Version of every encoding in this module. Bump when a field
-    changes meaning or disappears; adding fields is also a bump —
-    decoders are exact. *)
+(** Current (maximum) version of every encoding in this module. Bump
+    when a field changes meaning or disappears; adding fields is also
+    a bump — decoders are exact. *)
 
-val versioned : (string * Json.t) list -> Json.t
+val min_schema_version : int
+(** Oldest version this build still speaks. Decoders accept the whole
+    [min_schema_version .. schema_version] range; encoders can render
+    any version in it via their [?version] argument (defaulting to
+    {!schema_version}), which is how the serve daemon answers a v1
+    request with byte-identical v1 bytes. *)
+
+val versioned : ?version:int -> (string * Json.t) list -> Json.t
 (** Wrap fields into an object led by ["schema_version"]. *)
 
 (** {1 Design results} *)
@@ -39,7 +46,7 @@ type design_result = {
 val design_result_of_report :
   Aved_search.Service_search.report option -> design_result
 
-val design_result_to_json : design_result -> Json.t
+val design_result_to_json : ?version:int -> design_result -> Json.t
 val design_result_of_json : Json.t -> (design_result, string) result
 
 (** {1 Frontier results} *)
@@ -61,7 +68,7 @@ type frontier_result = {
 val frontier_result_of_candidates :
   tier:string -> demand:float -> Aved_search.Candidate.t list -> frontier_result
 
-val frontier_result_to_json : frontier_result -> Json.t
+val frontier_result_to_json : ?version:int -> frontier_result -> Json.t
 val frontier_result_of_json : Json.t -> (frontier_result, string) result
 
 (** {1 Explain results} *)
@@ -127,7 +134,7 @@ val explain_result_of_explanation :
   Aved_explain.Explain.t option -> explain_result
 (** [None] encodes an infeasible search ([{"feasible":false}]). *)
 
-val explain_result_to_json : explain_result -> Json.t
+val explain_result_to_json : ?version:int -> explain_result -> Json.t
 val explain_result_of_json : Json.t -> (explain_result, string) result
 
 (** {1 Check results} *)
@@ -146,7 +153,7 @@ type check_result = { diagnostics : diagnostic list }
 val check_result_of_diagnostics :
   Aved_check.Diagnostic.t list -> check_result
 
-val check_result_to_json : check_result -> Json.t
+val check_result_to_json : ?version:int -> check_result -> Json.t
 (** Also emits derived [errors]/[warnings]/[infos] counts; the decoder
     recomputes them, keeping round trips byte-stable. *)
 
@@ -165,5 +172,5 @@ val check_result_of_json : Json.t -> (check_result, string) result
 
 type metrics_result = { metrics_content_type : string; body : string }
 
-val metrics_result_to_json : metrics_result -> Json.t
+val metrics_result_to_json : ?version:int -> metrics_result -> Json.t
 val metrics_result_of_json : Json.t -> (metrics_result, string) result

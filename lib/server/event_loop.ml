@@ -1,0 +1,64 @@
+(* A poll-shaped readiness reactor over [Unix.select].
+
+   The stdlib has no portable poll/epoll binding and the project adds
+   no dependencies, so select it is. select caps fds at FD_SETSIZE
+   (1024 on Linux); [Server] enforces a max-connection limit well
+   under that. The structural pieces — readiness sets in, ready lists
+   out, a thread-safe wakeup — are poll-shaped, so swapping in a real
+   poll binding later touches only this file. *)
+
+type t = {
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutex : Mutex.t;
+  mutable armed : bool;
+      (* One pending wakeup byte is enough; don't write more. *)
+  mutable closed : bool;
+}
+
+let create () =
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  { wake_r; wake_w; mutex = Mutex.create (); armed = false; closed = false }
+
+let wakeup t =
+  Mutex.lock t.mutex;
+  let need = (not t.armed) && not t.closed in
+  if need then t.armed <- true;
+  Mutex.unlock t.mutex;
+  if need then
+    try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EBADF | EPIPE), _, _) -> ()
+
+let drain_wake t =
+  let buf = Bytes.create 64 in
+  let rec loop () =
+    match Unix.read t.wake_r buf 0 64 with
+    | 0 -> ()
+    | _ -> loop ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  in
+  loop ();
+  Mutex.lock t.mutex;
+  t.armed <- false;
+  Mutex.unlock t.mutex
+
+let wait t ~read ~write ~timeout =
+  let read = t.wake_r :: read in
+  match Unix.select read write [] timeout with
+  | readable, writable, _ ->
+      let woken = List.memq t.wake_r readable in
+      if woken then drain_wake t;
+      (List.filter (fun fd -> fd != t.wake_r) readable, writable)
+  | exception Unix.Unix_error (EINTR, _, _) -> ([], [])
+
+let close t =
+  Mutex.lock t.mutex;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Mutex.unlock t.mutex;
+  if not was_closed then begin
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,42 @@
+type t = {
+  buf : Buffer.t;
+  max_line_bytes : int;
+  mutable overflowed : bool;
+}
+
+let create ?(max_line_bytes = 8 * 1024 * 1024) () =
+  { buf = Buffer.create 512; max_line_bytes; overflowed = false }
+
+let buffered t = Buffer.length t.buf
+
+let feed t bytes ~len =
+  if t.overflowed then Error "line too long"
+  else begin
+    Buffer.add_subbytes t.buf bytes 0 len;
+    let data = Buffer.contents t.buf in
+    let n = String.length data in
+    (* Split out every complete line; keep the unterminated tail. *)
+    let rec split acc start =
+      match String.index_from_opt data start '\n' with
+      | Some nl ->
+          let line =
+            (* Tolerate CRLF framing from naive clients. *)
+            if nl > start && data.[nl - 1] = '\r' then
+              String.sub data start (nl - start - 1)
+            else String.sub data start (nl - start)
+          in
+          split (line :: acc) (nl + 1)
+      | None -> (List.rev acc, start)
+    in
+    let lines, tail_start = split [] 0 in
+    Buffer.clear t.buf;
+    if tail_start < n then
+      Buffer.add_substring t.buf data tail_start (n - tail_start);
+    if Buffer.length t.buf > t.max_line_bytes then begin
+      t.overflowed <- true;
+      Error
+        (Printf.sprintf "line exceeds %d bytes without a newline"
+           t.max_line_bytes)
+    end
+    else Ok lines
+  end

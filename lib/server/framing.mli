@@ -1,0 +1,27 @@
+(** Incremental newline-delimited framing for the event loop.
+
+    A connection's reads arrive in arbitrary chunks — a request split
+    across many 1-byte reads, or several pipelined requests in one
+    64 KiB read. [feed] accumulates bytes and returns every complete
+    line as it closes (newline stripped, CRLF tolerated), keeping the
+    unterminated tail buffered for the next chunk.
+
+    A bounded buffer protects the daemon from a client that streams
+    bytes without ever sending a newline: once the partial line
+    exceeds [max_line_bytes], [feed] returns [Error] — permanently,
+    since the stream can no longer be re-synchronized — and the caller
+    must answer bad-request and close the connection. *)
+
+type t
+
+val create : ?max_line_bytes:int -> unit -> t
+(** [max_line_bytes] defaults to 8 MiB, matching the JSON parser's
+    tolerance for large explain responses going the other way. *)
+
+val feed : t -> Bytes.t -> len:int -> (string list, string) result
+(** Append [len] bytes from the chunk and return the completed lines,
+    in arrival order (possibly none). [Error] means the partial-line
+    bound was exceeded: close the connection. *)
+
+val buffered : t -> int
+(** Bytes currently held for an incomplete line (tests/stats). *)

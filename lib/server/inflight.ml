@@ -1,0 +1,42 @@
+type ('w, 'r) t = {
+  mutex : Mutex.t;
+  table : (string, 'w list ref) Hashtbl.t;
+      (* key -> waiters attached so far, newest first. *)
+}
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 64 }
+
+let claim t ~key ~waiter =
+  Mutex.lock t.mutex;
+  let outcome =
+    match Hashtbl.find_opt t.table key with
+    | Some waiters ->
+        waiters := waiter :: !waiters;
+        `Attached
+    | None ->
+        Hashtbl.add t.table key (ref []);
+        `Leader
+  in
+  Mutex.unlock t.mutex;
+  outcome
+
+let complete t ~key ~result ~broadcast =
+  Mutex.lock t.mutex;
+  let waiters =
+    match Hashtbl.find_opt t.table key with
+    | Some waiters ->
+        Hashtbl.remove t.table key;
+        List.rev !waiters
+    | None -> []
+  in
+  Mutex.unlock t.mutex;
+  (* Broadcast outside the lock: rendering and socket writes must not
+     serialize unrelated claims. *)
+  List.iter (fun w -> broadcast w result) waiters;
+  List.length waiters
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n

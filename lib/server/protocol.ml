@@ -29,6 +29,7 @@ let verb_of_string s =
   List.find_opt (fun v -> String.equal (verb_to_string v) s) all_verbs
 
 type request = {
+  version : int;
   id : Json.t;
   verb : verb;
   params : (string * Json.t) list;
@@ -37,16 +38,32 @@ type request = {
 
 let lookup name fields = List.assoc_opt name fields
 
+(* A request that cannot be parsed still deserves an error envelope,
+   and the envelope should speak the client's dialect when we can tell
+   what that is. Malformed JSON and non-object lines default to v1 —
+   the only clients that existed before negotiation — while an object
+   carrying a recognizable v2 version gets v2 error bytes. *)
+let guess_version fields =
+  match lookup "schema_version" fields with
+  | Some (Json.Int v) when v >= Api.min_schema_version && v <= Api.schema_version
+    ->
+      v
+  | Some _ -> Api.schema_version
+  | None -> 1
+
 let request_of_line line =
   match Json_parse.of_string line with
-  | Error msg -> Error (Printf.sprintf "malformed JSON: %s" msg)
+  | Error msg -> Error (1, Printf.sprintf "malformed JSON: %s" msg)
   | Ok (Json.Obj fields) -> (
+      let err msg = Error (guess_version fields, msg) in
       match lookup "schema_version" fields with
-      | Some (Json.Int v) when v <> Api.schema_version ->
-          Error
-            (Printf.sprintf "unsupported schema_version %d (expected %d)" v
-               Api.schema_version)
+      | Some (Json.Int v)
+        when v < Api.min_schema_version || v > Api.schema_version ->
+          err
+            (Printf.sprintf "unsupported schema_version %d (this build speaks %d..%d)"
+               v Api.min_schema_version Api.schema_version)
       | Some (Json.Int _) | None -> (
+          let version = guess_version fields in
           let id = Option.value (lookup "id" fields) ~default:Json.Null in
           let deadline_ms =
             match lookup "deadline_ms" fields with
@@ -61,20 +78,21 @@ let request_of_line line =
             | Some _ -> None
           in
           match (lookup "verb" fields, params) with
-          | None, _ -> Error "missing \"verb\""
+          | None, _ -> err "missing \"verb\""
           | Some (Json.String v), Some params -> (
               match verb_of_string v with
-              | Some verb -> Ok { id; verb; params; deadline_ms }
-              | None -> Error (Printf.sprintf "unknown verb %S" v))
-          | _, None -> Error "\"params\" must be an object"
-          | Some _, _ -> Error "\"verb\" must be a string")
-      | Some _ -> Error "\"schema_version\" must be an integer")
-  | Ok _ -> Error "request must be a JSON object"
+              | Some verb -> Ok { version; id; verb; params; deadline_ms }
+              | None -> err (Printf.sprintf "unknown verb %S" v))
+          | _, None -> err "\"params\" must be an object"
+          | Some _, _ -> err "\"verb\" must be a string")
+      | Some _ -> err "\"schema_version\" must be an integer")
+  | Ok _ -> Error (1, "request must be a JSON object")
 
-let request_line ?(id = Json.Null) ?deadline_ms verb params =
+let request_line ?(version = Api.schema_version) ?(id = Json.Null) ?deadline_ms
+    verb params =
   let fields =
     [
-      ("schema_version", Json.Int Api.schema_version);
+      ("schema_version", Json.Int version);
       ("id", id);
       ("verb", Json.String (verb_to_string verb));
     ]
@@ -85,6 +103,36 @@ let request_line ?(id = Json.Null) ?deadline_ms verb params =
   in
   Json.to_string (Json.Obj fields)
 
+(* ------------------------------------------------------------------ *)
+(* Coalescing keys *)
+
+(* Canonical form: object keys sorted recursively, so two requests
+   whose params differ only in field order hash identically. Arrays
+   keep their order — element order is meaningful (e.g. tier lists). *)
+let rec canonical = function
+  | Json.Obj fields ->
+      Json.Obj
+        (List.sort
+           (fun (a, _) (b, _) -> String.compare a b)
+           (List.map (fun (k, v) -> (k, canonical v)) fields))
+  | Json.List l -> Json.List (List.map canonical l)
+  | other -> other
+
+let coalesce_key req =
+  match req.verb with
+  | Design | Frontier | Explain | Check ->
+      let body = Json.to_string (canonical (Json.Obj req.params)) in
+      (* The negotiated version is part of the identity: the shared
+         result body is rendered once, at the leader's version, so
+         requests only coalesce within one dialect. *)
+      Some
+        (Printf.sprintf "v%d:%s:%s" req.version (verb_to_string req.verb)
+           (Digest.to_hex (Digest.string body)))
+  | Health | Stats | Metrics | Trace -> None
+
+(* ------------------------------------------------------------------ *)
+(* Error taxonomy *)
+
 type error_code =
   | Bad_request
   | Overloaded
@@ -93,7 +141,8 @@ type error_code =
   | Shutting_down
   | Internal
 
-let error_code_to_string = function
+(* Legacy v1 strings, frozen: v1 clients parse these exact bytes. *)
+let error_code_to_v1_string = function
   | Bad_request -> "bad-request"
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline-exceeded"
@@ -101,13 +150,38 @@ let error_code_to_string = function
   | Shutting_down -> "shutting-down"
   | Internal -> "internal"
 
+(* The v2 unified taxonomy: five stable code strings. [Shutting_down]
+   folds into [overloaded] — both mean "retry elsewhere or later" and
+   v2 clients need no finer distinction. *)
+let error_code_to_v2_string = function
+  | Bad_request -> "bad_request"
+  | Overloaded | Shutting_down -> "overloaded"
+  | Deadline_exceeded -> "deadline"
+  | User_error -> "check_error"
+  | Internal -> "internal"
+
+let error_code_to_string ?(version = Api.schema_version) code =
+  if version <= 1 then error_code_to_v1_string code
+  else error_code_to_v2_string code
+
 let all_error_codes =
   [ Bad_request; Overloaded; Deadline_exceeded; User_error; Shutting_down;
     Internal ]
 
+(* Accepts both dialects, so one client parser handles either server
+   generation. The v2 fold means "overloaded" decodes as [Overloaded]
+   regardless of whether the server was shedding or draining. *)
 let error_code_of_string s =
-  List.find_opt (fun c -> String.equal (error_code_to_string c) s)
-    all_error_codes
+  match
+    List.find_opt
+      (fun c -> String.equal (error_code_to_v1_string c) s)
+      all_error_codes
+  with
+  | Some c -> Some c
+  | None ->
+      List.find_opt
+        (fun c -> String.equal (error_code_to_v2_string c) s)
+        all_error_codes
 
 (* The envelope carries the request's trace id on both success and
    error paths, so a client holding a slow or failed response can fetch
@@ -116,22 +190,43 @@ let trace_field = function
   | None -> []
   | Some trace_id -> [ ("trace_id", Json.String trace_id) ]
 
-let ok_response ?trace_id ~id result =
-  Json.to_string
-    (Json.Obj
-       ([
-          ("schema_version", Json.Int Api.schema_version);
-          ("id", id);
-          ("ok", Json.Bool true);
-        ]
-       @ trace_field trace_id
-       @ [ ("result", result) ]))
+(* The success envelope, spliced around an already-serialized result.
+   This is what lets a coalescing broadcast render the shared (often
+   kilobyte-scale) result body once and wrap it N times with only the
+   per-waiter fields — the bytes are identical to serializing the full
+   envelope as one JSON object, which {!ok_response} does through this
+   same function. *)
+let ok_response_rendered ?(version = Api.schema_version) ?trace_id
+    ?(coalesced = false) ~id body =
+  let buf = Buffer.create (String.length body + 96) in
+  Buffer.add_string buf "{\"schema_version\":";
+  Buffer.add_string buf (string_of_int version);
+  Buffer.add_string buf ",\"id\":";
+  Buffer.add_string buf (Json.to_string id);
+  Buffer.add_string buf ",\"ok\":true";
+  if version > 1 then begin
+    Buffer.add_string buf ",\"coalesced\":";
+    Buffer.add_string buf (if coalesced then "true" else "false")
+  end;
+  (match trace_id with
+  | Some tid ->
+      Buffer.add_string buf ",\"trace_id\":";
+      Buffer.add_string buf (Json.to_string (Json.String tid))
+  | None -> ());
+  Buffer.add_string buf ",\"result\":";
+  Buffer.add_string buf body;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
 
-let error_response ?trace_id ~id code message =
+let ok_response ?version ?trace_id ?coalesced ~id result =
+  ok_response_rendered ?version ?trace_id ?coalesced ~id
+    (Json.to_string result)
+
+let error_response ?(version = Api.schema_version) ?trace_id ~id code message =
   Json.to_string
     (Json.Obj
        ([
-          ("schema_version", Json.Int Api.schema_version);
+          ("schema_version", Json.Int version);
           ("id", id);
           ("ok", Json.Bool false);
         ]
@@ -140,7 +235,7 @@ let error_response ?trace_id ~id code message =
            ( "error",
              Json.Obj
                [
-                 ("code", Json.String (error_code_to_string code));
+                 ("code", Json.String (error_code_to_string ~version code));
                  ("message", Json.String message);
                ] );
          ]))
@@ -148,6 +243,7 @@ let error_response ?trace_id ~id code message =
 type response = {
   response_id : Json.t;
   response_trace_id : string option;
+  response_coalesced : bool option;
   outcome : (Json.t, error_code option * string) result;
 }
 
@@ -163,10 +259,21 @@ let response_of_line line =
         | Some (Json.String s) -> Some s
         | Some _ | None -> None
       in
+      let response_coalesced =
+        match lookup "coalesced" fields with
+        | Some (Json.Bool b) -> Some b
+        | Some _ | None -> None
+      in
       match (lookup "ok" fields, lookup "result" fields, lookup "error" fields)
       with
       | Some (Json.Bool true), Some result, _ ->
-          Ok { response_id; response_trace_id; outcome = Ok result }
+          Ok
+            {
+              response_id;
+              response_trace_id;
+              response_coalesced;
+              outcome = Ok result;
+            }
       | Some (Json.Bool false), _, Some (Json.Obj err) -> (
           match (lookup "code" err, lookup "message" err) with
           | Some (Json.String code), Some (Json.String message) ->
@@ -174,6 +281,7 @@ let response_of_line line =
                 {
                   response_id;
                   response_trace_id;
+                  response_coalesced;
                   outcome = Error (error_code_of_string code, message);
                 }
           | _ -> Error "error object must carry string code and message")

@@ -1,27 +1,33 @@
 (** The wire protocol of [aved serve]: newline-delimited JSON.
 
-    One request per line, one response line per request. A request is
+    One request per line, one response line per request. See
+    [PROTOCOL.md] at the repository root for the complete client-facing
+    specification. A v2 request is
 
     {v
-    {"schema_version":1,"id":7,"verb":"design","deadline_ms":2000,
+    {"schema_version":2,"id":7,"verb":"design","deadline_ms":2000,
      "params":{"infra_file":"infra.spec","service_file":"svc.spec",
                "load":1000,"downtime_minutes":100}}
     v}
 
-    [schema_version] and [deadline_ms] are optional ([schema_version]
-    must equal {!Aved_api.Api.schema_version} when present); [id] is
-    echoed verbatim in the response and defaults to [null]; [params]
-    defaults to [{}]. A response is
+    [schema_version] selects the response dialect per request:
+    [1 .. {!Aved_api.Api.schema_version}] are accepted, anything else
+    is rejected, and an absent version means v1 (the only clients that
+    existed before negotiation). [id] is echoed verbatim in the
+    response and defaults to [null]; [params] defaults to [{}]. A v2
+    response is
 
     {v
-    {"schema_version":1,"id":7,"ok":true,"result":{...}}
-    {"schema_version":1,"id":7,"ok":false,
-     "error":{"code":"user-error","message":"..."}}
+    {"schema_version":2,"id":7,"ok":true,"coalesced":false,"result":{...}}
+    {"schema_version":2,"id":7,"ok":false,
+     "error":{"code":"check_error","message":"..."}}
     v}
 
     where [result] is exactly the versioned {!Aved_api.Api} encoding
     the one-shot CLI prints for the same request — byte-identical once
-    re-serialized, which the smoke test asserts. *)
+    re-serialized, which the smoke test asserts. v1 requests get
+    byte-identical v1 envelopes: no [coalesced] field and the legacy
+    hyphenated error-code strings. *)
 
 module Json = Aved_explain.Json
 
@@ -40,6 +46,9 @@ val verb_of_string : string -> verb option
 val all_verbs : verb list
 
 type request = {
+  version : int;
+      (** Negotiated schema version, [1 .. Api.schema_version]; every
+          response to this request is rendered in this dialect. *)
   id : Json.t;  (** Echoed verbatim; [Null] when the client sent none. *)
   verb : verb;
   params : (string * Json.t) list;
@@ -47,12 +56,33 @@ type request = {
       (** Time budget in milliseconds from admission to dispatch. *)
 }
 
-val request_of_line : string -> (request, string) result
+val request_of_line : string -> (request, int * string) result
+(** Parse one request line. The error carries the schema version the
+    error envelope should be rendered in (best guess — v1 for
+    malformed JSON) alongside the message. *)
 
 val request_line :
-  ?id:Json.t -> ?deadline_ms:float -> verb -> (string * Json.t) list -> string
+  ?version:int ->
+  ?id:Json.t ->
+  ?deadline_ms:float ->
+  verb ->
+  (string * Json.t) list ->
+  string
 (** Client-side builder (the bench and tests): one serialized request
-    line, newline not included. *)
+    line, newline not included. [version] defaults to the current
+    {!Aved_api.Api.schema_version}. *)
+
+val coalesce_key : request -> string option
+(** Content-hash identity for request coalescing: [Some key] for the
+    work verbs (design/frontier/explain/check) where two requests with
+    equal keys are guaranteed the same result — the key hashes the
+    verb plus the params with object keys recursively sorted, so field
+    order does not defeat coalescing. [None] for health/stats/metrics/
+    trace, whose answers are time-varying. The client [id] and
+    [deadline_ms] are excluded — they affect the envelope, not the
+    result — but the negotiated [schema_version] is part of the key,
+    since the shared result body is rendered in the leader's
+    dialect. *)
 
 type error_code =
   | Bad_request  (** Malformed JSON, unknown verb, bad params. *)
@@ -62,14 +92,40 @@ type error_code =
   | Shutting_down  (** Received while draining. *)
   | Internal
 
-val error_code_to_string : error_code -> string
+val error_code_to_string : ?version:int -> error_code -> string
+(** The stable wire string for a code in the given dialect (default:
+    current). v1 keeps the legacy hyphenated strings ([bad-request],
+    [user-error], [deadline-exceeded], [shutting-down], ...); v2 is
+    the unified five-code taxonomy [bad_request] / [check_error] /
+    [overloaded] / [deadline] / [internal], with [Shutting_down]
+    folded into [overloaded]. *)
 
-val ok_response : ?trace_id:string -> id:Json.t -> Json.t -> string
+val error_code_of_string : string -> error_code option
+(** Decode a wire code string from either dialect — the client-side
+    inverse of {!error_code_to_string}. Because v2 folds
+    [Shutting_down] into [overloaded], decoding is not injective:
+    ["overloaded"] yields {!Overloaded}. *)
+
+val ok_response :
+  ?version:int -> ?trace_id:string -> ?coalesced:bool -> id:Json.t -> Json.t ->
+  string
 (** Serialized success envelope (no trailing newline). [trace_id] is
-    echoed as a top-level field when the server knows it. *)
+    echoed as a top-level field when the server knows it. v2 envelopes
+    carry [coalesced] (default [false]) — [true] when this response
+    was broadcast from another request's computation; v1 envelopes
+    omit the field to stay byte-identical to earlier builds. *)
+
+val ok_response_rendered :
+  ?version:int -> ?trace_id:string -> ?coalesced:bool -> id:Json.t -> string ->
+  string
+(** {!ok_response} over an already-serialized result body — byte-for-
+    byte the same envelope. A coalescing broadcast serializes the
+    shared result once and wraps it per waiter with only the cheap
+    per-waiter fields (id, trace id, [coalesced]). *)
 
 val error_response :
-  ?trace_id:string -> id:Json.t -> error_code -> string -> string
+  ?version:int -> ?trace_id:string -> id:Json.t -> error_code -> string ->
+  string
 (** Like {!ok_response} for the error envelope — shed, bad-request and
     user-error responses carry the trace id too, so failures correlate
     with [--log] records and fetched traces. *)
@@ -79,9 +135,12 @@ type response = {
   response_id : Json.t;
   response_trace_id : string option;
       (** The server-assigned trace id, when the envelope carried one. *)
+  response_coalesced : bool option;
+      (** v2 ok envelopes only; [None] on v1 or error envelopes. *)
   outcome : (Json.t, error_code option * string) result;
       (** [Ok result], or [Error (code, message)] ([None] for an
-          unrecognized code string). *)
+          unrecognized code string). Both the v1 and v2 code dialects
+          decode. *)
 }
 
 val response_of_line : string -> (response, string) result

@@ -33,6 +33,23 @@ let deadline_counter =
 
 let connections_opened = Telemetry.Counter.make "server.connections.opened"
 let connections_closed = Telemetry.Counter.make "server.connections.closed"
+
+(* Accepted then refused because [--max-conns] live connections
+   already existed: answered with one overloaded envelope and closed. *)
+let connections_rejected = Telemetry.Counter.make "server.connections.rejected"
+
+(* Closed because the client stopped reading: its response backlog made
+   no progress for the send timeout (or exceeded the pending bound). *)
+let connections_stalled =
+  Telemetry.Counter.make "server.connections.send_timeout"
+
+(* Requests answered from another request's in-flight computation
+   (attached as waiters), and broadcasts delivered by leaders. *)
+let coalesced_counter = Telemetry.Counter.make "server.coalesced.requests"
+
+let coalesced_broadcasts_counter =
+  Telemetry.Counter.make "server.coalesced.broadcasts"
+
 let queue_depth_gauge = Telemetry.Gauge.make "server.queue.depth"
 let request_seconds = Telemetry.Histogram.make "server.request.seconds"
 let queue_wait_seconds = Telemetry.Histogram.make "server.queue.wait.seconds"
@@ -45,6 +62,7 @@ let queue_high_water_gauge = Telemetry.Gauge.make "server.queue.high_water"
 let queue_capacity_gauge = Telemetry.Gauge.make "server.queue.capacity"
 let dispatchers_busy_gauge = Telemetry.Gauge.make "server.dispatchers.busy"
 let dispatchers_total_gauge = Telemetry.Gauge.make "server.dispatchers.total"
+let inflight_gauge = Telemetry.Gauge.make "server.coalesced.inflight"
 let memo_entries_gauge = Telemetry.Gauge.make "server.memo.entries"
 let spec_cache_entries_gauge = Telemetry.Gauge.make "server.spec_cache.entries"
 let uptime_gauge = Telemetry.Gauge.make "server.uptime.seconds"
@@ -125,6 +143,8 @@ type config = {
   jobs : int;
   dispatchers : int;
   queue_capacity : int;
+  max_conns : int;
+  coalesce : bool;
   default_deadline_ms : float option;
   memo_capacity : int;
   span_capacity : int;
@@ -136,12 +156,19 @@ type config = {
   trace_spans : int;
 }
 
+(* [Unix.select] caps fds at FD_SETSIZE (1024 on Linux); the default
+   connection limit leaves headroom for the listener, the wakeup pipe,
+   spec files and the log. *)
+let max_conns_ceiling = 1000
+
 let default_config transport =
   {
     transport;
     jobs = Domain.recommended_domain_count ();
     dispatchers = 2;
     queue_capacity = 128;
+    max_conns = 900;
+    coalesce = true;
     default_deadline_ms = None;
     memo_capacity = Memo.default_capacity;
     span_capacity = 4096;
@@ -153,28 +180,58 @@ let default_config transport =
     trace_spans = Telemetry.Trace.default_capacity;
   }
 
+(* Stop reading a connection whose response backlog is above this:
+   readiness-level backpressure instead of unbounded buffering. *)
+let read_pause_bytes = 256 * 1024
+
+(* A backlog above this means the client will never catch up: drop it. *)
+let out_kill_bytes = 8 * 1024 * 1024
+
 (* ------------------------------------------------------------------ *)
 (* Connections *)
 
-(* The write mutex orders response lines from concurrent dispatchers
-   and makes close/write/shutdown mutually exclusive, so the fd is
-   never used after it is closed (no fd-reuse races). [conn_open]
-   means the fd has not been closed yet (only [close_conn] clears it);
-   [write_dead] marks a connection whose client stopped reading or
-   hung up, so further responses are dropped instead of retried. *)
+(* One event-loop thread owns every fd: it accepts, reads, parses and
+   closes. Dispatcher threads never touch a socket — they enqueue
+   response bytes under [out_mutex] and wake the loop, which flushes
+   when the fd is writable. [conn_open] (under [out_mutex]) is the
+   enqueue guard; only the event loop clears it and closes the fd, so
+   the fd is never used after close (no fd-reuse races). Fields other
+   than the out-queue group are event-loop-private, except
+   [outstanding] (atomic: admitted-but-unanswered requests, used to
+   delay close-on-EOF until pipelined responses flush). *)
 type conn = {
   fd : Unix.file_descr;
   conn_id : int;  (** Monotone accept sequence; keys the request log. *)
-  write_mutex : Mutex.t;
+  framing : Framing.t;
+  outstanding : int Atomic.t;
+  out_mutex : Mutex.t;
+  out_q : string Queue.t;
+  mutable out_off : int;  (** Bytes of the head chunk already written. *)
+  mutable out_bytes : int;
+  mutable out_dead : bool;  (** Client hung up / backlog overflow. *)
+  mutable stall_since : float;  (** Last write progress, when pending. *)
   mutable conn_open : bool;
-  mutable write_dead : bool;
+  mutable r_eof : bool;
+  mutable want_close : bool;  (** Close once the backlog flushes. *)
 }
+
+type waiter = {
+  w_conn : conn;
+  w_version : int;
+  w_id : Json.t;
+  w_lifecycle : Lifecycle.t;
+}
+
+(* What a leader's computation resolves to; broadcast verbatim to every
+   waiter — errors too, so waiters share the leader's fate. *)
+type verdict = (Json.t, Protocol.error_code * string) result
 
 type job = {
   conn : conn;
   request : Protocol.request;
   enqueued_at : float;
   lifecycle : Lifecycle.t;
+  key : string option;  (** In-flight registry key this job leads. *)
 }
 
 (* Searches record candidate fates into an ambient provenance trail
@@ -196,7 +253,9 @@ type t = {
   config : config;
   listen_fd : Unix.file_descr;
   port : int option;
+  loop : Event_loop.t;
   queue : job Bounded_queue.t;
+  inflight : (waiter, verdict) Inflight.t;
   pool : Pool.t;
   memo : Memo.t;
   search_config : Aved_search.Search_config.t;
@@ -213,62 +272,94 @@ type t = {
   next_conn_id : int Atomic.t;
   queue_high_water : int Atomic.t;
   dispatchers_busy : int Atomic.t;
-  state_mutex : Mutex.t;
+  dispatchers_alive : int Atomic.t;
+  connections_live : int Atomic.t;
+  conns : (Unix.file_descr, conn) Hashtbl.t;  (* event-loop thread only *)
   mutable dispatcher_threads : Thread.t list;
-  mutable reader_threads : Thread.t list;
-  mutable conns : conn list;
 }
 
-let locked t f =
-  Mutex.lock t.state_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.state_mutex) f
+(* Write as much of the backlog as the socket accepts right now.
+   Caller holds [out_mutex] and has checked [conn_open && not out_dead]
+   (the fd cannot be closed underneath us: {!close_conn} clears
+   [conn_open] under the same mutex before closing). EAGAIN just parks
+   the rest for the next writable event; a hard write error marks the
+   connection dead (the sweep closes it). *)
+let flush_locked conn =
+  let progress = ref true in
+  while !progress && not (Queue.is_empty conn.out_q) do
+    let head = Queue.peek conn.out_q in
+    let len = String.length head in
+    match Unix.write_substring conn.fd head conn.out_off (len - conn.out_off)
+    with
+    | 0 -> progress := false
+    | n ->
+        conn.out_off <- conn.out_off + n;
+        conn.out_bytes <- conn.out_bytes - n;
+        conn.stall_since <- Telemetry.now_seconds ();
+        if conn.out_off = len then begin
+          ignore (Queue.pop conn.out_q);
+          conn.out_off <- 0
+        end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        progress := false
+    | exception (Unix.Unix_error _ | Sys_error _) ->
+        conn.out_dead <- true;
+        Queue.clear conn.out_q;
+        conn.out_bytes <- 0;
+        conn.out_off <- 0
+  done
 
-(* Writes go straight to the fd so the SO_SNDTIMEO set at accept time
-   bounds them: a client that sends requests but never reads its socket
-   makes the write fail with EAGAIN after the timeout instead of
-   wedging a dispatcher forever. On any write failure the socket is
-   shut down, which wakes the (possibly blocked) reader thread so it
-   runs [close_conn] and frees the fd. *)
-let send_line conn line =
-  Mutex.lock conn.write_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock conn.write_mutex) @@ fun () ->
-  if conn.conn_open && not conn.write_dead then begin
+(* Enqueue a response line and try to write it out inline — the fast
+   path. With an empty backlog and a draining peer the write usually
+   completes here, on the dispatcher's own thread, and the event loop
+   never hears about the response at all; only a partial write (slow
+   reader) or a newly-dead connection needs the loop woken, for write
+   interest or the sweep. Never blocks: the fd is non-blocking and the
+   inline flush stops at EAGAIN. Called from dispatcher threads and
+   from the event loop itself. *)
+let send_line t conn line =
+  Mutex.lock conn.out_mutex;
+  let accepted = conn.conn_open && not conn.out_dead in
+  if accepted then begin
     let data = line ^ "\n" in
-    let len = String.length data in
-    let rec write_from off =
-      if off < len then
-        match Unix.write_substring conn.fd data off (len - off) with
-        | wrote -> write_from (off + wrote)
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_from off
-    in
-    try write_from 0
-    with Unix.Unix_error _ | Sys_error _ ->
-      conn.write_dead <- true;
-      (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
-       with Unix.Unix_error _ -> ())
-  end
-
-let close_conn t conn =
-  Mutex.lock conn.write_mutex;
-  if conn.conn_open then begin
-    conn.conn_open <- false;
-    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-    Mutex.unlock conn.write_mutex;
-    Telemetry.Counter.incr connections_closed;
-    locked t (fun () ->
-        t.conns <- List.filter (fun c -> c != conn) t.conns;
-        Telemetry.Gauge.set connections_live_gauge
-          (float_of_int (List.length t.conns)))
-  end
-  else Mutex.unlock conn.write_mutex
-
-let shutdown_conn conn =
-  Mutex.lock conn.write_mutex;
-  if conn.conn_open then begin
-    try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
-    with Unix.Unix_error _ -> ()
+    if conn.out_bytes = 0 then conn.stall_since <- Telemetry.now_seconds ();
+    Queue.push data conn.out_q;
+    conn.out_bytes <- conn.out_bytes + String.length data;
+    if conn.out_bytes > out_kill_bytes then begin
+      conn.out_dead <- true;
+      Queue.clear conn.out_q;
+      conn.out_bytes <- 0;
+      conn.out_off <- 0
+    end
+    else flush_locked conn
   end;
-  Mutex.unlock conn.write_mutex
+  let need_loop = accepted && (conn.out_dead || conn.out_bytes > 0) in
+  Mutex.unlock conn.out_mutex;
+  if need_loop then Event_loop.wakeup t.loop
+
+(* The slow path: flush when select reports the fd writable. *)
+let flush_conn conn =
+  Mutex.lock conn.out_mutex;
+  if conn.conn_open && not conn.out_dead then flush_locked conn;
+  Mutex.unlock conn.out_mutex
+
+(* Event-loop thread only. *)
+let close_conn t conn =
+  Mutex.lock conn.out_mutex;
+  let was_open = conn.conn_open in
+  conn.conn_open <- false;
+  Queue.clear conn.out_q;
+  conn.out_bytes <- 0;
+  conn.out_off <- 0;
+  Mutex.unlock conn.out_mutex;
+  if was_open then begin
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove t.conns conn.fd;
+    Telemetry.Counter.incr connections_closed;
+    Atomic.decr t.connections_live;
+    Telemetry.Gauge.set connections_live_gauge
+      (float_of_int (Atomic.get t.connections_live))
+  end
 
 (* ------------------------------------------------------------------ *)
 (* The search gate *)
@@ -401,12 +492,17 @@ let outcome_served = function
   | "ok" | "user-error" | "bad-request" -> true
   | _ -> false
 
+(* Outcome strings in log records and SLO accounting stay on the v1
+   spelling regardless of the request's wire dialect: they are an
+   internal vocabulary, and PR 7's log consumers pin them. *)
+let outcome_of_code code = Protocol.error_code_to_string ~version:1 code
+
 (* Close one request's lifecycle: record it against the SLO, observe
    the per-verb/per-stage histograms, and append the structured log
    record. Called exactly once per request line, on every path —
-   answered, shed, refused, malformed. For sampled requests this is
-   also where the finished span tree enters the trace ring and the
-   latency exemplars are recorded. *)
+   answered, coalesced, shed, refused, malformed. For sampled requests
+   this is also where the finished span tree enters the trace ring and
+   the latency exemplars are recorded. *)
 let finish_lifecycle t lifecycle ~outcome =
   if slo_eligible_verb (Lifecycle.verb lifecycle) then
     Slo.record t.slo
@@ -460,9 +556,10 @@ let finish_lifecycle t lifecycle ~outcome =
 
 (* ------------------------------------------------------------------ *)
 (* Verb handlers — each renders through the same Api encoder the CLI's
-   --json flag uses, which is what makes responses byte-identical. *)
+   --json flag uses, at the request's negotiated schema version, which
+   is what makes responses byte-identical per dialect. *)
 
-let handle_design t params =
+let handle_design t ~version params =
   let infra_file = required_string params "infra_file" in
   let service_file = required_string params "service_file" in
   let no_check = bool_param params "no_check" ~default:false in
@@ -473,9 +570,9 @@ let handle_design t params =
     Aved.Engine.design ~config:t.search_config ~pool:t.pool infra service
       requirements
   in
-  Api.design_result_to_json (Api.design_result_of_report report)
+  Api.design_result_to_json ~version (Api.design_result_of_report report)
 
-let handle_frontier t params =
+let handle_frontier t ~version params =
   let infra_file = required_string params "infra_file" in
   let service_file = required_string params "service_file" in
   let no_check = bool_param params "no_check" ~default:false in
@@ -491,11 +588,11 @@ let handle_frontier t params =
     Aved_search.Tier_search.frontier ~pool:t.pool t.search_config infra ~tier
       ~demand:load
   in
-  Api.frontier_result_to_json
+  Api.frontier_result_to_json ~version
     (Api.frontier_result_of_candidates ~tier:tier.Model.Service.tier_name
        ~demand:load frontier)
 
-let handle_explain t params =
+let handle_explain t ~version params =
   let infra_file = required_string params "infra_file" in
   let service_file = required_string params "service_file" in
   let no_check = bool_param params "no_check" ~default:false in
@@ -516,9 +613,10 @@ let handle_explain t params =
           requirements report)
       result
   in
-  Api.explain_result_to_json (Api.explain_result_of_explanation explanation)
+  Api.explain_result_to_json ~version
+    (Api.explain_result_of_explanation explanation)
 
-let handle_check params =
+let handle_check ~version params =
   let files =
     match find_param params "files" with
     | Some (Json.List items) ->
@@ -531,16 +629,17 @@ let handle_check params =
     | None -> bad_params "missing required param %S" "files"
   in
   if files = [] then bad_params "param %S must be non-empty" "files";
-  Api.check_result_to_json
+  Api.check_result_to_json ~version
     (Api.check_result_of_diagnostics (Aved_check.Check.check_files files))
 
-let handle_health () = Api.versioned [ ("status", Json.String "ok") ]
+let handle_health ~version () =
+  Api.versioned ~version [ ("status", Json.String "ok") ]
 
-let handle_trace t params =
+let handle_trace t ~version params =
   let id = required_string params "trace_id" in
   match Trace_store.find t.traces id with
   | Some completed ->
-      Api.versioned [ ("trace", Trace_store.to_json completed) ]
+      Api.versioned ~version [ ("trace", Trace_store.to_json completed) ]
   | None ->
       failwith
         (Printf.sprintf
@@ -611,11 +710,12 @@ let set_runtime_gauges t =
     (float_of_int (Bounded_queue.capacity t.queue));
   Telemetry.Gauge.set queue_high_water_gauge
     (float_of_int (Atomic.get t.queue_high_water));
+  Telemetry.Gauge.set inflight_gauge (float_of_int (Inflight.length t.inflight));
   Telemetry.Gauge.set memo_entries_gauge (float_of_int (Memo.length t.memo));
   Telemetry.Gauge.set spec_cache_entries_gauge
     (float_of_int (Spec_cache.length t.specs));
   Telemetry.Gauge.set connections_live_gauge
-    (float_of_int (List.length (locked t (fun () -> t.conns))));
+    (float_of_int (Atomic.get t.connections_live));
   let snap = Slo.snapshot t.slo ~now:(Telemetry.now_seconds ()) in
   Telemetry.Gauge.set slo_target_gauge snap.Slo.target;
   Telemetry.Gauge.set slo_window_gauge snap.Slo.window_seconds;
@@ -642,7 +742,7 @@ let slo_json (s : Slo.snapshot) =
       ("met", Json.Bool s.Slo.met);
     ]
 
-let handle_metrics t =
+let handle_metrics t ~version =
   ignore (set_runtime_gauges t);
   let body =
     Prometheus.render ~exemplars:t.exemplars
@@ -653,13 +753,13 @@ let handle_metrics t =
         ]
       t.registry
   in
-  Api.metrics_result_to_json
+  Api.metrics_result_to_json ~version
     { Api.metrics_content_type = Prometheus.content_type; body }
 
-let handle_stats t =
+let handle_stats t ~version =
   let memo_hits, memo_misses = Memo.stats t.memo in
   let snap = set_runtime_gauges t in
-  Api.versioned
+  Api.versioned ~version
     [
       ( "uptime_seconds",
         Json.Float (Telemetry.now_seconds () -. t.started_at) );
@@ -677,12 +777,27 @@ let handle_stats t =
       ( "connections",
         Json.Obj
           [
-            ("live", Json.Int (List.length (locked t (fun () -> t.conns))));
+            ("live", Json.Int (Atomic.get t.connections_live));
             ( "opened",
               Json.Int (Telemetry.Counter.read t.registry connections_opened)
             );
             ( "closed",
               Json.Int (Telemetry.Counter.read t.registry connections_closed)
+            );
+            ( "rejected",
+              Json.Int (Telemetry.Counter.read t.registry connections_rejected)
+            );
+          ] );
+      ( "coalescing",
+        Json.Obj
+          [
+            ("enabled", Json.Bool t.config.coalesce);
+            ("inflight", Json.Int (Inflight.length t.inflight));
+            ( "coalesced",
+              Json.Int (Telemetry.Counter.read t.registry coalesced_counter) );
+            ( "broadcasts",
+              Json.Int
+                (Telemetry.Counter.read t.registry coalesced_broadcasts_counter)
             );
           ] );
       ("slo", slo_json snap);
@@ -724,34 +839,39 @@ let handle_stats t =
 (* ------------------------------------------------------------------ *)
 (* Dispatch *)
 
+(* Answer one attached waiter from the leader's verdict: personalized
+   envelope (its own id, negotiated version, trace id) around the
+   shared result, [coalesced:true] on v2 success. Runs on the leader's
+   dispatcher thread; stage spans for waiters skip "queue" — they
+   never occupied a queue slot. *)
+let broadcast_waiter t ~body w (verdict : verdict) =
+  let lc = w.w_lifecycle in
+  let trace_id = Lifecycle.trace_id lc in
+  Lifecycle.stamp lc "handle";
+  let line, outcome =
+    match verdict with
+    | Ok _ ->
+        Telemetry.Counter.incr responses_ok;
+        ( Protocol.ok_response_rendered ~version:w.w_version ~trace_id
+            ~coalesced:true ~id:w.w_id (Lazy.force body),
+          "ok" )
+    | Error (code, message) ->
+        Telemetry.Counter.incr responses_error;
+        ( Protocol.error_response ~version:w.w_version ~trace_id ~id:w.w_id
+            code message,
+          outcome_of_code code )
+  in
+  Lifecycle.stamp lc "encode";
+  send_line t w.w_conn line;
+  Lifecycle.stamp lc "write";
+  Atomic.decr w.w_conn.outstanding;
+  finish_lifecycle t lc ~outcome
+
 let handle_request t (job : job) =
   let request = job.request in
   let lc = job.lifecycle in
   Lifecycle.stamp lc "queue";
   Telemetry.Counter.incr (List.assoc request.Protocol.verb request_counters);
-  let trace_id = Lifecycle.trace_id lc in
-  (* [render] is deferred so serialization lands in the "encode" stage
-     rather than being charged to whichever stage built the value. *)
-  let respond ~outcome render =
-    Lifecycle.stamp lc "handle";
-    let line = render () in
-    Lifecycle.stamp lc "encode";
-    send_line job.conn line;
-    Lifecycle.stamp lc "write";
-    finish_lifecycle t lc ~outcome
-  in
-  let respond_ok result =
-    Telemetry.Counter.incr responses_ok;
-    respond ~outcome:"ok" (fun () ->
-        Protocol.ok_response ~trace_id ~id:request.Protocol.id result)
-  in
-  let respond_error code message =
-    Telemetry.Counter.incr responses_error;
-    respond
-      ~outcome:(Protocol.error_code_to_string code)
-      (fun () ->
-        Protocol.error_response ~trace_id ~id:request.Protocol.id code message)
-  in
   let waited = Telemetry.now_seconds () -. job.enqueued_at in
   Telemetry.Histogram.observe queue_wait_seconds waited;
   let deadline_ms =
@@ -759,54 +879,99 @@ let handle_request t (job : job) =
     | Some ms -> Some ms
     | None -> t.config.default_deadline_ms
   in
-  match deadline_ms with
-  | Some ms when waited *. 1000. > ms ->
-      Telemetry.Counter.incr deadline_counter;
-      respond_error Protocol.Deadline_exceeded
-        (Printf.sprintf
-           "request waited %.0f ms in queue, over its %.0f ms deadline"
-           (waited *. 1000.) ms)
-  | Some _ | None -> (
-      let verb_name = Protocol.verb_to_string request.Protocol.verb in
-      (* Sampled requests: snapshot the attributed counters and install
-         the trace context (parented under the handle-stage span) for
-         the handler — every [with_span]/[with_trace_span] below this
-         point, including on pool worker domains, lands in the tree. *)
-      let trace_ctx = Lifecycle.handle_context lc in
-      (match Lifecycle.trace lc with
-      | Some trace ->
-          Telemetry.Trace.set_baseline trace
-            (List.map
-               (fun name ->
-                 (name, Telemetry.Counter.read_by_name t.registry name))
-               attributed_counters)
-      | None -> ());
-      match
-        Telemetry.Trace.with_context trace_ctx @@ fun () ->
-        Telemetry.with_span ("serve." ^ verb_name) @@ fun () ->
-        Telemetry.Histogram.time request_seconds @@ fun () ->
-        match request.Protocol.verb with
-        | Protocol.Design -> handle_design t request.Protocol.params
-        | Protocol.Frontier -> handle_frontier t request.Protocol.params
-        | Protocol.Explain -> handle_explain t request.Protocol.params
-        | Protocol.Check -> handle_check request.Protocol.params
-        | Protocol.Health -> handle_health ()
-        | Protocol.Stats -> handle_stats t
-        | Protocol.Metrics -> handle_metrics t
-        | Protocol.Trace -> handle_trace t request.Protocol.params
-      with
-      | result -> respond_ok result
-      | exception Bad_params message ->
-          respond_error Protocol.Bad_request message
-      | exception Failure message ->
-          respond_error Protocol.User_error message
-      | exception Sys_error message ->
-          respond_error Protocol.User_error message
-      | exception exn -> (
-          match Aved_spec.Spec.error_to_string exn with
-          | Some message -> respond_error Protocol.User_error message
-          | None ->
-              respond_error Protocol.Internal (Printexc.to_string exn)))
+  let verdict : verdict =
+    match deadline_ms with
+    | Some ms when waited *. 1000. > ms ->
+        Telemetry.Counter.incr deadline_counter;
+        Error
+          ( Protocol.Deadline_exceeded,
+            Printf.sprintf
+              "request waited %.0f ms in queue, over its %.0f ms deadline"
+              (waited *. 1000.) ms )
+    | Some _ | None -> (
+        let verb_name = Protocol.verb_to_string request.Protocol.verb in
+        (* Sampled requests: snapshot the attributed counters and
+           install the trace context (parented under the handle-stage
+           span) for the handler — every [with_span]/[with_trace_span]
+           below this point, including on pool worker domains, lands in
+           the tree. *)
+        let trace_ctx = Lifecycle.handle_context lc in
+        (match Lifecycle.trace lc with
+        | Some trace ->
+            Telemetry.Trace.set_baseline trace
+              (List.map
+                 (fun name ->
+                   (name, Telemetry.Counter.read_by_name t.registry name))
+                 attributed_counters)
+        | None -> ());
+        let version = request.Protocol.version in
+        match
+          Telemetry.Trace.with_context trace_ctx @@ fun () ->
+          Telemetry.with_span ("serve." ^ verb_name) @@ fun () ->
+          Telemetry.Histogram.time request_seconds @@ fun () ->
+          match request.Protocol.verb with
+          | Protocol.Design -> handle_design t ~version request.Protocol.params
+          | Protocol.Frontier ->
+              handle_frontier t ~version request.Protocol.params
+          | Protocol.Explain ->
+              handle_explain t ~version request.Protocol.params
+          | Protocol.Check -> handle_check ~version request.Protocol.params
+          | Protocol.Health -> handle_health ~version ()
+          | Protocol.Stats -> handle_stats t ~version
+          | Protocol.Metrics -> handle_metrics t ~version
+          | Protocol.Trace -> handle_trace t ~version request.Protocol.params
+        with
+        | result -> Ok result
+        | exception Bad_params message -> Error (Protocol.Bad_request, message)
+        | exception Failure message -> Error (Protocol.User_error, message)
+        | exception Sys_error message -> Error (Protocol.User_error, message)
+        | exception exn -> (
+            match Aved_spec.Spec.error_to_string exn with
+            | Some message -> Error (Protocol.User_error, message)
+            | None -> Error (Protocol.Internal, Printexc.to_string exn)))
+  in
+  let trace_id = Lifecycle.trace_id lc in
+  Lifecycle.stamp lc "handle";
+  (* Serialize a successful result once; the leader's envelope and
+     every waiter's broadcast splice the same rendered body (safe
+     because waiters share the leader's negotiated version — it is
+     part of the coalescing key). *)
+  let body =
+    match verdict with
+    | Ok result -> lazy (Json.to_string result)
+    | Error _ -> lazy ""
+  in
+  let line, outcome =
+    match verdict with
+    | Ok _ ->
+        Telemetry.Counter.incr responses_ok;
+        ( Protocol.ok_response_rendered ~version:request.Protocol.version
+            ~trace_id ~coalesced:false ~id:request.Protocol.id
+            (Lazy.force body),
+          "ok" )
+    | Error (code, message) ->
+        Telemetry.Counter.incr responses_error;
+        ( Protocol.error_response ~version:request.Protocol.version ~trace_id
+            ~id:request.Protocol.id code message,
+          outcome_of_code code )
+  in
+  Lifecycle.stamp lc "encode";
+  send_line t job.conn line;
+  Lifecycle.stamp lc "write";
+  Atomic.decr job.conn.outstanding;
+  finish_lifecycle t lc ~outcome;
+  (* Only now resolve the in-flight entry: every waiter that attached
+     while the computation ran gets the shared verdict — errors and
+     deadline losses included (shared fate). *)
+  match job.key with
+  | None -> ()
+  | Some key ->
+      let waiters =
+        Inflight.complete t.inflight ~key ~result:verdict
+          ~broadcast:(broadcast_waiter t ~body)
+      in
+      if waiters > 0 then
+        Telemetry.Counter.add coalesced_broadcasts_counter waiters
 
 let rec dispatcher_loop t =
   match Bounded_queue.pop t.queue with
@@ -825,11 +990,18 @@ let rec dispatcher_loop t =
         (fun () -> handle_request t job);
       dispatcher_loop t
 
-(* ------------------------------------------------------------------ *)
-(* Connection readers *)
+let dispatcher_main t =
+  dispatcher_loop t;
+  Atomic.decr t.dispatchers_alive;
+  (* The drain loop waits on this count; wake it promptly. *)
+  Event_loop.wakeup t.loop
 
-(* Raise the high-water mark with a CAS loop: several readers can push
-   concurrently and the mark must never move down. *)
+(* ------------------------------------------------------------------ *)
+(* Admission (event-loop thread) *)
+
+(* Raise the high-water mark with a CAS loop: kept CAS although only
+   the event loop pushes now, so the invariant survives any future
+   second admission path. *)
 let raise_high_water t depth =
   let rec bump () =
     let seen = Atomic.get t.queue_high_water in
@@ -841,38 +1013,86 @@ let raise_high_water t depth =
   Telemetry.Gauge.set queue_high_water_gauge
     (float_of_int (Atomic.get t.queue_high_water))
 
-let admit t conn lifecycle (request : Protocol.request) =
+(* Answer an error from the event loop itself (parse failures, shed,
+   draining): the request never reaches a dispatcher. *)
+let refuse t conn lifecycle ~version ~id code message =
+  Telemetry.Counter.incr responses_error;
+  send_line t conn
+    (Protocol.error_response ~version
+       ~trace_id:(Lifecycle.trace_id lifecycle)
+       ~id code message);
+  Lifecycle.stamp lifecycle "write";
+  finish_lifecycle t lifecycle ~outcome:(outcome_of_code code)
+
+let try_enqueue t conn lifecycle request key =
   let job =
-    { conn; request; enqueued_at = Telemetry.now_seconds (); lifecycle }
+    {
+      conn;
+      request;
+      enqueued_at = Telemetry.now_seconds ();
+      lifecycle;
+      key;
+    }
   in
-  Lifecycle.stamp lifecycle "admit";
   if Bounded_queue.try_push t.queue job then begin
+    Atomic.incr conn.outstanding;
     let depth = Bounded_queue.length t.queue in
     Telemetry.Gauge.set queue_depth_gauge (float_of_int depth);
-    raise_high_water t depth
+    raise_high_water t depth;
+    true
   end
-  else if Bounded_queue.closed t.queue then begin
-    Telemetry.Counter.incr responses_error;
-    send_line conn
-      (Protocol.error_response
-         ~trace_id:(Lifecycle.trace_id lifecycle)
-         ~id:request.Protocol.id Protocol.Shutting_down
-         "server is draining; retry elsewhere");
-    Lifecycle.stamp lifecycle "write";
-    finish_lifecycle t lifecycle ~outcome:"shutting-down"
-  end
+  else false
+
+let refuse_capacity t conn lifecycle (request : Protocol.request) =
+  let version = request.Protocol.version in
+  if Bounded_queue.closed t.queue then
+    refuse t conn lifecycle ~version ~id:request.Protocol.id
+      Protocol.Shutting_down "server is draining; retry elsewhere"
   else begin
     Telemetry.Counter.incr shed_counter;
-    Telemetry.Counter.incr responses_error;
-    send_line conn
-      (Protocol.error_response
-         ~trace_id:(Lifecycle.trace_id lifecycle)
-         ~id:request.Protocol.id Protocol.Overloaded
-         (Printf.sprintf "admission queue is full (capacity %d); retry later"
-            (Bounded_queue.capacity t.queue)));
-    Lifecycle.stamp lifecycle "write";
-    finish_lifecycle t lifecycle ~outcome:"overloaded"
+    refuse t conn lifecycle ~version ~id:request.Protocol.id Protocol.Overloaded
+      (Printf.sprintf "admission queue is full (capacity %d); retry later"
+         (Bounded_queue.capacity t.queue))
   end
+
+(* Admission decides coalescing: a work request whose content hash
+   matches an in-flight computation attaches as a waiter — consuming
+   no queue slot and no dispatcher — and is answered by the leader's
+   broadcast. All claims happen here, on the single event-loop thread,
+   so a Leader claim and its queue push cannot interleave with another
+   claim for the same key. *)
+let admit t conn lifecycle (request : Protocol.request) =
+  Lifecycle.stamp lifecycle "admit";
+  let key = if t.config.coalesce then Protocol.coalesce_key request else None in
+  match key with
+  | None ->
+      if not (try_enqueue t conn lifecycle request None) then
+        refuse_capacity t conn lifecycle request
+  | Some key -> (
+      let waiter =
+        {
+          w_conn = conn;
+          w_version = request.Protocol.version;
+          w_id = request.Protocol.id;
+          w_lifecycle = lifecycle;
+        }
+      in
+      match Inflight.claim t.inflight ~key ~waiter with
+      | `Attached ->
+          Telemetry.Counter.incr coalesced_counter;
+          Atomic.incr conn.outstanding
+      | `Leader ->
+          if not (try_enqueue t conn lifecycle request (Some key)) then begin
+            (* Remove the claim so the key does not wedge; any waiter
+               that could have attached in between would be broadcast
+               the same refusal (none can, on this single thread). *)
+            ignore
+              (Inflight.complete t.inflight ~key
+                 ~result:
+                   (Error (Protocol.Overloaded, "admission queue is full"))
+                 ~broadcast:(broadcast_waiter t ~body:(lazy "")));
+            refuse_capacity t conn lifecycle request
+          end)
 
 (* The head-sampling decision is taken here, once per request line:
    sampled requests get a span collector that rides the lifecycle to
@@ -890,56 +1110,152 @@ let start_lifecycle t ~verb ~conn_id ~req_id ~now =
   in
   Lifecycle.start ?trace ~trace_id ~verb ~conn_id ~req_id ~now ()
 
-let reader_loop t conn =
-  let ic = Unix.in_channel_of_descr conn.fd in
-  let rec loop () =
-    match input_line ic with
-    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
-    | line -> (
-        let t_read = Telemetry.now_seconds () in
-        (* The catch-all keeps a malicious or pathological line (e.g.
-           one that trips an unexpected exception in parsing/admission)
-           from killing the reader before [close_conn] runs and leaking
-           the fd: answer Internal and drop the connection instead. *)
-        match
-          if String.trim line <> "" then
-            match Protocol.request_of_line line with
-            | Ok request ->
-                let lifecycle =
-                  start_lifecycle t
-                    ~verb:(Protocol.verb_to_string request.Protocol.verb)
-                    ~conn_id:conn.conn_id ~req_id:request.Protocol.id
-                    ~now:t_read
-                in
-                Lifecycle.stamp lifecycle "parse";
-                admit t conn lifecycle request
-            | Error message ->
-                (* Never parsed to a verb, so it still gets a trace id
-                   and a log record, but under the reserved verb
-                   "invalid" which the SLO ignores. *)
-                let lifecycle =
-                  start_lifecycle t ~verb:"invalid" ~conn_id:conn.conn_id
-                    ~req_id:Json.Null ~now:t_read
-                in
-                Lifecycle.stamp lifecycle "parse";
-                Telemetry.Counter.incr responses_error;
-                send_line conn
-                  (Protocol.error_response
-                     ~trace_id:(Lifecycle.trace_id lifecycle)
-                     ~id:Json.Null Protocol.Bad_request message);
-                Lifecycle.stamp lifecycle "write";
-                finish_lifecycle t lifecycle ~outcome:"bad-request"
-        with
-        | () -> loop ()
-        | exception exn ->
-            Telemetry.Counter.incr responses_error;
-            send_line conn
-              (Protocol.error_response ~id:Json.Null Protocol.Internal
-                 (Printf.sprintf "unexpected error reading request: %s"
-                    (Printexc.to_string exn))))
+(* One complete request line from the framing layer. The catch-all
+   keeps a malicious or pathological line (one that trips an unexpected
+   exception in parsing/admission) from killing the event loop: answer
+   Internal and carry on. *)
+let handle_line t conn ~t_read line =
+  if String.trim line <> "" then
+    match
+      match Protocol.request_of_line line with
+      | Ok request ->
+          let lifecycle =
+            start_lifecycle t
+              ~verb:(Protocol.verb_to_string request.Protocol.verb)
+              ~conn_id:conn.conn_id ~req_id:request.Protocol.id ~now:t_read
+          in
+          Lifecycle.stamp lifecycle "parse";
+          admit t conn lifecycle request
+      | Error (version, message) ->
+          (* Never parsed to a verb, so it still gets a trace id and a
+             log record, but under the reserved verb "invalid" which
+             the SLO ignores. *)
+          let lifecycle =
+            start_lifecycle t ~verb:"invalid" ~conn_id:conn.conn_id
+              ~req_id:Json.Null ~now:t_read
+          in
+          Lifecycle.stamp lifecycle "parse";
+          refuse t conn lifecycle ~version ~id:Json.Null Protocol.Bad_request
+            message
+    with
+    | () -> ()
+    | exception exn ->
+        Telemetry.Counter.incr responses_error;
+        send_line t conn
+          (Protocol.error_response ~id:Json.Null Protocol.Internal
+             (Printf.sprintf "unexpected error reading request: %s"
+                (Printexc.to_string exn)))
+
+(* ------------------------------------------------------------------ *)
+(* The event loop *)
+
+let register_conn t fd =
+  Unix.set_nonblock fd;
+  let conn =
+    {
+      fd;
+      conn_id = Atomic.fetch_and_add t.next_conn_id 1;
+      framing = Framing.create ();
+      outstanding = Atomic.make 0;
+      out_mutex = Mutex.create ();
+      out_q = Queue.create ();
+      out_off = 0;
+      out_bytes = 0;
+      out_dead = false;
+      stall_since = 0.;
+      conn_open = true;
+      r_eof = false;
+      want_close = false;
+    }
   in
-  loop ();
-  close_conn t conn
+  Hashtbl.replace t.conns fd conn;
+  Telemetry.Counter.incr connections_opened;
+  Atomic.incr t.connections_live;
+  Telemetry.Gauge.set connections_live_gauge
+    (float_of_int (Atomic.get t.connections_live));
+  conn
+
+let rec accept_burst t =
+  if not (Atomic.get t.stopping) then
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | exception
+        Unix.Unix_error
+          ((EINTR | ECONNABORTED | EAGAIN | EWOULDBLOCK), _, _) ->
+        ()
+    | fd, _addr ->
+        let conn = register_conn t fd in
+        if Atomic.get t.connections_live > t.config.max_conns then begin
+          Telemetry.Counter.incr connections_rejected;
+          conn.want_close <- true;
+          Telemetry.Counter.incr responses_error;
+          send_line t conn
+            (Protocol.error_response ~id:Json.Null Protocol.Overloaded
+               (Printf.sprintf
+                  "connection limit reached (max-conns %d); retry later"
+                  t.config.max_conns))
+        end;
+        accept_burst t
+
+let handle_readable t buf conn =
+  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception (Unix.Unix_error _ | Sys_error _) ->
+      conn.r_eof <- true;
+      conn.out_dead <- true
+  | 0 -> conn.r_eof <- true
+  | n -> (
+      let t_read = Telemetry.now_seconds () in
+      match Framing.feed conn.framing buf ~len:n with
+      | Ok lines -> List.iter (handle_line t conn ~t_read) lines
+      | Error message ->
+          (* The stream cannot be re-synchronized: answer once, then
+             close after the error flushes. *)
+          Telemetry.Counter.incr responses_error;
+          send_line t conn
+            (Protocol.error_response ~id:Json.Null Protocol.Bad_request message);
+          conn.want_close <- true)
+
+(* One pass over every connection: build the interest sets for the next
+   wait and collect the ones to close (dead, stalled past the send
+   timeout, or fully answered after EOF/want_close). *)
+let sweep_conns t ~now ~reads ~writes ~closes =
+  Hashtbl.iter
+    (fun fd conn ->
+      Mutex.lock conn.out_mutex;
+      let pending = conn.out_bytes in
+      let dead = conn.out_dead in
+      let stalled =
+        pending > 0 && now -. conn.stall_since > t.config.send_timeout_s
+      in
+      Mutex.unlock conn.out_mutex;
+      if dead then closes := conn :: !closes
+      else if stalled then begin
+        Telemetry.Counter.incr connections_stalled;
+        closes := conn :: !closes
+      end
+      else if
+        (conn.r_eof || conn.want_close)
+        && pending = 0
+        && Atomic.get conn.outstanding = 0
+      then closes := conn :: !closes
+      else begin
+        if pending > 0 then writes := fd :: !writes;
+        if
+          (not conn.r_eof) && (not conn.want_close)
+          && pending < read_pause_bytes
+        then reads := fd :: !reads
+      end)
+    t.conns
+
+(* SIGUSR1 snapshot: the full stats document (counters, gauges, SLO,
+   GC) as one "snapshot" record in the structured log, or on stderr
+   when no log is configured. *)
+let dump_snapshot t =
+  let stats = handle_stats t ~version:Api.schema_version in
+  match t.log with
+  | Some log -> Request_log.event log ~kind:"snapshot" [ ("stats", stats) ]
+  | None ->
+      Printf.eprintf "aved serve snapshot: %s\n%!" (Json.to_string stats)
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle *)
@@ -1005,6 +1321,10 @@ let bind_listener = function
 let create config =
   if config.dispatchers < 1 then
     invalid_arg "Server.create: dispatchers must be >= 1";
+  if config.max_conns < 1 || config.max_conns > max_conns_ceiling then
+    invalid_arg
+      (Printf.sprintf "Server.create: max_conns must be within [1, %d]"
+         max_conns_ceiling);
   (match Slo.validate_config config.slo with
   | Ok _ -> ()
   | Error msg -> failwith (Printf.sprintf "invalid SLO config: %s" msg));
@@ -1043,12 +1363,15 @@ let create config =
       Option.iter Request_log.close log;
       raise exn
   in
+  Unix.set_nonblock listen_fd;
   let t =
     {
       config;
       listen_fd;
       port;
+      loop = Event_loop.create ();
       queue = Bounded_queue.create ~capacity:config.queue_capacity;
+      inflight = Inflight.create ();
       pool = Pool.create ~jobs:config.jobs;
       memo;
       search_config;
@@ -1065,10 +1388,10 @@ let create config =
       next_conn_id = Atomic.make 0;
       queue_high_water = Atomic.make 0;
       dispatchers_busy = Atomic.make 0;
-      state_mutex = Mutex.create ();
+      dispatchers_alive = Atomic.make config.dispatchers;
+      connections_live = Atomic.make 0;
+      conns = Hashtbl.create 64;
       dispatcher_threads = [];
-      reader_threads = [];
-      conns = [];
     }
   in
   Option.iter
@@ -1083,17 +1406,19 @@ let create config =
         ])
     t.log;
   t.dispatcher_threads <-
-    List.init config.dispatchers (fun _ -> Thread.create dispatcher_loop t);
+    List.init config.dispatchers (fun _ -> Thread.create dispatcher_main t);
   t
 
-let stop t = Atomic.set t.stopping true
+let stop t =
+  Atomic.set t.stopping true;
+  Event_loop.wakeup t.loop
 
 let install_signal_handlers t =
   let handler = Sys.Signal_handle (fun _ -> stop t) in
   Sys.set_signal Sys.sigterm handler;
   Sys.set_signal Sys.sigint handler;
   (* SIGUSR1 requests a full metrics/GC snapshot. The handler only sets
-     a flag; the accept loop performs the dump, since writing the log
+     a flag; the event loop performs the dump, since writing the log
      from a signal handler would not be async-signal-safe. *)
   try
     Sys.set_signal Sys.sigusr1
@@ -1102,69 +1427,68 @@ let install_signal_handlers t =
 
 let bound_port t = t.port
 
-let accept_one t =
-  match Unix.accept t.listen_fd with
-  | exception
-      Unix.Unix_error
-        ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-    ->
-      ()
-  | fd, _addr ->
-      (* Bound every response write so a client that never reads its
-         socket cannot park a dispatcher inside [send_line]. *)
-      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.send_timeout_s
-       with Unix.Unix_error _ | Invalid_argument _ -> ());
-      let conn =
-        { fd; conn_id = Atomic.fetch_and_add t.next_conn_id 1;
-          write_mutex = Mutex.create (); conn_open = true;
-          write_dead = false }
-      in
-      Telemetry.Counter.incr connections_opened;
-      locked t (fun () ->
-          t.conns <- conn :: t.conns;
-          Telemetry.Gauge.set connections_live_gauge
-            (float_of_int (List.length t.conns)));
-      let thread = Thread.create (fun () -> reader_loop t conn) () in
-      locked t (fun () -> t.reader_threads <- thread :: t.reader_threads)
-
-(* SIGUSR1 snapshot: the full stats document (counters, gauges, SLO,
-   GC) as one "snapshot" record in the structured log, or on stderr
-   when no log is configured. *)
-let dump_snapshot t =
-  let stats = handle_stats t in
-  match t.log with
-  | Some log -> Request_log.event log ~kind:"snapshot" [ ("stats", stats) ]
-  | None ->
-      Printf.eprintf "aved serve snapshot: %s\n%!" (Json.to_string stats)
-
 let run t =
-  (* Accept with a short select timeout so [stop] — possibly set from a
-     signal handler — is noticed promptly without any wakeup channel. *)
-  let rec loop () =
-    if not (Atomic.get t.stopping) then begin
-      if Atomic.compare_and_set t.snapshot_requested true false then
-        dump_snapshot t;
-      (match Unix.select [ t.listen_fd ] [] [] 0.25 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | [], _, _ -> ()
-      | _ :: _, _, _ -> accept_one t);
-      loop ()
-    end
-  in
-  loop ();
-  (* Drain: stop accepting, refuse new admissions, answer everything
-     already admitted, then close connections and join every thread.
-     Joining dispatchers first is what answers admitted requests; it
-     cannot hang on a stalled client because SO_SNDTIMEO bounds every
-     response write (the write fails and the connection is dropped). *)
-  Unix.close t.listen_fd;
-  (match t.config.transport with
-  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-  | Tcp _ -> ());
-  Bounded_queue.close t.queue;
+  let buf = Bytes.create 65536 in
+  let drain_deadline = ref None in
+  let finished = ref false in
+  while not !finished do
+    if Atomic.compare_and_set t.snapshot_requested true false then
+      dump_snapshot t;
+    (* Entering drain: stop accepting, refuse new admissions, but keep
+       the loop alive — pending responses still flush, new lines are
+       answered with shutting-down, and late twins can still attach to
+       computations already in flight. *)
+    (if Atomic.get t.stopping && !drain_deadline = None then begin
+       (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+       (match t.config.transport with
+       | Unix_socket path -> (
+           try Unix.unlink path with Unix.Unix_error _ -> ())
+       | Tcp _ -> ());
+       Bounded_queue.close t.queue;
+       drain_deadline :=
+         Some (Telemetry.now_seconds () +. t.config.send_timeout_s +. 1.0)
+     end);
+    let now = Telemetry.now_seconds () in
+    let reads = ref [] and writes = ref [] and closes = ref [] in
+    sweep_conns t ~now ~reads ~writes ~closes;
+    List.iter (close_conn t) !closes;
+    let draining = !drain_deadline <> None in
+    let read_set = if draining then !reads else t.listen_fd :: !reads in
+    let readable, writable =
+      Event_loop.wait t.loop ~read:read_set ~write:!writes ~timeout:0.25
+    in
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt t.conns fd with
+        | Some conn -> flush_conn conn
+        | None -> ())
+      writable;
+    List.iter
+      (fun fd ->
+        if fd = t.listen_fd && not draining then accept_burst t
+        else
+          match Hashtbl.find_opt t.conns fd with
+          | Some conn -> handle_readable t buf conn
+          | None -> ())
+      readable;
+    (* Drain exit: every dispatcher has exited (the queue is closed and
+       empty, so every admitted request was answered and every waiter
+       broadcast) and every backlog byte flushed — or the grace period
+       lapsed (a stalled client cannot hold shutdown hostage). *)
+    match !drain_deadline with
+    | None -> ()
+    | Some deadline ->
+        let dispatchers_done = Atomic.get t.dispatchers_alive = 0 in
+        let pending =
+          Hashtbl.fold (fun _ c acc -> acc + c.out_bytes) t.conns 0
+        in
+        if (dispatchers_done && pending = 0) || now > deadline then
+          finished := true
+  done;
   List.iter Thread.join t.dispatcher_threads;
-  List.iter shutdown_conn (locked t (fun () -> t.conns));
-  List.iter Thread.join (locked t (fun () -> t.reader_threads));
+  let remaining = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  List.iter (close_conn t) remaining;
+  Event_loop.close t.loop;
   Pool.shutdown t.pool;
   Option.iter
     (fun log ->

@@ -4,14 +4,37 @@
 
     {2 Architecture}
 
-    One {e accept loop} (the thread calling {!run}) hands each
-    connection to a {e reader thread} that parses newline-delimited
-    requests and admits them to a bounded queue ({!Aved_parallel.Bounded_queue}).
-    Admission never blocks: when the queue is full the request is shed
-    with an explicit [overloaded] error response, so a burst degrades
-    into visible backpressure rather than unbounded buffering. A fixed
-    set of {e dispatcher threads} dequeues requests and answers them on
-    a single shared {!Aved_parallel.Pool} of search domains.
+    One {e event loop} (the thread calling {!run}) owns every socket:
+    it accepts non-blocking connections, reads ready fds into
+    per-connection {!Framing} buffers, parses complete lines, and
+    admits requests to a bounded queue ({!Aved_parallel.Bounded_queue}).
+    Responses are enqueued into per-connection write buffers and
+    flushed when the fd is writable, so an idle connection costs a
+    buffer and a readiness entry instead of a thread. Admission never
+    blocks: when the queue is full the request is shed with an
+    explicit [overloaded] error response, so a burst degrades into
+    visible backpressure rather than unbounded buffering. A fixed set
+    of {e dispatcher threads} dequeues requests and answers them on a
+    single shared {!Aved_parallel.Pool} of search domains.
+
+    {2 Coalescing}
+
+    Work requests (design/frontier/explain/check) carry a content-hash
+    identity ({!Protocol.coalesce_key}). When a request's key matches
+    a computation already in flight, it {e attaches} as a waiter
+    ({!Inflight}) instead of being queued: the leader's dispatcher
+    broadcasts the shared verdict — success or error — to every
+    waiter, each wrapped in its own envelope (own [id], own trace id,
+    [coalesced:true] on v2). A thundering herd of N identical requests
+    runs one search. Disable with [coalesce = false].
+
+    {2 Backpressure}
+
+    A client that stops reading accumulates a response backlog: past
+    256 KiB the loop stops reading its socket (so it cannot submit
+    further work), and a backlog making no write progress for
+    [send_timeout_s] (or exceeding 8 MiB) drops the connection —
+    a slow reader cannot wedge a dispatcher or the loop.
 
     Warm state shared by every request: the domain pool, one bounded
     LRU availability memo ({!Aved_avail.Memo}), a content-hash cache of
@@ -21,24 +44,28 @@
     {2 Deadlines}
 
     A request may carry ["deadline_ms"], a queueing budget: a request
-    still queued when its budget lapses is answered with
-    [deadline-exceeded] instead of being executed. The deadline bounds
-    time-in-queue, not execution — an admitted request runs to
-    completion.
+    still queued when its budget lapses is answered with a deadline
+    error instead of being executed. The deadline bounds time-in-queue,
+    not execution — an admitted request runs to completion. Waiters
+    share their leader's fate, deadline losses included.
 
     {2 Shutdown}
 
     {!stop} (or SIGTERM/SIGINT after {!install_signal_handlers})
-    initiates a graceful drain: the listener stops accepting, readers
-    answer further requests with [shutting-down], every request already
-    admitted is executed and answered, then connections close and
-    {!run} returns.
+    initiates a graceful drain: the listener closes, new requests are
+    answered with [shutting-down] (late twins may still attach to
+    in-flight computations), every request already admitted is
+    executed, answered and broadcast, pending response bytes flush,
+    then connections close and {!run} returns. A stalled client cannot
+    hold shutdown hostage: the grace period is bounded by
+    [send_timeout_s] plus one second.
 
     {2 Parity}
 
     Results are byte-identical to the one-shot CLI: handlers render
-    through the same {!Aved_api.Api} encoders the [--json] flags use,
-    and the shared memo is bit-identical to the unmemoized engine. *)
+    through the same {!Aved_api.Api} encoders the [--json] flags use
+    at the request's negotiated schema version, and the shared memo is
+    bit-identical to the unmemoized engine. *)
 
 type transport = Unix_socket of string | Tcp of { host : string; port : int }
 
@@ -47,16 +74,26 @@ type config = {
   jobs : int;  (** Domains of the shared search pool. *)
   dispatchers : int;  (** Request worker threads. *)
   queue_capacity : int;  (** Admission queue bound. *)
+  max_conns : int;
+      (** Concurrent connection bound (within [1, 1000] — the event
+          loop multiplexes with [Unix.select], whose FD_SETSIZE is
+          1024). Connections over the limit are answered with one
+          [overloaded] envelope and closed
+          ([server.connections.rejected]). *)
+  coalesce : bool;
+      (** Attach identical in-flight work requests to one computation
+          ([server.coalesced.*]); disable to force every request
+          through its own search. *)
   default_deadline_ms : float option;
       (** Queueing budget applied when a request names none. *)
   memo_capacity : int;  (** Bound of the shared availability memo. *)
   span_capacity : int;
       (** Per-domain telemetry span retention ({!Aved_telemetry.Telemetry.create}). *)
   send_timeout_s : float;
-      (** SO_SNDTIMEO applied to every accepted connection: a response
-          write to a client that stopped reading fails after this many
-          seconds and the connection is dropped, instead of blocking a
-          dispatcher indefinitely. *)
+      (** Write-stall bound: a connection whose response backlog makes
+          no progress for this long is dropped
+          ([server.connections.send_timeout]), instead of buffering
+          without bound for a client that stopped reading. *)
   log_path : string option;
       (** Structured request log ([aved serve --log FILE]): one JSON
           object per request with trace id, per-stage timings and
@@ -84,12 +121,12 @@ type config = {
 
 val default_config : transport -> config
 (** [jobs = Domain.recommended_domain_count ()], 2 dispatchers, a
-    128-request queue, no default deadline, {!Aved_avail.Memo.default_capacity}
-    memo entries, 4096 retained spans per domain, a 10 s send timeout,
-    no request log, {!Aved_obs.Slo.default_config} (99.9% of work
-    requests within 50 ms over a 5-minute window), tracing off
-    ([trace_sample = 0.]) with a 256-trace ring and 2048 spans per
-    trace. *)
+    128-request queue, 900 connections, coalescing on, no default
+    deadline, {!Aved_avail.Memo.default_capacity} memo entries, 4096
+    retained spans per domain, a 10 s send timeout, no request log,
+    {!Aved_obs.Slo.default_config} (99.9% of work requests within
+    50 ms over a 5-minute window), tracing off ([trace_sample = 0.])
+    with a 256-trace ring and 2048 spans per trace. *)
 
 type t
 
@@ -97,25 +134,27 @@ val create : config -> t
 (** Binds and listens on the transport, spawns the dispatcher threads
     and installs the server's telemetry registry. Raises
     [Unix.Unix_error] when the address cannot be bound,
-    [Invalid_argument] on non-positive sizes, and [Failure] when a
-    Unix-socket path is already served by a live daemon (an existing
-    path is probed with a connect before being unlinked), when the
-    SLO config is invalid, or when the request log cannot be opened. *)
+    [Invalid_argument] on non-positive sizes or an out-of-range
+    [max_conns], and [Failure] when a Unix-socket path is already
+    served by a live daemon (an existing path is probed with a connect
+    before being unlinked), when the SLO config is invalid, or when
+    the request log cannot be opened. *)
 
 val run : t -> unit
-(** The accept loop. Returns after {!stop}, once every admitted request
+(** The event loop. Returns after {!stop}, once every admitted request
     has been answered and every thread joined. Call from the thread
     that owns the server's lifetime (the CLI's main thread, or a
     dedicated thread when embedding, as the bench does). *)
 
 val stop : t -> unit
 (** Initiate graceful drain. Thread-safe, idempotent, and safe to call
-    from a signal handler (it only sets a flag; {!run} notices within
-    its 250 ms accept timeout). *)
+    from a signal handler (it sets a flag and taps the loop's wakeup
+    pipe; {!run} notices within its 250 ms poll timeout even if the
+    tap is lost). *)
 
 val install_signal_handlers : t -> unit
 (** Route SIGTERM and SIGINT to {!stop}, and SIGUSR1 to a full
-    metrics/GC snapshot: the accept loop notices the flag within its
+    metrics/GC snapshot: the event loop notices the flag within its
     250 ms timeout and appends a ["snapshot"] record (the complete
     [stats] document) to the request log, or prints it to stderr when
     no log is configured. *)

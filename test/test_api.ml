@@ -213,16 +213,36 @@ let bless = Sys.getenv_opt "AVED_API_BLESS" = Some "1"
 let fixture_dir = "api_fixtures"
 let fixture_path name = Filename.concat fixture_dir (name ^ ".json")
 
-let golden_cases =
+(* Each value is pinned twice: at the current schema_version, and in
+   the v1 dialect (the [*.v1.json] files are the original v1-era
+   fixtures, byte-for-byte) — encoders must keep rendering the legacy
+   dialect exactly for as long as the daemon accepts v1 requests. *)
+let golden_values : (string * (?version:int -> unit -> Json.t)) list =
   [
-    ("design_feasible", Api.design_result_to_json design_feasible);
-    ("design_infeasible", Api.design_result_to_json design_infeasible);
-    ("frontier", Api.frontier_result_to_json frontier);
-    ("explain_feasible", Api.explain_result_to_json explain_feasible);
-    ("explain_infeasible", Api.explain_result_to_json explain_infeasible);
-    ("check_with_findings", Api.check_result_to_json check_with_findings);
-    ("check_clean", Api.check_result_to_json check_clean);
+    ( "design_feasible",
+      fun ?version () -> Api.design_result_to_json ?version design_feasible );
+    ( "design_infeasible",
+      fun ?version () -> Api.design_result_to_json ?version design_infeasible
+    );
+    ("frontier", fun ?version () -> Api.frontier_result_to_json ?version frontier);
+    ( "explain_feasible",
+      fun ?version () -> Api.explain_result_to_json ?version explain_feasible
+    );
+    ( "explain_infeasible",
+      fun ?version () -> Api.explain_result_to_json ?version explain_infeasible
+    );
+    ( "check_with_findings",
+      fun ?version () -> Api.check_result_to_json ?version check_with_findings
+    );
+    ( "check_clean",
+      fun ?version () -> Api.check_result_to_json ?version check_clean );
   ]
+
+let golden_cases =
+  List.concat_map
+    (fun ((name, encode) : string * (?version:int -> unit -> Json.t)) ->
+      [ (name, encode ()); (name ^ ".v1", encode ~version:1 ()) ])
+    golden_values
 
 let test_golden (name, json) () =
   let encoded = Json.to_string json ^ "\n" in

@@ -127,7 +127,7 @@ let test_json_output () =
   Alcotest.(check bool) "is a versioned object" true
     (String.length stdout > 1
     && stdout.[0] = '{'
-    && contains stdout "\"schema_version\":1");
+    && contains stdout "\"schema_version\":2");
   Alcotest.(check bool) "carries a diagnostics array" true
     (contains stdout "\"diagnostics\":[");
   Alcotest.(check bool) "carries severity" true

@@ -228,7 +228,7 @@ let test_check_parity () =
 let test_health () =
   let result = server_result (Protocol.request_line Protocol.Health []) in
   Alcotest.(check string)
-    "exact bytes" "{\"schema_version\":1,\"status\":\"ok\"}"
+    "exact bytes" "{\"schema_version\":2,\"status\":\"ok\"}"
     (Json.to_string result)
 
 let test_id_echo () =
@@ -252,9 +252,30 @@ let test_stats_shape () =
             true
             (List.mem_assoc key fields))
         [
-          "uptime_seconds"; "queue"; "connections"; "slo"; "memo";
-          "spec_cache"; "counters"; "gauges"; "histograms"; "spans_dropped";
+          "uptime_seconds"; "queue"; "connections"; "coalescing"; "slo";
+          "memo"; "spec_cache"; "counters"; "gauges"; "histograms";
+          "spans_dropped";
         ];
+      (* The coalescing object reports the in-flight registry... *)
+      (match List.assoc_opt "coalescing" fields with
+      | Some (Json.Obj c) ->
+          List.iter
+            (fun key ->
+              Alcotest.(check bool)
+                (Printf.sprintf "coalescing has %S" key)
+                true (List.mem_assoc key c))
+            [ "enabled"; "inflight"; "coalesced"; "broadcasts" ]
+      | _ -> Alcotest.fail "stats coalescing is not an object");
+      (* ...and connections the event loop's admission counters. *)
+      (match List.assoc_opt "connections" fields with
+      | Some (Json.Obj c) ->
+          List.iter
+            (fun key ->
+              Alcotest.(check bool)
+                (Printf.sprintf "connections has %S" key)
+                true (List.mem_assoc key c))
+            [ "live"; "opened"; "closed"; "rejected" ]
+      | _ -> Alcotest.fail "stats connections is not an object");
       (* The queue object carries the backpressure counters... *)
       (match List.assoc_opt "queue" fields with
       | Some (Json.Obj q) ->
@@ -329,11 +350,11 @@ let test_unknown_verb () =
 
 let test_wrong_schema_version () =
   let _, code, message =
-    server_error "{\"schema_version\":2,\"verb\":\"health\",\"params\":{}}"
+    server_error "{\"schema_version\":3,\"verb\":\"health\",\"params\":{}}"
   in
   check_code "code" Protocol.Bad_request code;
   Alcotest.(check bool) "names the version" true
-    (contains message "schema_version 2")
+    (contains message "schema_version 3")
 
 let test_missing_params () =
   let _, code, message =
@@ -889,6 +910,586 @@ let test_trace_ids_without_sampling () =
     (contains message "trace-sample")
 
 (* ------------------------------------------------------------------ *)
+(* Unit tests of the event-loop building blocks *)
+
+module Framing = Aved_server.Framing
+module Inflight = Aved_server.Inflight
+
+let feed_string t s =
+  match Framing.feed t (Bytes.of_string s) ~len:(String.length s) with
+  | Ok lines -> lines
+  | Error m -> Alcotest.failf "framing refused %S: %s" s m
+
+let test_framing_incremental () =
+  let t = Framing.create () in
+  (* A line split across many 1-byte chunks closes exactly once. *)
+  String.iter
+    (fun c ->
+      Alcotest.(check (list string))
+        "no line before the newline" []
+        (feed_string t (String.make 1 c)))
+    "hello";
+  Alcotest.(check int) "partial bytes buffered" 5 (Framing.buffered t);
+  Alcotest.(check (list string)) "line closes" [ "hello" ] (feed_string t "\n");
+  Alcotest.(check int) "buffer drained" 0 (Framing.buffered t);
+  (* Several pipelined lines in one chunk, CRLF tolerated, tail kept. *)
+  Alcotest.(check (list string))
+    "pipelined chunk" [ "a"; "b" ]
+    (feed_string t "a\r\nb\ntail");
+  Alcotest.(check (list string)) "tail closes" [ "tailc" ] (feed_string t "c\n")
+
+let test_framing_bound () =
+  let t = Framing.create ~max_line_bytes:16 () in
+  let flood = String.make 32 'x' in
+  (match Framing.feed t (Bytes.of_string flood) ~len:(String.length flood) with
+  | Ok _ -> Alcotest.fail "oversized partial line accepted"
+  | Error _ -> ());
+  (* The failure is permanent: the stream cannot re-synchronize. *)
+  match Framing.feed t (Bytes.of_string "a\n") ~len:2 with
+  | Ok _ -> Alcotest.fail "framing resumed after overflow"
+  | Error _ -> ()
+
+let test_inflight_registry () =
+  let t = Inflight.create () in
+  Alcotest.(check int) "empty" 0 (Inflight.length t);
+  (match Inflight.claim t ~key:"k" ~waiter:"leader-is-not-stored" with
+  | `Leader -> ()
+  | `Attached -> Alcotest.fail "first claim must lead");
+  List.iter
+    (fun w ->
+      match Inflight.claim t ~key:"k" ~waiter:w with
+      | `Attached -> ()
+      | `Leader -> Alcotest.failf "%s claimed a second leadership" w)
+    [ "w1"; "w2"; "w3" ];
+  (match Inflight.claim t ~key:"other" ~waiter:"x" with
+  | `Leader -> ()
+  | `Attached -> Alcotest.fail "distinct keys are independent");
+  Alcotest.(check int) "two in flight" 2 (Inflight.length t);
+  (* Broadcast hits every waiter in attach order, with the verdict. *)
+  let seen = ref [] in
+  let n =
+    Inflight.complete t ~key:"k" ~result:42 ~broadcast:(fun w r ->
+        Alcotest.(check int) "verdict delivered" 42 r;
+        seen := w :: !seen)
+  in
+  Alcotest.(check int) "three waiters" 3 n;
+  Alcotest.(check (list string)) "attach order" [ "w1"; "w2"; "w3" ]
+    (List.rev !seen);
+  (* The key is free again; completing an absent key is a no-op. *)
+  (match Inflight.claim t ~key:"k" ~waiter:"y" with
+  | `Leader -> ()
+  | `Attached -> Alcotest.fail "completed key still had an entry");
+  Alcotest.(check int) "absent key broadcasts nothing" 0
+    (Inflight.complete t ~key:"gone" ~result:0 ~broadcast:(fun _ _ -> ()))
+
+let test_coalesce_key_identity () =
+  let req line =
+    match Protocol.request_of_line line with
+    | Ok r -> r
+    | Error (_, m) -> Alcotest.failf "bad request line: %s" m
+  in
+  let key line =
+    match Protocol.coalesce_key (req line) with
+    | Some k -> k
+    | None -> Alcotest.failf "no coalesce key for %s" line
+  in
+  (* Same computation, different field order, ids and deadlines: one key. *)
+  let a = key "{\"verb\":\"design\",\"id\":1,\"params\":{\"load\":5,\"x\":{\"b\":1,\"a\":2}}}" in
+  let b = key "{\"verb\":\"design\",\"id\":2,\"deadline_ms\":50,\"params\":{\"x\":{\"a\":2,\"b\":1},\"load\":5}}" in
+  Alcotest.(check string) "field order and envelope do not split keys" a b;
+  (* Different params, verb, or negotiated version: distinct keys. *)
+  let c = key "{\"verb\":\"design\",\"params\":{\"load\":6,\"x\":{\"a\":2,\"b\":1}}}" in
+  Alcotest.(check bool) "params split keys" false (a = c);
+  let d = key "{\"verb\":\"frontier\",\"params\":{\"load\":5,\"x\":{\"b\":1,\"a\":2}}}" in
+  Alcotest.(check bool) "verbs split keys" false (a = d);
+  let e = key "{\"schema_version\":2,\"verb\":\"design\",\"params\":{\"load\":5,\"x\":{\"b\":1,\"a\":2}}}" in
+  Alcotest.(check bool) "dialects split keys" false (a = e);
+  (* Time-varying verbs never coalesce. *)
+  List.iter
+    (fun v ->
+      match
+        Protocol.coalesce_key
+          (req (Printf.sprintf "{\"verb\":%S,\"params\":{}}" v))
+      with
+      | None -> ()
+      | Some _ -> Alcotest.failf "%s must not coalesce" v)
+    [ "health"; "stats"; "metrics"; "trace" ]
+
+let test_envelope_dialects () =
+  (* v1 success envelopes carry no coalesced field; v2 always do. *)
+  let v1 = Protocol.ok_response ~version:1 ~id:(Json.Int 3) (Json.Bool true) in
+  Alcotest.(check string) "v1 bytes"
+    "{\"schema_version\":1,\"id\":3,\"ok\":true,\"result\":true}" v1;
+  let v2 =
+    Protocol.ok_response ~version:2 ~coalesced:true ~id:(Json.Int 3)
+      (Json.Bool true)
+  in
+  Alcotest.(check string) "v2 bytes"
+    "{\"schema_version\":2,\"id\":3,\"ok\":true,\"coalesced\":true,\"result\":true}"
+    v2;
+  (* The spliced-body renderer is byte-identical to the JSON one. *)
+  let result = Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Null ]) ] in
+  Alcotest.(check string) "rendered splice = object render"
+    (Protocol.ok_response ~version:2 ~trace_id:"t1" ~id:(Json.String "x") result)
+    (Protocol.ok_response_rendered ~version:2 ~trace_id:"t1"
+       ~id:(Json.String "x") (Json.to_string result));
+  (* Error codes: legacy hyphenated strings on v1, the unified
+     taxonomy on v2 — Shutting_down folds into overloaded. *)
+  List.iter
+    (fun (code, s1, s2) ->
+      Alcotest.(check string) "v1 code" s1
+        (Protocol.error_code_to_string ~version:1 code);
+      Alcotest.(check string) "v2 code" s2
+        (Protocol.error_code_to_string ~version:2 code))
+    [
+      (Protocol.Bad_request, "bad-request", "bad_request");
+      (Protocol.User_error, "user-error", "check_error");
+      (Protocol.Overloaded, "overloaded", "overloaded");
+      (Protocol.Deadline_exceeded, "deadline-exceeded", "deadline");
+      (Protocol.Shutting_down, "shutting-down", "overloaded");
+      (Protocol.Internal, "internal", "internal");
+    ];
+  (* Both dialects decode. *)
+  List.iter
+    (fun (s, code) ->
+      match Protocol.error_code_of_string s with
+      | Some c when c = code -> ()
+      | _ -> Alcotest.failf "%S did not decode" s)
+    [
+      ("bad-request", Protocol.Bad_request);
+      ("bad_request", Protocol.Bad_request);
+      ("check_error", Protocol.User_error);
+      ("deadline", Protocol.Deadline_exceeded);
+      ("overloaded", Protocol.Overloaded);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire API v2 against the live daemon *)
+
+let raw_response line =
+  with_conn @@ fun ic oc -> rpc ic oc line
+
+(* v1 clients are untouched by the redesign: an explicit version-1
+   request — or one naming no version at all, the only kind that
+   existed before negotiation — gets a version-1 envelope, legacy
+   result bytes, and no [coalesced] field. *)
+let test_v1_compat () =
+  List.iter
+    (fun request ->
+      let line = raw_response request in
+      Alcotest.(check bool)
+        (Printf.sprintf "v1 envelope for %s" request)
+        true
+        (has_prefix "{\"schema_version\":1,\"id\":null,\"ok\":true,\"trace_id\":" line);
+      Alcotest.(check bool) "no coalesced field" false
+        (contains line "coalesced");
+      Alcotest.(check bool) "v1 result bytes" true
+        (contains line "\"result\":{\"schema_version\":1,\"status\":\"ok\"}"))
+    [
+      "{\"schema_version\":1,\"verb\":\"health\",\"params\":{}}";
+      "{\"verb\":\"health\",\"params\":{}}";
+      "{\"verb\":\"health\"}";
+    ];
+  (* v1 errors keep the legacy hyphenated code strings. *)
+  let err = raw_response "{\"schema_version\":1,\"verb\":\"bogus\",\"params\":{}}" in
+  Alcotest.(check bool) "v1 error code" true
+    (contains err "\"code\":\"bad-request\"")
+
+let test_v2_envelope () =
+  let line =
+    raw_response (Protocol.request_line ~id:(Json.Int 7) Protocol.Health [])
+  in
+  Alcotest.(check bool) "v2 prefix with coalesced" true
+    (has_prefix "{\"schema_version\":2,\"id\":7,\"ok\":true,\"coalesced\":false"
+       line);
+  let r = response line in
+  Alcotest.(check (option bool))
+    "decoded coalesced" (Some false) r.Protocol.response_coalesced;
+  (* v2 errors speak the unified taxonomy. *)
+  let err = raw_response "{\"schema_version\":2,\"verb\":\"bogus\",\"params\":{}}" in
+  Alcotest.(check bool) "v2 error code" true
+    (contains err "\"code\":\"bad_request\"")
+
+(* The reactor's framing: a request dribbled in 1-byte writes is
+   assembled and answered; two requests in one write both answer. *)
+let test_partial_writes () =
+  with_conn @@ fun ic oc ->
+  let line = Protocol.request_line ~id:(Json.Int 9) Protocol.Health [] ^ "\n" in
+  String.iter
+    (fun c ->
+      output_char oc c;
+      flush oc)
+    line;
+  (match (response (input_line ic)).Protocol.outcome with
+  | Ok _ -> ()
+  | Error (_, m) -> Alcotest.failf "byte-at-a-time request refused: %s" m);
+  let a = Protocol.request_line ~id:(Json.Int 10) Protocol.Health [] in
+  let b = Protocol.request_line ~id:(Json.Int 11) Protocol.Health [] in
+  output_string oc (a ^ "\n" ^ b ^ "\n");
+  flush oc;
+  List.iter
+    (fun expected ->
+      let r = response (input_line ic) in
+      Alcotest.(check string) "pipelined id" expected
+        (Json.to_string r.Protocol.response_id))
+    [ "10"; "11" ]
+
+(* Pipelining under v2: a slow design ahead of cheap healths on one
+   connection; ids match each completion to its request whatever the
+   arrival order. *)
+let test_pipelined_ids () =
+  with_conn @@ fun ic oc ->
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Protocol.request_line ~id:(Json.Int 100) Protocol.Design
+       (spec_params ()
+       @ [ ("load", Json.Float 1000.); ("downtime_minutes", Json.Float 100.) ]
+       ));
+  Buffer.add_char buf '\n';
+  for i = 101 to 104 do
+    Buffer.add_string buf
+      (Protocol.request_line ~id:(Json.Int i) Protocol.Health []);
+    Buffer.add_char buf '\n'
+  done;
+  output_string oc (Buffer.contents buf);
+  flush oc;
+  let seen = ref [] in
+  for _ = 0 to 4 do
+    let r = response (input_line ic) in
+    (match r.Protocol.outcome with
+    | Ok _ -> ()
+    | Error (_, m) -> Alcotest.failf "pipelined request failed: %s" m);
+    match r.Protocol.response_id with
+    | Json.Int i -> seen := i :: !seen
+    | other ->
+        Alcotest.failf "non-integer id echoed: %s" (Json.to_string other)
+  done;
+  Alcotest.(check (list int))
+    "every id answered exactly once"
+    [ 100; 101; 102; 103; 104 ]
+    (List.sort compare !seen)
+
+(* ------------------------------------------------------------------ *)
+(* Coalescing against the live daemon *)
+
+let connect_client () =
+  let d = Lazy.force the_daemon in
+  match connect_once d.socket with
+  | Some fd -> (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  | None -> Alcotest.fail "could not connect to the server"
+
+let close_client (fd, _, _) = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let send_only (_, _, oc) line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+(* Counters materialize in the stats [counters] object on first
+   increment; a name that has never fired reads as zero. *)
+let stats_counter name =
+  let stats = server_result (Protocol.request_line Protocol.Stats []) in
+  match stats with
+  | Json.Obj fields -> (
+      match List.assoc_opt "counters" fields with
+      | Some (Json.Obj counters) -> (
+          match List.assoc_opt name counters with
+          | Some (Json.Int n) -> n
+          | _ -> 0)
+      | _ -> Alcotest.fail "stats lacks counters")
+  | _ -> Alcotest.fail "stats result is not an object"
+
+(* The [coalescing] stats object is always present, whatever has run. *)
+let coalescing_stat field =
+  let stats = server_result (Protocol.request_line Protocol.Stats []) in
+  match stats with
+  | Json.Obj fields -> (
+      match List.assoc_opt "coalescing" fields with
+      | Some (Json.Obj c) -> (
+          match List.assoc_opt field c with
+          | Some (Json.Int n) -> n
+          | _ -> Alcotest.failf "coalescing.%s missing" field)
+      | _ -> Alcotest.fail "stats lacks coalescing")
+  | _ -> Alcotest.fail "stats result is not an object"
+
+(* Park both dispatchers on distinct blocker designs so a subsequent
+   herd's leader sits queued while its twins arrive and attach. *)
+let with_parked_dispatchers ~blocker_load f =
+  let blockers =
+    Array.init 4 (fun j ->
+        let c = connect_client () in
+        send_only c
+          (Protocol.request_line ~id:(Json.Int (-1 - j)) Protocol.Design
+             (spec_params ()
+             @ [
+                 ("load", Json.Float (blocker_load +. float_of_int j));
+                 ("downtime_minutes", Json.Float 123.);
+               ]));
+        c)
+  in
+  Fun.protect ~finally:(fun () -> Array.iter close_client blockers) @@ fun () ->
+  let result = f () in
+  (* Blockers must themselves complete fine. *)
+  Array.iter
+    (fun (_, ic, _) ->
+      match (response (input_line ic)).Protocol.outcome with
+      | Ok _ -> ()
+      | Error (_, m) -> Alcotest.failf "blocker failed: %s" m)
+    blockers;
+  result
+
+(* A herd of identical uncached requests runs one underlying search;
+   every response carries its own id around byte-identical results. *)
+let test_coalescing_herd () =
+  let herd_size = 12 in
+  let searches_before = stats_counter "server.requests.design" in
+  let herd = Array.init herd_size (fun _ -> connect_client ()) in
+  Fun.protect ~finally:(fun () -> Array.iter close_client herd) @@ fun () ->
+  let coalesced, results =
+    with_parked_dispatchers ~blocker_load:4200. @@ fun () ->
+    Array.iteri
+      (fun k c ->
+        send_only c
+          (Protocol.request_line ~id:(Json.Int k) Protocol.Design
+             (spec_params ()
+             @ [
+                 ("load", Json.Float 4100.);
+                 ("downtime_minutes", Json.Float 123.);
+               ])))
+      herd;
+    let coalesced = ref 0 in
+    let results = ref [] in
+    Array.iteri
+      (fun k (_, ic, _) ->
+        let r = response (input_line ic) in
+        Alcotest.(check string) "own id echoed" (string_of_int k)
+          (Json.to_string r.Protocol.response_id);
+        if r.Protocol.response_coalesced = Some true then incr coalesced;
+        match r.Protocol.outcome with
+        | Ok result -> results := Json.to_string result :: !results
+        | Error (_, m) -> Alcotest.failf "herd request %d failed: %s" k m)
+      herd;
+    (!coalesced, !results)
+  in
+  Alcotest.(check int) "identical results across the herd" 1
+    (List.length (List.sort_uniq compare results));
+  Alcotest.(check bool)
+    (Printf.sprintf "most of the herd coalesced (%d/%d)" coalesced herd_size)
+    true
+    (coalesced >= herd_size / 2);
+  let searches =
+    stats_counter "server.requests.design" - searches_before - 4 (* blockers *)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "few underlying searches (%d)" searches)
+    true
+    (searches >= 1 && searches <= herd_size / 2)
+
+(* Waiters share the leader's fate: identical requests naming an
+   unreadable spec all receive the leader's error broadcast. *)
+let test_error_broadcast () =
+  let herd_size = 6 in
+  let coalesced_before = coalescing_stat "coalesced" in
+  let herd = Array.init herd_size (fun _ -> connect_client ()) in
+  Fun.protect ~finally:(fun () -> Array.iter close_client herd) @@ fun () ->
+  let errors =
+    with_parked_dispatchers ~blocker_load:4210. @@ fun () ->
+    Array.iteri
+      (fun k c ->
+        send_only c
+          (Protocol.request_line ~id:(Json.Int k) Protocol.Design
+             [
+               ("infra_file", Json.String "/nonexistent/broadcast.spec");
+               ("service_file", Json.String (spec "ecommerce.spec"));
+               ("load", Json.Float 1000.);
+               ("downtime_minutes", Json.Float 100.);
+             ]))
+      herd;
+    Array.to_list
+      (Array.map
+         (fun (_, ic, _) ->
+           let r = response (input_line ic) in
+           match r.Protocol.outcome with
+           | Ok _ -> Alcotest.fail "bad spec was accepted"
+           | Error (code, message) ->
+               check_code "shared error code" Protocol.User_error code;
+               message)
+         herd)
+  in
+  Alcotest.(check int) "identical error message across the herd" 1
+    (List.length (List.sort_uniq compare errors));
+  Alcotest.(check bool) "waiters were coalesced" true
+    (coalescing_stat "coalesced" > coalesced_before)
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure and drain, each against a dedicated daemon *)
+
+let with_private_daemon args f =
+  let dir = Filename.temp_file "aved_srv_priv" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let socket = Filename.concat dir "aved.sock" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process aved
+      (Array.append [| aved; "serve"; "--socket"; socket |] args)
+      Unix.stdin devnull devnull
+  in
+  Unix.close devnull;
+  let reaped = ref false in
+  let cleanup () =
+    if not !reaped then begin
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+    end;
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait () =
+    match connect_once socket with
+    | Some fd -> Unix.close fd
+    | None ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "private daemon did not come up within 10s";
+        Unix.sleepf 0.05;
+        wait ()
+  in
+  wait ();
+  let terminate () =
+    Unix.kill pid Sys.sigterm;
+    let _, status = Unix.waitpid [] pid in
+    reaped := true;
+    status
+  in
+  f ~socket ~terminate
+
+let private_conn socket =
+  match connect_once socket with
+  | Some fd -> (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  | None -> Alcotest.fail "could not connect to the private daemon"
+
+(* A client that stops reading cannot buffer without bound or wedge
+   the daemon: once its backlog makes no progress for --send-timeout,
+   the connection is dropped and other clients are unaffected. *)
+let test_slow_reader_dropped () =
+  with_private_daemon
+    [| "--jobs"; "1"; "--queue"; "1000"; "--send-timeout"; "1" |]
+  @@ fun ~socket ~terminate ->
+  let ((_, ic, oc) as slow) = private_conn socket in
+  Fun.protect ~finally:(fun () -> close_client slow) @@ fun () ->
+  (* Pipeline far more response bytes than the kernel buffers absorb,
+     and read none of them. *)
+  let requests = 800 in
+  let buf = Buffer.create (requests * 64) in
+  for i = 1 to requests do
+    Buffer.add_string buf
+      (Protocol.request_line ~id:(Json.Int i) Protocol.Stats []);
+    Buffer.add_char buf '\n'
+  done;
+  output_string oc (Buffer.contents buf);
+  flush oc;
+  (* Sit unreading past the stall bound (plus the sweep cadence). *)
+  Unix.sleepf 2.5;
+  (* The daemon must have cut us loose: reading now finds whatever the
+     kernel buffered, then EOF — never all of the responses. *)
+  let received = ref 0 in
+  (try
+     while !received < requests do
+       ignore (input_line ic);
+       incr received
+     done
+   with End_of_file | Sys_error _ -> ());
+  Alcotest.(check bool)
+    (Printf.sprintf "connection dropped mid-stream (%d/%d)" !received requests)
+    true
+    (!received < requests);
+  (* The loop is not wedged: a fresh connection still answers, and the
+     drop is visible in the telemetry. *)
+  let ((_, ic2, oc2) as probe) = private_conn socket in
+  Fun.protect ~finally:(fun () -> close_client probe) @@ fun () ->
+  let r = response (rpc ic2 oc2 (Protocol.request_line Protocol.Stats [])) in
+  (match r.Protocol.outcome with
+  | Ok (Json.Obj fields) -> (
+      match List.assoc_opt "counters" fields with
+      | Some (Json.Obj counters) -> (
+          match List.assoc_opt "server.connections.send_timeout" counters with
+          | Some (Json.Int n) ->
+              Alcotest.(check bool) "send_timeout counted" true (n >= 1)
+          | _ -> Alcotest.fail "no send_timeout counter")
+      | _ -> Alcotest.fail "stats lacks counters")
+  | Ok _ -> Alcotest.fail "stats result is not an object"
+  | Error (_, m) -> Alcotest.failf "daemon wedged after slow reader: %s" m);
+  match terminate () with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "daemon did not drain cleanly after slow reader"
+
+(* SIGTERM mid-herd: requests already admitted — the queued leader and
+   every attached waiter — are answered before exit. *)
+let test_drain_with_waiters () =
+  with_private_daemon [| "--jobs"; "1"; "--dispatchers"; "1" |]
+  @@ fun ~socket ~terminate ->
+  let filler = private_conn socket in
+  let herd = Array.init 6 (fun _ -> private_conn socket) in
+  Fun.protect
+    ~finally:(fun () ->
+      close_client filler;
+      Array.iter close_client herd)
+  @@ fun () ->
+  (* Five distinct designs pile onto the lone dispatcher first, so the
+     herd's leader is still queued — waiters attached — when SIGTERM
+     lands. *)
+  for j = 0 to 4 do
+    send_only filler
+      (Protocol.request_line ~id:(Json.Int (-1 - j)) Protocol.Design
+         (spec_params ()
+         @ [
+             ("load", Json.Float (4300. +. float_of_int j));
+             ("downtime_minutes", Json.Float 9.);
+           ]))
+  done;
+  Array.iteri
+    (fun k c ->
+      send_only c
+        (Protocol.request_line ~id:(Json.Int k) Protocol.Design
+           (spec_params ()
+           @ [
+               ("load", Json.Float 4444.); ("downtime_minutes", Json.Float 9.);
+             ])))
+    herd;
+  (* Give the event loop a beat to admit everything, then pull the
+     plug while the queue is still working. *)
+  Unix.sleepf 0.05;
+  (match terminate () with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "drain exited %d" n
+  | _ -> Alcotest.fail "drain died on a signal");
+  (* Every admitted request was answered before exit: the responses
+     are sitting in our kernel buffers. *)
+  let (_, fic, _) = filler in
+  for _ = 0 to 4 do
+    match (response (input_line fic)).Protocol.outcome with
+    | Ok _ -> ()
+    | Error (_, m) -> Alcotest.failf "filler dropped in drain: %s" m
+  done;
+  let results = ref [] in
+  Array.iteri
+    (fun k (_, ic, _) ->
+      let r = response (input_line ic) in
+      Alcotest.(check string) "waiter id" (string_of_int k)
+        (Json.to_string r.Protocol.response_id);
+      match r.Protocol.outcome with
+      | Ok result -> results := Json.to_string result :: !results
+      | Error (_, m) -> Alcotest.failf "waiter %d dropped in drain: %s" k m)
+    herd;
+  Alcotest.(check int) "waiters share one result" 1
+    (List.length (List.sort_uniq compare !results));
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket)
+
+(* ------------------------------------------------------------------ *)
 (* Shutdown — must run last: it takes the shared daemon down *)
 
 let test_sigterm_drains () =
@@ -961,6 +1562,44 @@ let () =
             test_tracing_live;
           Alcotest.test_case "trace ids without sampling" `Quick
             test_trace_ids_without_sampling;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "framing assembles incrementally" `Quick
+            test_framing_incremental;
+          Alcotest.test_case "framing bounds line length" `Quick
+            test_framing_bound;
+          Alcotest.test_case "inflight registry leads and broadcasts" `Quick
+            test_inflight_registry;
+          Alcotest.test_case "coalesce keys hash content, not envelope" `Quick
+            test_coalesce_key_identity;
+          Alcotest.test_case "envelope dialects v1/v2" `Quick
+            test_envelope_dialects;
+        ] );
+      ( "wire-v2",
+        [
+          Alcotest.test_case "v1 requests get byte-identical v1 replies"
+            `Quick test_v1_compat;
+          Alcotest.test_case "v2 envelope carries id and coalesced" `Quick
+            test_v2_envelope;
+          Alcotest.test_case "byte-at-a-time and two-in-one-write framing"
+            `Quick test_partial_writes;
+          Alcotest.test_case "pipelined ids match out-of-order completion"
+            `Quick test_pipelined_ids;
+        ] );
+      ( "coalescing",
+        [
+          Alcotest.test_case "identical herd shares one search" `Quick
+            test_coalescing_herd;
+          Alcotest.test_case "errors broadcast to waiters too" `Quick
+            test_error_broadcast;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "slow reader is dropped, loop survives" `Quick
+            test_slow_reader_dropped;
+          Alcotest.test_case "drain answers queued waiters" `Quick
+            test_drain_with_waiters;
         ] );
       ( "shutdown",
         [
